@@ -1,0 +1,78 @@
+//! Checker scaling (E10 ablation): decision cost of du-opacity vs
+//! final-state opacity as history size and concurrency grow, plus the
+//! memoization on/off ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bencher, Throughput};
+use duop_core::{Criterion, DuOpacity, FinalStateOpacity, SearchConfig};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::History;
+
+fn history(txns: usize, concurrency: usize, seed: u64) -> History {
+    HistoryGen::new(
+        HistoryGenConfig::medium_simulated()
+            .with_txns(txns)
+            .with_concurrency(concurrency),
+        seed,
+    )
+    .generate()
+}
+
+fn bench_scaling_by_txns(c: &mut Bencher) {
+    let mut group = c.benchmark_group("scaling_by_txns");
+    for txns in [10usize, 20, 40, 80, 160] {
+        let h = history(txns, 4, 11);
+        group.throughput(Throughput::Elements(h.txn_count() as u64));
+        group.bench_with_input(BenchmarkId::new("du_opacity", txns), &h, |b, h| {
+            b.iter(|| DuOpacity::new().check(h))
+        });
+        group.bench_with_input(BenchmarkId::new("final_state", txns), &h, |b, h| {
+            b.iter(|| FinalStateOpacity::new().check(h))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_by_concurrency(c: &mut Bencher) {
+    let mut group = c.benchmark_group("scaling_by_concurrency");
+    for conc in [2usize, 4, 8, 12] {
+        let h = history(48, conc, 13);
+        group.bench_with_input(BenchmarkId::new("du_opacity", conc), &h, |b, h| {
+            b.iter(|| DuOpacity::new().check(h))
+        });
+    }
+    group.finish();
+}
+
+fn bench_memoization_ablation(c: &mut Bencher) {
+    let mut group = c.benchmark_group("memoization_ablation");
+    let h = history(28, 6, 17);
+    group.bench_function("memo_on", |b| {
+        b.iter(|| {
+            DuOpacity::with_config(SearchConfig {
+                memo: true,
+                max_states: None,
+            })
+            .check(&h)
+        })
+    });
+    group.bench_function("memo_off", |b| {
+        b.iter(|| {
+            DuOpacity::with_config(SearchConfig {
+                memo: false,
+                max_states: None,
+            })
+            .check(&h)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion::Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_scaling_by_txns, bench_scaling_by_concurrency, bench_memoization_ablation
+}
+criterion_main!(benches);

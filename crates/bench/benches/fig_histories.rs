@@ -1,0 +1,49 @@
+//! One benchmark per paper figure: the cost of deciding each criterion on
+//! the exact histories the paper's claims are made about (E1–E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bencher};
+use duop_core::tms2_automaton::check_tms2_automaton;
+use duop_core::{Criterion, DuOpacity, FinalStateOpacity, Opacity, ReadCommitOrderOpacity, Tms2};
+use duop_experiments::figures;
+
+fn bench_figures(c: &mut Bencher) {
+    let mut group = c.benchmark_group("fig_histories");
+    let figures = vec![
+        ("fig1", figures::fig1()),
+        ("fig3", figures::fig3()),
+        ("fig4", figures::fig4()),
+        ("fig5", figures::fig5()),
+        ("fig6", figures::fig6()),
+    ];
+    for (name, h) in &figures {
+        group.bench_with_input(BenchmarkId::new("du_opacity", name), h, |b, h| {
+            b.iter(|| DuOpacity::new().check(h))
+        });
+        group.bench_with_input(BenchmarkId::new("final_state_opacity", name), h, |b, h| {
+            b.iter(|| FinalStateOpacity::new().check(h))
+        });
+        group.bench_with_input(BenchmarkId::new("opacity", name), h, |b, h| {
+            b.iter(|| Opacity::new().check(h))
+        });
+        group.bench_with_input(BenchmarkId::new("tms2", name), h, |b, h| {
+            b.iter(|| Tms2::new().check(h))
+        });
+        group.bench_with_input(BenchmarkId::new("read_commit_order", name), h, |b, h| {
+            b.iter(|| ReadCommitOrderOpacity::new().check(h))
+        });
+        group.bench_with_input(BenchmarkId::new("tms2_automaton", name), h, |b, h| {
+            b.iter(|| check_tms2_automaton(h, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion::Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 2 / Proposition 1 (E2): cost of deciding du-opacity on ever
+//! longer prefixes of the paper's non-limit-closed history. The witness
+//! position of `T1` grows with the prefix — the structural reason the
+//! infinite limit has no serialization — and this bench tracks how the
+//! decision cost scales alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bencher, Throughput};
+use duop_core::{Criterion, DuOpacity};
+use duop_experiments::figures::fig2_prefix;
+
+fn bench_fig2_prefixes(c: &mut Bencher) {
+    let mut group = c.benchmark_group("limit_closure");
+    for readers in [4usize, 16, 64, 128] {
+        let h = fig2_prefix(readers);
+        group.throughput(Throughput::Elements(h.len() as u64));
+        group.bench_with_input(BenchmarkId::new("fig2_prefix", readers), &h, |b, h| {
+            b.iter(|| {
+                let v = DuOpacity::new().check(h);
+                assert!(v.is_satisfied());
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion::Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig2_prefixes
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Lemma 1 / Corollary 2 (E8): constructing a prefix serialization via the
+//! paper's witness-restriction construction vs re-deciding the prefix from
+//! scratch — the constructive lemma is the asymptotic win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bencher};
+use duop_core::lemmas::restrict_witness;
+use duop_core::{Criterion, DuOpacity};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+
+fn bench_prefix_closure(c: &mut Bencher) {
+    let mut group = c.benchmark_group("prefix_closure");
+    for txns in [12usize, 24, 48] {
+        let h = HistoryGen::new(HistoryGenConfig::medium_simulated().with_txns(txns), 5).generate();
+        let witness = DuOpacity::new()
+            .check(&h)
+            .into_result()
+            .expect("simulated histories are du-opaque");
+        let cut = h.len() / 2;
+
+        group.bench_with_input(
+            BenchmarkId::new("lemma1_restriction", txns),
+            &(&h, &witness),
+            |b, (h, w)| b.iter(|| restrict_witness(h, w, cut)),
+        );
+        group.bench_with_input(BenchmarkId::new("research_prefix", txns), &h, |b, h| {
+            let prefix = h.prefix(cut);
+            b.iter(|| DuOpacity::new().check(&prefix))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion::Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_prefix_closure
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! STM engine throughput (E10): transaction attempts per second for each
+//! engine under read-heavy and write-heavy workloads, plus the cost of
+//! checking the recorded histories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bencher, Throughput};
+use duop_core::{Criterion, DuOpacity};
+use duop_stm::engines::{DirtyRead, Dstm, Eager2Pl, NoRec, Pessimistic, Tl2};
+use duop_stm::{run_workload, Engine, WorkloadConfig};
+
+fn workload(read_ratio: f64) -> WorkloadConfig {
+    WorkloadConfig {
+        threads: 4,
+        txns_per_thread: 50,
+        ops_per_txn: (2, 5),
+        read_ratio,
+        unique_values: true,
+        max_attempts: 4,
+        yield_between_ops: false,
+        seed: 41,
+    }
+}
+
+type EngineFactory = Box<dyn Fn() -> Box<dyn Engine>>;
+
+fn engines() -> Vec<(&'static str, EngineFactory)> {
+    vec![
+        ("tl2", Box::new(|| Box::new(Tl2::new(16)))),
+        ("norec", Box::new(|| Box::new(NoRec::new(16)))),
+        ("dstm", Box::new(|| Box::new(Dstm::new(16)))),
+        ("eager_2pl", Box::new(|| Box::new(Eager2Pl::new(16)))),
+        ("pessimistic", Box::new(|| Box::new(Pessimistic::new(16)))),
+        ("dirty_read", Box::new(|| Box::new(DirtyRead::new(16)))),
+    ]
+}
+
+fn bench_throughput(c: &mut Bencher, group_name: &str, read_ratio: f64) {
+    let mut group = c.benchmark_group(group_name);
+    let cfg = workload(read_ratio);
+    group.throughput(Throughput::Elements(
+        (cfg.threads * cfg.txns_per_thread) as u64,
+    ));
+    for (name, make) in engines() {
+        group.bench_function(BenchmarkId::new(name, "run"), |b| {
+            b.iter(|| {
+                let engine = make();
+                run_workload(engine.as_ref(), &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_heavy(c: &mut Bencher) {
+    bench_throughput(c, "stm_read_heavy", 0.8);
+}
+
+fn bench_write_heavy(c: &mut Bencher) {
+    bench_throughput(c, "stm_write_heavy", 0.2);
+}
+
+fn bench_trace_checking(c: &mut Bencher) {
+    let mut group = c.benchmark_group("stm_trace_checking");
+    for (name, make) in engines() {
+        if name == "dirty_read" || name == "pessimistic" {
+            continue; // violating traces short-circuit; not comparable
+        }
+        let engine = make();
+        let (h, _) = run_workload(engine.as_ref(), &workload(0.6));
+        group.throughput(Throughput::Elements(h.txn_count() as u64));
+        group.bench_function(BenchmarkId::new("du_check", name), |b| {
+            b.iter(|| DuOpacity::new().check(&h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion::Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_read_heavy, bench_write_heavy, bench_trace_checking
+}
+criterion_main!(benches);

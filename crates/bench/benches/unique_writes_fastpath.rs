@@ -1,0 +1,41 @@
+//! Theorem 11 (E7): the unique-writes constraint-propagation fast path vs
+//! the general backtracking search on the same histories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bencher};
+use duop_core::unique::{check_unique_writes_fast, has_unique_writes};
+use duop_core::{Criterion, DuOpacity};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::History;
+
+fn unique_history(txns: usize, seed: u64) -> History {
+    let cfg = HistoryGenConfig::medium_simulated()
+        .with_txns(txns)
+        .with_unique_writes(true);
+    let h = HistoryGen::new(cfg, seed).generate();
+    assert!(has_unique_writes(&h));
+    h
+}
+
+fn bench_fast_path(c: &mut Bencher) {
+    let mut group = c.benchmark_group("unique_writes_fastpath");
+    for txns in [16usize, 32, 64, 128] {
+        let h = unique_history(txns, 23);
+        group.bench_with_input(BenchmarkId::new("fast_path", txns), &h, |b, h| {
+            b.iter(|| check_unique_writes_fast(h))
+        });
+        group.bench_with_input(BenchmarkId::new("general_search", txns), &h, |b, h| {
+            b.iter(|| DuOpacity::new().check(h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion::Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fast_path
+}
+criterion_main!(benches);

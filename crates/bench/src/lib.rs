@@ -1,0 +1,15 @@
+//! Criterion benchmark crate for the du-opacity reproduction.
+//!
+//! All measurement lives in `benches/`:
+//!
+//! * `fig_histories` — decision cost per criterion on Figures 1, 3–6 (E1,
+//!   E3–E6);
+//! * `limit_closure` — Figure 2 prefixes of growing length (E2);
+//! * `unique_writes_fastpath` — Theorem 11's fast path vs the general
+//!   search (E7);
+//! * `prefix_closure` — Lemma 1's witness restriction vs re-deciding the
+//!   prefix (E8);
+//! * `online_vs_batch` — the incremental monitor vs per-event re-checks;
+//! * `checker_scaling` — size/concurrency scaling and the memoization
+//!   ablation;
+//! * `stm_throughput` — engine throughput and trace-checking cost (E10).

@@ -1,0 +1,359 @@
+//! Argument parsing for the `duop` tool (dependency-free).
+
+use std::error::Error;
+use std::fmt;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+duop — check transactional-memory histories against du-opacity and friends
+
+USAGE:
+  duop check <trace-file|-> [--criterion NAME]...
+  duop render <trace-file|->
+  duop monitor <trace-file|->
+  duop generate [--mode simulated|value|adversarial] [--txns N] [--objs N]
+                [--seed N] [--unique] [--concurrency N]
+  duop convert <trace-file|-> --to text|json
+  duop graph <trace-file|->
+  duop localize <trace-file|->
+  duop figures
+  duop litmus
+  duop help
+
+Traces use the line format (`T1 write X0 1` / `T1 ok` / `T1 tryc` /
+`T1 commit` ...) or JSON (an array of events); `-` reads stdin. Criteria:
+du-opacity (default), final-state, opacity, rco, tms2, tms2-automaton,
+strict.
+
+Exit codes: 0 all criteria satisfied, 1 some violated, 2 usage/parse error.";
+
+/// Which criterion to run in `duop check`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CriterionName {
+    /// Definition 3.
+    DuOpacity,
+    /// Definition 4.
+    FinalState,
+    /// Definition 5.
+    Opacity,
+    /// Guerraoui–Henzinger–Singh read-commit order.
+    Rco,
+    /// The Section 4.2 informal TMS2 rendering.
+    Tms2,
+    /// The full TMS2 automaton.
+    Tms2Automaton,
+    /// Strict serializability baseline.
+    Strict,
+}
+
+impl CriterionName {
+    /// Parses a criterion name.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "du" | "du-opacity" => Ok(CriterionName::DuOpacity),
+            "final-state" | "fso" => Ok(CriterionName::FinalState),
+            "opacity" => Ok(CriterionName::Opacity),
+            "rco" | "read-commit-order" => Ok(CriterionName::Rco),
+            "tms2" => Ok(CriterionName::Tms2),
+            "tms2-automaton" => Ok(CriterionName::Tms2Automaton),
+            "strict" | "strict-serializability" => Ok(CriterionName::Strict),
+            other => Err(ParseError(format!("unknown criterion `{other}`"))),
+        }
+    }
+}
+
+/// Generator mode for `duop generate`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenModeName {
+    /// Version-validated (du-opaque by construction).
+    Simulated,
+    /// Value-validated (opaque, ABA-prone).
+    Value,
+    /// Arbitrary read results.
+    Adversarial,
+}
+
+/// A parsed `duop` invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `duop check`.
+    Check {
+        /// Trace path (`-` = stdin).
+        input: String,
+        /// Criteria to run (empty = all).
+        criteria: Vec<CriterionName>,
+    },
+    /// `duop render`.
+    Render {
+        /// Trace path (`-` = stdin).
+        input: String,
+    },
+    /// `duop monitor`.
+    Monitor {
+        /// Trace path (`-` = stdin).
+        input: String,
+    },
+    /// `duop generate`.
+    Generate {
+        /// Generator mode.
+        mode: GenModeName,
+        /// Number of transactions.
+        txns: usize,
+        /// Number of t-objects.
+        objs: u32,
+        /// RNG seed.
+        seed: u64,
+        /// Unique-writes regime.
+        unique: bool,
+        /// Concurrency level.
+        concurrency: usize,
+    },
+    /// `duop convert`.
+    Convert {
+        /// Trace path (`-` = stdin).
+        input: String,
+        /// Target format: `text` or `json`.
+        to: String,
+    },
+    /// `duop graph`.
+    Graph {
+        /// Trace path (`-` = stdin).
+        input: String,
+    },
+    /// `duop localize`.
+    Localize {
+        /// Trace path (`-` = stdin).
+        input: String,
+    },
+    /// `duop figures`.
+    Figures,
+    /// `duop litmus`.
+    Litmus,
+    /// `duop help`.
+    Help,
+}
+
+/// An argument-parsing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseError {}
+
+fn value_of<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<&'a String, ParseError> {
+    it.next()
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+impl Command {
+    /// Parses the argument vector (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+        let mut it = argv.iter();
+        let sub = it.next().map(String::as_str).unwrap_or("help");
+        match sub {
+            "check" => {
+                let mut input = None;
+                let mut criteria = Vec::new();
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--criterion" | "-c" => {
+                            criteria.push(CriterionName::parse(value_of("--criterion", &mut it)?)?);
+                        }
+                        other if input.is_none() => input = Some(other.to_owned()),
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::Check {
+                    input: input.ok_or_else(|| ParseError("check needs a trace file".into()))?,
+                    criteria,
+                })
+            }
+            "render" | "monitor" | "graph" | "localize" => {
+                let input = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("{sub} needs a trace file")))?
+                    .clone();
+                if let Some(extra) = it.next() {
+                    return Err(ParseError(format!("unexpected argument `{extra}`")));
+                }
+                Ok(match sub {
+                    "render" => Command::Render { input },
+                    "monitor" => Command::Monitor { input },
+                    "graph" => Command::Graph { input },
+                    _ => Command::Localize { input },
+                })
+            }
+            "generate" => {
+                let mut mode = GenModeName::Simulated;
+                let mut txns = 8usize;
+                let mut objs = 4u32;
+                let mut seed = 0u64;
+                let mut unique = false;
+                let mut concurrency = 3usize;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--mode" => {
+                            mode = match value_of("--mode", &mut it)?.as_str() {
+                                "simulated" | "sim" => GenModeName::Simulated,
+                                "value" | "value-validated" => GenModeName::Value,
+                                "adversarial" | "adv" => GenModeName::Adversarial,
+                                other => return Err(ParseError(format!("unknown mode `{other}`"))),
+                            };
+                        }
+                        "--txns" => {
+                            txns = value_of("--txns", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--txns needs a number".into()))?;
+                        }
+                        "--objs" => {
+                            objs = value_of("--objs", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--objs needs a number".into()))?;
+                        }
+                        "--seed" => {
+                            seed = value_of("--seed", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--seed needs a number".into()))?;
+                        }
+                        "--concurrency" => {
+                            concurrency = value_of("--concurrency", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--concurrency needs a number".into()))?;
+                        }
+                        "--unique" => unique = true,
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::Generate {
+                    mode,
+                    txns,
+                    objs,
+                    seed,
+                    unique,
+                    concurrency,
+                })
+            }
+            "convert" => {
+                let mut input = None;
+                let mut to = None;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--to" => to = Some(value_of("--to", &mut it)?.clone()),
+                        other if input.is_none() => input = Some(other.to_owned()),
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                let to = to.ok_or_else(|| ParseError("convert needs --to text|json".into()))?;
+                if to != "text" && to != "json" {
+                    return Err(ParseError(format!("unknown format `{to}`")));
+                }
+                Ok(Command::Convert {
+                    input: input.ok_or_else(|| ParseError("convert needs a trace file".into()))?,
+                    to,
+                })
+            }
+            "figures" => Ok(Command::Figures),
+            "litmus" => Ok(Command::Litmus),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(ParseError(format!("unknown subcommand `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, ParseError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Command::parse(&argv)
+    }
+
+    #[test]
+    fn check_with_criteria() {
+        let cmd = parse(&["check", "trace.txt", "--criterion", "du", "-c", "tms2"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                input: "trace.txt".into(),
+                criteria: vec![CriterionName::DuOpacity, CriterionName::Tms2],
+            }
+        );
+    }
+
+    #[test]
+    fn check_requires_input() {
+        assert!(parse(&["check"]).is_err());
+    }
+
+    #[test]
+    fn generate_flags() {
+        let cmd = parse(&[
+            "generate",
+            "--mode",
+            "adv",
+            "--txns",
+            "12",
+            "--objs",
+            "2",
+            "--seed",
+            "9",
+            "--unique",
+            "--concurrency",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                mode: GenModeName::Adversarial,
+                txns: 12,
+                objs: 2,
+                seed: 9,
+                unique: true,
+                concurrency: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn convert_requires_known_format() {
+        assert!(parse(&["convert", "t.txt", "--to", "yaml"]).is_err());
+        assert!(parse(&["convert", "t.txt", "--to", "json"]).is_ok());
+    }
+
+    #[test]
+    fn criterion_names() {
+        for (name, expected) in [
+            ("du", CriterionName::DuOpacity),
+            ("fso", CriterionName::FinalState),
+            ("opacity", CriterionName::Opacity),
+            ("rco", CriterionName::Rco),
+            ("tms2", CriterionName::Tms2),
+            ("tms2-automaton", CriterionName::Tms2Automaton),
+            ("strict", CriterionName::Strict),
+        ] {
+            assert_eq!(CriterionName::parse(name).unwrap(), expected);
+        }
+        assert!(CriterionName::parse("nope").is_err());
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(parse(&["frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Execution of parsed `duop` commands.
+
+use crate::args::{Command, CriterionName, GenModeName, USAGE};
+use duop_core::online::OnlineChecker;
+use duop_core::tms2_automaton::{check_tms2_automaton, Tms2Verdict};
+use duop_core::{
+    Criterion, DuOpacity, FinalStateOpacity, Opacity, ReadCommitOrderOpacity,
+    StrictSerializability, Tms2,
+};
+use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
+use duop_history::render::render_lanes;
+use duop_history::trace::{format_trace, from_json, parse_trace, to_json};
+use duop_history::History;
+use std::error::Error;
+use std::io::Write;
+
+type CmdResult = Result<bool, Box<dyn Error>>;
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// Returns `Ok(true)` when everything checked was satisfied (or the
+/// command does not check anything), `Ok(false)` when some criterion was
+/// violated.
+///
+/// # Errors
+///
+/// I/O and parse failures are returned as boxed errors.
+pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(true)
+        }
+        Command::Figures => figures(out),
+        Command::Litmus => litmus(out),
+        Command::Render { input } => {
+            let h = load(input)?;
+            write!(out, "{}", render_lanes(&h))?;
+            Ok(true)
+        }
+        Command::Convert { input, to } => {
+            let h = load(input)?;
+            if to == "json" {
+                writeln!(out, "{}", to_json(&h))?;
+            } else {
+                write!(out, "{}", format_trace(&h))?;
+            }
+            Ok(true)
+        }
+        Command::Check { input, criteria } => check(&load(input)?, criteria, out),
+        Command::Graph { input } => {
+            let h = load(input)?;
+            let witness = DuOpacity::new().check(&h).witness().cloned();
+            write!(out, "{}", duop_core::graph::to_dot(&h, witness.as_ref()))?;
+            Ok(true)
+        }
+        Command::Localize { input } => {
+            let h = load(input)?;
+            let checker = DuOpacity::new();
+            match duop_core::minimize::localize(&h, &checker) {
+                Some(core) => {
+                    writeln!(
+                        out,
+                        "du-opacity violated; minimized from {} events / {} transactions to {} / {}:",
+                        h.len(),
+                        h.txn_count(),
+                        core.len(),
+                        core.txn_count()
+                    )?;
+                    write!(out, "{}", render_lanes(&core))?;
+                    if let Some(v) = checker.check(&core).violation() {
+                        writeln!(out, "cause: {v}")?;
+                    }
+                    Ok(false)
+                }
+                None => {
+                    writeln!(out, "du-opacity satisfied; nothing to localize")?;
+                    Ok(true)
+                }
+            }
+        }
+        Command::Monitor { input } => monitor(&load(input)?, out),
+        Command::Generate {
+            mode,
+            txns,
+            objs,
+            seed,
+            unique,
+            concurrency,
+        } => {
+            let cfg = HistoryGenConfig {
+                txns: *txns,
+                objs: *objs,
+                unique_writes: *unique,
+                mode: match mode {
+                    GenModeName::Simulated => GenMode::Simulated,
+                    GenModeName::Value => GenMode::ValueValidated,
+                    GenModeName::Adversarial => GenMode::Adversarial,
+                },
+                ..HistoryGenConfig::medium_simulated()
+            }
+            .with_concurrency(*concurrency);
+            let h = HistoryGen::new(cfg, *seed).generate();
+            write!(out, "{}", format_trace(&h))?;
+            Ok(true)
+        }
+    }
+}
+
+/// Loads a trace from a path (`-` = stdin), auto-detecting JSON.
+fn load(input: &str) -> Result<History, Box<dyn Error>> {
+    let text = if input == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)?;
+        buf
+    } else {
+        std::fs::read_to_string(input)?
+    };
+    let trimmed = text.trim_start();
+    if trimmed.starts_with('[') {
+        Ok(from_json(&text)?)
+    } else {
+        Ok(parse_trace(&text)?)
+    }
+}
+
+fn all_criteria() -> Vec<CriterionName> {
+    vec![
+        CriterionName::FinalState,
+        CriterionName::Opacity,
+        CriterionName::DuOpacity,
+        CriterionName::Rco,
+        CriterionName::Tms2,
+        CriterionName::Tms2Automaton,
+        CriterionName::Strict,
+    ]
+}
+
+fn check(h: &History, criteria: &[CriterionName], out: &mut dyn Write) -> CmdResult {
+    writeln!(out, "{}", h.stats())?;
+    let list = if criteria.is_empty() {
+        all_criteria()
+    } else {
+        criteria.to_vec()
+    };
+    let mut all_ok = true;
+    for name in list {
+        let (label, ok, detail): (&str, bool, String) = match name {
+            CriterionName::Tms2Automaton => {
+                let verdict = check_tms2_automaton(h, Some(10_000_000));
+                let (ok, detail) = match &verdict {
+                    Tms2Verdict::Accepted(_) => (true, "accepted".to_owned()),
+                    Tms2Verdict::Rejected { explored } => {
+                        (false, format!("rejected ({explored} states)"))
+                    }
+                    Tms2Verdict::Unknown { explored } => {
+                        (false, format!("unknown (budget after {explored} states)"))
+                    }
+                };
+                ("TMS2 (full automaton)", ok, detail)
+            }
+            other => {
+                let checker: Box<dyn Criterion> = match other {
+                    CriterionName::DuOpacity => Box::new(DuOpacity::new()),
+                    CriterionName::FinalState => Box::new(FinalStateOpacity::new()),
+                    CriterionName::Opacity => Box::new(Opacity::new()),
+                    CriterionName::Rco => Box::new(ReadCommitOrderOpacity::new()),
+                    CriterionName::Tms2 => Box::new(Tms2::new()),
+                    CriterionName::Strict => Box::new(StrictSerializability::new()),
+                    CriterionName::Tms2Automaton => unreachable!("handled above"),
+                };
+                let verdict = checker.check(h);
+                let ok = verdict.is_satisfied();
+                (checker_label(other), ok, verdict.to_string())
+            }
+        };
+        writeln!(out, "{label:<28} {detail}")?;
+        all_ok &= ok;
+    }
+    Ok(all_ok)
+}
+
+fn checker_label(name: CriterionName) -> &'static str {
+    match name {
+        CriterionName::DuOpacity => "du-opacity",
+        CriterionName::FinalState => "final-state opacity",
+        CriterionName::Opacity => "opacity",
+        CriterionName::Rco => "read-commit-order opacity",
+        CriterionName::Tms2 => "TMS2 (informal rendering)",
+        CriterionName::Tms2Automaton => "TMS2 (full automaton)",
+        CriterionName::Strict => "strict serializability",
+    }
+}
+
+fn monitor(h: &History, out: &mut dyn Write) -> CmdResult {
+    let mut mon = OnlineChecker::new();
+    let mut ok = true;
+    for (i, ev) in h.events().iter().enumerate() {
+        let verdict = mon.push(*ev)?;
+        if verdict.is_satisfied() {
+            writeln!(out, "event {i:>3}: {ev:<14} ok")?;
+        } else {
+            ok = false;
+            writeln!(out, "event {i:>3}: {ev:<14} VIOLATION")?;
+            if let Some(v) = verdict.violation() {
+                writeln!(out, "            {v}")?;
+            }
+        }
+    }
+    let stats = mon.stats();
+    writeln!(
+        out,
+        "{} events; {} witness reuses; {} full searches",
+        stats.events, stats.incremental_hits, stats.full_searches
+    )?;
+    Ok(ok)
+}
+
+fn litmus(out: &mut dyn Write) -> CmdResult {
+    let mark = |b: bool| if b { "sat" } else { "VIOL" };
+    writeln!(
+        out,
+        "{:<28} {:>5} {:>7} {:>5} {:>7}",
+        "litmus", "fso", "opacity", "du", "strict"
+    )?;
+    for entry in duop_experiments::litmus::catalogue() {
+        let e = entry.expected;
+        writeln!(
+            out,
+            "{:<28} {:>5} {:>7} {:>5} {:>7}",
+            entry.name,
+            mark(e.final_state),
+            mark(e.opacity),
+            mark(e.du_opacity),
+            mark(e.strict_serializability),
+        )?;
+    }
+    writeln!(
+        out,
+        "
+Run `duop render`/`duop check` on any entry via `duop figures`-style traces;"
+    )?;
+    writeln!(out, "descriptions live in duop_experiments::litmus.")?;
+    Ok(true)
+}
+
+fn figures(out: &mut dyn Write) -> CmdResult {
+    for (name, h) in duop_experiments::figures::all_figures() {
+        writeln!(out, "# {name}")?;
+        write!(out, "{}", format_trace(&h))?;
+        writeln!(out)?;
+    }
+    writeln!(out, "# Figure 2 (prefix with 3 readers)")?;
+    write!(
+        out,
+        "{}",
+        format_trace(&duop_experiments::figures::fig2_prefix(3))
+    )?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+
+    fn run_to_string(cmd: &Command) -> (bool, String) {
+        let mut buf = Vec::new();
+        let ok = execute(cmd, &mut buf).expect("command runs");
+        (ok, String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn temp_trace(content: &str) -> String {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "duop-cli-test-{}-{}.txt",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const GOOD: &str =
+        "T1 write X0 1\nT1 ok\nT1 tryc\nT1 commit\nT2 read X0\nT2 val 1\nT2 tryc\nT2 commit\n";
+    const BAD: &str =
+        "T1 write X0 1\nT1 ok\nT1 tryc\nT1 commit\nT2 read X0\nT2 val 9\nT2 tryc\nT2 commit\n";
+
+    #[test]
+    fn check_reports_all_criteria() {
+        let path = temp_trace(GOOD);
+        let (ok, output) = run_to_string(&Command::Check {
+            input: path,
+            criteria: vec![],
+        });
+        assert!(ok, "output:\n{output}");
+        for label in [
+            "final-state opacity",
+            "opacity",
+            "du-opacity",
+            "read-commit-order opacity",
+            "TMS2 (informal rendering)",
+            "TMS2 (full automaton)",
+            "strict serializability",
+        ] {
+            assert!(output.contains(label), "missing {label} in:\n{output}");
+        }
+    }
+
+    #[test]
+    fn check_flags_violations() {
+        let path = temp_trace(BAD);
+        let (ok, output) = run_to_string(&Command::Check {
+            input: path,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+        });
+        assert!(!ok);
+        assert!(output.contains("violated"), "output:\n{output}");
+    }
+
+    #[test]
+    fn render_draws_lanes() {
+        let path = temp_trace(GOOD);
+        let (_, output) = run_to_string(&Command::Render { input: path });
+        assert!(output.contains("T1 |"));
+        assert!(output.contains("W(X0,1)"));
+    }
+
+    #[test]
+    fn convert_roundtrips_via_json() {
+        let path = temp_trace(GOOD);
+        let (_, json) = run_to_string(&Command::Convert {
+            input: path,
+            to: "json".into(),
+        });
+        let jpath = temp_trace(&json);
+        let (_, text) = run_to_string(&Command::Convert {
+            input: jpath,
+            to: "text".into(),
+        });
+        assert_eq!(text, GOOD);
+    }
+
+    #[test]
+    fn monitor_pinpoints_the_event() {
+        let path = temp_trace(BAD);
+        let (ok, output) = run_to_string(&Command::Monitor { input: path });
+        assert!(!ok);
+        assert!(output.contains("VIOLATION"), "output:\n{output}");
+    }
+
+    #[test]
+    fn generate_emits_parseable_traces() {
+        let (_, output) = run_to_string(&Command::Generate {
+            mode: crate::args::GenModeName::Simulated,
+            txns: 6,
+            objs: 3,
+            seed: 4,
+            unique: true,
+            concurrency: 3,
+        });
+        let h = duop_history::trace::parse_trace(&output).expect("generated trace parses");
+        assert!(h.txn_count() > 0);
+    }
+
+    #[test]
+    fn figures_lists_all() {
+        let (_, output) = run_to_string(&Command::Figures);
+        for name in [
+            "Figure 1", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 2",
+        ] {
+            assert!(output.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn graph_emits_dot() {
+        let path = temp_trace(GOOD);
+        let (_, output) = run_to_string(&Command::Graph { input: path });
+        assert!(output.starts_with("digraph history"));
+        assert!(output.contains("T1 -> T2"));
+    }
+
+    #[test]
+    fn localize_shrinks_violations() {
+        let path = temp_trace(BAD);
+        let (ok, output) = run_to_string(&Command::Localize { input: path });
+        assert!(!ok);
+        assert!(output.contains("minimized"), "output:\n{output}");
+        assert!(output.contains("cause:"), "output:\n{output}");
+    }
+
+    #[test]
+    fn localize_reports_satisfied() {
+        let path = temp_trace(GOOD);
+        let (ok, output) = run_to_string(&Command::Localize { input: path });
+        assert!(ok);
+        assert!(output.contains("nothing to localize"));
+    }
+
+    #[test]
+    fn litmus_lists_catalogue() {
+        let (ok, output) = run_to_string(&Command::Litmus);
+        assert!(ok);
+        assert!(output.contains("zombie-doomed-reader"));
+        assert!(output.contains("aba-value-coincidence"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (_, output) = run_to_string(&Command::Help);
+        assert!(output.contains("USAGE"));
+    }
+}

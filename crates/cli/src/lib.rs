@@ -1,0 +1,54 @@
+//! Implementation of the `duop` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; everything else is library
+//! code so the argument parser and the commands are unit-testable.
+//!
+//! ```text
+//! duop check <trace> [--criterion NAME]...   check a history
+//! duop render <trace>                        draw per-transaction lanes
+//! duop monitor <trace>                       per-event du-opacity monitoring
+//! duop generate [options]                    emit a random trace
+//! duop convert <trace> --to text|json        convert between formats
+//! duop figures                               print the paper's figures
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+use std::io::Write;
+
+/// Runs the tool on the given arguments (excluding the program name),
+/// writing to `out`. Returns the process exit code.
+///
+/// # Examples
+///
+/// ```
+/// let mut out = Vec::new();
+/// let code = duop_cli::run(&["figures".into()], &mut out);
+/// assert_eq!(code, 0);
+/// ```
+pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
+    match args::Command::parse(argv) {
+        Ok(cmd) => match commands::execute(&cmd, out) {
+            Ok(all_satisfied) => {
+                if all_satisfied {
+                    0
+                } else {
+                    1
+                }
+            }
+            Err(err) => {
+                let _ = writeln!(out, "error: {err}");
+                2
+            }
+        },
+        Err(err) => {
+            let _ = writeln!(out, "error: {err}\n");
+            let _ = writeln!(out, "{}", args::USAGE);
+            2
+        }
+    }
+}

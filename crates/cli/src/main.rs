@@ -1,0 +1,8 @@
+//! The `duop` binary: see [`duop_cli`] and `duop help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    let code = duop_cli::run(&argv, &mut stdout);
+    std::process::exit(code);
+}

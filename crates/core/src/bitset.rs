@@ -1,0 +1,79 @@
+//! A small fixed-capacity bit set used by the serialization search.
+
+/// Fixed-capacity bit set over transaction indices.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for `n` indices.
+    pub(crate) fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64).max(1)],
+        }
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub(crate) fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn subset() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(3);
+        b.insert(3);
+        b.insert(5);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        a.insert(7);
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn zero_capacity_still_valid() {
+        let s = BitSet::new(0);
+        assert_eq!(s.words().len(), 1);
+    }
+}

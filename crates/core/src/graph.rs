@@ -1,0 +1,167 @@
+//! Graphviz (DOT) export of a history's precedence structure.
+//!
+//! The rendered graph shows the relations the serialization search works
+//! with: real-time edges (`≺RT`, solid), the value-based reads-from
+//! candidates (dashed, labelled with object and value), and — when a
+//! witness is supplied — the serialization order as numbered ranks.
+
+use crate::Witness;
+use duop_history::{History, Op, Ret};
+use std::fmt::Write as _;
+
+/// Renders `h` as a Graphviz `digraph`.
+///
+/// Real-time edges are transitive-reduced for readability. A transaction
+/// node is doubly circled when committed, dashed when aborted in every
+/// completion, and annotated with its witness position when `witness` is
+/// given.
+///
+/// # Examples
+///
+/// ```
+/// use duop_core::graph::to_dot;
+/// use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+///
+/// let h = HistoryBuilder::new()
+///     .committed_writer(TxnId::new(1), ObjId::new(0), Value::new(1))
+///     .committed_reader(TxnId::new(2), ObjId::new(0), Value::new(1))
+///     .build();
+/// let dot = to_dot(&h, None);
+/// assert!(dot.starts_with("digraph history"));
+/// assert!(dot.contains("T1 -> T2"));
+/// ```
+pub fn to_dot(h: &History, witness: Option<&Witness>) -> String {
+    let mut out =
+        String::from("digraph history {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n");
+    let ids: Vec<_> = h.txn_ids().collect();
+
+    for txn in h.txns() {
+        let shape = if txn.is_committed() {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let style = if txn.is_aborted() {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        let label = match witness.and_then(|w| w.position(txn.id())) {
+            Some(pos) => format!("{}\\n#{}", txn.id(), pos + 1),
+            None => txn.id().to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", shape={shape}{style}];",
+            txn.id(),
+            label
+        );
+    }
+
+    // Transitive reduction of ≺RT: keep a→b only if no c with a→c→b.
+    for &a in &ids {
+        for &b in &ids {
+            if a == b || !h.precedes_rt(a, b) {
+                continue;
+            }
+            let redundant = ids
+                .iter()
+                .any(|&c| c != a && c != b && h.precedes_rt(a, c) && h.precedes_rt(c, b));
+            if !redundant {
+                let _ = writeln!(out, "  {a} -> {b};");
+            }
+        }
+    }
+
+    // Value-based reads-from candidates: reader ← every transaction whose
+    // last write to the object carries the value read.
+    for reader in h.txns() {
+        for op in reader.ops() {
+            let (Op::Read(x), Some(Ret::Value(v))) = (op.op, op.resp) else {
+                continue;
+            };
+            for writer in h.txns() {
+                if writer.id() == reader.id() {
+                    continue;
+                }
+                if writer.last_write_to(x) == Some(v) {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [style=dashed, color=gray40, label=\"{x}={v}\"];",
+                        writer.id(),
+                        reader.id()
+                    );
+                }
+            }
+        }
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Criterion, DuOpacity};
+    use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn transitive_reduction_drops_implied_edges() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_writer(t(2), x(), v(2))
+            .committed_writer(t(3), x(), v(3))
+            .build();
+        let dot = to_dot(&h, None);
+        assert!(dot.contains("T1 -> T2;"));
+        assert!(dot.contains("T2 -> T3;"));
+        assert!(
+            !dot.contains("T1 -> T3;"),
+            "implied edge must be reduced:\n{dot}"
+        );
+    }
+
+    #[test]
+    fn reads_from_candidates_are_dashed() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        let dot = to_dot(&h, None);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("X0=1"));
+    }
+
+    #[test]
+    fn witness_positions_are_annotated() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        let w = DuOpacity::new().check(&h).into_result().unwrap();
+        let dot = to_dot(&h, Some(&w));
+        assert!(dot.contains("#1"));
+        assert!(dot.contains("#2"));
+    }
+
+    #[test]
+    fn aborted_transactions_are_dashed_nodes() {
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(1))
+            .commit_aborted(t(1))
+            .build();
+        let dot = to_dot(&h, None);
+        assert!(dot.contains("style=dashed]"));
+    }
+}

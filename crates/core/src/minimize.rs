@@ -1,0 +1,187 @@
+//! Counterexample localization: shrink a violating history to the part
+//! that matters.
+//!
+//! When a checker rejects a multi-hundred-event STM trace, the violation
+//! usually involves a handful of transactions. [`minimal_violating_prefix`]
+//! finds the first event at which the property is lost (meaningful for
+//! prefix-closed criteria like du-opacity — Corollary 2 guarantees the
+//! verdict never recovers), and [`shrink_transactions`] delta-debugs the
+//! transaction set down to a locally minimal violating core.
+
+use crate::Criterion;
+use duop_history::{History, TxnId};
+
+/// The shortest prefix of `h` that `criterion` rejects, with its length.
+///
+/// Returns `None` if the full history is not rejected (including when the
+/// checker answers [`Verdict::Unknown`](crate::Verdict::Unknown)).
+///
+/// Uses binary search, which is exact for prefix-closed criteria
+/// (du-opacity, opacity): the set of violating prefixes is upward closed.
+/// For non-prefix-closed criteria (final-state opacity) the result is
+/// still *a* violating prefix, but not necessarily the first.
+///
+/// # Examples
+///
+/// ```
+/// use duop_core::{minimize::minimal_violating_prefix, DuOpacity, Criterion};
+/// use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+///
+/// let (t1, t2) = (TxnId::new(1), TxnId::new(2));
+/// let x = ObjId::new(0);
+/// let h = HistoryBuilder::new()
+///     .committed_writer(t1, x, Value::new(1))
+///     .read(t2, x, Value::new(0))   // stale: T2 starts after T1 commits
+///     .commit(t2)
+///     .build();
+/// let (prefix, len) = minimal_violating_prefix(&h, &DuOpacity::new()).unwrap();
+/// assert_eq!(len, 6); // the stale read's response
+/// assert!(DuOpacity::new().check(&prefix).is_violated());
+/// ```
+pub fn minimal_violating_prefix(
+    h: &History,
+    criterion: &dyn Criterion,
+) -> Option<(History, usize)> {
+    if !criterion.check(h).is_violated() {
+        return None;
+    }
+    let mut lo = 0usize; // satisfied (the empty history always is)
+    let mut hi = h.len(); // violated
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if criterion.check(&h.prefix(mid)).is_violated() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some((h.prefix(hi), hi))
+}
+
+/// Delta-debugs the transaction set: repeatedly removes transactions whose
+/// removal keeps the history violating, until no single removal does.
+///
+/// The result is *locally minimal*: every transaction in it is necessary
+/// for the violation (removing any one makes the criterion satisfied or
+/// unknown). Returns `None` if `h` is not rejected.
+///
+/// # Examples
+///
+/// ```
+/// use duop_core::{minimize::shrink_transactions, DuOpacity, Criterion};
+/// use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+///
+/// let x = ObjId::new(0);
+/// let mut b = HistoryBuilder::new();
+/// // Unrelated noise.
+/// for k in 3..10 {
+///     b = b.committed_reader(TxnId::new(k), ObjId::new(1), Value::INITIAL);
+/// }
+/// let h = b
+///     .committed_writer(TxnId::new(1), x, Value::new(1))
+///     .read(TxnId::new(2), x, Value::new(0))
+///     .commit(TxnId::new(2))
+///     .build();
+/// let core = shrink_transactions(&h, &DuOpacity::new()).unwrap();
+/// assert_eq!(core.txn_count(), 2); // only T1 and T2 matter
+/// ```
+pub fn shrink_transactions(h: &History, criterion: &dyn Criterion) -> Option<History> {
+    if !criterion.check(h).is_violated() {
+        return None;
+    }
+    let mut current = h.clone();
+    loop {
+        let ids: Vec<TxnId> = current.txn_ids().collect();
+        let mut shrunk = false;
+        for id in ids {
+            let candidate = current.filter_txns(|t| t != id);
+            if criterion.check(&candidate).is_violated() {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return Some(current);
+        }
+    }
+}
+
+/// Convenience: full localization — shrink the transaction set, then cut
+/// to the minimal violating prefix of the shrunken history.
+///
+/// Returns `None` if `h` is not rejected.
+pub fn localize(h: &History, criterion: &dyn Criterion) -> Option<History> {
+    let shrunk = shrink_transactions(h, criterion)?;
+    minimal_violating_prefix(&shrunk, criterion).map(|(p, _)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DuOpacity;
+    use duop_history::{HistoryBuilder, ObjId, Value};
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    fn noisy_violation() -> History {
+        let mut b = HistoryBuilder::new();
+        for k in 10..20 {
+            b = b.committed_writer(t(k), ObjId::new(k), v(u64::from(k)));
+        }
+        b.committed_writer(t(1), x(), v(1))
+            .read(t(2), x(), v(0))
+            .commit(t(2))
+            .build()
+    }
+
+    #[test]
+    fn satisfied_histories_are_not_localized() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .build();
+        assert!(minimal_violating_prefix(&h, &DuOpacity::new()).is_none());
+        assert!(shrink_transactions(&h, &DuOpacity::new()).is_none());
+        assert!(localize(&h, &DuOpacity::new()).is_none());
+    }
+
+    #[test]
+    fn prefix_localization_finds_the_fatal_response() {
+        let h = noisy_violation();
+        let (prefix, len) = minimal_violating_prefix(&h, &DuOpacity::new()).unwrap();
+        // The violating prefix ends exactly at the stale read's response.
+        assert_eq!(len, prefix.len());
+        assert!(DuOpacity::new().check(&prefix).is_violated());
+        assert!(DuOpacity::new().check(&h.prefix(len - 1)).is_satisfied());
+    }
+
+    #[test]
+    fn transaction_shrinking_reaches_the_core() {
+        let h = noisy_violation();
+        let core = shrink_transactions(&h, &DuOpacity::new()).unwrap();
+        assert!(core.txn_count() <= 2, "core: {core}");
+        assert!(DuOpacity::new().check(&core).is_violated());
+        // Local minimality: removing anything repairs the history.
+        for id in core.txn_ids().collect::<Vec<_>>() {
+            let repaired = core.filter_txns(|t| t != id);
+            assert!(!DuOpacity::new().check(&repaired).is_violated());
+        }
+    }
+
+    #[test]
+    fn localize_composes_both() {
+        let h = noisy_violation();
+        let localized = localize(&h, &DuOpacity::new()).unwrap();
+        assert!(localized.txn_count() <= 2);
+        assert!(localized.len() <= 10);
+        assert!(DuOpacity::new().check(&localized).is_violated());
+    }
+}

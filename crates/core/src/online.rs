@@ -1,0 +1,278 @@
+//! Incremental, per-event du-opacity monitoring.
+//!
+//! [`OnlineChecker`] consumes a history one event at a time and reports
+//! after each event whether the prefix seen so far is du-opaque. It
+//! exploits two results of the paper:
+//!
+//! * **Corollary 2** (prefix-closure): once a prefix is not du-opaque no
+//!   extension can be, so a violation verdict is final;
+//! * **Lemma 1** (witness restriction): serializations of prefixes embed
+//!   into serializations of extensions, so the witness found for the
+//!   previous prefix is an excellent candidate for the next one — the
+//!   monitor first tries cheap adaptations of it and only falls back to a
+//!   full search when they all fail.
+
+use crate::{check_witness, Criterion, CriterionKind, DuOpacity, SearchConfig, Verdict, Witness};
+use duop_history::{Event, History, MalformedHistoryError};
+use std::collections::BTreeMap;
+
+/// Counters describing how much work the monitor has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Events accepted so far.
+    pub events: usize,
+    /// Prefixes certified by adapting the previous witness (no search).
+    pub incremental_hits: usize,
+    /// Prefixes that needed a full serialization search.
+    pub full_searches: usize,
+}
+
+/// A per-event du-opacity monitor.
+///
+/// # Examples
+///
+/// ```
+/// use duop_core::online::OnlineChecker;
+/// use duop_history::{Event, Op, Ret, ObjId, TxnId, Value};
+///
+/// let t1 = TxnId::new(1);
+/// let x = ObjId::new(0);
+/// let mut mon = OnlineChecker::new();
+/// assert!(mon.push(Event::inv(t1, Op::Write(x, Value::new(1))))?.is_satisfied());
+/// assert!(mon.push(Event::resp(t1, Ret::Ok))?.is_satisfied());
+/// assert!(mon.push(Event::inv(t1, Op::TryCommit))?.is_satisfied());
+/// assert!(mon.push(Event::resp(t1, Ret::Committed))?.is_satisfied());
+/// # Ok::<(), duop_history::MalformedHistoryError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct OnlineChecker {
+    history: History,
+    witness: Option<Witness>,
+    violated: Option<Verdict>,
+    cfg: SearchConfig,
+    stats: OnlineStats,
+}
+
+impl OnlineChecker {
+    /// Creates a monitor over the empty history.
+    pub fn new() -> Self {
+        OnlineChecker::default()
+    }
+
+    /// Creates a monitor with an explicit search configuration for the
+    /// fallback searches.
+    pub fn with_config(cfg: SearchConfig) -> Self {
+        OnlineChecker {
+            cfg,
+            ..OnlineChecker::default()
+        }
+    }
+
+    /// The history consumed so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> OnlineStats {
+        self.stats
+    }
+
+    /// Appends `event` and reports whether the extended prefix is
+    /// du-opaque.
+    ///
+    /// Once a prefix is violated the verdict is final (Corollary 2) and
+    /// every further push returns the same violation without searching.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MalformedHistoryError`] if the event does not extend the
+    /// history to a well-formed one; the event is discarded and the monitor
+    /// state is unchanged.
+    pub fn push(&mut self, event: Event) -> Result<Verdict, MalformedHistoryError> {
+        let extended = self.history.extended([event])?;
+        self.history = extended;
+        self.stats.events += 1;
+
+        if let Some(v) = &self.violated {
+            return Ok(v.clone());
+        }
+
+        // Candidate witnesses adapted from the previous prefix's witness.
+        for candidate in self.candidates(event) {
+            if check_witness(&self.history, &candidate, CriterionKind::DuOpacity).is_ok() {
+                self.stats.incremental_hits += 1;
+                self.witness = Some(candidate.clone());
+                return Ok(Verdict::Satisfied(candidate));
+            }
+        }
+
+        // Full search.
+        self.stats.full_searches += 1;
+        let verdict = DuOpacity::with_config(self.cfg.clone()).check(&self.history);
+        match &verdict {
+            Verdict::Satisfied(w) => self.witness = Some(w.clone()),
+            Verdict::Violated(_) => self.violated = Some(verdict.clone()),
+            Verdict::Unknown { .. } => {}
+        }
+        Ok(verdict)
+    }
+
+    /// Cheap adaptations of the previous witness to the extended history.
+    fn candidates(&self, event: Event) -> Vec<Witness> {
+        let Some(prev) = &self.witness else {
+            // First event of the history: the single-transaction witness.
+            return vec![Witness::new(vec![event.txn], BTreeMap::new())];
+        };
+        let mut out = Vec::new();
+
+        let mut base_order = prev.order().to_vec();
+        if !base_order.contains(&event.txn) {
+            base_order.push(event.txn);
+        }
+        let choices = prev.commit_choices().clone();
+
+        // 1. Same order, same choices.
+        out.push(Witness::new(base_order.clone(), choices.clone()));
+
+        // 2. The affected transaction moved to the end (a response often
+        //    pushes a transaction later in the order, e.g. when it read a
+        //    newly committed value).
+        let mut moved = base_order.clone();
+        moved.retain(|t| *t != event.txn);
+        moved.push(event.txn);
+        out.push(Witness::new(moved, choices.clone()));
+
+        // 3. Same order with the affected transaction's pending-commit
+        //    choice flipped both ways (a new tryC invocation opens the
+        //    choice; a read from it may require commit).
+        for decide in [true, false] {
+            let mut flipped = choices.clone();
+            flipped.insert(event.txn, decide);
+            out.push(Witness::new(base_order.clone(), flipped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duop_history::{HistoryBuilder, ObjId, Op, Ret, TxnId, Value};
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    /// Replays a complete history through the monitor, returning the final
+    /// verdict.
+    fn replay(h: &duop_history::History) -> (Verdict, OnlineStats) {
+        let mut mon = OnlineChecker::new();
+        let mut last = Verdict::Satisfied(Witness::new(Vec::new(), BTreeMap::new()));
+        for ev in h.events() {
+            last = mon.push(*ev).expect("well-formed prefix");
+        }
+        (last, mon.stats())
+    }
+
+    #[test]
+    fn accepts_du_opaque_history_incrementally() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        let (verdict, stats) = replay(&h);
+        assert!(verdict.is_satisfied());
+        assert_eq!(stats.events, h.len());
+        assert!(
+            stats.incremental_hits > 0,
+            "expected witness reuse: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn flags_violation_and_stays_violated() {
+        // Stale read: T2 reads 0 after T1 committed 1, entirely after T1.
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .read(t(2), x(), v(0))
+            .commit(t(2))
+            .build();
+        let mut mon = OnlineChecker::new();
+        let mut first_violation = None;
+        for (i, ev) in h.events().iter().enumerate() {
+            let verdict = mon.push(*ev).unwrap();
+            if verdict.is_violated() && first_violation.is_none() {
+                first_violation = Some(i);
+            }
+        }
+        // The violation appears exactly when the stale read's response
+        // lands (event index 5) and persists.
+        assert_eq!(first_violation, Some(5));
+        let after = mon.push(Event::inv(t(3), Op::Read(x()))).unwrap();
+        assert!(after.is_violated());
+    }
+
+    #[test]
+    fn rejects_malformed_events_without_corruption() {
+        let mut mon = OnlineChecker::new();
+        mon.push(Event::inv(t(1), Op::Read(x()))).unwrap();
+        let err = mon.push(Event::resp(t(1), Ret::Ok));
+        assert!(err.is_err());
+        // Monitor still usable with the correct response.
+        let verdict = mon.push(Event::resp(t(1), Ret::Value(v(0)))).unwrap();
+        assert!(verdict.is_satisfied());
+        assert_eq!(mon.history().len(), 2);
+    }
+
+    #[test]
+    fn pending_commit_read_through_is_tracked() {
+        let mut mon = OnlineChecker::new();
+        let events = [
+            Event::inv(t(1), Op::Write(x(), v(1))),
+            Event::resp(t(1), Ret::Ok),
+            Event::inv(t(1), Op::TryCommit),
+            Event::inv(t(2), Op::Read(x())),
+            Event::resp(t(2), Ret::Value(v(1))),
+            Event::inv(t(2), Op::TryCommit),
+            Event::resp(t(2), Ret::Committed),
+        ];
+        let mut last = None;
+        for ev in events {
+            last = Some(mon.push(ev).unwrap());
+        }
+        let verdict = last.unwrap();
+        let w = verdict.witness().expect("du-opaque");
+        assert_eq!(w.commit_choice(t(1)), Some(true));
+    }
+
+    #[test]
+    fn verdict_matches_batch_checker_on_prefixes() {
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_read(t(2), x())
+            .resp_value(t(2), v(0))
+            .resp_ok(t(1))
+            .commit(t(1))
+            .commit(t(2))
+            .committed_reader(t(3), x(), v(1))
+            .build();
+        let mut mon = OnlineChecker::new();
+        for (i, ev) in h.events().iter().enumerate() {
+            let online = mon.push(*ev).unwrap();
+            let batch = DuOpacity::new().check(&h.prefix(i + 1));
+            assert_eq!(
+                online.is_satisfied(),
+                batch.is_satisfied(),
+                "divergence at prefix {}",
+                i + 1
+            );
+        }
+    }
+}

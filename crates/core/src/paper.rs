@@ -1,0 +1,59 @@
+//! # Paper-to-code map
+//!
+//! Where each definition, lemma and theorem of *Safety of Deferred Update
+//! in Transactional Memory* (Attiya, Hans, Kuznetsov, Ravi; ICDCS 2013)
+//! lives in this workspace. This module contains no code — it is the
+//! reading guide.
+//!
+//! ## Section 2 — Model
+//!
+//! | Paper | Code |
+//! |---|---|
+//! | t-operations `read/write/tryC/tryA` and responses | [`duop_history::Op`], [`duop_history::Ret`] |
+//! | histories, well-formedness | [`duop_history::History`], [`duop_history::MalformedHistoryError`] |
+//! | `H\|k`, read/write sets, (t-)completeness | [`duop_history::TxnView`] |
+//! | real-time order `≺RT`, overlap | [`duop_history::History::precedes_rt`], [`overlaps`](duop_history::History::overlaps) |
+//! | the imaginary `T_0` and initial values | [`duop_history::TxnId::INITIAL`], [`duop_history::Value::INITIAL`] |
+//! | latest written value, legality | [`duop_history::History::check_legal`] |
+//! | Definition 1 (safety property) | prefix/limit closure exercised by [`crate::lemmas`] + experiments E2/E8/E9 |
+//!
+//! ## Section 3 — DU-opacity
+//!
+//! | Paper | Code |
+//! |---|---|
+//! | Definition 2 (completions) | [`duop_history::History::complete_with`], [`completions`](duop_history::History::completions), [`is_completion_of`](duop_history::History::is_completion_of) |
+//! | Definition 3 (du-opacity, local serializations `S^{k,X}_H`) | [`crate::DuOpacity`]; the literal validator is [`crate::check_witness`] with [`crate::CriterionKind::DuOpacity`] |
+//! | Figure 1 | `duop_experiments::figures::fig1` (experiment E1) |
+//! | Lemma 1 (witness restriction) | [`crate::lemmas::restrict_witness`] |
+//! | Corollary 2 (prefix closure) | property tests + experiment E8 |
+//! | Proposition 1 / Figure 2 (not limit-closed) | `duop_experiments::figures::fig2_prefix` (E2) |
+//! | live sets, `≺LS` | [`duop_history::History::live_set`], [`precedes_ls`](duop_history::History::precedes_ls) |
+//! | Lemma 4 (live-set reorder) | [`crate::lemmas::live_set_reorder`] |
+//! | Theorem 5 (limit closure under completeness) | E2 + E9 (the finite-prefix machinery of the paper's own proof) |
+//!
+//! ## Section 4 — Comparison with other definitions
+//!
+//! | Paper | Code |
+//! |---|---|
+//! | Definition 4 (final-state opacity) | [`crate::FinalStateOpacity`] |
+//! | Figure 3 (FSO not prefix-closed) | `duop_experiments::figures::fig3` (E3) |
+//! | Definition 5 (opacity) | [`crate::Opacity`] |
+//! | Proposition 2 / Figure 4 / Theorem 10 (DU ⊊ Opacity) | `duop_experiments::figures::fig4` (E4) |
+//! | Theorem 11 (unique writes) | [`crate::unique`] (E7) |
+//! | read-commit-order definition of \[6\] | [`crate::ReadCommitOrderOpacity`]; Figure 5 → `figures::fig5` (E5) |
+//! | TMS2, informal rendering | [`crate::Tms2`]; Figure 6 → `figures::fig6` (E6) |
+//! | TMS2 conjecture | [`crate::tms2_automaton`] — the full automaton (E11), plus the rendering-gap finding (`figures::tms2_rendering_gap`) |
+//!
+//! ## Section 5 — Discussion
+//!
+//! | Paper | Code |
+//! |---|---|
+//! | "captures histories of existing opaque TMs" (NOrec, TL2, DSTM) | `duop_stm::engines::{NoRec, Tl2, Dstm}` + experiment E10/E12; sharpened by the ABA finding |
+//! | pessimistic STM \[1\] not du-opaque | `duop_stm::engines::Pessimistic` (E12) |
+//!
+//! Everything not traceable to the paper is infrastructure: the search
+//! engine ([`crate::SearchConfig`]), the online monitor
+//! ([`crate::online`]), counterexample localization ([`crate::minimize`]),
+//! DOT export ([`crate::graph`]), the brute-force oracle
+//! ([`crate::reference`]) and the generators/engines in the sibling
+//! crates.

@@ -1,0 +1,237 @@
+//! Brute-force reference checker used as a differential-testing oracle.
+//!
+//! [`check_by_enumeration`] enumerates *every* candidate witness — all
+//! permutations of the history's transactions crossed with all commit
+//! choices for commit-pending transactions — and validates each with the
+//! literal-definition validator [`check_witness`]. It shares no code with
+//! the search engine beyond the validator, so agreement between the two is
+//! strong evidence of correctness.
+//!
+//! Cost is `n! · 2^p`; intended for histories with at most
+//! [`MAX_ENUMERABLE_TXNS`] transactions.
+
+use crate::{check_witness, CriterionKind, Verdict, Violation, Witness};
+use duop_history::{CommitCapability, History, TxnId};
+use std::collections::BTreeMap;
+
+/// Largest transaction count [`check_by_enumeration`] accepts.
+pub const MAX_ENUMERABLE_TXNS: usize = 8;
+
+/// Decides `kind` for `h` by exhaustive enumeration.
+///
+/// # Examples
+///
+/// ```
+/// use duop_core::{reference::check_by_enumeration, CriterionKind};
+/// use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+///
+/// let h = HistoryBuilder::new()
+///     .committed_writer(TxnId::new(1), ObjId::new(0), Value::new(1))
+///     .build();
+/// assert!(check_by_enumeration(&h, CriterionKind::DuOpacity).is_satisfied());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `h` has more than [`MAX_ENUMERABLE_TXNS`] transactions.
+pub fn check_by_enumeration(h: &History, kind: CriterionKind) -> Verdict {
+    let ids: Vec<TxnId> = h.txn_ids().collect();
+    assert!(
+        ids.len() <= MAX_ENUMERABLE_TXNS,
+        "enumeration limited to {MAX_ENUMERABLE_TXNS} transactions, got {}",
+        ids.len()
+    );
+    let pending: Vec<TxnId> = h
+        .txns()
+        .filter(|t| t.commit_capability() == CommitCapability::CommitPending)
+        .map(|t| t.id())
+        .collect();
+
+    let mut explored = 0u64;
+    let mut order = ids.clone();
+    let mut found = None;
+    permute(&mut order, 0, &mut |perm| {
+        if found.is_some() {
+            return;
+        }
+        for mask in 0..(1u32 << pending.len()) {
+            explored += 1;
+            let choices: BTreeMap<TxnId, bool> = pending
+                .iter()
+                .enumerate()
+                .map(|(b, id)| (*id, mask & (1 << b) != 0))
+                .collect();
+            let w = Witness::new(perm.to_vec(), choices);
+            if check_witness(h, &w, kind).is_ok() {
+                found = Some(w);
+                return;
+            }
+        }
+    });
+
+    match found {
+        Some(w) => Verdict::Satisfied(w),
+        None => Verdict::Violated(Violation::NoSerialization {
+            criterion: format!("{kind:?} (by enumeration)"),
+            explored,
+        }),
+    }
+}
+
+/// Heap's algorithm, invoking `f` on every permutation of `items`.
+fn permute(items: &mut [TxnId], k: usize, f: &mut impl FnMut(&[TxnId])) {
+    let n = items.len();
+    if k == n.saturating_sub(1) || n == 0 {
+        f(items);
+        return;
+    }
+    for i in k..n {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duop_history::{HistoryBuilder, ObjId, Value};
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn empty_history_is_trivially_satisfied() {
+        let h = History::empty();
+        assert!(check_by_enumeration(&h, CriterionKind::DuOpacity).is_satisfied());
+    }
+
+    use duop_history::History;
+
+    #[test]
+    fn agrees_with_search_on_simple_positive() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        assert!(check_by_enumeration(&h, CriterionKind::DuOpacity).is_satisfied());
+        assert!(check_by_enumeration(&h, CriterionKind::FinalStateOpacity).is_satisfied());
+    }
+
+    #[test]
+    fn agrees_with_search_on_simple_negative() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(0))
+            .build();
+        assert!(check_by_enumeration(&h, CriterionKind::DuOpacity).is_violated());
+        assert!(check_by_enumeration(&h, CriterionKind::FinalStateOpacity).is_violated());
+    }
+
+    #[test]
+    fn finds_pending_commit_choices() {
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(1))
+            .inv_try_commit(t(1))
+            .read(t(2), x(), v(1))
+            .commit(t(2))
+            .build();
+        let verdict = check_by_enumeration(&h, CriterionKind::DuOpacity);
+        assert_eq!(verdict.witness().unwrap().commit_choice(t(1)), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "enumeration limited")]
+    fn rejects_large_histories() {
+        let mut b = HistoryBuilder::new();
+        for k in 1..=(MAX_ENUMERABLE_TXNS as u32 + 1) {
+            b = b.committed_writer(t(k), x(), v(u64::from(k)));
+        }
+        check_by_enumeration(&b.build(), CriterionKind::DuOpacity);
+    }
+}
+
+/// Enumerates **every** witness of `kind` for `h`: all permutations of the
+/// transactions crossed with all commit choices, filtered by
+/// [`check_witness`].
+///
+/// # Panics
+///
+/// Panics if `h` has more than [`MAX_ENUMERABLE_TXNS`] transactions.
+pub fn enumerate_witnesses(h: &History, kind: CriterionKind) -> Vec<Witness> {
+    let ids: Vec<TxnId> = h.txn_ids().collect();
+    assert!(
+        ids.len() <= MAX_ENUMERABLE_TXNS,
+        "enumeration limited to {MAX_ENUMERABLE_TXNS} transactions, got {}",
+        ids.len()
+    );
+    let pending: Vec<TxnId> = h
+        .txns()
+        .filter(|t| t.commit_capability() == CommitCapability::CommitPending)
+        .map(|t| t.id())
+        .collect();
+    let mut out = Vec::new();
+    let mut order = ids.clone();
+    permute(&mut order, 0, &mut |perm| {
+        for mask in 0..(1u32 << pending.len()) {
+            let choices: BTreeMap<TxnId, bool> = pending
+                .iter()
+                .enumerate()
+                .map(|(b, id)| (*id, mask & (1 << b) != 0))
+                .collect();
+            let w = Witness::new(perm.to_vec(), choices);
+            if check_witness(h, &w, kind).is_ok() {
+                out.push(w);
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod enumerate_tests {
+    use super::*;
+    use duop_history::{HistoryBuilder, ObjId, Value};
+
+    #[test]
+    fn enumerates_exactly_the_valid_witnesses() {
+        let (t1, t2) = (TxnId::new(1), TxnId::new(2));
+        let x = ObjId::new(0);
+        // Overlapping reader of the initial value: both orders valid? The
+        // reader reads 0 so it must precede the writer... unless the writer
+        // aborts — it committed, so exactly one order.
+        let h = HistoryBuilder::new()
+            .inv_write(t1, x, Value::new(1))
+            .inv_read(t2, x)
+            .resp_value(t2, Value::new(0))
+            .resp_ok(t1)
+            .commit(t1)
+            .commit(t2)
+            .build();
+        let all = enumerate_witnesses(&h, CriterionKind::DuOpacity);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].order(), &[t2, t1]);
+    }
+
+    #[test]
+    fn independent_transactions_admit_both_orders() {
+        let (t1, t2) = (TxnId::new(1), TxnId::new(2));
+        let h = HistoryBuilder::new()
+            .inv_write(t1, ObjId::new(0), Value::new(1))
+            .inv_write(t2, ObjId::new(1), Value::new(2))
+            .resp_ok(t1)
+            .resp_ok(t2)
+            .commit(t1)
+            .commit(t2)
+            .build();
+        let all = enumerate_witnesses(&h, CriterionKind::DuOpacity);
+        assert_eq!(all.len(), 2);
+    }
+}

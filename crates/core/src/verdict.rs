@@ -1,0 +1,434 @@
+//! Checker outcomes: witnesses, violations and verdicts.
+
+use duop_history::{CommitCapability, Event, History, ObjId, Op, Ret, TxnId, Value};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A *witness serialization*: evidence that a history satisfies a
+/// criterion.
+///
+/// A witness consists of the total order `seq(S)` on the history's
+/// transactions together with a commit/abort decision for every transaction
+/// whose `tryC_k()` is incomplete (Definition 2 leaves that choice to the
+/// completion). [`Witness::materialize`] turns it into the t-complete
+/// t-sequential history `S` itself.
+///
+/// # Examples
+///
+/// ```
+/// use duop_core::{Criterion, DuOpacity};
+/// use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+///
+/// let h = HistoryBuilder::new()
+///     .committed_writer(TxnId::new(1), ObjId::new(0), Value::new(1))
+///     .committed_reader(TxnId::new(2), ObjId::new(0), Value::new(1))
+///     .build();
+/// let witness = DuOpacity::new().check(&h).into_result().unwrap();
+/// assert_eq!(witness.order(), &[TxnId::new(1), TxnId::new(2)]);
+/// let s = witness.materialize(&h);
+/// assert!(s.is_t_sequential() && s.is_legal());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    order: Vec<TxnId>,
+    commit_choices: BTreeMap<TxnId, bool>,
+}
+
+impl Witness {
+    /// Creates a witness from a transaction order and commit decisions for
+    /// commit-pending transactions (`true` means the completion inserts
+    /// `C_k`).
+    pub fn new(order: Vec<TxnId>, commit_choices: BTreeMap<TxnId, bool>) -> Self {
+        Witness {
+            order,
+            commit_choices,
+        }
+    }
+
+    /// The serialization order `seq(S)`.
+    pub fn order(&self) -> &[TxnId] {
+        &self.order
+    }
+
+    /// The commit decision recorded for a commit-pending transaction.
+    pub fn commit_choice(&self, txn: TxnId) -> Option<bool> {
+        self.commit_choices.get(&txn).copied()
+    }
+
+    /// All recorded commit decisions.
+    pub fn commit_choices(&self) -> &BTreeMap<TxnId, bool> {
+        &self.commit_choices
+    }
+
+    /// Position of `txn` in the serialization order.
+    pub fn position(&self, txn: TxnId) -> Option<usize> {
+        self.order.iter().position(|t| *t == txn)
+    }
+
+    /// Whether `txn` is committed in the serialization this witness denotes,
+    /// given the history `h` it serializes.
+    pub fn is_committed_in(&self, h: &History, txn: TxnId) -> bool {
+        match h.txn(txn).map(|t| t.commit_capability()) {
+            Some(CommitCapability::Committed) => true,
+            Some(CommitCapability::CommitPending) => self.commit_choice(txn).unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    /// Materializes the legal-candidate history `S`: the transactions of
+    /// `h`, completed per this witness's commit choices, laid out
+    /// t-sequentially in witness order.
+    ///
+    /// The result is t-complete, t-sequential, and equivalent to a
+    /// completion of `h`; whether it is *legal* (and satisfies the
+    /// per-criterion conditions) is what
+    /// [`check_witness`](crate::check_witness) decides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the witness order does not cover exactly the transactions
+    /// of `h`.
+    pub fn materialize(&self, h: &History) -> History {
+        assert_eq!(
+            self.order.len(),
+            h.txn_count(),
+            "witness must cover every transaction of the history"
+        );
+        let mut events: Vec<Event> = Vec::with_capacity(h.len() + 2 * h.txn_count());
+        for &id in &self.order {
+            let txn = h
+                .txn(id)
+                .unwrap_or_else(|| panic!("witness transaction {id} not in history"));
+            events.extend(txn.events().copied());
+            if txn.is_t_complete() {
+                continue;
+            }
+            match txn.ops().last() {
+                Some(last) if !last.is_complete() => {
+                    let commit = last.op.is_try_commit() && self.commit_choice(id).unwrap_or(false);
+                    events.push(Event::resp(
+                        id,
+                        if commit { Ret::Committed } else { Ret::Aborted },
+                    ));
+                }
+                _ => {
+                    events.push(Event::inv(id, Op::TryCommit));
+                    events.push(Event::resp(id, Ret::Aborted));
+                }
+            }
+        }
+        History::new(events).expect("materialized serialization is well-formed")
+    }
+}
+
+/// Why a history fails (or cannot be shown to satisfy) a criterion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A read that follows the transaction's own write to the same t-object
+    /// returned a different value; no equivalent sequential history can be
+    /// legal.
+    InternalReadInconsistency {
+        /// The reading transaction.
+        txn: TxnId,
+        /// The t-object.
+        obj: ObjId,
+        /// The value the read returned.
+        got: Value,
+        /// The transaction's own latest preceding write.
+        expected: Value,
+    },
+    /// A read returned a value that no transaction capable of committing
+    /// (and, for du-opacity, none that had invoked `tryC` before the read's
+    /// response) ever writes to that t-object.
+    MissingWriter {
+        /// The reading transaction.
+        txn: TxnId,
+        /// The t-object.
+        obj: ObjId,
+        /// The orphaned value.
+        value: Value,
+    },
+    /// The criterion's precedence constraints (real-time order plus any
+    /// criterion-specific edges) are cyclic.
+    ConstraintCycle {
+        /// Transactions on the detected cycle.
+        txns: Vec<TxnId>,
+    },
+    /// The search space of serializations was exhausted: no serialization
+    /// satisfies the criterion.
+    NoSerialization {
+        /// Human-readable criterion name.
+        criterion: String,
+        /// Number of distinct search states explored.
+        explored: u64,
+    },
+    /// A proper prefix of the history is not final-state opaque
+    /// (Definition 5 fails).
+    PrefixNotFinalStateOpaque {
+        /// Length (in events) of the offending prefix.
+        prefix_len: usize,
+        /// Why that prefix fails.
+        cause: Box<Violation>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::InternalReadInconsistency { txn, obj, got, expected } => write!(
+                f,
+                "{txn} read {got} from {obj} after writing {expected} to it; no equivalent sequential history is legal"
+            ),
+            Violation::MissingWriter { txn, obj, value } => write!(
+                f,
+                "{txn} read {value} from {obj}, but no admissible transaction writes that value"
+            ),
+            Violation::ConstraintCycle { txns } => {
+                write!(f, "precedence constraints are cyclic among ")?;
+                for (i, t) in txns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            Violation::NoSerialization { criterion, explored } => write!(
+                f,
+                "no serialization satisfies {criterion} (explored {explored} states)"
+            ),
+            Violation::PrefixNotFinalStateOpaque { prefix_len, cause } => write!(
+                f,
+                "prefix of length {prefix_len} is not final-state opaque: {cause}"
+            ),
+        }
+    }
+}
+
+impl Error for Violation {}
+
+/// The outcome of checking a history against a criterion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The history satisfies the criterion; a witness serialization is
+    /// attached.
+    Satisfied(Witness),
+    /// The history violates the criterion.
+    Violated(Violation),
+    /// The search budget ([`SearchConfig::max_states`]) was exhausted
+    /// before the question was decided.
+    ///
+    /// [`SearchConfig::max_states`]: crate::SearchConfig::max_states
+    Unknown {
+        /// Number of distinct search states explored before giving up.
+        explored: u64,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` if the criterion is satisfied.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, Verdict::Satisfied(_))
+    }
+
+    /// Returns `true` if the criterion is violated.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+
+    /// The witness, if satisfied.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            Verdict::Satisfied(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The violation, if violated.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            Verdict::Violated(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Converts into a `Result`, treating [`Verdict::Unknown`] as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation for `Violated`; returns
+    /// [`Violation::NoSerialization`] with `explored` for `Unknown`.
+    pub fn into_result(self) -> Result<Witness, Violation> {
+        match self {
+            Verdict::Satisfied(w) => Ok(w),
+            Verdict::Violated(v) => Err(v),
+            Verdict::Unknown { explored } => Err(Violation::NoSerialization {
+                criterion: "undecided (budget exhausted)".to_owned(),
+                explored,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Satisfied(w) => {
+                write!(f, "satisfied; witness: ")?;
+                for (i, t) in w.order().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " < ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            Verdict::Violated(v) => write!(f, "violated: {v}"),
+            Verdict::Unknown { explored } => {
+                write!(
+                    f,
+                    "unknown (search budget exhausted after {explored} states)"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duop_history::HistoryBuilder;
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn materialize_t_complete_history() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        let w = Witness::new(vec![t(1), t(2)], BTreeMap::new());
+        let s = w.materialize(&h);
+        assert!(s.is_t_sequential());
+        assert!(s.is_t_complete());
+        assert!(s.is_legal());
+        assert!(s.equivalent(&h));
+    }
+
+    #[test]
+    fn materialize_respects_commit_choices() {
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(1))
+            .inv_try_commit(t(1))
+            .build();
+        let commit = Witness::new(vec![t(1)], BTreeMap::from([(t(1), true)]));
+        assert!(commit.materialize(&h).txn(t(1)).unwrap().is_committed());
+        assert!(commit.is_committed_in(&h, t(1)));
+
+        let abort = Witness::new(vec![t(1)], BTreeMap::from([(t(1), false)]));
+        assert!(abort.materialize(&h).txn(t(1)).unwrap().is_aborted());
+        assert!(!abort.is_committed_in(&h, t(1)));
+    }
+
+    #[test]
+    fn materialize_completes_non_t_complete_txns() {
+        // Complete but no tryC: gains tryC·A.
+        let h = HistoryBuilder::new().read(t(1), x(), v(0)).build();
+        let w = Witness::new(vec![t(1)], BTreeMap::new());
+        let s = w.materialize(&h);
+        let view = s.txn(t(1)).unwrap();
+        assert!(view.is_aborted());
+        assert_eq!(view.ops().len(), 2);
+
+        // Incomplete read: answered with A.
+        let h = HistoryBuilder::new().inv_read(t(1), x()).build();
+        let s = Witness::new(vec![t(1)], BTreeMap::new()).materialize(&h);
+        assert!(s.txn(t(1)).unwrap().is_aborted());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every transaction")]
+    fn materialize_rejects_partial_witness() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_writer(t(2), x(), v(2))
+            .build();
+        Witness::new(vec![t(1)], BTreeMap::new()).materialize(&h);
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let w = Witness::new(vec![t(1)], BTreeMap::new());
+        let sat = Verdict::Satisfied(w.clone());
+        assert!(sat.is_satisfied());
+        assert_eq!(sat.witness(), Some(&w));
+        assert!(sat.clone().into_result().is_ok());
+
+        let vio = Verdict::Violated(Violation::MissingWriter {
+            txn: t(1),
+            obj: x(),
+            value: v(3),
+        });
+        assert!(vio.is_violated());
+        assert!(vio.violation().is_some());
+        assert!(vio.clone().into_result().is_err());
+
+        let unk = Verdict::Unknown { explored: 10 };
+        assert!(!unk.is_satisfied());
+        assert!(!unk.is_violated());
+        assert!(unk.into_result().is_err());
+    }
+
+    #[test]
+    fn violations_display() {
+        let samples: Vec<Violation> = vec![
+            Violation::InternalReadInconsistency {
+                txn: t(1),
+                obj: x(),
+                got: v(1),
+                expected: v(2),
+            },
+            Violation::MissingWriter {
+                txn: t(2),
+                obj: x(),
+                value: v(9),
+            },
+            Violation::ConstraintCycle {
+                txns: vec![t(1), t(2)],
+            },
+            Violation::NoSerialization {
+                criterion: "du-opacity".into(),
+                explored: 42,
+            },
+            Violation::PrefixNotFinalStateOpaque {
+                prefix_len: 3,
+                cause: Box::new(Violation::MissingWriter {
+                    txn: t(1),
+                    obj: x(),
+                    value: v(1),
+                }),
+            },
+        ];
+        for violation in samples {
+            assert!(!violation.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn witness_position_lookup() {
+        let w = Witness::new(vec![t(2), t(1)], BTreeMap::new());
+        assert_eq!(w.position(t(2)), Some(0));
+        assert_eq!(w.position(t(1)), Some(1));
+        assert_eq!(w.position(t(3)), None);
+    }
+}

@@ -1,0 +1,388 @@
+//! Independent validation of witness serializations.
+//!
+//! [`check_witness`] re-derives every condition of the criterion
+//! definitions directly on the materialized history `S`, sharing no state
+//! with the search engine. It is the oracle used by the differential and
+//! property tests, and the proof that a [`Witness`] returned by a checker
+//! really certifies the criterion.
+
+use crate::criteria::{rco_edges, tms2_edges, CriterionKind};
+use crate::{Violation, Witness};
+use duop_history::{History, LegalityError, ObjId, Op, Ret, TxnId, Value};
+use std::error::Error;
+use std::fmt;
+
+/// Why a witness fails to certify a criterion for a history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WitnessError {
+    /// The witness order does not cover exactly the history's transactions.
+    WrongCoverage,
+    /// The materialized `S` is not equivalent to any completion of `H`.
+    NotEquivalentToCompletion,
+    /// Real-time order violated: `earlier ≺RT later` in `H` but the
+    /// witness places them in the opposite order.
+    RealTimeViolated {
+        /// The transaction that finishes first in `H`.
+        earlier: TxnId,
+        /// The transaction that starts after `earlier` finishes.
+        later: TxnId,
+    },
+    /// The materialized `S` is not legal.
+    NotLegal(LegalityError),
+    /// Definition 3(3) fails: a read is not legal in its local
+    /// serialization `S^{k,X}_H`.
+    LocalLegalityViolated {
+        /// The reading transaction.
+        txn: TxnId,
+        /// The t-object.
+        obj: ObjId,
+        /// The value the read returned.
+        got: Value,
+        /// The latest written value in the local serialization.
+        expected: Value,
+    },
+    /// A criterion-specific precedence edge is violated.
+    EdgeViolated {
+        /// Must come first.
+        before: TxnId,
+        /// Must come second.
+        after: TxnId,
+    },
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::WrongCoverage => {
+                write!(f, "witness does not cover exactly the history's transactions")
+            }
+            WitnessError::NotEquivalentToCompletion => {
+                write!(f, "materialized serialization is not equivalent to a completion")
+            }
+            WitnessError::RealTimeViolated { earlier, later } => {
+                write!(f, "real-time order violated: {earlier} precedes {later} in the history")
+            }
+            WitnessError::NotLegal(err) => write!(f, "serialization is not legal: {err}"),
+            WitnessError::LocalLegalityViolated { txn, obj, got, expected } => write!(
+                f,
+                "read of {obj} by {txn} returned {got} but its local serialization yields {expected}"
+            ),
+            WitnessError::EdgeViolated { before, after } => {
+                write!(f, "criterion requires {before} before {after}")
+            }
+        }
+    }
+}
+
+impl Error for WitnessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WitnessError::NotLegal(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// Validates that `witness` certifies `kind` for history `h`.
+///
+/// Checks, in order: coverage; equivalence to a completion of `h`
+/// (Definition 2); real-time order (Definitions 3(2)/4(1)); legality of
+/// the materialized `S`; and the criterion-specific condition —
+/// Definition 3(3) for du-opacity, the precedence edges for TMS2 and
+/// read-commit-order opacity.
+///
+/// # Errors
+///
+/// Returns the first [`WitnessError`] encountered.
+pub fn check_witness(
+    h: &History,
+    witness: &Witness,
+    kind: CriterionKind,
+) -> Result<(), WitnessError> {
+    // Coverage: exactly the transactions of `h`, each once.
+    if witness.order().len() != h.txn_count() {
+        return Err(WitnessError::WrongCoverage);
+    }
+    for &id in witness.order() {
+        if !h.participates(id) {
+            return Err(WitnessError::WrongCoverage);
+        }
+    }
+    {
+        let mut seen = std::collections::HashSet::new();
+        if !witness.order().iter().all(|id| seen.insert(*id)) {
+            return Err(WitnessError::WrongCoverage);
+        }
+    }
+
+    let s = witness.materialize(h);
+
+    // Equivalence to a completion (Definition 2). The canonical completion
+    // with the witness's commit choices has the same per-transaction
+    // events, so equivalence to it is exactly what we need.
+    let completion = h.complete_with(|id| witness.commit_choice(id).unwrap_or(false));
+    if !s.equivalent(&completion) || !completion.is_completion_of(h) {
+        return Err(WitnessError::NotEquivalentToCompletion);
+    }
+
+    // Real-time order.
+    let ids: Vec<TxnId> = h.txn_ids().collect();
+    for &a in &ids {
+        for &b in &ids {
+            if a != b && h.precedes_rt(a, b) {
+                let (pa, pb) = (
+                    witness.position(a).expect("coverage checked"),
+                    witness.position(b).expect("coverage checked"),
+                );
+                if pa >= pb {
+                    return Err(WitnessError::RealTimeViolated {
+                        earlier: a,
+                        later: b,
+                    });
+                }
+            }
+        }
+    }
+
+    // Legality of S.
+    s.check_legal().map_err(WitnessError::NotLegal)?;
+
+    match kind {
+        CriterionKind::FinalStateOpacity => {}
+        CriterionKind::DuOpacity => check_local_legality(h, witness, &s)?,
+        CriterionKind::Tms2 => check_edges(witness, tms2_edges(h))?,
+        CriterionKind::ReadCommitOrder => check_edges(witness, rco_edges(h))?,
+    }
+    Ok(())
+}
+
+/// Definition 3(3), implemented literally: for every `read_k(X)` returning
+/// a value, build the local serialization `S^{k,X}_H` — the prefix of `S`
+/// up to the read's response, with every transaction `T_m` whose `tryC_m`
+/// is not invoked in `H^{k,X}` removed (the reader itself is retained) —
+/// and check the read returns the latest written value there.
+fn check_local_legality(h: &History, witness: &Witness, s: &History) -> Result<(), WitnessError> {
+    for txn in h.txns() {
+        let k = txn.id();
+        let pos_k = witness.position(k).expect("coverage checked");
+        for op in txn.ops() {
+            let (Op::Read(x), Some(Ret::Value(got))) = (op.op, op.resp) else {
+                continue;
+            };
+            // Own-write reads are legal locally iff legal globally (already
+            // checked): the reader's own events are retained in S^{k,X}_H.
+            let own_write = txn.ops()[..]
+                .iter()
+                .take_while(|o| o.inv_index < op.inv_index)
+                .filter_map(|o| match (o.op, o.resp) {
+                    (Op::Write(ox, v), Some(Ret::Ok)) if ox == x => Some(v),
+                    _ => None,
+                })
+                .last();
+            if own_write.is_some() {
+                continue;
+            }
+            let resp_h = h
+                .read_resp_index(k, x)
+                .expect("complete read has a response index");
+            // Latest written value of X in S^{k,X}_H: the last committed
+            // (in S) transaction before T_k in the witness order that
+            // writes X *and* has invoked tryC in H^{k,X}.
+            let mut expected = Value::INITIAL;
+            for &m in &witness.order()[..pos_k] {
+                if !witness.is_committed_in(h, m) {
+                    continue;
+                }
+                let eligible = h.try_commit_inv_index(m).is_some_and(|inv| inv < resp_h);
+                if !eligible {
+                    continue;
+                }
+                if let Some(v) = s.txn(m).expect("txn in S").last_write_to(x) {
+                    expected = v;
+                }
+            }
+            if got != expected {
+                return Err(WitnessError::LocalLegalityViolated {
+                    txn: k,
+                    obj: x,
+                    got,
+                    expected,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_edges(witness: &Witness, edges: Vec<(TxnId, TxnId)>) -> Result<(), WitnessError> {
+    for (before, after) in edges {
+        let (pa, pb) = (
+            witness.position(before).expect("coverage checked"),
+            witness.position(after).expect("coverage checked"),
+        );
+        if pa >= pb {
+            return Err(WitnessError::EdgeViolated { before, after });
+        }
+    }
+    Ok(())
+}
+
+impl From<WitnessError> for Violation {
+    fn from(err: WitnessError) -> Self {
+        match err {
+            WitnessError::LocalLegalityViolated { txn, obj, got, .. } => Violation::MissingWriter {
+                txn,
+                obj,
+                value: got,
+            },
+            other => Violation::NoSerialization {
+                criterion: format!("witness validation failed: {other}"),
+                explored: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::CriterionKind;
+    use duop_history::HistoryBuilder;
+    use std::collections::BTreeMap;
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    fn w(order: Vec<TxnId>) -> Witness {
+        Witness::new(order, BTreeMap::new())
+    }
+
+    #[test]
+    fn valid_witness_accepted() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        assert_eq!(
+            check_witness(&h, &w(vec![t(1), t(2)]), CriterionKind::DuOpacity),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn coverage_errors() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_writer(t(2), x(), v(2))
+            .build();
+        assert_eq!(
+            check_witness(&h, &w(vec![t(1)]), CriterionKind::FinalStateOpacity),
+            Err(WitnessError::WrongCoverage)
+        );
+        assert_eq!(
+            check_witness(&h, &w(vec![t(1), t(1)]), CriterionKind::FinalStateOpacity),
+            Err(WitnessError::WrongCoverage)
+        );
+        assert_eq!(
+            check_witness(&h, &w(vec![t(1), t(9)]), CriterionKind::FinalStateOpacity),
+            Err(WitnessError::WrongCoverage)
+        );
+    }
+
+    #[test]
+    fn real_time_violation_detected() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_writer(t(2), x(), v(2))
+            .build();
+        assert_eq!(
+            check_witness(&h, &w(vec![t(2), t(1)]), CriterionKind::FinalStateOpacity),
+            Err(WitnessError::RealTimeViolated {
+                earlier: t(1),
+                later: t(2)
+            })
+        );
+    }
+
+    #[test]
+    fn illegal_serialization_detected() {
+        // Both orders illegal for a stale read.
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_read(t(2), x())
+            .resp_ok(t(1))
+            .resp_value(t(2), v(9))
+            .commit(t(1))
+            .commit(t(2))
+            .build();
+        let res = check_witness(&h, &w(vec![t(1), t(2)]), CriterionKind::FinalStateOpacity);
+        assert!(matches!(res, Err(WitnessError::NotLegal(_))));
+    }
+
+    #[test]
+    fn local_legality_distinguishes_du() {
+        // T3's write of 1 commits, but its tryC is invoked after T2's read
+        // responded. Witness T1(aborted) T3 T2 is final-state valid but
+        // du-invalid.
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(1))
+            .commit_aborted(t(1))
+            .inv_read(t(2), x())
+            .resp_value(t(2), v(1))
+            .committed_writer(t(3), x(), v(1))
+            .commit(t(2))
+            .build();
+        let witness = w(vec![t(1), t(3), t(2)]);
+        assert_eq!(
+            check_witness(&h, &witness, CriterionKind::FinalStateOpacity),
+            Ok(())
+        );
+        assert_eq!(
+            check_witness(&h, &witness, CriterionKind::DuOpacity),
+            Err(WitnessError::LocalLegalityViolated {
+                txn: t(2),
+                obj: x(),
+                got: v(1),
+                expected: v(0),
+            })
+        );
+    }
+
+    #[test]
+    fn pending_commit_choice_affects_validity() {
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(1))
+            .inv_try_commit(t(1))
+            .read(t(2), x(), v(1))
+            .commit(t(2))
+            .build();
+        let committed = Witness::new(vec![t(1), t(2)], BTreeMap::from([(t(1), true)]));
+        assert_eq!(
+            check_witness(&h, &committed, CriterionKind::DuOpacity),
+            Ok(())
+        );
+
+        let aborted = Witness::new(vec![t(1), t(2)], BTreeMap::from([(t(1), false)]));
+        assert!(check_witness(&h, &aborted, CriterionKind::DuOpacity).is_err());
+    }
+
+    #[test]
+    fn own_write_reads_are_locally_legal() {
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(7))
+            .read(t(1), x(), v(7))
+            .commit(t(1))
+            .build();
+        assert_eq!(
+            check_witness(&h, &w(vec![t(1)]), CriterionKind::DuOpacity),
+            Ok(())
+        );
+    }
+}

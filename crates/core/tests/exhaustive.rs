@@ -1,0 +1,126 @@
+//! Exhaustive small-scope testing: every interleaving of fixed transaction
+//! scripts is checked, so nothing in the schedule space escapes.
+
+use duop_core::reference::check_by_enumeration;
+use duop_core::{Criterion, CriterionKind, DuOpacity, FinalStateOpacity, Opacity};
+use duop_gen::schedule::{interleavings, reader_script, writer_script};
+use duop_history::{Event, EventKind, History, ObjId, Op, Ret, TxnId, Value};
+
+fn t(k: u32) -> TxnId {
+    TxnId::new(k)
+}
+fn x() -> ObjId {
+    ObjId::new(0)
+}
+fn v(n: u64) -> Value {
+    Value::new(n)
+}
+
+/// Index of the first event satisfying the predicate.
+fn find(h: &History, pred: impl Fn(&Event) -> bool) -> usize {
+    h.events().iter().position(pred).expect("event present")
+}
+
+/// Across *all* interleavings of a committed writer and a committed reader
+/// of the written value, du-opacity holds **exactly** when the writer's
+/// `tryC` invocation precedes the read's response — the deferred-update
+/// condition, characterized exhaustively.
+#[test]
+fn du_characterization_writer_reader_all_interleavings() {
+    let s1 = writer_script(t(1), x(), v(1));
+    let s2 = reader_script(t(2), x(), v(1));
+    let all = interleavings(&[s1, s2], 100);
+    assert_eq!(all.len(), 70);
+    for h in &all {
+        let tryc_inv = find(h, |e| {
+            e.txn == t(1) && matches!(e.kind, EventKind::Inv(Op::TryCommit))
+        });
+        let read_resp = find(h, |e| {
+            e.txn == t(2) && matches!(e.kind, EventKind::Resp(Ret::Value(_)))
+        });
+        let expected = tryc_inv < read_resp;
+        let actual = DuOpacity::new().check(h).is_satisfied();
+        assert_eq!(
+            actual, expected,
+            "deferred-update characterization failed for:\n{h}"
+        );
+    }
+}
+
+/// Every interleaving, every criterion: the search engine agrees with the
+/// brute-force oracle on the complete schedule space of two conflicting
+/// writers plus a reader.
+#[test]
+fn differential_on_complete_schedule_space() {
+    let s1 = writer_script(t(1), x(), v(1));
+    let s2 = writer_script(t(2), x(), v(2));
+    // A short reader (no commit) of T2's value.
+    let s3 = vec![
+        Event::inv(t(3), Op::Read(x())),
+        Event::resp(t(3), Ret::Value(v(2))),
+    ];
+    let all = interleavings(&[s1, s2, s3], 5_000);
+    assert_eq!(all.len(), 3150);
+    let mut satisfied = 0;
+    for h in &all {
+        for kind in [CriterionKind::DuOpacity, CriterionKind::FinalStateOpacity] {
+            let fast = match kind {
+                CriterionKind::DuOpacity => DuOpacity::new().check(h),
+                _ => FinalStateOpacity::new().check(h),
+            };
+            let slow = check_by_enumeration(h, kind);
+            assert_eq!(
+                fast.is_satisfied(),
+                slow.is_satisfied(),
+                "divergence ({kind:?}) on:\n{h}"
+            );
+            if fast.is_satisfied() {
+                satisfied += 1;
+            }
+        }
+    }
+    assert!(
+        satisfied > 0,
+        "schedule space must contain satisfiable schedules"
+    );
+    assert!(
+        satisfied < 2 * all.len(),
+        "schedule space must contain violating schedules"
+    );
+}
+
+/// Prefix closure holds at every event of every interleaving (Corollary 2,
+/// exhaustively): once a prefix is du-opaque, all shorter prefixes are.
+#[test]
+fn prefix_closure_exhaustive_on_schedule_space() {
+    let s1 = writer_script(t(1), x(), v(1));
+    let s2 = reader_script(t(2), x(), v(0));
+    for h in interleavings(&[s1, s2], 100) {
+        let mut seen_violation = false;
+        for i in 0..=h.len() {
+            let verdict = DuOpacity::new().check(&h.prefix(i));
+            if seen_violation {
+                assert!(
+                    verdict.is_violated(),
+                    "extension of a violating prefix cannot be du-opaque:\n{h}"
+                );
+            }
+            seen_violation = verdict.is_violated();
+        }
+    }
+}
+
+/// Opacity equals "every prefix final-state opaque" by definition; verify
+/// the optimized prefix-skipping implementation against the naive one on
+/// the complete schedule space.
+#[test]
+fn opacity_prefix_optimization_is_sound() {
+    let s1 = writer_script(t(1), x(), v(1));
+    let s2 = reader_script(t(2), x(), v(1));
+    for h in interleavings(&[s1, s2], 100) {
+        let optimized = Opacity::new().check(&h).is_satisfied();
+        let naive =
+            (1..=h.len()).all(|i| FinalStateOpacity::new().check(&h.prefix(i)).is_satisfied());
+        assert_eq!(optimized, naive, "opacity optimization diverged on:\n{h}");
+    }
+}

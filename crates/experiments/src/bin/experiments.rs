@@ -1,0 +1,53 @@
+//! Prints the full experiment table (E1–E10): the paper's claim next to
+//! the measured verdict for every figure and theorem.
+//!
+//! Usage: `cargo run -p duop-experiments --bin experiments [--quick]`
+
+use duop_experiments::runner::run_all;
+use duop_history::render::render_lanes;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    println!("Reproduction of \"Safety of Deferred Update in Transactional Memory\"");
+    println!("(Attiya, Hans, Kuznetsov, Ravi; ICDCS 2013)\n");
+
+    println!("== The paper's figures ==\n");
+    for (name, h) in duop_experiments::figures::all_figures() {
+        println!("{name}:");
+        print!("{}", render_lanes(&h));
+        println!();
+    }
+    println!("Figure 2 (prefix with 3 readers):");
+    print!(
+        "{}",
+        render_lanes(&duop_experiments::figures::fig2_prefix(3))
+    );
+    println!();
+
+    println!("== Experiments ==\n");
+    let results = run_all(quick);
+    let mut failures = 0;
+    for r in &results {
+        println!(
+            "[{}] {} — {}",
+            r.id,
+            r.title,
+            if r.pass { "PASS" } else { "FAIL" }
+        );
+        println!("    paper:    {}", r.claim);
+        println!("    measured: {}", r.measured);
+        println!();
+        if !r.pass {
+            failures += 1;
+        }
+    }
+    println!(
+        "{}/{} experiments confirm the paper's claims",
+        results.len() - failures,
+        results.len()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

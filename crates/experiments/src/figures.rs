@@ -1,0 +1,368 @@
+//! The paper's Figures 1–6, transcribed event-for-event.
+//!
+//! Each function returns the history drawn in the corresponding figure;
+//! the accompanying tests (and the experiment harness) mechanically
+//! re-derive the claim the paper makes about it.
+
+use duop_history::{History, HistoryBuilder, ObjId, TxnId, Value};
+
+fn t(k: u32) -> TxnId {
+    TxnId::new(k)
+}
+
+fn x() -> ObjId {
+    ObjId::new(0)
+}
+
+fn y() -> ObjId {
+    ObjId::new(1)
+}
+
+fn v(n: u64) -> Value {
+    Value::new(n)
+}
+
+/// Figure 1: a du-opaque history with serialization `T2 · T3 · T1 · T4`.
+///
+/// `T2` and `T3` both commit the value `v = 1` to `X` (non-unique writes —
+/// the subtlety the figure is built on): `T1` reads `1` *from `T2`* in its
+/// local serialization (only `T2` has invoked `tryC` by then) while
+/// serializing after `T3` globally, which also wrote `1`.
+pub fn fig1() -> History {
+    HistoryBuilder::new()
+        // T2 writes 1 to X and commits.
+        .committed_writer(t(2), x(), v(1))
+        // T1 reads 1 (from T2 locally; from T3 in the global order).
+        .read(t(1), x(), v(1))
+        // T3 writes 1 and starts committing only after T1's read returned.
+        .write(t(3), x(), v(1))
+        .inv_try_commit(t(3))
+        // T1 writes 2 and commits.
+        .write(t(1), x(), v(2))
+        .commit(t(1))
+        // T3's commit lands.
+        .resp_committed(t(3))
+        // T4, after T1, reads T1's value and commits.
+        .committed_reader(t(4), x(), v(2))
+        .build()
+}
+
+/// Figure 2, cut to a finite prefix with `readers` single-read
+/// transactions: `T1` writes 1 and its `tryC` hangs forever; `T2` reads 1
+/// through the pending commit; `T3, T4, ...` each read the initial value 0
+/// while overlapping both.
+///
+/// Every finite prefix is du-opaque (serialize the readers of 0, then `T1`
+/// committed, then `T2`), but any serialization must place *all* readers
+/// before `T1` — so in the infinite limit `T1` has no position, which is
+/// exactly Proposition 1 (du-opacity is not limit-closed).
+pub fn fig2_prefix(readers: usize) -> History {
+    let mut b = HistoryBuilder::new()
+        .write(t(1), x(), v(1))
+        .inv_try_commit(t(1))
+        .inv_read(t(2), x())
+        .resp_value(t(2), v(1));
+    for i in 0..readers {
+        let id = t(3 + i as u32);
+        b = b.inv_read(id, x()).resp_value(id, v(0));
+    }
+    b.build()
+}
+
+/// Figure 3: a final-state opaque history whose prefix is not final-state
+/// opaque — final-state opacity is not prefix-closed.
+///
+/// `T1`'s write completes, `T2` reads it and commits, then `T1` commits.
+/// The whole history serializes as `T1 · T2`, but the prefix ending after
+/// `T2`'s read (both transactions then completed with aborts by
+/// Definition 2) leaves `T2`'s read of 1 with no committed writer.
+pub fn fig3() -> History {
+    HistoryBuilder::new()
+        .write(t(1), x(), v(1))
+        .read(t(2), x(), v(1))
+        .commit(t(2))
+        .commit(t(1))
+        .build()
+}
+
+/// The length of the prefix of [`fig3`] the paper calls `H'` (the events
+/// up to and including `T2`'s read response).
+pub const FIG3_PREFIX_LEN: usize = 4;
+
+/// Figure 4: an opaque history that is **not** du-opaque — the separation
+/// witness of Proposition 2 / Theorem 10.
+///
+/// `T1` writes 1, its commit attempt spans the whole history and fails at
+/// the very end; `T2` reads 1 while only `T1` has started committing; `T3`
+/// writes the same value 1 and commits, but invokes `tryC` only after
+/// `T2`'s read returned. Every prefix is final-state opaque (before `A_1`
+/// lands, a completion may commit `T1`), yet the only final-state
+/// serialization of the whole history is `T1 · T3 · T2`, whose local
+/// serialization for `read_2(X)` is `T1 · read_2(X)` — and `T1` aborted.
+pub fn fig4() -> History {
+    HistoryBuilder::new()
+        .write(t(1), x(), v(1))
+        .inv_try_commit(t(1))
+        .read(t(2), x(), v(1))
+        .write(t(3), x(), v(1))
+        .commit(t(3))
+        .resp_aborted(t(1))
+        .build()
+}
+
+/// Figure 5: a *sequential* du-opaque history that is not opaque under the
+/// read-commit-order definition of Guerraoui–Henzinger–Singh (Section
+/// 4.2).
+///
+/// `T2`'s read of `X` precedes `T3`'s `tryC`, so that definition demands
+/// `T2 < T3`; but `T2` then reads `Y = 1`, which only `T3` wrote — the
+/// only serialization is `T1 · T3 · T2`.
+pub fn fig5() -> History {
+    HistoryBuilder::new()
+        .committed_writer(t(1), x(), v(1))
+        .read(t(2), x(), v(1))
+        .write(t(3), x(), v(1))
+        .write(t(3), y(), v(1))
+        .commit(t(3))
+        .read(t(2), y(), v(1))
+        .build()
+}
+
+/// Figure 6: a du-opaque history that is not TMS2.
+///
+/// `T1` and `T2` both read `X = 0`; `T1` commits `X = 1` before `T2`
+/// invokes `tryC`; `T2` commits `Y = 1`. TMS2's commit-order condition
+/// forces `T1 < T2`, making `T2`'s read of 0 illegal; du-opacity is happy
+/// with `T2 · T1`.
+pub fn fig6() -> History {
+    HistoryBuilder::new()
+        .read(t(1), x(), v(0))
+        .write(t(1), x(), v(1))
+        .read(t(2), x(), v(0))
+        .commit(t(1))
+        .write(t(2), y(), v(1))
+        .commit(t(2))
+        .build()
+}
+
+/// A **reproduction finding**, not a paper figure: the Section 4.2
+/// *informal rendering* of TMS2 does **not** imply du-opacity, although the
+/// paper conjectures the implication for (full) TMS2.
+///
+/// `T3` is a live transaction that never invokes `tryC`: it reads `X2 = 2`
+/// from `T1` *before* `T1` starts committing — a textbook deferred-update
+/// violation. The informal TMS2 condition ("if `X ∈ Wset(T1) ∩ Rset(T2)`
+/// and `tryC_1` precedes `tryC_2`, then `T1 < T2`") only constrains
+/// transactions that invoke `tryC`, so it says nothing about `T3` and the
+/// history passes (the rendering is phrased over final-state
+/// serializations, so it does not even imply opacity — the prefix ending
+/// at `T3`'s second read is not final-state opaque). The full TMS2
+/// automaton validates every read's response against a prefix of
+/// *committed* transactions and would reject this history; the gap is in
+/// the rendering, not the conjecture.
+///
+/// Discovered by differential testing of this reproduction (the corpus in
+/// `tests/hierarchy.rs`), minimized to two transactions.
+pub fn tms2_rendering_gap() -> History {
+    HistoryBuilder::new()
+        .read(t(3), ObjId::new(2), v(0))
+        .inv_read(t(3), x())
+        .inv_write(t(1), x(), v(2))
+        .resp_ok(t(1))
+        .resp_value(t(3), v(2))
+        .inv_write(t(3), x(), v(1))
+        .read(t(1), y(), v(0))
+        .commit(t(1))
+        .build()
+}
+
+/// All fixed-size figures with their names (Figure 2 is parameterized and
+/// therefore excluded).
+pub fn all_figures() -> Vec<(&'static str, History)> {
+    vec![
+        ("Figure 1", fig1()),
+        ("Figure 3", fig3()),
+        ("Figure 4", fig4()),
+        ("Figure 5", fig5()),
+        ("Figure 6", fig6()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duop_core::{
+        check_witness, Criterion, CriterionKind, DuOpacity, FinalStateOpacity, Opacity,
+        ReadCommitOrderOpacity, Tms2,
+    };
+
+    #[test]
+    fn fig1_is_du_opaque_with_the_papers_serialization() {
+        let h = fig1();
+        let verdict = DuOpacity::new().check(&h);
+        let w = verdict.witness().expect("Figure 1 is du-opaque");
+        assert_eq!(check_witness(&h, w, CriterionKind::DuOpacity), Ok(()));
+        // The paper's serialization is also accepted.
+        let papers = duop_core::Witness::new(vec![t(2), t(3), t(1), t(4)], Default::default());
+        assert_eq!(check_witness(&h, &papers, CriterionKind::DuOpacity), Ok(()));
+    }
+
+    #[test]
+    fn fig2_prefixes_are_du_opaque_and_t1_trails_all_readers() {
+        for readers in [0, 1, 3, 8, 20] {
+            let h = fig2_prefix(readers);
+            let verdict = DuOpacity::new().check(&h);
+            let w = verdict.witness().unwrap_or_else(|| {
+                panic!("Figure 2 prefix with {readers} readers must be du-opaque")
+            });
+            // T1 commits in every witness (T2 read its value), and every
+            // reader of 0 precedes it.
+            assert_eq!(w.commit_choice(t(1)), Some(true));
+            let p1 = w.position(t(1)).unwrap();
+            for i in 0..readers {
+                let pi = w.position(t(3 + i as u32)).unwrap();
+                assert!(pi < p1, "reader {} after T1", 3 + i);
+            }
+            assert!(p1 >= readers, "T1's position is unbounded in the limit");
+        }
+    }
+
+    #[test]
+    fn fig2_exhaustive_check_no_witness_places_t1_early() {
+        // For a small instance, verify by enumeration that *every* valid
+        // witness puts all readers before T1 — the heart of Proposition 1.
+        let readers = 3;
+        let h = fig2_prefix(readers);
+        let ids: Vec<TxnId> = h.txn_ids().collect();
+        let mut valid = 0;
+        // All permutations of 5 transactions, T1 committed (forced by T2's
+        // read); readers and T2 have no commit choice.
+        let mut perm = ids.clone();
+        permutations(&mut perm, 0, &mut |order: &[TxnId]| {
+            let w = duop_core::Witness::new(
+                order.to_vec(),
+                std::collections::BTreeMap::from([(t(1), true)]),
+            );
+            if check_witness(&h, &w, CriterionKind::DuOpacity).is_ok() {
+                valid += 1;
+                let p1 = w.position(t(1)).unwrap();
+                for i in 0..readers {
+                    assert!(
+                        w.position(t(3 + i as u32)).unwrap() < p1,
+                        "a witness placed a reader after T1"
+                    );
+                }
+            }
+        });
+        assert!(valid > 0);
+    }
+
+    fn permutations(items: &mut Vec<TxnId>, k: usize, f: &mut impl FnMut(&[TxnId])) {
+        if k + 1 >= items.len() {
+            f(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permutations(items, k + 1, f);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn fig3_separates_final_state_opacity_from_opacity() {
+        let h = fig3();
+        assert!(FinalStateOpacity::new().check(&h).is_satisfied());
+        assert!(
+            FinalStateOpacity::new()
+                .check(&h.prefix(FIG3_PREFIX_LEN))
+                .is_violated(),
+            "the prefix H' must not be final-state opaque"
+        );
+        assert!(Opacity::new().check(&h).is_violated());
+        assert!(DuOpacity::new().check(&h).is_violated());
+    }
+
+    #[test]
+    fn fig4_separates_opacity_from_du_opacity() {
+        let h = fig4();
+        assert!(
+            Opacity::new().check(&h).is_satisfied(),
+            "Figure 4 is opaque"
+        );
+        assert!(
+            DuOpacity::new().check(&h).is_violated(),
+            "Figure 4 is not du-opaque"
+        );
+    }
+
+    #[test]
+    fn fig4_papers_final_state_serialization() {
+        // The paper: the only final-state serialization is T1 · T3 · T2.
+        let h = fig4();
+        let w = duop_core::Witness::new(vec![t(1), t(3), t(2)], Default::default());
+        assert_eq!(
+            check_witness(&h, &w, CriterionKind::FinalStateOpacity),
+            Ok(())
+        );
+        // And it is not a du-witness.
+        assert!(check_witness(&h, &w, CriterionKind::DuOpacity).is_err());
+    }
+
+    #[test]
+    fn fig5_is_du_opaque_but_not_rco() {
+        let h = fig5();
+        assert!(h.is_sequential(), "Figure 5 is a sequential history");
+        let verdict = DuOpacity::new().check(&h);
+        assert!(verdict.is_satisfied(), "Figure 5 is du-opaque: {verdict}");
+        assert!(
+            Opacity::new().check(&h).is_satisfied(),
+            "du-opaque implies opaque (Theorem 10)"
+        );
+        assert!(
+            ReadCommitOrderOpacity::new().check(&h).is_violated(),
+            "Figure 5 is not opaque per the read-commit-order definition"
+        );
+        // The paper's (only) serialization.
+        let w = duop_core::Witness::new(vec![t(1), t(3), t(2)], Default::default());
+        assert_eq!(check_witness(&h, &w, CriterionKind::DuOpacity), Ok(()));
+    }
+
+    #[test]
+    fn fig6_is_du_opaque_but_not_tms2() {
+        let h = fig6();
+        assert!(DuOpacity::new().check(&h).is_satisfied());
+        assert!(Tms2::new().check(&h).is_violated());
+        // The paper's du serialization: T2 · T1.
+        let w = duop_core::Witness::new(vec![t(2), t(1)], Default::default());
+        assert_eq!(check_witness(&h, &w, CriterionKind::DuOpacity), Ok(()));
+    }
+
+    #[test]
+    fn tms2_rendering_gap_is_tms2_but_not_du() {
+        let h = tms2_rendering_gap();
+        assert!(
+            Tms2::new().check(&h).is_satisfied(),
+            "the informal TMS2 rendering accepts the gap history"
+        );
+        assert!(
+            DuOpacity::new().check(&h).is_violated(),
+            "du-opacity rejects the read from a not-yet-committing transaction"
+        );
+        // The rendering is phrased over final-state serializations: the
+        // history is final-state opaque, but not opaque (the prefix ending
+        // at T3's second read fails), confirming how coarse the informal
+        // condition is.
+        assert!(FinalStateOpacity::new().check(&h).is_satisfied());
+        assert!(Opacity::new().check(&h).is_violated());
+    }
+
+    #[test]
+    fn figures_are_well_formed_and_named() {
+        let figs = all_figures();
+        assert_eq!(figs.len(), 5);
+        for (name, h) in figs {
+            assert!(!h.is_empty(), "{name} is empty");
+        }
+    }
+}

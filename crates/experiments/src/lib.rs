@@ -1,0 +1,31 @@
+//! The paper's figures as history fixtures and the experiment suite that
+//! re-derives every claim.
+//!
+//! * [`figures`] transcribes Figures 1–6 of *Safety of Deferred Update in
+//!   Transactional Memory* event-for-event;
+//! * [`litmus`] is a catalogue of named transactional anomalies with
+//!   expected verdicts under every criterion;
+//! * [`runner`] runs experiments E1–E10 (one per figure/theorem, plus the
+//!   STM study) and reports paper-claim vs measured-verdict;
+//! * the `experiments` binary prints the table recorded in
+//!   `EXPERIMENTS.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use duop_experiments::figures;
+//! use duop_core::{Criterion, DuOpacity, Opacity};
+//!
+//! // Figure 4 separates opacity from du-opacity.
+//! let h = figures::fig4();
+//! assert!(Opacity::new().check(&h).is_satisfied());
+//! assert!(DuOpacity::new().check(&h).is_violated());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod litmus;
+pub mod runner;

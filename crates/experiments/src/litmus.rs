@@ -1,0 +1,432 @@
+//! A litmus catalogue: named transactional anomalies and boundary cases
+//! from the TM-correctness literature, each with its expected verdict
+//! under every criterion.
+//!
+//! The catalogue serves three purposes: it documents, one anomaly at a
+//! time, what each criterion does and does not forbid; it is a regression
+//! corpus for the checkers (the tests assert every expectation and
+//! cross-validate against the brute-force oracle); and `duop litmus`
+//! prints it as a quick reference.
+
+use duop_history::{History, HistoryBuilder, ObjId, TxnId, Value};
+
+fn t(k: u32) -> TxnId {
+    TxnId::new(k)
+}
+fn x() -> ObjId {
+    ObjId::new(0)
+}
+fn y() -> ObjId {
+    ObjId::new(1)
+}
+fn v(n: u64) -> Value {
+    Value::new(n)
+}
+
+/// Expected verdict of one criterion for a litmus history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Expected {
+    /// Final-state opacity (Definition 4).
+    pub final_state: bool,
+    /// Opacity (Definition 5).
+    pub opacity: bool,
+    /// DU-opacity (Definition 3).
+    pub du_opacity: bool,
+    /// Strict serializability of the committed projection.
+    pub strict_serializability: bool,
+}
+
+impl Expected {
+    /// Everything satisfied.
+    pub const ALL: Expected = Expected {
+        final_state: true,
+        opacity: true,
+        du_opacity: true,
+        strict_serializability: true,
+    };
+
+    /// Everything violated.
+    pub const NONE: Expected = Expected {
+        final_state: false,
+        opacity: false,
+        du_opacity: false,
+        strict_serializability: false,
+    };
+}
+
+/// One catalogue entry.
+#[derive(Clone, Debug)]
+pub struct Litmus {
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// What the history exhibits and why the verdicts are what they are.
+    pub description: &'static str,
+    /// The history itself.
+    pub history: History,
+    /// Expected verdicts.
+    pub expected: Expected,
+}
+
+/// The full catalogue.
+pub fn catalogue() -> Vec<Litmus> {
+    vec![
+        Litmus {
+            name: "serial-baseline",
+            description: "A committed writer followed by a committed reader of its \
+                          value: the trivially correct history every criterion accepts.",
+            history: HistoryBuilder::new()
+                .committed_writer(t(1), x(), v(1))
+                .committed_reader(t(2), x(), v(1))
+                .build(),
+            expected: Expected::ALL,
+        },
+        Litmus {
+            name: "dirty-read",
+            description: "T2 reads a value whose only writer later aborts, and commits. \
+                          The read has no committed source, so even strict \
+                          serializability fails.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(1))
+                .read(t(2), x(), v(1))
+                .commit(t(2))
+                .commit_aborted(t(1))
+                .build(),
+            expected: Expected::NONE,
+        },
+        Litmus {
+            name: "lost-update",
+            description: "Two read-modify-writes of the same object both read the \
+                          initial value and both commit: one update is lost; no \
+                          serial order explains both reads.",
+            history: HistoryBuilder::new()
+                .inv_read(t(1), x())
+                .resp_value(t(1), v(0))
+                .inv_read(t(2), x())
+                .resp_value(t(2), v(0))
+                .write(t(1), x(), v(1))
+                .write(t(2), x(), v(2))
+                .commit(t(1))
+                .commit(t(2))
+                .build(),
+            expected: Expected::NONE,
+        },
+        Litmus {
+            name: "write-skew",
+            description: "T1 reads X and writes Y; T2 reads Y and writes X; both read \
+                          initial values and commit. Permitted by snapshot isolation, \
+                          rejected by every serializability-based criterion here.",
+            history: HistoryBuilder::new()
+                .read(t(1), x(), v(0))
+                .read(t(2), y(), v(0))
+                .write(t(1), y(), v(1))
+                .write(t(2), x(), v(1))
+                .commit(t(1))
+                .commit(t(2))
+                .build(),
+            expected: Expected::NONE,
+        },
+        Litmus {
+            name: "read-skew-committed",
+            description: "T2 reads X before T1's atomic {X,Y} commit and Y after it, \
+                          then commits: a torn snapshot in a committed transaction — \
+                          nothing accepts it.",
+            history: HistoryBuilder::new()
+                .read(t(2), x(), v(0))
+                .write(t(1), x(), v(1))
+                .write(t(1), y(), v(1))
+                .commit(t(1))
+                .read(t(2), y(), v(1))
+                .commit(t(2))
+                .build(),
+            expected: Expected::NONE,
+        },
+        Litmus {
+            name: "zombie-doomed-reader",
+            description: "The same torn snapshot, but the reader aborts. The committed \
+                          projection is fine (strict serializability holds); the \
+                          opacity family still rejects — aborted transactions' views \
+                          matter. This is the paper's motivating scenario.",
+            history: HistoryBuilder::new()
+                .read(t(2), x(), v(0))
+                .write(t(1), x(), v(1))
+                .write(t(1), y(), v(1))
+                .commit(t(1))
+                .read(t(2), y(), v(1))
+                .commit_aborted(t(2))
+                .build(),
+            expected: Expected {
+                final_state: false,
+                opacity: false,
+                du_opacity: false,
+                strict_serializability: true,
+            },
+        },
+        Litmus {
+            name: "read-through-pending-commit",
+            description: "T2 reads T1's value while T1's tryC is still pending. A \
+                          completion may commit T1, and T1 *has started committing* — \
+                          deferred update is respected; everything accepts.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(1))
+                .inv_try_commit(t(1))
+                .read(t(2), x(), v(1))
+                .commit(t(2))
+                .build(),
+            expected: Expected::ALL,
+        },
+        Litmus {
+            name: "read-before-try-commit",
+            description: "T2 reads T1's value *before* T1 invokes tryC (T1 commits \
+                          later). Final-state opacity is satisfied — the full history \
+                          serializes — but the prefix at the read's response has no \
+                          committable writer, so opacity fails, and du-opacity fails \
+                          by definition. Separates final-state opacity from opacity.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(1))
+                .read(t(2), x(), v(1))
+                .commit(t(1))
+                .commit(t(2))
+                .build(),
+            expected: Expected {
+                final_state: true,
+                opacity: false,
+                du_opacity: false,
+                strict_serializability: true,
+            },
+        },
+        Litmus {
+            name: "aba-value-coincidence",
+            description: "T2 reads X = 1 (from W1); W3 — which had already invoked \
+                          tryC — then commits X = 2; W4 commits X = 1 again together \
+                          with Y, which T2 reads next. Globally legal by the value \
+                          coincidence, and opaque; but T2's local serialization for \
+                          the X-read retains the eligible W3 and yields 2 — not \
+                          du-opaque. The ABA shape value-validating TMs (NOrec) emit.",
+            history: HistoryBuilder::new()
+                .committed_writer(t(1), x(), v(1))
+                .inv_write(t(3), x(), v(2))
+                .resp_ok(t(3))
+                .inv_try_commit(t(3))
+                .read(t(2), x(), v(1))
+                .resp_committed(t(3))
+                .write(t(4), x(), v(1))
+                .write(t(4), y(), v(5))
+                .commit(t(4))
+                .read(t(2), y(), v(5))
+                .commit(t(2))
+                .build(),
+            expected: Expected {
+                final_state: true,
+                opacity: true,
+                du_opacity: false,
+                strict_serializability: true,
+            },
+        },
+        Litmus {
+            name: "cascading-pending-commits",
+            description: "A chain of reads through pending commits: T2 reads T1's \
+                          pending value and goes commit-pending itself; T3 reads T2's \
+                          pending value and commits. The completion must commit both \
+                          T1 and T2 — and may, so everything accepts.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(1))
+                .inv_try_commit(t(1))
+                .read(t(2), x(), v(1))
+                .write(t(2), y(), v(2))
+                .inv_try_commit(t(2))
+                .read(t(3), y(), v(2))
+                .commit(t(3))
+                .build(),
+            expected: Expected::ALL,
+        },
+        Litmus {
+            name: "aborted-writer-invisible",
+            description: "A writer aborts; a later reader correctly sees the initial \
+                          value. Everything accepts — recoverability in action.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(9))
+                .commit_aborted(t(1))
+                .committed_reader(t(2), x(), v(0))
+                .build(),
+            expected: Expected::ALL,
+        },
+        Litmus {
+            name: "aborted-writer-observed",
+            description: "A later reader sees the value of a writer that already \
+                          aborted, and commits: rejected by everything.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(9))
+                .commit_aborted(t(1))
+                .committed_reader(t(2), x(), v(9))
+                .build(),
+            expected: Expected::NONE,
+        },
+        Litmus {
+            name: "stale-read-after-commit",
+            description: "T2 begins after T1's commit yet reads the pre-commit value: \
+                          real-time order pins T2 after T1, so nothing accepts.",
+            history: HistoryBuilder::new()
+                .committed_writer(t(1), x(), v(1))
+                .committed_reader(t(2), x(), v(0))
+                .build(),
+            expected: Expected::NONE,
+        },
+        Litmus {
+            name: "overlapping-snapshot-reader",
+            description: "A reader overlapping a writer returns the initial value: it \
+                          serializes before the writer. Everything accepts.",
+            history: HistoryBuilder::new()
+                .inv_write(t(1), x(), v(1))
+                .inv_read(t(2), x())
+                .resp_value(t(2), v(0))
+                .resp_ok(t(1))
+                .commit(t(1))
+                .commit(t(2))
+                .build(),
+            expected: Expected::ALL,
+        },
+        Litmus {
+            name: "all-operations-pending",
+            description: "Every operation is still waiting for its response; \
+                          completions abort everyone and nothing constrains anything.",
+            history: HistoryBuilder::new()
+                .inv_write(t(1), x(), v(1))
+                .inv_read(t(2), x())
+                .inv_try_abort(t(3))
+                .build(),
+            expected: Expected::ALL,
+        },
+        Litmus {
+            name: "read-own-write",
+            description: "A transaction reads back its own earlier write; internal \
+                          consistency, independent of every other transaction.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(7))
+                .read(t(1), x(), v(7))
+                .commit(t(1))
+                .committed_reader(t(2), x(), v(7))
+                .build(),
+            expected: Expected::ALL,
+        },
+        Litmus {
+            name: "read-own-write-wrong",
+            description: "A transaction reads back a value different from its own \
+                          latest write: internally inconsistent; no serialization of \
+                          any kind exists, and the committed projection itself is \
+                          illegal.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(7))
+                .read(t(1), x(), v(8))
+                .commit(t(1))
+                .build(),
+            expected: Expected::NONE,
+        },
+        Litmus {
+            name: "intermediate-value-observed",
+            description: "T1 writes 1 then overwrites with 2 and commits; T2 reads 1. \
+                          Only a transaction's last write per object is observable, \
+                          so the read is unserviceable under every criterion.",
+            history: HistoryBuilder::new()
+                .write(t(1), x(), v(1))
+                .write(t(1), x(), v(2))
+                .commit(t(1))
+                .committed_reader(t(2), x(), v(1))
+                .build(),
+            expected: Expected::NONE,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duop_core::reference::check_by_enumeration;
+    use duop_core::{
+        Criterion, CriterionKind, DuOpacity, FinalStateOpacity, Opacity, StrictSerializability,
+    };
+
+    #[test]
+    fn every_expectation_holds() {
+        for entry in catalogue() {
+            let h = &entry.history;
+            assert_eq!(
+                FinalStateOpacity::new().check(h).is_satisfied(),
+                entry.expected.final_state,
+                "final-state opacity mismatch for `{}`:\n{h}",
+                entry.name
+            );
+            assert_eq!(
+                Opacity::new().check(h).is_satisfied(),
+                entry.expected.opacity,
+                "opacity mismatch for `{}`:\n{h}",
+                entry.name
+            );
+            assert_eq!(
+                DuOpacity::new().check(h).is_satisfied(),
+                entry.expected.du_opacity,
+                "du-opacity mismatch for `{}`:\n{h}",
+                entry.name
+            );
+            assert_eq!(
+                StrictSerializability::new().check(h).is_satisfied(),
+                entry.expected.strict_serializability,
+                "strict serializability mismatch for `{}`:\n{h}",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn catalogue_cross_validates_with_the_oracle() {
+        for entry in catalogue() {
+            let h = &entry.history;
+            if h.txn_count() > duop_core::reference::MAX_ENUMERABLE_TXNS {
+                continue;
+            }
+            assert_eq!(
+                check_by_enumeration(h, CriterionKind::DuOpacity).is_satisfied(),
+                entry.expected.du_opacity,
+                "oracle disagrees on du-opacity for `{}`",
+                entry.name
+            );
+            assert_eq!(
+                check_by_enumeration(h, CriterionKind::FinalStateOpacity).is_satisfied(),
+                entry.expected.final_state,
+                "oracle disagrees on final-state opacity for `{}`",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_descriptions_nonempty() {
+        let entries = catalogue();
+        let mut names = std::collections::HashSet::new();
+        for e in &entries {
+            assert!(names.insert(e.name), "duplicate litmus name `{}`", e.name);
+            assert!(!e.description.is_empty());
+            assert!(!e.history.is_empty());
+        }
+        assert!(entries.len() >= 15);
+    }
+
+    #[test]
+    fn hierarchy_is_respected_within_the_catalogue() {
+        for e in catalogue() {
+            // du ⇒ opacity ⇒ final-state ⇒ strict serializability.
+            if e.expected.du_opacity {
+                assert!(e.expected.opacity, "`{}` breaks du ⊆ opacity", e.name);
+            }
+            if e.expected.opacity {
+                assert!(e.expected.final_state, "`{}` breaks opacity ⊆ FSO", e.name);
+            }
+            if e.expected.final_state {
+                assert!(
+                    e.expected.strict_serializability,
+                    "`{}` breaks FSO ⊆ strict-ser",
+                    e.name
+                );
+            }
+        }
+    }
+}

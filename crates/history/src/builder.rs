@@ -1,0 +1,226 @@
+//! Ergonomic construction of histories.
+//!
+//! [`HistoryBuilder`] is a consuming builder that appends invocation and
+//! response events, with conveniences for whole t-operations and whole
+//! transactions. It is the idiomatic way to transcribe paper-style figures
+//! into [`History`] values.
+
+use crate::{Event, History, MalformedHistoryError, ObjId, Op, Ret, TxnId, Value};
+
+/// A consuming builder for [`History`] values.
+///
+/// Event-level methods (`inv_read`, `resp_value`, ...) give full control
+/// over interleavings; op-level methods (`read`, `write`, `commit`, ...)
+/// append an invocation immediately followed by its response.
+///
+/// # Examples
+///
+/// Transcribing "T1 writes 1 to X and commits; T2 then reads 1":
+///
+/// ```
+/// use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+///
+/// let (t1, t2) = (TxnId::new(1), TxnId::new(2));
+/// let x = ObjId::new(0);
+/// let h = HistoryBuilder::new()
+///     .write(t1, x, Value::new(1))
+///     .commit(t1)
+///     .read(t2, x, Value::new(1))
+///     .commit(t2)
+///     .build();
+/// assert!(h.is_t_complete());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HistoryBuilder {
+    events: Vec<Event>,
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        HistoryBuilder::default()
+    }
+
+    /// Appends a raw event.
+    pub fn event(mut self, event: Event) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    // --- event-level API -------------------------------------------------
+
+    /// Appends the invocation of `read_k(X)`.
+    pub fn inv_read(self, txn: TxnId, obj: ObjId) -> Self {
+        self.event(Event::inv(txn, Op::Read(obj)))
+    }
+
+    /// Appends the invocation of `write_k(X, v)`.
+    pub fn inv_write(self, txn: TxnId, obj: ObjId, value: Value) -> Self {
+        self.event(Event::inv(txn, Op::Write(obj, value)))
+    }
+
+    /// Appends the invocation of `tryC_k()`.
+    pub fn inv_try_commit(self, txn: TxnId) -> Self {
+        self.event(Event::inv(txn, Op::TryCommit))
+    }
+
+    /// Appends the invocation of `tryA_k()`.
+    pub fn inv_try_abort(self, txn: TxnId) -> Self {
+        self.event(Event::inv(txn, Op::TryAbort))
+    }
+
+    /// Appends a value response (for a pending read).
+    pub fn resp_value(self, txn: TxnId, value: Value) -> Self {
+        self.event(Event::resp(txn, Ret::Value(value)))
+    }
+
+    /// Appends an `ok_k` response (for a pending write).
+    pub fn resp_ok(self, txn: TxnId) -> Self {
+        self.event(Event::resp(txn, Ret::Ok))
+    }
+
+    /// Appends a `C_k` response (for a pending `tryC_k()`).
+    pub fn resp_committed(self, txn: TxnId) -> Self {
+        self.event(Event::resp(txn, Ret::Committed))
+    }
+
+    /// Appends an `A_k` response (for any pending operation).
+    pub fn resp_aborted(self, txn: TxnId) -> Self {
+        self.event(Event::resp(txn, Ret::Aborted))
+    }
+
+    // --- op-level API ----------------------------------------------------
+
+    /// Appends a complete `read_k(X) → v`.
+    pub fn read(self, txn: TxnId, obj: ObjId, value: Value) -> Self {
+        self.inv_read(txn, obj).resp_value(txn, value)
+    }
+
+    /// Appends a complete `write_k(X, v) → ok_k`.
+    pub fn write(self, txn: TxnId, obj: ObjId, value: Value) -> Self {
+        self.inv_write(txn, obj, value).resp_ok(txn)
+    }
+
+    /// Appends a complete `tryC_k() → C_k`.
+    pub fn commit(self, txn: TxnId) -> Self {
+        self.inv_try_commit(txn).resp_committed(txn)
+    }
+
+    /// Appends a complete `tryC_k() → A_k` (a failed commit attempt).
+    pub fn commit_aborted(self, txn: TxnId) -> Self {
+        self.inv_try_commit(txn).resp_aborted(txn)
+    }
+
+    /// Appends a complete `tryA_k() → A_k`.
+    pub fn try_abort(self, txn: TxnId) -> Self {
+        self.inv_try_abort(txn).resp_aborted(txn)
+    }
+
+    // --- transaction-level API -------------------------------------------
+
+    /// Appends a whole transaction that writes `value` to `obj` and commits:
+    /// `W(obj,value)·ok · tryC·C`.
+    pub fn committed_writer(self, txn: TxnId, obj: ObjId, value: Value) -> Self {
+        self.write(txn, obj, value).commit(txn)
+    }
+
+    /// Appends a whole transaction that reads `value` from `obj` and
+    /// commits: `R(obj)→value · tryC·C`.
+    pub fn committed_reader(self, txn: TxnId, obj: ObjId, value: Value) -> Self {
+        self.read(txn, obj, value).commit(txn)
+    }
+
+    // --- terminal methods ------------------------------------------------
+
+    /// Builds the history, validating well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MalformedHistoryError`] if the assembled event sequence
+    /// is not well-formed.
+    pub fn try_build(self) -> Result<History, MalformedHistoryError> {
+        History::new(self.events)
+    }
+
+    /// Builds the history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled event sequence is not well-formed; use
+    /// [`try_build`](Self::try_build) to handle the error instead. Intended
+    /// for fixtures and tests where malformedness is a programming error.
+    pub fn build(self) -> History {
+        self.try_build()
+            .expect("builder assembled a malformed history")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn interleaved_construction() {
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_read(t(2), x())
+            .resp_ok(t(1))
+            .resp_value(t(2), v(0))
+            .build();
+        assert_eq!(h.len(), 4);
+        assert!(h.overlaps(t(1), t(2)));
+    }
+
+    #[test]
+    fn op_level_helpers_are_adjacent() {
+        let h = HistoryBuilder::new().read(t(1), x(), v(0)).build();
+        assert!(h.is_sequential());
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn txn_level_helpers() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        assert!(h.is_t_sequential());
+        assert!(h.txn(t(1)).unwrap().is_committed());
+        assert!(h.txn(t(2)).unwrap().is_committed());
+        assert!(h.precedes_rt(t(1), t(2)));
+    }
+
+    #[test]
+    fn failed_commit_and_try_abort() {
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(1))
+            .commit_aborted(t(1))
+            .read(t(2), x(), v(0))
+            .try_abort(t(2))
+            .build();
+        assert!(h.txn(t(1)).unwrap().is_aborted());
+        assert!(h.txn(t(2)).unwrap().is_aborted());
+    }
+
+    #[test]
+    fn try_build_reports_malformedness() {
+        let res = HistoryBuilder::new().resp_ok(t(1)).try_build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed history")]
+    fn build_panics_on_malformedness() {
+        HistoryBuilder::new().resp_ok(t(1)).build();
+    }
+}

@@ -1,0 +1,320 @@
+//! The event alphabet of transactional histories.
+//!
+//! A history is a sequence of *invocation* and *response* events of
+//! t-operations (Section 2 of the paper). Each t-operation is a matching
+//! pair of an [`Op`] invocation and a [`Ret`] response:
+//!
+//! 1. `read_k(X)` returns a value in `V` or `A_k` (abort);
+//! 2. `write_k(X, v)` returns `ok_k` or `A_k`;
+//! 3. `tryC_k` returns `C_k` (commit) or `A_k`;
+//! 4. `tryA_k` returns `A_k`.
+
+use crate::{ObjId, TxnId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Invocation of a t-operation.
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::{ObjId, Op, Value};
+///
+/// let read = Op::Read(ObjId::new(0));
+/// let write = Op::Write(ObjId::new(0), Value::new(1));
+/// assert_eq!(read.obj(), Some(ObjId::new(0)));
+/// assert!(write.is_write());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `read_k(X)`: read t-object `X`.
+    Read(ObjId),
+    /// `write_k(X, v)`: write value `v` to t-object `X`.
+    Write(ObjId, Value),
+    /// `tryC_k()`: attempt to commit.
+    TryCommit,
+    /// `tryA_k()`: abort.
+    TryAbort,
+}
+
+impl Op {
+    /// The t-object this operation accesses, if it is a read or a write.
+    pub fn obj(self) -> Option<ObjId> {
+        match self {
+            Op::Read(x) | Op::Write(x, _) => Some(x),
+            Op::TryCommit | Op::TryAbort => None,
+        }
+    }
+
+    /// Returns `true` for `read_k(X)`.
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Read(_))
+    }
+
+    /// Returns `true` for `write_k(X, v)`.
+    pub fn is_write(self) -> bool {
+        matches!(self, Op::Write(_, _))
+    }
+
+    /// Returns `true` for `tryC_k()`.
+    pub fn is_try_commit(self) -> bool {
+        matches!(self, Op::TryCommit)
+    }
+
+    /// Returns `true` for `tryA_k()`.
+    pub fn is_try_abort(self) -> bool {
+        matches!(self, Op::TryAbort)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(x) => write!(f, "R({x})"),
+            Op::Write(x, v) => write!(f, "W({x},{v})"),
+            Op::TryCommit => write!(f, "tryC"),
+            Op::TryAbort => write!(f, "tryA"),
+        }
+    }
+}
+
+/// Response of a t-operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ret {
+    /// A value returned by a read.
+    Value(Value),
+    /// `ok_k`: successful write.
+    Ok,
+    /// `C_k`: the transaction committed.
+    Committed,
+    /// `A_k`: the transaction aborted.
+    Aborted,
+}
+
+impl Ret {
+    /// Returns the read value, if this response carries one.
+    pub fn value(self) -> Option<Value> {
+        match self {
+            Ret::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for the abort response `A_k`.
+    pub fn is_abort(self) -> bool {
+        matches!(self, Ret::Aborted)
+    }
+
+    /// Returns `true` for the commit response `C_k`.
+    pub fn is_commit(self) -> bool {
+        matches!(self, Ret::Committed)
+    }
+
+    /// Returns `true` if `self` is a valid response for invocation `op`.
+    ///
+    /// Matches the signatures in Section 2: reads return values or `A_k`,
+    /// writes return `ok_k` or `A_k`, `tryC` returns `C_k` or `A_k` and
+    /// `tryA` returns only `A_k`.
+    pub fn matches(self, op: Op) -> bool {
+        matches!(
+            (op, self),
+            (Op::Read(_), Ret::Value(_) | Ret::Aborted)
+                | (Op::Write(_, _), Ret::Ok | Ret::Aborted)
+                | (Op::TryCommit, Ret::Committed | Ret::Aborted)
+                | (Op::TryAbort, Ret::Aborted)
+        )
+    }
+}
+
+impl fmt::Display for Ret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ret::Value(v) => write!(f, "{v}"),
+            Ret::Ok => write!(f, "ok"),
+            Ret::Committed => write!(f, "C"),
+            Ret::Aborted => write!(f, "A"),
+        }
+    }
+}
+
+/// Either half of a t-operation: an invocation or a response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An invocation event.
+    Inv(Op),
+    /// A response event.
+    Resp(Ret),
+}
+
+impl EventKind {
+    /// Returns `true` if this is an invocation event.
+    pub fn is_inv(self) -> bool {
+        matches!(self, EventKind::Inv(_))
+    }
+
+    /// Returns `true` if this is a response event.
+    pub fn is_resp(self) -> bool {
+        matches!(self, EventKind::Resp(_))
+    }
+}
+
+/// A single event of a history: an invocation or a response, tagged with the
+/// transaction it belongs to.
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::{Event, EventKind, Op, ObjId, TxnId};
+///
+/// let e = Event::inv(TxnId::new(1), Op::Read(ObjId::new(0)));
+/// assert_eq!(e.txn, TxnId::new(1));
+/// assert!(e.kind.is_inv());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The transaction this event belongs to.
+    pub txn: TxnId,
+    /// Invocation or response payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an invocation event for transaction `txn`.
+    pub fn inv(txn: TxnId, op: Op) -> Self {
+        Event {
+            txn,
+            kind: EventKind::Inv(op),
+        }
+    }
+
+    /// Creates a response event for transaction `txn`.
+    pub fn resp(txn: TxnId, ret: Ret) -> Self {
+        Event {
+            txn,
+            kind: EventKind::Resp(ret),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EventKind::Inv(op) => write!(f, "{}:{}", self.txn, op),
+            EventKind::Resp(ret) => write!(f, "{}->{}", self.txn, ret),
+        }
+    }
+}
+
+/// A complete t-operation: an invocation with its response (when present).
+///
+/// Produced by [`TxnView::ops`](crate::TxnView::ops); `resp` is `None` for
+/// the final, incomplete t-operation of a transaction that is still waiting
+/// for a response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpRecord {
+    /// The invocation.
+    pub op: Op,
+    /// The matching response, or `None` if the operation is incomplete.
+    pub resp: Option<Ret>,
+    /// Index of the invocation event in the history.
+    pub inv_index: usize,
+    /// Index of the response event in the history, if complete.
+    pub resp_index: Option<usize>,
+}
+
+impl OpRecord {
+    /// Returns `true` if the operation has received its response.
+    pub fn is_complete(&self) -> bool {
+        self.resp.is_some()
+    }
+
+    /// Returns the read value for a complete, non-aborted `read` operation.
+    pub fn read_value(&self) -> Option<Value> {
+        if self.op.is_read() {
+            self.resp.and_then(Ret::value)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+
+    #[test]
+    fn response_matching_follows_signatures() {
+        assert!(Ret::Value(Value::new(3)).matches(Op::Read(x())));
+        assert!(Ret::Aborted.matches(Op::Read(x())));
+        assert!(!Ret::Ok.matches(Op::Read(x())));
+        assert!(!Ret::Committed.matches(Op::Read(x())));
+
+        assert!(Ret::Ok.matches(Op::Write(x(), Value::new(1))));
+        assert!(Ret::Aborted.matches(Op::Write(x(), Value::new(1))));
+        assert!(!Ret::Value(Value::new(1)).matches(Op::Write(x(), Value::new(1))));
+
+        assert!(Ret::Committed.matches(Op::TryCommit));
+        assert!(Ret::Aborted.matches(Op::TryCommit));
+        assert!(!Ret::Ok.matches(Op::TryCommit));
+
+        assert!(Ret::Aborted.matches(Op::TryAbort));
+        assert!(!Ret::Committed.matches(Op::TryAbort));
+    }
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::Read(x()).obj(), Some(x()));
+        assert_eq!(Op::Write(x(), Value::new(1)).obj(), Some(x()));
+        assert_eq!(Op::TryCommit.obj(), None);
+        assert!(Op::Read(x()).is_read());
+        assert!(Op::Write(x(), Value::new(1)).is_write());
+        assert!(Op::TryCommit.is_try_commit());
+        assert!(Op::TryAbort.is_try_abort());
+    }
+
+    #[test]
+    fn event_constructors() {
+        let t = TxnId::new(2);
+        let e = Event::inv(t, Op::TryCommit);
+        assert!(e.kind.is_inv());
+        assert!(!e.kind.is_resp());
+        let r = Event::resp(t, Ret::Committed);
+        assert!(r.kind.is_resp());
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = TxnId::new(1);
+        assert_eq!(Event::inv(t, Op::Read(x())).to_string(), "T1:R(X0)");
+        assert_eq!(
+            Event::resp(t, Ret::Value(Value::new(5))).to_string(),
+            "T1->5"
+        );
+        assert_eq!(Event::resp(t, Ret::Committed).to_string(), "T1->C");
+        assert_eq!(
+            Event::inv(t, Op::Write(x(), Value::new(2))).to_string(),
+            "T1:W(X0,2)"
+        );
+    }
+
+    #[test]
+    fn ret_accessors() {
+        assert_eq!(Ret::Value(Value::new(4)).value(), Some(Value::new(4)));
+        assert_eq!(Ret::Ok.value(), None);
+        assert!(Ret::Aborted.is_abort());
+        assert!(Ret::Committed.is_commit());
+        assert!(!Ret::Ok.is_abort());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Event::inv(TxnId::new(1), Op::Write(x(), Value::new(9)));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

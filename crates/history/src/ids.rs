@@ -1,0 +1,217 @@
+//! Identifier newtypes for transactions, t-objects and values.
+//!
+//! The paper's model (Section 2) ranges over transactions `T_k`, t-objects
+//! `X` and values `v ∈ V`. We mirror those with strongly typed wrappers so
+//! that a transaction identifier can never be confused with an object
+//! identifier or a value.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a transaction `T_k`.
+///
+/// Identifier `0` is reserved for the *imaginary* initial transaction `T_0`
+/// that writes the initial value to every t-object and commits before any
+/// other transaction begins (Section 2 of the paper). `T_0` never appears
+/// explicitly in a [`History`](crate::History); it exists only as the
+/// conventional source of [`Value::INITIAL`].
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::TxnId;
+///
+/// let t1 = TxnId::new(1);
+/// assert_eq!(t1.index(), 1);
+/// assert!(!t1.is_initial());
+/// assert!(TxnId::INITIAL.is_initial());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TxnId(u32);
+
+impl TxnId {
+    /// The imaginary initial transaction `T_0`.
+    pub const INITIAL: TxnId = TxnId(0);
+
+    /// Creates a transaction identifier.
+    pub const fn new(index: u32) -> Self {
+        TxnId(index)
+    }
+
+    /// Returns the numeric index `k` of `T_k`.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this is the imaginary initial transaction `T_0`.
+    pub const fn is_initial(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for TxnId {
+    fn from(index: u32) -> Self {
+        TxnId(index)
+    }
+}
+
+/// Identifier of a transactional object (t-object) `X`.
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::ObjId;
+///
+/// let x = ObjId::new(0);
+/// let y = ObjId::new(1);
+/// assert_ne!(x, y);
+/// assert_eq!(x.to_string(), "X0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ObjId(u32);
+
+impl ObjId {
+    /// Creates a t-object identifier.
+    pub const fn new(index: u32) -> Self {
+        ObjId(index)
+    }
+
+    /// Returns the numeric index of this t-object.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl From<u32> for ObjId {
+    fn from(index: u32) -> Self {
+        ObjId(index)
+    }
+}
+
+/// A value `v ∈ V` read from or written to a t-object.
+///
+/// The domain `V` is modelled as `u64`. By the paper's `T_0` convention,
+/// every t-object holds [`Value::INITIAL`] before any transaction writes it.
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::Value;
+///
+/// assert_eq!(Value::INITIAL, Value::new(0));
+/// assert_eq!(Value::new(7).get(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Value(u64);
+
+impl Value {
+    /// The initial value written to every t-object by the imaginary
+    /// transaction `T_0`.
+    pub const INITIAL: Value = Value(0);
+
+    /// Creates a value.
+    pub const fn new(v: u64) -> Self {
+        Value(v)
+    }
+
+    /// Returns the underlying integer.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_roundtrip() {
+        let t = TxnId::new(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(TxnId::from(42u32), t);
+        assert_eq!(format!("{t}"), "T42");
+        assert_eq!(format!("{t:?}"), "T42");
+    }
+
+    #[test]
+    fn initial_txn_is_zero() {
+        assert!(TxnId::INITIAL.is_initial());
+        assert!(!TxnId::new(1).is_initial());
+        assert_eq!(TxnId::INITIAL.index(), 0);
+    }
+
+    #[test]
+    fn obj_id_roundtrip() {
+        let x = ObjId::new(3);
+        assert_eq!(x.index(), 3);
+        assert_eq!(ObjId::from(3u32), x);
+        assert_eq!(format!("{x}"), "X3");
+    }
+
+    #[test]
+    fn value_default_is_initial() {
+        assert_eq!(Value::default(), Value::INITIAL);
+        assert_eq!(Value::INITIAL.get(), 0);
+        assert_eq!(Value::from(9u64), Value::new(9));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TxnId::new(1) < TxnId::new(2));
+        assert!(ObjId::new(0) < ObjId::new(1));
+        assert!(Value::new(5) < Value::new(6));
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let t = TxnId::new(7);
+        assert_eq!(serde_json::to_string(&t).unwrap(), "7");
+        let back: TxnId = serde_json::from_str("7").unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,74 @@
+//! Formal model of transactional-memory histories.
+//!
+//! This crate implements Section 2 of *Safety of Deferred Update in
+//! Transactional Memory* (Attiya, Hans, Kuznetsov, Ravi; ICDCS 2013): the
+//! event alphabet of t-operations, well-formed histories, completeness and
+//! t-completeness, the real-time order `≺RT`, live sets and `≺LS`,
+//! completions (Definition 2), and legality of t-sequential histories.
+//!
+//! It is the substrate on which the [`duop-core`] checkers for du-opacity
+//! and related correctness criteria are built.
+//!
+//! [`duop-core`]: https://example.org/du-opacity
+//!
+//! # Quick tour
+//!
+//! ```
+//! use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+//!
+//! let (t1, t2) = (TxnId::new(1), TxnId::new(2));
+//! let x = ObjId::new(0);
+//!
+//! // T1 writes 1 to X and commits; T2 reads it back and commits.
+//! let h = HistoryBuilder::new()
+//!     .committed_writer(t1, x, Value::new(1))
+//!     .committed_reader(t2, x, Value::new(1))
+//!     .build();
+//!
+//! assert!(h.is_t_sequential());
+//! assert!(h.is_legal());
+//! assert!(h.precedes_rt(t1, t2));
+//! ```
+//!
+//! Histories with concurrency are assembled event by event:
+//!
+//! ```
+//! use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+//!
+//! let (t1, t2) = (TxnId::new(1), TxnId::new(2));
+//! let x = ObjId::new(0);
+//!
+//! // T2's read overlaps T1's commit attempt.
+//! let h = HistoryBuilder::new()
+//!     .write(t1, x, Value::new(1))
+//!     .inv_try_commit(t1)
+//!     .read(t2, x, Value::new(1))
+//!     .resp_committed(t1)
+//!     .build();
+//!
+//! assert!(h.overlaps(t1, t2));
+//! assert_eq!(h.commit_pending_txns(), vec![]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod complete;
+mod event;
+mod history;
+mod ids;
+mod order;
+mod seq;
+mod stats;
+
+pub mod render;
+pub mod trace;
+
+pub use builder::HistoryBuilder;
+pub use event::{Event, EventKind, Op, OpRecord, Ret};
+pub use history::{CommitCapability, History, MalformedHistoryError, TxnView};
+pub use ids::{ObjId, TxnId, Value};
+pub use seq::LegalityError;
+pub use stats::HistoryStats;

@@ -1,0 +1,151 @@
+//! Orders on transactions beyond real-time: live sets and the `≺LS`
+//! relation used by Lemma 4 and Theorem 5.
+
+use crate::{History, TxnId};
+
+impl History {
+    /// The *live set* `Lset_H(T)` of transaction `txn` (Section 3).
+    ///
+    /// Contains every transaction `T'` (including `T` itself) such that
+    /// neither the last event of `T'` precedes the first event of `T` nor
+    /// the last event of `T` precedes the first event of `T'` — i.e. the
+    /// transactions whose event spans intersect `T`'s span.
+    ///
+    /// Returns an empty vector if `txn` does not participate in the
+    /// history. Results are ordered by first appearance.
+    pub fn live_set(&self, txn: TxnId) -> Vec<TxnId> {
+        let Some(t) = self.txn(txn) else {
+            return Vec::new();
+        };
+        let (first, last) = (t.first_event_index(), t.last_event_index());
+        self.txns()
+            .filter(|other| {
+                let (of, ol) = (other.first_event_index(), other.last_event_index());
+                ol >= first && last >= of
+            })
+            .map(|other| other.id())
+            .collect()
+    }
+
+    /// The live-set precedence `T ≺LS T'` (Section 3): every transaction in
+    /// `Lset_H(T)` is complete and its last event precedes the first event
+    /// of `T'`.
+    ///
+    /// Returns `false` if either transaction does not participate.
+    pub fn precedes_ls(&self, t: TxnId, t_prime: TxnId) -> bool {
+        let Some(target) = self.txn(t_prime) else {
+            return false;
+        };
+        if !self.participates(t) {
+            return false;
+        }
+        let first_of_target = target.first_event_index();
+        let live = self.live_set(t);
+        if live.is_empty() {
+            return false;
+        }
+        live.into_iter().all(|id| {
+            let view = self.txn(id).expect("live set members participate");
+            view.is_complete() && view.last_event_index() < first_of_target
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoryBuilder, ObjId, TxnId, Value};
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn live_set_contains_self() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .build();
+        assert_eq!(h.live_set(t(1)), vec![t(1)]);
+    }
+
+    #[test]
+    fn live_set_of_missing_txn_is_empty() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .build();
+        assert!(h.live_set(t(9)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_txns_are_in_each_others_live_sets() {
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_read(t(2), x())
+            .resp_value(t(2), v(0))
+            .resp_ok(t(1))
+            .commit(t(1))
+            .build();
+        assert_eq!(h.live_set(t(1)), vec![t(1), t(2)]);
+        assert_eq!(h.live_set(t(2)), vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn disjoint_spans_are_not_live() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        assert_eq!(h.live_set(t(1)), vec![t(1)]);
+        assert_eq!(h.live_set(t(2)), vec![t(2)]);
+    }
+
+    #[test]
+    fn precedes_ls_requires_whole_live_set_to_finish() {
+        // T1 and T2 overlap; T3 starts after both finish.
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_read(t(2), x())
+            .resp_value(t(2), v(0))
+            .resp_ok(t(1))
+            .commit(t(1))
+            .commit(t(2))
+            .committed_reader(t(3), x(), v(1))
+            .build();
+        assert!(h.precedes_ls(t(1), t(3)));
+        assert!(h.precedes_ls(t(2), t(3)));
+        assert!(!h.precedes_ls(t(1), t(2)), "T2 is in T1's live set");
+        assert!(!h.precedes_ls(t(3), t(1)));
+    }
+
+    #[test]
+    fn precedes_ls_fails_when_live_peer_still_running() {
+        // T2 overlaps T1 and is still incomplete when T3 starts.
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_read(t(2), x())
+            .resp_ok(t(1))
+            .commit(t(1))
+            .committed_reader(t(3), x(), v(1))
+            .resp_value(t(2), v(0))
+            .build();
+        assert!(
+            !h.precedes_ls(t(1), t(3)),
+            "T2 in Lset(T1) ends after T3 begins"
+        );
+    }
+
+    #[test]
+    fn precedes_ls_implies_rt() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        assert!(h.precedes_ls(t(1), t(2)));
+        assert!(h.precedes_rt(t(1), t(2)));
+    }
+}

@@ -1,0 +1,270 @@
+//! Legality of t-sequential histories (Section 2).
+//!
+//! In a t-sequential history, `read_k(X)` is *legal* if it returns the
+//! latest written value of `X`: the transaction's own latest preceding
+//! write to `X` if there is one, and otherwise the latest write to `X` of a
+//! committed transaction that precedes `T_k`. By the `T_0` convention, the
+//! latter defaults to [`Value::INITIAL`].
+
+use crate::{History, ObjId, Op, Ret, TxnId, Value};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a t-sequential history is not legal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LegalityError {
+    /// The history is not t-sequential, so legality is undefined.
+    NotTSequential,
+    /// A read returned something other than the latest written value.
+    IllegalRead {
+        /// The reading transaction.
+        txn: TxnId,
+        /// The t-object read.
+        obj: ObjId,
+        /// The value the read returned.
+        got: Value,
+        /// The latest written value at that point.
+        expected: Value,
+    },
+}
+
+impl fmt::Display for LegalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityError::NotTSequential => {
+                write!(f, "history is not t-sequential")
+            }
+            LegalityError::IllegalRead {
+                txn,
+                obj,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "illegal read: {txn} read {got} from {obj} but the latest written value is {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for LegalityError {}
+
+impl History {
+    /// Checks legality of a t-sequential history.
+    ///
+    /// Every `read_k(X)` that does not return `A_k` must return the latest
+    /// written value of `X` at its position. Reads that return `A_k` are
+    /// exempt. Only writes of *committed* transactions become visible to
+    /// later transactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LegalityError::NotTSequential`] if transactions overlap,
+    /// or [`LegalityError::IllegalRead`] describing the first illegal read.
+    pub fn check_legal(&self) -> Result<(), LegalityError> {
+        if !self.is_t_sequential() {
+            return Err(LegalityError::NotTSequential);
+        }
+        let mut committed: HashMap<ObjId, Value> = HashMap::new();
+        for txn in self.txns() {
+            let mut local: HashMap<ObjId, Value> = HashMap::new();
+            for op in txn.ops() {
+                match (op.op, op.resp) {
+                    (Op::Read(x), Some(Ret::Value(got))) => {
+                        let expected = local
+                            .get(&x)
+                            .or_else(|| committed.get(&x))
+                            .copied()
+                            .unwrap_or(Value::INITIAL);
+                        if got != expected {
+                            return Err(LegalityError::IllegalRead {
+                                txn: txn.id(),
+                                obj: x,
+                                got,
+                                expected,
+                            });
+                        }
+                    }
+                    (Op::Write(x, v), Some(Ret::Ok)) => {
+                        local.insert(x, v);
+                    }
+                    _ => {}
+                }
+            }
+            if txn.is_committed() {
+                committed.extend(local);
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if the t-sequential history is legal.
+    ///
+    /// Convenience wrapper around [`check_legal`](Self::check_legal);
+    /// returns `false` for non-t-sequential histories.
+    pub fn is_legal(&self) -> bool {
+        self.check_legal().is_ok()
+    }
+
+    /// The latest written value of `obj` visible *after* all transactions of
+    /// a t-sequential history have run: the last committed write, or
+    /// [`Value::INITIAL`].
+    ///
+    /// Useful for asserting final states in tests of STM engines.
+    pub fn final_committed_value(&self, obj: ObjId) -> Value {
+        let mut value = Value::INITIAL;
+        for txn in self.txns() {
+            if txn.is_committed() {
+                if let Some(v) = txn.last_write_to(obj) {
+                    value = v;
+                }
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn initial_value_read_is_legal() {
+        let h = HistoryBuilder::new()
+            .committed_reader(t(1), x(), v(0))
+            .build();
+        assert!(h.is_legal());
+    }
+
+    #[test]
+    fn read_from_committed_writer_is_legal() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(5))
+            .committed_reader(t(2), x(), v(5))
+            .build();
+        assert_eq!(h.check_legal(), Ok(()));
+    }
+
+    #[test]
+    fn stale_read_is_illegal() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(5))
+            .committed_reader(t(2), x(), v(0))
+            .build();
+        assert_eq!(
+            h.check_legal(),
+            Err(LegalityError::IllegalRead {
+                txn: t(2),
+                obj: x(),
+                got: v(0),
+                expected: v(5),
+            })
+        );
+    }
+
+    #[test]
+    fn aborted_writers_are_invisible() {
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(5))
+            .commit_aborted(t(1))
+            .committed_reader(t(2), x(), v(0))
+            .build();
+        assert!(h.is_legal());
+    }
+
+    #[test]
+    fn own_writes_shadow_committed_state() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(5))
+            .write(t(2), x(), v(7))
+            .read(t(2), x(), v(7))
+            .commit(t(2))
+            .build();
+        assert!(h.is_legal());
+    }
+
+    #[test]
+    fn own_write_must_be_latest() {
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(1))
+            .write(t(1), x(), v(2))
+            .read(t(1), x(), v(1))
+            .commit(t(1))
+            .build();
+        assert_eq!(
+            h.check_legal(),
+            Err(LegalityError::IllegalRead {
+                txn: t(1),
+                obj: x(),
+                got: v(1),
+                expected: v(2),
+            })
+        );
+    }
+
+    #[test]
+    fn aborted_reads_are_exempt() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(5))
+            .inv_read(t(2), x())
+            .resp_aborted(t(2))
+            .build();
+        assert!(h.is_legal());
+    }
+
+    #[test]
+    fn non_t_sequential_rejected() {
+        let h = HistoryBuilder::new()
+            .inv_read(t(1), x())
+            .inv_read(t(2), x())
+            .resp_value(t(1), v(0))
+            .resp_value(t(2), v(0))
+            .build();
+        assert_eq!(h.check_legal(), Err(LegalityError::NotTSequential));
+        assert!(!h.is_legal());
+    }
+
+    #[test]
+    fn aborted_transactions_still_read_committed_state() {
+        // T2 aborts but its read must still see T1's committed value.
+        let legal = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(5))
+            .read(t(2), x(), v(5))
+            .commit_aborted(t(2))
+            .build();
+        assert!(legal.is_legal());
+
+        let illegal = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(5))
+            .read(t(2), x(), v(0))
+            .commit_aborted(t(2))
+            .build();
+        assert!(!illegal.is_legal());
+    }
+
+    #[test]
+    fn final_committed_value_tracks_last_committed_write() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(5))
+            .write(t(2), x(), v(9))
+            .commit_aborted(t(2))
+            .committed_writer(t(3), x(), v(7))
+            .build();
+        assert_eq!(h.final_committed_value(x()), v(7));
+        assert_eq!(h.final_committed_value(ObjId::new(4)), Value::INITIAL);
+    }
+}

@@ -1,0 +1,141 @@
+//! Summary statistics of a history.
+
+use crate::{History, Op, Ret};
+use std::fmt;
+
+/// Aggregate counts describing a history, computed by
+/// [`History::stats`].
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+///
+/// let h = HistoryBuilder::new()
+///     .committed_writer(TxnId::new(1), ObjId::new(0), Value::new(1))
+///     .committed_reader(TxnId::new(2), ObjId::new(0), Value::new(1))
+///     .build();
+/// let s = h.stats();
+/// assert_eq!(s.transactions, 2);
+/// assert_eq!(s.committed, 2);
+/// assert_eq!(s.reads, 1);
+/// assert_eq!(s.writes, 1);
+/// assert_eq!(s.objects, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistoryStats {
+    /// Total events.
+    pub events: usize,
+    /// Participating transactions.
+    pub transactions: usize,
+    /// Transactions ending in `C_k`.
+    pub committed: usize,
+    /// Transactions ending in `A_k`.
+    pub aborted: usize,
+    /// Transactions that are not t-complete.
+    pub unresolved: usize,
+    /// Completed read operations returning a value.
+    pub reads: usize,
+    /// Completed write operations.
+    pub writes: usize,
+    /// Distinct t-objects accessed.
+    pub objects: usize,
+}
+
+impl fmt::Display for HistoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, {} transactions ({} committed, {} aborted, {} unresolved), {} reads, {} writes over {} objects",
+            self.events,
+            self.transactions,
+            self.committed,
+            self.aborted,
+            self.unresolved,
+            self.reads,
+            self.writes,
+            self.objects,
+        )
+    }
+}
+
+impl History {
+    /// Computes summary statistics for this history.
+    pub fn stats(&self) -> HistoryStats {
+        let mut stats = HistoryStats {
+            events: self.len(),
+            transactions: self.txn_count(),
+            ..HistoryStats::default()
+        };
+        let mut objects = std::collections::HashSet::new();
+        for txn in self.txns() {
+            if txn.is_committed() {
+                stats.committed += 1;
+            } else if txn.is_aborted() {
+                stats.aborted += 1;
+            } else {
+                stats.unresolved += 1;
+            }
+            for op in txn.ops() {
+                if let Some(x) = op.op.obj() {
+                    objects.insert(x);
+                }
+                match (op.op, op.resp) {
+                    (Op::Read(_), Some(Ret::Value(_))) => stats.reads += 1,
+                    (Op::Write(_, _), Some(Ret::Ok)) => stats.writes += 1,
+                    _ => {}
+                }
+            }
+        }
+        stats.objects = objects.len();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistoryBuilder, ObjId, TxnId, Value};
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+
+    #[test]
+    fn empty_history_stats() {
+        let s = History::empty().stats();
+        assert_eq!(s, HistoryStats::default());
+        assert!(s.to_string().contains("0 events"));
+    }
+
+    #[test]
+    fn counts_cover_every_outcome() {
+        let (x, y) = (ObjId::new(0), ObjId::new(1));
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x, Value::new(1))
+            .write(t(2), y, Value::new(2))
+            .commit_aborted(t(2))
+            .inv_read(t(3), x)
+            .build();
+        let s = h.stats();
+        assert_eq!(s.events, h.len());
+        assert_eq!(s.transactions, 3);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.unresolved, 1);
+        assert_eq!(s.reads, 0, "the pending read has no value");
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.objects, 2);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let h = HistoryBuilder::new()
+            .committed_reader(t(1), ObjId::new(0), Value::INITIAL)
+            .build();
+        let text = h.stats().to_string();
+        for needle in ["1 committed", "1 reads", "1 objects"] {
+            assert!(text.contains(needle), "missing `{needle}` in `{text}`");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! A line-oriented text format for histories, plus JSON helpers.
+//!
+//! The text format has one event per line: a transaction name followed by
+//! an action. Invocations: `read X<n>`, `write X<n> <v>`, `tryc`, `trya`.
+//! Responses: `val <v>`, `ok`, `commit`, `abort`. Blank lines and lines
+//! starting with `#` are ignored.
+//!
+//! ```text
+//! # T1 writes 1 to X0 and commits, T2 reads it
+//! T1 write X0 1
+//! T1 ok
+//! T1 tryc
+//! T1 commit
+//! T2 read X0
+//! T2 val 1
+//! T2 tryc
+//! T2 commit
+//! ```
+
+use crate::{Event, EventKind, History, MalformedHistoryError, ObjId, Op, Ret, TxnId, Value};
+use std::error::Error;
+use std::fmt;
+
+/// Why a trace failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// A line did not match the grammar.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The parsed events are not a well-formed history.
+    Malformed(MalformedHistoryError),
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::Syntax { line, message } => {
+                write!(f, "trace syntax error on line {line}: {message}")
+            }
+            TraceParseError::Malformed(err) => write!(f, "trace is malformed: {err}"),
+        }
+    }
+}
+
+impl Error for TraceParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceParseError::Malformed(err) => Some(err),
+            TraceParseError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<MalformedHistoryError> for TraceParseError {
+    fn from(err: MalformedHistoryError) -> Self {
+        TraceParseError::Malformed(err)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> TraceParseError {
+    TraceParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_txn(token: &str, line: usize) -> Result<TxnId, TraceParseError> {
+    let digits = token.strip_prefix('T').unwrap_or(token);
+    let index: u32 = digits
+        .parse()
+        .map_err(|_| syntax(line, format!("invalid transaction `{token}`")))?;
+    if index == 0 {
+        return Err(syntax(line, "transaction T0 is reserved"));
+    }
+    Ok(TxnId::new(index))
+}
+
+fn parse_obj(token: &str, line: usize) -> Result<ObjId, TraceParseError> {
+    let digits = token.strip_prefix('X').unwrap_or(token);
+    let index: u32 = digits
+        .parse()
+        .map_err(|_| syntax(line, format!("invalid t-object `{token}`")))?;
+    Ok(ObjId::new(index))
+}
+
+fn parse_value(token: &str, line: usize) -> Result<Value, TraceParseError> {
+    let v: u64 = token
+        .parse()
+        .map_err(|_| syntax(line, format!("invalid value `{token}`")))?;
+    Ok(Value::new(v))
+}
+
+/// Parses the line-oriented trace format into a validated [`History`].
+///
+/// # Errors
+///
+/// Returns [`TraceParseError::Syntax`] for grammar violations and
+/// [`TraceParseError::Malformed`] if the events do not form a well-formed
+/// history.
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::trace::parse_trace;
+///
+/// let h = parse_trace("T1 write X0 1\nT1 ok\nT1 tryc\nT1 commit\n")?;
+/// assert!(h.is_t_complete());
+/// # Ok::<(), duop_history::trace::TraceParseError>(())
+/// ```
+pub fn parse_trace(input: &str) -> Result<History, TraceParseError> {
+    let mut events = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let txn = parse_txn(tokens.next().expect("non-empty line has a token"), line_no)?;
+        let action = tokens
+            .next()
+            .ok_or_else(|| syntax(line_no, "missing action"))?;
+        let event = match action {
+            "read" => {
+                let obj = parse_obj(
+                    tokens
+                        .next()
+                        .ok_or_else(|| syntax(line_no, "read needs an object"))?,
+                    line_no,
+                )?;
+                Event::inv(txn, Op::Read(obj))
+            }
+            "write" => {
+                let obj = parse_obj(
+                    tokens
+                        .next()
+                        .ok_or_else(|| syntax(line_no, "write needs an object"))?,
+                    line_no,
+                )?;
+                let value = parse_value(
+                    tokens
+                        .next()
+                        .ok_or_else(|| syntax(line_no, "write needs a value"))?,
+                    line_no,
+                )?;
+                Event::inv(txn, Op::Write(obj, value))
+            }
+            "tryc" => Event::inv(txn, Op::TryCommit),
+            "trya" => Event::inv(txn, Op::TryAbort),
+            "val" => {
+                let value = parse_value(
+                    tokens
+                        .next()
+                        .ok_or_else(|| syntax(line_no, "val needs a value"))?,
+                    line_no,
+                )?;
+                Event::resp(txn, Ret::Value(value))
+            }
+            "ok" => Event::resp(txn, Ret::Ok),
+            "commit" => Event::resp(txn, Ret::Committed),
+            "abort" => Event::resp(txn, Ret::Aborted),
+            other => return Err(syntax(line_no, format!("unknown action `{other}`"))),
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(syntax(
+                line_no,
+                format!("unexpected trailing token `{extra}`"),
+            ));
+        }
+        events.push(event);
+    }
+    Ok(History::new(events)?)
+}
+
+/// Formats a history in the trace format accepted by [`parse_trace`].
+pub fn format_trace(history: &History) -> String {
+    let mut out = String::new();
+    for ev in history.events() {
+        let txn = ev.txn;
+        let line = match ev.kind {
+            EventKind::Inv(Op::Read(x)) => format!("{txn} read {x}"),
+            EventKind::Inv(Op::Write(x, v)) => format!("{txn} write {x} {v}"),
+            EventKind::Inv(Op::TryCommit) => format!("{txn} tryc"),
+            EventKind::Inv(Op::TryAbort) => format!("{txn} trya"),
+            EventKind::Resp(Ret::Value(v)) => format!("{txn} val {v}"),
+            EventKind::Resp(Ret::Ok) => format!("{txn} ok"),
+            EventKind::Resp(Ret::Committed) => format!("{txn} commit"),
+            EventKind::Resp(Ret::Aborted) => format!("{txn} abort"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a history to JSON (an array of events).
+pub fn to_json(history: &History) -> String {
+    serde_json::to_string(history).expect("histories serialize infallibly")
+}
+
+/// Deserializes a history from JSON, validating well-formedness.
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` for syntax errors or malformed histories.
+pub fn from_json(json: &str) -> Result<History, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    fn sample() -> History {
+        HistoryBuilder::new()
+            .inv_write(TxnId::new(1), ObjId::new(0), Value::new(1))
+            .inv_read(TxnId::new(2), ObjId::new(0))
+            .resp_ok(TxnId::new(1))
+            .resp_value(TxnId::new(2), Value::new(0))
+            .inv_try_commit(TxnId::new(1))
+            .resp_committed(TxnId::new(1))
+            .try_abort(TxnId::new(2))
+            .build()
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        let h = sample();
+        let text = format_trace(&h);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = sample();
+        let back = from_json(&to_json(&h)).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let h = parse_trace("# header\n\nT1 tryc\nT1 commit\n").unwrap();
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn bare_numbers_accepted() {
+        let h = parse_trace("1 write 0 5\n1 ok\n").unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.participates(TxnId::new(1)));
+    }
+
+    #[test]
+    fn syntax_errors_are_located() {
+        let err = parse_trace("T1 frobnicate").unwrap_err();
+        assert!(matches!(err, TraceParseError::Syntax { line: 1, .. }));
+
+        let err = parse_trace("T1 read").unwrap_err();
+        assert!(matches!(err, TraceParseError::Syntax { line: 1, .. }));
+
+        let err = parse_trace("T0 tryc").unwrap_err();
+        assert!(matches!(err, TraceParseError::Syntax { line: 1, .. }));
+
+        let err = parse_trace("T1 tryc extra").unwrap_err();
+        assert!(matches!(err, TraceParseError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn malformed_traces_rejected() {
+        let err = parse_trace("T1 ok\n").unwrap_err();
+        assert!(matches!(err, TraceParseError::Malformed(_)));
+    }
+}

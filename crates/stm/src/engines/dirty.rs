@@ -1,0 +1,166 @@
+//! A deliberately unsafe engine: in-place writes with no locking and no
+//! read validation.
+//!
+//! Writes become visible to other transactions the moment they execute —
+//! *before* the writer invokes `tryC` — which is precisely what
+//! deferred-update semantics forbids; reads never validate, so a
+//! transaction can observe half of another transaction's updates. The
+//! recorded histories routinely violate du-opacity (and usually opacity),
+//! making this the negative control for the checker experiments.
+
+use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use duop_history::{ObjId, Op, Ret, TxnId, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// The dirty-read engine. **Not safe** — by design.
+///
+/// # Examples
+///
+/// ```
+/// use duop_stm::{engines::DirtyRead, Engine, Recorder};
+/// use duop_history::{ObjId, Value};
+///
+/// let engine = DirtyRead::new(1);
+/// let recorder = Recorder::new();
+/// let outcome = engine.run_txn(&recorder, &mut |txn| {
+///     txn.write(ObjId::new(0), Value::new(1))
+/// });
+/// assert!(outcome.is_committed());
+/// ```
+#[derive(Debug)]
+pub struct DirtyRead {
+    cells: Vec<RwLock<Value>>,
+}
+
+impl DirtyRead {
+    /// Creates a store over `objects` t-objects, all holding
+    /// [`Value::INITIAL`].
+    pub fn new(objects: u32) -> Self {
+        DirtyRead {
+            cells: (0..objects).map(|_| RwLock::new(Value::INITIAL)).collect(),
+        }
+    }
+
+    fn cell(&self, obj: ObjId) -> &RwLock<Value> {
+        &self.cells[obj.index() as usize]
+    }
+}
+
+struct DirtyTxn<'a> {
+    engine: &'a DirtyRead,
+    recorder: &'a Recorder,
+    id: TxnId,
+    read_cache: HashMap<ObjId, Value>,
+    written: HashMap<ObjId, Value>,
+}
+
+impl Transaction for DirtyTxn<'_> {
+    fn read(&mut self, obj: ObjId) -> Result<Value, Aborted> {
+        if let Some(&v) = self.written.get(&obj) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.read_cache.get(&obj) {
+            return Ok(v);
+        }
+        self.recorder.invoke(self.id, Op::Read(obj));
+        let v = *self.engine.cell(obj).read();
+        self.read_cache.insert(obj, v);
+        self.recorder.respond(self.id, Ret::Value(v));
+        Ok(v)
+    }
+
+    fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
+        self.recorder.invoke(self.id, Op::Write(obj, value));
+        // In-place, instantly visible to everyone: the deferred-update
+        // violation under study.
+        *self.engine.cell(obj).write() = value;
+        self.written.insert(obj, value);
+        self.recorder.respond(self.id, Ret::Ok);
+        Ok(())
+    }
+}
+
+impl Engine for DirtyRead {
+    fn name(&self) -> &'static str {
+        "dirty-read"
+    }
+
+    fn objects(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    fn run_txn(
+        &self,
+        recorder: &Recorder,
+        body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
+    ) -> TxnOutcome {
+        let id = recorder.begin_txn();
+        let mut txn = DirtyTxn {
+            engine: self,
+            recorder,
+            id,
+            read_cache: HashMap::new(),
+            written: HashMap::new(),
+        };
+        if body(&mut txn).is_err() {
+            // No rollback — the writes stay. Unsafe, as advertised.
+            recorder.invoke(id, Op::TryAbort);
+            recorder.respond(id, Ret::Aborted);
+            return TxnOutcome::Aborted;
+        }
+        recorder.invoke(id, Op::TryCommit);
+        recorder.respond(id, Ret::Committed);
+        TxnOutcome::Committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> ObjId {
+        ObjId::new(i)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn writes_are_immediately_visible() {
+        let engine = DirtyRead::new(1);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| t.write(x(0), v(1)));
+        assert_eq!(*engine.cell(x(0)).read(), v(1));
+    }
+
+    #[test]
+    fn aborts_do_not_roll_back() {
+        let engine = DirtyRead::new(1);
+        let recorder = Recorder::new();
+        let out = engine.run_txn(&recorder, &mut |t| {
+            t.write(x(0), v(7))?;
+            Err(Aborted)
+        });
+        assert_eq!(out, TxnOutcome::Aborted);
+        assert_eq!(
+            *engine.cell(x(0)).read(),
+            v(7),
+            "dirty write leaked, by design"
+        );
+    }
+
+    #[test]
+    fn sequential_use_still_looks_legal() {
+        // Without concurrency the engine cannot misbehave; the recorded
+        // history is legal.
+        let engine = DirtyRead::new(2);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| t.write(x(0), v(2)));
+        engine.run_txn(&recorder, &mut |t| {
+            assert_eq!(t.read(x(0))?, v(2));
+            Ok(())
+        });
+        assert!(recorder.into_history().is_legal());
+    }
+}

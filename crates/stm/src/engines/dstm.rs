@@ -1,0 +1,343 @@
+//! DSTM-style engine: per-object locators with eager conflict detection
+//! and incremental read-set validation (Herlihy, Luchangco, Moir,
+//! Scherer; PODC 2003 — simplified).
+//!
+//! Each t-object holds a *locator*: the owning transaction's status cell
+//! plus the old (pre-transaction) and new (speculative) values. The
+//! committed value of an object is `new` if the owner committed and `old`
+//! otherwise. Writers acquire ownership eagerly, aborting any active
+//! previous owner (an aggressive contention manager); reads are invisible
+//! and the whole read set is re-validated — by write *stamp*, so ABA is
+//! impossible — on every subsequent access and at commit. Commit
+//! validation and the status transition are serialized by a global commit
+//! lock, a simplification over DSTM's lock-free protocol that preserves
+//! its histories' shape.
+
+use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use duop_history::{ObjId, Op, Ret, TxnId, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+const ACTIVE: u8 = 0;
+const COMMITTED: u8 = 1;
+const ABORTED: u8 = 2;
+
+#[derive(Clone, Debug)]
+struct Locator {
+    status: Arc<AtomicU8>,
+    old: Value,
+    new: Value,
+    /// Stamp of the write that produced the currently committed value
+    /// (0 = the initial value).
+    stamp: u64,
+}
+
+impl Locator {
+    /// The committed value and its stamp, as of this locator.
+    fn resolve(&self) -> (Value, u64) {
+        if self.status.load(Ordering::SeqCst) == COMMITTED {
+            (self.new, self.stamp)
+        } else {
+            (self.old, self.stamp.wrapping_sub(1))
+        }
+    }
+}
+
+/// The simplified DSTM engine.
+///
+/// # Examples
+///
+/// ```
+/// use duop_stm::{engines::Dstm, Engine, Recorder};
+/// use duop_history::{ObjId, Value};
+///
+/// let engine = Dstm::new(2);
+/// let recorder = Recorder::new();
+/// let outcome = engine.run_txn(&recorder, &mut |txn| {
+///     txn.write(ObjId::new(0), Value::new(3))
+/// });
+/// assert!(outcome.is_committed());
+/// ```
+#[derive(Debug)]
+pub struct Dstm {
+    cells: Vec<Mutex<Locator>>,
+    stamp: AtomicU64,
+    /// Serializes commit-time validation with the status transition.
+    commit_lock: Mutex<()>,
+}
+
+impl Dstm {
+    /// Creates a DSTM store over `objects` t-objects, all holding
+    /// [`Value::INITIAL`].
+    pub fn new(objects: u32) -> Self {
+        let committed = Arc::new(AtomicU8::new(COMMITTED));
+        Dstm {
+            cells: (0..objects)
+                .map(|_| {
+                    Mutex::new(Locator {
+                        status: Arc::clone(&committed),
+                        old: Value::INITIAL,
+                        new: Value::INITIAL,
+                        stamp: 0,
+                    })
+                })
+                .collect(),
+            stamp: AtomicU64::new(1),
+            commit_lock: Mutex::new(()),
+        }
+    }
+
+    fn cell(&self, obj: ObjId) -> &Mutex<Locator> {
+        &self.cells[obj.index() as usize]
+    }
+}
+
+struct DstmTxn<'a> {
+    engine: &'a Dstm,
+    recorder: &'a Recorder,
+    id: TxnId,
+    status: Arc<AtomicU8>,
+    /// Invisible read set: object, observed committed value, stamp.
+    read_set: Vec<(ObjId, Value, u64)>,
+    read_cache: HashMap<ObjId, Value>,
+    /// Objects this transaction owns (opened for writing).
+    owned: Vec<ObjId>,
+    write_cache: HashMap<ObjId, Value>,
+    aborted: bool,
+}
+
+impl DstmTxn<'_> {
+    fn abort_op(&mut self) -> Aborted {
+        self.status.store(ABORTED, Ordering::SeqCst);
+        self.recorder.respond(self.id, Ret::Aborted);
+        self.aborted = true;
+        Aborted
+    }
+
+    /// Re-validates the invisible read set by stamp.
+    fn validate(&self) -> bool {
+        if self.status.load(Ordering::SeqCst) == ABORTED {
+            return false;
+        }
+        self.read_set.iter().all(|(obj, _, stamp)| {
+            let (_, current) = self.engine.cell(*obj).lock().resolve();
+            current == *stamp
+        })
+    }
+}
+
+impl Transaction for DstmTxn<'_> {
+    fn read(&mut self, obj: ObjId) -> Result<Value, Aborted> {
+        if let Some(&v) = self.write_cache.get(&obj) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.read_cache.get(&obj) {
+            return Ok(v);
+        }
+        self.recorder.invoke(self.id, Op::Read(obj));
+        let (value, stamp) = self.engine.cell(obj).lock().resolve();
+        self.read_set.push((obj, value, stamp));
+        if !self.validate() {
+            return Err(self.abort_op());
+        }
+        self.read_cache.insert(obj, value);
+        self.recorder.respond(self.id, Ret::Value(value));
+        Ok(value)
+    }
+
+    fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
+        self.recorder.invoke(self.id, Op::Write(obj, value));
+        if !self.owned.contains(&obj) {
+            let mut cell = self.engine.cell(obj).lock();
+            let owner_status = cell.status.load(Ordering::SeqCst);
+            if owner_status == ACTIVE && !Arc::ptr_eq(&cell.status, &self.status) {
+                // Aggressive contention management: abort the previous
+                // owner (if it is still active by the time we CAS).
+                let _ = cell.status.compare_exchange(
+                    ACTIVE,
+                    ABORTED,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+            let (committed_value, stamp) = cell.resolve();
+            *cell = Locator {
+                status: Arc::clone(&self.status),
+                old: committed_value,
+                new: value,
+                stamp: stamp.wrapping_add(1),
+            };
+            drop(cell);
+            self.owned.push(obj);
+        } else {
+            let mut cell = self.engine.cell(obj).lock();
+            // Still the owner? Another writer may have stolen the object
+            // and aborted us.
+            if !Arc::ptr_eq(&cell.status, &self.status) {
+                drop(cell);
+                return Err(self.abort_op());
+            }
+            cell.new = value;
+        }
+        if !self.validate() {
+            return Err(self.abort_op());
+        }
+        self.write_cache.insert(obj, value);
+        self.recorder.respond(self.id, Ret::Ok);
+        Ok(())
+    }
+}
+
+impl Engine for Dstm {
+    fn name(&self) -> &'static str {
+        "DSTM"
+    }
+
+    fn objects(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    fn run_txn(
+        &self,
+        recorder: &Recorder,
+        body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
+    ) -> TxnOutcome {
+        let id = recorder.begin_txn();
+        let mut txn = DstmTxn {
+            engine: self,
+            recorder,
+            id,
+            status: Arc::new(AtomicU8::new(ACTIVE)),
+            read_set: Vec::new(),
+            read_cache: HashMap::new(),
+            owned: Vec::new(),
+            write_cache: HashMap::new(),
+            aborted: false,
+        };
+        let body_result = body(&mut txn);
+        if txn.aborted {
+            return TxnOutcome::Aborted;
+        }
+        if body_result.is_err() {
+            recorder.invoke(id, Op::TryAbort);
+            txn.status.store(ABORTED, Ordering::SeqCst);
+            recorder.respond(id, Ret::Aborted);
+            return TxnOutcome::Aborted;
+        }
+        recorder.invoke(id, Op::TryCommit);
+        // Validate and transition atomically w.r.t. other committers.
+        let guard = self.commit_lock.lock();
+        let ok = txn.validate()
+            && txn
+                .status
+                .compare_exchange(ACTIVE, COMMITTED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+        // Stamp the committed writes so later validations see fresh
+        // versions even if values repeat (ABA-freedom).
+        if ok {
+            for obj in &txn.owned {
+                let mut cell = self.cell(*obj).lock();
+                if Arc::ptr_eq(&cell.status, &txn.status) {
+                    cell.stamp = self.stamp.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        drop(guard);
+        if ok {
+            recorder.respond(id, Ret::Committed);
+            TxnOutcome::Committed
+        } else {
+            txn.status.store(ABORTED, Ordering::SeqCst);
+            recorder.respond(id, Ret::Aborted);
+            TxnOutcome::Aborted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> ObjId {
+        ObjId::new(i)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let engine = Dstm::new(2);
+        let recorder = Recorder::new();
+        assert!(engine
+            .run_txn(&recorder, &mut |t| t.write(x(0), v(9)))
+            .is_committed());
+        assert!(engine
+            .run_txn(&recorder, &mut |t| {
+                assert_eq!(t.read(x(0))?, v(9));
+                assert_eq!(t.read(x(1))?, Value::INITIAL);
+                Ok(())
+            })
+            .is_committed());
+        assert!(recorder.into_history().is_legal());
+    }
+
+    #[test]
+    fn aborted_writer_leaves_old_value() {
+        let engine = Dstm::new(1);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| {
+            t.write(x(0), v(7))?;
+            Err(Aborted)
+        });
+        assert!(engine
+            .run_txn(&recorder, &mut |t| {
+                assert_eq!(t.read(x(0))?, Value::INITIAL);
+                Ok(())
+            })
+            .is_committed());
+    }
+
+    #[test]
+    fn read_own_write_is_cached() {
+        let engine = Dstm::new(1);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| {
+            t.write(x(0), v(4))?;
+            assert_eq!(t.read(x(0))?, v(4));
+            Ok(())
+        });
+        assert_eq!(recorder.into_history().len(), 4);
+    }
+
+    #[test]
+    fn multiple_writes_to_same_object() {
+        let engine = Dstm::new(1);
+        let recorder = Recorder::new();
+        assert!(engine
+            .run_txn(&recorder, &mut |t| {
+                t.write(x(0), v(1))?;
+                t.write(x(0), v(2))
+            })
+            .is_committed());
+        assert!(engine
+            .run_txn(&recorder, &mut |t| {
+                assert_eq!(t.read(x(0))?, v(2));
+                Ok(())
+            })
+            .is_committed());
+    }
+
+    #[test]
+    fn stamps_advance_on_commit() {
+        let engine = Dstm::new(1);
+        let recorder = Recorder::new();
+        let (_, s0) = engine.cell(x(0)).lock().resolve();
+        engine.run_txn(&recorder, &mut |t| t.write(x(0), v(5)));
+        let (val, s1) = engine.cell(x(0)).lock().resolve();
+        assert_eq!(val, v(5));
+        assert_ne!(s0, s1);
+    }
+}

@@ -1,0 +1,18 @@
+//! The STM engines: three deferred-update designs (TL2, NOrec, DSTM), one
+//! direct-update lock-based design (eager 2PL), the paper's Section 5
+//! pessimistic counterpoint, and a deliberately unsafe negative control
+//! (dirty-read).
+
+mod dirty;
+mod dstm;
+mod norec;
+mod pessimistic;
+mod tl2;
+mod two_pl;
+
+pub use dirty::DirtyRead;
+pub use dstm::Dstm;
+pub use norec::NoRec;
+pub use pessimistic::Pessimistic;
+pub use tl2::Tl2;
+pub use two_pl::Eager2Pl;

@@ -1,0 +1,257 @@
+//! NOrec: a single global sequence lock with value-based validation
+//! (Dalessandro, Spear, Scott; PPoPP 2010).
+//!
+//! Reads snapshot values consistently by re-validating the whole read set
+//! whenever the global version moves; writers serialize commits through the
+//! sequence lock. NOrec is opaque — but its value-based validation admits
+//! ABA (an object rewritten to a previously read value still validates),
+//! so with small value domains its histories are occasionally **not
+//! du-opaque**. The experiment harness measures exactly this gap.
+
+use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use duop_history::{ObjId, Op, Ret, TxnId, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The NOrec engine.
+///
+/// # Examples
+///
+/// ```
+/// use duop_stm::{engines::NoRec, Engine, Recorder};
+/// use duop_history::{ObjId, Value};
+///
+/// let engine = NoRec::new(2);
+/// let recorder = Recorder::new();
+/// let outcome = engine.run_txn(&recorder, &mut |txn| {
+///     txn.write(ObjId::new(0), Value::new(9))
+/// });
+/// assert!(outcome.is_committed());
+/// ```
+#[derive(Debug)]
+pub struct NoRec {
+    /// Global sequence lock: even = unlocked, odd = a writer is committing.
+    seqlock: AtomicU64,
+    cells: Vec<RwLock<Value>>,
+}
+
+impl NoRec {
+    /// Creates a NOrec store over `objects` t-objects, all holding
+    /// [`Value::INITIAL`].
+    pub fn new(objects: u32) -> Self {
+        NoRec {
+            seqlock: AtomicU64::new(0),
+            cells: (0..objects).map(|_| RwLock::new(Value::INITIAL)).collect(),
+        }
+    }
+
+    fn cell(&self, obj: ObjId) -> &RwLock<Value> {
+        &self.cells[obj.index() as usize]
+    }
+
+    /// Spin until the sequence lock is even, returning its value.
+    fn wait_even(&self) -> u64 {
+        loop {
+            let t = self.seqlock.load(Ordering::SeqCst);
+            if t.is_multiple_of(2) {
+                return t;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+struct NoRecTxn<'a> {
+    engine: &'a NoRec,
+    recorder: &'a Recorder,
+    id: TxnId,
+    /// Global version at which the read set was last known valid.
+    snapshot: u64,
+    read_set: Vec<(ObjId, Value)>,
+    read_cache: HashMap<ObjId, Value>,
+    write_buf: HashMap<ObjId, Value>,
+    aborted: bool,
+}
+
+impl NoRecTxn<'_> {
+    /// Value-based revalidation; returns the (even) time of validity.
+    fn validate(&self) -> Option<u64> {
+        loop {
+            let t = self.engine.wait_even();
+            let ok = self
+                .read_set
+                .iter()
+                .all(|(o, v)| *self.engine.cell(*o).read() == *v);
+            if self.engine.seqlock.load(Ordering::SeqCst) == t {
+                return ok.then_some(t);
+            }
+        }
+    }
+
+    fn abort_op(&mut self) -> Aborted {
+        self.recorder.respond(self.id, Ret::Aborted);
+        self.aborted = true;
+        Aborted
+    }
+}
+
+impl Transaction for NoRecTxn<'_> {
+    fn read(&mut self, obj: ObjId) -> Result<Value, Aborted> {
+        if let Some(&v) = self.write_buf.get(&obj) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.read_cache.get(&obj) {
+            return Ok(v);
+        }
+        self.recorder.invoke(self.id, Op::Read(obj));
+        loop {
+            let before = self.engine.wait_even();
+            if before != self.snapshot {
+                match self.validate() {
+                    Some(t) => self.snapshot = t,
+                    None => return Err(self.abort_op()),
+                }
+                continue;
+            }
+            let value = *self.engine.cell(obj).read();
+            if self.engine.seqlock.load(Ordering::SeqCst) == before {
+                self.read_set.push((obj, value));
+                self.read_cache.insert(obj, value);
+                self.recorder.respond(self.id, Ret::Value(value));
+                return Ok(value);
+            }
+        }
+    }
+
+    fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
+        self.recorder.invoke(self.id, Op::Write(obj, value));
+        self.write_buf.insert(obj, value);
+        self.recorder.respond(self.id, Ret::Ok);
+        Ok(())
+    }
+}
+
+impl Engine for NoRec {
+    fn name(&self) -> &'static str {
+        "NOrec"
+    }
+
+    fn objects(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    fn run_txn(
+        &self,
+        recorder: &Recorder,
+        body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
+    ) -> TxnOutcome {
+        let id = recorder.begin_txn();
+        let mut txn = NoRecTxn {
+            engine: self,
+            recorder,
+            id,
+            snapshot: self.wait_even(),
+            read_set: Vec::new(),
+            read_cache: HashMap::new(),
+            write_buf: HashMap::new(),
+            aborted: false,
+        };
+        let body_result = body(&mut txn);
+        if txn.aborted {
+            return TxnOutcome::Aborted;
+        }
+        if body_result.is_err() {
+            recorder.invoke(id, Op::TryAbort);
+            recorder.respond(id, Ret::Aborted);
+            return TxnOutcome::Aborted;
+        }
+
+        recorder.invoke(id, Op::TryCommit);
+
+        if txn.write_buf.is_empty() {
+            recorder.respond(id, Ret::Committed);
+            return TxnOutcome::Committed;
+        }
+
+        // Acquire the sequence lock, revalidating on every movement.
+        loop {
+            if self
+                .seqlock
+                .compare_exchange(
+                    txn.snapshot,
+                    txn.snapshot + 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                break;
+            }
+            match txn.validate() {
+                Some(t) => txn.snapshot = t,
+                None => {
+                    recorder.respond(id, Ret::Aborted);
+                    return TxnOutcome::Aborted;
+                }
+            }
+        }
+        for (obj, value) in &txn.write_buf {
+            *self.cell(*obj).write() = *value;
+        }
+        self.seqlock.store(txn.snapshot + 2, Ordering::SeqCst);
+        recorder.respond(id, Ret::Committed);
+        TxnOutcome::Committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> ObjId {
+        ObjId::new(i)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let engine = NoRec::new(2);
+        let recorder = Recorder::new();
+        assert!(engine
+            .run_txn(&recorder, &mut |t| t.write(x(0), v(3)))
+            .is_committed());
+        assert!(engine
+            .run_txn(&recorder, &mut |t| {
+                assert_eq!(t.read(x(0))?, v(3));
+                assert_eq!(t.read(x(1))?, Value::INITIAL);
+                Ok(())
+            })
+            .is_committed());
+        assert!(recorder.into_history().is_legal());
+    }
+
+    #[test]
+    fn seqlock_stays_even_after_commits() {
+        let engine = NoRec::new(1);
+        let recorder = Recorder::new();
+        for i in 1..=5 {
+            engine.run_txn(&recorder, &mut |t| t.write(x(0), v(i)));
+        }
+        assert_eq!(engine.seqlock.load(Ordering::SeqCst) % 2, 0);
+        assert_eq!(*engine.cell(x(0)).read(), v(5));
+    }
+
+    #[test]
+    fn read_only_txn_commits_without_locking() {
+        let engine = NoRec::new(1);
+        let recorder = Recorder::new();
+        let before = engine.seqlock.load(Ordering::SeqCst);
+        assert!(engine
+            .run_txn(&recorder, &mut |t| t.read(x(0)).map(|_| ()))
+            .is_committed());
+        assert_eq!(engine.seqlock.load(Ordering::SeqCst), before);
+    }
+}

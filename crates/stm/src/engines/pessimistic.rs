@@ -1,0 +1,223 @@
+//! A pessimistic, no-abort STM in the spirit of Afek–Matveev–Shavit
+//! ("Pessimistic software lock-elision", DISC 2012) — the implementation
+//! the paper's Section 5 singles out as *not* du-opaque.
+//!
+//! Writers serialize on a single global mutex, acquired at their first
+//! write and held to commit, and update the store **in place** as they
+//! execute; readers run without any synchronization or validation. No
+//! transaction ever aborts. Because a writer's updates are visible before
+//! it invokes `tryC`, a concurrent reader can read from a transaction that
+//! has not started committing — exactly the behaviour du-opacity exists to
+//! forbid, and (with multi-object writers) the reader's snapshot can also
+//! be inconsistent, breaking opacity. This engine exists to reproduce that
+//! Section 5 claim; it is not a safe TM.
+
+use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use duop_history::{ObjId, Op, Ret, TxnId, Value};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashMap;
+
+/// The pessimistic no-abort engine. **Not du-opaque** — by design (it is
+/// the paper's Section 5 counterpoint).
+///
+/// # Examples
+///
+/// ```
+/// use duop_stm::{engines::Pessimistic, Engine, Recorder};
+/// use duop_history::{ObjId, Value};
+///
+/// let engine = Pessimistic::new(2);
+/// let recorder = Recorder::new();
+/// let outcome = engine.run_txn(&recorder, &mut |txn| {
+///     txn.write(ObjId::new(0), Value::new(1))
+/// });
+/// assert!(outcome.is_committed());
+/// ```
+#[derive(Debug)]
+pub struct Pessimistic {
+    cells: Vec<RwLock<Value>>,
+    writer_lock: Mutex<()>,
+}
+
+impl Pessimistic {
+    /// Creates a store over `objects` t-objects, all holding
+    /// [`Value::INITIAL`].
+    pub fn new(objects: u32) -> Self {
+        Pessimistic {
+            cells: (0..objects).map(|_| RwLock::new(Value::INITIAL)).collect(),
+            writer_lock: Mutex::new(()),
+        }
+    }
+
+    fn cell(&self, obj: ObjId) -> &RwLock<Value> {
+        &self.cells[obj.index() as usize]
+    }
+}
+
+struct PessimisticTxn<'a> {
+    engine: &'a Pessimistic,
+    recorder: &'a Recorder,
+    id: TxnId,
+    /// Held from the first write until commit.
+    writer_guard: Option<MutexGuard<'a, ()>>,
+    /// Original values for rollback if the body gives up voluntarily.
+    undo: Vec<(ObjId, Value)>,
+    read_cache: HashMap<ObjId, Value>,
+    written: HashMap<ObjId, Value>,
+}
+
+impl Transaction for PessimisticTxn<'_> {
+    fn read(&mut self, obj: ObjId) -> Result<Value, Aborted> {
+        if let Some(&v) = self.written.get(&obj) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.read_cache.get(&obj) {
+            return Ok(v);
+        }
+        self.recorder.invoke(self.id, Op::Read(obj));
+        // Unvalidated read: may observe another writer's in-place,
+        // not-yet-committing state.
+        let v = *self.engine.cell(obj).read();
+        self.read_cache.insert(obj, v);
+        self.recorder.respond(self.id, Ret::Value(v));
+        Ok(v)
+    }
+
+    fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
+        self.recorder.invoke(self.id, Op::Write(obj, value));
+        if self.writer_guard.is_none() {
+            // Block until we are the writer; pessimism means no abort.
+            self.writer_guard = Some(self.engine.writer_lock.lock());
+        }
+        {
+            let mut cell = self.engine.cell(obj).write();
+            if !self.undo.iter().any(|(o, _)| *o == obj) {
+                self.undo.push((obj, *cell));
+            }
+            *cell = value;
+        }
+        self.written.insert(obj, value);
+        self.recorder.respond(self.id, Ret::Ok);
+        Ok(())
+    }
+}
+
+impl Engine for Pessimistic {
+    fn name(&self) -> &'static str {
+        "pessimistic"
+    }
+
+    fn objects(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    fn run_txn(
+        &self,
+        recorder: &Recorder,
+        body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
+    ) -> TxnOutcome {
+        let id = recorder.begin_txn();
+        let mut txn = PessimisticTxn {
+            engine: self,
+            recorder,
+            id,
+            writer_guard: None,
+            undo: Vec::new(),
+            read_cache: HashMap::new(),
+            written: HashMap::new(),
+        };
+        let body_result = body(&mut txn);
+        if body_result.is_err() {
+            // The engine never aborts; a voluntary give-up still rolls
+            // back under the held writer lock.
+            recorder.invoke(id, Op::TryAbort);
+            for (obj, original) in txn.undo.drain(..).rev() {
+                *self.cell(obj).write() = original;
+            }
+            drop(txn.writer_guard.take());
+            recorder.respond(id, Ret::Aborted);
+            return TxnOutcome::Aborted;
+        }
+        recorder.invoke(id, Op::TryCommit);
+        drop(txn.writer_guard.take());
+        recorder.respond(id, Ret::Committed);
+        TxnOutcome::Committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> ObjId {
+        ObjId::new(i)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn writes_are_visible_before_try_commit() {
+        let engine = Pessimistic::new(1);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| {
+            t.write(x(0), v(1))?;
+            // Mid-transaction, the store already holds the new value.
+            assert_eq!(*engine.cell(x(0)).read(), v(1));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn never_aborts_under_contention() {
+        use std::sync::Arc;
+        let engine = Arc::new(Pessimistic::new(2));
+        let recorder = Arc::new(Recorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let engine = Arc::clone(&engine);
+                let recorder = Arc::clone(&recorder);
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        let out = engine.run_txn(&recorder, &mut |t| {
+                            t.write(x(0), v(k * 100 + i))?;
+                            t.write(x(1), v(k * 100 + i))
+                        });
+                        assert!(out.is_committed());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn voluntary_give_up_rolls_back() {
+        let engine = Pessimistic::new(1);
+        let recorder = Recorder::new();
+        let out = engine.run_txn(&recorder, &mut |t| {
+            t.write(x(0), v(9))?;
+            Err(Aborted)
+        });
+        assert_eq!(out, TxnOutcome::Aborted);
+        assert_eq!(*engine.cell(x(0)).read(), Value::INITIAL);
+        // The lock is released: another writer proceeds.
+        assert!(engine
+            .run_txn(&recorder, &mut |t| t.write(x(0), v(1)))
+            .is_committed());
+    }
+
+    #[test]
+    fn sequential_use_is_legal() {
+        let engine = Pessimistic::new(2);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| t.write(x(0), v(3)));
+        engine.run_txn(&recorder, &mut |t| {
+            assert_eq!(t.read(x(0))?, v(3));
+            Ok(())
+        });
+        assert!(recorder.into_history().is_legal());
+    }
+}

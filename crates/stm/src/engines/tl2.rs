@@ -1,0 +1,277 @@
+//! TL2: commit-time locking with a global version clock (Dice, Shalev,
+//! Shavit; DISC 2006).
+//!
+//! Reads validate against the transaction's read version and are invisible;
+//! commits lock the write set (no-wait), validate the read set, advance the
+//! global clock and publish versioned values. TL2 guarantees opacity — and,
+//! because versions rule out ABA, the recorded histories are du-opaque.
+
+use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use duop_history::{ObjId, Op, Ret, TxnId, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug)]
+struct Cell {
+    /// (version, value); the `RwLock`'s writer side doubles as the commit
+    /// lock.
+    state: RwLock<(u64, Value)>,
+}
+
+/// The TL2 engine.
+///
+/// # Examples
+///
+/// ```
+/// use duop_stm::{engines::Tl2, Engine, Recorder};
+/// use duop_history::{ObjId, Value};
+///
+/// let engine = Tl2::new(4);
+/// let recorder = Recorder::new();
+/// let outcome = engine.run_txn(&recorder, &mut |txn| {
+///     let v = txn.read(ObjId::new(0))?;
+///     txn.write(ObjId::new(1), Value::new(v.get() + 1))
+/// });
+/// assert!(outcome.is_committed());
+/// ```
+#[derive(Debug)]
+pub struct Tl2 {
+    clock: AtomicU64,
+    cells: Vec<Cell>,
+}
+
+impl Tl2 {
+    /// Creates a TL2 store over `objects` t-objects, all holding
+    /// [`Value::INITIAL`].
+    pub fn new(objects: u32) -> Self {
+        Tl2 {
+            clock: AtomicU64::new(0),
+            cells: (0..objects)
+                .map(|_| Cell {
+                    state: RwLock::new((0, Value::INITIAL)),
+                })
+                .collect(),
+        }
+    }
+
+    fn cell(&self, obj: ObjId) -> &Cell {
+        &self.cells[obj.index() as usize]
+    }
+}
+
+struct Tl2Txn<'a> {
+    engine: &'a Tl2,
+    recorder: &'a Recorder,
+    id: TxnId,
+    rv: u64,
+    read_cache: HashMap<ObjId, Value>,
+    write_buf: HashMap<ObjId, Value>,
+    aborted: bool,
+}
+
+impl Tl2Txn<'_> {
+    fn abort_op(&mut self) -> Aborted {
+        self.recorder.respond(self.id, Ret::Aborted);
+        self.aborted = true;
+        Aborted
+    }
+}
+
+impl Transaction for Tl2Txn<'_> {
+    fn read(&mut self, obj: ObjId) -> Result<Value, Aborted> {
+        if let Some(&v) = self.write_buf.get(&obj) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.read_cache.get(&obj) {
+            return Ok(v);
+        }
+        self.recorder.invoke(self.id, Op::Read(obj));
+        let (version, value) = *self.engine.cell(obj).state.read();
+        if version > self.rv {
+            return Err(self.abort_op());
+        }
+        self.read_cache.insert(obj, value);
+        self.recorder.respond(self.id, Ret::Value(value));
+        Ok(value)
+    }
+
+    fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
+        self.recorder.invoke(self.id, Op::Write(obj, value));
+        self.write_buf.insert(obj, value);
+        self.recorder.respond(self.id, Ret::Ok);
+        Ok(())
+    }
+}
+
+impl Engine for Tl2 {
+    fn name(&self) -> &'static str {
+        "TL2"
+    }
+
+    fn objects(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    fn run_txn(
+        &self,
+        recorder: &Recorder,
+        body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
+    ) -> TxnOutcome {
+        let id = recorder.begin_txn();
+        let mut txn = Tl2Txn {
+            engine: self,
+            recorder,
+            id,
+            rv: self.clock.load(Ordering::SeqCst),
+            read_cache: HashMap::new(),
+            write_buf: HashMap::new(),
+            aborted: false,
+        };
+        let body_result = body(&mut txn);
+        if txn.aborted {
+            return TxnOutcome::Aborted;
+        }
+        if body_result.is_err() {
+            // The body gave up on its own: record an explicit tryA.
+            recorder.invoke(id, Op::TryAbort);
+            recorder.respond(id, Ret::Aborted);
+            return TxnOutcome::Aborted;
+        }
+
+        recorder.invoke(id, Op::TryCommit);
+
+        // Read-only transactions validated every read against rv: commit.
+        if txn.write_buf.is_empty() {
+            recorder.respond(id, Ret::Committed);
+            return TxnOutcome::Committed;
+        }
+
+        // Lock the write set in object order (no-wait: conflict aborts).
+        let mut write_set: Vec<(ObjId, Value)> =
+            txn.write_buf.iter().map(|(o, v)| (*o, *v)).collect();
+        write_set.sort_unstable_by_key(|(o, _)| *o);
+        let mut guards = Vec::with_capacity(write_set.len());
+        for (obj, _) in &write_set {
+            match self.cell(*obj).state.try_write() {
+                Some(g) => guards.push(g),
+                None => {
+                    recorder.respond(id, Ret::Aborted);
+                    return TxnOutcome::Aborted;
+                }
+            }
+        }
+
+        let wv = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+
+        // Validate the whole read set. Objects we also write are validated
+        // through the guards we hold (another transaction may have
+        // committed them between our read and our lock acquisition);
+        // everything else through a non-blocking read of the cell.
+        for obj in txn.read_cache.keys() {
+            let current = if let Some(pos) = write_set.iter().position(|(o, _)| o == obj) {
+                guards[pos].0
+            } else {
+                match self.cell(*obj).state.try_read() {
+                    Some(g) => g.0,
+                    None => {
+                        recorder.respond(id, Ret::Aborted);
+                        return TxnOutcome::Aborted;
+                    }
+                }
+            };
+            if current > txn.rv {
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+        }
+
+        for (guard, (_, value)) in guards.iter_mut().zip(&write_set) {
+            **guard = (wv, *value);
+        }
+        drop(guards);
+        recorder.respond(id, Ret::Committed);
+        TxnOutcome::Committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> ObjId {
+        ObjId::new(i)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn sequential_read_write_commit() {
+        let engine = Tl2::new(2);
+        let recorder = Recorder::new();
+        let out = engine.run_txn(&recorder, &mut |t| {
+            assert_eq!(t.read(x(0))?, Value::INITIAL);
+            t.write(x(0), v(5))
+        });
+        assert!(out.is_committed());
+        let out = engine.run_txn(&recorder, &mut |t| {
+            assert_eq!(t.read(x(0))?, v(5));
+            Ok(())
+        });
+        assert!(out.is_committed());
+        let h = recorder.into_history();
+        assert!(h.is_legal());
+    }
+
+    #[test]
+    fn read_own_write_without_extra_event() {
+        let engine = Tl2::new(1);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| {
+            t.write(x(0), v(7))?;
+            assert_eq!(t.read(x(0))?, v(7));
+            Ok(())
+        });
+        let h = recorder.into_history();
+        // write inv/resp + tryC inv/resp only: the own-write read records
+        // no event.
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn repeated_read_is_cached() {
+        let engine = Tl2::new(1);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| {
+            t.read(x(0))?;
+            t.read(x(0))?;
+            Ok(())
+        });
+        let h = recorder.into_history();
+        // One read + tryC.
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn stale_read_version_aborts() {
+        let engine = Tl2::new(1);
+        let recorder = Recorder::new();
+        // Start T1 so its rv is the initial clock, then commit T2's write
+        // (advancing the clock), then have T1 read: version > rv → abort.
+        // Simulated by two sequential run_txn calls with an interleaved
+        // body is impossible on one thread; instead check the version
+        // mechanics directly: after a committed write the clock advanced.
+        engine.run_txn(&recorder, &mut |t| t.write(x(0), v(1)));
+        assert_eq!(engine.clock.load(Ordering::SeqCst), 1);
+        assert_eq!(engine.cell(x(0)).state.read().0, 1);
+    }
+
+    #[test]
+    fn body_abort_is_final() {
+        let engine = Tl2::new(1);
+        let recorder = Recorder::new();
+        let out = engine.run_txn(&recorder, &mut |_t| Err(Aborted));
+        assert_eq!(out, TxnOutcome::Aborted);
+    }
+}

@@ -1,0 +1,236 @@
+//! Eager (encounter-time) strict two-phase locking with direct update.
+//!
+//! Every access takes the object's lock with no-wait conflict resolution
+//! (`try_lock` failure aborts the transaction, so deadlock is impossible);
+//! writes go *directly* to the store with an undo log; locks are held until
+//! commit or abort. This is the lock-based, direct-update design the
+//! paper's Discussion contrasts with deferred update: readers can never
+//! observe uncommitted state because the lock shields it, so the recorded
+//! histories remain du-opaque even though the store is updated in place.
+
+use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use duop_history::{ObjId, Op, Ret, TxnId, Value};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+
+/// The eager 2PL engine.
+///
+/// # Examples
+///
+/// ```
+/// use duop_stm::{engines::Eager2Pl, Engine, Recorder};
+/// use duop_history::{ObjId, Value};
+///
+/// let engine = Eager2Pl::new(2);
+/// let recorder = Recorder::new();
+/// let outcome = engine.run_txn(&recorder, &mut |txn| {
+///     txn.write(ObjId::new(0), Value::new(1))
+/// });
+/// assert!(outcome.is_committed());
+/// ```
+#[derive(Debug)]
+pub struct Eager2Pl {
+    cells: Vec<Mutex<Value>>,
+}
+
+impl Eager2Pl {
+    /// Creates a store over `objects` t-objects, all holding
+    /// [`Value::INITIAL`].
+    pub fn new(objects: u32) -> Self {
+        Eager2Pl {
+            cells: (0..objects).map(|_| Mutex::new(Value::INITIAL)).collect(),
+        }
+    }
+
+    fn cell(&self, obj: ObjId) -> &Mutex<Value> {
+        &self.cells[obj.index() as usize]
+    }
+}
+
+struct TwoPlTxn<'a> {
+    engine: &'a Eager2Pl,
+    recorder: &'a Recorder,
+    id: TxnId,
+    /// Held locks, keyed by object.
+    guards: HashMap<ObjId, MutexGuard<'a, Value>>,
+    /// Original values of objects written (for rollback), in write order.
+    undo: Vec<(ObjId, Value)>,
+    read_cache: HashMap<ObjId, Value>,
+    aborted: bool,
+}
+
+impl<'a> TwoPlTxn<'a> {
+    /// Acquires the object's lock (no-wait). `None` means conflict.
+    fn acquire(&mut self, obj: ObjId) -> Option<()> {
+        if self.guards.contains_key(&obj) {
+            return Some(());
+        }
+        let guard = self.engine.cell(obj).try_lock()?;
+        self.guards.insert(obj, guard);
+        Some(())
+    }
+
+    fn rollback(&mut self) {
+        for (obj, original) in self.undo.drain(..).rev() {
+            if let Some(guard) = self.guards.get_mut(&obj) {
+                **guard = original;
+            }
+        }
+        self.guards.clear();
+    }
+
+    fn abort_op(&mut self) -> Aborted {
+        self.rollback();
+        self.recorder.respond(self.id, Ret::Aborted);
+        self.aborted = true;
+        Aborted
+    }
+}
+
+impl Transaction for TwoPlTxn<'_> {
+    fn read(&mut self, obj: ObjId) -> Result<Value, Aborted> {
+        // A previously written object: serve the in-place value silently
+        // (checked before the read cache so own writes shadow earlier
+        // reads).
+        if self.undo.iter().any(|(o, _)| *o == obj) {
+            let v = **self.guards.get(&obj).expect("written object is locked");
+            return Ok(v);
+        }
+        if let Some(&v) = self.read_cache.get(&obj) {
+            return Ok(v);
+        }
+        self.recorder.invoke(self.id, Op::Read(obj));
+        if self.acquire(obj).is_none() {
+            return Err(self.abort_op());
+        }
+        let v = **self.guards.get(&obj).expect("just acquired");
+        self.read_cache.insert(obj, v);
+        self.recorder.respond(self.id, Ret::Value(v));
+        Ok(v)
+    }
+
+    fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
+        self.recorder.invoke(self.id, Op::Write(obj, value));
+        if self.acquire(obj).is_none() {
+            return Err(self.abort_op());
+        }
+        let guard = self.guards.get_mut(&obj).expect("just acquired");
+        if !self.undo.iter().any(|(o, _)| *o == obj) {
+            self.undo.push((obj, **guard));
+        }
+        **guard = value;
+        self.recorder.respond(self.id, Ret::Ok);
+        Ok(())
+    }
+}
+
+impl Engine for Eager2Pl {
+    fn name(&self) -> &'static str {
+        "eager 2PL"
+    }
+
+    fn objects(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    fn run_txn(
+        &self,
+        recorder: &Recorder,
+        body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
+    ) -> TxnOutcome {
+        let id = recorder.begin_txn();
+        let mut txn = TwoPlTxn {
+            engine: self,
+            recorder,
+            id,
+            guards: HashMap::new(),
+            undo: Vec::new(),
+            read_cache: HashMap::new(),
+            aborted: false,
+        };
+        let body_result = body(&mut txn);
+        if txn.aborted {
+            return TxnOutcome::Aborted;
+        }
+        if body_result.is_err() {
+            recorder.invoke(id, Op::TryAbort);
+            txn.rollback();
+            recorder.respond(id, Ret::Aborted);
+            return TxnOutcome::Aborted;
+        }
+        recorder.invoke(id, Op::TryCommit);
+        // Strict 2PL: release every lock at commit; updates are already in
+        // place.
+        txn.guards.clear();
+        recorder.respond(id, Ret::Committed);
+        TxnOutcome::Committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> ObjId {
+        ObjId::new(i)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn direct_update_with_rollback() {
+        let engine = Eager2Pl::new(1);
+        let recorder = Recorder::new();
+        // Body aborts after writing: the store must roll back.
+        let out = engine.run_txn(&recorder, &mut |t| {
+            t.write(x(0), v(9))?;
+            Err(Aborted)
+        });
+        assert_eq!(out, TxnOutcome::Aborted);
+        assert_eq!(*engine.cell(x(0)).lock(), Value::INITIAL);
+    }
+
+    #[test]
+    fn committed_write_persists() {
+        let engine = Eager2Pl::new(1);
+        let recorder = Recorder::new();
+        assert!(engine
+            .run_txn(&recorder, &mut |t| t.write(x(0), v(4)))
+            .is_committed());
+        assert_eq!(*engine.cell(x(0)).lock(), v(4));
+        assert!(engine
+            .run_txn(&recorder, &mut |t| {
+                assert_eq!(t.read(x(0))?, v(4));
+                Ok(())
+            })
+            .is_committed());
+        assert!(recorder.into_history().is_legal());
+    }
+
+    #[test]
+    fn locks_released_after_commit_and_abort() {
+        let engine = Eager2Pl::new(2);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| {
+            t.read(x(0))?;
+            t.write(x(1), v(1))
+        });
+        // Both locks must be free again.
+        assert!(engine.cell(x(0)).try_lock().is_some());
+        assert!(engine.cell(x(1)).try_lock().is_some());
+    }
+
+    #[test]
+    fn read_after_own_write_sees_in_place_value() {
+        let engine = Eager2Pl::new(1);
+        let recorder = Recorder::new();
+        engine.run_txn(&recorder, &mut |t| {
+            t.write(x(0), v(6))?;
+            assert_eq!(t.read(x(0))?, v(6));
+            Ok(())
+        });
+        // The read-after-write records no event.
+        assert_eq!(recorder.into_history().len(), 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Multi-threaded software transactional memory engines that record the
+//! histories the paper's model is about.
+//!
+//! Six engines behind one [`Engine`] trait:
+//!
+//! * [`engines::Tl2`] — commit-time locking with a global version clock
+//!   (deferred update; du-opaque histories);
+//! * [`engines::NoRec`] — global sequence lock with value-based validation
+//!   (deferred update; opaque, but ABA can break du-opacity — the gap the
+//!   experiments measure);
+//! * [`engines::Dstm`] — DSTM-style locators with eager ownership and
+//!   stamp-validated invisible reads (deferred update; du-opaque);
+//! * [`engines::Eager2Pl`] — encounter-time strict two-phase locking with
+//!   direct update (locks shield uncommitted state);
+//! * [`engines::Pessimistic`] — the no-abort, write-in-place design the
+//!   paper's Section 5 calls out as **not** du-opaque;
+//! * [`engines::DirtyRead`] — no locking, no validation: the negative
+//!   control whose histories the checkers must reject.
+//!
+//! [`run_workload`] drives any engine from multiple OS threads and returns
+//! the globally ordered [`History`](duop_history::History) for the
+//! `duop-core` checkers.
+//!
+//! # Example
+//!
+//! ```
+//! use duop_stm::{engines::Tl2, run_workload, WorkloadConfig};
+//!
+//! let engine = Tl2::new(8);
+//! let (history, stats) = run_workload(&engine, &WorkloadConfig::default());
+//! assert_eq!(history.txn_count(), stats.attempts());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod engines;
+
+mod recorder;
+mod txn;
+mod workload;
+
+pub use recorder::Recorder;
+pub use txn::{Aborted, Engine, Transaction, TxnOutcome};
+pub use workload::{run_workload, WorkloadConfig, WorkloadStats};

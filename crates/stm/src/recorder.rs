@@ -1,0 +1,135 @@
+//! Global history recording for multi-threaded STM runs.
+
+use duop_history::{Event, History, Op, Ret, TxnId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A thread-safe event recorder establishing the global total order of
+/// invocation and response events.
+///
+/// Engines record each operation's invocation *before* doing any work and
+/// its response *after* the work is done, so every operation's effect falls
+/// between its two events — exactly the real-time semantics the history
+/// model assigns to t-operations.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+    next_txn: AtomicU32,
+}
+
+impl Recorder {
+    /// Creates an empty recorder. Transaction ids start at 1 (`T_0` is the
+    /// model's imaginary initializer).
+    pub fn new() -> Self {
+        Recorder {
+            events: Mutex::new(Vec::new()),
+            next_txn: AtomicU32::new(1),
+        }
+    }
+
+    /// Allocates a fresh transaction identifier.
+    pub fn begin_txn(&self) -> TxnId {
+        TxnId::new(self.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Records an invocation event.
+    pub fn invoke(&self, txn: TxnId, op: Op) {
+        self.events.lock().push(Event::inv(txn, op));
+    }
+
+    /// Records a response event.
+    pub fn respond(&self, txn: TxnId, ret: Ret) {
+        self.events.lock().push(Event::resp(txn, ret));
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extracts the recorded history, validating well-formedness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an engine recorded a malformed event sequence — that is an
+    /// engine bug, not a user error.
+    pub fn into_history(self) -> History {
+        History::new(self.events.into_inner()).expect("engines record well-formed histories")
+    }
+
+    /// Clones the events recorded so far into a history (for observing a
+    /// run in progress; per-transaction subsequences are well-formed, but a
+    /// concurrent writer may be between its invocation and response).
+    pub fn snapshot(&self) -> History {
+        History::new(self.events.lock().clone()).expect("engines record well-formed histories")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duop_history::{ObjId, Value};
+
+    #[test]
+    fn allocates_distinct_ids_from_one() {
+        let r = Recorder::new();
+        let a = r.begin_txn();
+        let b = r.begin_txn();
+        assert_eq!(a, TxnId::new(1));
+        assert_eq!(b, TxnId::new(2));
+    }
+
+    #[test]
+    fn records_in_order() {
+        let r = Recorder::new();
+        let t = r.begin_txn();
+        r.invoke(t, Op::Write(ObjId::new(0), Value::new(1)));
+        r.respond(t, Ret::Ok);
+        r.invoke(t, Op::TryCommit);
+        r.respond(t, Ret::Committed);
+        assert_eq!(r.len(), 4);
+        let h = r.into_history();
+        assert!(h.txn(t).unwrap().is_committed());
+    }
+
+    #[test]
+    fn concurrent_recording_is_well_formed() {
+        use std::sync::Arc;
+        let r = Arc::new(Recorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let t = r.begin_txn();
+                        r.invoke(t, Op::Write(ObjId::new(0), Value::new(1)));
+                        r.respond(t, Ret::Ok);
+                        r.invoke(t, Op::TryCommit);
+                        r.respond(t, Ret::Committed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let history = Arc::try_unwrap(r).unwrap().into_history();
+        assert_eq!(history.txn_count(), 200);
+        assert!(history.is_t_complete());
+    }
+
+    #[test]
+    fn snapshot_observes_partial_run() {
+        let r = Recorder::new();
+        let t = r.begin_txn();
+        r.invoke(t, Op::TryCommit);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(!snap.txn(t).unwrap().is_complete());
+    }
+}

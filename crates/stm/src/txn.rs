@@ -1,0 +1,105 @@
+//! The transaction-facing API shared by all engines.
+
+use duop_history::{ObjId, Value};
+use std::error::Error;
+use std::fmt;
+
+/// The transaction has aborted; the current attempt must stop.
+///
+/// Returned by [`Transaction::read`] and [`Transaction::write`] when the
+/// engine kills the transaction (validation failure, lock conflict, ...).
+/// The abort event `A_k` has already been recorded when this is returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Aborted;
+
+impl fmt::Display for Aborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted")
+    }
+}
+
+impl Error for Aborted {}
+
+/// Operations available inside a transaction body.
+///
+/// Reads are cached: only the first read of each t-object performs (and
+/// records) a t-operation, matching the model's at-most-one-read-per-object
+/// assumption; subsequent reads, and reads of objects the transaction has
+/// written, are served from the transaction's private state without
+/// recording.
+pub trait Transaction {
+    /// Reads a t-object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] if the engine aborts the transaction (e.g. on
+    /// validation failure).
+    fn read(&mut self, obj: ObjId) -> Result<Value, Aborted>;
+
+    /// Writes a value to a t-object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] if the engine aborts the transaction (e.g. on a
+    /// lock conflict in an encounter-time engine).
+    fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted>;
+}
+
+/// Result of one transaction attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// The attempt committed (`C_k` recorded).
+    Committed,
+    /// The attempt aborted (`A_k` recorded) — either the engine killed it
+    /// or commit-time validation failed.
+    Aborted,
+}
+
+impl TxnOutcome {
+    /// Returns `true` for [`TxnOutcome::Committed`].
+    pub fn is_committed(self) -> bool {
+        matches!(self, TxnOutcome::Committed)
+    }
+}
+
+/// A software transactional memory engine that records its histories.
+///
+/// Engines are shared across threads ([`Send`] + [`Sync`]); each
+/// [`run_txn`](Engine::run_txn) call performs one transaction *attempt* —
+/// retrying after an abort is the caller's business (and produces a fresh
+/// transaction identifier, as the model requires).
+pub trait Engine: Send + Sync {
+    /// Human-readable engine name.
+    fn name(&self) -> &'static str;
+
+    /// Number of t-objects in the store.
+    fn objects(&self) -> u32;
+
+    /// Runs one transaction attempt: allocates an id, executes `body`
+    /// against a fresh transaction, and — if the body completes without
+    /// aborting — attempts to commit.
+    ///
+    /// If `body` returns `Err(Aborted)` the attempt counts as aborted (the
+    /// abort response is already recorded).
+    fn run_txn(
+        &self,
+        recorder: &crate::Recorder,
+        body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
+    ) -> TxnOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessor() {
+        assert!(TxnOutcome::Committed.is_committed());
+        assert!(!TxnOutcome::Aborted.is_committed());
+    }
+
+    #[test]
+    fn aborted_displays() {
+        assert_eq!(Aborted.to_string(), "transaction aborted");
+    }
+}

@@ -1,0 +1,222 @@
+//! Multi-threaded workload driving and history capture.
+
+use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use duop_history::{History, ObjId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parameters of a randomized read/write workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Logical transactions per thread (each may be attempted several
+    /// times; every attempt is a fresh transaction in the history).
+    pub txns_per_thread: usize,
+    /// Inclusive range of data operations per transaction.
+    pub ops_per_txn: (usize, usize),
+    /// Probability that a data operation is a read.
+    pub read_ratio: f64,
+    /// Give every write a globally unique value; otherwise draw from a
+    /// small domain (1..=3), which permits ABA patterns.
+    pub unique_values: bool,
+    /// Maximum attempts per logical transaction (1 = no retry).
+    pub max_attempts: usize,
+    /// Yield the OS thread between operations, widening race windows —
+    /// useful when hunting for rare interleavings.
+    pub yield_between_ops: bool,
+    /// Base RNG seed (each thread derives its own).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            threads: 4,
+            txns_per_thread: 10,
+            ops_per_txn: (1, 4),
+            read_ratio: 0.6,
+            unique_values: true,
+            max_attempts: 3,
+            yield_between_ops: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregate outcome of a workload run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadStats {
+    /// Transaction attempts that committed.
+    pub committed: usize,
+    /// Transaction attempts that aborted.
+    pub aborted: usize,
+}
+
+impl WorkloadStats {
+    /// Total attempts.
+    pub fn attempts(&self) -> usize {
+        self.committed + self.aborted
+    }
+}
+
+/// Runs the workload against `engine` on `config.threads` OS threads and
+/// returns the recorded history with attempt statistics.
+///
+/// Each logical transaction executes a random straight-line body (reads
+/// and writes over the engine's objects); aborted attempts are retried up
+/// to `max_attempts`, every attempt appearing in the history under a fresh
+/// transaction identifier, exactly as the paper's model prescribes.
+pub fn run_workload(engine: &dyn Engine, config: &WorkloadConfig) -> (History, WorkloadStats) {
+    let recorder = Recorder::new();
+    let unique_counter = AtomicU64::new(1);
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for tid in 0..config.threads {
+            let recorder = &recorder;
+            let unique_counter = &unique_counter;
+            let committed = &committed;
+            let aborted = &aborted;
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(config.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9));
+                for _ in 0..config.txns_per_thread {
+                    // Plan the body once per logical transaction.
+                    let ops = plan_ops(&mut rng, engine.objects(), &config, unique_counter);
+                    for attempt in 0..config.max_attempts.max(1) {
+                        let mut body = |txn: &mut dyn Transaction| -> Result<(), Aborted> {
+                            for op in &ops {
+                                match *op {
+                                    PlannedOp::Read(obj) => {
+                                        txn.read(obj)?;
+                                    }
+                                    PlannedOp::Write(obj, v) => txn.write(obj, v)?,
+                                }
+                                if config.yield_between_ops {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            Ok(())
+                        };
+                        match engine.run_txn(recorder, &mut body) {
+                            TxnOutcome::Committed => {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            TxnOutcome::Aborted => {
+                                aborted.fetch_add(1, Ordering::Relaxed);
+                                let _ = attempt;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = WorkloadStats {
+        committed: committed.load(Ordering::Relaxed) as usize,
+        aborted: aborted.load(Ordering::Relaxed) as usize,
+    };
+    (recorder.into_history(), stats)
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PlannedOp {
+    Read(ObjId),
+    Write(ObjId, Value),
+}
+
+fn plan_ops(
+    rng: &mut StdRng,
+    objects: u32,
+    config: &WorkloadConfig,
+    unique_counter: &AtomicU64,
+) -> Vec<PlannedOp> {
+    let count =
+        rng.gen_range(config.ops_per_txn.0..=config.ops_per_txn.1.max(config.ops_per_txn.0));
+    (0..count)
+        .map(|_| {
+            let obj = ObjId::new(rng.gen_range(0..objects.max(1)));
+            if rng.gen_bool(config.read_ratio) {
+                PlannedOp::Read(obj)
+            } else {
+                let value = if config.unique_values {
+                    Value::new(unique_counter.fetch_add(1, Ordering::Relaxed))
+                } else {
+                    Value::new(rng.gen_range(1..=3))
+                };
+                PlannedOp::Write(obj, value)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::{DirtyRead, Eager2Pl, NoRec, Tl2};
+
+    fn small() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 4,
+            txns_per_thread: 8,
+            ops_per_txn: (1, 3),
+            read_ratio: 0.5,
+            unique_values: true,
+            max_attempts: 3,
+            yield_between_ops: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn tl2_workload_records_history() {
+        let engine = Tl2::new(4);
+        let (h, stats) = run_workload(&engine, &small());
+        assert!(stats.committed > 0);
+        assert_eq!(h.txn_count(), stats.attempts());
+        assert!(h.is_t_complete());
+    }
+
+    #[test]
+    fn norec_workload_records_history() {
+        let engine = NoRec::new(4);
+        let (h, stats) = run_workload(&engine, &small());
+        assert!(stats.committed > 0);
+        assert_eq!(h.txn_count(), stats.attempts());
+    }
+
+    #[test]
+    fn two_pl_workload_records_history() {
+        let engine = Eager2Pl::new(4);
+        let (h, stats) = run_workload(&engine, &small());
+        assert!(stats.committed > 0);
+        assert_eq!(h.txn_count(), stats.attempts());
+    }
+
+    #[test]
+    fn dirty_workload_records_history() {
+        let engine = DirtyRead::new(4);
+        let (h, stats) = run_workload(&engine, &small());
+        assert_eq!(stats.aborted, 0, "dirty engine never aborts");
+        assert_eq!(h.txn_count(), stats.attempts());
+    }
+
+    #[test]
+    fn single_thread_runs_are_deterministic_histories() {
+        let cfg = WorkloadConfig {
+            threads: 1,
+            ..small()
+        };
+        let engine = Tl2::new(4);
+        let (a, _) = run_workload(&engine, &cfg);
+        let engine2 = Tl2::new(4);
+        let (b, _) = run_workload(&engine2, &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! The safety-property structure of du-opacity, demonstrated: prefix
+//! closure via Lemma 1's constructive witness restriction, and the failure
+//! of limit closure on the paper's Figure 2 family.
+//!
+//! Run with: `cargo run --example safety_properties`
+
+use du_opacity::core::lemmas::restrict_witness;
+use du_opacity::core::{check_witness, Criterion, CriterionKind, DuOpacity};
+use du_opacity::experiments::figures::fig2_prefix;
+use du_opacity::gen::{HistoryGen, HistoryGenConfig};
+use du_opacity::history::TxnId;
+
+fn main() {
+    // --- Prefix closure (Corollary 2, via Lemma 1) ---------------------
+    let h = HistoryGen::new(HistoryGenConfig::medium_simulated(), 99).generate();
+    let witness = DuOpacity::new()
+        .check(&h)
+        .into_result()
+        .expect("simulated TM histories are du-opaque");
+
+    println!(
+        "History with {} transactions / {} events is du-opaque.",
+        h.txn_count(),
+        h.len()
+    );
+    println!("Restricting its witness to every prefix (Lemma 1):");
+    let mut all_ok = true;
+    for i in 0..=h.len() {
+        let prefix = h.prefix(i);
+        let restricted = restrict_witness(&h, &witness, i);
+        all_ok &= check_witness(&prefix, &restricted, CriterionKind::DuOpacity).is_ok();
+    }
+    println!(
+        "  all {} prefix witnesses validate: {all_ok}\n",
+        h.len() + 1
+    );
+
+    // --- Limit closure fails (Proposition 1, Figure 2) ------------------
+    println!("Figure 2: T1's commit hangs; T2 reads through it; n readers see 0.");
+    println!("Every finite prefix is du-opaque, but T1's witness position grows with n:");
+    println!(
+        "{:>4}  {:>12}  position of T1 in the witness",
+        "n", "du-opaque?"
+    );
+    for n in [1usize, 4, 16, 64] {
+        let h = fig2_prefix(n);
+        let verdict = DuOpacity::new().check(&h);
+        let pos = verdict
+            .witness()
+            .map(|w| w.position(TxnId::new(1)).expect("T1 participates"));
+        println!(
+            "{n:>4}  {:>12}  {:?}",
+            if verdict.is_satisfied() { "yes" } else { "NO" },
+            pos
+        );
+    }
+    println!(
+        "\nIn the infinite limit T1 would need a position after infinitely many\n\
+         readers — no serialization exists, so du-opacity is not limit-closed\n\
+         (unless every transaction eventually completes; Theorem 5)."
+    );
+}

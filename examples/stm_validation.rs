@@ -1,0 +1,120 @@
+//! Record histories from real multi-threaded STM engines and check them
+//! against the paper's criteria — the Section 5 claim, live.
+//!
+//! Run with: `cargo run --example stm_validation`
+
+use du_opacity::core::{Criterion, DuOpacity, FinalStateOpacity, StrictSerializability};
+use du_opacity::stm::engines::{DirtyRead, Dstm, Eager2Pl, NoRec, Pessimistic, Tl2};
+use du_opacity::stm::{run_workload, Engine, WorkloadConfig};
+
+fn main() {
+    let config = WorkloadConfig {
+        threads: 4,
+        txns_per_thread: 12,
+        ops_per_txn: (2, 4),
+        read_ratio: 0.6,
+        unique_values: true,
+        max_attempts: 3,
+        yield_between_ops: false,
+        seed: 2024,
+    };
+
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(Tl2::new(8)),
+        Box::new(NoRec::new(8)),
+        Box::new(Dstm::new(8)),
+        Box::new(Eager2Pl::new(8)),
+    ];
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}  {:<14} {:<14} {:<10}",
+        "engine", "txns", "commits", "aborts", "du-opacity", "final-state", "strict-ser"
+    );
+    for engine in &engines {
+        let (history, stats) = run_workload(engine.as_ref(), &config);
+        let du = DuOpacity::new().check(&history);
+        let fso = FinalStateOpacity::new().check(&history);
+        let ss = StrictSerializability::new().check(&history);
+        let s = |v: &du_opacity::core::Verdict| {
+            if v.is_satisfied() {
+                "satisfied"
+            } else {
+                "VIOLATED"
+            }
+        };
+        println!(
+            "{:<12} {:>8} {:>8} {:>8}  {:<14} {:<14} {:<10}",
+            engine.name(),
+            history.txn_count(),
+            stats.committed,
+            stats.aborted,
+            s(&du),
+            s(&fso),
+            s(&ss),
+        );
+        if let Some(violation) = du.violation() {
+            println!("             └─ {violation}");
+        }
+    }
+
+    // The negative controls are race-dependent: hunt over seeds until each
+    // produces a violating interleaving.
+    println!("\nHunting for a pessimistic-STM violation (Section 5: no aborts, in-place writes):");
+    let mut found = false;
+    for seed in 0..64 {
+        let engine = Pessimistic::new(2);
+        let cfg = WorkloadConfig {
+            seed,
+            threads: 8,
+            read_ratio: 0.5,
+            unique_values: true,
+            max_attempts: 1,
+            yield_between_ops: true,
+            ..config.clone()
+        };
+        let (history, _) = run_workload(&engine, &cfg);
+        if let Some(violation) = DuOpacity::new().check(&history).violation() {
+            println!(
+                "  run {seed}: {} transactions — du-opacity VIOLATED:\n    {violation}",
+                history.txn_count()
+            );
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        println!("  no violating interleaving surfaced in 64 runs (timing-dependent; try again)");
+    }
+
+    println!("\nHunting for a dirty-read violation (uncommitted writes are visible):");
+    let mut found = false;
+    for seed in 0..64 {
+        let engine = DirtyRead::new(2);
+        let cfg = WorkloadConfig {
+            seed,
+            read_ratio: 0.5,
+            unique_values: true,
+            max_attempts: 1,
+            yield_between_ops: true,
+            ..config.clone()
+        };
+        let (history, _) = run_workload(&engine, &cfg);
+        if let Some(violation) = DuOpacity::new().check(&history).violation() {
+            println!(
+                "  run {seed}: {} transactions — du-opacity VIOLATED:\n    {violation}",
+                history.txn_count()
+            );
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        println!("  no violating interleaving surfaced in 64 runs (timing-dependent; try again)");
+    }
+
+    println!(
+        "\nTL2, NOrec and eager 2PL defer updates (or shield them with locks):\n\
+         their histories satisfy du-opacity. The dirty-read engine exposes\n\
+         uncommitted writes, and the checker pinpoints the offending read."
+    );
+}

@@ -1,0 +1,77 @@
+//! Check a history written in the line-oriented trace format against
+//! every criterion — a miniature verification tool.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example trace_check -- path/to/trace.txt
+//! cargo run --example trace_check            # checks a built-in sample
+//! ```
+//!
+//! Trace grammar (one event per line, `#` comments):
+//!
+//! ```text
+//! T1 write X0 1     # invocation of write
+//! T1 ok             # its response
+//! T1 tryc           # invocation of tryC
+//! T1 commit         # C_1
+//! T2 read X0        # invocation of read
+//! T2 val 1          # response: value 1
+//! ```
+
+use du_opacity::core::evaluate_all;
+use du_opacity::history::render::render_lanes;
+use du_opacity::history::trace::parse_trace;
+use std::process::ExitCode;
+
+const SAMPLE: &str = "\
+# T1 commits 1 to X0; T2 reads it while T1 is still committing.
+T1 write X0 1
+T1 ok
+T1 tryc
+T2 read X0
+T2 val 1
+T1 commit
+T2 tryc
+T2 commit
+";
+
+fn main() -> ExitCode {
+    let (source, text) = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => (path, text),
+            Err(err) => {
+                eprintln!("cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ("<built-in sample>".to_owned(), SAMPLE.to_owned()),
+    };
+
+    let history = match parse_trace(&text) {
+        Ok(h) => h,
+        Err(err) => {
+            eprintln!("{source}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{source}: {} events, {} transactions\n",
+        history.len(),
+        history.txn_count()
+    );
+    print!("{}", render_lanes(&history));
+    println!();
+
+    let mut all_satisfied = true;
+    for (name, verdict) in evaluate_all(&history) {
+        println!("{name:<28} {verdict}");
+        all_satisfied &= verdict.is_satisfied();
+    }
+    if all_satisfied {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

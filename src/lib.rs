@@ -1,0 +1,38 @@
+//! `du-opacity`: an executable formalization of *Safety of Deferred Update
+//! in Transactional Memory* (Attiya, Hans, Kuznetsov, Ravi; ICDCS 2013).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`history`]: the formal model of transactional histories (Section 2);
+//! - [`core`]: the du-opacity checker and the related criteria — final-state
+//!   opacity, opacity, read-commit-order opacity, TMS2, strict
+//!   serializability — plus the paper's constructive lemmas as algorithms;
+//! - [`stm`]: a multi-threaded STM runtime (TL2, NOrec, eager 2PL, and a
+//!   deliberately unsafe dirty-read engine) that records real histories;
+//! - [`gen`]: random history and workload generators;
+//! - [`experiments`]: the paper's Figures 1–6 and the experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use du_opacity::history::{HistoryBuilder, ObjId, TxnId, Value};
+//! use du_opacity::core::{Criterion, DuOpacity};
+//!
+//! let (t1, t2) = (TxnId::new(1), TxnId::new(2));
+//! let x = ObjId::new(0);
+//! let h = HistoryBuilder::new()
+//!     .committed_writer(t1, x, Value::new(1))
+//!     .committed_reader(t2, x, Value::new(1))
+//!     .build();
+//!
+//! assert!(DuOpacity::new().check(&h).is_satisfied());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use duop_core as core;
+pub use duop_experiments as experiments;
+pub use duop_gen as gen;
+pub use duop_history as history;
+pub use duop_stm as stm;

@@ -1,0 +1,85 @@
+//! Cross-crate integration: the facade crate wiring STM engines, the trace
+//! format, the experiment runner and the checkers together.
+
+use du_opacity::core::{evaluate_all, Criterion, DuOpacity};
+use du_opacity::experiments::runner::run_all;
+use du_opacity::history::trace::{format_trace, from_json, parse_trace, to_json};
+use du_opacity::stm::engines::Tl2;
+use du_opacity::stm::{run_workload, WorkloadConfig};
+
+#[test]
+fn experiment_suite_confirms_every_paper_claim() {
+    let results = run_all(true);
+    assert_eq!(results.len(), 14);
+    for r in &results {
+        assert!(r.pass, "[{}] {} failed: {}", r.id, r.title, r.measured);
+    }
+}
+
+#[test]
+fn stm_trace_survives_text_and_json_roundtrips() {
+    let engine = Tl2::new(6);
+    let (h, _) = run_workload(
+        &engine,
+        &WorkloadConfig {
+            threads: 3,
+            txns_per_thread: 6,
+            seed: 77,
+            ..WorkloadConfig::default()
+        },
+    );
+    let text = format_trace(&h);
+    let parsed = parse_trace(&text).expect("formatted traces parse");
+    assert_eq!(parsed, h);
+
+    let json = to_json(&h);
+    let parsed = from_json(&json).expect("JSON traces parse");
+    assert_eq!(parsed, h);
+
+    // Checking the round-tripped history gives the same verdict.
+    assert_eq!(
+        DuOpacity::new().check(&h).is_satisfied(),
+        DuOpacity::new().check(&parsed).is_satisfied()
+    );
+}
+
+#[test]
+fn evaluate_all_reports_every_criterion_once() {
+    let engine = Tl2::new(4);
+    let (h, _) = run_workload(
+        &engine,
+        &WorkloadConfig {
+            threads: 2,
+            txns_per_thread: 4,
+            seed: 3,
+            ..WorkloadConfig::default()
+        },
+    );
+    let rows = evaluate_all(&h);
+    let names: Vec<&str> = rows.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        vec![
+            "final-state opacity",
+            "opacity",
+            "du-opacity",
+            "read-commit-order opacity",
+            "TMS2",
+            "strict serializability",
+        ]
+    );
+    // A TL2 trace satisfies the whole stack except possibly the
+    // strictly-stronger-than-du criteria; du and weaker must hold.
+    for (name, verdict) in &rows {
+        if [
+            "final-state opacity",
+            "opacity",
+            "du-opacity",
+            "strict serializability",
+        ]
+        .contains(name)
+        {
+            assert!(verdict.is_satisfied(), "{name} failed on a TL2 trace");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The inclusion hierarchy between the criteria, tested over a fixed
+//! randomized corpus:
+//!
+//! ```text
+//! RCO ⊆ DU-Opacity ⊆ Opacity ⊆ Final-state opacity ⊆ Strict serializability
+//! TMS2 ⊆ DU-Opacity (the paper's conjecture, checked on the corpus)
+//! ```
+
+use du_opacity::core::{
+    check_witness, Criterion, CriterionKind, DuOpacity, FinalStateOpacity, Opacity,
+    ReadCommitOrderOpacity, StrictSerializability, Tms2,
+};
+use du_opacity::gen::{HistoryGen, HistoryGenConfig};
+use du_opacity::history::History;
+
+fn corpus() -> Vec<History> {
+    let mut out = Vec::new();
+    for seed in 0..150 {
+        out.push(HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate());
+        out.push(HistoryGen::new(HistoryGenConfig::small_simulated(), seed).generate());
+    }
+    out
+}
+
+#[test]
+fn du_implies_opacity_implies_final_state() {
+    for h in corpus() {
+        let du = DuOpacity::new().check(&h).is_satisfied();
+        let opaque = Opacity::new().check(&h).is_satisfied();
+        let fso = FinalStateOpacity::new().check(&h).is_satisfied();
+        if du {
+            assert!(opaque, "du-opaque but not opaque:\n{h}");
+        }
+        if opaque {
+            assert!(fso, "opaque but not final-state opaque:\n{h}");
+        }
+    }
+}
+
+#[test]
+fn final_state_implies_strict_serializability() {
+    for h in corpus() {
+        if FinalStateOpacity::new().check(&h).is_satisfied() {
+            assert!(
+                StrictSerializability::new().check(&h).is_satisfied(),
+                "final-state opaque but not strictly serializable:\n{h}"
+            );
+        }
+    }
+}
+
+/// An RCO witness is itself a du witness: the read-commit-order edges force
+/// every committed writer serialized before a reader to have invoked its
+/// `tryC` before the read's response, which is exactly Definition 3(3).
+#[test]
+fn rco_witness_is_a_du_witness() {
+    let mut rco_sat = 0;
+    for h in corpus() {
+        if let Some(w) = ReadCommitOrderOpacity::new().check(&h).witness() {
+            rco_sat += 1;
+            assert_eq!(
+                check_witness(&h, w, CriterionKind::DuOpacity),
+                Ok(()),
+                "RCO witness is not a du witness for:\n{h}"
+            );
+        }
+    }
+    assert!(
+        rco_sat > 50,
+        "corpus exercised only {rco_sat} RCO-satisfiable histories"
+    );
+}
+
+/// The paper conjectures TMS2 ⊆ du-opacity for the full TMS2 automaton.
+/// For the *informal rendering* of Section 4.2 the implication FAILS: a
+/// live transaction that never invokes `tryC` escapes every TMS2 edge yet
+/// can read from a not-yet-committing writer. This reproduction's
+/// differential corpus surfaced the gap;
+/// `duop_experiments::figures::tms2_rendering_gap` preserves the minimized
+/// two-transaction counterexample. This test documents the measured rate.
+#[test]
+fn tms2_rendering_does_not_imply_du_on_corpus() {
+    let mut tms2_sat = 0usize;
+    let mut gap = 0usize;
+    for h in corpus() {
+        if Tms2::new().check(&h).is_satisfied() {
+            tms2_sat += 1;
+            if DuOpacity::new().check(&h).is_violated() {
+                gap += 1;
+            }
+        }
+    }
+    assert!(
+        tms2_sat > 50,
+        "corpus exercised only {tms2_sat} TMS2-satisfiable histories"
+    );
+    assert!(
+        gap > 0,
+        "expected the informal-TMS2 / du-opacity gap to appear in the corpus"
+    );
+    // The preserved minimal counterexample.
+    let h = du_opacity::experiments::figures::tms2_rendering_gap();
+    assert!(Tms2::new().check(&h).is_satisfied());
+    assert!(DuOpacity::new().check(&h).is_violated());
+}
+
+/// Figures 4–6 are the paper's strictness witnesses; confirm each
+/// inclusion above is strict.
+#[test]
+fn inclusions_are_strict() {
+    use du_opacity::experiments::figures;
+
+    // Opacity ⊊ Final-state opacity: Figure 3.
+    let h = figures::fig3();
+    assert!(FinalStateOpacity::new().check(&h).is_satisfied());
+    assert!(Opacity::new().check(&h).is_violated());
+
+    // DU ⊊ Opacity: Figure 4.
+    let h = figures::fig4();
+    assert!(Opacity::new().check(&h).is_satisfied());
+    assert!(DuOpacity::new().check(&h).is_violated());
+
+    // RCO ⊊ DU: Figure 5.
+    let h = figures::fig5();
+    assert!(DuOpacity::new().check(&h).is_satisfied());
+    assert!(ReadCommitOrderOpacity::new().check(&h).is_violated());
+
+    // TMS2 ⊊ DU: Figure 6.
+    let h = figures::fig6();
+    assert!(DuOpacity::new().check(&h).is_satisfied());
+    assert!(Tms2::new().check(&h).is_violated());
+
+    // Strict serializability ⊋ final-state opacity: a doomed transaction
+    // with an inconsistent snapshot.
+    use du_opacity::history::{HistoryBuilder, ObjId, TxnId, Value};
+    let (t1, t3) = (TxnId::new(1), TxnId::new(3));
+    let (x, y, one) = (ObjId::new(0), ObjId::new(1), Value::new(1));
+    let h = HistoryBuilder::new()
+        .write(t1, x, one)
+        .write(t1, y, one)
+        .commit(t1)
+        .read(t3, x, one)
+        .read(t3, y, Value::INITIAL)
+        .commit_aborted(t3)
+        .build();
+    assert!(StrictSerializability::new().check(&h).is_satisfied());
+    assert!(FinalStateOpacity::new().check(&h).is_violated());
+}
+
+/// The paper's conjecture, tested against its actual subject: the **full
+/// TMS2 automaton** (implemented in `duop_core::tms2_automaton`) rather
+/// than the informal rendering. Every automaton-accepted history in the
+/// corpus is du-opaque, and the two histories that defeat the informal
+/// rendering are correctly rejected by the automaton.
+#[test]
+fn tms2_automaton_implies_du_on_corpus() {
+    use du_opacity::core::tms2_automaton::{check_tms2_automaton, replay};
+
+    let mut accepted = 0usize;
+    for h in corpus() {
+        let verdict = check_tms2_automaton(&h, Some(2_000_000));
+        if let Some(exec) = verdict.execution() {
+            accepted += 1;
+            assert_eq!(
+                replay(&h, exec),
+                Ok(()),
+                "certificate must replay for:\n{h}"
+            );
+            assert!(
+                DuOpacity::new().check(&h).is_satisfied(),
+                "TMS2-automaton-accepted history that is not du-opaque — a real \
+                 counterexample to the paper's conjecture:\n{h}"
+            );
+        }
+    }
+    assert!(
+        accepted > 50,
+        "corpus exercised only {accepted} automaton-accepted histories"
+    );
+
+    // Figure 6: not TMS2 — by the automaton as well as by the rendering.
+    let fig6 = du_opacity::experiments::figures::fig6();
+    assert!(!check_tms2_automaton(&fig6, None).is_accepted());
+
+    // The rendering-gap history: the automaton correctly rejects what the
+    // informal rendering accepted.
+    let gap = du_opacity::experiments::figures::tms2_rendering_gap();
+    assert!(!check_tms2_automaton(&gap, None).is_accepted());
+    assert!(Tms2::new().check(&gap).is_satisfied());
+}
