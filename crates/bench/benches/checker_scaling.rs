@@ -50,7 +50,7 @@ fn bench_memoization_ablation(c: &mut Bencher) {
         b.iter(|| {
             DuOpacity::with_config(SearchConfig {
                 memo: true,
-                max_states: None,
+                ..SearchConfig::default()
             })
             .check(&h)
         })
@@ -59,7 +59,7 @@ fn bench_memoization_ablation(c: &mut Bencher) {
         b.iter(|| {
             DuOpacity::with_config(SearchConfig {
                 memo: false,
-                max_states: None,
+                ..SearchConfig::default()
             })
             .check(&h)
         })

@@ -1,0 +1,70 @@
+//! Parallel scaling: wall-clock of the serialization search and of the
+//! batch checker as the worker count grows, over an E13-style corpus
+//! (`small_adversarial` seeds — the same family the search-ablation
+//! experiment measures).
+//!
+//! Two axes:
+//! - `batch_by_threads`: `par_check_batch` over the whole corpus — the
+//!   inter-history fan-out used by the experiment runner and the CLI.
+//! - `search_by_threads`: one deliberately hard single history — the
+//!   intra-search subtree fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bencher, Throughput};
+use duop_core::{par_check_batch, Criterion, DuOpacity, SearchConfig};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::History;
+
+fn e13_corpus(samples: u64) -> Vec<History> {
+    (0..samples)
+        .map(|seed| HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate())
+        .collect()
+}
+
+fn hard_history() -> History {
+    HistoryGen::new(
+        HistoryGenConfig::medium_simulated()
+            .with_txns(40)
+            .with_concurrency(10),
+        23,
+    )
+    .generate()
+}
+
+fn bench_batch_by_threads(c: &mut Bencher) {
+    let corpus = e13_corpus(200);
+    let mut group = c.benchmark_group("batch_by_threads");
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("du_opacity", threads),
+            &threads,
+            |b, &threads| {
+                let checker = DuOpacity::new();
+                b.iter(|| par_check_batch(&checker, &corpus, threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_search_by_threads(c: &mut Bencher) {
+    let h = hard_history();
+    let mut group = c.benchmark_group("search_by_threads");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("du_opacity", threads),
+            &threads,
+            |b, &threads| {
+                let checker = DuOpacity::with_config(SearchConfig {
+                    threads: Some(threads),
+                    ..SearchConfig::default()
+                });
+                b.iter(|| checker.check(&h))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_by_threads, bench_search_by_threads);
+criterion_main!(benches);

@@ -8,7 +8,7 @@ pub const USAGE: &str = "\
 duop — check transactional-memory histories against du-opacity and friends
 
 USAGE:
-  duop check <trace-file|-> [--criterion NAME]...
+  duop check <trace-file|-> [--criterion NAME]... [--threads N]
   duop render <trace-file|->
   duop monitor <trace-file|->
   duop generate [--mode simulated|value|adversarial] [--txns N] [--objs N]
@@ -23,7 +23,9 @@ USAGE:
 Traces use the line format (`T1 write X0 1` / `T1 ok` / `T1 tryc` /
 `T1 commit` ...) or JSON (an array of events); `-` reads stdin. Criteria:
 du-opacity (default), final-state, opacity, rco, tms2, tms2-automaton,
-strict.
+strict. `--threads N` runs the serialization search on N worker threads
+(0 = all hardware threads); the verdict and witness are identical to the
+sequential engine's.
 
 Exit codes: 0 all criteria satisfied, 1 some violated, 2 usage/parse error.";
 
@@ -82,6 +84,9 @@ pub enum Command {
         input: String,
         /// Criteria to run (empty = all).
         criteria: Vec<CriterionName>,
+        /// Search worker threads (`1` = sequential, `0` = all hardware
+        /// threads).
+        threads: usize,
     },
     /// `duop render`.
     Render {
@@ -162,10 +167,16 @@ impl Command {
             "check" => {
                 let mut input = None;
                 let mut criteria = Vec::new();
+                let mut threads = 1usize;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--criterion" | "-c" => {
                             criteria.push(CriterionName::parse(value_of("--criterion", &mut it)?)?);
+                        }
+                        "--threads" | "-j" => {
+                            threads = value_of("--threads", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--threads needs a number".into()))?;
                         }
                         other if input.is_none() => input = Some(other.to_owned()),
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
@@ -174,6 +185,7 @@ impl Command {
                 Ok(Command::Check {
                     input: input.ok_or_else(|| ParseError("check needs a trace file".into()))?,
                     criteria,
+                    threads,
                 })
             }
             "render" | "monitor" | "graph" | "localize" => {
@@ -285,6 +297,7 @@ mod tests {
             Command::Check {
                 input: "trace.txt".into(),
                 criteria: vec![CriterionName::DuOpacity, CriterionName::Tms2],
+                threads: 1,
             }
         );
     }
@@ -292,6 +305,21 @@ mod tests {
     #[test]
     fn check_requires_input() {
         assert!(parse(&["check"]).is_err());
+    }
+
+    #[test]
+    fn check_parses_threads() {
+        let cmd = parse(&["check", "t.txt", "--threads", "8"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                input: "t.txt".into(),
+                criteria: vec![],
+                threads: 8,
+            }
+        );
+        assert!(parse(&["check", "t.txt", "--threads", "many"]).is_err());
+        assert!(parse(&["check", "t.txt", "-j"]).is_err());
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::args::{Command, CriterionName, GenModeName, USAGE};
 use duop_core::online::OnlineChecker;
 use duop_core::tms2_automaton::{check_tms2_automaton, Tms2Verdict};
 use duop_core::{
-    Criterion, DuOpacity, FinalStateOpacity, Opacity, ReadCommitOrderOpacity,
-    StrictSerializability, Tms2,
+    available_threads, Criterion, DuOpacity, FinalStateOpacity, Opacity, ReadCommitOrderOpacity,
+    SearchConfig, StrictSerializability, Tms2,
 };
 use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
 use duop_history::render::render_lanes;
@@ -47,7 +47,11 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             }
             Ok(true)
         }
-        Command::Check { input, criteria } => check(&load(input)?, criteria, out),
+        Command::Check {
+            input,
+            criteria,
+            threads,
+        } => check(&load(input)?, criteria, *threads, out),
         Command::Graph { input } => {
             let h = load(input)?;
             let witness = DuOpacity::new().check(&h).witness().cloned();
@@ -136,7 +140,22 @@ fn all_criteria() -> Vec<CriterionName> {
     ]
 }
 
-fn check(h: &History, criteria: &[CriterionName], out: &mut dyn Write) -> CmdResult {
+fn check(
+    h: &History,
+    criteria: &[CriterionName],
+    threads: usize,
+    out: &mut dyn Write,
+) -> CmdResult {
+    // `--threads 0` = every hardware thread; `1` = the sequential engine.
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    let cfg = SearchConfig {
+        threads: Some(threads),
+        ..SearchConfig::default()
+    };
     writeln!(out, "{}", h.stats())?;
     let list = if criteria.is_empty() {
         all_criteria()
@@ -161,12 +180,18 @@ fn check(h: &History, criteria: &[CriterionName], out: &mut dyn Write) -> CmdRes
             }
             other => {
                 let checker: Box<dyn Criterion> = match other {
-                    CriterionName::DuOpacity => Box::new(DuOpacity::new()),
-                    CriterionName::FinalState => Box::new(FinalStateOpacity::new()),
-                    CriterionName::Opacity => Box::new(Opacity::new()),
-                    CriterionName::Rco => Box::new(ReadCommitOrderOpacity::new()),
-                    CriterionName::Tms2 => Box::new(Tms2::new()),
-                    CriterionName::Strict => Box::new(StrictSerializability::new()),
+                    CriterionName::DuOpacity => Box::new(DuOpacity::with_config(cfg.clone())),
+                    CriterionName::FinalState => {
+                        Box::new(FinalStateOpacity::with_config(cfg.clone()))
+                    }
+                    CriterionName::Opacity => Box::new(Opacity::with_config(cfg.clone())),
+                    CriterionName::Rco => {
+                        Box::new(ReadCommitOrderOpacity::with_config(cfg.clone()))
+                    }
+                    CriterionName::Tms2 => Box::new(Tms2::with_config(cfg.clone())),
+                    CriterionName::Strict => {
+                        Box::new(StrictSerializability::with_config(cfg.clone()))
+                    }
                     CriterionName::Tms2Automaton => unreachable!("handled above"),
                 };
                 let verdict = checker.check(h);
@@ -293,6 +318,7 @@ mod tests {
         let (ok, output) = run_to_string(&Command::Check {
             input: path,
             criteria: vec![],
+            threads: 1,
         });
         assert!(ok, "output:\n{output}");
         for label in [
@@ -314,9 +340,49 @@ mod tests {
         let (ok, output) = run_to_string(&Command::Check {
             input: path,
             criteria: vec![crate::args::CriterionName::DuOpacity],
+            threads: 1,
         });
         assert!(!ok);
         assert!(output.contains("violated"), "output:\n{output}");
+    }
+
+    #[test]
+    fn check_with_threads_matches_sequential() {
+        // The explored-state counts inside violation messages may differ
+        // between engines (workers can race to expand a state another
+        // worker is about to memoize), so normalize them; everything else
+        // — verdicts, witnesses, exit status — must be byte-identical.
+        fn normalize(s: &str) -> String {
+            let mut out = String::new();
+            let mut rest = s;
+            while let Some(i) = rest.find("(explored ") {
+                out.push_str(&rest[..i]);
+                out.push_str("(explored N states)");
+                match rest[i..].find(')') {
+                    Some(j) => rest = &rest[i + j + 1..],
+                    None => {
+                        rest = "";
+                        break;
+                    }
+                }
+            }
+            out.push_str(rest);
+            out
+        }
+        for trace in [GOOD, BAD] {
+            let (seq_ok, seq) = run_to_string(&Command::Check {
+                input: temp_trace(trace),
+                criteria: vec![],
+                threads: 1,
+            });
+            let (par_ok, par) = run_to_string(&Command::Check {
+                input: temp_trace(trace),
+                criteria: vec![],
+                threads: 4,
+            });
+            assert_eq!(seq_ok, par_ok);
+            assert_eq!(normalize(&seq), normalize(&par));
+        }
     }
 
     #[test]

@@ -97,6 +97,7 @@ impl FinalStateOpacity {
                 name: "final-state opacity",
                 deferred_update: false,
                 extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
             },
             &self.cfg,
         )
@@ -242,6 +243,7 @@ impl DuOpacity {
                 name: "du-opacity",
                 deferred_update: true,
                 extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
             },
             &self.cfg,
         )
@@ -280,7 +282,12 @@ impl Criterion for ReadCommitOrderOpacity {
             &Query {
                 name: "read-commit-order opacity",
                 deferred_update: false,
-                extra_edges: rco_edges(h),
+                extra_edges: Vec::new(),
+                // The order constraint only binds writers the chosen
+                // completion actually *commits* — a commit-pending writer
+                // may instead be aborted, making the edge vacuous — so
+                // these are commit-conditional.
+                commit_edges: rco_edges(h),
             },
             &self.cfg,
         )
@@ -311,6 +318,7 @@ impl Criterion for Tms2 {
                 name: "TMS2",
                 deferred_update: false,
                 extra_edges: tms2_edges(h),
+                commit_edges: Vec::new(),
             },
             &self.cfg,
         )
@@ -354,15 +362,21 @@ impl Criterion for StrictSerializability {
                 name: "strict serializability",
                 deferred_update: false,
                 extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
             },
             &self.cfg,
         )
     }
 }
 
-/// Precedence edges for [`ReadCommitOrderOpacity`]: `T_k → T_m` whenever a
-/// value-returning `read_k(X)` responds before the `tryC_m` invocation of a
-/// committed transaction `T_m` with `X ∈ Wset(T_m)`.
+/// Commit-conditional precedence edges for [`ReadCommitOrderOpacity`]:
+/// `T_k → T_m` whenever a value-returning `read_k(X)` responds before the
+/// `tryC_m` invocation of a transaction `T_m` with `X ∈ Wset(T_m)` *that
+/// the serialization commits*. Writers whose `tryC` already committed in
+/// `H` always qualify; commit-pending writers are constrained exactly when
+/// the search chooses the commit fate for them (which is why these edges
+/// go through `Query::commit_edges`, not `extra_edges`); writers that can
+/// never commit are skipped.
 pub(crate) fn rco_edges(h: &History) -> Vec<(TxnId, TxnId)> {
     let mut edges = Vec::new();
     for reader in h.txns() {
@@ -374,7 +388,9 @@ pub(crate) fn rco_edges(h: &History) -> Vec<(TxnId, TxnId)> {
                 continue; // read returned A_k
             }
             for writer in h.txns() {
-                if writer.id() == reader.id() || !writer.is_committed() {
+                if writer.id() == reader.id()
+                    || writer.commit_capability() == duop_history::CommitCapability::NeverCommitted
+                {
                     continue;
                 }
                 if !writer.write_set().contains(&x) {
@@ -538,6 +554,40 @@ mod tests {
             .commit(t(1))
             .build();
         assert_eq!(rco_edges(&h), vec![(t(1), t(2))]);
+    }
+
+    #[test]
+    fn rco_edges_cover_commit_pending_writers() {
+        // The writer's tryC never responds: the completion may commit it,
+        // and then the read-commit-order constraint must bind. The edge is
+        // emitted (conditionally) rather than skipped.
+        let h = HistoryBuilder::new()
+            .read(t(1), x(), v(0))
+            .write(t(2), x(), v(1))
+            .inv_try_commit(t(2))
+            .commit(t(1))
+            .build();
+        assert_eq!(rco_edges(&h), vec![(t(1), t(2))]);
+    }
+
+    #[test]
+    fn rco_binds_commit_pending_writer_a_reader_depends_on() {
+        // T2's write of 1 is commit-pending with its tryC invoked *after*
+        // T4's read of 1 responds. Serializing T4's read requires
+        // committing T2 before T4; read-commit-order then demands T4
+        // before T2 (T4's read responded before tryC_2) — contradiction,
+        // so the history is not RCO-opaque. It is du-opaque? No — the
+        // tryC_2 invocation follows the read response, so the read is not
+        // even du-eligible; plain final-state opacity accepts it though.
+        let h = HistoryBuilder::new()
+            .inv_read(t(4), x())
+            .write(t(2), x(), v(1))
+            .resp_value(t(4), v(1))
+            .inv_try_commit(t(2))
+            .commit(t(4))
+            .build();
+        assert!(FinalStateOpacity::new().check(&h).is_satisfied());
+        assert!(ReadCommitOrderOpacity::new().check(&h).is_violated());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The Firefox/rustc multiplicative hasher, specialized for the search
+//! engine's memo keys (`Vec<u64>`).
+//!
+//! Memo lookups are the hottest operation of the serialization search;
+//! SipHash's per-write overhead shows up directly in `checker_scaling`.
+//! FxHash is not collision-resistant against adversarial keys, which is
+//! fine here: keys are derived from the history being checked, and a
+//! collision costs a probe, not a wrong answer.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-shot hasher state. Use through [`FxBuildHasher`].
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashSet`/`HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Hashes one memo key without going through the `Hash` trait; used by the
+/// sharded memo to pick a shard consistently with set placement being
+/// irrelevant (any deterministic function of the key works).
+pub(crate) fn hash_words(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.add(w);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_and_spreading() {
+        let a = hash_words(&[1, 2, 3]);
+        assert_eq!(a, hash_words(&[1, 2, 3]));
+        assert_ne!(a, hash_words(&[3, 2, 1]));
+        assert_ne!(hash_words(&[5]), hash_words(&[5, 1]));
+    }
+
+    #[test]
+    fn works_as_set_hasher() {
+        let mut set: HashSet<Vec<u64>, FxBuildHasher> = HashSet::default();
+        assert!(set.insert(vec![1, 2]));
+        assert!(!set.insert(vec![1, 2]));
+        assert!(set.contains([1u64, 2].as_slice()));
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut h = FxHasher::default();
+        h.write(b"0123456789"); // 8-byte chunk + 2-byte remainder
+        let ten = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(b"01234567");
+        assert_ne!(ten, h2.finish());
+    }
+}

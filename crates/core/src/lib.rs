@@ -26,7 +26,10 @@
 //! Membership is NP-hard in general; the search engine uses sound state
 //! memoization and prechecks that decide realistic histories (including
 //! multi-thread STM traces) quickly, and accepts an optional state budget
-//! returning [`Verdict::Unknown`] when exceeded.
+//! returning [`Verdict::Unknown`] when exceeded. The [`parallel`] module
+//! adds a subtree-parallel search engine (enabled by
+//! [`SearchConfig::threads`]) and [`par_check_batch`], an order-preserving
+//! fan-out of independent checks over a worker pool.
 //!
 //! # Example
 //!
@@ -57,11 +60,13 @@ mod spec;
 mod verdict;
 mod witness_check;
 
+pub mod fxhash;
 pub mod graph;
 pub mod lemmas;
 pub mod minimize;
 pub mod online;
 pub mod paper;
+pub mod parallel;
 pub mod reference;
 pub mod tms2_automaton;
 pub mod unique;
@@ -70,6 +75,7 @@ pub use criteria::{
     evaluate_all, Criterion, CriterionKind, DuOpacity, FinalStateOpacity, Opacity,
     ReadCommitOrderOpacity, StrictSerializability, Tms2,
 };
+pub use parallel::{available_threads, par_check_batch, par_map};
 pub use search::{SearchConfig, SearchStats};
 pub use verdict::{Verdict, Violation, Witness};
 pub use witness_check::{check_witness, WitnessError};

@@ -1,0 +1,447 @@
+//! Parallel checking engine: subtree-parallel serialization search plus a
+//! batch fan-out over independent histories. `std::thread` only — the
+//! workspace builds offline with no extra dependencies.
+//!
+//! # Intra-search parallelism
+//!
+//! [`par_search_with_stats`] splits the placement tree at the top levels
+//! into prefix tasks and runs the ordinary sequential [`Searcher`] on each
+//! subtree, with three pieces of shared state:
+//!
+//! * a **sharded memo** of failed canonical states (mutex-striped; keys
+//!   are path-independent, and a state is inserted only after its subtree
+//!   was *fully* exhausted, so a hit in any worker is sound for all);
+//! * a **global state budget** (`AtomicU64`), so `max_states` bounds the
+//!   whole search, not each worker;
+//! * a **winner word** for cooperative cancellation: the lowest task index
+//!   that found a witness. Only tasks with a *higher* index are cancelled,
+//!   which makes the reduction deterministic.
+//!
+//! Tasks are enumerated in exact sequential-DFS order (the enumerator
+//! reuses the searcher's own child ordering, legality and dead-end
+//! pruning), so the lowest-indexed task containing a witness is the one
+//! sequential DFS would reach first, and within a task DFS finds its
+//! DFS-first witness. Memo pruning never hides a witness (memoized states
+//! are provably witness-free), so the reported witness is identical to the
+//! sequential engine's, and verdicts agree except for which states a
+//! tripped budget happened to visit (`Unknown` is "anytime": a witness
+//! found by any worker wins over a concurrent budget trip).
+//!
+//! # Inter-history parallelism
+//!
+//! [`par_check_batch`] / [`par_map`] spread independent checks over a
+//! worker pool with order-preserving collection; used by the experiment
+//! runner and the CLI's batch mode.
+
+use crate::fxhash::{hash_words, FxBuildHasher};
+use crate::search::{
+    precheck, search_serialization_with_stats, witness_from_path, Outcome, Query, SearchConfig,
+    SearchStats, Searcher, UndoLog,
+};
+use crate::spec::Spec;
+use crate::{Criterion, Verdict, Violation};
+use duop_history::History;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Mutex stripes in the shared memo. Power of two; 64 stripes keep the
+/// probability of two workers colliding on a stripe low at ≤ 16 workers.
+const MEMO_SHARDS: usize = 64;
+
+/// Target number of subtree tasks per worker. More tasks than workers
+/// smooths out skewed subtree sizes (work stealing via the shared claim
+/// counter).
+const TASKS_PER_THREAD: usize = 4;
+
+/// Maximum split depth: the prefix enumeration itself is sequential and
+/// exponential in depth, so it must stay shallow.
+const MAX_SPLIT_DEPTH: usize = 8;
+
+/// Failed-state memo striped over [`MEMO_SHARDS`] mutexes, keyed exactly
+/// like the sequential memo.
+struct ShardedMemo {
+    shards: Vec<Mutex<HashSet<Vec<u64>, FxBuildHasher>>>,
+}
+
+impl ShardedMemo {
+    fn new() -> Self {
+        ShardedMemo {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashSet::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &[u64]) -> &Mutex<HashSet<Vec<u64>, FxBuildHasher>> {
+        &self.shards[(hash_words(key) as usize) & (MEMO_SHARDS - 1)]
+    }
+
+    fn contains(&self, key: &[u64]) -> bool {
+        self.shard(key).lock().unwrap().contains(key)
+    }
+
+    fn insert(&self, key: Vec<u64>) {
+        self.shard(&key).lock().unwrap().insert(key);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+/// State shared by all workers of one parallel search.
+pub(crate) struct SharedSearch {
+    memo: Option<ShardedMemo>,
+    /// Global count of expanded states, for the shared budget.
+    pub(crate) explored: AtomicU64,
+    /// Lowest task index that found a witness (`u64::MAX` = none yet).
+    pub(crate) winner: AtomicU64,
+    /// Global state budget (copied from [`SearchConfig::max_states`]).
+    pub(crate) max_states: Option<u64>,
+}
+
+impl SharedSearch {
+    fn new(cfg: &SearchConfig) -> Self {
+        SharedSearch {
+            memo: cfg.memo.then(ShardedMemo::new),
+            explored: AtomicU64::new(0),
+            winner: AtomicU64::new(u64::MAX),
+            max_states: cfg.max_states,
+        }
+    }
+
+    pub(crate) fn memo_contains(&self, key: &[u64]) -> bool {
+        self.memo.as_ref().is_some_and(|m| m.contains(key))
+    }
+
+    pub(crate) fn memo_insert(&self, key: Vec<u64>) {
+        if let Some(m) = &self.memo {
+            m.insert(key);
+        }
+    }
+
+    fn memo_len(&self) -> usize {
+        self.memo.as_ref().map_or(0, ShardedMemo::len)
+    }
+}
+
+/// Collects every placement prefix of length `remaining` (in DFS order)
+/// into `out`, applying the same legality and dead-end pruning as the
+/// search proper. Prefixes are strictly shorter than the transaction
+/// count, so none is a complete serialization.
+fn enumerate_prefixes(
+    s: &mut Searcher<'_>,
+    remaining: usize,
+    out: &mut Vec<Vec<(usize, bool)>>,
+    explored: &mut u64,
+    dead_ends: &mut u64,
+) {
+    *explored += 1;
+    for (i, committed) in s.children() {
+        let undo = s.place(i, committed);
+        if s.dead_end() {
+            *dead_ends += 1;
+            s.unplace(i, undo);
+            continue;
+        }
+        if remaining == 1 {
+            out.push(s.path.clone());
+        } else {
+            enumerate_prefixes(s, remaining - 1, out, explored, dead_ends);
+        }
+        s.unplace(i, undo);
+    }
+}
+
+fn unwind_prefix(s: &mut Searcher<'_>, prefix: &[(usize, bool)], undos: Vec<UndoLog>) {
+    for (&(i, _), undo) in prefix.iter().zip(undos).rev() {
+        s.unplace(i, undo);
+    }
+}
+
+/// Multi-threaded implementation behind `search_serialization_with_stats`
+/// when [`SearchConfig::threads`] asks for more than one worker.
+pub(crate) fn par_search_with_stats(
+    h: &History,
+    query: &Query,
+    cfg: &SearchConfig,
+) -> (Verdict, SearchStats) {
+    let threads = cfg.effective_threads();
+    let seq_cfg = SearchConfig {
+        threads: None,
+        ..cfg.clone()
+    };
+    debug_assert!(threads > 1);
+
+    let spec = match Spec::build(h) {
+        Ok(s) => s,
+        Err(v) => return (Verdict::Violated(v), SearchStats::default()),
+    };
+    if let Err(v) = precheck(&spec, query) {
+        return (Verdict::Violated(v), SearchStats::default());
+    }
+    // Validates the precedence constraints (cycle check) and doubles as
+    // the task enumerator.
+    let mut enumerator = match Searcher::new(&spec, &seq_cfg, query) {
+        Ok(s) => s,
+        Err(v) => return (Verdict::Violated(v), SearchStats::default()),
+    };
+
+    let n = spec.txns.len();
+    let max_depth = n.saturating_sub(1).min(MAX_SPLIT_DEPTH);
+    if max_depth == 0 {
+        // Zero or one transaction: there is no tree to split.
+        return search_serialization_with_stats(h, query, &seq_cfg);
+    }
+    let target = threads * TASKS_PER_THREAD;
+
+    let mut tasks: Vec<Vec<(usize, bool)>> = Vec::new();
+    let mut enum_explored = 0u64;
+    let mut enum_dead_ends = 0u64;
+    let mut depth = 1;
+    while depth <= max_depth {
+        tasks.clear();
+        enum_explored = 0;
+        enum_dead_ends = 0;
+        enumerate_prefixes(
+            &mut enumerator,
+            depth,
+            &mut tasks,
+            &mut enum_explored,
+            &mut enum_dead_ends,
+        );
+        if tasks.len() >= target || tasks.is_empty() {
+            break;
+        }
+        depth += 1;
+    }
+
+    if tasks.is_empty() {
+        // Every prefix dead-ends before the split depth: the whole tree is
+        // exhausted and there is no witness.
+        let stats = SearchStats {
+            explored: enum_explored,
+            dead_ends: enum_dead_ends,
+            ..SearchStats::default()
+        };
+        let verdict = Verdict::Violated(Violation::NoSerialization {
+            criterion: query.name.to_owned(),
+            explored: enum_explored,
+        });
+        return (verdict, stats);
+    }
+    if tasks.len() == 1 || n <= depth {
+        // Nothing to parallelize (tiny history or a single viable
+        // subtree); the sequential engine is strictly cheaper.
+        return search_serialization_with_stats(h, query, &seq_cfg);
+    }
+
+    let shared = SharedSearch::new(cfg);
+    let next = AtomicUsize::new(0);
+    let budget_hit = AtomicBool::new(false);
+    // Winning candidates keyed by task index; the reduction takes the
+    // lowest, which is the witness sequential DFS finds first.
+    let found: Mutex<BTreeMap<u64, Vec<(usize, bool)>>> = Mutex::new(BTreeMap::new());
+    let totals: Mutex<SearchStats> = Mutex::new(SearchStats::default());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut s = Searcher::new(&spec, &seq_cfg, query)
+                    .expect("constraints validated before workers started");
+                s.attach_shared(&shared);
+                loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
+                    }
+                    if shared.winner.load(Ordering::Relaxed) < t as u64 {
+                        // Claims are monotone, so every remaining task is
+                        // also higher-indexed than the winner.
+                        break;
+                    }
+                    s.task_index = t as u64;
+                    let prefix = &tasks[t];
+                    let mut undos = Vec::with_capacity(prefix.len());
+                    for &(i, committed) in prefix {
+                        undos.push(s.place(i, committed));
+                    }
+                    match s.dfs() {
+                        Outcome::Found => {
+                            shared.winner.fetch_min(t as u64, Ordering::Relaxed);
+                            found.lock().unwrap().insert(t as u64, s.path.clone());
+                            // `dfs` does not unwind on Found; this
+                            // searcher's state is spent, and every
+                            // unclaimed task is higher-indexed anyway.
+                            break;
+                        }
+                        Outcome::Budget => {
+                            budget_hit.store(true, Ordering::Relaxed);
+                            unwind_prefix(&mut s, prefix, undos);
+                            break;
+                        }
+                        Outcome::Exhausted | Outcome::Cancelled => {
+                            unwind_prefix(&mut s, prefix, undos);
+                        }
+                    }
+                }
+                let local = SearchStats {
+                    explored: s.explored,
+                    memo_hits: s.memo_hits,
+                    dead_ends: s.dead_ends,
+                    ..SearchStats::default()
+                };
+                totals.lock().unwrap().absorb(&local);
+            });
+        }
+    });
+
+    let mut stats = totals.into_inner().unwrap();
+    stats.explored += enum_explored;
+    stats.dead_ends += enum_dead_ends;
+    stats.peak_memo_entries = shared.memo_len() as u64;
+    stats.subtree_tasks = tasks.len() as u64;
+
+    let found = found.into_inner().unwrap();
+    let verdict = if let Some((_, path)) = found.into_iter().next() {
+        Verdict::Satisfied(witness_from_path(&spec, &path))
+    } else if budget_hit.load(Ordering::Relaxed) {
+        Verdict::Unknown {
+            explored: stats.explored,
+        }
+    } else {
+        Verdict::Violated(Violation::NoSerialization {
+            criterion: query.name.to_owned(),
+            explored: stats.explored,
+        })
+    };
+    (verdict, stats)
+}
+
+/// Number of hardware threads, for `--threads 0` / default sizing.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `threads` workers, returning
+/// results in input order. Items are claimed dynamically, so uneven item
+/// costs balance across the pool. `threads <= 1` runs inline.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("every slot is filled by the worker that claimed it")
+        })
+        .collect()
+}
+
+/// Checks a batch of independent histories against one criterion on
+/// `threads` workers, preserving input order. This is the fan-out used by
+/// the experiment harness; each individual check runs the (sequential or
+/// parallel) engine configured in the criterion itself.
+pub fn par_check_batch<C>(criterion: &C, histories: &[History], threads: usize) -> Vec<Verdict>
+where
+    C: Criterion + Sync + ?Sized,
+{
+    par_map(histories, threads, |h| criterion.check(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DuOpacity;
+    use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+    fn x() -> ObjId {
+        ObjId::new(0)
+    }
+    fn v(n: u64) -> Value {
+        Value::new(n)
+    }
+
+    fn sample_history(k: u64) -> History {
+        HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(k))
+            .committed_reader(t(2), x(), v(k))
+            .build()
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = par_map(&items, 8, |&i| i * 2);
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_matches() {
+        let items: Vec<u64> = (0..10).collect();
+        assert_eq!(
+            par_map(&items, 1, |&i| i + 1),
+            par_map(&items, 4, |&i| i + 1)
+        );
+    }
+
+    #[test]
+    fn par_check_batch_matches_serial() {
+        let histories: Vec<History> = (0..20).map(sample_history).collect();
+        let c = DuOpacity::new();
+        let serial: Vec<bool> = histories
+            .iter()
+            .map(|h| c.check(h).is_satisfied())
+            .collect();
+        let par: Vec<bool> = par_check_batch(&c, &histories, 4)
+            .into_iter()
+            .map(|v| v.is_satisfied())
+            .collect();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn parallel_search_small_history_agrees() {
+        let h = sample_history(3);
+        let seq = DuOpacity::new().check(&h);
+        let par = DuOpacity::with_config(SearchConfig {
+            threads: Some(4),
+            ..SearchConfig::default()
+        })
+        .check(&h);
+        assert_eq!(seq.witness(), par.witness());
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

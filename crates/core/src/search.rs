@@ -14,23 +14,41 @@
 //!   response in `H`* must also match (`T_0` always qualifies, supplying
 //!   the initial value).
 //!
+//! Criteria may also supply **commit-conditional edges** `(a, b)`: `a`
+//! must precede `b` in any serialization that *commits* `b`. They encode
+//! constraints like read-commit-order, which only binds writers the chosen
+//! completion actually commits; for a commit-pending `b` they gate the
+//! commit fate instead of constraining the order unconditionally.
+//!
 //! Failed states are memoized by a sound canonical key: the set of placed
 //! transactions plus exactly the state the future can observe (per-object
 //! last committed value for objects still read by unplaced transactions,
 //! and per-pending-read last *eligible* committed value). Two states with
-//! equal keys admit exactly the same completions, so pruning is lossless.
+//! equal keys admit exactly the same completions — the commit-fate gate
+//! depends only on the placed set, which is part of the key — so pruning
+//! is lossless.
+//!
+//! When [`SearchConfig::threads`] asks for more than one worker the search
+//! is delegated to [`crate::parallel`], which splits the placement tree
+//! into subtree tasks running this same `Searcher` with shared state (a
+//! sharded memo, a global budget counter, and a cooperative-cancellation
+//! word). The sequential and parallel engines return equivalent verdicts
+//! and identical witnesses; see `DESIGN.md`.
 
 use crate::bitset::BitSet;
+use crate::fxhash::FxBuildHasher;
+use crate::parallel::SharedSearch;
 use crate::spec::Spec;
 use crate::{Verdict, Violation, Witness};
 use duop_history::{CommitCapability, History, TxnId, Value};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::Ordering;
 
 /// Tuning knobs for the serialization search.
 ///
-/// The defaults (memoization on, unlimited budget) decide every history in
-/// this repository quickly; `max_states` exists because the membership
-/// problem is NP-hard in general and a caller may prefer
+/// The defaults (memoization on, unlimited budget, sequential) decide
+/// every history in this repository quickly; `max_states` exists because
+/// the membership problem is NP-hard in general and a caller may prefer
 /// [`Verdict::Unknown`] to an unbounded search.
 #[derive(Clone, Debug)]
 pub struct SearchConfig {
@@ -38,8 +56,12 @@ pub struct SearchConfig {
     /// useful for the ablation benchmarks.
     pub memo: bool,
     /// Give up (returning [`Verdict::Unknown`]) after exploring this many
-    /// states. `None` means unlimited.
+    /// states. `None` means unlimited. With multiple threads this is a
+    /// *global* budget shared by all workers.
     pub max_states: Option<u64>,
+    /// Worker threads for the parallel engine. `None`, `Some(0)` and
+    /// `Some(1)` all mean sequential.
+    pub threads: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -47,7 +69,15 @@ impl Default for SearchConfig {
         SearchConfig {
             memo: true,
             max_states: None,
+            threads: None,
         }
+    }
+}
+
+impl SearchConfig {
+    /// The effective worker count (`1` = sequential).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or(1).max(1)
     }
 }
 
@@ -61,6 +91,24 @@ pub struct SearchStats {
     pub memo_hits: u64,
     /// Branches cut by forward feasibility (dead-end) pruning.
     pub dead_ends: u64,
+    /// Entries in the failed-state memo when the search ended. Entries are
+    /// never evicted, so this is also the peak.
+    pub peak_memo_entries: u64,
+    /// Subtree tasks created by the parallel engine (`0` = sequential).
+    pub subtree_tasks: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another search's counters (used when a criterion runs
+    /// several searches, e.g. opacity's prefix loop, and by the parallel
+    /// engine's per-worker reduction).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.explored += other.explored;
+        self.memo_hits += other.memo_hits;
+        self.dead_ends += other.dead_ends;
+        self.peak_memo_entries = self.peak_memo_entries.max(other.peak_memo_entries);
+        self.subtree_tasks += other.subtree_tasks;
+    }
 }
 
 /// What the engine is asked to decide.
@@ -73,6 +121,10 @@ pub(crate) struct Query {
     /// Criterion-specific precedence edges `(before, after)` in addition
     /// to the real-time order.
     pub extra_edges: Vec<(TxnId, TxnId)>,
+    /// Commit-conditional edges `(a, b)`: `a` must precede `b` whenever
+    /// the serialization *commits* `b`; vacuous when `b` aborts. For an
+    /// already-committed `b` this is equivalent to an `extra_edges` entry.
+    pub commit_edges: Vec<(TxnId, TxnId)>,
 }
 
 /// Sentinel encoding of `Value` for memo keys: 0 = don't-care.
@@ -80,11 +132,15 @@ fn encode(v: Value) -> u64 {
     v.get().wrapping_add(1)
 }
 
-struct Searcher<'a> {
+pub(crate) struct Searcher<'a> {
     spec: &'a Spec,
     cfg: &'a SearchConfig,
     du: bool,
     preds: Vec<BitSet>,
+    /// Conditional predecessors: placing `i` with the *commit* fate
+    /// requires `commit_preds[i] ⊆ placed`. Empty sets for transactions
+    /// without incoming commit-conditional edges.
+    commit_preds: Vec<BitSet>,
     /// Eligible writers per read slot (du mode): transactions whose
     /// `tryC` invocation precedes the read's response in `H`.
     elig: Vec<BitSet>,
@@ -105,23 +161,40 @@ struct Searcher<'a> {
     /// Unplaced external-read count per object (for memo canonicalization).
     pending_reads: Vec<usize>,
     /// Placement path: (txn index, committed).
-    path: Vec<(usize, bool)>,
+    pub(crate) path: Vec<(usize, bool)>,
 
-    memo: HashSet<Vec<u64>>,
-    explored: u64,
-    memo_hits: u64,
-    dead_ends: u64,
-    budget_hit: bool,
+    memo: HashSet<Vec<u64>, FxBuildHasher>,
+    /// Spent undo logs recycled across `place` calls so the hot loop does
+    /// not allocate two `Vec`s per node.
+    undo_pool: Vec<UndoLog>,
+    /// Shared state when running as a parallel worker; `None` when
+    /// sequential.
+    shared: Option<&'a SharedSearch>,
+    /// Index of the subtree task this worker is currently running; used
+    /// for cooperative cancellation ordering.
+    pub(crate) task_index: u64,
+
+    pub(crate) explored: u64,
+    pub(crate) memo_hits: u64,
+    pub(crate) dead_ends: u64,
+    pub(crate) budget_hit: bool,
 }
 
-enum Outcome {
+pub(crate) enum Outcome {
     Found,
     Exhausted,
     Budget,
+    /// A lower-indexed task already found a witness; the subtree was
+    /// abandoned, so nothing may be memoized on the way out.
+    Cancelled,
 }
 
 impl<'a> Searcher<'a> {
-    fn new(spec: &'a Spec, cfg: &'a SearchConfig, query: &Query) -> Result<Self, Violation> {
+    pub(crate) fn new(
+        spec: &'a Spec,
+        cfg: &'a SearchConfig,
+        query: &Query,
+    ) -> Result<Self, Violation> {
         let n = spec.txns.len();
         let mut preds = spec.rt_preds.clone();
         for (a, b) in &query.extra_edges {
@@ -131,9 +204,32 @@ impl<'a> Searcher<'a> {
                 }
             }
         }
+        let mut commit_preds: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for (a, b) in &query.commit_edges {
+            if let (Some(&ia), Some(&ib)) = (spec.index.get(a), spec.index.get(b)) {
+                if ia == ib {
+                    continue;
+                }
+                match spec.txns[ib].capability {
+                    // Always committed: the condition always holds, so the
+                    // edge is unconditional.
+                    CommitCapability::Committed => {
+                        preds[ib].insert(ia);
+                    }
+                    // The search decides the fate: gate the commit branch.
+                    CommitCapability::CommitPending => {
+                        commit_preds[ib].insert(ia);
+                    }
+                    // Never commits: the edge is vacuous.
+                    CommitCapability::NeverCommitted => {}
+                }
+            }
+        }
 
         // Cycle check (Kahn's algorithm) so cyclic constraints produce a
-        // crisp violation instead of an exhausted search.
+        // crisp violation instead of an exhausted search. Conditional
+        // edges are excluded: a "cycle" through one only means the target
+        // cannot commit, which the fate gate handles.
         {
             let mut indeg: Vec<usize> = (0..n)
                 .map(|i| (0..n).filter(|&j| preds[i].contains(j)).count())
@@ -214,6 +310,7 @@ impl<'a> Searcher<'a> {
             cfg,
             du: query.deferred_update,
             preds,
+            commit_preds,
             elig,
             suppliers,
             by_priority,
@@ -223,12 +320,21 @@ impl<'a> Searcher<'a> {
             local_last: vec![Value::INITIAL; spec.reads.len()],
             pending_reads,
             path: Vec::with_capacity(n),
-            memo: HashSet::new(),
+            memo: HashSet::default(),
+            undo_pool: Vec::with_capacity(n),
+            shared: None,
+            task_index: 0,
             explored: 0,
             memo_hits: 0,
             dead_ends: 0,
             budget_hit: false,
         })
+    }
+
+    /// Turns this searcher into a parallel worker: memo lookups, the state
+    /// budget and cancellation all go through `shared`.
+    pub(crate) fn attach_shared(&mut self, shared: &'a SharedSearch) {
+        self.shared = Some(shared);
     }
 
     /// Sound canonical key of the current state (see module docs).
@@ -266,7 +372,7 @@ impl<'a> Searcher<'a> {
     /// current state — its value is not in the state and every committable
     /// (and, for du-opacity, eligible) writer of that value is already
     /// placed.
-    fn dead_end(&self) -> bool {
+    pub(crate) fn dead_end(&self) -> bool {
         for (slot, r) in self.spec.reads.iter().enumerate() {
             if self.placed.contains(r.txn) {
                 continue;
@@ -298,12 +404,38 @@ impl<'a> Searcher<'a> {
         true
     }
 
+    /// The current state's children as `(txn index, committed)` in the
+    /// exact order [`Self::dfs`] tries them. Used by the parallel engine's
+    /// task enumerator, which must mirror `dfs` so the lowest-indexed task
+    /// containing a witness is also the one sequential DFS reaches first.
+    /// Keep in sync with the loop in `dfs`.
+    pub(crate) fn children(&self) -> Vec<(usize, bool)> {
+        let mut out = Vec::new();
+        for &i in &self.by_priority {
+            if self.placed.contains(i) || !self.preds[i].is_subset_of(&self.placed) {
+                continue;
+            }
+            if !self.reads_legal(i) {
+                continue;
+            }
+            let fates: &[bool] = match self.spec.txns[i].capability {
+                CommitCapability::Committed => &[true],
+                CommitCapability::NeverCommitted => &[false],
+                CommitCapability::CommitPending => &[false, true],
+            };
+            for &committed in fates {
+                if committed && !self.commit_preds[i].is_subset_of(&self.placed) {
+                    continue;
+                }
+                out.push((i, committed));
+            }
+        }
+        out
+    }
+
     /// Places transaction `i` with the given fate and returns an undo log.
-    fn place(&mut self, i: usize, committed: bool) -> UndoLog {
-        let mut undo = UndoLog {
-            global: Vec::new(),
-            local: Vec::new(),
-        };
+    pub(crate) fn place(&mut self, i: usize, committed: bool) -> UndoLog {
+        let mut undo = self.undo_pool.pop().unwrap_or_default();
         self.placed.insert(i);
         self.placed_count += 1;
         for &slot in &self.spec.txns[i].external_reads {
@@ -329,12 +461,12 @@ impl<'a> Searcher<'a> {
         undo
     }
 
-    fn unplace(&mut self, i: usize, undo: UndoLog) {
+    pub(crate) fn unplace(&mut self, i: usize, mut undo: UndoLog) {
         self.path.pop();
-        for (slot, v) in undo.local.into_iter().rev() {
+        for &(slot, v) in undo.local.iter().rev() {
             self.local_last[slot] = v;
         }
-        for (obj, v) in undo.global.into_iter().rev() {
+        for &(obj, v) in undo.global.iter().rev() {
             self.global_last[obj] = v;
         }
         for &slot in &self.spec.txns[i].external_reads {
@@ -343,14 +475,29 @@ impl<'a> Searcher<'a> {
         }
         self.placed.remove(i);
         self.placed_count -= 1;
+        undo.global.clear();
+        undo.local.clear();
+        self.undo_pool.push(undo);
     }
 
-    fn dfs(&mut self) -> Outcome {
+    pub(crate) fn dfs(&mut self) -> Outcome {
         if self.placed_count == self.spec.txns.len() {
             return Outcome::Found;
         }
         self.explored += 1;
-        if let Some(max) = self.cfg.max_states {
+        if let Some(shared) = self.shared {
+            // Cooperative cancellation: once a lower-indexed task has a
+            // witness, this subtree's result can no longer win the
+            // deterministic reduction.
+            if shared.winner.load(Ordering::Relaxed) < self.task_index {
+                return Outcome::Cancelled;
+            }
+            let total = shared.explored.fetch_add(1, Ordering::Relaxed) + 1;
+            if shared.max_states.is_some_and(|max| total > max) {
+                self.budget_hit = true;
+                return Outcome::Budget;
+            }
+        } else if let Some(max) = self.cfg.max_states {
             if self.explored > max {
                 self.budget_hit = true;
                 return Outcome::Budget;
@@ -358,7 +505,11 @@ impl<'a> Searcher<'a> {
         }
         let key = if self.cfg.memo {
             let key = self.memo_key();
-            if self.memo.contains(&key) {
+            let hit = match self.shared {
+                Some(shared) => shared.memo_contains(&key),
+                None => self.memo.contains(&key),
+            };
+            if hit {
                 self.memo_hits += 1;
                 return Outcome::Exhausted;
             }
@@ -381,6 +532,9 @@ impl<'a> Searcher<'a> {
                 CommitCapability::CommitPending => &[false, true],
             };
             for &committed in fates {
+                if committed && !self.commit_preds[i].is_subset_of(&self.placed) {
+                    continue;
+                }
                 let undo = self.place(i, committed);
                 if self.dead_end() {
                     self.dead_ends += 1;
@@ -393,26 +547,39 @@ impl<'a> Searcher<'a> {
                         self.unplace(i, undo);
                         return Outcome::Budget;
                     }
+                    Outcome::Cancelled => {
+                        self.unplace(i, undo);
+                        return Outcome::Cancelled;
+                    }
                     Outcome::Exhausted => self.unplace(i, undo),
                 }
             }
         }
 
+        // Memoize only fully exhausted states: a Budget or Cancelled exit
+        // above returns early, because an abandoned subtree proves nothing
+        // about the state (this keeps the *shared* memo sound too).
         if let Some(key) = key {
-            self.memo.insert(key);
+            match self.shared {
+                Some(shared) => shared.memo_insert(key),
+                None => {
+                    self.memo.insert(key);
+                }
+            }
         }
         Outcome::Exhausted
     }
 }
 
-struct UndoLog {
+#[derive(Default)]
+pub(crate) struct UndoLog {
     global: Vec<(usize, Value)>,
     local: Vec<(usize, Value)>,
 }
 
 /// Cheap sound prechecks that reject obviously unserializable histories
 /// and produce precise violations.
-fn precheck(spec: &Spec, query: &Query) -> Result<(), Violation> {
+pub(crate) fn precheck(spec: &Spec, query: &Query) -> Result<(), Violation> {
     for r in &spec.reads {
         if r.value == Value::INITIAL {
             continue; // T0 can always supply the initial value.
@@ -435,6 +602,18 @@ fn precheck(spec: &Spec, query: &Query) -> Result<(), Violation> {
     Ok(())
 }
 
+/// Builds the satisfied-verdict witness from a complete placement path.
+pub(crate) fn witness_from_path(spec: &Spec, path: &[(usize, bool)]) -> Witness {
+    let order: Vec<TxnId> = path.iter().map(|&(i, _)| spec.txns[i].id).collect();
+    let mut choices = BTreeMap::new();
+    for &(i, committed) in path {
+        if spec.txns[i].capability == CommitCapability::CommitPending {
+            choices.insert(spec.txns[i].id, committed);
+        }
+    }
+    Witness::new(order, choices)
+}
+
 /// Decides whether `h` has a serialization satisfying `query`.
 pub(crate) fn search_serialization(h: &History, query: &Query, cfg: &SearchConfig) -> Verdict {
     search_serialization_with_stats(h, query, cfg).0
@@ -446,6 +625,9 @@ pub(crate) fn search_serialization_with_stats(
     query: &Query,
     cfg: &SearchConfig,
 ) -> (Verdict, SearchStats) {
+    if cfg.effective_threads() > 1 {
+        return crate::parallel::par_search_with_stats(h, query, cfg);
+    }
     let spec = match Spec::build(h) {
         Ok(s) => s,
         Err(v) => return (Verdict::Violated(v), SearchStats::default()),
@@ -462,22 +644,11 @@ pub(crate) fn search_serialization_with_stats(
         explored: searcher.explored,
         memo_hits: searcher.memo_hits,
         dead_ends: searcher.dead_ends,
+        peak_memo_entries: searcher.memo.len() as u64,
+        subtree_tasks: 0,
     };
     let verdict = match outcome {
-        Outcome::Found => {
-            let order: Vec<TxnId> = searcher
-                .path
-                .iter()
-                .map(|&(i, _)| spec.txns[i].id)
-                .collect();
-            let mut choices = BTreeMap::new();
-            for &(i, committed) in &searcher.path {
-                if spec.txns[i].capability == CommitCapability::CommitPending {
-                    choices.insert(spec.txns[i].id, committed);
-                }
-            }
-            Verdict::Satisfied(Witness::new(order, choices))
-        }
+        Outcome::Found => Verdict::Satisfied(witness_from_path(&spec, &searcher.path)),
         Outcome::Exhausted => Verdict::Violated(Violation::NoSerialization {
             criterion: query.name.to_owned(),
             explored: searcher.explored,
@@ -485,6 +656,7 @@ pub(crate) fn search_serialization_with_stats(
         Outcome::Budget => Verdict::Unknown {
             explored: searcher.explored,
         },
+        Outcome::Cancelled => unreachable!("sequential search cannot be cancelled"),
     };
     (verdict, stats)
 }
@@ -509,6 +681,7 @@ mod tests {
             name: "final-state opacity",
             deferred_update: false,
             extra_edges: Vec::new(),
+            commit_edges: Vec::new(),
         }
     }
 
@@ -517,6 +690,7 @@ mod tests {
             name: "du-opacity",
             deferred_update: true,
             extra_edges: Vec::new(),
+            commit_edges: Vec::new(),
         }
     }
 
@@ -597,8 +771,7 @@ mod tests {
     #[test]
     fn du_rejects_read_from_not_yet_committing_txn() {
         // T3 writes 1 but invokes tryC only *after* T2's read returns, and
-        // T1's write of 1 aborts: opaque (T1 serialized as... no wait, T1
-        // aborted) — the value 1 has no du-eligible source.
+        // T1's write of 1 aborts: the value 1 has no du-eligible source.
         let h = HistoryBuilder::new()
             .write(t(1), x(), v(1))
             .commit_aborted(t(1))
@@ -638,6 +811,7 @@ mod tests {
             name: "tms2",
             deferred_update: false,
             extra_edges: vec![(t(1), t(2))],
+            commit_edges: Vec::new(),
         };
         let verdict = search_serialization(&h, &constrained, &SearchConfig::default());
         assert!(verdict.is_violated());
@@ -657,12 +831,86 @@ mod tests {
             name: "test",
             deferred_update: false,
             extra_edges: vec![(t(1), t(2)), (t(2), t(1))],
+            commit_edges: Vec::new(),
         };
         let verdict = search_serialization(&h, &q, &SearchConfig::default());
         assert!(matches!(
             verdict.violation(),
             Some(Violation::ConstraintCycle { .. })
         ));
+    }
+
+    #[test]
+    fn commit_edge_binds_commit_pending_target() {
+        // T1's write of 1 is commit-pending; T2 needs it, so T1 must
+        // commit *and* precede T2. A commit-conditional edge (T2, T1)
+        // demands T2 before T1 if T1 commits — contradiction either way.
+        let h = HistoryBuilder::new()
+            .write(t(1), x(), v(1))
+            .inv_try_commit(t(1))
+            .read(t(2), x(), v(1))
+            .commit(t(2))
+            .build();
+        let q = Query {
+            name: "test",
+            deferred_update: false,
+            extra_edges: Vec::new(),
+            commit_edges: vec![(t(2), t(1))],
+        };
+        let verdict = search_serialization(&h, &q, &SearchConfig::default());
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::NoSerialization { .. })
+        ));
+        // Sanity: without the conditional edge the history is satisfiable
+        // (T1 commits before T2).
+        assert!(search_serialization(&h, &plain_query(), &SearchConfig::default()).is_satisfied());
+    }
+
+    #[test]
+    fn commit_edge_forces_abort_instead_of_cycle() {
+        // Unconditional edges T1 < T2 and T2 < T1 would be a constraint
+        // cycle; making the second conditional on T1 committing instead
+        // lets the search keep T1 by choosing the abort fate.
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_write(t(2), x(), v(2))
+            .resp_ok(t(2))
+            .resp_ok(t(1))
+            .inv_try_commit(t(1))
+            .commit(t(2))
+            .build();
+        let q = Query {
+            name: "test",
+            deferred_update: false,
+            extra_edges: vec![(t(1), t(2))],
+            commit_edges: vec![(t(2), t(1))],
+        };
+        let verdict = search_serialization(&h, &q, &SearchConfig::default());
+        let w = verdict.witness().expect("satisfied with T1 aborted");
+        assert_eq!(w.commit_choice(t(1)), Some(false));
+    }
+
+    #[test]
+    fn commit_edge_on_committed_target_is_unconditional() {
+        // Same shape as extra_edges_constrain_order, but through
+        // commit_edges: the target is a committed transaction, so the
+        // edge must constrain the order exactly like an extra edge.
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_read(t(2), x())
+            .resp_value(t(2), v(0))
+            .resp_ok(t(1))
+            .commit(t(1))
+            .commit(t(2))
+            .build();
+        let q = Query {
+            name: "test",
+            deferred_update: false,
+            extra_edges: Vec::new(),
+            commit_edges: vec![(t(1), t(2))],
+        };
+        assert!(search_serialization(&h, &q, &SearchConfig::default()).is_violated());
     }
 
     #[test]
@@ -691,8 +939,8 @@ mod tests {
             &h,
             &plain_query(),
             &SearchConfig {
-                memo: true,
                 max_states: Some(0),
+                ..SearchConfig::default()
             },
         );
         // Either violated by precheck or unknown; accept both shapes but
@@ -719,9 +967,33 @@ mod tests {
             &plain_query(),
             &SearchConfig {
                 memo: false,
-                max_states: None,
+                ..SearchConfig::default()
             },
         );
         assert_eq!(with.is_satisfied(), without.is_satisfied());
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = SearchStats {
+            explored: 1,
+            memo_hits: 2,
+            dead_ends: 3,
+            peak_memo_entries: 10,
+            subtree_tasks: 0,
+        };
+        let b = SearchStats {
+            explored: 10,
+            memo_hits: 20,
+            dead_ends: 30,
+            peak_memo_entries: 5,
+            subtree_tasks: 4,
+        };
+        a.absorb(&b);
+        assert_eq!(a.explored, 11);
+        assert_eq!(a.memo_hits, 22);
+        assert_eq!(a.dead_ends, 33);
+        assert_eq!(a.peak_memo_entries, 10);
+        assert_eq!(a.subtree_tasks, 4);
     }
 }

@@ -333,6 +333,7 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
                 name: "du-opacity (unique-writes fallback)",
                 deferred_update: true,
                 extra_edges: edges,
+                commit_edges: Vec::new(),
             },
             &SearchConfig::default(),
         );

@@ -151,7 +151,15 @@ pub fn check_witness(
         CriterionKind::FinalStateOpacity => {}
         CriterionKind::DuOpacity => check_local_legality(h, witness, &s)?,
         CriterionKind::Tms2 => check_edges(witness, tms2_edges(h))?,
-        CriterionKind::ReadCommitOrder => check_edges(witness, rco_edges(h))?,
+        CriterionKind::ReadCommitOrder => {
+            // The edges are commit-conditional: an edge toward a writer
+            // the witness's completion *aborts* is vacuous.
+            let edges = rco_edges(h)
+                .into_iter()
+                .filter(|&(_, writer)| witness.is_committed_in(h, writer))
+                .collect();
+            check_edges(witness, edges)?;
+        }
     }
     Ok(())
 }

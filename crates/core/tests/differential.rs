@@ -78,7 +78,7 @@ fn search_matches_enumeration_with_memo_disabled() {
         let with = DuOpacity::new().check(&h);
         let without = DuOpacity::with_config(SearchConfig {
             memo: false,
-            max_states: None,
+            ..SearchConfig::default()
         })
         .check(&h);
         assert_eq!(with.is_satisfied(), without.is_satisfied(), "seed {seed}");

@@ -1,0 +1,162 @@
+//! Differential testing: the parallel search engine vs the sequential one,
+//! across a generated corpus, for every criterion and several thread counts.
+//!
+//! The contract (see DESIGN.md, "Parallel search"): verdicts are
+//! equivalent and the witness is deterministic — identical to the
+//! sequential engine's first-found witness, regardless of thread count.
+//! The only permitted divergence is the `explored` counter embedded in
+//! violations and unknowns: memo races mean parallel workers may expand a
+//! state another worker is about to memoize, so totals can differ while
+//! the verdict cannot.
+
+use duop_core::{
+    Criterion, DuOpacity, FinalStateOpacity, Opacity, ReadCommitOrderOpacity, SearchConfig, Tms2,
+    Verdict, Violation,
+};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+
+/// Zeroes every `explored` counter in a violation so that structurally
+/// identical violations compare equal across engines.
+fn normalize_violation(v: &Violation) -> Violation {
+    match v {
+        Violation::NoSerialization { criterion, .. } => Violation::NoSerialization {
+            criterion: criterion.clone(),
+            explored: 0,
+        },
+        Violation::PrefixNotFinalStateOpaque { prefix_len, cause } => {
+            Violation::PrefixNotFinalStateOpaque {
+                prefix_len: *prefix_len,
+                cause: Box::new(normalize_violation(cause)),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+fn normalize(v: &Verdict) -> Verdict {
+    match v {
+        Verdict::Violated(violation) => Verdict::Violated(normalize_violation(violation)),
+        Verdict::Unknown { .. } => Verdict::Unknown { explored: 0 },
+        satisfied => satisfied.clone(),
+    }
+}
+
+fn criteria(cfg: SearchConfig) -> [(&'static str, Box<dyn Criterion>); 5] {
+    [
+        (
+            "final-state opacity",
+            Box::new(FinalStateOpacity::with_config(cfg.clone())),
+        ),
+        ("opacity", Box::new(Opacity::with_config(cfg.clone()))),
+        ("du-opacity", Box::new(DuOpacity::with_config(cfg.clone()))),
+        (
+            "rco",
+            Box::new(ReadCommitOrderOpacity::with_config(cfg.clone())),
+        ),
+        ("tms2", Box::new(Tms2::with_config(cfg))),
+    ]
+}
+
+fn corpus() -> Vec<(u64, duop_history::History)> {
+    let mut out = Vec::new();
+    for seed in 0..120 {
+        out.push((
+            seed,
+            HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate(),
+        ));
+    }
+    for seed in 0..60 {
+        out.push((
+            1_000 + seed,
+            HistoryGen::new(HistoryGenConfig::small_simulated(), seed).generate(),
+        ));
+    }
+    out
+}
+
+#[test]
+fn parallel_verdicts_and_witnesses_match_sequential() {
+    let mut satisfied = 0usize;
+    let mut violated = 0usize;
+    for (tag, h) in corpus() {
+        let sequential: Vec<Verdict> = criteria(SearchConfig::default())
+            .iter()
+            .map(|(_, c)| c.check(&h))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let cfg = SearchConfig {
+                threads: Some(threads),
+                ..SearchConfig::default()
+            };
+            for ((name, checker), seq) in criteria(cfg).iter().zip(&sequential) {
+                let par = checker.check(&h);
+                assert_eq!(
+                    normalize(&par),
+                    normalize(seq),
+                    "{name} diverges at {threads} threads, corpus tag {tag}:\n{h}\nseq: {seq}\npar: {par}"
+                );
+                if let (Some(pw), Some(sw)) = (par.witness(), seq.witness()) {
+                    assert_eq!(
+                        pw, sw,
+                        "{name} witness differs at {threads} threads, corpus tag {tag}"
+                    );
+                }
+            }
+        }
+        if sequential[2].is_satisfied() {
+            satisfied += 1;
+        } else {
+            violated += 1;
+        }
+    }
+    // The corpus must exercise both outcomes.
+    assert!(satisfied > 20, "only {satisfied} satisfied histories");
+    assert!(violated > 20, "only {violated} violated histories");
+}
+
+#[test]
+fn global_budget_is_consistent_across_thread_counts() {
+    // A budget tight enough to trip on some histories. The parallel engine
+    // shares one global counter across workers, so a budgeted run may
+    // return Unknown — but it must never contradict another run: one
+    // thread count saying Satisfied while another says Violated would mean
+    // the budget changed an answer rather than withholding one.
+    let budget = SearchConfig {
+        max_states: Some(4),
+        ..SearchConfig::default()
+    };
+    let mut unknowns = 0usize;
+    for seed in 0..150 {
+        let h = HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate();
+        let verdicts: Vec<Verdict> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                DuOpacity::with_config(SearchConfig {
+                    threads: Some(threads),
+                    ..budget.clone()
+                })
+                .check(&h)
+            })
+            .collect();
+        let any_satisfied = verdicts.iter().any(|v| v.is_satisfied());
+        let any_violated = verdicts.iter().any(|v| v.is_violated());
+        assert!(
+            !(any_satisfied && any_violated),
+            "budgeted runs contradict each other at seed {seed}:\n{h}\n{verdicts:?}"
+        );
+        unknowns += verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::Unknown { .. }))
+            .count();
+        // A definite answer under budget must match the unbudgeted truth.
+        if any_satisfied || any_violated {
+            let truth = DuOpacity::new().check(&h);
+            for v in &verdicts {
+                if !matches!(v, Verdict::Unknown { .. }) {
+                    assert_eq!(v.is_satisfied(), truth.is_satisfied(), "seed {seed}");
+                }
+            }
+        }
+    }
+    assert!(unknowns > 0, "budget of 4 states never tripped");
+}

@@ -1,13 +1,33 @@
 //! Prints the full experiment table (E1–E10): the paper's claim next to
 //! the measured verdict for every figure and theorem.
 //!
-//! Usage: `cargo run -p duop-experiments --bin experiments [--quick]`
+//! Usage: `cargo run -p duop-experiments --bin experiments [--quick] [--threads N]`
+//!
+//! `--threads N` fans the corpus experiments (E7–E9, E11, E13, E14) out
+//! over N worker threads (0 = all hardware threads). The reported numbers
+//! are identical to the serial run.
 
-use duop_experiments::runner::run_all;
+use duop_experiments::runner::run_all_with;
 use duop_history::render::render_lanes;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut threads = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" || a == "-j" {
+            let n: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--threads needs a number");
+                std::process::exit(2);
+            });
+            threads = if n == 0 {
+                duop_core::available_threads()
+            } else {
+                n
+            };
+        }
+    }
 
     println!("Reproduction of \"Safety of Deferred Update in Transactional Memory\"");
     println!("(Attiya, Hans, Kuznetsov, Ravi; ICDCS 2013)\n");
@@ -26,7 +46,7 @@ fn main() {
     println!();
 
     println!("== Experiments ==\n");
-    let results = run_all(quick);
+    let results = run_all_with(quick, threads);
     let mut failures = 0;
     for r in &results {
         println!(

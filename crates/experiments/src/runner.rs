@@ -28,9 +28,18 @@ pub struct ExperimentResult {
     pub pass: bool,
 }
 
-/// Runs every experiment. `quick` trims the statistical sample sizes (used
-/// by the integration tests); the binary runs the full sizes.
+/// Runs every experiment serially. `quick` trims the statistical sample
+/// sizes (used by the integration tests); the binary runs the full sizes.
 pub fn run_all(quick: bool) -> Vec<ExperimentResult> {
+    run_all_with(quick, 1)
+}
+
+/// As [`run_all`], fanning the corpus experiments (E7–E9, E11, E13, E14)
+/// out over `threads` workers with [`duop_core::par_map`]. Results are
+/// identical to the serial run — per-seed work is independent and is
+/// reduced in seed order. The STM experiments (E10, E12) stay serial
+/// because their workloads already spawn real threads.
+pub fn run_all_with(quick: bool, threads: usize) -> Vec<ExperimentResult> {
     vec![
         e1_fig1(),
         e2_fig2(),
@@ -38,15 +47,26 @@ pub fn run_all(quick: bool) -> Vec<ExperimentResult> {
         e4_fig4(),
         e5_fig5(),
         e6_fig6(),
-        e7_theorem11(if quick { 60 } else { 400 }),
-        e8_prefix_closure(if quick { 30 } else { 150 }),
-        e9_lemma4(if quick { 30 } else { 150 }),
+        e7_theorem11(if quick { 60 } else { 400 }, threads),
+        e8_prefix_closure(if quick { 30 } else { 150 }, threads),
+        e9_lemma4(if quick { 30 } else { 150 }, threads),
         e10_stm(if quick { 4 } else { 20 }),
-        e11_tms2_conjecture(if quick { 80 } else { 300 }),
+        e11_tms2_conjecture(if quick { 80 } else { 300 }, threads),
         e12_pessimistic(if quick { 4 } else { 20 }),
-        e13_search_ablation(if quick { 40 } else { 150 }),
-        e14_discrimination(if quick { 60 } else { 250 }),
+        e13_search_ablation(if quick { 40 } else { 150 }, threads),
+        e14_discrimination(if quick { 60 } else { 250 }, threads),
     ]
+}
+
+/// Maps `f` over the seed range `0..samples` on `threads` workers,
+/// returning per-seed rows in seed order.
+fn par_seeds<R, F>(samples: u64, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let seeds: Vec<u64> = (0..samples).collect();
+    duop_core::par_map(&seeds, threads, |&seed| f(seed))
 }
 
 fn verdict_str(sat: bool) -> &'static str {
@@ -180,35 +200,32 @@ fn e6_fig6() -> ExperimentResult {
     }
 }
 
-fn e7_theorem11(samples: u64) -> ExperimentResult {
+fn e7_theorem11(samples: u64, threads: usize) -> ExperimentResult {
     let cfg = HistoryGenConfig {
         unique_writes: true,
         mode: GenMode::Adversarial,
         ..HistoryGenConfig::small_adversarial()
     };
-    let mut agree = 0u64;
-    let mut total = 0u64;
-    let mut fallbacks = 0u64;
-    let mut sat = 0u64;
-    for seed in 0..samples {
+    // Per seed: (agrees, fast path fell back, du-satisfiable); None when
+    // the generated history is outside the unique-writes regime.
+    let rows = par_seeds(samples, threads, |seed| {
         let h = HistoryGen::new(cfg.clone(), seed).generate();
         if !has_unique_writes(&h) {
-            continue;
+            return None;
         }
-        total += 1;
         let opaque = Opacity::new().check(&h).is_satisfied();
         let du = DuOpacity::new().check(&h).is_satisfied();
         let (fast, stats) = check_unique_writes_fast(&h);
-        if stats.fell_back {
-            fallbacks += 1;
-        }
-        if opaque == du && fast.is_satisfied() == du {
-            agree += 1;
-        }
-        if du {
-            sat += 1;
-        }
-    }
+        Some((
+            opaque == du && fast.is_satisfied() == du,
+            stats.fell_back,
+            du,
+        ))
+    });
+    let total = rows.iter().flatten().count() as u64;
+    let agree = rows.iter().flatten().filter(|r| r.0).count() as u64;
+    let fallbacks = rows.iter().flatten().filter(|r| r.1).count() as u64;
+    let sat = rows.iter().flatten().filter(|r| r.2).count() as u64;
     ExperimentResult {
         id: "E7",
         title: "Theorem 11 (unique writes)",
@@ -220,15 +237,14 @@ fn e7_theorem11(samples: u64) -> ExperimentResult {
     }
 }
 
-fn e8_prefix_closure(samples: u64) -> ExperimentResult {
-    let mut checked = 0u64;
-    let mut ok = true;
-    for seed in 0..samples {
+fn e8_prefix_closure(samples: u64, threads: usize) -> ExperimentResult {
+    let rows = par_seeds(samples, threads, |seed| {
         let h = HistoryGen::new(HistoryGenConfig::small_simulated(), seed).generate();
         let Some(w) = DuOpacity::new().check(&h).witness().cloned() else {
-            ok = false;
-            break;
+            return (0u64, false);
         };
+        let mut checked = 0u64;
+        let mut ok = true;
         for i in 0..=h.len() {
             let prefix = h.prefix(i);
             let restricted = restrict_witness(&h, &w, i);
@@ -237,7 +253,10 @@ fn e8_prefix_closure(samples: u64) -> ExperimentResult {
             }
             checked += 1;
         }
-    }
+        (checked, ok)
+    });
+    let checked: u64 = rows.iter().map(|r| r.0).sum();
+    let ok = rows.iter().all(|r| r.1);
     ExperimentResult {
         id: "E8",
         title: "Lemma 1 / Corollary 2 (prefix-closure)",
@@ -247,26 +266,22 @@ fn e8_prefix_closure(samples: u64) -> ExperimentResult {
     }
 }
 
-fn e9_lemma4(samples: u64) -> ExperimentResult {
+fn e9_lemma4(samples: u64, threads: usize) -> ExperimentResult {
     let cfg = HistoryGenConfig {
         stall_prob: 0.0,
         ..HistoryGenConfig::small_simulated()
     };
-    let mut checked = 0u64;
-    let mut ok = true;
-    for seed in 0..samples {
+    // Per seed: Some(lemma holds); None when the history is incomplete.
+    let rows = par_seeds(samples, threads, |seed| {
         let h = HistoryGen::new(cfg.clone(), seed).generate();
         if !h.is_complete() {
-            continue;
+            return None;
         }
         let Some(w) = DuOpacity::new().check(&h).witness().cloned() else {
-            ok = false;
-            break;
+            return Some(false);
         };
         let reordered = live_set_reorder(&h, &w);
-        if check_witness(&h, &reordered, CriterionKind::DuOpacity).is_err() {
-            ok = false;
-        }
+        let mut ok = check_witness(&h, &reordered, CriterionKind::DuOpacity).is_ok();
         let ids: Vec<_> = h.txn_ids().collect();
         for &a in &ids {
             for &b in &ids {
@@ -278,8 +293,10 @@ fn e9_lemma4(samples: u64) -> ExperimentResult {
                 }
             }
         }
-        checked += 1;
-    }
+        Some(ok)
+    });
+    let checked = rows.iter().flatten().count() as u64;
+    let ok = rows.iter().flatten().all(|&b| b);
     ExperimentResult {
         id: "E9",
         title: "Lemma 4 (live-set reordering)",
@@ -289,15 +306,14 @@ fn e9_lemma4(samples: u64) -> ExperimentResult {
     }
 }
 
-fn e11_tms2_conjecture(samples: u64) -> ExperimentResult {
+fn e11_tms2_conjecture(samples: u64, threads: usize) -> ExperimentResult {
     use duop_core::tms2_automaton::{check_tms2_automaton, replay};
 
     // The conjecture, against its actual subject: every history accepted
     // by the full TMS2 automaton must be du-opaque.
-    let mut accepted = 0u64;
-    let mut du_holds = 0u64;
-    let mut replayed = 0u64;
-    for seed in 0..samples {
+    // Per seed: (accepted, replayed, du-holds) over both generator modes.
+    let rows = par_seeds(samples, threads, |seed| {
+        let mut acc = (0u64, 0u64, 0u64);
         for cfg in [
             HistoryGenConfig::small_adversarial(),
             HistoryGenConfig::small_simulated(),
@@ -305,16 +321,20 @@ fn e11_tms2_conjecture(samples: u64) -> ExperimentResult {
             let h = HistoryGen::new(cfg, seed).generate();
             let verdict = check_tms2_automaton(&h, Some(2_000_000));
             if let Some(exec) = verdict.execution() {
-                accepted += 1;
+                acc.0 += 1;
                 if replay(&h, exec).is_ok() {
-                    replayed += 1;
+                    acc.1 += 1;
                 }
                 if DuOpacity::new().check(&h).is_satisfied() {
-                    du_holds += 1;
+                    acc.2 += 1;
                 }
             }
         }
-    }
+        acc
+    });
+    let accepted: u64 = rows.iter().map(|r| r.0).sum();
+    let replayed: u64 = rows.iter().map(|r| r.1).sum();
+    let du_holds: u64 = rows.iter().map(|r| r.2).sum();
     // The rendering gap: the informal Section 4.2 condition accepts a
     // history the automaton (and du-opacity) rejects.
     let gap = figures::tms2_rendering_gap();
@@ -341,18 +361,15 @@ fn e11_tms2_conjecture(samples: u64) -> ExperimentResult {
     }
 }
 
-fn e14_discrimination(samples: u64) -> ExperimentResult {
+fn e14_discrimination(samples: u64, threads: usize) -> ExperimentResult {
     use duop_core::tms2_automaton::check_tms2_automaton;
 
     // How often do the criteria actually disagree? Satisfaction rates over
     // an adversarial corpus, ordered by strictness. The counts quantify
     // the hierarchy the figures establish pointwise.
-    let mut n = 0u64;
-    let mut sat = [0u64; 6]; // strict, fso, opacity, du, rco, tms2-automaton
-    for seed in 0..samples {
+    let rows = par_seeds(samples, threads, |seed| {
         let h = HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate();
-        n += 1;
-        let verdicts = [
+        [
             duop_core::StrictSerializability::new()
                 .check(&h)
                 .is_satisfied(),
@@ -361,9 +378,13 @@ fn e14_discrimination(samples: u64) -> ExperimentResult {
             DuOpacity::new().check(&h).is_satisfied(),
             ReadCommitOrderOpacity::new().check(&h).is_satisfied(),
             check_tms2_automaton(&h, Some(2_000_000)).is_accepted(),
-        ];
-        for (slot, v) in sat.iter_mut().zip(verdicts) {
-            if v {
+        ]
+    });
+    let n = rows.len() as u64;
+    let mut sat = [0u64; 6]; // strict, fso, opacity, du, rco, tms2-automaton
+    for row in &rows {
+        for (slot, v) in sat.iter_mut().zip(row) {
+            if *v {
                 *slot += 1;
             }
         }
@@ -387,38 +408,35 @@ fn e14_discrimination(samples: u64) -> ExperimentResult {
     }
 }
 
-fn e13_search_ablation(samples: u64) -> ExperimentResult {
+fn e13_search_ablation(samples: u64, threads: usize) -> ExperimentResult {
     use duop_core::SearchConfig;
 
     // Quantify the two design choices DESIGN.md calls out: failed-state
     // memoization and forward feasibility pruning. Compare explored-state
     // counts with memoization on vs off across a mixed corpus, and count
     // the work the dead-end pruner saves on Figure-2-style histories.
-    let mut explored_on = 0u64;
-    let mut explored_off = 0u64;
-    let mut memo_hits = 0u64;
-    let mut dead_ends = 0u64;
-    let mut agree = true;
-    for seed in 0..samples {
+    let rows = par_seeds(samples, threads, |seed| {
         let h = HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate();
         let on = DuOpacity::with_config(SearchConfig {
             memo: true,
-            max_states: None,
+            ..SearchConfig::default()
         })
         .check_with_stats(&h);
         let off = DuOpacity::with_config(SearchConfig {
             memo: false,
             max_states: Some(2_000_000),
+            ..SearchConfig::default()
         })
         .check_with_stats(&h);
-        explored_on += on.1.explored;
-        explored_off += off.1.explored;
-        memo_hits += on.1.memo_hits;
-        dead_ends += on.1.dead_ends;
-        if !matches!(off.0, duop_core::Verdict::Unknown { .. }) {
-            agree &= on.0.is_satisfied() == off.0.is_satisfied();
-        }
-    }
+        let agree = matches!(off.0, duop_core::Verdict::Unknown { .. })
+            || on.0.is_satisfied() == off.0.is_satisfied();
+        (on.1, off.1, agree)
+    });
+    let explored_on: u64 = rows.iter().map(|r| r.0.explored).sum();
+    let explored_off: u64 = rows.iter().map(|r| r.1.explored).sum();
+    let memo_hits: u64 = rows.iter().map(|r| r.0.memo_hits).sum();
+    let dead_ends: u64 = rows.iter().map(|r| r.0.dead_ends).sum();
+    let agree = rows.iter().all(|r| r.2);
     // The dead-end pruner is what makes Figure 2 linear; measure it.
     let fig2 = figures::fig2_prefix(64);
     let (v, fig2_stats) = DuOpacity::new().check_with_stats(&fig2);
@@ -610,5 +628,25 @@ fn e10_stm(runs: u64) -> ExperimentResult {
         claim: "deferred-update engines produce du-opaque histories; the unsafe engine is rejected",
         measured: lines.join(" | "),
         pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The corpus experiments must report identical numbers regardless of
+    /// worker count: per-seed rows are independent and reduced in seed
+    /// order.
+    #[test]
+    fn parallel_fanout_matches_serial() {
+        for (serial, parallel) in [
+            (e7_theorem11(12, 1), e7_theorem11(12, 4)),
+            (e9_lemma4(6, 1), e9_lemma4(6, 4)),
+            (e14_discrimination(10, 1), e14_discrimination(10, 4)),
+        ] {
+            assert_eq!(serial.measured, parallel.measured);
+            assert_eq!(serial.pass, parallel.pass);
+        }
     }
 }

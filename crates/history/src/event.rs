@@ -10,7 +10,6 @@
 //! 4. `tryA_k` returns `A_k`.
 
 use crate::{ObjId, TxnId, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Invocation of a t-operation.
@@ -25,7 +24,7 @@ use std::fmt;
 /// assert_eq!(read.obj(), Some(ObjId::new(0)));
 /// assert!(write.is_write());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `read_k(X)`: read t-object `X`.
     Read(ObjId),
@@ -79,7 +78,7 @@ impl fmt::Display for Op {
 }
 
 /// Response of a t-operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Ret {
     /// A value returned by a read.
     Value(Value),
@@ -138,7 +137,7 @@ impl fmt::Display for Ret {
 }
 
 /// Either half of a t-operation: an invocation or a response.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// An invocation event.
     Inv(Op),
@@ -170,7 +169,7 @@ impl EventKind {
 /// assert_eq!(e.txn, TxnId::new(1));
 /// assert!(e.kind.is_inv());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Event {
     /// The transaction this event belongs to.
     pub txn: TxnId,

@@ -1,7 +1,6 @@
 //! Histories: validated sequences of invocation and response events.
 
 use crate::{Event, EventKind, ObjId, Op, OpRecord, Ret, TxnId, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -493,15 +492,15 @@ impl fmt::Display for History {
     }
 }
 
-impl Serialize for History {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.events.serialize(serializer)
+impl serde::Serialize for History {
+    fn to_content(&self) -> serde::Content {
+        serde::Serialize::to_content(&self.events)
     }
 }
 
-impl<'de> Deserialize<'de> for History {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let events = Vec::<Event>::deserialize(deserializer)?;
+impl serde::Deserialize for History {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let events = <Vec<Event> as serde::Deserialize>::from_content(content)?;
         History::new(events).map_err(serde::de::Error::custom)
     }
 }

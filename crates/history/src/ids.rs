@@ -5,7 +5,6 @@
 //! that a transaction identifier can never be confused with an object
 //! identifier or a value.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a transaction `T_k`.
@@ -26,8 +25,7 @@ use std::fmt;
 /// assert!(!t1.is_initial());
 /// assert!(TxnId::INITIAL.is_initial());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(u32);
 
 impl TxnId {
@@ -80,8 +78,7 @@ impl From<u32> for TxnId {
 /// assert_ne!(x, y);
 /// assert_eq!(x.to_string(), "X0");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjId(u32);
 
 impl ObjId {
@@ -127,8 +124,7 @@ impl From<u32> for ObjId {
 /// assert_eq!(Value::INITIAL, Value::new(0));
 /// assert_eq!(Value::new(7).get(), 7);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Value(u64);
 
 impl Value {

@@ -61,6 +61,7 @@ mod history;
 mod ids;
 mod order;
 mod seq;
+mod serde_impls;
 mod stats;
 
 pub mod render;

@@ -1,0 +1,229 @@
+//! Hand-written serialization for the event alphabet.
+//!
+//! The serde shim (see `vendor/serde`) has no derive macro, so the
+//! conversions live here. The encoding matches what `serde_derive` would
+//! emit for the original annotations — transparent newtypes serialize as
+//! bare integers, enums are externally tagged (`"TryCommit"`,
+//! `{"Read":0}`, `{"Write":[0,1]}`) — so traces written by earlier builds
+//! parse unchanged.
+
+use crate::{Event, EventKind, ObjId, Op, Ret, TxnId, Value};
+use serde::{Content, DeError, Deserialize, Serialize};
+
+impl Serialize for TxnId {
+    fn to_content(&self) -> Content {
+        Content::U64(u64::from(self.index()))
+    }
+}
+
+impl Deserialize for TxnId {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        u32::from_content(content).map(TxnId::new)
+    }
+}
+
+impl Serialize for ObjId {
+    fn to_content(&self) -> Content {
+        Content::U64(u64::from(self.index()))
+    }
+}
+
+impl Deserialize for ObjId {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        u32::from_content(content).map(ObjId::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        Content::U64(self.get())
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        u64::from_content(content).map(Value::new)
+    }
+}
+
+/// `"Tag"` for a unit variant.
+fn unit_variant(tag: &str) -> Content {
+    Content::Str(tag.to_owned())
+}
+
+/// `{"Tag": payload}` for a newtype or tuple variant.
+fn tagged(tag: &str, payload: Content) -> Content {
+    Content::Map(vec![(tag.to_owned(), payload)])
+}
+
+/// Splits an externally tagged variant into `(tag, payload)`; unit
+/// variants yield no payload.
+fn variant(content: &Content) -> Result<(&str, Option<&Content>), DeError> {
+    match content {
+        Content::Str(tag) => Ok((tag, None)),
+        Content::Map(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+        }
+        _ => Err(DeError::custom("expected an externally tagged enum")),
+    }
+}
+
+fn payload<'c>(tag: &str, payload: Option<&'c Content>) -> Result<&'c Content, DeError> {
+    payload.ok_or_else(|| DeError::custom(format!("variant `{tag}` expects a payload")))
+}
+
+impl Serialize for Op {
+    fn to_content(&self) -> Content {
+        match self {
+            Op::Read(x) => tagged("Read", x.to_content()),
+            Op::Write(x, v) => tagged("Write", Content::Seq(vec![x.to_content(), v.to_content()])),
+            Op::TryCommit => unit_variant("TryCommit"),
+            Op::TryAbort => unit_variant("TryAbort"),
+        }
+    }
+}
+
+impl Deserialize for Op {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let (tag, body) = variant(content)?;
+        match tag {
+            "Read" => ObjId::from_content(payload(tag, body)?).map(Op::Read),
+            "Write" => match payload(tag, body)? {
+                Content::Seq(items) if items.len() == 2 => Ok(Op::Write(
+                    ObjId::from_content(&items[0])?,
+                    Value::from_content(&items[1])?,
+                )),
+                _ => Err(DeError::custom("`Write` expects [obj, value]")),
+            },
+            "TryCommit" => Ok(Op::TryCommit),
+            "TryAbort" => Ok(Op::TryAbort),
+            other => Err(DeError::custom(format!("unknown Op variant `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Ret {
+    fn to_content(&self) -> Content {
+        match self {
+            Ret::Value(v) => tagged("Value", v.to_content()),
+            Ret::Ok => unit_variant("Ok"),
+            Ret::Committed => unit_variant("Committed"),
+            Ret::Aborted => unit_variant("Aborted"),
+        }
+    }
+}
+
+impl Deserialize for Ret {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let (tag, body) = variant(content)?;
+        match tag {
+            "Value" => Value::from_content(payload(tag, body)?).map(Ret::Value),
+            "Ok" => Ok(Ret::Ok),
+            "Committed" => Ok(Ret::Committed),
+            "Aborted" => Ok(Ret::Aborted),
+            other => Err(DeError::custom(format!("unknown Ret variant `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for EventKind {
+    fn to_content(&self) -> Content {
+        match self {
+            EventKind::Inv(op) => tagged("Inv", op.to_content()),
+            EventKind::Resp(ret) => tagged("Resp", ret.to_content()),
+        }
+    }
+}
+
+impl Deserialize for EventKind {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let (tag, body) = variant(content)?;
+        match tag {
+            "Inv" => Op::from_content(payload(tag, body)?).map(EventKind::Inv),
+            "Resp" => Ret::from_content(payload(tag, body)?).map(EventKind::Resp),
+            other => Err(DeError::custom(format!(
+                "unknown EventKind variant `{other}`"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Event {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("txn".to_owned(), self.txn.to_content()),
+            ("kind".to_owned(), self.kind.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for Event {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let Content::Map(entries) = content else {
+            return Err(DeError::custom("expected an Event object"));
+        };
+        let field = |name: &str| {
+            entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::custom(format!("Event missing field `{name}`")))
+        };
+        Ok(Event {
+            txn: TxnId::from_content(field("txn")?)?,
+            kind: EventKind::from_content(field("kind")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_matches_serde_derive_shapes() {
+        let e = Event::inv(TxnId::new(1), Op::Write(ObjId::new(0), Value::new(9)));
+        assert_eq!(
+            serde_json::to_string(&e).unwrap(),
+            r#"{"txn":1,"kind":{"Inv":{"Write":[0,9]}}}"#
+        );
+        let r = Event::resp(TxnId::new(2), Ret::Committed);
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            r#"{"txn":2,"kind":{"Resp":"Committed"}}"#
+        );
+        let read = Event::inv(TxnId::new(3), Op::Read(ObjId::new(4)));
+        assert_eq!(
+            serde_json::to_string(&read).unwrap(),
+            r#"{"txn":3,"kind":{"Inv":{"Read":4}}}"#
+        );
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let events = [
+            Event::inv(TxnId::new(1), Op::Read(ObjId::new(0))),
+            Event::resp(TxnId::new(1), Ret::Value(Value::new(5))),
+            Event::inv(TxnId::new(1), Op::Write(ObjId::new(1), Value::new(2))),
+            Event::resp(TxnId::new(1), Ret::Ok),
+            Event::inv(TxnId::new(1), Op::TryCommit),
+            Event::resp(TxnId::new(1), Ret::Committed),
+            Event::inv(TxnId::new(2), Op::TryAbort),
+            Event::resp(TxnId::new(2), Ret::Aborted),
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e, "roundtrip of {json}");
+        }
+    }
+
+    #[test]
+    fn malformed_variants_error() {
+        assert!(serde_json::from_str::<Op>(r#""NoSuchOp""#).is_err());
+        assert!(serde_json::from_str::<Op>(r#"{"Write":[0]}"#).is_err());
+        assert!(serde_json::from_str::<Op>(r#""Read""#).is_err());
+        assert!(serde_json::from_str::<Event>(r#"{"txn":1}"#).is_err());
+        assert!(serde_json::from_str::<Event>("7").is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Wall-clock timing only: per benchmark it warms up, picks an iteration
+//! count that fills the measurement window, takes `sample_size` samples,
+//! and prints min/median/max time per iteration (plus throughput when
+//! set). `cargo bench -- --test` (or `cargo test --benches`) runs every
+//! routine exactly once, which is how CI smoke-tests the bench crate
+//! without network access to the real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and CLI state for one bench binary.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run each routine untimed before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total duration of the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies `cargo bench` CLI arguments: `--test` runs each routine
+    /// once; the first free argument filters benchmarks by substring.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown flags (e.g. --save-baseline) are accepted and
+                    // ignored; they may consume a value we cannot detect, so
+                    // only treat bare words as filters.
+                }
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// How to express per-iteration throughput in reports.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `routine`, passing it a [`Bencher`] and `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| routine(b, input));
+    }
+
+    /// Benchmarks `routine`, passing it a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| routine(b));
+    }
+
+    /// Finishes the group. (Reports are printed per benchmark.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            config: self.criterion.clone(),
+            report: None,
+        };
+        routine(&mut bencher);
+        match bencher.report {
+            Some(report) => report.print(&full, self.throughput.as_ref()),
+            None => println!("{full}: no measurement (routine never called iter)"),
+        }
+    }
+}
+
+struct Report {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+    test_mode: bool,
+}
+
+impl Report {
+    fn print(&self, name: &str, throughput: Option<&Throughput>) {
+        if self.test_mode {
+            println!("{name}: ok (test mode, 1 iteration)");
+            return;
+        }
+        let rate = |elems: u64, per: &'static str| {
+            let secs = self.median.as_secs_f64();
+            if secs > 0.0 {
+                format!("  thrpt: {:.0} {per}/s", elems as f64 / secs)
+            } else {
+                String::new()
+            }
+        };
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) => rate(*n, "elem"),
+            Some(Throughput::Bytes(n)) => rate(*n, "B"),
+            None => String::new(),
+        };
+        println!(
+            "{name}: time: [{:?} {:?} {:?}]{thrpt}",
+            self.min, self.median, self.max
+        );
+    }
+}
+
+/// Passed to routines; [`Bencher::iter`] does the actual timing.
+pub struct Bencher {
+    config: Criterion,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing a report printed when the benchmark ends.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.report = Some(Report {
+                min: Duration::ZERO,
+                median: Duration::ZERO,
+                max: Duration::ZERO,
+                test_mode: true,
+            });
+            return;
+        }
+
+        // Warm-up, counting iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.config.sample_size;
+        let target = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((target / per_iter) as u64).max(1);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / u32::try_from(iters_per_sample).unwrap_or(u32::MAX));
+        }
+        times.sort_unstable();
+        self.report = Some(Report {
+            min: times[0],
+            median: times[times.len() / 2],
+            max: times[times.len() - 1],
+            test_mode: false,
+        });
+    }
+}
+
+/// Declares a bench group: a function running each target against a
+/// shared config. Supports both the `name/config/targets` form and the
+/// positional `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(b))
+    }
+
+    #[test]
+    fn test_mode_runs_once_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.test_mode = true;
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u32;
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                sum_to(n)
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.bench_function(BenchmarkId::new("sum", "timed"), |b| b.iter(|| sum_to(512)));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("no-such-bench".into()),
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::new("skipped", 1), |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 0);
+    }
+}

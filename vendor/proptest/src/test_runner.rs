@@ -1,0 +1,193 @@
+//! Deterministic case execution for the `proptest!` macro.
+
+/// Configuration for one `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to attempt per test (rejects included).
+    pub cases: u32,
+    /// Give up if this many consecutive cases are rejected.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) outcome with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG handed to strategies: SplitMix64 over (test name, case index),
+/// so every case is reproducible from the printed case number alone.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name.
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    case: u32,
+    attempted: u32,
+    rejected: u32,
+    passed: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner {
+            config,
+            name,
+            case: 0,
+            attempted: 0,
+            rejected: 0,
+            passed: 0,
+        }
+    }
+
+    /// Returns the RNG for the next case, or `None` when done.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.attempted >= self.config.cases || self.rejected >= self.config.max_global_rejects {
+            return None;
+        }
+        let rng = TestRng::for_case(self.name, self.case);
+        self.case += 1;
+        Some(rng)
+    }
+
+    /// Records the outcome of the case last yielded by [`Self::next_case`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on
+    /// [`TestCaseError::Fail`], naming the case index for reproduction.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => {
+                self.attempted += 1;
+                self.passed += 1;
+            }
+            Err(TestCaseError::Reject(_)) => {
+                self.rejected += 1;
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{}` failed at case {} (of {} attempted, {} rejected):\n{}",
+                    self.name,
+                    self.case.saturating_sub(1),
+                    self.attempted,
+                    self.rejected,
+                    msg
+                );
+            }
+        }
+    }
+
+    /// Final bookkeeping; panics if every case was rejected.
+    pub fn finish(&self) {
+        assert!(
+            self.passed > 0,
+            "proptest `{}`: no case passed ({} rejected) — assumptions too strict?",
+            self.name,
+            self.rejected
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn values_are_deterministic_and_in_range(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn any_and_map_work(seed in any::<u64>()) {
+            let doubled = crate::strategy::any::<u32>()
+                .prop_map(|v| (v as u64) * 2);
+            let mut rng = super::TestRng::for_case("inner", seed as u32 % 8);
+            let v = crate::strategy::Strategy::new_value(&doubled, &mut rng);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 1000, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

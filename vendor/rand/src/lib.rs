@@ -1,0 +1,208 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses.
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256\*\* seeded through SplitMix64),
+//! the [`Rng`]/[`RngCore`]/[`SeedableRng`] traits, `gen_range` over
+//! half-open and inclusive integer ranges, and `gen_bool`. The stream is
+//! deterministic per seed (the repo's generators and tests rely on seeds
+//! for reproducibility, not on a specific upstream stream).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding support.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        // 53 high bits give a uniform double in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, bound)` by widening multiply (Lemire reduction,
+/// without the rejection loop — bias is < 2^-64 per sample, irrelevant for
+/// test-material generation).
+fn below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    (((rng.next_u64() as u128) * (bound as u128)) >> 64) as u64
+}
+
+/// Integers that [`SampleRange`] can draw uniformly.
+///
+/// Width arithmetic happens in `u64`; signed types sign-extend so that
+/// `end - start` is correct modulo 2^64 and the truncation on the way
+/// back is the matching modular inverse.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// The value's bit pattern, sign- or zero-extended to 64 bits.
+    fn extend(self) -> u64;
+    /// Truncates a 64-bit pattern back to `Self`.
+    fn truncate(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    (unsigned: $($u:ty),*; signed: $($i:ty),*) => {
+        $(impl SampleUniform for $u {
+            fn extend(self) -> u64 { self as u64 }
+            fn truncate(v: u64) -> Self { v as $u }
+        })*
+        $(impl SampleUniform for $i {
+            fn extend(self) -> u64 { self as i64 as u64 }
+            fn truncate(v: u64) -> Self { v as $i }
+        })*
+    };
+}
+
+impl_sample_uniform!(unsigned: u8, u16, u32, u64, usize; signed: i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        let width = self.end.extend().wrapping_sub(self.start.extend());
+        T::truncate(self.start.extend().wrapping_add(below(rng, width)))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let width = hi.extend().wrapping_sub(lo.extend()).wrapping_add(1);
+        if width == 0 {
+            // Full-width inclusive range (64-bit types only).
+            return T::truncate(rng.next_u64());
+        }
+        T::truncate(lo.extend().wrapping_add(below(rng, width)))
+    }
+}
+
+pub mod rngs {
+    //! Concrete RNG implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard RNG: xoshiro256\*\*, seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0u64..u64::MAX)).collect();
+        let mut d = StdRng::seed_from_u64(42);
+        let other: Vec<u64> = (0..16).map(|_| d.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1u64..=3);
+            assert!((1..=3).contains(&w));
+            let x = rng.gen_range(0u32..5);
+            assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits={hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn inclusive_wide_range_covers_high_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = rng.gen_range(1u64..=u64::MAX / 2);
+        assert!((1..=u64::MAX / 2).contains(&v));
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`from_str`] over the serde shim's content tree.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// A JSON serialization or parse error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// real `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_content(&content).map_err(Error::from)
+}
+
+fn emit(content: &Content, out: &mut String) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&v.to_string()),
+        Content::Str(s) => emit_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_string(k, out);
+                out.push(':');
+                emit(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Content::Null),
+            Some(b't') => self.literal("true", Content::Bool(true)),
+            Some(b'f') => self.literal("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error("bad escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|e| Error(e.to_string()))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|e| Error(e.to_string()))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|e| Error(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_collections() {
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+        assert_eq!(from_str::<u64>("7").unwrap(), 7);
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(" [1, 2,3 ] ").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(to_string("a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+        assert_eq!(from_str::<String>(r#""a\"b\\c\n""#).unwrap(), "a\"b\\c\n");
+        assert_eq!(from_str::<String>(r#""A""#).unwrap(), "A");
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("7 trailing").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(from_str::<u64>("-3").is_err());
+        assert!(from_str::<Vec<u32>>("{\"a\":1}").is_err());
+    }
+}
