@@ -1,0 +1,156 @@
+//! Decomposition ablation: the search planner's conflict-graph
+//! decomposition vs the monolithic search (`--no-decompose`) on synthetic
+//! k-cluster corpora.
+//!
+//! Each cluster is a value-chained sequence of read-then-write
+//! transactions on its own object, with every transaction of every
+//! cluster overlapping in real time — so the conflict graph splits into
+//! exactly k components. The *refutation* corpus poisons one cluster with
+//! two transactions that both need the same superseded value: proving
+//! there is no serialization costs the monolithic engine the *product* of
+//! the per-cluster state spaces but costs the planner only their *sum*.
+//! The satisfiable corpus bounds the planner's overhead on easy instances.
+//!
+//! Custom harness (no criterion): medians are written to `BENCH_2.json`
+//! at the repository root — machine-readable `{bench name: median ns}` —
+//! so the perf trajectory is trackable across PRs. `--test` runs a quick
+//! smoke pass without touching the JSON.
+
+use duop_core::{Criterion, DuOpacity, SearchConfig, Verdict};
+use duop_history::{History, HistoryBuilder, ObjId, TxnId, Value};
+use std::time::Instant;
+
+/// `clusters` disjoint chains of `chain` read-then-write transactions.
+/// Transaction `i` of a cluster reads the previous link's value and
+/// writes its own, so within a cluster the only legal serialization is
+/// the chain order — per-cluster search states stay linear in `chain`.
+/// All transactions open (their read invocation) before any completes, so
+/// no real-time edge crosses clusters and the planner sees `clusters`
+/// components. When `poisoned`, the last cluster's final transaction
+/// demands the value two links back — already superseded, and also wanted
+/// by the preceding transaction — making that cluster (and only that
+/// cluster) unserializable.
+fn chained_clusters(clusters: u32, chain: u32, poisoned: bool) -> History {
+    assert!(chain >= 3, "the poison pattern needs three links");
+    let t = |c: u32, i: u32| TxnId::new(c * chain + i);
+    let v = Value::new;
+    let mut b = HistoryBuilder::new();
+    for c in 0..clusters {
+        for i in 1..=chain {
+            b = b.inv_read(t(c, i), ObjId::new(c));
+        }
+    }
+    for i in 1..=chain {
+        for c in 0..clusters {
+            let wanted = if poisoned && c == clusters - 1 && i == chain {
+                u64::from(chain) - 2
+            } else {
+                u64::from(i) - 1
+            };
+            b = b.resp_value(t(c, i), v(wanted));
+        }
+        for c in 0..clusters {
+            b = b
+                .inv_write(t(c, i), ObjId::new(c), v(i.into()))
+                .resp_ok(t(c, i));
+        }
+        for c in 0..clusters {
+            b = b.inv_try_commit(t(c, i));
+        }
+        for c in 0..clusters {
+            b = b.resp_committed(t(c, i));
+        }
+    }
+    b.build()
+}
+
+fn cfg(decompose: bool) -> SearchConfig {
+    SearchConfig {
+        decompose,
+        threads: Some(1),
+        ..SearchConfig::default()
+    }
+}
+
+/// Median wall-clock nanoseconds of `samples` timed runs of one check.
+fn median_ns(h: &History, decompose: bool, samples: usize) -> u64 {
+    let checker = DuOpacity::with_config(cfg(decompose));
+    // Warm-up: one untimed run.
+    let _ = checker.check(h);
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let verdict = checker.check(h);
+            let ns = start.elapsed().as_nanos() as u64;
+            assert!(!matches!(verdict, Verdict::Unknown { .. }));
+            ns
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let samples = if smoke { 3 } else { 30 };
+
+    // The monolithic refutation cost is the product of per-cluster state
+    // spaces, ~(chain+1)^clusters — 4×8 is ~6.5k states; larger sweeps
+    // (8 clusters) would run for minutes per sample and measure nothing
+    // new, so the sweep stops where the trend is already unambiguous.
+    let mut results: Vec<(String, u64)> = Vec::new();
+    let mut key_speedup = None;
+    for (clusters, chain) in [(2u32, 8u32), (3, 8), (4, 4), (4, 8)] {
+        for (label, poisoned) in [("refute", true), ("satisfy", false)] {
+            let h = chained_clusters(clusters, chain, poisoned);
+            let (planned, planned_stats) = DuOpacity::with_config(cfg(true)).check_with_stats(&h);
+            let (mono, mono_stats) = DuOpacity::with_config(cfg(false)).check_with_stats(&h);
+            assert_eq!(
+                planned.is_satisfied(),
+                mono.is_satisfied(),
+                "ablation changed the verdict on {clusters}x{chain}/{label}"
+            );
+            assert_eq!(planned.is_satisfied(), !poisoned);
+
+            let dec_ns = median_ns(&h, true, samples);
+            let mono_ns = median_ns(&h, false, samples);
+            println!(
+                "decomposition_scaling/{clusters}x{chain}/{label}: decomposed {dec_ns} ns \
+                 ({} states), monolithic {mono_ns} ns ({} states), speedup {:.1}x",
+                planned_stats.explored,
+                mono_stats.explored,
+                mono_ns as f64 / dec_ns as f64
+            );
+            results.push((
+                format!("decomposition_scaling/{clusters}x{chain}/{label}/decomposed"),
+                dec_ns,
+            ));
+            results.push((
+                format!("decomposition_scaling/{clusters}x{chain}/{label}/monolithic"),
+                mono_ns,
+            ));
+            if clusters == 4 && chain == 8 && poisoned {
+                key_speedup = Some(mono_ns as f64 / dec_ns as f64);
+            }
+        }
+    }
+
+    let key = key_speedup.expect("4x8 refutation corpus measured");
+    println!("4-cluster x 8-txn refutation speedup: {key:.1}x (target >= 5x)");
+
+    if smoke {
+        println!("smoke run (--test): BENCH_2.json left untouched");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
+    std::fs::write(path, json).expect("write BENCH_2.json");
+    println!("wrote {path}");
+}

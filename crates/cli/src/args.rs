@@ -9,6 +9,7 @@ duop — check transactional-memory histories against du-opacity and friends
 
 USAGE:
   duop check <trace-file|-> [--criterion NAME]... [--threads N]
+             [--no-decompose]
   duop render <trace-file|->
   duop monitor <trace-file|->
   duop generate [--mode simulated|value|adversarial] [--txns N] [--objs N]
@@ -25,7 +26,9 @@ Traces use the line format (`T1 write X0 1` / `T1 ok` / `T1 tryc` /
 du-opacity (default), final-state, opacity, rco, tms2, tms2-automaton,
 strict. `--threads N` runs the serialization search on N worker threads
 (0 = all hardware threads); the verdict and witness are identical to the
-sequential engine's.
+sequential engine's. `--no-decompose` disables the search planner's
+conflict-graph decomposition (ablation; slower on multi-component
+histories, same verdicts).
 
 Exit codes: 0 all criteria satisfied, 1 some violated, 2 usage/parse error.";
 
@@ -87,6 +90,9 @@ pub enum Command {
         /// Search worker threads (`1` = sequential, `0` = all hardware
         /// threads).
         threads: usize,
+        /// Run the search planner's conflict-graph decomposition
+        /// (`--no-decompose` clears it, for ablations).
+        decompose: bool,
     },
     /// `duop render`.
     Render {
@@ -168,6 +174,7 @@ impl Command {
                 let mut input = None;
                 let mut criteria = Vec::new();
                 let mut threads = 1usize;
+                let mut decompose = true;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--criterion" | "-c" => {
@@ -178,6 +185,7 @@ impl Command {
                                 .parse()
                                 .map_err(|_| ParseError("--threads needs a number".into()))?;
                         }
+                        "--no-decompose" => decompose = false,
                         other if input.is_none() => input = Some(other.to_owned()),
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
                     }
@@ -186,6 +194,7 @@ impl Command {
                     input: input.ok_or_else(|| ParseError("check needs a trace file".into()))?,
                     criteria,
                     threads,
+                    decompose,
                 })
             }
             "render" | "monitor" | "graph" | "localize" => {
@@ -298,6 +307,7 @@ mod tests {
                 input: "trace.txt".into(),
                 criteria: vec![CriterionName::DuOpacity, CriterionName::Tms2],
                 threads: 1,
+                decompose: true,
             }
         );
     }
@@ -316,10 +326,25 @@ mod tests {
                 input: "t.txt".into(),
                 criteria: vec![],
                 threads: 8,
+                decompose: true,
             }
         );
         assert!(parse(&["check", "t.txt", "--threads", "many"]).is_err());
         assert!(parse(&["check", "t.txt", "-j"]).is_err());
+    }
+
+    #[test]
+    fn check_parses_no_decompose() {
+        let cmd = parse(&["check", "t.txt", "--no-decompose"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                input: "t.txt".into(),
+                criteria: vec![],
+                threads: 1,
+                decompose: false,
+            }
+        );
     }
 
     #[test]

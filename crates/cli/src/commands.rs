@@ -51,7 +51,8 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             input,
             criteria,
             threads,
-        } => check(&load(input)?, criteria, *threads, out),
+            decompose,
+        } => check(&load(input)?, criteria, *threads, *decompose, out),
         Command::Graph { input } => {
             let h = load(input)?;
             let witness = DuOpacity::new().check(&h).witness().cloned();
@@ -144,6 +145,7 @@ fn check(
     h: &History,
     criteria: &[CriterionName],
     threads: usize,
+    decompose: bool,
     out: &mut dyn Write,
 ) -> CmdResult {
     // `--threads 0` = every hardware thread; `1` = the sequential engine.
@@ -154,6 +156,7 @@ fn check(
     };
     let cfg = SearchConfig {
         threads: Some(threads),
+        decompose,
         ..SearchConfig::default()
     };
     writeln!(out, "{}", h.stats())?;
@@ -235,8 +238,8 @@ fn monitor(h: &History, out: &mut dyn Write) -> CmdResult {
     let stats = mon.stats();
     writeln!(
         out,
-        "{} events; {} witness reuses; {} full searches",
-        stats.events, stats.incremental_hits, stats.full_searches
+        "{} events; {} witness reuses; {} full searches; {} component reuses",
+        stats.events, stats.incremental_hits, stats.full_searches, stats.component_reuses
     )?;
     Ok(ok)
 }
@@ -319,6 +322,7 @@ mod tests {
             input: path,
             criteria: vec![],
             threads: 1,
+            decompose: true,
         });
         assert!(ok, "output:\n{output}");
         for label in [
@@ -341,6 +345,7 @@ mod tests {
             input: path,
             criteria: vec![crate::args::CriterionName::DuOpacity],
             threads: 1,
+            decompose: true,
         });
         assert!(!ok);
         assert!(output.contains("violated"), "output:\n{output}");
@@ -374,14 +379,24 @@ mod tests {
                 input: temp_trace(trace),
                 criteria: vec![],
                 threads: 1,
+                decompose: true,
             });
             let (par_ok, par) = run_to_string(&Command::Check {
                 input: temp_trace(trace),
                 criteria: vec![],
                 threads: 4,
+                decompose: true,
             });
             assert_eq!(seq_ok, par_ok);
             assert_eq!(normalize(&seq), normalize(&par));
+            let (abl_ok, abl) = run_to_string(&Command::Check {
+                input: temp_trace(trace),
+                criteria: vec![],
+                threads: 1,
+                decompose: false,
+            });
+            assert_eq!(seq_ok, abl_ok);
+            assert_eq!(normalize(&seq), normalize(&abl));
         }
     }
 

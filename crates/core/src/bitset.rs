@@ -1,4 +1,5 @@
-//! A small fixed-capacity bit set used by the serialization search.
+//! A small fixed-capacity bit set used by the serialization search and
+//! the search planner.
 
 /// Fixed-capacity bit set over transaction indices.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -12,6 +13,15 @@ impl BitSet {
         BitSet {
             words: vec![0; n.div_ceil(64).max(1)],
         }
+    }
+
+    /// Creates a set containing every index in `0..n`.
+    pub(crate) fn full(n: usize) -> Self {
+        let mut s = BitSet::new(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
     }
 
     pub(crate) fn insert(&mut self, i: usize) {
@@ -32,6 +42,41 @@ impl BitSet {
             .iter()
             .zip(&other.words)
             .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Adds every element of `other` to `self`. Both sets must have the
+    /// same capacity.
+    pub(crate) fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Removes every element.
+    pub(crate) fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements in the set.
+    pub(crate) fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the elements in increasing order (word-skipping, so cost
+    /// is proportional to the population, not the capacity).
+    pub(crate) fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + i)
+            })
+        })
     }
 
     pub(crate) fn words(&self) -> &[u64] {
@@ -75,5 +120,63 @@ mod tests {
     fn zero_capacity_still_valid() {
         let s = BitSet::new(0);
         assert_eq!(s.words().len(), 1);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        a.insert(1);
+        b.insert(65);
+        b.insert(129);
+        a.union_with(&b);
+        assert!(a.contains(1));
+        assert!(a.contains(65));
+        assert!(a.contains(129));
+        assert_eq!(a.count_ones(), 3);
+        // Idempotent.
+        let before = a.clone();
+        a.union_with(&b);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut s = BitSet::new(200);
+        for i in [0, 3, 63, 64, 127, 128, 199] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(got, vec![0, 3, 63, 64, 127, 128, 199]);
+        assert_eq!(got.len(), s.count_ones());
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        let s = BitSet::new(77);
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(100);
+        s.insert(5);
+        s.insert(99);
+        s.clear();
+        assert_eq!(s.count_ones(), 0);
+        assert!(!s.contains(5));
+        // Still usable after clearing.
+        s.insert(42);
+        assert!(s.contains(42));
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count_ones(), 70);
+        assert!(s.contains(0));
+        assert!(s.contains(69));
+        let empty = BitSet::full(0);
+        assert_eq!(empty.count_ones(), 0);
     }
 }

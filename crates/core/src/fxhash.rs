@@ -68,15 +68,52 @@ impl Hasher for FxHasher {
 /// `BuildHasher` plugging [`FxHasher`] into `HashSet`/`HashMap`.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
-/// Hashes one memo key without going through the `Hash` trait; used by the
-/// sharded memo to pick a shard consistently with set placement being
-/// irrelevant (any deterministic function of the key works).
-pub(crate) fn hash_words(words: &[u64]) -> u64 {
-    let mut h = FxHasher::default();
-    for &w in words {
-        h.add(w);
+/// Incremental 128-bit hash used for the search engine's fixed-width memo
+/// keys: two independent multiplicative accumulators with a
+/// splitmix64-style finalizer per lane.
+///
+/// Replacing the exact `Vec<u64>` key with its 128-bit hash makes memo
+/// probes allocation-free. The memo becomes *probabilistically* sound: two
+/// distinct states could collide, but at 128 bits the collision
+/// probability over any feasible search is negligible (< 2⁻⁸⁰ for 10⁷
+/// states) — the standard trade-off of hash-compacted model checking.
+#[derive(Debug)]
+pub(crate) struct Hash128 {
+    h1: u64,
+    h2: u64,
+}
+
+const SEED2: u64 = 0xb5_29_7a_4d_3f_83_11_c5;
+
+impl Hash128 {
+    pub(crate) fn new() -> Self {
+        // Distinct non-zero initial states so empty and near-empty inputs
+        // spread; the lanes stay decorrelated through different multipliers.
+        Hash128 {
+            h1: 0x9e37_79b9_7f4a_7c15,
+            h2: 0x6a09_e667_f3bc_c908,
+        }
     }
-    h.finish()
+
+    #[inline]
+    pub(crate) fn write(&mut self, word: u64) {
+        self.h1 = (self.h1.rotate_left(5) ^ word).wrapping_mul(SEED);
+        self.h2 = (self.h2.rotate_left(7) ^ word).wrapping_mul(SEED2);
+    }
+
+    #[inline]
+    fn finalize_lane(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    pub(crate) fn finish(&self) -> u128 {
+        let a = Self::finalize_lane(self.h1) as u128;
+        let b = Self::finalize_lane(self.h2) as u128;
+        (a << 64) | b
+    }
 }
 
 #[cfg(test)]
@@ -86,10 +123,17 @@ mod tests {
 
     #[test]
     fn deterministic_and_spreading() {
-        let a = hash_words(&[1, 2, 3]);
-        assert_eq!(a, hash_words(&[1, 2, 3]));
-        assert_ne!(a, hash_words(&[3, 2, 1]));
-        assert_ne!(hash_words(&[5]), hash_words(&[5, 1]));
+        let h = |words: &[u64]| {
+            let mut s = FxHasher::default();
+            for &w in words {
+                s.write_u64(w);
+            }
+            s.finish()
+        };
+        let a = h(&[1, 2, 3]);
+        assert_eq!(a, h(&[1, 2, 3]));
+        assert_ne!(a, h(&[3, 2, 1]));
+        assert_ne!(h(&[5]), h(&[5, 1]));
     }
 
     #[test]
@@ -98,6 +142,24 @@ mod tests {
         assert!(set.insert(vec![1, 2]));
         assert!(!set.insert(vec![1, 2]));
         assert!(set.contains([1u64, 2].as_slice()));
+    }
+
+    #[test]
+    fn hash128_deterministic_and_order_sensitive() {
+        let h = |words: &[u64]| {
+            let mut s = Hash128::new();
+            for &w in words {
+                s.write(w);
+            }
+            s.finish()
+        };
+        assert_eq!(h(&[1, 2, 3]), h(&[1, 2, 3]));
+        assert_ne!(h(&[1, 2, 3]), h(&[3, 2, 1]));
+        assert_ne!(h(&[5]), h(&[5, 0]));
+        assert_ne!(h(&[]), h(&[0]));
+        // Lanes are decorrelated: the two halves differ.
+        let v = h(&[42, 7]);
+        assert_ne!((v >> 64) as u64, v as u64);
     }
 
     #[test]

@@ -23,11 +23,16 @@
 //! incremental per-event monitor. [`mod@reference`] contains a brute-force
 //! enumeration checker used as a differential-testing oracle.
 //!
-//! Membership is NP-hard in general; the search engine uses sound state
-//! memoization and prechecks that decide realistic histories (including
+//! Membership is NP-hard in general; before any backtracking a **search
+//! planner** decomposes each query along the transaction conflict graph
+//! and turns candidate-writer analysis into forced precedence edges (see
+//! `DESIGN.md`; disable with [`SearchConfig::decompose`] or the global
+//! [`set_default_decompose`] ablation switch). The search engine itself
+//! uses sound state memoization (hash-compacted 128-bit keys), fail-first
+//! child ordering and prechecks that decide realistic histories (including
 //! multi-thread STM traces) quickly, and accepts an optional state budget
 //! returning [`Verdict::Unknown`] when exceeded. The [`parallel`] module
-//! adds a subtree-parallel search engine (enabled by
+//! adds component- and subtree-parallel search engines (enabled by
 //! [`SearchConfig::threads`]) and [`par_check_batch`], an order-preserving
 //! fan-out of independent checks over a worker pool.
 //!
@@ -55,6 +60,7 @@
 
 mod bitset;
 mod criteria;
+mod plan;
 mod search;
 mod spec;
 mod verdict;
@@ -76,6 +82,6 @@ pub use criteria::{
     ReadCommitOrderOpacity, StrictSerializability, Tms2,
 };
 pub use parallel::{available_threads, par_check_batch, par_map};
-pub use search::{SearchConfig, SearchStats};
+pub use search::{set_default_decompose, SearchConfig, SearchStats};
 pub use verdict::{Verdict, Violation, Witness};
 pub use witness_check::{check_witness, WitnessError};

@@ -11,8 +11,20 @@
 //!   previous prefix is an excellent candidate for the next one — the
 //!   monitor first tries cheap adaptations of it and only falls back to a
 //!   full search when they all fail.
+//!
+//! Even the fallback searches are incremental: the search planner
+//! ([`crate::plan`]) decomposes each prefix into conflict-graph
+//! components, and the monitor caches each component's serialization
+//! fragment between events. A new event typically perturbs only the
+//! component of the transaction it belongs to; every other component's
+//! cached fragment is *replayed* through the searcher's own placement
+//! rules (so reuse is validated, never trusted) and only the touched
+//! component is actually re-searched.
 
-use crate::{check_witness, Criterion, CriterionKind, DuOpacity, SearchConfig, Verdict, Witness};
+use crate::plan::ComponentCache;
+use crate::search::{decide_spec, Query};
+use crate::spec::Spec;
+use crate::{check_witness, CriterionKind, SearchConfig, Verdict, Witness};
 use duop_history::{Event, History, MalformedHistoryError};
 use std::collections::BTreeMap;
 
@@ -25,6 +37,9 @@ pub struct OnlineStats {
     pub incremental_hits: usize,
     /// Prefixes that needed a full serialization search.
     pub full_searches: usize,
+    /// Conflict-graph components certified during fallback searches by
+    /// replaying a cached fragment instead of searching.
+    pub component_reuses: u64,
 }
 
 /// A per-event du-opacity monitor.
@@ -51,6 +66,9 @@ pub struct OnlineChecker {
     violated: Option<Verdict>,
     cfg: SearchConfig,
     stats: OnlineStats,
+    /// Per-component serialization fragments from the previous fallback
+    /// search, reused (after replay validation) by the next one.
+    cache: ComponentCache,
 }
 
 impl OnlineChecker {
@@ -107,9 +125,21 @@ impl OnlineChecker {
             }
         }
 
-        // Full search.
+        // Full search — planned per conflict-graph component, reusing the
+        // previous search's fragments for components the event left alone.
         self.stats.full_searches += 1;
-        let verdict = DuOpacity::with_config(self.cfg.clone()).check(&self.history);
+        self.cache.begin_generation();
+        let query = Query {
+            name: "du-opacity",
+            deferred_update: true,
+            extra_edges: Vec::new(),
+            commit_edges: Vec::new(),
+        };
+        let verdict = match Spec::build(&self.history) {
+            Err(v) => Verdict::Violated(v),
+            Ok(spec) => decide_spec(&spec, &query, &self.cfg, Some(&mut self.cache)).0,
+        };
+        self.stats.component_reuses = self.cache.reuses;
         match &verdict {
             Verdict::Satisfied(w) => self.witness = Some(w.clone()),
             Verdict::Violated(_) => self.violated = Some(verdict.clone()),
@@ -158,6 +188,7 @@ impl OnlineChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Criterion, DuOpacity};
     use duop_history::{HistoryBuilder, ObjId, Op, Ret, TxnId, Value};
 
     fn t(k: u32) -> TxnId {
@@ -250,6 +281,38 @@ mod tests {
         let verdict = last.unwrap();
         let w = verdict.witness().expect("du-opaque");
         assert_eq!(w.commit_choice(t(1)), Some(true));
+    }
+
+    #[test]
+    fn fallback_searches_reuse_untouched_components() {
+        // Two disjoint overlapping clusters (x: T1/T2, y: T3/T4). Each
+        // reader returns a commit-pending writer's value, which no cheap
+        // witness adaptation certifies (the *writer's* fate must flip), so
+        // both read responses force fallback searches. The second fallback
+        // must replay the x-cluster's cached fragment instead of
+        // re-searching it.
+        let y = ObjId::new(1);
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_write(t(3), y, v(7))
+            .resp_ok(t(1))
+            .resp_ok(t(3))
+            .inv_try_commit(t(1))
+            .inv_try_commit(t(3))
+            .inv_read(t(2), x())
+            .resp_value(t(2), v(1))
+            .inv_read(t(4), y)
+            .resp_value(t(4), v(7))
+            .commit(t(2))
+            .commit(t(4))
+            .build();
+        let (verdict, stats) = replay(&h);
+        assert!(verdict.is_satisfied());
+        assert!(stats.full_searches >= 2, "stats: {stats:?}");
+        assert!(
+            stats.component_reuses > 0,
+            "expected cached component fragments to be replayed: {stats:?}"
+        );
     }
 
     #[test]

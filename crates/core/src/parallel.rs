@@ -1,11 +1,25 @@
-//! Parallel checking engine: subtree-parallel serialization search plus a
-//! batch fan-out over independent histories. `std::thread` only — the
-//! workspace builds offline with no extra dependencies.
+//! Parallel checking engine: component-parallel and subtree-parallel
+//! serialization search plus a batch fan-out over independent histories.
+//! `std::thread` only — the workspace builds offline with no extra
+//! dependencies.
 //!
-//! # Intra-search parallelism
+//! # Component parallelism
 //!
-//! [`par_search_with_stats`] splits the placement tree at the top levels
-//! into prefix tasks and runs the ordinary sequential [`Searcher`] on each
+//! When the planner ([`crate::plan`]) finds several conflict-graph
+//! components, [`par_search_components`] searches each independently on
+//! the worker pool — components share no objects and no order edges, so
+//! no coordination (shared memo, cancellation) is needed at all, and each
+//! per-component search is exactly the scoped sequential search the
+//! planned sequential engine runs, producing the identical fragment. The
+//! composed witness is therefore identical to the sequential one. The only
+//! divergence is budget accounting: each component is charged against a
+//! fresh `max_states` budget rather than the sequential cumulative count,
+//! which can only turn `Unknown` into a definite (still correct) verdict.
+//!
+//! # Subtree parallelism
+//!
+//! [`par_search_spec`] splits the placement tree at the top levels into
+//! prefix tasks and runs the ordinary sequential [`Searcher`] on each
 //! subtree, with three pieces of shared state:
 //!
 //! * a **sharded memo** of failed canonical states (mutex-striped; keys
@@ -33,10 +47,11 @@
 //! worker pool with order-preserving collection; used by the experiment
 //! runner and the CLI's batch mode.
 
-use crate::fxhash::{hash_words, FxBuildHasher};
+use crate::fxhash::FxBuildHasher;
+use crate::plan::Plan;
 use crate::search::{
-    precheck, search_serialization_with_stats, witness_from_path, Outcome, Query, SearchConfig,
-    SearchStats, Searcher, UndoLog,
+    seq_search_spec, witness_from_path, Outcome, Query, SearchConfig, SearchStats, Searcher,
+    UndoLog,
 };
 use crate::spec::Spec;
 use crate::{Criterion, Verdict, Violation};
@@ -58,10 +73,10 @@ const TASKS_PER_THREAD: usize = 4;
 /// exponential in depth, so it must stay shallow.
 const MAX_SPLIT_DEPTH: usize = 8;
 
-/// Failed-state memo striped over [`MEMO_SHARDS`] mutexes, keyed exactly
-/// like the sequential memo.
+/// Failed-state memo striped over [`MEMO_SHARDS`] mutexes, keyed by the
+/// same 128-bit compacted state key as the sequential memo.
 struct ShardedMemo {
-    shards: Vec<Mutex<HashSet<Vec<u64>, FxBuildHasher>>>,
+    shards: Vec<Mutex<HashSet<u128, FxBuildHasher>>>,
 }
 
 impl ShardedMemo {
@@ -73,16 +88,19 @@ impl ShardedMemo {
         }
     }
 
-    fn shard(&self, key: &[u64]) -> &Mutex<HashSet<Vec<u64>, FxBuildHasher>> {
-        &self.shards[(hash_words(key) as usize) & (MEMO_SHARDS - 1)]
+    fn shard(&self, key: u128) -> &Mutex<HashSet<u128, FxBuildHasher>> {
+        // The key is already a high-quality hash; fold the halves for the
+        // stripe index.
+        let fold = (key as u64) ^ ((key >> 64) as u64);
+        &self.shards[(fold as usize) & (MEMO_SHARDS - 1)]
     }
 
-    fn contains(&self, key: &[u64]) -> bool {
-        self.shard(key).lock().unwrap().contains(key)
+    fn contains(&self, key: u128) -> bool {
+        self.shard(key).lock().unwrap().contains(&key)
     }
 
-    fn insert(&self, key: Vec<u64>) {
-        self.shard(&key).lock().unwrap().insert(key);
+    fn insert(&self, key: u128) {
+        self.shard(key).lock().unwrap().insert(key);
     }
 
     fn len(&self) -> usize {
@@ -111,11 +129,11 @@ impl SharedSearch {
         }
     }
 
-    pub(crate) fn memo_contains(&self, key: &[u64]) -> bool {
+    pub(crate) fn memo_contains(&self, key: u128) -> bool {
         self.memo.as_ref().is_some_and(|m| m.contains(key))
     }
 
-    pub(crate) fn memo_insert(&self, key: Vec<u64>) {
+    pub(crate) fn memo_insert(&self, key: u128) {
         if let Some(m) = &self.memo {
             m.insert(key);
         }
@@ -129,16 +147,20 @@ impl SharedSearch {
 /// Collects every placement prefix of length `remaining` (in DFS order)
 /// into `out`, applying the same legality and dead-end pruning as the
 /// search proper. Prefixes are strictly shorter than the transaction
-/// count, so none is a complete serialization.
+/// count, so none is a complete serialization. `scratch` recycles one
+/// child buffer per recursion depth.
 fn enumerate_prefixes(
     s: &mut Searcher<'_>,
     remaining: usize,
+    scratch: &mut Vec<Vec<(usize, bool)>>,
     out: &mut Vec<Vec<(usize, bool)>>,
     explored: &mut u64,
     dead_ends: &mut u64,
 ) {
     *explored += 1;
-    for (i, committed) in s.children() {
+    let mut children = scratch.pop().unwrap_or_default();
+    s.children_into(&mut children);
+    for &(i, committed) in &children {
         let undo = s.place(i, committed);
         if s.dead_end() {
             *dead_ends += 1;
@@ -148,10 +170,11 @@ fn enumerate_prefixes(
         if remaining == 1 {
             out.push(s.path.clone());
         } else {
-            enumerate_prefixes(s, remaining - 1, out, explored, dead_ends);
+            enumerate_prefixes(s, remaining - 1, scratch, out, explored, dead_ends);
         }
         s.unplace(i, undo);
     }
+    scratch.push(children);
 }
 
 fn unwind_prefix(s: &mut Searcher<'_>, prefix: &[(usize, bool)], undos: Vec<UndoLog>) {
@@ -160,12 +183,84 @@ fn unwind_prefix(s: &mut Searcher<'_>, prefix: &[(usize, bool)], undos: Vec<Undo
     }
 }
 
-/// Multi-threaded implementation behind `search_serialization_with_stats`
-/// when [`SearchConfig::threads`] asks for more than one worker.
-pub(crate) fn par_search_with_stats(
-    h: &History,
+/// Per-component outcome of the component-parallel engine.
+enum CompOutcome {
+    Found(Vec<(usize, bool)>),
+    Exhausted,
+    Budget,
+    Violated(Violation),
+}
+
+/// Fans the planned search out over conflict-graph components: each
+/// component runs the same scoped sequential search the planned sequential
+/// engine would, so fragments (and the composed witness) are identical to
+/// the sequential result. The verdict is reduced in component order,
+/// matching the sequential engine's first-failure semantics.
+pub(crate) fn par_search_components(
+    spec: &Spec,
     query: &Query,
     cfg: &SearchConfig,
+    plan: &Plan,
+) -> (Verdict, SearchStats) {
+    let threads = cfg.effective_threads();
+    let seq_cfg = SearchConfig {
+        threads: None,
+        ..cfg.clone()
+    };
+
+    let results = par_map(&plan.components, threads, |comp| {
+        let mut s = match Searcher::new(spec, &seq_cfg, query, &plan.forced) {
+            Ok(s) => s,
+            Err(v) => return (CompOutcome::Violated(v), SearchStats::default()),
+        };
+        s.restrict(comp);
+        let outcome = match s.dfs() {
+            Outcome::Found => CompOutcome::Found(s.path.clone()),
+            Outcome::Exhausted => CompOutcome::Exhausted,
+            Outcome::Budget => CompOutcome::Budget,
+            Outcome::Cancelled => unreachable!("component workers share no cancellation state"),
+        };
+        (outcome, s.stats())
+    });
+
+    let mut stats = SearchStats::default();
+    let mut path: Vec<(usize, bool)> = Vec::new();
+    let mut failure: Option<CompOutcome> = None;
+    for (outcome, comp_stats) in results {
+        stats.absorb(&comp_stats);
+        match outcome {
+            CompOutcome::Found(frag) => path.extend(frag),
+            other => {
+                if failure.is_none() {
+                    failure = Some(other);
+                }
+            }
+        }
+    }
+
+    let verdict = match failure {
+        None => Verdict::Satisfied(witness_from_path(spec, &path)),
+        Some(CompOutcome::Exhausted) => Verdict::Violated(Violation::NoSerialization {
+            criterion: query.name.to_owned(),
+            explored: stats.explored,
+        }),
+        Some(CompOutcome::Budget) => Verdict::Unknown {
+            explored: stats.explored,
+        },
+        Some(CompOutcome::Violated(v)) => Verdict::Violated(v),
+        Some(CompOutcome::Found(_)) => unreachable!("Found is never recorded as a failure"),
+    };
+    (verdict, stats)
+}
+
+/// Multi-threaded subtree search over a prebuilt spec; `forced` carries
+/// the planner's forced edges (empty for the monolithic ablation). The
+/// caller has already run the precedence/candidate prechecks.
+pub(crate) fn par_search_spec(
+    spec: &Spec,
+    query: &Query,
+    cfg: &SearchConfig,
+    forced: &[(usize, usize)],
 ) -> (Verdict, SearchStats) {
     let threads = cfg.effective_threads();
     let seq_cfg = SearchConfig {
@@ -174,16 +269,9 @@ pub(crate) fn par_search_with_stats(
     };
     debug_assert!(threads > 1);
 
-    let spec = match Spec::build(h) {
-        Ok(s) => s,
-        Err(v) => return (Verdict::Violated(v), SearchStats::default()),
-    };
-    if let Err(v) = precheck(&spec, query) {
-        return (Verdict::Violated(v), SearchStats::default());
-    }
     // Validates the precedence constraints (cycle check) and doubles as
     // the task enumerator.
-    let mut enumerator = match Searcher::new(&spec, &seq_cfg, query) {
+    let mut enumerator = match Searcher::new(spec, &seq_cfg, query, forced) {
         Ok(s) => s,
         Err(v) => return (Verdict::Violated(v), SearchStats::default()),
     };
@@ -192,11 +280,12 @@ pub(crate) fn par_search_with_stats(
     let max_depth = n.saturating_sub(1).min(MAX_SPLIT_DEPTH);
     if max_depth == 0 {
         // Zero or one transaction: there is no tree to split.
-        return search_serialization_with_stats(h, query, &seq_cfg);
+        return seq_search_spec(spec, query, &seq_cfg, forced);
     }
     let target = threads * TASKS_PER_THREAD;
 
     let mut tasks: Vec<Vec<(usize, bool)>> = Vec::new();
+    let mut scratch: Vec<Vec<(usize, bool)>> = Vec::new();
     let mut enum_explored = 0u64;
     let mut enum_dead_ends = 0u64;
     let mut depth = 1;
@@ -207,6 +296,7 @@ pub(crate) fn par_search_with_stats(
         enumerate_prefixes(
             &mut enumerator,
             depth,
+            &mut scratch,
             &mut tasks,
             &mut enum_explored,
             &mut enum_dead_ends,
@@ -234,7 +324,7 @@ pub(crate) fn par_search_with_stats(
     if tasks.len() == 1 || n <= depth {
         // Nothing to parallelize (tiny history or a single viable
         // subtree); the sequential engine is strictly cheaper.
-        return search_serialization_with_stats(h, query, &seq_cfg);
+        return seq_search_spec(spec, query, &seq_cfg, forced);
     }
 
     let shared = SharedSearch::new(cfg);
@@ -248,7 +338,7 @@ pub(crate) fn par_search_with_stats(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut s = Searcher::new(&spec, &seq_cfg, query)
+                let mut s = Searcher::new(spec, &seq_cfg, query, forced)
                     .expect("constraints validated before workers started");
                 s.attach_shared(&shared);
                 loop {
@@ -305,7 +395,7 @@ pub(crate) fn par_search_with_stats(
 
     let found = found.into_inner().unwrap();
     let verdict = if let Some((_, path)) = found.into_iter().next() {
-        Verdict::Satisfied(witness_from_path(&spec, &path))
+        Verdict::Satisfied(witness_from_path(spec, &path))
     } else if budget_hit.load(Ordering::Relaxed) {
         Verdict::Unknown {
             explored: stats.explored,
@@ -397,6 +487,33 @@ mod tests {
             .build()
     }
 
+    /// Several disjoint clusters on distinct objects, so the planner's
+    /// component fan-out engages under threads > 1. The clusters are
+    /// interleaved phase-by-phase (all writers open, then all reads, then
+    /// all reader commits) so no transaction completes before another
+    /// cluster's transactions begin — a completed transaction would add a
+    /// real-time edge and merge the components.
+    fn clustered_history(clusters: u32) -> History {
+        let mut b = HistoryBuilder::new();
+        for c in 0..clusters {
+            let obj = ObjId::new(c);
+            let w = t(c * 2 + 1);
+            b = b
+                .inv_write(w, obj, v(u64::from(c) + 1))
+                .resp_ok(w)
+                .inv_try_commit(w);
+        }
+        for c in 0..clusters {
+            let obj = ObjId::new(c);
+            let r = t(c * 2 + 2);
+            b = b.inv_read(r, obj).resp_value(r, v(u64::from(c) + 1));
+        }
+        for c in 0..clusters {
+            b = b.commit(t(c * 2 + 2));
+        }
+        b.build()
+    }
+
     #[test]
     fn par_map_preserves_order() {
         let items: Vec<u64> = (0..100).collect();
@@ -438,6 +555,50 @@ mod tests {
         })
         .check(&h);
         assert_eq!(seq.witness(), par.witness());
+    }
+
+    #[test]
+    fn component_fanout_matches_sequential_witness() {
+        // Clustered history: > 1 component, so threads > 1 exercises
+        // par_search_components; the witness must be byte-identical to
+        // the sequential planned search.
+        let h = clustered_history(4);
+        let seq = DuOpacity::new().check(&h);
+        let par = DuOpacity::with_config(SearchConfig {
+            threads: Some(8),
+            ..SearchConfig::default()
+        })
+        .check(&h);
+        assert_eq!(seq.witness(), par.witness());
+        assert!(seq.is_satisfied());
+    }
+
+    #[test]
+    fn component_fanout_finds_violations() {
+        // Two components: a satisfiable x-cluster (T1 commit-pending, T2
+        // reads through it) and an unsatisfiable y-cluster — a stale read:
+        // T4 sees the initial value although T3 committed 5 strictly
+        // before T4 began. The x-cluster's transactions start before T3
+        // completes, so no cross-cluster real-time edge merges the two.
+        let y = ObjId::new(1);
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .resp_ok(t(1))
+            .inv_try_commit(t(1))
+            .inv_read(t(2), x())
+            .committed_writer(t(3), y, v(5))
+            .committed_reader(t(4), y, v(0))
+            .resp_value(t(2), v(1))
+            .commit(t(2))
+            .build();
+        let seq = DuOpacity::new().check(&h);
+        let par = DuOpacity::with_config(SearchConfig {
+            threads: Some(8),
+            ..SearchConfig::default()
+        })
+        .check(&h);
+        assert!(seq.is_violated());
+        assert!(par.is_violated());
     }
 
     #[test]

@@ -20,36 +20,61 @@
 //! completion actually commits; for a commit-pending `b` they gate the
 //! commit fate instead of constraining the order unconditionally.
 //!
+//! Before any backtracking, the [`crate::plan`] module preprocesses the
+//! query (conflict-graph decomposition into independent components,
+//! candidate-writer analysis with forced precedence edges); set
+//! [`SearchConfig::decompose`] to `false` for the monolithic ablation.
+//!
 //! Failed states are memoized by a sound canonical key: the set of placed
 //! transactions plus exactly the state the future can observe (per-object
 //! last committed value for objects still read by unplaced transactions,
 //! and per-pending-read last *eligible* committed value). Two states with
 //! equal keys admit exactly the same completions — the commit-fate gate
 //! depends only on the placed set, which is part of the key — so pruning
-//! is lossless.
+//! is lossless up to the 128-bit key hash: keys are stored hash-compacted
+//! (fixed-width, allocation-free probes), making the memo *probabilistically*
+//! sound with collision probability below 2⁻⁸⁰ for any feasible search.
+//!
+//! Children are expanded **fail-first**: transactions with the most
+//! not-yet-placed successors in the precedence closure are tried earliest,
+//! so an infeasible branch is discovered near the root instead of after
+//! permuting the unconstrained remainder.
 //!
 //! When [`SearchConfig::threads`] asks for more than one worker the search
-//! is delegated to [`crate::parallel`], which splits the placement tree
-//! into subtree tasks running this same `Searcher` with shared state (a
-//! sharded memo, a global budget counter, and a cooperative-cancellation
+//! is delegated to [`crate::parallel`], which fans out over conflict-graph
+//! components when there are several and otherwise splits the placement
+//! tree into subtree tasks running this same `Searcher` with shared state
+//! (a sharded memo, a global budget counter, and a cooperative-cancellation
 //! word). The sequential and parallel engines return equivalent verdicts
 //! and identical witnesses; see `DESIGN.md`.
 
 use crate::bitset::BitSet;
-use crate::fxhash::FxBuildHasher;
+use crate::fxhash::{FxBuildHasher, Hash128};
 use crate::parallel::SharedSearch;
+use crate::plan::ComponentCache;
 use crate::spec::Spec;
 use crate::{Verdict, Violation, Witness};
 use duop_history::{CommitCapability, History, TxnId, Value};
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for [`SearchConfig::decompose`], so the
+/// experiments binary can ablate the planner without threading a flag
+/// through every criterion constructor.
+static DEFAULT_DECOMPOSE: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for [`SearchConfig::decompose`] (the
+/// `--no-decompose` ablation). Affects configs created *after* the call.
+pub fn set_default_decompose(enabled: bool) {
+    DEFAULT_DECOMPOSE.store(enabled, Ordering::Relaxed);
+}
 
 /// Tuning knobs for the serialization search.
 ///
-/// The defaults (memoization on, unlimited budget, sequential) decide
-/// every history in this repository quickly; `max_states` exists because
-/// the membership problem is NP-hard in general and a caller may prefer
-/// [`Verdict::Unknown`] to an unbounded search.
+/// The defaults (memoization on, unlimited budget, sequential, planner on)
+/// decide every history in this repository quickly; `max_states` exists
+/// because the membership problem is NP-hard in general and a caller may
+/// prefer [`Verdict::Unknown`] to an unbounded search.
 #[derive(Clone, Debug)]
 pub struct SearchConfig {
     /// Memoize failed search states (default `true`). Disabling is only
@@ -62,6 +87,11 @@ pub struct SearchConfig {
     /// Worker threads for the parallel engine. `None`, `Some(0)` and
     /// `Some(1)` all mean sequential.
     pub threads: Option<usize>,
+    /// Run the search planner (conflict-graph decomposition, candidate
+    /// writer analysis, forced precedence edges) before backtracking
+    /// (default `true`). `false` is the `--no-decompose` ablation: one
+    /// monolithic search, no forced edges.
+    pub decompose: bool,
 }
 
 impl Default for SearchConfig {
@@ -70,6 +100,7 @@ impl Default for SearchConfig {
             memo: true,
             max_states: None,
             threads: None,
+            decompose: DEFAULT_DECOMPOSE.load(Ordering::Relaxed),
         }
     }
 }
@@ -91,8 +122,9 @@ pub struct SearchStats {
     pub memo_hits: u64,
     /// Branches cut by forward feasibility (dead-end) pruning.
     pub dead_ends: u64,
-    /// Entries in the failed-state memo when the search ended. Entries are
-    /// never evicted, so this is also the peak.
+    /// Peak entries in the failed-state memo. The planner clears the memo
+    /// between components (entries cannot hit across components), so the
+    /// peak rather than the final size is reported.
     pub peak_memo_entries: u64,
     /// Subtree tasks created by the parallel engine (`0` = sequential).
     pub subtree_tasks: u64,
@@ -149,8 +181,18 @@ pub(crate) struct Searcher<'a> {
     /// feasibility pruning: once a slot's value is gone from the state and
     /// every candidate writer is placed, no extension can serve the read.
     suppliers: Vec<BitSet>,
-    /// Candidate order (indices sorted by priority).
-    by_priority: Vec<usize>,
+    /// Fail-first candidate order over *all* transactions: most successors
+    /// in the precedence closure first, `priority` then index as
+    /// tie-breakers (deterministic).
+    order: Vec<usize>,
+    /// The transactions the current search covers (all of them by
+    /// default; one conflict-graph component under the planner).
+    scope: BitSet,
+    /// `dfs` succeeds when `placed_count` reaches this (scope members may
+    /// sit on top of already-placed earlier components).
+    scope_target: usize,
+    /// `order` filtered to the scope — the exact iteration order of `dfs`.
+    active: Vec<usize>,
 
     placed: BitSet,
     placed_count: usize,
@@ -163,7 +205,10 @@ pub(crate) struct Searcher<'a> {
     /// Placement path: (txn index, committed).
     pub(crate) path: Vec<(usize, bool)>,
 
-    memo: HashSet<Vec<u64>, FxBuildHasher>,
+    /// Failed states, hash-compacted to fixed width (see module docs).
+    memo: HashSet<u128, FxBuildHasher>,
+    /// High-water mark across per-component memo clears.
+    memo_peak: usize,
     /// Spent undo logs recycled across `place` calls so the hot loop does
     /// not allocate two `Vec`s per node.
     undo_pool: Vec<UndoLog>,
@@ -190,115 +235,70 @@ pub(crate) enum Outcome {
 }
 
 impl<'a> Searcher<'a> {
+    /// Builds a searcher over the whole spec. `forced` carries the
+    /// planner's forced precedence edges as `(before, after)` index pairs
+    /// (empty for the monolithic ablation).
     pub(crate) fn new(
         spec: &'a Spec,
         cfg: &'a SearchConfig,
         query: &Query,
+        forced: &[(usize, usize)],
     ) -> Result<Self, Violation> {
         let n = spec.txns.len();
-        let mut preds = spec.rt_preds.clone();
-        for (a, b) in &query.extra_edges {
-            if let (Some(&ia), Some(&ib)) = (spec.index.get(a), spec.index.get(b)) {
-                if ia != ib {
-                    preds[ib].insert(ia);
-                }
-            }
-        }
-        let mut commit_preds: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
-        for (a, b) in &query.commit_edges {
-            if let (Some(&ia), Some(&ib)) = (spec.index.get(a), spec.index.get(b)) {
-                if ia == ib {
-                    continue;
-                }
-                match spec.txns[ib].capability {
-                    // Always committed: the condition always holds, so the
-                    // edge is unconditional.
-                    CommitCapability::Committed => {
-                        preds[ib].insert(ia);
-                    }
-                    // The search decides the fate: gate the commit branch.
-                    CommitCapability::CommitPending => {
-                        commit_preds[ib].insert(ia);
-                    }
-                    // Never commits: the edge is vacuous.
-                    CommitCapability::NeverCommitted => {}
-                }
+        let (mut preds, commit_preds) = crate::plan::build_constraints(spec, query);
+        for &(a, b) in forced {
+            if a != b {
+                preds[b].insert(a);
             }
         }
 
         // Cycle check (Kahn's algorithm) so cyclic constraints produce a
-        // crisp violation instead of an exhausted search. Conditional
-        // edges are excluded: a "cycle" through one only means the target
-        // cannot commit, which the fate gate handles.
-        {
-            let mut indeg: Vec<usize> = (0..n)
-                .map(|i| (0..n).filter(|&j| preds[i].contains(j)).count())
-                .collect();
-            let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-            let mut seen = 0;
-            while let Some(i) = queue.pop() {
-                seen += 1;
-                for j in 0..n {
-                    if preds[j].contains(i) {
-                        indeg[j] -= 1;
-                        if indeg[j] == 0 {
-                            queue.push(j);
-                        }
-                    }
-                }
+        // crisp violation instead of an exhausted search, and a topological
+        // order for the closure below. Conditional edges are excluded: a
+        // "cycle" through one only means the target cannot commit, which
+        // the fate gate handles.
+        let topo = match crate::plan::topo_order(&preds) {
+            Ok(t) => t,
+            Err(cyc) => {
+                return Err(Violation::ConstraintCycle {
+                    txns: cyc.into_iter().map(|i| spec.txns[i].id).collect(),
+                });
             }
-            if seen != n {
-                let cyc: Vec<TxnId> = (0..n)
-                    .filter(|&i| indeg[i] > 0)
-                    .map(|i| spec.txns[i].id)
-                    .collect();
-                return Err(Violation::ConstraintCycle { txns: cyc });
-            }
-        }
-
-        let elig: Vec<BitSet> = if query.deferred_update {
-            spec.reads
-                .iter()
-                .map(|r| {
-                    let mut s = BitSet::new(n);
-                    for (j, t) in spec.txns.iter().enumerate() {
-                        if let Some(inv) = t.try_commit_inv {
-                            if inv < r.resp_index {
-                                s.insert(j);
-                            }
-                        }
-                    }
-                    s
-                })
-                .collect()
-        } else {
-            Vec::new()
         };
 
-        let suppliers: Vec<BitSet> = spec
-            .reads
-            .iter()
-            .enumerate()
-            .map(|(slot, r)| {
-                let mut s = BitSet::new(n);
-                for (j, t) in spec.txns.iter().enumerate() {
-                    if j == r.txn || t.capability == CommitCapability::NeverCommitted {
-                        continue;
-                    }
-                    if !t.writes.iter().any(|&(o, v)| o == r.obj && v == r.value) {
-                        continue;
-                    }
-                    if query.deferred_update && !elig[slot].contains(j) {
-                        continue;
-                    }
-                    s.insert(j);
-                }
-                s
-            })
-            .collect();
+        // Reachability closure of the precedence edges, for fail-first
+        // ordering: desc[i] = transactions that must come after i.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, p) in preds.iter().enumerate() {
+            for i in p.iter_ones() {
+                succs[i].push(j);
+            }
+        }
+        let mut desc: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &i in topo.iter().rev() {
+            let mut d = std::mem::replace(&mut desc[i], BitSet::new(n));
+            for &j in &succs[i] {
+                d.insert(j);
+                d.union_with(&desc[j]);
+            }
+            desc[i] = d;
+        }
 
-        let mut by_priority: Vec<usize> = (0..n).collect();
-        by_priority.sort_by_key(|&i| spec.txns[i].priority);
+        // Most-constrained first: a transaction with many forced
+        // successors prunes hardest when it fails, and unblocks the most
+        // candidates when it succeeds. Ties fall back to the history-order
+        // priority the sequential engine always used, then the index, so
+        // the order (and hence every witness) stays deterministic.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(desc[i].count_ones()),
+                spec.txns[i].priority,
+                i,
+            )
+        });
+
+        let (elig, suppliers) = crate::plan::supplier_sets(spec, query.deferred_update);
 
         let mut pending_reads = vec![0usize; spec.objs.len()];
         for r in &spec.reads {
@@ -313,7 +313,10 @@ impl<'a> Searcher<'a> {
             commit_preds,
             elig,
             suppliers,
-            by_priority,
+            active: order.clone(),
+            order,
+            scope: BitSet::full(n),
+            scope_target: n,
             placed: BitSet::new(n),
             placed_count: 0,
             global_last: vec![Value::INITIAL; spec.objs.len()],
@@ -321,6 +324,7 @@ impl<'a> Searcher<'a> {
             pending_reads,
             path: Vec::with_capacity(n),
             memo: HashSet::default(),
+            memo_peak: 0,
             undo_pool: Vec::with_capacity(n),
             shared: None,
             task_index: 0,
@@ -337,18 +341,54 @@ impl<'a> Searcher<'a> {
         self.shared = Some(shared);
     }
 
-    /// Sound canonical key of the current state (see module docs).
-    fn memo_key(&self) -> Vec<u64> {
-        let mut key = Vec::with_capacity(
-            self.placed.words().len()
-                + self.spec.objs.len()
-                + if self.du { self.spec.reads.len() } else { 0 },
-        );
-        key.extend_from_slice(self.placed.words());
+    /// Narrows the search to one conflict-graph component on top of
+    /// whatever is already placed. Components are independent, so memo
+    /// entries from earlier components can never hit again (their placed
+    /// sets differ); they are dropped to bound memory, tracking the peak.
+    pub(crate) fn restrict(&mut self, members: &[usize]) {
+        self.scope.clear();
+        for &i in members {
+            self.scope.insert(i);
+        }
+        self.scope_target = self.placed_count + members.len();
+        self.active.clear();
+        let scope = &self.scope;
+        self.active
+            .extend(self.order.iter().copied().filter(|&i| scope.contains(i)));
+        self.memo_peak = self.memo_peak.max(self.memo.len());
+        self.memo.clear();
+    }
+
+    /// This search's counters, in reporting form.
+    pub(crate) fn stats(&self) -> SearchStats {
+        SearchStats {
+            explored: self.explored,
+            memo_hits: self.memo_hits,
+            dead_ends: self.dead_ends,
+            peak_memo_entries: self.memo_peak.max(self.memo.len()) as u64,
+            subtree_tasks: 0,
+        }
+    }
+
+    pub(crate) fn path_len(&self) -> usize {
+        self.path.len()
+    }
+
+    pub(crate) fn path_slice(&self, from: usize) -> &[(usize, bool)] {
+        &self.path[from..]
+    }
+
+    /// Sound canonical key of the current state (see module docs),
+    /// hash-compacted to 128 bits.
+    fn memo_key(&self) -> u128 {
+        let mut h = Hash128::new();
+        for &w in self.placed.words() {
+            h.write(w);
+        }
         for (o, v) in self.global_last.iter().enumerate() {
             // Objects with no pending external read cannot influence the
             // future; mask them so permutations collapse.
-            key.push(if self.pending_reads[o] > 0 {
+            h.write(if self.pending_reads[o] > 0 {
                 encode(*v)
             } else {
                 0
@@ -357,24 +397,24 @@ impl<'a> Searcher<'a> {
         if self.du {
             for (slot, v) in self.local_last.iter().enumerate() {
                 let owner = self.spec.reads[slot].txn;
-                key.push(if self.placed.contains(owner) {
+                h.write(if self.placed.contains(owner) {
                     0
                 } else {
                     encode(*v)
                 });
             }
         }
-        key
+        h.finish()
     }
 
-    /// Forward feasibility: returns `true` if some unplaced transaction's
-    /// external read can no longer be satisfied in any extension of the
-    /// current state — its value is not in the state and every committable
-    /// (and, for du-opacity, eligible) writer of that value is already
-    /// placed.
+    /// Forward feasibility: returns `true` if some unplaced in-scope
+    /// transaction's external read can no longer be satisfied in any
+    /// extension of the current state — its value is not in the state and
+    /// every committable (and, for du-opacity, eligible) writer of that
+    /// value is already placed.
     pub(crate) fn dead_end(&self) -> bool {
         for (slot, r) in self.spec.reads.iter().enumerate() {
-            if self.placed.contains(r.txn) {
+            if self.placed.contains(r.txn) || !self.scope.contains(r.txn) {
                 continue;
             }
             let state_ok = self.global_last[r.obj] == r.value
@@ -404,14 +444,34 @@ impl<'a> Searcher<'a> {
         true
     }
 
-    /// The current state's children as `(txn index, committed)` in the
-    /// exact order [`Self::dfs`] tries them. Used by the parallel engine's
-    /// task enumerator, which must mirror `dfs` so the lowest-indexed task
-    /// containing a witness is also the one sequential DFS reaches first.
-    /// Keep in sync with the loop in `dfs`.
-    pub(crate) fn children(&self) -> Vec<(usize, bool)> {
-        let mut out = Vec::new();
-        for &i in &self.by_priority {
+    /// Whether placing `i` with the given fate is admissible right now:
+    /// unplaced, in scope, predecessors placed, reads legal, fate allowed
+    /// by the commit capability and the commit-conditional gate. Used by
+    /// the online monitor's cached-fragment replay; `dfs` inlines the same
+    /// checks.
+    pub(crate) fn can_place(&self, i: usize, committed: bool) -> bool {
+        if self.placed.contains(i) || !self.scope.contains(i) {
+            return false;
+        }
+        if !self.preds[i].is_subset_of(&self.placed) || !self.reads_legal(i) {
+            return false;
+        }
+        let fate_ok = match self.spec.txns[i].capability {
+            CommitCapability::Committed => committed,
+            CommitCapability::NeverCommitted => !committed,
+            CommitCapability::CommitPending => true,
+        };
+        fate_ok && (!committed || self.commit_preds[i].is_subset_of(&self.placed))
+    }
+
+    /// Appends the current state's children as `(txn index, committed)` in
+    /// the exact order [`Self::dfs`] tries them. Used by the parallel
+    /// engine's task enumerator, which must mirror `dfs` so the
+    /// lowest-indexed task containing a witness is also the one sequential
+    /// DFS reaches first. Keep in sync with the loop in `dfs`.
+    pub(crate) fn children_into(&self, out: &mut Vec<(usize, bool)>) {
+        out.clear();
+        for &i in &self.active {
             if self.placed.contains(i) || !self.preds[i].is_subset_of(&self.placed) {
                 continue;
             }
@@ -430,7 +490,6 @@ impl<'a> Searcher<'a> {
                 out.push((i, committed));
             }
         }
-        out
     }
 
     /// Places transaction `i` with the given fate and returns an undo log.
@@ -481,7 +540,7 @@ impl<'a> Searcher<'a> {
     }
 
     pub(crate) fn dfs(&mut self) -> Outcome {
-        if self.placed_count == self.spec.txns.len() {
+        if self.placed_count == self.scope_target {
             return Outcome::Found;
         }
         self.explored += 1;
@@ -506,7 +565,7 @@ impl<'a> Searcher<'a> {
         let key = if self.cfg.memo {
             let key = self.memo_key();
             let hit = match self.shared {
-                Some(shared) => shared.memo_contains(&key),
+                Some(shared) => shared.memo_contains(key),
                 None => self.memo.contains(&key),
             };
             if hit {
@@ -518,8 +577,8 @@ impl<'a> Searcher<'a> {
             None
         };
 
-        for idx in 0..self.by_priority.len() {
-            let i = self.by_priority[idx];
+        for idx in 0..self.active.len() {
+            let i = self.active[idx];
             if self.placed.contains(i) || !self.preds[i].is_subset_of(&self.placed) {
                 continue;
             }
@@ -578,7 +637,8 @@ pub(crate) struct UndoLog {
 }
 
 /// Cheap sound prechecks that reject obviously unserializable histories
-/// and produce precise violations.
+/// and produce precise violations. Used by the monolithic (`--no-decompose`)
+/// path; the planner's candidate-writer analysis subsumes it.
 pub(crate) fn precheck(spec: &Spec, query: &Query) -> Result<(), Violation> {
     for r in &spec.reads {
         if r.value == Value::INITIAL {
@@ -614,6 +674,56 @@ pub(crate) fn witness_from_path(spec: &Spec, path: &[(usize, bool)]) -> Witness 
     Witness::new(order, choices)
 }
 
+/// Sequential monolithic search over a prebuilt spec (optionally with the
+/// planner's forced edges).
+pub(crate) fn seq_search_spec(
+    spec: &Spec,
+    query: &Query,
+    cfg: &SearchConfig,
+    forced: &[(usize, usize)],
+) -> (Verdict, SearchStats) {
+    let mut searcher = match Searcher::new(spec, cfg, query, forced) {
+        Ok(s) => s,
+        Err(v) => return (Verdict::Violated(v), SearchStats::default()),
+    };
+    let outcome = searcher.dfs();
+    let stats = searcher.stats();
+    let verdict = match outcome {
+        Outcome::Found => Verdict::Satisfied(witness_from_path(spec, &searcher.path)),
+        Outcome::Exhausted => Verdict::Violated(Violation::NoSerialization {
+            criterion: query.name.to_owned(),
+            explored: searcher.explored,
+        }),
+        Outcome::Budget => Verdict::Unknown {
+            explored: searcher.explored,
+        },
+        Outcome::Cancelled => unreachable!("sequential search cannot be cancelled"),
+    };
+    (verdict, stats)
+}
+
+/// Decides `query` over a prebuilt spec, dispatching between the planned
+/// (decomposed) and monolithic paths and the sequential and parallel
+/// engines. `cache` optionally carries the online monitor's per-component
+/// serialization cache.
+pub(crate) fn decide_spec(
+    spec: &Spec,
+    query: &Query,
+    cfg: &SearchConfig,
+    cache: Option<&mut ComponentCache>,
+) -> (Verdict, SearchStats) {
+    if cfg.decompose {
+        return crate::plan::planned_search(spec, query, cfg, cache);
+    }
+    if let Err(v) = precheck(spec, query) {
+        return (Verdict::Violated(v), SearchStats::default());
+    }
+    if cfg.effective_threads() > 1 {
+        return crate::parallel::par_search_spec(spec, query, cfg, &[]);
+    }
+    seq_search_spec(spec, query, cfg, &[])
+}
+
 /// Decides whether `h` has a serialization satisfying `query`.
 pub(crate) fn search_serialization(h: &History, query: &Query, cfg: &SearchConfig) -> Verdict {
     search_serialization_with_stats(h, query, cfg).0
@@ -625,40 +735,11 @@ pub(crate) fn search_serialization_with_stats(
     query: &Query,
     cfg: &SearchConfig,
 ) -> (Verdict, SearchStats) {
-    if cfg.effective_threads() > 1 {
-        return crate::parallel::par_search_with_stats(h, query, cfg);
-    }
     let spec = match Spec::build(h) {
         Ok(s) => s,
         Err(v) => return (Verdict::Violated(v), SearchStats::default()),
     };
-    if let Err(v) = precheck(&spec, query) {
-        return (Verdict::Violated(v), SearchStats::default());
-    }
-    let mut searcher = match Searcher::new(&spec, cfg, query) {
-        Ok(s) => s,
-        Err(v) => return (Verdict::Violated(v), SearchStats::default()),
-    };
-    let outcome = searcher.dfs();
-    let stats = SearchStats {
-        explored: searcher.explored,
-        memo_hits: searcher.memo_hits,
-        dead_ends: searcher.dead_ends,
-        peak_memo_entries: searcher.memo.len() as u64,
-        subtree_tasks: 0,
-    };
-    let verdict = match outcome {
-        Outcome::Found => Verdict::Satisfied(witness_from_path(&spec, &searcher.path)),
-        Outcome::Exhausted => Verdict::Violated(Violation::NoSerialization {
-            criterion: query.name.to_owned(),
-            explored: searcher.explored,
-        }),
-        Outcome::Budget => Verdict::Unknown {
-            explored: searcher.explored,
-        },
-        Outcome::Cancelled => unreachable!("sequential search cannot be cancelled"),
-    };
-    (verdict, stats)
+    decide_spec(&spec, query, cfg, None)
 }
 
 #[cfg(test)]
@@ -694,15 +775,28 @@ mod tests {
         }
     }
 
+    /// Both planner settings, for tests that must hold under each.
+    fn both_modes() -> [SearchConfig; 2] {
+        [
+            SearchConfig::default(),
+            SearchConfig {
+                decompose: false,
+                ..SearchConfig::default()
+            },
+        ]
+    }
+
     #[test]
     fn sequential_legal_history_found() {
         let h = HistoryBuilder::new()
             .committed_writer(t(1), x(), v(1))
             .committed_reader(t(2), x(), v(1))
             .build();
-        let verdict = search_serialization(&h, &plain_query(), &SearchConfig::default());
-        let w = verdict.witness().expect("satisfied");
-        assert_eq!(w.order(), &[t(1), t(2)]);
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &plain_query(), &cfg);
+            let w = verdict.witness().expect("satisfied");
+            assert_eq!(w.order(), &[t(1), t(2)]);
+        }
     }
 
     #[test]
@@ -710,15 +804,17 @@ mod tests {
         let h = HistoryBuilder::new()
             .committed_reader(t(1), x(), v(7))
             .build();
-        let verdict = search_serialization(&h, &plain_query(), &SearchConfig::default());
-        assert_eq!(
-            verdict.violation(),
-            Some(&Violation::MissingWriter {
-                txn: t(1),
-                obj: x(),
-                value: v(7)
-            })
-        );
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &plain_query(), &cfg);
+            assert_eq!(
+                verdict.violation(),
+                Some(&Violation::MissingWriter {
+                    txn: t(1),
+                    obj: x(),
+                    value: v(7)
+                })
+            );
+        }
     }
 
     #[test]
@@ -729,11 +825,13 @@ mod tests {
             .committed_writer(t(1), x(), v(1))
             .committed_reader(t(2), x(), v(0))
             .build();
-        let verdict = search_serialization(&h, &plain_query(), &SearchConfig::default());
-        assert!(matches!(
-            verdict.violation(),
-            Some(Violation::NoSerialization { .. })
-        ));
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &plain_query(), &cfg);
+            assert!(matches!(
+                verdict.violation(),
+                Some(Violation::NoSerialization { .. })
+            ));
+        }
     }
 
     #[test]
@@ -747,9 +845,11 @@ mod tests {
             .commit(t(1))
             .commit(t(2))
             .build();
-        let verdict = search_serialization(&h, &plain_query(), &SearchConfig::default());
-        let w = verdict.witness().expect("satisfied");
-        assert!(w.position(t(2)).unwrap() < w.position(t(1)).unwrap());
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &plain_query(), &cfg);
+            let w = verdict.witness().expect("satisfied");
+            assert!(w.position(t(2)).unwrap() < w.position(t(1)).unwrap());
+        }
     }
 
     #[test]
@@ -762,10 +862,12 @@ mod tests {
             .read(t(2), x(), v(1))
             .commit(t(2))
             .build();
-        let verdict = search_serialization(&h, &du_query(), &SearchConfig::default());
-        let w = verdict.witness().expect("satisfied");
-        assert_eq!(w.commit_choice(t(1)), Some(true));
-        assert!(w.position(t(1)).unwrap() < w.position(t(2)).unwrap());
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &du_query(), &cfg);
+            let w = verdict.witness().expect("satisfied");
+            assert_eq!(w.commit_choice(t(1)), Some(true));
+            assert!(w.position(t(1)).unwrap() < w.position(t(2)).unwrap());
+        }
     }
 
     #[test]
@@ -779,19 +881,21 @@ mod tests {
             .committed_writer(t(3), x(), v(1))
             .commit(t(2))
             .build();
-        let verdict = search_serialization(&h, &du_query(), &SearchConfig::default());
-        assert_eq!(
-            verdict.violation(),
-            Some(&Violation::MissingWriter {
-                txn: t(2),
-                obj: x(),
-                value: v(1)
-            })
-        );
-        // Without the deferred-update condition the same history passes:
-        // T3 can be serialized before T2.
-        let verdict = search_serialization(&h, &plain_query(), &SearchConfig::default());
-        assert!(verdict.is_satisfied());
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &du_query(), &cfg);
+            assert_eq!(
+                verdict.violation(),
+                Some(&Violation::MissingWriter {
+                    txn: t(2),
+                    obj: x(),
+                    value: v(1)
+                })
+            );
+            // Without the deferred-update condition the same history
+            // passes: T3 can be serialized before T2.
+            let verdict = search_serialization(&h, &plain_query(), &cfg);
+            assert!(verdict.is_satisfied());
+        }
     }
 
     #[test]
@@ -813,8 +917,10 @@ mod tests {
             extra_edges: vec![(t(1), t(2))],
             commit_edges: Vec::new(),
         };
-        let verdict = search_serialization(&h, &constrained, &SearchConfig::default());
-        assert!(verdict.is_violated());
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &constrained, &cfg);
+            assert!(verdict.is_violated());
+        }
     }
 
     #[test]
@@ -833,11 +939,13 @@ mod tests {
             extra_edges: vec![(t(1), t(2)), (t(2), t(1))],
             commit_edges: Vec::new(),
         };
-        let verdict = search_serialization(&h, &q, &SearchConfig::default());
-        assert!(matches!(
-            verdict.violation(),
-            Some(Violation::ConstraintCycle { .. })
-        ));
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &q, &cfg);
+            assert!(matches!(
+                verdict.violation(),
+                Some(Violation::ConstraintCycle { .. })
+            ));
+        }
     }
 
     #[test]
@@ -857,14 +965,16 @@ mod tests {
             extra_edges: Vec::new(),
             commit_edges: vec![(t(2), t(1))],
         };
-        let verdict = search_serialization(&h, &q, &SearchConfig::default());
-        assert!(matches!(
-            verdict.violation(),
-            Some(Violation::NoSerialization { .. })
-        ));
-        // Sanity: without the conditional edge the history is satisfiable
-        // (T1 commits before T2).
-        assert!(search_serialization(&h, &plain_query(), &SearchConfig::default()).is_satisfied());
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &q, &cfg);
+            assert!(matches!(
+                verdict.violation(),
+                Some(Violation::NoSerialization { .. })
+            ));
+            // Sanity: without the conditional edge the history is
+            // satisfiable (T1 commits before T2).
+            assert!(search_serialization(&h, &plain_query(), &cfg).is_satisfied());
+        }
     }
 
     #[test]
@@ -886,9 +996,11 @@ mod tests {
             extra_edges: vec![(t(1), t(2))],
             commit_edges: vec![(t(2), t(1))],
         };
-        let verdict = search_serialization(&h, &q, &SearchConfig::default());
-        let w = verdict.witness().expect("satisfied with T1 aborted");
-        assert_eq!(w.commit_choice(t(1)), Some(false));
+        for cfg in both_modes() {
+            let verdict = search_serialization(&h, &q, &cfg);
+            let w = verdict.witness().expect("satisfied with T1 aborted");
+            assert_eq!(w.commit_choice(t(1)), Some(false));
+        }
     }
 
     #[test]
@@ -910,7 +1022,9 @@ mod tests {
             extra_edges: Vec::new(),
             commit_edges: vec![(t(1), t(2))],
         };
-        assert!(search_serialization(&h, &q, &SearchConfig::default()).is_violated());
+        for cfg in both_modes() {
+            assert!(search_serialization(&h, &q, &cfg).is_violated());
+        }
     }
 
     #[test]
@@ -971,6 +1085,36 @@ mod tests {
             },
         );
         assert_eq!(with.is_satisfied(), without.is_satisfied());
+    }
+
+    #[test]
+    fn decompose_matches_monolithic_on_independent_clusters() {
+        // Two disjoint object clusters, fully concurrent: the planner
+        // splits them, the monolithic engine does not; verdicts agree and
+        // both witnesses validate.
+        let y = ObjId::new(1);
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_write(t(3), y, v(7))
+            .resp_ok(t(1))
+            .resp_ok(t(3))
+            .inv_try_commit(t(1))
+            .inv_try_commit(t(3))
+            .read(t(2), x(), v(1))
+            .read(t(4), y, v(7))
+            .commit(t(2))
+            .commit(t(4))
+            .build();
+        let [on, off] = both_modes();
+        let vd_on = search_serialization(&h, &du_query(), &on);
+        let vd_off = search_serialization(&h, &du_query(), &off);
+        assert!(vd_on.is_satisfied() && vd_off.is_satisfied());
+        for vd in [&vd_on, &vd_off] {
+            let w = vd.witness().unwrap();
+            assert_eq!(w.order().len(), 4);
+            crate::check_witness(&h, w, crate::CriterionKind::DuOpacity)
+                .expect("witness validates");
+        }
     }
 
     #[test]

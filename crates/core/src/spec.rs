@@ -155,6 +155,26 @@ impl Spec {
             reads_on_obj,
         })
     }
+
+    /// Transaction indices accessing each interned object (writers and
+    /// external readers), sorted and deduplicated. These are the
+    /// shared-object edges of the search planner's conflict graph.
+    pub(crate) fn accessors_per_obj(&self) -> Vec<Vec<usize>> {
+        let mut acc: Vec<Vec<usize>> = vec![Vec::new(); self.objs.len()];
+        for (i, t) in self.txns.iter().enumerate() {
+            for &(o, _) in &t.writes {
+                acc[o].push(i);
+            }
+        }
+        for r in &self.reads {
+            acc[r.obj].push(r.txn);
+        }
+        for a in &mut acc {
+            a.sort_unstable();
+            a.dedup();
+        }
+        acc
+    }
 }
 
 #[cfg(test)]

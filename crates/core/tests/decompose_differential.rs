@@ -1,0 +1,239 @@
+//! Differential testing of the search planner: conflict-graph
+//! decomposition on vs off, at 1 and 8 threads, across generated corpora
+//! and synthetic multi-component histories.
+//!
+//! The contract (see DESIGN.md, "Search planner"): decomposition never
+//! changes a verdict — it only changes *how* the serialization space is
+//! traversed — and every positive verdict's witness independently passes
+//! [`check_witness`]. Within one decomposition setting the witness is also
+//! thread-count independent; across settings only the verdicts must agree
+//! (the planner composes per-component fragments, so it may legitimately
+//! find a different — equally valid — serialization than the monolithic
+//! engine).
+
+use duop_core::{
+    check_witness, Criterion, CriterionKind, DuOpacity, ReadCommitOrderOpacity, SearchConfig, Tms2,
+    Verdict, Violation,
+};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::{History, HistoryBuilder, ObjId, TxnId, Value};
+
+/// Zeroes every `explored` counter so structurally identical violations
+/// compare equal across engines (the planner explores far fewer states).
+fn normalize_violation(v: &Violation) -> Violation {
+    match v {
+        Violation::NoSerialization { criterion, .. } => Violation::NoSerialization {
+            criterion: criterion.clone(),
+            explored: 0,
+        },
+        Violation::PrefixNotFinalStateOpaque { prefix_len, cause } => {
+            Violation::PrefixNotFinalStateOpaque {
+                prefix_len: *prefix_len,
+                cause: Box::new(normalize_violation(cause)),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Collapses a verdict to what must agree across engines: the outcome and
+/// the (explored-normalized) violation. Witnesses are excluded — the
+/// planner composes per-component fragments, so decomposition on and off
+/// may find different, equally valid serializations; witness validity is
+/// asserted separately via [`check_witness`].
+fn normalize(v: &Verdict) -> Verdict {
+    match v {
+        Verdict::Violated(violation) => Verdict::Violated(normalize_violation(violation)),
+        Verdict::Unknown { .. } => Verdict::Unknown { explored: 0 },
+        Verdict::Satisfied(_) => Verdict::Satisfied(duop_core::Witness::new(
+            Vec::new(),
+            std::collections::BTreeMap::new(),
+        )),
+    }
+}
+
+fn cfg(decompose: bool, threads: usize) -> SearchConfig {
+    SearchConfig {
+        decompose,
+        threads: Some(threads),
+        ..SearchConfig::default()
+    }
+}
+
+fn checkers(cfg: SearchConfig) -> [(CriterionKind, Box<dyn Criterion>); 3] {
+    [
+        (
+            CriterionKind::DuOpacity,
+            Box::new(DuOpacity::with_config(cfg.clone())),
+        ),
+        (
+            CriterionKind::ReadCommitOrder,
+            Box::new(ReadCommitOrderOpacity::with_config(cfg.clone())),
+        ),
+        (CriterionKind::Tms2, Box::new(Tms2::with_config(cfg))),
+    ]
+}
+
+fn generated_corpus() -> Vec<(String, History)> {
+    let mut out = Vec::new();
+    for seed in 0..80 {
+        out.push((
+            format!("adversarial-{seed}"),
+            HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate(),
+        ));
+    }
+    for seed in 0..40 {
+        out.push((
+            format!("simulated-{seed}"),
+            HistoryGen::new(HistoryGenConfig::small_simulated(), seed).generate(),
+        ));
+    }
+    out
+}
+
+/// `clusters` disjoint writer/reader pairs on distinct objects, all
+/// overlapping in real time (writers stay commit-pending until every
+/// transaction has started) so the conflict graph genuinely splits.
+fn clustered(clusters: u32, poison_last: bool) -> History {
+    let t = TxnId::new;
+    let v = Value::new;
+    let mut b = HistoryBuilder::new();
+    for c in 0..clusters {
+        let w = t(c * 2 + 1);
+        b = b
+            .inv_write(w, ObjId::new(c), v(u64::from(c) + 1))
+            .resp_ok(w)
+            .inv_try_commit(w);
+    }
+    for c in 0..clusters {
+        let r = t(c * 2 + 2);
+        // The poisoned cluster's reader returns a value nobody wrote.
+        let seen = if poison_last && c == clusters - 1 {
+            v(99)
+        } else {
+            v(u64::from(c) + 1)
+        };
+        b = b.inv_read(r, ObjId::new(c)).resp_value(r, seen);
+    }
+    for c in 0..clusters {
+        b = b.commit(t(c * 2 + 2));
+    }
+    b.build()
+}
+
+/// `clusters - 1` satisfiable clusters plus one cluster whose violation is
+/// only provable by exhausting its serialization space: the writer commits
+/// strictly before the reader begins, yet the reader sees the initial
+/// value. The satisfiable clusters' transactions all start before the
+/// stale pair completes, so the components stay disjoint. Refuting this
+/// history monolithically interleaves the stale pair with every other
+/// cluster; the planner exhausts just the two-transaction component.
+fn clustered_stale(clusters: u32) -> History {
+    let t = TxnId::new;
+    let v = Value::new;
+    let mut b = HistoryBuilder::new();
+    for c in 0..clusters - 1 {
+        let w = t(c * 2 + 1);
+        b = b
+            .inv_write(w, ObjId::new(c), v(u64::from(c) + 1))
+            .resp_ok(w)
+            .inv_try_commit(w);
+    }
+    for c in 0..clusters - 1 {
+        b = b.inv_read(t(c * 2 + 2), ObjId::new(c));
+    }
+    let stale_obj = ObjId::new(clusters - 1);
+    b = b
+        .committed_writer(t(clusters * 2 - 1), stale_obj, v(5))
+        .committed_reader(t(clusters * 2), stale_obj, v(0));
+    for c in 0..clusters - 1 {
+        b = b.resp_value(t(c * 2 + 2), v(u64::from(c) + 1));
+    }
+    for c in 0..clusters - 1 {
+        b = b.commit(t(c * 2 + 2));
+    }
+    b.build()
+}
+
+fn full_corpus() -> Vec<(String, History)> {
+    let mut corpus = generated_corpus();
+    for k in [2u32, 3, 4, 6] {
+        corpus.push((format!("clustered-{k}"), clustered(k, false)));
+        corpus.push((format!("clustered-{k}-poisoned"), clustered(k, true)));
+        corpus.push((format!("clustered-{k}-stale"), clustered_stale(k)));
+    }
+    corpus
+}
+
+#[test]
+fn decomposition_preserves_verdicts_and_witness_validity() {
+    let mut satisfied = 0usize;
+    let mut violated = 0usize;
+    for (tag, h) in full_corpus() {
+        for (kind, baseline_checker) in checkers(cfg(true, 1)) {
+            let baseline = baseline_checker.check(&h);
+            for decompose in [true, false] {
+                for threads in [1usize, 8] {
+                    let (_, checker) = checkers(cfg(decompose, threads))
+                        .into_iter()
+                        .find(|(k, _)| *k == kind)
+                        .expect("kind present");
+                    let verdict = checker.check(&h);
+                    assert_eq!(
+                        normalize(&verdict),
+                        normalize(&baseline),
+                        "{kind:?} diverges (decompose={decompose}, threads={threads}) on {tag}:\n{h}"
+                    );
+                    if let Some(w) = verdict.witness() {
+                        check_witness(&h, w, kind).unwrap_or_else(|e| {
+                            panic!(
+                                "{kind:?} witness invalid (decompose={decompose}, \
+                                 threads={threads}) on {tag}: {e}\n{h}"
+                            )
+                        });
+                    }
+                }
+            }
+            if kind == CriterionKind::DuOpacity {
+                if baseline.is_satisfied() {
+                    satisfied += 1;
+                } else {
+                    violated += 1;
+                }
+            }
+        }
+    }
+    // The corpus must exercise both outcomes.
+    assert!(satisfied > 15, "only {satisfied} satisfied histories");
+    assert!(violated > 15, "only {violated} violated histories");
+}
+
+#[test]
+fn witness_is_thread_count_independent_per_mode() {
+    for (tag, h) in full_corpus() {
+        for decompose in [true, false] {
+            let one = DuOpacity::with_config(cfg(decompose, 1)).check(&h);
+            let eight = DuOpacity::with_config(cfg(decompose, 8)).check(&h);
+            assert_eq!(
+                one.witness(),
+                eight.witness(),
+                "witness differs between 1 and 8 threads (decompose={decompose}) on {tag}:\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn decomposition_explores_fewer_states_on_clustered_histories() {
+    let h = clustered_stale(4);
+    let (planned_verdict, planned) = DuOpacity::with_config(cfg(true, 1)).check_with_stats(&h);
+    let (mono_verdict, mono) = DuOpacity::with_config(cfg(false, 1)).check_with_stats(&h);
+    assert!(planned_verdict.is_violated());
+    assert!(mono_verdict.is_violated());
+    assert!(
+        planned.explored < mono.explored,
+        "planned search should explore fewer states: planned {} vs monolithic {}",
+        planned.explored,
+        mono.explored
+    );
+}

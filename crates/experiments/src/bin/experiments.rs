@@ -1,11 +1,14 @@
 //! Prints the full experiment table (E1–E10): the paper's claim next to
 //! the measured verdict for every figure and theorem.
 //!
-//! Usage: `cargo run -p duop-experiments --bin experiments [--quick] [--threads N]`
+//! Usage: `cargo run -p duop-experiments --bin experiments [--quick] [--threads N]
+//! [--no-decompose]`
 //!
 //! `--threads N` fans the corpus experiments (E7–E9, E11, E13, E14) out
 //! over N worker threads (0 = all hardware threads). The reported numbers
-//! are identical to the serial run.
+//! are identical to the serial run. `--no-decompose` disables the search
+//! planner's conflict-graph decomposition in every check (ablation; the
+//! verdicts must not change).
 
 use duop_experiments::runner::run_all_with;
 use duop_history::render::render_lanes;
@@ -13,6 +16,9 @@ use duop_history::render::render_lanes;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--no-decompose") {
+        duop_core::set_default_decompose(false);
+    }
     let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
