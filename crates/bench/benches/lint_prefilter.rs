@@ -1,0 +1,143 @@
+//! Lint-prefilter ablation: the polynomial static-analysis pass
+//! (`SearchConfig::prelint`) vs the full serialization search on the
+//! generated adversarial corpus.
+//!
+//! For each corpus size the seed pool splits into a *refutation* set —
+//! histories the lint pipeline refutes at `Error` severity for the
+//! du-opacity scope — and a *satisfiable* set, where the prefilter cannot
+//! help and only adds its polynomial pass to the search. The refutation
+//! set measures the payoff (the search never runs); the satisfiable set
+//! bounds the overhead. Explored-state counts are deterministic, so they
+//! are summed over the set while wall time is the median per-history
+//! check.
+//!
+//! Custom harness (no criterion): medians are written to `BENCH_3.json`
+//! at the repository root — machine-readable `{bench name: median ns or
+//! explored states}` — so the perf trajectory is trackable across PRs.
+//! `--test` runs a quick smoke pass without touching the JSON.
+
+use duop_core::lint::{lint, LintScope};
+use duop_core::{Criterion, DuOpacity, SearchConfig, Verdict};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::History;
+use std::time::Instant;
+
+fn cfg(prelint: bool) -> SearchConfig {
+    SearchConfig {
+        prelint,
+        threads: Some(1),
+        ..SearchConfig::default()
+    }
+}
+
+/// The adversarial pool at `txns` transactions, split into
+/// (lint-refutable, lint-clean-at-error) histories.
+fn corpus(txns: usize, seeds: u64) -> (Vec<History>, Vec<History>) {
+    let config = HistoryGenConfig::small_adversarial()
+        .with_txns(txns)
+        .with_concurrency(txns.min(4));
+    let mut refutable = Vec::new();
+    let mut clean = Vec::new();
+    for seed in 0..seeds {
+        let h = HistoryGen::new(config.clone(), seed).generate();
+        if lint(&h).first_error_for(LintScope::Du).is_some() {
+            refutable.push(h);
+        } else {
+            clean.push(h);
+        }
+    }
+    (refutable, clean)
+}
+
+/// Median per-history wall-clock nanoseconds of checking every history in
+/// `set`, over `samples` timed sweeps, plus the summed explored states.
+fn measure(set: &[History], prelint: bool, samples: usize) -> (u64, u64) {
+    let checker = DuOpacity::with_config(cfg(prelint));
+    let explored: u64 = set
+        .iter()
+        .map(|h| checker.check_with_stats(h).1.explored)
+        .sum();
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for h in set {
+                let verdict = checker.check(h);
+                assert!(!matches!(verdict, Verdict::Unknown { .. }));
+            }
+            start.elapsed().as_nanos() as u64 / set.len().max(1) as u64
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], explored)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let samples = if smoke { 3 } else { 30 };
+    let seeds = if smoke { 60 } else { 200 };
+
+    let mut results: Vec<(String, u64)> = Vec::new();
+    let mut key_speedup = None;
+    for txns in [4usize, 6, 8, 10] {
+        let (refutable, clean) = corpus(txns, seeds);
+        assert!(
+            refutable.len() >= 10,
+            "only {} lint-refutable histories at {txns} txns",
+            refutable.len()
+        );
+        for (label, set) in [("refute", &refutable), ("satisfy", &clean)] {
+            if set.is_empty() {
+                continue;
+            }
+            // Soundness of the split: prelint must not change a verdict.
+            for h in set.iter() {
+                let on = DuOpacity::with_config(cfg(true)).check(h);
+                let off = DuOpacity::with_config(cfg(false)).check(h);
+                assert_eq!(
+                    on.is_satisfied(),
+                    off.is_satisfied(),
+                    "prelint changed a verdict in {txns}t/{label}"
+                );
+            }
+            let (on_ns, on_states) = measure(set, true, samples);
+            let (off_ns, off_states) = measure(set, false, samples);
+            println!(
+                "lint_prefilter/{txns}t/{label} ({} histories): prelint {on_ns} ns/history \
+                 ({on_states} states), search {off_ns} ns/history ({off_states} states), \
+                 speedup {:.1}x",
+                set.len(),
+                off_ns as f64 / on_ns as f64
+            );
+            for (suffix, value) in [
+                ("prelint_ns", on_ns),
+                ("prelint_states", on_states),
+                ("search_ns", off_ns),
+                ("search_states", off_states),
+            ] {
+                results.push((format!("lint_prefilter/{txns}t/{label}/{suffix}"), value));
+            }
+            if txns == 10 && *label == *"refute" {
+                key_speedup = Some(off_ns as f64 / on_ns as f64);
+            }
+        }
+    }
+
+    let key = key_speedup.expect("10-txn refutation corpus measured");
+    println!("10-txn adversarial refutation speedup: {key:.1}x");
+
+    if smoke {
+        println!("smoke run (--test): BENCH_3.json left untouched");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");
+    std::fs::write(path, json).expect("write BENCH_3.json");
+    println!("wrote {path}");
+}

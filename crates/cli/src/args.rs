@@ -9,7 +9,8 @@ duop — check transactional-memory histories against du-opacity and friends
 
 USAGE:
   duop check <trace-file|-> [--criterion NAME]... [--threads N]
-             [--no-decompose]
+             [--no-decompose] [--no-prelint] [--format text|json]
+  duop lint <trace-file|-> [--format text|json] [--rule ID]...
   duop render <trace-file|->
   duop monitor <trace-file|->
   duop generate [--mode simulated|value|adversarial] [--txns N] [--objs N]
@@ -28,9 +29,19 @@ strict. `--threads N` runs the serialization search on N worker threads
 (0 = all hardware threads); the verdict and witness are identical to the
 sequential engine's. `--no-decompose` disables the search planner's
 conflict-graph decomposition (ablation; slower on multi-component
-histories, same verdicts).
+histories, same verdicts). `--no-prelint` disables the polynomial lint
+prefilter (ablation, same verdicts). `--format json` prints each verdict
+as JSON on one line.
 
-Exit codes: 0 all criteria satisfied, 1 some violated, 2 usage/parse error.";
+`lint` runs only the polynomial static analyses and prints structured
+diagnostics (rule id, severity, event spans); `--rule ID` restricts the
+output to the given rules (repeatable). Rule ids and summaries are listed
+in DESIGN.md; an `error`-severity diagnostic is a proven refutation of
+the criteria it names.
+
+Exit codes: 0 all criteria satisfied (for lint: no error-severity
+diagnostic), 1 some violated (lint: at least one error), 2 usage/parse
+error.";
 
 /// Which criterion to run in `duop check`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +104,20 @@ pub enum Command {
         /// Run the search planner's conflict-graph decomposition
         /// (`--no-decompose` clears it, for ablations).
         decompose: bool,
+        /// Run the lint prefilter before searching (`--no-prelint`
+        /// clears it, for ablations).
+        prelint: bool,
+        /// Output format: `text` or `json`.
+        format: String,
+    },
+    /// `duop lint`.
+    Lint {
+        /// Trace path (`-` = stdin).
+        input: String,
+        /// Output format: `text` or `json`.
+        format: String,
+        /// Restrict output to these rule ids (empty = all).
+        rules: Vec<String>,
     },
     /// `duop render`.
     Render {
@@ -156,6 +181,13 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
+fn parse_format(s: &str) -> Result<String, ParseError> {
+    match s {
+        "text" | "json" => Ok(s.to_owned()),
+        other => Err(ParseError(format!("unknown format `{other}`"))),
+    }
+}
+
 fn value_of<'a>(
     flag: &str,
     it: &mut impl Iterator<Item = &'a String>,
@@ -175,6 +207,8 @@ impl Command {
                 let mut criteria = Vec::new();
                 let mut threads = 1usize;
                 let mut decompose = true;
+                let mut prelint = true;
+                let mut format = String::from("text");
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--criterion" | "-c" => {
@@ -186,6 +220,8 @@ impl Command {
                                 .map_err(|_| ParseError("--threads needs a number".into()))?;
                         }
                         "--no-decompose" => decompose = false,
+                        "--no-prelint" => prelint = false,
+                        "--format" => format = parse_format(value_of("--format", &mut it)?)?,
                         other if input.is_none() => input = Some(other.to_owned()),
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
                     }
@@ -195,6 +231,26 @@ impl Command {
                     criteria,
                     threads,
                     decompose,
+                    prelint,
+                    format,
+                })
+            }
+            "lint" => {
+                let mut input = None;
+                let mut format = String::from("text");
+                let mut rules = Vec::new();
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--format" => format = parse_format(value_of("--format", &mut it)?)?,
+                        "--rule" => rules.push(value_of("--rule", &mut it)?.clone()),
+                        other if input.is_none() => input = Some(other.to_owned()),
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::Lint {
+                    input: input.ok_or_else(|| ParseError("lint needs a trace file".into()))?,
+                    format,
+                    rules,
                 })
             }
             "render" | "monitor" | "graph" | "localize" => {
@@ -308,6 +364,8 @@ mod tests {
                 criteria: vec![CriterionName::DuOpacity, CriterionName::Tms2],
                 threads: 1,
                 decompose: true,
+                prelint: true,
+                format: "text".into(),
             }
         );
     }
@@ -327,6 +385,8 @@ mod tests {
                 criteria: vec![],
                 threads: 8,
                 decompose: true,
+                prelint: true,
+                format: "text".into(),
             }
         );
         assert!(parse(&["check", "t.txt", "--threads", "many"]).is_err());
@@ -343,8 +403,45 @@ mod tests {
                 criteria: vec![],
                 threads: 1,
                 decompose: false,
+                prelint: true,
+                format: "text".into(),
             }
         );
+    }
+
+    #[test]
+    fn check_parses_prelint_and_format() {
+        let cmd = parse(&["check", "t.txt", "--no-prelint", "--format", "json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                input: "t.txt".into(),
+                criteria: vec![],
+                threads: 1,
+                decompose: true,
+                prelint: false,
+                format: "json".into(),
+            }
+        );
+        assert!(parse(&["check", "t.txt", "--format", "yaml"]).is_err());
+    }
+
+    #[test]
+    fn lint_parses_rules_and_format() {
+        let cmd = parse(&[
+            "lint", "t.txt", "--rule", "DU002", "--rule", "CY004", "--format", "json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                input: "t.txt".into(),
+                format: "json".into(),
+                rules: vec!["DU002".into(), "CY004".into()],
+            }
+        );
+        assert!(parse(&["lint"]).is_err());
+        assert!(parse(&["lint", "t.txt", "--format", "xml"]).is_err());
     }
 
     #[test]

@@ -52,7 +52,22 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             criteria,
             threads,
             decompose,
-        } => check(&load(input)?, criteria, *threads, *decompose, out),
+            prelint,
+            format,
+        } => check(
+            &load(input)?,
+            criteria,
+            *threads,
+            *decompose,
+            *prelint,
+            format,
+            out,
+        ),
+        Command::Lint {
+            input,
+            format,
+            rules,
+        } => lint(&load(input)?, format, rules, out),
         Command::Graph { input } => {
             let h = load(input)?;
             let witness = DuOpacity::new().check(&h).witness().cloned();
@@ -146,6 +161,8 @@ fn check(
     criteria: &[CriterionName],
     threads: usize,
     decompose: bool,
+    prelint: bool,
+    format: &str,
     out: &mut dyn Write,
 ) -> CmdResult {
     // `--threads 0` = every hardware thread; `1` = the sequential engine.
@@ -157,9 +174,13 @@ fn check(
     let cfg = SearchConfig {
         threads: Some(threads),
         decompose,
+        prelint,
         ..SearchConfig::default()
     };
-    writeln!(out, "{}", h.stats())?;
+    let json = format == "json";
+    if !json {
+        writeln!(out, "{}", h.stats())?;
+    }
     let list = if criteria.is_empty() {
         all_criteria()
     } else {
@@ -171,13 +192,30 @@ fn check(
             CriterionName::Tms2Automaton => {
                 let verdict = check_tms2_automaton(h, Some(10_000_000));
                 let (ok, detail) = match &verdict {
-                    Tms2Verdict::Accepted(_) => (true, "accepted".to_owned()),
-                    Tms2Verdict::Rejected { explored } => {
-                        (false, format!("rejected ({explored} states)"))
-                    }
-                    Tms2Verdict::Unknown { explored } => {
-                        (false, format!("unknown (budget after {explored} states)"))
-                    }
+                    Tms2Verdict::Accepted(_) => (
+                        true,
+                        if json {
+                            "{\"status\":\"satisfied\"}".to_owned()
+                        } else {
+                            "accepted".to_owned()
+                        },
+                    ),
+                    Tms2Verdict::Rejected { explored } => (
+                        false,
+                        if json {
+                            format!("{{\"status\":\"violated\",\"explored\":{explored}}}")
+                        } else {
+                            format!("rejected ({explored} states)")
+                        },
+                    ),
+                    Tms2Verdict::Unknown { explored } => (
+                        false,
+                        if json {
+                            format!("{{\"status\":\"unknown\",\"explored\":{explored}}}")
+                        } else {
+                            format!("unknown (budget after {explored} states)")
+                        },
+                    ),
                 };
                 ("TMS2 (full automaton)", ok, detail)
             }
@@ -199,13 +237,76 @@ fn check(
                 };
                 let verdict = checker.check(h);
                 let ok = verdict.is_satisfied();
-                (checker_label(other), ok, verdict.to_string())
+                let detail = if json {
+                    serde_json::to_string(&verdict)?
+                } else {
+                    verdict.to_string()
+                };
+                (checker_label(other), ok, detail)
             }
         };
-        writeln!(out, "{label:<28} {detail}")?;
+        if json {
+            writeln!(out, "{{\"criterion\":\"{label}\",\"verdict\":{detail}}}")?;
+        } else {
+            writeln!(out, "{label:<28} {detail}")?;
+        }
         all_ok &= ok;
     }
     Ok(all_ok)
+}
+
+/// Runs the lint pipeline and prints diagnostics; `Ok(false)` when an
+/// `Error`-severity diagnostic (after `--rule` filtering) fired.
+fn lint(h: &History, format: &str, rules: &[String], out: &mut dyn Write) -> CmdResult {
+    use serde::Serialize as _;
+    let known = duop_core::lint::rules();
+    for id in rules {
+        if !known.iter().any(|r| r.id == id) {
+            return Err(Box::new(crate::args::ParseError(format!(
+                "unknown lint rule `{id}` (known: {})",
+                known.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+            ))));
+        }
+    }
+    let report = duop_core::lint::lint(h);
+    let selected: Vec<&duop_core::lint::Diagnostic> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| rules.is_empty() || rules.iter().any(|id| id == d.rule))
+        .collect();
+    let errors = selected
+        .iter()
+        .filter(|d| d.severity == duop_core::lint::Severity::Error)
+        .count();
+    if format == "json" {
+        let content = serde::Content::Map(vec![
+            (
+                "diagnostics".into(),
+                serde::Content::Seq(selected.iter().map(|d| d.to_content()).collect()),
+            ),
+            ("errors".into(), serde::Content::U64(errors as u64)),
+        ]);
+        writeln!(out, "{}", serde_json::to_string(&content)?)?;
+    } else {
+        for d in &selected {
+            writeln!(out, "{d}")?;
+            writeln!(out, "  at {}", d.primary)?;
+            for sp in &d.secondary {
+                writeln!(out, "  with {sp}")?;
+            }
+        }
+        let warnings = selected
+            .iter()
+            .filter(|d| d.severity == duop_core::lint::Severity::Warning)
+            .count();
+        let notes = selected.len() - errors - warnings;
+        writeln!(
+            out,
+            "{} diagnostics: {errors} errors, {warnings} warnings, {notes} notes",
+            selected.len()
+        )?;
+    }
+    Ok(errors == 0)
 }
 
 fn checker_label(name: CriterionName) -> &'static str {
@@ -238,8 +339,13 @@ fn monitor(h: &History, out: &mut dyn Write) -> CmdResult {
     let stats = mon.stats();
     writeln!(
         out,
-        "{} events; {} witness reuses; {} full searches; {} component reuses",
-        stats.events, stats.incremental_hits, stats.full_searches, stats.component_reuses
+        "{} events; {} witness reuses; {} full searches; {} component reuses; \
+         {} lint refutations",
+        stats.events,
+        stats.incremental_hits,
+        stats.full_searches,
+        stats.component_reuses,
+        stats.lint_refutations
     )?;
     Ok(ok)
 }
@@ -323,6 +429,8 @@ mod tests {
             criteria: vec![],
             threads: 1,
             decompose: true,
+            prelint: true,
+            format: "text".into(),
         });
         assert!(ok, "output:\n{output}");
         for label in [
@@ -346,6 +454,8 @@ mod tests {
             criteria: vec![crate::args::CriterionName::DuOpacity],
             threads: 1,
             decompose: true,
+            prelint: true,
+            format: "text".into(),
         });
         assert!(!ok);
         assert!(output.contains("violated"), "output:\n{output}");
@@ -380,12 +490,16 @@ mod tests {
                 criteria: vec![],
                 threads: 1,
                 decompose: true,
+                prelint: true,
+                format: "text".into(),
             });
             let (par_ok, par) = run_to_string(&Command::Check {
                 input: temp_trace(trace),
                 criteria: vec![],
                 threads: 4,
                 decompose: true,
+                prelint: true,
+                format: "text".into(),
             });
             assert_eq!(seq_ok, par_ok);
             assert_eq!(normalize(&seq), normalize(&par));
@@ -394,10 +508,114 @@ mod tests {
                 criteria: vec![],
                 threads: 1,
                 decompose: false,
+                prelint: true,
+                format: "text".into(),
             });
             assert_eq!(seq_ok, abl_ok);
             assert_eq!(normalize(&seq), normalize(&abl));
         }
+    }
+
+    #[test]
+    fn check_format_json_emits_verdicts() {
+        let path = temp_trace(BAD);
+        let (ok, output) = run_to_string(&Command::Check {
+            input: path,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+            threads: 1,
+            decompose: true,
+            prelint: true,
+            format: "json".into(),
+        });
+        assert!(!ok);
+        assert!(
+            output.contains("\"criterion\":\"du-opacity\""),
+            "output:\n{output}"
+        );
+        assert!(
+            output.contains("\"status\":\"violated\""),
+            "output:\n{output}"
+        );
+    }
+
+    #[test]
+    fn lint_reports_clean_trace() {
+        let path = temp_trace(GOOD);
+        let (ok, output) = run_to_string(&Command::Lint {
+            input: path,
+            format: "text".into(),
+            rules: vec![],
+        });
+        assert!(ok);
+        assert!(output.contains("0 errors"), "output:\n{output}");
+    }
+
+    #[test]
+    fn lint_names_dirty_read_events_on_figure2() {
+        // The acceptance shape: Figure 2's trace must get DU002 with both
+        // event spans, in text and JSON.
+        let fig2 = duop_history::trace::format_trace(&duop_experiments::figures::fig2_prefix(1));
+        let path = temp_trace(&fig2);
+        let (ok, text) = run_to_string(&Command::Lint {
+            input: path.clone(),
+            format: "text".into(),
+            rules: vec![],
+        });
+        // Figure 2 is du-opaque: the dirty read is Warning-severity, so
+        // the exit status stays success.
+        assert!(ok, "output:\n{text}");
+        assert!(text.contains("warning[DU002]"), "output:\n{text}");
+        assert!(text.contains("at event "), "output:\n{text}");
+        assert!(text.contains("with event "), "output:\n{text}");
+        let (_, json) = run_to_string(&Command::Lint {
+            input: path,
+            format: "json".into(),
+            rules: vec![],
+        });
+        assert!(json.contains("\"rule\":\"DU002\""), "output:\n{json}");
+        assert!(json.contains("\"primary\":{\"event\":"), "output:\n{json}");
+        assert!(
+            json.contains("\"secondary\":[{\"event\":"),
+            "output:\n{json}"
+        );
+    }
+
+    #[test]
+    fn lint_flags_errors_and_filters_rules() {
+        let path = temp_trace(BAD);
+        let (ok, output) = run_to_string(&Command::Lint {
+            input: path.clone(),
+            format: "text".into(),
+            rules: vec![],
+        });
+        assert!(!ok);
+        assert!(output.contains("error[RF003]"), "output:\n{output}");
+        // Filtering to an unrelated rule hides the error: exit ok.
+        let (ok, output) = run_to_string(&Command::Lint {
+            input: path.clone(),
+            format: "text".into(),
+            rules: vec!["UW007".into()],
+        });
+        assert!(ok, "output:\n{output}");
+        // Unknown rule ids are a usage error.
+        let mut buf = Vec::new();
+        assert!(execute(
+            &Command::Lint {
+                input: path,
+                format: "text".into(),
+                rules: vec!["NOPE".into()],
+            },
+            &mut buf
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn monitor_counts_lint_refutations() {
+        let path = temp_trace(BAD);
+        let (ok, output) = run_to_string(&Command::Monitor { input: path });
+        assert!(!ok);
+        assert!(output.contains("lint refutations"), "output:\n{output}");
     }
 
     #[test]

@@ -98,6 +98,7 @@ impl FinalStateOpacity {
                 deferred_update: false,
                 extra_edges: Vec::new(),
                 commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Plain,
             },
             &self.cfg,
         )
@@ -244,6 +245,7 @@ impl DuOpacity {
                 deferred_update: true,
                 extra_edges: Vec::new(),
                 commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Du,
             },
             &self.cfg,
         )
@@ -288,6 +290,7 @@ impl Criterion for ReadCommitOrderOpacity {
                 // may instead be aborted, making the edge vacuous — so
                 // these are commit-conditional.
                 commit_edges: rco_edges(h),
+                lint_scope: crate::lint::LintScope::Rco,
             },
             &self.cfg,
         )
@@ -319,6 +322,7 @@ impl Criterion for Tms2 {
                 deferred_update: false,
                 extra_edges: tms2_edges(h),
                 commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Tms2,
             },
             &self.cfg,
         )
@@ -363,6 +367,10 @@ impl Criterion for StrictSerializability {
                 deferred_update: false,
                 extra_edges: Vec::new(),
                 commit_edges: Vec::new(),
+                // Sound for the committed projection: the query runs over
+                // `projection`, and Plain rules only use constraints every
+                // scope shares.
+                lint_scope: crate::lint::LintScope::Plain,
             },
             &self.cfg,
         )

@@ -1,0 +1,159 @@
+//! Hand-written [`serde::Serialize`] impls for checker outcomes, shared by
+//! `duop check --format json` and `duop lint --format json` so both
+//! subcommands go through one serialization path.
+
+use crate::{Verdict, Violation, Witness};
+use serde::Content;
+
+fn s(text: impl Into<String>) -> Content {
+    Content::Str(text.into())
+}
+
+impl serde::Serialize for Witness {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            (
+                "order".into(),
+                Content::Seq(self.order().iter().map(|t| s(t.to_string())).collect()),
+            ),
+            (
+                "commit_choices".into(),
+                Content::Map(
+                    self.commit_choices()
+                        .iter()
+                        .map(|(t, &c)| (t.to_string(), Content::Bool(c)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl serde::Serialize for Violation {
+    fn to_content(&self) -> Content {
+        let mut fields: Vec<(String, Content)> = Vec::new();
+        let kind = match self {
+            Violation::InternalReadInconsistency {
+                txn,
+                obj,
+                got,
+                expected,
+            } => {
+                fields.push(("txn".into(), s(txn.to_string())));
+                fields.push(("obj".into(), s(obj.to_string())));
+                fields.push(("got".into(), Content::U64(got.get())));
+                fields.push(("expected".into(), Content::U64(expected.get())));
+                "internal-read-inconsistency"
+            }
+            Violation::MissingWriter { txn, obj, value } => {
+                fields.push(("txn".into(), s(txn.to_string())));
+                fields.push(("obj".into(), s(obj.to_string())));
+                fields.push(("value".into(), Content::U64(value.get())));
+                "missing-writer"
+            }
+            Violation::ConstraintCycle { txns } => {
+                fields.push((
+                    "txns".into(),
+                    Content::Seq(txns.iter().map(|t| s(t.to_string())).collect()),
+                ));
+                "constraint-cycle"
+            }
+            Violation::NoSerialization {
+                criterion,
+                explored,
+            } => {
+                fields.push(("criterion".into(), s(criterion.clone())));
+                fields.push(("explored".into(), Content::U64(*explored)));
+                "no-serialization"
+            }
+            Violation::PrefixNotFinalStateOpaque { prefix_len, cause } => {
+                fields.push(("prefix_len".into(), Content::U64(*prefix_len as u64)));
+                fields.push(("cause".into(), cause.to_content()));
+                "prefix-not-final-state-opaque"
+            }
+            Violation::LintRefuted {
+                criterion,
+                diagnostic,
+            } => {
+                fields.push(("criterion".into(), s(criterion.clone())));
+                fields.push(("diagnostic".into(), diagnostic.to_content()));
+                "lint-refuted"
+            }
+        };
+        let mut map = vec![
+            ("kind".into(), s(kind)),
+            ("message".into(), s(self.to_string())),
+        ];
+        map.extend(fields);
+        Content::Map(map)
+    }
+}
+
+impl serde::Serialize for Verdict {
+    fn to_content(&self) -> Content {
+        match self {
+            Verdict::Satisfied(w) => Content::Map(vec![
+                ("status".into(), s("satisfied")),
+                ("witness".into(), w.to_content()),
+            ]),
+            Verdict::Violated(v) => Content::Map(vec![
+                ("status".into(), s("violated")),
+                ("violation".into(), v.to_content()),
+            ]),
+            Verdict::Unknown { explored } => Content::Map(vec![
+                ("status".into(), s("unknown")),
+                ("explored".into(), Content::U64(*explored)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Criterion, DuOpacity, SearchConfig, Verdict};
+    use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+
+    #[test]
+    fn satisfied_verdict_serializes_witness() {
+        let h = HistoryBuilder::new()
+            .committed_writer(TxnId::new(1), ObjId::new(0), Value::new(1))
+            .committed_reader(TxnId::new(2), ObjId::new(0), Value::new(1))
+            .build();
+        let verdict = DuOpacity::new().check(&h);
+        let json = serde_json::to_string(&verdict).unwrap();
+        assert!(json.contains("\"status\":\"satisfied\""), "json: {json}");
+        assert!(json.contains("\"order\":[\"T1\",\"T2\"]"), "json: {json}");
+    }
+
+    #[test]
+    fn lint_refuted_verdict_embeds_diagnostic() {
+        let h = HistoryBuilder::new()
+            .committed_reader(TxnId::new(1), ObjId::new(0), Value::new(7))
+            .build();
+        let verdict = DuOpacity::new().check(&h);
+        let json = serde_json::to_string(&verdict).unwrap();
+        assert!(json.contains("\"status\":\"violated\""), "json: {json}");
+        assert!(json.contains("\"kind\":\"lint-refuted\""), "json: {json}");
+        assert!(json.contains("\"rule\":\"RF003\""), "json: {json}");
+    }
+
+    #[test]
+    fn search_violation_serializes_without_prelint() {
+        let h = HistoryBuilder::new()
+            .committed_reader(TxnId::new(1), ObjId::new(0), Value::new(7))
+            .build();
+        let cfg = SearchConfig {
+            prelint: false,
+            ..SearchConfig::default()
+        };
+        let verdict = DuOpacity::with_config(cfg).check(&h);
+        let json = serde_json::to_string(&verdict).unwrap();
+        assert!(json.contains("\"kind\":\"missing-writer\""), "json: {json}");
+    }
+
+    #[test]
+    fn unknown_verdict_serializes_explored() {
+        let json = serde_json::to_string(&Verdict::Unknown { explored: 12 }).unwrap();
+        assert_eq!(json, "{\"status\":\"unknown\",\"explored\":12}");
+    }
+}

@@ -34,7 +34,11 @@
 //! returning [`Verdict::Unknown`] when exceeded. The [`parallel`] module
 //! adds component- and subtree-parallel search engines (enabled by
 //! [`SearchConfig::threads`]) and [`par_check_batch`], an order-preserving
-//! fan-out of independent checks over a worker pool.
+//! fan-out of independent checks over a worker pool. Before the planner
+//! even runs, the [`lint`] pipeline — a registry of polynomial
+//! static-analysis rules with structured diagnostics — refutes most
+//! violating histories outright (disable with [`SearchConfig::prelint`]
+//! or [`set_default_prelint`]).
 //!
 //! # Example
 //!
@@ -60,6 +64,7 @@
 
 mod bitset;
 mod criteria;
+mod json;
 mod plan;
 mod search;
 mod spec;
@@ -69,6 +74,7 @@ mod witness_check;
 pub mod fxhash;
 pub mod graph;
 pub mod lemmas;
+pub mod lint;
 pub mod minimize;
 pub mod online;
 pub mod paper;
@@ -82,6 +88,6 @@ pub use criteria::{
     ReadCommitOrderOpacity, StrictSerializability, Tms2,
 };
 pub use parallel::{available_threads, par_check_batch, par_map};
-pub use search::{set_default_decompose, SearchConfig, SearchStats};
+pub use search::{set_default_decompose, set_default_prelint, SearchConfig, SearchStats};
 pub use verdict::{Verdict, Violation, Witness};
 pub use witness_check::{check_witness, WitnessError};

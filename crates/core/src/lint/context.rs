@@ -1,0 +1,123 @@
+//! Shared preprocessing for the lint rules: the indexed [`Spec`] plus
+//! per-read supplier sets and the anti-dependency edges only the lint
+//! pipeline derives.
+
+use crate::bitset::BitSet;
+use crate::plan::supplier_sets;
+use crate::spec::Spec;
+use duop_history::{CommitCapability, History, Op, Ret, Value};
+
+/// One anti-dependency edge: `reader` must precede `writer` in every
+/// satisfying serialization (see [`LintCtx::anti_deps`]).
+#[derive(Clone, Copy, Debug)]
+pub(super) struct AntiDep {
+    /// Index (into [`Spec::txns`]) of the transaction whose read forces
+    /// the edge.
+    pub reader: usize,
+    /// Index of the committed writer the reader must precede.
+    pub writer: usize,
+    /// Interned object index of the read.
+    pub obj: usize,
+    /// Slot into [`Spec::reads`] of the forcing read.
+    pub slot: usize,
+}
+
+/// Everything the rules share: built once per [`super::lint`] run.
+pub(super) struct LintCtx<'a> {
+    pub h: &'a History,
+    pub spec: Spec,
+    /// Per transaction (by spec index): the event index of its `C_k`
+    /// response, when committed in `H`.
+    pub commit_resp: Vec<Option<usize>>,
+    /// Du-mode supplier sets per read slot: committable writers of the
+    /// read's value whose `tryC` was invoked before the read's response.
+    pub du_suppliers: Vec<BitSet>,
+    /// Plain supplier sets per read slot: committable writers of the
+    /// read's value, regardless of `tryC` timing.
+    pub base_suppliers: Vec<BitSet>,
+    /// Anti-dependency edges, sound for *every* criterion scope: when an
+    /// external read returns the initial value and no committable
+    /// transaction other than the reader finally writes the initial value
+    /// back ("no restorer"), then once any committed writer of the object
+    /// is serialized before the reader, the object's value differs from
+    /// the initial value forever — so the reader must precede every
+    /// committed writer of the object. Restricted to `Committed` targets
+    /// (a pending writer may abort, voiding the edge) and to initial-value
+    /// reads (a non-initial value can be re-supplied, so the analogous
+    /// generalization would be unsound).
+    pub anti_deps: Vec<AntiDep>,
+}
+
+impl<'a> LintCtx<'a> {
+    /// Builds the context; `None` when [`Spec::build`] itself rejects the
+    /// history (internal read inconsistency), which rule `WF001` reports
+    /// separately.
+    pub(super) fn build(h: &'a History) -> Option<Self> {
+        let spec = Spec::build(h).ok()?;
+        let (_, du_suppliers) = supplier_sets(&spec, true);
+        let (_, base_suppliers) = supplier_sets(&spec, false);
+
+        // Spec::build indexes transactions in h.txns() order, so zipping
+        // the two iterations lines up.
+        let commit_resp: Vec<Option<usize>> = h
+            .txns()
+            .map(|t| {
+                t.ops()
+                    .iter()
+                    .find(|o| o.op.is_try_commit() && o.resp == Some(Ret::Committed))
+                    .and_then(|o| o.resp_index)
+            })
+            .collect();
+
+        let mut anti_deps = Vec::new();
+        for (slot, r) in spec.reads.iter().enumerate() {
+            if r.value != Value::INITIAL {
+                continue;
+            }
+            let restorer = spec.txns.iter().enumerate().any(|(j, t)| {
+                j != r.txn
+                    && t.capability != CommitCapability::NeverCommitted
+                    && t.writes
+                        .iter()
+                        .any(|&(o, v)| o == r.obj && v == Value::INITIAL)
+            });
+            if restorer {
+                continue;
+            }
+            for (j, t) in spec.txns.iter().enumerate() {
+                if j != r.txn
+                    && t.capability == CommitCapability::Committed
+                    && t.writes.iter().any(|&(o, _)| o == r.obj)
+                {
+                    anti_deps.push(AntiDep {
+                        reader: r.txn,
+                        writer: j,
+                        obj: r.obj,
+                        slot,
+                    });
+                }
+            }
+        }
+
+        Some(LintCtx {
+            h,
+            spec,
+            commit_resp,
+            du_suppliers,
+            base_suppliers,
+            anti_deps,
+        })
+    }
+
+    /// Event index of transaction `txn_idx`'s final write invocation to
+    /// interned object `obj_idx`, if any.
+    pub(super) fn final_write_inv(&self, txn_idx: usize, obj_idx: usize) -> Option<usize> {
+        let id = self.spec.txns[txn_idx].id;
+        let obj = self.spec.objs[obj_idx];
+        let t = self.h.txn(id)?;
+        t.ops().iter().rev().find_map(|o| match (o.op, o.resp) {
+            (Op::Write(x, _), Some(Ret::Ok)) if x == obj => Some(o.inv_index),
+            _ => None,
+        })
+    }
+}

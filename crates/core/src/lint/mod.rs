@@ -1,0 +1,305 @@
+//! Polynomial static analysis over histories: the lint pipeline.
+//!
+//! Every criterion in this crate is decided by an NP-hard serialization
+//! search, yet most violations are refutable by *polynomial* necessary
+//! conditions: the deferred-update axioms of Definition 3, read-from
+//! existence, and cycles in the must-precede relation. This module runs a
+//! registry of such analyses ("rules") over a [`History`] and emits
+//! structured [`Diagnostic`]s — rule id, severity, event spans into the
+//! history, and a human explanation citing the paper definition.
+//!
+//! Severities encode soundness:
+//!
+//! * [`Severity::Error`] — the rule is a proven *necessary condition* for
+//!   the criteria its [`Applicability`] names: when it fires, no
+//!   serialization can satisfy them. The search prefilter
+//!   ([`SearchConfig::prelint`](crate::SearchConfig::prelint)) turns these
+//!   into immediate [`Violation::LintRefuted`](crate::Violation) verdicts
+//!   without searching; the `lint_differential` suite checks the
+//!   implication on generated corpora.
+//! * [`Severity::Warning`] — a suspicious shape that *may* still be
+//!   serializable (e.g. Figure 2's read from a commit-pending writer is
+//!   du-opaque). Never short-circuits a checker.
+//! * [`Severity::Note`] — informational (e.g. the history leaves the
+//!   unique-writes regime of Theorem 11, so opacity and du-opacity may
+//!   diverge).
+//!
+//! Every rule runs in polynomial time: the pipeline is
+//! `O(txns² · reads + events)` overall, dominated by the supplier-set and
+//! cycle analyses.
+
+mod context;
+mod rules;
+
+use crate::Violation;
+use duop_history::History;
+use std::fmt;
+
+/// How severe a diagnostic is (see the module docs for the soundness
+/// contract each level carries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A proven refutation of the criteria named by the rule's
+    /// [`Applicability`].
+    Error,
+    /// A suspicious shape that may still be serializable.
+    Warning,
+    /// Informational.
+    Note,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The criterion family a checker runs under, from the lint pipeline's
+/// point of view. Determines which `Error`-severity rules may refute it
+/// via [`Applicability::refutes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LintScope {
+    /// Plain serialization semantics: final-state opacity, opacity (per
+    /// prefix), strict serializability (over the committed projection).
+    Plain,
+    /// Du-opacity (Definition 3): plain semantics plus the deferred-update
+    /// local-serialization condition.
+    Du,
+    /// Read-commit-order opacity (Guerraoui–Henzinger–Singh).
+    Rco,
+    /// The TMS2 rendering of Section 4.2.
+    Tms2,
+}
+
+/// Which criterion scopes an `Error`-severity diagnostic refutes.
+///
+/// Rules restricted to one scope exploit constraints that only that
+/// criterion imposes (e.g. du-eligibility); `AllCriteria` rules use only
+/// real-time order and value constraints shared by every scope — extra
+/// criterion edges can only shrink the solution space, so a refutation of
+/// the shared core refutes every scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Applicability {
+    /// Refutes every criterion scope.
+    AllCriteria,
+    /// Refutes only du-opacity ([`LintScope::Du`]).
+    DuOpacityOnly,
+    /// Refutes only read-commit-order opacity ([`LintScope::Rco`]).
+    ReadCommitOrderOnly,
+    /// Refutes only TMS2 ([`LintScope::Tms2`]).
+    Tms2Only,
+}
+
+impl Applicability {
+    /// Whether an `Error` with this applicability refutes a checker
+    /// running under `scope`.
+    pub fn refutes(self, scope: LintScope) -> bool {
+        match self {
+            Applicability::AllCriteria => true,
+            Applicability::DuOpacityOnly => scope == LintScope::Du,
+            Applicability::ReadCommitOrderOnly => scope == LintScope::Rco,
+            Applicability::Tms2Only => scope == LintScope::Tms2,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Applicability::AllCriteria => "all-criteria",
+            Applicability::DuOpacityOnly => "du-opacity-only",
+            Applicability::ReadCommitOrderOnly => "read-commit-order-only",
+            Applicability::Tms2Only => "tms2-only",
+        }
+    }
+}
+
+impl fmt::Display for Applicability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An event position in the history, labeled with the event's rendering
+/// for self-contained display.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Index of the event in the history.
+    pub event: usize,
+    /// The event's [`Display`](fmt::Display) rendering, e.g. `T1:R(X0)`.
+    pub label: String,
+}
+
+impl Span {
+    pub(crate) fn at(h: &History, event: usize) -> Span {
+        Span {
+            event,
+            label: h.event_label(event).unwrap_or_default(),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {}: {}", self.event, self.label)
+    }
+}
+
+/// One finding of the lint pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (see [`rules`]).
+    pub rule: &'static str,
+    /// Soundness level of the finding.
+    pub severity: Severity,
+    /// Which criterion scopes an `Error` refutes.
+    pub applicability: Applicability,
+    /// Human explanation, citing the paper definition the rule encodes.
+    pub message: String,
+    /// The event the finding is anchored to.
+    pub primary: Span,
+    /// Related events (e.g. the supplying writer's `tryC` invocation).
+    pub secondary: Vec<Span>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.rule, self.message)
+    }
+}
+
+impl serde::Serialize for Diagnostic {
+    fn to_content(&self) -> serde::Content {
+        let span = |s: &Span| {
+            serde::Content::Map(vec![
+                ("event".into(), serde::Content::U64(s.event as u64)),
+                ("label".into(), serde::Content::Str(s.label.clone())),
+            ])
+        };
+        serde::Content::Map(vec![
+            ("rule".into(), serde::Content::Str(self.rule.into())),
+            (
+                "severity".into(),
+                serde::Content::Str(self.severity.as_str().into()),
+            ),
+            (
+                "applicability".into(),
+                serde::Content::Str(self.applicability.as_str().into()),
+            ),
+            ("message".into(), serde::Content::Str(self.message.clone())),
+            ("primary".into(), span(&self.primary)),
+            (
+                "secondary".into(),
+                serde::Content::Seq(self.secondary.iter().map(span).collect()),
+            ),
+        ])
+    }
+}
+
+/// The diagnostics one [`lint`] run produced, in severity-then-position
+/// order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// The diagnostics, most severe first (ties by primary event index,
+    /// then rule id).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Returns `true` if no rule fired.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of `Error`-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// The distinct rule ids that fired, sorted.
+    pub fn rule_ids(&self) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The first `Error` whose applicability refutes `scope`, if any.
+    pub fn first_error_for(&self, scope: LintScope) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error && d.applicability.refutes(scope))
+    }
+}
+
+impl serde::Serialize for LintReport {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![(
+            "diagnostics".into(),
+            serde::Content::Seq(
+                self.diagnostics
+                    .iter()
+                    .map(serde::Serialize::to_content)
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+/// Registry entry describing one lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable identifier, e.g. `DU002`.
+    pub id: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// One-line description of what firing means.
+    pub summary: &'static str,
+}
+
+/// The rule registry, in pipeline order.
+pub fn rules() -> &'static [RuleInfo] {
+    rules::RULES
+}
+
+/// Runs every rule over `h` and collects the findings.
+///
+/// Polynomial in the history size; never searches for a serialization.
+pub fn lint(h: &History) -> LintReport {
+    let mut diagnostics = rules::run_all(h);
+    diagnostics.sort_by(|a, b| {
+        (a.severity, a.primary.event, a.rule).cmp(&(b.severity, b.primary.event, b.rule))
+    });
+    LintReport { diagnostics }
+}
+
+/// The search prefilter: lints `h` and converts the first `Error` that
+/// refutes `scope` into a [`Violation::LintRefuted`] for `criterion`.
+///
+/// Sound by the `Error` contract — each such rule is a proven necessary
+/// condition for every criterion its applicability names — so a checker
+/// returning this violation instead of searching is verdict-equivalent.
+pub(crate) fn prelint(h: &History, scope: LintScope, criterion: &str) -> Option<Violation> {
+    let report = lint(h);
+    report
+        .first_error_for(scope)
+        .map(|d| Violation::LintRefuted {
+            criterion: criterion.to_owned(),
+            diagnostic: Box::new(d.clone()),
+        })
+}

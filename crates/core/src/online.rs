@@ -40,6 +40,9 @@ pub struct OnlineStats {
     /// Conflict-graph components certified during fallback searches by
     /// replaying a cached fragment instead of searching.
     pub component_reuses: u64,
+    /// Prefixes refuted by the polynomial lint prefilter, skipping the
+    /// fallback search entirely.
+    pub lint_refutations: u64,
 }
 
 /// A per-event du-opacity monitor.
@@ -125,6 +128,20 @@ impl OnlineChecker {
             }
         }
 
+        // Cheap polynomial prefilter before any search: an Error-severity
+        // lint finding for the du scope is a proven refutation, and lint
+        // runs per event in polynomial time.
+        if self.cfg.prelint {
+            if let Some(v) =
+                crate::lint::prelint(&self.history, crate::lint::LintScope::Du, "du-opacity")
+            {
+                self.stats.lint_refutations += 1;
+                let verdict = Verdict::Violated(v);
+                self.violated = Some(verdict.clone());
+                return Ok(verdict);
+            }
+        }
+
         // Full search — planned per conflict-graph component, reusing the
         // previous search's fragments for components the event left alone.
         self.stats.full_searches += 1;
@@ -134,6 +151,7 @@ impl OnlineChecker {
             deferred_update: true,
             extra_edges: Vec::new(),
             commit_edges: Vec::new(),
+            lint_scope: crate::lint::LintScope::Du,
         };
         let verdict = match Spec::build(&self.history) {
             Err(v) => Verdict::Violated(v),

@@ -461,6 +461,7 @@ mod tests {
             deferred_update: true,
             extra_edges: Vec::new(),
             commit_edges: Vec::new(),
+            lint_scope: crate::lint::LintScope::Du,
         }
     }
 
@@ -571,6 +572,7 @@ mod tests {
             deferred_update: false,
             extra_edges: vec![(t(1), t(2)), (t(2), t(1))],
             commit_edges: Vec::new(),
+            lint_scope: crate::lint::LintScope::Plain,
         };
         let err = Plan::build(&spec, &q).unwrap_err();
         assert!(matches!(err, Violation::ConstraintCycle { .. }));

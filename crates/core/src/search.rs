@@ -69,6 +69,17 @@ pub fn set_default_decompose(enabled: bool) {
     DEFAULT_DECOMPOSE.store(enabled, Ordering::Relaxed);
 }
 
+/// Process-wide default for [`SearchConfig::prelint`], so the experiments
+/// binary can ablate the lint prefilter (`--no-prelint`) without threading
+/// a flag through every criterion constructor.
+static DEFAULT_PRELINT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for [`SearchConfig::prelint`] (the
+/// `--no-prelint` ablation). Affects configs created *after* the call.
+pub fn set_default_prelint(enabled: bool) {
+    DEFAULT_PRELINT.store(enabled, Ordering::Relaxed);
+}
+
 /// Tuning knobs for the serialization search.
 ///
 /// The defaults (memoization on, unlimited budget, sequential, planner on)
@@ -92,6 +103,13 @@ pub struct SearchConfig {
     /// (default `true`). `false` is the `--no-decompose` ablation: one
     /// monolithic search, no forced edges.
     pub decompose: bool,
+    /// Run the polynomial lint prefilter ([`crate::lint`]) before the
+    /// search and return an immediate
+    /// [`Violation::LintRefuted`](crate::Violation) when an
+    /// `Error`-severity rule refutes the criterion (default `true`).
+    /// Verdict-equivalent by the lint soundness contract; `false` is the
+    /// `--no-prelint` ablation.
+    pub prelint: bool,
 }
 
 impl Default for SearchConfig {
@@ -101,6 +119,7 @@ impl Default for SearchConfig {
             max_states: None,
             threads: None,
             decompose: DEFAULT_DECOMPOSE.load(Ordering::Relaxed),
+            prelint: DEFAULT_PRELINT.load(Ordering::Relaxed),
         }
     }
 }
@@ -157,6 +176,9 @@ pub(crate) struct Query {
     /// the serialization *commits* `b`; vacuous when `b` aborts. For an
     /// already-committed `b` this is equivalent to an `extra_edges` entry.
     pub commit_edges: Vec<(TxnId, TxnId)>,
+    /// The criterion family the lint prefilter treats this query as (which
+    /// `Error`-severity rules may refute it).
+    pub lint_scope: crate::lint::LintScope,
 }
 
 /// Sentinel encoding of `Value` for memo keys: 0 = don't-care.
@@ -735,6 +757,11 @@ pub(crate) fn search_serialization_with_stats(
     query: &Query,
     cfg: &SearchConfig,
 ) -> (Verdict, SearchStats) {
+    if cfg.prelint {
+        if let Some(v) = crate::lint::prelint(h, query.lint_scope, query.name) {
+            return (Verdict::Violated(v), SearchStats::default());
+        }
+    }
     let spec = match Spec::build(h) {
         Ok(s) => s,
         Err(v) => return (Verdict::Violated(v), SearchStats::default()),
@@ -763,6 +790,7 @@ mod tests {
             deferred_update: false,
             extra_edges: Vec::new(),
             commit_edges: Vec::new(),
+            lint_scope: crate::lint::LintScope::Plain,
         }
     }
 
@@ -772,6 +800,7 @@ mod tests {
             deferred_update: true,
             extra_edges: Vec::new(),
             commit_edges: Vec::new(),
+            lint_scope: crate::lint::LintScope::Du,
         }
     }
 
@@ -805,6 +834,12 @@ mod tests {
             .committed_reader(t(1), x(), v(7))
             .build();
         for cfg in both_modes() {
+            // The exact variant surfaces with the prefilter off; with it
+            // on, lint rule RF003 reports the same refutation first.
+            let cfg = SearchConfig {
+                prelint: false,
+                ..cfg
+            };
             let verdict = search_serialization(&h, &plain_query(), &cfg);
             assert_eq!(
                 verdict.violation(),
@@ -815,6 +850,11 @@ mod tests {
                 })
             );
         }
+        let verdict = search_serialization(&h, &plain_query(), &SearchConfig::default());
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::LintRefuted { .. })
+        ));
     }
 
     #[test]
@@ -826,12 +866,22 @@ mod tests {
             .committed_reader(t(2), x(), v(0))
             .build();
         for cfg in both_modes() {
+            let cfg = SearchConfig {
+                prelint: false,
+                ..cfg
+            };
             let verdict = search_serialization(&h, &plain_query(), &cfg);
             assert!(matches!(
                 verdict.violation(),
                 Some(Violation::NoSerialization { .. })
             ));
         }
+        // With the prefilter on, CY004 refutes without searching.
+        let verdict = search_serialization(&h, &plain_query(), &SearchConfig::default());
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::LintRefuted { .. })
+        ));
     }
 
     #[test]
@@ -882,7 +932,11 @@ mod tests {
             .commit(t(2))
             .build();
         for cfg in both_modes() {
-            let verdict = search_serialization(&h, &du_query(), &cfg);
+            let no_prelint = SearchConfig {
+                prelint: false,
+                ..cfg.clone()
+            };
+            let verdict = search_serialization(&h, &du_query(), &no_prelint);
             assert_eq!(
                 verdict.violation(),
                 Some(&Violation::MissingWriter {
@@ -891,8 +945,12 @@ mod tests {
                     value: v(1)
                 })
             );
+            // With the prefilter on, DU002 refutes du-opacity first.
+            let verdict = search_serialization(&h, &du_query(), &cfg);
+            assert!(verdict.is_violated());
             // Without the deferred-update condition the same history
-            // passes: T3 can be serialized before T2.
+            // passes: T3 can be serialized before T2 (and the du-only
+            // lint error must not leak into the plain scope).
             let verdict = search_serialization(&h, &plain_query(), &cfg);
             assert!(verdict.is_satisfied());
         }
@@ -916,6 +974,7 @@ mod tests {
             deferred_update: false,
             extra_edges: vec![(t(1), t(2))],
             commit_edges: Vec::new(),
+            lint_scope: crate::lint::LintScope::Plain,
         };
         for cfg in both_modes() {
             let verdict = search_serialization(&h, &constrained, &cfg);
@@ -938,6 +997,7 @@ mod tests {
             deferred_update: false,
             extra_edges: vec![(t(1), t(2)), (t(2), t(1))],
             commit_edges: Vec::new(),
+            lint_scope: crate::lint::LintScope::Plain,
         };
         for cfg in both_modes() {
             let verdict = search_serialization(&h, &q, &cfg);
@@ -964,6 +1024,7 @@ mod tests {
             deferred_update: false,
             extra_edges: Vec::new(),
             commit_edges: vec![(t(2), t(1))],
+            lint_scope: crate::lint::LintScope::Plain,
         };
         for cfg in both_modes() {
             let verdict = search_serialization(&h, &q, &cfg);
@@ -995,6 +1056,7 @@ mod tests {
             deferred_update: false,
             extra_edges: vec![(t(1), t(2))],
             commit_edges: vec![(t(2), t(1))],
+            lint_scope: crate::lint::LintScope::Plain,
         };
         for cfg in both_modes() {
             let verdict = search_serialization(&h, &q, &cfg);
@@ -1021,6 +1083,7 @@ mod tests {
             deferred_update: false,
             extra_edges: Vec::new(),
             commit_edges: vec![(t(1), t(2))],
+            lint_scope: crate::lint::LintScope::Plain,
         };
         for cfg in both_modes() {
             assert!(search_serialization(&h, &q, &cfg).is_violated());

@@ -334,6 +334,7 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
                 deferred_update: true,
                 extra_edges: edges,
                 commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Du,
             },
             &SearchConfig::default(),
         );

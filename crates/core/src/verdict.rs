@@ -171,6 +171,15 @@ pub enum Violation {
         /// Why that prefix fails.
         cause: Box<Violation>,
     },
+    /// The lint prefilter refuted the criterion without searching: an
+    /// `Error`-severity rule — a proven necessary condition for this
+    /// criterion — fired (see [`crate::lint`]).
+    LintRefuted {
+        /// Human-readable criterion name.
+        criterion: String,
+        /// The refuting diagnostic.
+        diagnostic: Box<crate::lint::Diagnostic>,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -201,6 +210,11 @@ impl fmt::Display for Violation {
             Violation::PrefixNotFinalStateOpaque { prefix_len, cause } => write!(
                 f,
                 "prefix of length {prefix_len} is not final-state opaque: {cause}"
+            ),
+            Violation::LintRefuted { criterion, diagnostic } => write!(
+                f,
+                "{criterion} refuted by lint rule {}: {} (at {})",
+                diagnostic.rule, diagnostic.message, diagnostic.primary
             ),
         }
     }
@@ -416,6 +430,20 @@ mod tests {
                     txn: t(1),
                     obj: x(),
                     value: v(1),
+                }),
+            },
+            Violation::LintRefuted {
+                criterion: "du-opacity".into(),
+                diagnostic: Box::new(crate::lint::Diagnostic {
+                    rule: "RF003",
+                    severity: crate::lint::Severity::Error,
+                    applicability: crate::lint::Applicability::AllCriteria,
+                    message: "orphan value".into(),
+                    primary: crate::lint::Span {
+                        event: 1,
+                        label: "T2:R(X0)".into(),
+                    },
+                    secondary: Vec::new(),
                 }),
             },
         ];

@@ -1,0 +1,94 @@
+//! Differential soundness testing of the lint pipeline: for every
+//! generated history, an `Error`-severity diagnostic refuting a criterion
+//! scope must imply the full (prefilter-off) checker's verdict for that
+//! criterion is `Violated`; and turning the prefilter on must change no
+//! `is_satisfied` answer — the contract that makes
+//! [`SearchConfig::prelint`] verdict-equivalent.
+
+use duop_core::lint::{lint, LintScope};
+use duop_core::{Criterion, DuOpacity, ReadCommitOrderOpacity, SearchConfig, Tms2};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+
+fn cfg(prelint: bool) -> SearchConfig {
+    SearchConfig {
+        prelint,
+        ..SearchConfig::default()
+    }
+}
+
+/// The three scoped criteria the prefilter serves, fresh checkers per call
+/// (checkers hold no state, but the prelint flag lives in the config).
+fn checkers(prelint: bool) -> [(LintScope, Box<dyn Criterion>); 3] {
+    [
+        (
+            LintScope::Du,
+            Box::new(DuOpacity::with_config(cfg(prelint))),
+        ),
+        (
+            LintScope::Rco,
+            Box::new(ReadCommitOrderOpacity::with_config(cfg(prelint))),
+        ),
+        (LintScope::Tms2, Box::new(Tms2::with_config(cfg(prelint)))),
+    ]
+}
+
+fn run_corpus(config: HistoryGenConfig, seeds: u64) -> (u64, u64) {
+    let mut refutations = 0u64;
+    let mut checks = 0u64;
+    for seed in 0..seeds {
+        let h = HistoryGen::new(config.clone(), seed).generate();
+        let report = lint(&h);
+        for ((scope, off), (_, on)) in checkers(false).into_iter().zip(checkers(true)) {
+            checks += 1;
+            let off_verdict = off.check(&h);
+            let on_verdict = on.check(&h);
+            // Prefilter never changes the answer.
+            assert_eq!(
+                off_verdict.is_satisfied(),
+                on_verdict.is_satisfied(),
+                "prelint changed the verdict at seed {seed} ({scope:?}):\n{h}\n\
+                 off: {off_verdict}\non: {on_verdict}"
+            );
+            // Error-severity lint for the scope => full checker violated.
+            if let Some(d) = report.first_error_for(scope) {
+                refutations += 1;
+                assert!(
+                    off_verdict.is_violated(),
+                    "unsound lint at seed {seed}: {d} claims to refute {scope:?} \
+                     but the search says {off_verdict}:\n{h}"
+                );
+            }
+            // Contrapositive sanity: a satisfied checker means no Error
+            // for its scope (implied by the assert above, but cheap).
+            if off_verdict.is_satisfied() {
+                assert!(report.first_error_for(scope).is_none());
+            }
+        }
+    }
+    (refutations, checks)
+}
+
+#[test]
+fn adversarial_corpus_lints_soundly_and_prelint_is_verdict_equivalent() {
+    let (refutations, checks) = run_corpus(HistoryGenConfig::small_adversarial(), 120);
+    // The corpus must actually exercise the prefilter.
+    assert!(
+        refutations > 20,
+        "only {refutations}/{checks} checks lint-refuted"
+    );
+}
+
+#[test]
+fn simulated_corpus_lints_clean_at_error_severity() {
+    // Simulated histories are du-opaque by construction: no Error may
+    // refute the du scope (warnings and notes are fine).
+    for seed in 0..80 {
+        let h = HistoryGen::new(HistoryGenConfig::small_simulated(), seed).generate();
+        let report = lint(&h);
+        assert!(
+            report.first_error_for(LintScope::Du).is_none(),
+            "du-opaque-by-construction history lint-refuted at seed {seed}: {:?}\n{h}",
+            report.rule_ids()
+        );
+    }
+}

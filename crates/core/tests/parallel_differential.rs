@@ -121,8 +121,11 @@ fn global_budget_is_consistent_across_thread_counts() {
     // return Unknown — but it must never contradict another run: one
     // thread count saying Satisfied while another says Violated would mean
     // the budget changed an answer rather than withholding one.
+    // Prelint off: the prefilter refutes most of this corpus without
+    // searching, and this test needs the budget to actually trip.
     let budget = SearchConfig {
         max_states: Some(4),
+        prelint: false,
         ..SearchConfig::default()
     };
     let mut unknowns = 0usize;

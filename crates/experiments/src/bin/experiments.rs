@@ -2,13 +2,14 @@
 //! the measured verdict for every figure and theorem.
 //!
 //! Usage: `cargo run -p duop-experiments --bin experiments [--quick] [--threads N]
-//! [--no-decompose]`
+//! [--no-decompose] [--no-prelint]`
 //!
 //! `--threads N` fans the corpus experiments (E7–E9, E11, E13, E14) out
 //! over N worker threads (0 = all hardware threads). The reported numbers
 //! are identical to the serial run. `--no-decompose` disables the search
 //! planner's conflict-graph decomposition in every check (ablation; the
-//! verdicts must not change).
+//! verdicts must not change). `--no-prelint` likewise disables the
+//! polynomial lint prefilter in every check (ablation; same contract).
 
 use duop_experiments::runner::run_all_with;
 use duop_history::render::render_lanes;
@@ -18,6 +19,9 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--no-decompose") {
         duop_core::set_default_decompose(false);
+    }
+    if args.iter().any(|a| a == "--no-prelint") {
+        duop_core::set_default_prelint(false);
     }
     let mut threads = 1usize;
     let mut it = args.iter();

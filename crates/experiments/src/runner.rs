@@ -55,6 +55,7 @@ pub fn run_all_with(quick: bool, threads: usize) -> Vec<ExperimentResult> {
         e12_pessimistic(if quick { 4 } else { 20 }),
         e13_search_ablation(if quick { 40 } else { 150 }, threads),
         e14_discrimination(if quick { 60 } else { 250 }, threads),
+        e15_lint_agreement(if quick { 40 } else { 150 }, threads),
     ]
 }
 
@@ -452,6 +453,73 @@ fn e13_search_ablation(samples: u64, threads: usize) -> ExperimentResult {
             fig2.txn_count(),
         ),
         pass: agree && explored_on <= explored_off && fig2_linear,
+    }
+}
+
+fn e15_lint_agreement(samples: u64, threads: usize) -> ExperimentResult {
+    use duop_core::lint::{lint, LintScope};
+    use duop_core::SearchConfig;
+
+    // The lint soundness contract, measured: whenever an Error-severity
+    // diagnostic refutes a criterion scope, the full (prelint-off) search
+    // for that criterion must say Violated; and turning the prefilter on
+    // must never change any is_satisfied answer.
+    let no_prelint = || SearchConfig {
+        prelint: false,
+        ..SearchConfig::default()
+    };
+    let with_prelint = || SearchConfig {
+        prelint: true,
+        ..SearchConfig::default()
+    };
+    let rows = par_seeds(samples, threads, |seed| {
+        let h = HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate();
+        let report = lint(&h);
+        let mut sound = true;
+        let mut agree = true;
+        let mut refuted = 0u64;
+        type ScopedPair = (LintScope, Box<dyn Criterion>, Box<dyn Criterion>);
+        let checks: [ScopedPair; 3] = [
+            (
+                LintScope::Du,
+                Box::new(DuOpacity::with_config(no_prelint())),
+                Box::new(DuOpacity::with_config(with_prelint())),
+            ),
+            (
+                LintScope::Rco,
+                Box::new(ReadCommitOrderOpacity::with_config(no_prelint())),
+                Box::new(ReadCommitOrderOpacity::with_config(with_prelint())),
+            ),
+            (
+                LintScope::Tms2,
+                Box::new(Tms2::with_config(no_prelint())),
+                Box::new(Tms2::with_config(with_prelint())),
+            ),
+        ];
+        for (scope, off, on) in checks {
+            let off_verdict = off.check(&h);
+            let on_verdict = on.check(&h);
+            agree &= off_verdict.is_satisfied() == on_verdict.is_satisfied();
+            if report.first_error_for(scope).is_some() {
+                refuted += 1;
+                sound &= off_verdict.is_violated();
+            }
+        }
+        (sound, agree, refuted)
+    });
+    let sound = rows.iter().all(|r| r.0);
+    let agree = rows.iter().all(|r| r.1);
+    let refuted: u64 = rows.iter().map(|r| r.2).sum();
+    let total = samples * 3;
+
+    ExperimentResult {
+        id: "E15",
+        title: "Lint-vs-search agreement (prefilter soundness)",
+        claim: "every Error-severity lint rule is a necessary condition: lint refutations imply search violations, and the prefilter changes no verdict",
+        measured: format!(
+            "{samples} adversarial histories x 3 criteria (du, rco, tms2): {refuted}/{total} checks lint-refuted; every refutation confirmed by the full search: {sound}; prelint on/off verdicts agree: {agree}"
+        ),
+        pass: sound && agree && refuted > 0,
     }
 }
 

@@ -1,0 +1,164 @@
+//! Lint coverage over the paper corpus: each figure, litmus history and
+//! anomaly shape asserts the exact set of rule ids that fire, and
+//! histories that satisfy a criterion lint clean at `Error` severity for
+//! that criterion's scope.
+
+use duop_core::lint::{lint, LintScope};
+use duop_experiments::{figures, litmus};
+
+fn rule_ids(h: &duop_history::History) -> Vec<&'static str> {
+    lint(h).rule_ids()
+}
+
+#[test]
+fn figures_fire_exact_rule_sets() {
+    // Figure 1: opaque (two writers of the same value — Theorem 11's
+    // unique-writes hypothesis fails, which is exactly UW007's point).
+    assert_eq!(rule_ids(&figures::fig1()), vec!["UW007"]);
+    // Figure 2: du-opaque dirty read — DU002 warning only.
+    assert_eq!(rule_ids(&figures::fig2_prefix(1)), vec!["DU002"]);
+    assert_eq!(rule_ids(&figures::fig2_prefix(3)), vec!["DU002"]);
+    // Figure 3: final-state opaque but not du-opaque (DU002 error), and
+    // not rco-opaque (CY004 rco cycle + RCO006 inversion).
+    assert_eq!(rule_ids(&figures::fig3()), vec!["CY004", "DU002", "RCO006"]);
+    // Figure 4: same rule family — the reader observes the value before
+    // any writer invoked tryC.
+    assert_eq!(rule_ids(&figures::fig4()), vec!["CY004", "DU002", "RCO006"]);
+    // Figure 5: du-opaque but not rco-opaque.
+    assert_eq!(rule_ids(&figures::fig5()), vec!["CY004", "RCO006", "UW007"]);
+    // Figure 6: du-opaque but rejected by TMS2's commit-order edge.
+    assert_eq!(rule_ids(&figures::fig6()), vec!["CY004"]);
+}
+
+#[test]
+fn figures_lint_clean_for_criteria_they_satisfy() {
+    let report = lint(&figures::fig1());
+    for scope in [LintScope::Plain, LintScope::Du] {
+        assert!(report.first_error_for(scope).is_none(), "fig1 {scope:?}");
+    }
+    // Figure 2 is du-opaque: no Error at all (its only finding is the
+    // DU002 dirty-read warning).
+    let report = lint(&figures::fig2_prefix(2));
+    assert_eq!(report.error_count(), 0);
+    // Figure 3 is final-state opaque; figures 5 and 6 are du-opaque.
+    assert!(lint(&figures::fig3())
+        .first_error_for(LintScope::Plain)
+        .is_none());
+    for scope in [LintScope::Plain, LintScope::Du] {
+        assert!(
+            lint(&figures::fig5()).first_error_for(scope).is_none(),
+            "fig5 {scope:?}"
+        );
+        assert!(
+            lint(&figures::fig6()).first_error_for(scope).is_none(),
+            "fig6 {scope:?}"
+        );
+    }
+    // Figure 5's refutation is rco-scoped; figure 6's is tms2-scoped.
+    assert!(lint(&figures::fig5())
+        .first_error_for(LintScope::Rco)
+        .is_some());
+    assert!(lint(&figures::fig6())
+        .first_error_for(LintScope::Tms2)
+        .is_some());
+}
+
+#[test]
+fn litmus_catalogue_fires_expected_rules() {
+    let expected: &[(&str, &[&str])] = &[
+        ("serial-baseline", &[]),
+        ("dirty-read", &["RF003"]),
+        ("lost-update", &["AN005", "CY004"]),
+        ("write-skew", &["AN005", "CY004"]),
+        ("read-skew-committed", &["CY004", "RCO006"]),
+        ("zombie-doomed-reader", &["CY004", "RCO006"]),
+        ("read-through-pending-commit", &["DU002"]),
+        ("read-before-try-commit", &["CY004", "DU002", "RCO006"]),
+        ("aba-value-coincidence", &["CY004", "RCO006", "UW007"]),
+        ("cascading-pending-commits", &["DU002"]),
+        ("aborted-writer-invisible", &[]),
+        ("aborted-writer-observed", &["RF003"]),
+        ("stale-read-after-commit", &["CY004"]),
+        ("overlapping-snapshot-reader", &["CY004"]),
+        ("all-operations-pending", &[]),
+        ("read-own-write", &[]),
+        ("read-own-write-wrong", &["WF001"]),
+        ("intermediate-value-observed", &["RF003"]),
+    ];
+    let catalogue = litmus::catalogue();
+    assert_eq!(catalogue.len(), expected.len(), "litmus catalogue changed");
+    for entry in catalogue {
+        let (_, want) = expected
+            .iter()
+            .find(|(n, _)| *n == entry.name)
+            .unwrap_or_else(|| panic!("no expectation for litmus `{}`", entry.name));
+        assert_eq!(
+            rule_ids(&entry.history),
+            *want,
+            "litmus `{}` fired the wrong rules",
+            entry.name
+        );
+        // Soundness against the recorded expectations: a du-scope Error
+        // is only allowed when du-opacity is expected violated, a plain
+        // Error only when final-state opacity is.
+        let report = lint(&entry.history);
+        if report.first_error_for(LintScope::Plain).is_some() {
+            assert!(
+                !entry.expected.final_state,
+                "litmus `{}` is final-state opaque but lint refutes it",
+                entry.name
+            );
+        }
+        if report.first_error_for(LintScope::Du).is_some() {
+            assert!(
+                !entry.expected.du_opacity,
+                "litmus `{}` is du-opaque but lint refutes it",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn anomaly_catalogue_fires_expected_rules() {
+    let expected: &[(&str, &[&str])] = &[
+        ("dirty-read", &["DU002"]),
+        ("premature-read", &["CY004", "DU002", "RCO006"]),
+        ("stale-read", &["CY004"]),
+        ("orphan-read", &["RF003"]),
+        ("lost-update", &["AN005", "CY004"]),
+        ("write-skew", &["AN005", "CY004"]),
+        ("rco-inversion", &["CY004", "RCO006"]),
+        ("ambiguous-suppliers", &["UW007"]),
+    ];
+    for (name, h) in duop_gen::anomalies::catalogue() {
+        let (_, want) = expected
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no expectation for anomaly `{name}`"));
+        assert_eq!(
+            rule_ids(&h),
+            *want,
+            "anomaly `{name}` fired the wrong rules"
+        );
+    }
+}
+
+#[test]
+fn every_rule_id_is_covered_by_some_corpus_entry() {
+    let mut fired: Vec<&'static str> = Vec::new();
+    for (_, h) in figures::all_figures() {
+        fired.extend(rule_ids(&h));
+    }
+    for entry in litmus::catalogue() {
+        fired.extend(rule_ids(&entry.history));
+    }
+    for (_, h) in duop_gen::anomalies::catalogue() {
+        fired.extend(rule_ids(&h));
+    }
+    fired.sort_unstable();
+    fired.dedup();
+    let mut all: Vec<&'static str> = duop_core::lint::rules().iter().map(|r| r.id).collect();
+    all.sort_unstable();
+    assert_eq!(fired, all, "some registered rule never fires on the corpus");
+}

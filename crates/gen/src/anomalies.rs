@@ -1,0 +1,153 @@
+//! Hand-built anomaly histories, one per lint rule family.
+//!
+//! Each builder returns the smallest history exhibiting one textbook
+//! anomaly shape, for lint coverage tests and the rule-triggering corpus:
+//! the names match the diagnostics `duop-core`'s lint pipeline emits.
+
+use duop_history::{History, HistoryBuilder, ObjId, TxnId, Value};
+
+fn t(k: u32) -> TxnId {
+    TxnId::new(k)
+}
+fn x() -> ObjId {
+    ObjId::new(0)
+}
+fn y() -> ObjId {
+    ObjId::new(1)
+}
+fn v(n: u64) -> Value {
+    Value::new(n)
+}
+
+/// A dirty read (Figure 2 shape): `T2` observes `T1`'s write while `T1`'s
+/// `tryC` is still pending. Du-opaque — the completion may commit `T1` —
+/// so this lints as a warning, not an error.
+pub fn dirty_read() -> History {
+    HistoryBuilder::new()
+        .write(t(1), x(), v(1))
+        .inv_try_commit(t(1))
+        .read(t(2), x(), v(1))
+        .commit(t(2))
+        .build()
+}
+
+/// A premature read: `T2` observes a value whose only writer invokes
+/// `tryC` *after* the read responded — refutes du-opacity
+/// (Definition 3(3)) but not final-state opacity.
+pub fn premature_read() -> History {
+    HistoryBuilder::new()
+        .write(t(1), x(), v(1))
+        .read(t(2), x(), v(1))
+        .commit(t(2))
+        .commit(t(1))
+        .build()
+}
+
+/// A stale read: `T2` runs entirely after `T1` committed, yet still
+/// observes the initial value — a must-precede cycle (real-time plus
+/// anti-dependency) that refutes every criterion.
+pub fn stale_read() -> History {
+    HistoryBuilder::new()
+        .committed_writer(t(1), x(), v(1))
+        .read(t(2), x(), v(0))
+        .commit(t(2))
+        .build()
+}
+
+/// An orphan read: `T1` observes a value no transaction ever writes.
+pub fn orphan_read() -> History {
+    HistoryBuilder::new()
+        .committed_reader(t(1), x(), v(7))
+        .build()
+}
+
+/// The classic lost update: two concurrent transactions each read the
+/// initial value of `X` and each commits an overwrite.
+pub fn lost_update() -> History {
+    HistoryBuilder::new()
+        .inv_read(t(1), x())
+        .inv_read(t(2), x())
+        .resp_value(t(1), v(0))
+        .resp_value(t(2), v(0))
+        .inv_write(t(1), x(), v(1))
+        .inv_write(t(2), x(), v(2))
+        .resp_ok(t(1))
+        .resp_ok(t(2))
+        .inv_try_commit(t(1))
+        .inv_try_commit(t(2))
+        .resp_committed(t(1))
+        .resp_committed(t(2))
+        .build()
+}
+
+/// Write skew: each transaction reads the initial value of the object the
+/// other commits a write to.
+pub fn write_skew() -> History {
+    HistoryBuilder::new()
+        .inv_read(t(1), x())
+        .inv_read(t(2), y())
+        .resp_value(t(1), v(0))
+        .resp_value(t(2), v(0))
+        .inv_write(t(1), y(), v(1))
+        .inv_write(t(2), x(), v(2))
+        .resp_ok(t(1))
+        .resp_ok(t(2))
+        .inv_try_commit(t(1))
+        .inv_try_commit(t(2))
+        .resp_committed(t(1))
+        .resp_committed(t(2))
+        .build()
+}
+
+/// A read-commit-order inversion (Figure 5 shape): `T2` is forced after
+/// `T3` by a read, yet one of `T2`'s reads responded before `T3`'s `tryC`
+/// — du-opaque but not RCO-opaque.
+pub fn rco_inversion() -> History {
+    HistoryBuilder::new()
+        .committed_writer(t(1), x(), v(1))
+        .read(t(2), x(), v(1))
+        .write(t(3), x(), v(2))
+        .write(t(3), y(), v(1))
+        .commit(t(3))
+        .read(t(2), y(), v(1))
+        .build()
+}
+
+/// Ambiguous suppliers: two committed writers of the same value, so the
+/// history leaves Theorem 11's unique-writes regime.
+pub fn ambiguous_suppliers() -> History {
+    HistoryBuilder::new()
+        .committed_writer(t(1), x(), v(1))
+        .committed_writer(t(2), x(), v(1))
+        .committed_reader(t(3), x(), v(1))
+        .build()
+}
+
+/// The full catalogue, with stable names for coverage tests.
+pub fn catalogue() -> Vec<(&'static str, History)> {
+    vec![
+        ("dirty-read", dirty_read()),
+        ("premature-read", premature_read()),
+        ("stale-read", stale_read()),
+        ("orphan-read", orphan_read()),
+        ("lost-update", lost_update()),
+        ("write-skew", write_skew()),
+        ("rco-inversion", rco_inversion()),
+        ("ambiguous-suppliers", ambiguous_suppliers()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_well_formed_and_distinct() {
+        let entries = catalogue();
+        assert_eq!(entries.len(), 8);
+        for (name, h) in &entries {
+            assert!(h.txn_count() >= 1, "{name} has no transactions");
+            assert!(!name.is_empty());
+        }
+    }
+}

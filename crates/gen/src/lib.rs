@@ -12,12 +12,16 @@
 //! * [`interleavings`] exhaustively enumerates every interleaving of a few
 //!   fixed transaction scripts — exhaustive small-scope material.
 //!
-//! [`mutate`] injects targeted violations into correct histories.
+//! [`mutate`] injects targeted violations into correct histories, and
+//! [`anomalies`] catalogues hand-built minimal anomaly shapes (dirty
+//! read, lost update, write skew, ...) for the lint pipeline's coverage
+//! tests.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod anomalies;
 pub mod mutate;
 pub mod schedule;
 

@@ -286,6 +286,16 @@ impl History {
         self.events.len()
     }
 
+    /// Human-readable label of the event at `index` (its [`Display`]
+    /// rendering, e.g. `T1:R(X0)` or `T2->C`), or `None` if out of range.
+    ///
+    /// Used by diagnostics that anchor explanations to event spans.
+    ///
+    /// [`Display`]: fmt::Display
+    pub fn event_label(&self, index: usize) -> Option<String> {
+        self.events.get(index).map(|e| e.to_string())
+    }
+
     /// Returns `true` if the history has no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -938,6 +948,16 @@ mod tests {
         assert_eq!(only1.txn_count(), 1);
         assert!(only1.participates(t(1)));
         assert!(!only1.participates(t(2)));
+    }
+
+    #[test]
+    fn event_labels_render_events() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .build();
+        assert_eq!(h.event_label(0).as_deref(), Some("T1:W(X0,1)"));
+        assert_eq!(h.event_label(3).as_deref(), Some("T1->C"));
+        assert_eq!(h.event_label(99), None);
     }
 
     #[test]

@@ -148,6 +148,12 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
