@@ -1,0 +1,153 @@
+//! Fault-injection and budget-governance overhead.
+//!
+//! Two costs ride on every hot path after the robustness work: the
+//! per-injection-point probe the engines make on each operation (inert
+//! when the plan is [`FaultPlan::none`]) and the deadline sampling the
+//! searcher performs every 1024 expansions. Both are meant to be noise;
+//! this bench puts numbers on them:
+//!
+//! * `stm/*` — a fixed single-threaded TL2 workload with the inert plan
+//!   vs an active plan (aborts + crashes). The inert run is the
+//!   every-commit cost of having the hooks compiled in; the active run
+//!   shows what real injection adds.
+//! * `search/*` — the du-opacity search over a generated corpus with no
+//!   deadline vs a generous one (which never fires, so the difference is
+//!   pure bookkeeping: one `Instant::now` per 1024 expansions).
+//!
+//! Custom harness (no criterion): medians are written to `BENCH_4.json`
+//! at the repository root — machine-readable `{bench name: median ns}` —
+//! so the perf trajectory is trackable across PRs. `--test` runs a quick
+//! smoke pass without touching the JSON.
+
+use duop_core::{Criterion, DuOpacity, SearchConfig, Verdict};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::History;
+use duop_stm::engines::Tl2;
+use duop_stm::{run_workload, run_workload_faulted, FaultPlan, WorkloadConfig};
+use std::time::{Duration, Instant};
+
+fn workload(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        threads: 1,
+        txns_per_thread: 200,
+        ops_per_txn: (2, 4),
+        read_ratio: 0.6,
+        unique_values: true,
+        max_attempts: 2,
+        yield_between_ops: false,
+        seed,
+    }
+}
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn search_corpus(seeds: u64) -> Vec<History> {
+    (0..seeds)
+        .map(|seed| HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate())
+        .collect()
+}
+
+fn check_all(corpus: &[History], deadline: Option<Duration>) {
+    let checker = DuOpacity::with_config(SearchConfig {
+        threads: Some(1),
+        deadline,
+        ..SearchConfig::default()
+    });
+    for h in corpus {
+        let verdict = checker.check(h);
+        assert!(
+            !matches!(verdict, Verdict::Unknown { .. }),
+            "a generous deadline must never fire"
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let samples = if smoke { 5 } else { 31 };
+    let seeds = if smoke { 40 } else { 120 };
+
+    let mut results: Vec<(String, u64)> = Vec::new();
+
+    // STM side. First, determinism: the inert plan must be byte-identical
+    // to the unfaulted entry point (it is the same code path).
+    let none = FaultPlan::none();
+    // Aborts and delays only: crashes truncate the workload (killed
+    // threads run fewer transactions), which would make the wall-clock
+    // comparison measure run length, not injection cost.
+    let active = FaultPlan::parse("abort=0.05,delay=0.1")
+        .expect("spec is valid")
+        .with_seed(7);
+    {
+        let engine = Tl2::new(6);
+        let (h_plain, _) = run_workload(&engine, &workload(7));
+        let engine = Tl2::new(6);
+        let (h_none, _) = run_workload_faulted(&engine, &workload(7), &none);
+        assert_eq!(h_plain, h_none, "inert plan diverged from run_workload");
+    }
+    let none_ns = median_ns(samples, || {
+        let engine = Tl2::new(6);
+        let (h, _) = run_workload_faulted(&engine, &workload(7), &none);
+        assert!(!h.is_empty());
+    });
+    let faulted_ns = median_ns(samples, || {
+        let engine = Tl2::new(6);
+        let (h, _) = run_workload_faulted(&engine, &workload(7), &active);
+        assert!(!h.is_empty());
+    });
+    println!(
+        "fault_overhead/stm: inert plan {none_ns} ns/run, active plan {faulted_ns} ns/run \
+         ({:+.1}% from injection)",
+        (faulted_ns as f64 / none_ns as f64 - 1.0) * 100.0
+    );
+    results.push(("fault_overhead/stm/none_ns".into(), none_ns));
+    results.push(("fault_overhead/stm/faulted_ns".into(), faulted_ns));
+
+    // Search side: deadline bookkeeping that never fires.
+    let corpus = search_corpus(seeds);
+    let no_deadline_ns = median_ns(samples, || check_all(&corpus, None));
+    let generous_ns = median_ns(samples, || {
+        check_all(&corpus, Some(Duration::from_secs(3600)));
+    });
+    println!(
+        "fault_overhead/search ({} histories): no deadline {no_deadline_ns} ns/sweep, \
+         generous deadline {generous_ns} ns/sweep ({:+.1}% from sampling)",
+        corpus.len(),
+        (generous_ns as f64 / no_deadline_ns as f64 - 1.0) * 100.0
+    );
+    results.push((
+        "fault_overhead/search/no_deadline_ns".into(),
+        no_deadline_ns,
+    ));
+    results.push((
+        "fault_overhead/search/generous_deadline_ns".into(),
+        generous_ns,
+    ));
+
+    if smoke {
+        println!("smoke run (--test): BENCH_4.json left untouched");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
+    std::fs::write(path, json).expect("write BENCH_4.json");
+    println!("wrote {path}");
+}

@@ -9,8 +9,12 @@ duop — check transactional-memory histories against du-opacity and friends
 
 USAGE:
   duop check <trace-file|-> [--criterion NAME]... [--threads N]
-             [--no-decompose] [--no-prelint] [--format text|json]
+             [--no-decompose] [--no-prelint] [--deadline MS]
+             [--format text|json]
   duop lint <trace-file|-> [--format text|json] [--rule ID]...
+  duop fuzz --engine tl2|norec|dstm|2pl|pessimistic|dirty
+            [--faults SPEC] [--seed N] [--iters N] [--threads N]
+            [--objs N]
   duop render <trace-file|->
   duop monitor <trace-file|->
   duop generate [--mode simulated|value|adversarial] [--txns N] [--objs N]
@@ -30,8 +34,18 @@ strict. `--threads N` runs the serialization search on N worker threads
 sequential engine's. `--no-decompose` disables the search planner's
 conflict-graph decomposition (ablation; slower on multi-component
 histories, same verdicts). `--no-prelint` disables the polynomial lint
-prefilter (ablation, same verdicts). `--format json` prints each verdict
-as JSON on one line.
+prefilter (ablation, same verdicts). `--deadline MS` bounds each
+serialization search by a wall-clock deadline; a search that runs out
+reports `unknown (deadline ...)` instead of hanging. `--format json`
+prints each verdict as JSON on one line.
+
+`fuzz` runs the named STM engine under deterministic fault injection
+(`--faults abort=P,crash=P,delay=P,thread-crash=P`, default
+`abort=0.05,crash=0.05,thread-crash=0.25`) for `--iters` iterations
+(default 500), checking every recorded history for du-opacity. The
+workload is single-threaded by default so a finding replays exactly from
+its seed; the first violation is shrunk to a minimal core and printed.
+Exit 1 on a finding, 0 on a clean run.
 
 `lint` runs only the polynomial static analyses and prints structured
 diagnostics (rule id, severity, event spans); `--rule ID` restricts the
@@ -78,6 +92,38 @@ impl CriterionName {
     }
 }
 
+/// Which STM engine `duop fuzz` drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineName {
+    /// Commit-time locking with a global version clock.
+    Tl2,
+    /// Global sequence lock, value-based validation.
+    NoRec,
+    /// DSTM-style locators, invisible reads.
+    Dstm,
+    /// Encounter-time strict two-phase locking.
+    TwoPl,
+    /// No-abort write-in-place (Section 5's non-du-opaque design).
+    Pessimistic,
+    /// No locking, no validation: the negative control.
+    Dirty,
+}
+
+impl EngineName {
+    /// Parses an engine name.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "tl2" => Ok(EngineName::Tl2),
+            "norec" | "no-rec" => Ok(EngineName::NoRec),
+            "dstm" => Ok(EngineName::Dstm),
+            "2pl" | "two-pl" | "eager-2pl" => Ok(EngineName::TwoPl),
+            "pessimistic" => Ok(EngineName::Pessimistic),
+            "dirty" | "dirty-read" => Ok(EngineName::Dirty),
+            other => Err(ParseError(format!("unknown engine `{other}`"))),
+        }
+    }
+}
+
 /// Generator mode for `duop generate`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GenModeName {
@@ -107,8 +153,26 @@ pub enum Command {
         /// Run the lint prefilter before searching (`--no-prelint`
         /// clears it, for ablations).
         prelint: bool,
+        /// Wall-clock deadline per serialization search, in milliseconds
+        /// (`None` = unbounded).
+        deadline_ms: Option<u64>,
         /// Output format: `text` or `json`.
         format: String,
+    },
+    /// `duop fuzz`.
+    Fuzz {
+        /// Engine under test.
+        engine: EngineName,
+        /// Fault specification (`abort=P,crash=P,delay=P,thread-crash=P`).
+        faults: String,
+        /// Base seed; iteration `i` runs with seed `seed + i`.
+        seed: u64,
+        /// Number of fault-injected workload runs.
+        iters: usize,
+        /// Workload worker threads (1 = deterministic replay).
+        threads: usize,
+        /// Number of t-objects in the engine's store.
+        objs: u32,
     },
     /// `duop lint`.
     Lint {
@@ -208,6 +272,7 @@ impl Command {
                 let mut threads = 1usize;
                 let mut decompose = true;
                 let mut prelint = true;
+                let mut deadline_ms = None;
                 let mut format = String::from("text");
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
@@ -221,6 +286,12 @@ impl Command {
                         }
                         "--no-decompose" => decompose = false,
                         "--no-prelint" => prelint = false,
+                        "--deadline" => {
+                            deadline_ms =
+                                Some(value_of("--deadline", &mut it)?.parse().map_err(|_| {
+                                    ParseError("--deadline needs milliseconds".into())
+                                })?);
+                        }
                         "--format" => format = parse_format(value_of("--format", &mut it)?)?,
                         other if input.is_none() => input = Some(other.to_owned()),
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
@@ -232,7 +303,54 @@ impl Command {
                     threads,
                     decompose,
                     prelint,
+                    deadline_ms,
                     format,
+                })
+            }
+            "fuzz" => {
+                let mut engine = None;
+                let mut faults = String::from("abort=0.05,crash=0.05,thread-crash=0.25");
+                let mut seed = 0u64;
+                let mut iters = 500usize;
+                let mut threads = 1usize;
+                let mut objs = 4u32;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--engine" | "-e" => {
+                            engine = Some(EngineName::parse(value_of("--engine", &mut it)?)?);
+                        }
+                        "--faults" => faults = value_of("--faults", &mut it)?.clone(),
+                        "--seed" => {
+                            seed = value_of("--seed", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--seed needs a number".into()))?;
+                        }
+                        "--iters" => {
+                            iters = value_of("--iters", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--iters needs a number".into()))?;
+                        }
+                        "--threads" | "-j" => {
+                            threads = value_of("--threads", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--threads needs a number".into()))?;
+                        }
+                        "--objs" => {
+                            objs = value_of("--objs", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--objs needs a number".into()))?;
+                        }
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::Fuzz {
+                    engine: engine
+                        .ok_or_else(|| ParseError("fuzz needs --engine <name>".into()))?,
+                    faults,
+                    seed,
+                    iters,
+                    threads,
+                    objs,
                 })
             }
             "lint" => {
@@ -365,6 +483,7 @@ mod tests {
                 threads: 1,
                 decompose: true,
                 prelint: true,
+                deadline_ms: None,
                 format: "text".into(),
             }
         );
@@ -386,6 +505,7 @@ mod tests {
                 threads: 8,
                 decompose: true,
                 prelint: true,
+                deadline_ms: None,
                 format: "text".into(),
             }
         );
@@ -404,6 +524,7 @@ mod tests {
                 threads: 1,
                 decompose: false,
                 prelint: true,
+                deadline_ms: None,
                 format: "text".into(),
             }
         );
@@ -420,10 +541,94 @@ mod tests {
                 threads: 1,
                 decompose: true,
                 prelint: false,
+                deadline_ms: None,
                 format: "json".into(),
             }
         );
         assert!(parse(&["check", "t.txt", "--format", "yaml"]).is_err());
+    }
+
+    #[test]
+    fn check_parses_deadline() {
+        let cmd = parse(&["check", "t.txt", "--deadline", "250"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                input: "t.txt".into(),
+                criteria: vec![],
+                threads: 1,
+                decompose: true,
+                prelint: true,
+                deadline_ms: Some(250),
+                format: "text".into(),
+            }
+        );
+        assert!(parse(&["check", "t.txt", "--deadline", "soon"]).is_err());
+        assert!(parse(&["check", "t.txt", "--deadline"]).is_err());
+    }
+
+    #[test]
+    fn fuzz_parses_engine_and_flags() {
+        let cmd = parse(&[
+            "fuzz",
+            "--engine",
+            "dirty",
+            "--faults",
+            "crash=0.2",
+            "--seed",
+            "7",
+            "--iters",
+            "50",
+            "--threads",
+            "2",
+            "--objs",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fuzz {
+                engine: EngineName::Dirty,
+                faults: "crash=0.2".into(),
+                seed: 7,
+                iters: 50,
+                threads: 2,
+                objs: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn fuzz_has_safe_defaults_and_requires_engine() {
+        let cmd = parse(&["fuzz", "--engine", "tl2"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fuzz {
+                engine: EngineName::Tl2,
+                faults: "abort=0.05,crash=0.05,thread-crash=0.25".into(),
+                seed: 0,
+                iters: 500,
+                threads: 1,
+                objs: 4,
+            }
+        );
+        assert!(parse(&["fuzz"]).is_err());
+        assert!(parse(&["fuzz", "--engine", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn engine_names() {
+        for (name, expected) in [
+            ("tl2", EngineName::Tl2),
+            ("norec", EngineName::NoRec),
+            ("dstm", EngineName::Dstm),
+            ("2pl", EngineName::TwoPl),
+            ("pessimistic", EngineName::Pessimistic),
+            ("dirty", EngineName::Dirty),
+        ] {
+            assert_eq!(EngineName::parse(name).unwrap(), expected);
+        }
+        assert!(EngineName::parse("htm").is_err());
     }
 
     #[test]

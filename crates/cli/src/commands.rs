@@ -1,6 +1,6 @@
 //! Execution of parsed `duop` commands.
 
-use crate::args::{Command, CriterionName, GenModeName, USAGE};
+use crate::args::{Command, CriterionName, EngineName, GenModeName, USAGE};
 use duop_core::online::OnlineChecker;
 use duop_core::tms2_automaton::{check_tms2_automaton, Tms2Verdict};
 use duop_core::{
@@ -53,16 +53,33 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             threads,
             decompose,
             prelint,
+            deadline_ms,
             format,
-        } => check(
-            &load(input)?,
-            criteria,
-            *threads,
-            *decompose,
-            *prelint,
-            format,
-            out,
-        ),
+        } => {
+            // `--threads 0` = every hardware thread; `1` = the sequential
+            // engine.
+            let threads = if *threads == 0 {
+                available_threads()
+            } else {
+                *threads
+            };
+            let cfg = SearchConfig {
+                threads: Some(threads),
+                decompose: *decompose,
+                prelint: *prelint,
+                deadline: deadline_ms.map(std::time::Duration::from_millis),
+                ..SearchConfig::default()
+            };
+            check(&load(input)?, criteria, cfg, format, out)
+        }
+        Command::Fuzz {
+            engine,
+            faults,
+            seed,
+            iters,
+            threads,
+            objs,
+        } => fuzz(*engine, faults, *seed, *iters, *threads, *objs, out),
         Command::Lint {
             input,
             format,
@@ -159,24 +176,10 @@ fn all_criteria() -> Vec<CriterionName> {
 fn check(
     h: &History,
     criteria: &[CriterionName],
-    threads: usize,
-    decompose: bool,
-    prelint: bool,
+    cfg: SearchConfig,
     format: &str,
     out: &mut dyn Write,
 ) -> CmdResult {
-    // `--threads 0` = every hardware thread; `1` = the sequential engine.
-    let threads = if threads == 0 {
-        available_threads()
-    } else {
-        threads
-    };
-    let cfg = SearchConfig {
-        threads: Some(threads),
-        decompose,
-        prelint,
-        ..SearchConfig::default()
-    };
     let json = format == "json";
     if !json {
         writeln!(out, "{}", h.stats())?;
@@ -253,6 +256,105 @@ fn check(
         all_ok &= ok;
     }
     Ok(all_ok)
+}
+
+/// Runs `iters` fault-injected workloads against the named engine and
+/// checks every recorded history for du-opacity. The first violating
+/// history is shrunk to a minimal core and rendered with its seed so the
+/// run replays exactly; `Ok(false)` on a finding.
+fn fuzz(
+    engine: EngineName,
+    faults: &str,
+    seed: u64,
+    iters: usize,
+    threads: usize,
+    objs: u32,
+    out: &mut dyn Write,
+) -> CmdResult {
+    use duop_stm::{engines, run_workload_faulted, Engine, FaultPlan, WorkloadConfig};
+    let plan = FaultPlan::parse(faults)?;
+    // A fresh engine per iteration: leaked state from a crashed run must
+    // not contaminate the next seed's history.
+    let make: fn(u32) -> Box<dyn Engine> = match engine {
+        EngineName::Tl2 => |n| Box::new(engines::Tl2::new(n)),
+        EngineName::NoRec => |n| Box::new(engines::NoRec::new(n)),
+        EngineName::Dstm => |n| Box::new(engines::Dstm::new(n)),
+        EngineName::TwoPl => |n| Box::new(engines::Eager2Pl::new(n)),
+        EngineName::Pessimistic => |n| Box::new(engines::Pessimistic::new(n)),
+        EngineName::Dirty => |n| Box::new(engines::DirtyRead::new(n)),
+    };
+    let checker = DuOpacity::new();
+    let mut crashed = 0usize;
+    let mut aborted = 0usize;
+    let mut undecided = 0usize;
+    for iter in 0..iters {
+        let iter_seed = seed.wrapping_add(iter as u64);
+        let engine_instance = make(objs);
+        let cfg = WorkloadConfig {
+            threads,
+            seed: iter_seed,
+            ..WorkloadConfig::default()
+        };
+        let (h, stats) =
+            run_workload_faulted(engine_instance.as_ref(), &cfg, &plan.with_seed(iter_seed));
+        crashed += stats.crashed;
+        aborted += stats.aborted;
+        let verdict = checker.check(&h);
+        if verdict.is_violated() {
+            writeln!(
+                out,
+                "iteration {iter} (seed {iter_seed}): {} produced a non-du-opaque history \
+                 ({} events, {} transactions, {} crashed)",
+                engine_instance.name(),
+                h.len(),
+                h.txn_count(),
+                stats.crashed
+            )?;
+            let core = duop_core::minimize::localize(&h, &checker).unwrap_or_else(|| h.clone());
+            writeln!(
+                out,
+                "minimized to {} events / {} transactions:",
+                core.len(),
+                core.txn_count()
+            )?;
+            write!(out, "{}", render_lanes(&core))?;
+            if let Some(v) = checker.check(&core).violation() {
+                writeln!(out, "cause: {v}")?;
+            }
+            writeln!(
+                out,
+                "replay: duop fuzz --engine {} --faults {faults} --seed {iter_seed} \
+                 --iters 1 --threads {threads} --objs {objs}",
+                engine_label(engine)
+            )?;
+            return Ok(false);
+        }
+        if matches!(verdict, duop_core::Verdict::Unknown { .. }) {
+            undecided += 1;
+            writeln!(
+                out,
+                "iteration {iter} (seed {iter_seed}): verdict undecided: {verdict}"
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "{iters} iterations on {}: all histories du-opaque \
+         ({aborted} aborted, {crashed} crashed attempts, {undecided} undecided)",
+        engine_label(engine)
+    )?;
+    Ok(true)
+}
+
+fn engine_label(name: EngineName) -> &'static str {
+    match name {
+        EngineName::Tl2 => "tl2",
+        EngineName::NoRec => "norec",
+        EngineName::Dstm => "dstm",
+        EngineName::TwoPl => "2pl",
+        EngineName::Pessimistic => "pessimistic",
+        EngineName::Dirty => "dirty",
+    }
 }
 
 /// Runs the lint pipeline and prints diagnostics; `Ok(false)` when an
@@ -430,6 +532,7 @@ mod tests {
             threads: 1,
             decompose: true,
             prelint: true,
+            deadline_ms: None,
             format: "text".into(),
         });
         assert!(ok, "output:\n{output}");
@@ -455,6 +558,7 @@ mod tests {
             threads: 1,
             decompose: true,
             prelint: true,
+            deadline_ms: None,
             format: "text".into(),
         });
         assert!(!ok);
@@ -491,6 +595,7 @@ mod tests {
                 threads: 1,
                 decompose: true,
                 prelint: true,
+                deadline_ms: None,
                 format: "text".into(),
             });
             let (par_ok, par) = run_to_string(&Command::Check {
@@ -499,6 +604,7 @@ mod tests {
                 threads: 4,
                 decompose: true,
                 prelint: true,
+                deadline_ms: None,
                 format: "text".into(),
             });
             assert_eq!(seq_ok, par_ok);
@@ -509,6 +615,7 @@ mod tests {
                 threads: 1,
                 decompose: false,
                 prelint: true,
+                deadline_ms: None,
                 format: "text".into(),
             });
             assert_eq!(seq_ok, abl_ok);
@@ -525,6 +632,7 @@ mod tests {
             threads: 1,
             decompose: true,
             prelint: true,
+            deadline_ms: None,
             format: "json".into(),
         });
         assert!(!ok);
@@ -536,6 +644,113 @@ mod tests {
             output.contains("\"status\":\"violated\""),
             "output:\n{output}"
         );
+    }
+
+    #[test]
+    fn check_json_reports_deadline_reason() {
+        // A zero deadline is already expired when the search starts, so
+        // any history needing a real search comes back undecided, with
+        // the provenance tag in the JSON verdict.
+        let path = temp_trace(GOOD);
+        let (ok, output) = run_to_string(&Command::Check {
+            input: path,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+            threads: 1,
+            decompose: true,
+            prelint: true,
+            deadline_ms: Some(0),
+            format: "json".into(),
+        });
+        assert!(!ok, "undecided must not count as satisfied:\n{output}");
+        assert!(
+            output.contains("\"status\":\"unknown\""),
+            "output:\n{output}"
+        );
+        assert!(
+            output.contains("\"reason\":\"deadline\""),
+            "output:\n{output}"
+        );
+    }
+
+    #[test]
+    fn check_generous_deadline_changes_nothing() {
+        let path = temp_trace(BAD);
+        let (ok, output) = run_to_string(&Command::Check {
+            input: path,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+            threads: 1,
+            decompose: true,
+            prelint: true,
+            deadline_ms: Some(60_000),
+            format: "json".into(),
+        });
+        assert!(!ok);
+        assert!(
+            output.contains("\"status\":\"violated\""),
+            "output:\n{output}"
+        );
+    }
+
+    #[test]
+    fn fuzz_finds_and_shrinks_dirty_violation_deterministically() {
+        let cmd = Command::Fuzz {
+            engine: EngineName::Dirty,
+            faults: "abort=0.05,crash=0.05,thread-crash=0.25".into(),
+            seed: 0,
+            iters: 200,
+            threads: 1,
+            objs: 4,
+        };
+        let (ok, output) = run_to_string(&cmd);
+        assert!(!ok, "the dirty engine must produce a finding:\n{output}");
+        assert!(output.contains("non-du-opaque"), "output:\n{output}");
+        assert!(output.contains("minimized to"), "output:\n{output}");
+        assert!(output.contains("cause:"), "output:\n{output}");
+        assert!(output.contains("replay:"), "output:\n{output}");
+        // Single-threaded fault injection is a pure function of the seed:
+        // rerunning reproduces the identical report, shrink included.
+        let (_, again) = run_to_string(&cmd);
+        assert_eq!(output, again, "fuzz finding must be deterministic");
+    }
+
+    #[test]
+    fn fuzz_opaque_engines_stay_clean_under_faults() {
+        for engine in [
+            EngineName::Tl2,
+            EngineName::NoRec,
+            EngineName::Dstm,
+            EngineName::TwoPl,
+            EngineName::Pessimistic,
+        ] {
+            let (ok, output) = run_to_string(&Command::Fuzz {
+                engine,
+                faults: "abort=0.1,crash=0.1,thread-crash=0.5".into(),
+                seed: 42,
+                iters: 60,
+                threads: 1,
+                objs: 3,
+            });
+            assert!(ok, "{engine:?} produced a finding:\n{output}");
+            assert!(output.contains("all histories du-opaque"), "{output}");
+            assert!(output.contains("0 undecided"), "{output}");
+        }
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_fault_spec() {
+        let mut buf = Vec::new();
+        assert!(execute(
+            &Command::Fuzz {
+                engine: EngineName::Tl2,
+                faults: "explode=1".into(),
+                seed: 0,
+                iters: 1,
+                threads: 1,
+                objs: 2,
+            },
+            &mut buf
+        )
+        .is_err());
     }
 
     #[test]

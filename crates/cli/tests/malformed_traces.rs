@@ -1,0 +1,136 @@
+//! Robustness corpus: hostile and malformed trace inputs must produce a
+//! structured, JSON-formattable parse error and a usage-error exit code —
+//! never a panic — from both `duop check` and `duop lint`.
+
+use duop_history::trace::{from_json, parse_trace, TraceParseError, MAX_LINE_BYTES};
+
+/// Each corpus entry: a label and the hostile trace text.
+fn corpus() -> Vec<(&'static str, String)> {
+    vec![
+        ("nul-mid-line", "T1 \0tryc\n".into()),
+        ("nul-at-start", "\0T1 tryc\n".into()),
+        ("bell-control-char", "T1 tryc\x07\n".into()),
+        ("carriage-return-mid-line", "T1\rtryc\n".into()),
+        ("escape-sequence", "T1 \x1b[31mtryc\n".into()),
+        (
+            "overlong-line",
+            format!("T1 write X0 {}\n", "9".repeat(MAX_LINE_BYTES + 100)),
+        ),
+        ("giant-txn-id", "T4294967295 tryc\n".into()),
+        (
+            "txn-id-overflows-u32",
+            "T99999999999999999999 tryc\n".into(),
+        ),
+        ("giant-obj-id", "T1 read X4294967295\n".into()),
+        ("reserved-t0", "T0 tryc\n".into()),
+        ("unknown-action", "T1 frobnicate\n".into()),
+        ("missing-action", "T1\n".into()),
+        ("trailing-token", "T1 tryc extra\n".into()),
+        ("read-missing-object", "T1 read\n".into()),
+        ("write-missing-value", "T1 write X0\n".into()),
+        ("negative-value", "T1 write X0 -1\n".into()),
+        ("bad-object-prefix", "T1 read Y0\n".into()),
+        ("non-ascii-action", "T1 rеad X0\n".into()),
+        ("response-without-invocation", "T1 ok\n".into()),
+        (
+            "duplicate-commit-response",
+            "T1 tryc\nT1 commit\nT1 commit\n".into(),
+        ),
+        ("value-for-write", "T1 write X0 1\nT1 val 1\n".into()),
+        (
+            "error-on-later-line",
+            "T1 tryc\nT1 commit\nT2 bogus\n".into(),
+        ),
+    ]
+}
+
+fn json_corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("json-truncated", "[{\"txn\":"),
+        ("json-not-an-array", "{\"txn\": 1}"),
+        ("json-wrong-items", "[1, 2, 3]"),
+        ("json-bare-bracket", "["),
+        ("json-nul", "[\"\0\"]"),
+    ]
+}
+
+fn temp_trace(label: &str, content: &str) -> String {
+    let path =
+        std::env::temp_dir().join(format!("duop-malformed-{}-{label}.txt", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+/// Runs the CLI in-process; a panic would abort the test, so returning at
+/// all is the no-panic guarantee.
+fn run(args: &[&str]) -> (i32, String) {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let code = duop_cli::run(&argv, &mut out);
+    (code, String::from_utf8_lossy(&out).into_owned())
+}
+
+#[test]
+fn check_and_lint_reject_every_malformed_trace_without_panicking() {
+    for (label, content) in corpus() {
+        let path = temp_trace(label, &content);
+        for sub in ["check", "lint"] {
+            let (code, output) = run(&[sub, &path]);
+            assert_eq!(
+                code, 2,
+                "`duop {sub}` on {label} should exit 2, output:\n{output}"
+            );
+            assert!(
+                output.contains("error:"),
+                "`duop {sub}` on {label} should explain itself, output:\n{output}"
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_json_traces_are_rejected_too() {
+    for (label, content) in json_corpus() {
+        let path = temp_trace(label, content);
+        let (code, output) = run(&["check", &path]);
+        assert_eq!(code, 2, "{label} should exit 2, output:\n{output}");
+        assert!(output.contains("error:"), "{label} output:\n{output}");
+    }
+}
+
+#[test]
+fn every_corpus_error_is_json_formattable() {
+    for (label, content) in corpus() {
+        let err = parse_trace(&content)
+            .map(|_| ())
+            .expect_err(&format!("{label} must fail to parse"));
+        let json = serde_json::to_string(&err.to_content())
+            .unwrap_or_else(|e| panic!("{label}: error does not serialize: {e}"));
+        assert!(json.contains("\"error\":"), "{label}: {json}");
+        assert!(json.contains("\"message\":"), "{label}: {json}");
+        if let TraceParseError::Syntax { .. } = err {
+            assert!(json.contains("\"line\":"), "{label}: {json}");
+            assert!(json.contains("\"column\":"), "{label}: {json}");
+        }
+    }
+    for (label, content) in json_corpus() {
+        let err = from_json(content)
+            .map(|_| ())
+            .expect_err(&format!("{label} must fail to parse"));
+        assert!(matches!(err, TraceParseError::Json { .. }), "{label}");
+        let json = serde_json::to_string(&err.to_content()).unwrap();
+        assert!(json.contains("\"error\":\"json\""), "{label}: {json}");
+    }
+}
+
+#[test]
+fn syntax_errors_point_at_the_offending_token() {
+    let err = parse_trace("T1 tryc\n  T2 bogus\n").unwrap_err();
+    match err {
+        TraceParseError::Syntax { line, column, .. } => {
+            assert_eq!(line, 2);
+            assert_eq!(column, 6);
+        }
+        other => panic!("expected a syntax error, got {other:?}"),
+    }
+}

@@ -191,7 +191,9 @@ impl Criterion for Opacity {
                         cause: Box::new(v),
                     });
                 }
-                Verdict::Unknown { explored } => return Verdict::Unknown { explored },
+                Verdict::Unknown { explored, reason } => {
+                    return Verdict::Unknown { explored, reason }
+                }
             }
         }
         // Empty history: trivially opaque with the empty witness.

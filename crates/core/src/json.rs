@@ -100,9 +100,10 @@ impl serde::Serialize for Verdict {
                 ("status".into(), s("violated")),
                 ("violation".into(), v.to_content()),
             ]),
-            Verdict::Unknown { explored } => Content::Map(vec![
+            Verdict::Unknown { explored, reason } => Content::Map(vec![
                 ("status".into(), s("unknown")),
                 ("explored".into(), Content::U64(*explored)),
+                ("reason".into(), s(reason.as_str())),
             ]),
         }
     }
@@ -152,8 +153,21 @@ mod tests {
     }
 
     #[test]
-    fn unknown_verdict_serializes_explored() {
-        let json = serde_json::to_string(&Verdict::Unknown { explored: 12 }).unwrap();
-        assert_eq!(json, "{\"status\":\"unknown\",\"explored\":12}");
+    fn unknown_verdict_serializes_explored_and_reason() {
+        for (reason, tag) in [
+            (crate::UnknownReason::StateBudget, "state-budget"),
+            (crate::UnknownReason::Deadline, "deadline"),
+            (crate::UnknownReason::WorkerPanic, "worker-panic"),
+        ] {
+            let json = serde_json::to_string(&Verdict::Unknown {
+                explored: 12,
+                reason,
+            })
+            .unwrap();
+            assert_eq!(
+                json,
+                format!("{{\"status\":\"unknown\",\"explored\":12,\"reason\":\"{tag}\"}}")
+            );
+        }
     }
 }

@@ -88,6 +88,9 @@ pub use criteria::{
     ReadCommitOrderOpacity, StrictSerializability, Tms2,
 };
 pub use parallel::{available_threads, par_check_batch, par_map};
-pub use search::{set_default_decompose, set_default_prelint, SearchConfig, SearchStats};
-pub use verdict::{Verdict, Violation, Witness};
+pub use search::{
+    set_default_deadline, set_default_decompose, set_default_prelint, Budget, SearchConfig,
+    SearchStats,
+};
+pub use verdict::{UnknownReason, Verdict, Violation, Witness};
 pub use witness_check::{check_witness, WitnessError};

@@ -302,6 +302,38 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_surfaces_as_unknown_per_push() {
+        // Zero deadline: pushes certified by cheap witness adaptation stay
+        // Satisfied, but the read response that forces a fallback search
+        // must return Unknown(deadline) instead of searching unboundedly.
+        let mut mon = OnlineChecker::with_config(crate::SearchConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..crate::SearchConfig::default()
+        });
+        let events = [
+            Event::inv(t(1), Op::Write(x(), v(1))),
+            Event::resp(t(1), Ret::Ok),
+            Event::inv(t(1), Op::TryCommit),
+            Event::inv(t(2), Op::Read(x())),
+            Event::resp(t(2), Ret::Value(v(1))),
+        ];
+        let mut last = None;
+        for ev in events {
+            last = Some(mon.push(ev).unwrap());
+        }
+        assert!(
+            matches!(
+                last,
+                Some(Verdict::Unknown {
+                    reason: crate::UnknownReason::Deadline,
+                    ..
+                })
+            ),
+            "expected deadline Unknown, got {last:?}"
+        );
+    }
+
+    #[test]
     fn fallback_searches_reuse_untouched_components() {
         // Two disjoint overlapping clusters (x: T1/T2, y: T3/T4). Each
         // reader returns a commit-pending writer's value, which no cheap

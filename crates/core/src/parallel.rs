@@ -54,11 +54,18 @@ use crate::search::{
     UndoLog,
 };
 use crate::spec::Spec;
-use crate::{Criterion, Verdict, Violation};
+use crate::{Criterion, UnknownReason, Verdict, Violation};
 use duop_history::History;
 use std::collections::{BTreeMap, HashSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Test-only injection point: a worker panics when it claims this subtree
+/// task index (`u64::MAX` = disarmed; the hook disarms itself on firing).
+/// Exercises the panic-isolation path without a purpose-built criterion.
+#[doc(hidden)]
+pub static PANIC_ON_TASK: AtomicU64 = AtomicU64::new(u64::MAX);
 
 /// Mutex stripes in the shared memo. Power of two; 64 stripes keep the
 /// probability of two workers colliding on a stripe low at ≤ 16 workers.
@@ -111,21 +118,33 @@ impl ShardedMemo {
 /// State shared by all workers of one parallel search.
 pub(crate) struct SharedSearch {
     memo: Option<ShardedMemo>,
+    /// Approximate shared-memo entry count, for the memo cap (duplicate
+    /// inserts may double-count; the cap is advisory, not exact).
+    memo_entries: AtomicUsize,
     /// Global count of expanded states, for the shared budget.
     pub(crate) explored: AtomicU64,
     /// Lowest task index that found a witness (`u64::MAX` = none yet).
     pub(crate) winner: AtomicU64,
+    /// Set when a worker's subtree panicked (the panic is contained);
+    /// peers poll it and cancel, so the search never hangs on a dead
+    /// worker's unexplored subtree.
+    pub(crate) panicked: AtomicBool,
     /// Global state budget (copied from [`SearchConfig::max_states`]).
     pub(crate) max_states: Option<u64>,
+    /// Global memo-entry cap ([`SearchConfig::max_memo_entries`]).
+    max_memo_entries: Option<usize>,
 }
 
 impl SharedSearch {
     fn new(cfg: &SearchConfig) -> Self {
         SharedSearch {
             memo: cfg.memo.then(ShardedMemo::new),
+            memo_entries: AtomicUsize::new(0),
             explored: AtomicU64::new(0),
             winner: AtomicU64::new(u64::MAX),
+            panicked: AtomicBool::new(false),
             max_states: cfg.max_states,
+            max_memo_entries: cfg.max_memo_entries,
         }
     }
 
@@ -135,7 +154,14 @@ impl SharedSearch {
 
     pub(crate) fn memo_insert(&self, key: u128) {
         if let Some(m) = &self.memo {
+            if self
+                .max_memo_entries
+                .is_some_and(|cap| self.memo_entries.load(Ordering::Relaxed) >= cap)
+            {
+                return;
+            }
             m.insert(key);
+            self.memo_entries.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -187,7 +213,7 @@ fn unwind_prefix(s: &mut Searcher<'_>, prefix: &[(usize, bool)], undos: Vec<Undo
 enum CompOutcome {
     Found(Vec<(usize, bool)>),
     Exhausted,
-    Budget,
+    Budget(UnknownReason),
     Violated(Violation),
 }
 
@@ -217,7 +243,7 @@ pub(crate) fn par_search_components(
         let outcome = match s.dfs() {
             Outcome::Found => CompOutcome::Found(s.path.clone()),
             Outcome::Exhausted => CompOutcome::Exhausted,
-            Outcome::Budget => CompOutcome::Budget,
+            Outcome::Budget => CompOutcome::Budget(s.unknown_reason()),
             Outcome::Cancelled => unreachable!("component workers share no cancellation state"),
         };
         (outcome, s.stats())
@@ -244,8 +270,9 @@ pub(crate) fn par_search_components(
             criterion: query.name.to_owned(),
             explored: stats.explored,
         }),
-        Some(CompOutcome::Budget) => Verdict::Unknown {
+        Some(CompOutcome::Budget(reason)) => Verdict::Unknown {
             explored: stats.explored,
+            reason,
         },
         Some(CompOutcome::Violated(v)) => Verdict::Violated(v),
         Some(CompOutcome::Found(_)) => unreachable!("Found is never recorded as a failure"),
@@ -329,7 +356,7 @@ pub(crate) fn par_search_spec(
 
     let shared = SharedSearch::new(cfg);
     let next = AtomicUsize::new(0);
-    let budget_hit = AtomicBool::new(false);
+    let budget_reason: Mutex<Option<UnknownReason>> = Mutex::new(None);
     // Winning candidates keyed by task index; the reduction takes the
     // lowest, which is the witness sequential DFS finds first.
     let found: Mutex<BTreeMap<u64, Vec<(usize, bool)>>> = Mutex::new(BTreeMap::new());
@@ -343,7 +370,7 @@ pub(crate) fn par_search_spec(
                 s.attach_shared(&shared);
                 loop {
                     let t = next.fetch_add(1, Ordering::Relaxed);
-                    if t >= tasks.len() {
+                    if t >= tasks.len() || shared.panicked.load(Ordering::Relaxed) {
                         break;
                     }
                     if shared.winner.load(Ordering::Relaxed) < t as u64 {
@@ -353,26 +380,55 @@ pub(crate) fn par_search_spec(
                     }
                     s.task_index = t as u64;
                     let prefix = &tasks[t];
-                    let mut undos = Vec::with_capacity(prefix.len());
-                    for &(i, committed) in prefix {
-                        undos.push(s.place(i, committed));
-                    }
-                    match s.dfs() {
-                        Outcome::Found => {
-                            shared.winner.fetch_min(t as u64, Ordering::Relaxed);
-                            found.lock().unwrap().insert(t as u64, s.path.clone());
-                            // `dfs` does not unwind on Found; this
-                            // searcher's state is spent, and every
-                            // unclaimed task is higher-indexed anyway.
-                            break;
+                    // Contain a panicking subtree (a criterion bug, or the
+                    // test hook): the searcher's placement state is
+                    // unusable afterwards, so the worker retires and peers
+                    // cancel via `shared.panicked`. `true` = keep looping.
+                    let task = catch_unwind(AssertUnwindSafe(|| {
+                        if PANIC_ON_TASK
+                            .compare_exchange(
+                                t as u64,
+                                u64::MAX,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            panic!("injected worker panic (test hook)");
                         }
-                        Outcome::Budget => {
-                            budget_hit.store(true, Ordering::Relaxed);
-                            unwind_prefix(&mut s, prefix, undos);
-                            break;
+                        let mut undos = Vec::with_capacity(prefix.len());
+                        for &(i, committed) in prefix {
+                            undos.push(s.place(i, committed));
                         }
-                        Outcome::Exhausted | Outcome::Cancelled => {
-                            unwind_prefix(&mut s, prefix, undos);
+                        match s.dfs() {
+                            Outcome::Found => {
+                                shared.winner.fetch_min(t as u64, Ordering::Relaxed);
+                                found.lock().unwrap().insert(t as u64, s.path.clone());
+                                // `dfs` does not unwind on Found; this
+                                // searcher's state is spent, and every
+                                // unclaimed task is higher-indexed anyway.
+                                false
+                            }
+                            Outcome::Budget => {
+                                let reason = s.unknown_reason();
+                                let mut slot = budget_reason.lock().unwrap();
+                                slot.get_or_insert(reason);
+                                drop(slot);
+                                unwind_prefix(&mut s, prefix, undos);
+                                false
+                            }
+                            Outcome::Exhausted | Outcome::Cancelled => {
+                                unwind_prefix(&mut s, prefix, undos);
+                                true
+                            }
+                        }
+                    }));
+                    match task {
+                        Ok(true) => {}
+                        Ok(false) => break,
+                        Err(_) => {
+                            shared.panicked.store(true, Ordering::Relaxed);
+                            break;
                         }
                     }
                 }
@@ -393,12 +449,22 @@ pub(crate) fn par_search_spec(
     stats.peak_memo_entries = shared.memo_len() as u64;
     stats.subtree_tasks = tasks.len() as u64;
 
+    // Reduction precedence: a witness is a definite answer regardless of
+    // anything else; otherwise a panicked subtree (unexplored, so "no
+    // witness elsewhere" proves nothing) forces Unknown ahead of a budget
+    // trip; only a fully explored, witness-free tree is a violation.
     let found = found.into_inner().unwrap();
     let verdict = if let Some((_, path)) = found.into_iter().next() {
         Verdict::Satisfied(witness_from_path(spec, &path))
-    } else if budget_hit.load(Ordering::Relaxed) {
+    } else if shared.panicked.load(Ordering::Relaxed) {
         Verdict::Unknown {
             explored: stats.explored,
+            reason: UnknownReason::WorkerPanic,
+        }
+    } else if let Some(reason) = budget_reason.into_inner().unwrap() {
+        Verdict::Unknown {
+            explored: stats.explored,
+            reason,
         }
     } else {
         Verdict::Violated(Violation::NoSerialization {
@@ -419,6 +485,11 @@ pub fn available_threads() -> usize {
 /// Applies `f` to every item on a pool of `threads` workers, returning
 /// results in input order. Items are claimed dynamically, so uneven item
 /// costs balance across the pool. `threads <= 1` runs inline.
+///
+/// A panicking item cancels the remaining items (peers finish their
+/// current item and stop claiming) and the first panic payload is
+/// re-raised on the caller's thread once the pool has drained — one
+/// deterministic panic instead of a scope-wide abort or a hang.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -430,19 +501,34 @@ where
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => *slots[i].lock().unwrap() = Some(r),
+                    Err(payload) => {
+                        cancelled.store(true, Ordering::Relaxed);
+                        let mut slot = panic_payload.lock().unwrap();
+                        slot.get_or_insert(payload);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = panic_payload.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
     slots
         .into_iter()
         .map(|s| {

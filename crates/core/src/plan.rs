@@ -388,6 +388,19 @@ fn seq_planned(
     // accumulated path *is* the composed serialization. The state budget
     // and the explored counter are naturally global this way.
     for comp in &plan.components {
+        // The in-search deadline sampling only runs while expanding; a
+        // between-components check keeps many-small-component specs
+        // responsive too.
+        if s.deadline_expired() {
+            let stats = s.stats();
+            return (
+                Verdict::Unknown {
+                    explored: stats.explored,
+                    reason: crate::UnknownReason::Deadline,
+                },
+                stats,
+            );
+        }
         s.restrict(comp);
         let path_start = s.path_len();
         let mut replayed = false;
@@ -428,9 +441,11 @@ fn seq_planned(
             }
             Outcome::Budget => {
                 let stats = s.stats();
+                let reason = s.unknown_reason();
                 return (
                     Verdict::Unknown {
                         explored: stats.explored,
+                        reason,
                     },
                     stats,
                 );

@@ -53,10 +53,11 @@ use crate::fxhash::{FxBuildHasher, Hash128};
 use crate::parallel::SharedSearch;
 use crate::plan::ComponentCache;
 use crate::spec::Spec;
-use crate::{Verdict, Violation, Witness};
+use crate::{UnknownReason, Verdict, Violation, Witness};
 use duop_history::{CommitCapability, History, TxnId, Value};
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Process-wide default for [`SearchConfig::decompose`], so the
 /// experiments binary can ablate the planner without threading a flag
@@ -78,6 +79,26 @@ static DEFAULT_PRELINT: AtomicBool = AtomicBool::new(true);
 /// `--no-prelint` ablation). Affects configs created *after* the call.
 pub fn set_default_prelint(enabled: bool) {
     DEFAULT_PRELINT.store(enabled, Ordering::Relaxed);
+}
+
+/// Process-wide default for [`SearchConfig::deadline`], in milliseconds
+/// (`0` = none), so the CLI and the experiments binary can impose a
+/// wall-clock cap (`--deadline <ms>`) without threading it through every
+/// criterion constructor.
+static DEFAULT_DEADLINE_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the process-wide default for [`SearchConfig::deadline`]. Affects
+/// configs created *after* the call; `None` clears the default.
+pub fn set_default_deadline(deadline: Option<Duration>) {
+    let ms = deadline.map_or(0, |d| d.as_millis().min(u128::from(u64::MAX)) as u64);
+    DEFAULT_DEADLINE_MS.store(ms, Ordering::Relaxed);
+}
+
+fn default_deadline() -> Option<Duration> {
+    match DEFAULT_DEADLINE_MS.load(Ordering::Relaxed) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    }
 }
 
 /// Tuning knobs for the serialization search.
@@ -110,6 +131,19 @@ pub struct SearchConfig {
     /// Verdict-equivalent by the lint soundness contract; `false` is the
     /// `--no-prelint` ablation.
     pub prelint: bool,
+    /// Wall-clock deadline for one check. The clock starts when the search
+    /// does; expiry returns [`Verdict::Unknown`] with
+    /// [`UnknownReason::Deadline`]. Checked cooperatively (roughly every
+    /// thousand expansions), so overruns are bounded by a handful of node
+    /// expansions. `None` means no deadline.
+    pub deadline: Option<Duration>,
+    /// Approximate cap on failed-state memo entries (each entry is a
+    /// 16-byte key plus table overhead). At the cap the search stops
+    /// *inserting* — existing entries keep pruning and the verdict is
+    /// unaffected; only time-to-verdict degrades. With multiple threads
+    /// the cap is global but approximate (racing workers may overshoot by
+    /// a few entries). `None` means uncapped.
+    pub max_memo_entries: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -120,6 +154,8 @@ impl Default for SearchConfig {
             threads: None,
             decompose: DEFAULT_DECOMPOSE.load(Ordering::Relaxed),
             prelint: DEFAULT_PRELINT.load(Ordering::Relaxed),
+            deadline: default_deadline(),
+            max_memo_entries: None,
         }
     }
 }
@@ -128,6 +164,36 @@ impl SearchConfig {
     /// The effective worker count (`1` = sequential).
     pub fn effective_threads(&self) -> usize {
         self.threads.unwrap_or(1).max(1)
+    }
+}
+
+/// Resource limits of one search run, resolved from a [`SearchConfig`]
+/// when the search starts: the relative [`SearchConfig::deadline`] becomes
+/// an absolute instant, so nested and parallel searches all race the same
+/// clock.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum states to expand (`None` = unlimited).
+    pub max_states: Option<u64>,
+    /// Absolute wall-clock cutoff (`None` = no deadline).
+    pub deadline: Option<Instant>,
+    /// Approximate cap on failed-state memo entries (`None` = uncapped).
+    pub max_memo_entries: Option<usize>,
+}
+
+impl Budget {
+    /// Resolves the config's limits against the current wall clock.
+    pub fn resolve(cfg: &SearchConfig) -> Budget {
+        Budget {
+            max_states: cfg.max_states,
+            deadline: cfg.deadline.map(|d| Instant::now() + d),
+            max_memo_entries: cfg.max_memo_entries,
+        }
+    }
+
+    /// Whether the wall clock has passed the deadline.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -244,7 +310,11 @@ pub(crate) struct Searcher<'a> {
     pub(crate) explored: u64,
     pub(crate) memo_hits: u64,
     pub(crate) dead_ends: u64,
-    pub(crate) budget_hit: bool,
+    /// Resolved resource limits (state budget, absolute deadline, memo
+    /// cap) this search runs under.
+    pub(crate) budget: Budget,
+    /// Why the search gave up, when [`Outcome::Budget`] was returned.
+    pub(crate) unknown: Option<UnknownReason>,
 }
 
 pub(crate) enum Outcome {
@@ -353,7 +423,8 @@ impl<'a> Searcher<'a> {
             explored: 0,
             memo_hits: 0,
             dead_ends: 0,
-            budget_hit: false,
+            budget: Budget::resolve(cfg),
+            unknown: None,
         })
     }
 
@@ -569,20 +640,32 @@ impl<'a> Searcher<'a> {
         if let Some(shared) = self.shared {
             // Cooperative cancellation: once a lower-indexed task has a
             // witness, this subtree's result can no longer win the
-            // deterministic reduction.
-            if shared.winner.load(Ordering::Relaxed) < self.task_index {
+            // deterministic reduction. A peer's contained panic cancels
+            // too — the whole search will report `worker-panic`.
+            if shared.winner.load(Ordering::Relaxed) < self.task_index
+                || shared.panicked.load(Ordering::Relaxed)
+            {
                 return Outcome::Cancelled;
             }
             let total = shared.explored.fetch_add(1, Ordering::Relaxed) + 1;
             if shared.max_states.is_some_and(|max| total > max) {
-                self.budget_hit = true;
+                self.unknown = Some(UnknownReason::StateBudget);
                 return Outcome::Budget;
             }
-        } else if let Some(max) = self.cfg.max_states {
+        } else if let Some(max) = self.budget.max_states {
             if self.explored > max {
-                self.budget_hit = true;
+                self.unknown = Some(UnknownReason::StateBudget);
                 return Outcome::Budget;
             }
+        }
+        // The deadline is wall-clock; reading the clock per expansion
+        // would dominate the hot loop, so it is sampled on the first
+        // expansion (so an already-expired deadline fires even on tiny
+        // searches) and every 1024 thereafter — an overrun is bounded by
+        // that many node visits.
+        if self.explored & 1023 == 1 && self.budget.deadline_expired() {
+            self.unknown = Some(UnknownReason::Deadline);
+            return Outcome::Budget;
         }
         let key = if self.cfg.memo {
             let key = self.memo_key();
@@ -644,11 +727,32 @@ impl<'a> Searcher<'a> {
             match self.shared {
                 Some(shared) => shared.memo_insert(key),
                 None => {
-                    self.memo.insert(key);
+                    // At the memo cap the search degrades gracefully:
+                    // existing entries keep pruning, new failed states are
+                    // simply re-explored when revisited.
+                    if self
+                        .budget
+                        .max_memo_entries
+                        .is_none_or(|cap| self.memo.len() < cap)
+                    {
+                        self.memo.insert(key);
+                    }
                 }
             }
         }
         Outcome::Exhausted
+    }
+
+    /// Whether this search's wall-clock deadline has expired (checked by
+    /// the planner between components).
+    pub(crate) fn deadline_expired(&self) -> bool {
+        self.budget.deadline_expired()
+    }
+
+    /// The reason a [`Outcome::Budget`] exit should report, defaulting to
+    /// the state budget.
+    pub(crate) fn unknown_reason(&self) -> UnknownReason {
+        self.unknown.unwrap_or(UnknownReason::StateBudget)
     }
 }
 
@@ -718,6 +822,7 @@ pub(crate) fn seq_search_spec(
         }),
         Outcome::Budget => Verdict::Unknown {
             explored: searcher.explored,
+            reason: searcher.unknown_reason(),
         },
         Outcome::Cancelled => unreachable!("sequential search cannot be cancelled"),
     };
@@ -813,6 +918,83 @@ mod tests {
                 ..SearchConfig::default()
             },
         ]
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown_with_reason() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        for cfg in both_modes() {
+            let cfg = SearchConfig {
+                deadline: Some(Duration::ZERO),
+                prelint: false,
+                ..cfg
+            };
+            let verdict = search_serialization(&h, &du_query(), &cfg);
+            assert!(
+                matches!(
+                    verdict,
+                    Verdict::Unknown {
+                        reason: UnknownReason::Deadline,
+                        ..
+                    }
+                ),
+                "expected deadline Unknown, got {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_change_verdict() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_reader(t(2), x(), v(1))
+            .build();
+        let cfg = SearchConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..SearchConfig::default()
+        };
+        assert!(search_serialization(&h, &du_query(), &cfg).is_satisfied());
+    }
+
+    #[test]
+    fn memo_cap_preserves_verdict_and_bounds_entries() {
+        // Enough concurrent commit-pending writers to force backtracking
+        // (and memo inserts) without the cap dominating runtime.
+        let mut b = HistoryBuilder::new();
+        for k in 1..=6u32 {
+            b = b
+                .inv_write(t(k), x(), v(u64::from(k)))
+                .resp_ok(t(k))
+                .inv_try_commit(t(k));
+        }
+        let h = b
+            .read(t(7), x(), v(3))
+            .read(t(8), x(), v(5))
+            .commit(t(7))
+            .commit(t(8))
+            .build();
+        let baseline = search_serialization(&h, &du_query(), &SearchConfig::default());
+        let capped_cfg = SearchConfig {
+            max_memo_entries: Some(2),
+            ..SearchConfig::default()
+        };
+        let (capped, stats) = search_serialization_with_stats(&h, &du_query(), &capped_cfg);
+        assert_eq!(baseline.is_satisfied(), capped.is_satisfied());
+        assert!(stats.peak_memo_entries <= 2, "cap exceeded: {stats:?}");
+    }
+
+    #[test]
+    fn default_deadline_is_inherited_by_new_configs() {
+        // A huge value: concurrently-running tests that happen to build a
+        // config inside this window must never actually trip it.
+        set_default_deadline(Some(Duration::from_secs(86_400)));
+        let cfg = SearchConfig::default();
+        set_default_deadline(None);
+        assert_eq!(cfg.deadline, Some(Duration::from_secs(86_400)));
+        assert_eq!(SearchConfig::default().deadline, None);
     }
 
     #[test]

@@ -222,6 +222,40 @@ impl fmt::Display for Violation {
 
 impl Error for Violation {}
 
+/// Why a check ended [`Verdict::Unknown`] instead of deciding the
+/// question.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The state budget ([`SearchConfig::max_states`]) was exhausted.
+    ///
+    /// [`SearchConfig::max_states`]: crate::SearchConfig::max_states
+    StateBudget,
+    /// The wall-clock deadline ([`SearchConfig::deadline`]) expired.
+    ///
+    /// [`SearchConfig::deadline`]: crate::SearchConfig::deadline
+    Deadline,
+    /// A parallel search worker panicked; its siblings were cancelled and
+    /// the panic was contained, but the subtree it owned is unexplored.
+    WorkerPanic,
+}
+
+impl UnknownReason {
+    /// Stable kebab-case tag, used verbatim in the JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnknownReason::StateBudget => "state-budget",
+            UnknownReason::Deadline => "deadline",
+            UnknownReason::WorkerPanic => "worker-panic",
+        }
+    }
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The outcome of checking a history against a criterion.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Verdict {
@@ -230,13 +264,13 @@ pub enum Verdict {
     Satisfied(Witness),
     /// The history violates the criterion.
     Violated(Violation),
-    /// The search budget ([`SearchConfig::max_states`]) was exhausted
-    /// before the question was decided.
-    ///
-    /// [`SearchConfig::max_states`]: crate::SearchConfig::max_states
+    /// A resource limit (state budget, deadline) or a contained worker
+    /// panic stopped the search before the question was decided.
     Unknown {
         /// Number of distinct search states explored before giving up.
         explored: u64,
+        /// Which limit (or failure) ended the search.
+        reason: UnknownReason,
     },
 }
 
@@ -277,8 +311,8 @@ impl Verdict {
         match self {
             Verdict::Satisfied(w) => Ok(w),
             Verdict::Violated(v) => Err(v),
-            Verdict::Unknown { explored } => Err(Violation::NoSerialization {
-                criterion: "undecided (budget exhausted)".to_owned(),
+            Verdict::Unknown { explored, reason } => Err(Violation::NoSerialization {
+                criterion: format!("undecided ({reason})"),
                 explored,
             }),
         }
@@ -299,11 +333,8 @@ impl fmt::Display for Verdict {
                 Ok(())
             }
             Verdict::Violated(v) => write!(f, "violated: {v}"),
-            Verdict::Unknown { explored } => {
-                write!(
-                    f,
-                    "unknown (search budget exhausted after {explored} states)"
-                )
+            Verdict::Unknown { explored, reason } => {
+                write!(f, "unknown ({reason} after {explored} states)")
             }
         }
     }
@@ -397,10 +428,25 @@ mod tests {
         assert!(vio.violation().is_some());
         assert!(vio.clone().into_result().is_err());
 
-        let unk = Verdict::Unknown { explored: 10 };
+        let unk = Verdict::Unknown {
+            explored: 10,
+            reason: UnknownReason::StateBudget,
+        };
         assert!(!unk.is_satisfied());
         assert!(!unk.is_violated());
         assert!(unk.into_result().is_err());
+    }
+
+    #[test]
+    fn unknown_reasons_have_stable_tags() {
+        assert_eq!(UnknownReason::StateBudget.as_str(), "state-budget");
+        assert_eq!(UnknownReason::Deadline.as_str(), "deadline");
+        assert_eq!(UnknownReason::WorkerPanic.as_str(), "worker-panic");
+        let d = Verdict::Unknown {
+            explored: 3,
+            reason: UnknownReason::Deadline,
+        };
+        assert!(d.to_string().contains("deadline"));
     }
 
     #[test]

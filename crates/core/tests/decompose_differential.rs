@@ -44,7 +44,10 @@ fn normalize_violation(v: &Violation) -> Violation {
 fn normalize(v: &Verdict) -> Verdict {
     match v {
         Verdict::Violated(violation) => Verdict::Violated(normalize_violation(violation)),
-        Verdict::Unknown { .. } => Verdict::Unknown { explored: 0 },
+        Verdict::Unknown { .. } => Verdict::Unknown {
+            explored: 0,
+            reason: duop_core::UnknownReason::StateBudget,
+        },
         Verdict::Satisfied(_) => Verdict::Satisfied(duop_core::Witness::new(
             Vec::new(),
             std::collections::BTreeMap::new(),

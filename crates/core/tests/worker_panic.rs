@@ -1,0 +1,121 @@
+//! Panic isolation in the parallel subtree engine: a worker whose subtree
+//! panics must not hang or abort the whole search — siblings cancel
+//! cooperatively and the verdict degrades to `Unknown(worker-panic)`.
+//!
+//! Lives in its own integration-test binary because it arms the global
+//! `PANIC_ON_TASK` injection hook, which any concurrently running parallel
+//! search in the same process could otherwise consume.
+
+use duop_core::parallel::PANIC_ON_TASK;
+use duop_core::{Criterion, DuOpacity, SearchConfig, UnknownReason, Verdict};
+use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+use std::sync::atomic::Ordering;
+
+/// A config that forces the subtree-parallel engine: several workers, no
+/// conflict-graph decomposition (component fan-out would bypass subtree
+/// tasks), no prelint (a refutation would bypass the search entirely).
+fn par_cfg() -> SearchConfig {
+    SearchConfig {
+        threads: Some(4),
+        decompose: false,
+        prelint: false,
+        ..SearchConfig::default()
+    }
+}
+
+/// A history that (a) violates du-opacity only deep in the search — T6
+/// and T7 each write *both* `y` and `z` (so after any placement the two
+/// objects always hold matching values), while T13 reads the mixed pair
+/// `y` from T6 and `z` from T7; each read individually has an admissible
+/// writer, so the per-read precheck passes, but no serialization can ever
+/// place T13 — and (b) is bushy enough (five fully concurrent independent
+/// clusters) that the subtree splitter produces many viable prefix tasks
+/// instead of collapsing to one.
+fn violated_bushy_history() -> duop_history::History {
+    let t = TxnId::new;
+    let v = Value::new;
+    let y = ObjId::new(0);
+    let z = ObjId::new(6);
+    let mut b = HistoryBuilder::new();
+    // Cluster writers T1..T5 on x1..x5, plus the pair-writers T6/T7; all
+    // stay commit-pending (tryC invoked, never answered) so nothing
+    // completes and no real-time edges constrain the tree.
+    for k in 1..=5u32 {
+        b = b
+            .inv_write(t(k), ObjId::new(k), v(u64::from(k)))
+            .resp_ok(t(k));
+    }
+    b = b.inv_write(t(6), y, v(100)).resp_ok(t(6));
+    b = b.inv_write(t(6), z, v(100)).resp_ok(t(6));
+    b = b.inv_write(t(7), y, v(200)).resp_ok(t(7));
+    b = b.inv_write(t(7), z, v(200)).resp_ok(t(7));
+    for k in 1..=7u32 {
+        b = b.inv_try_commit(t(k));
+    }
+    // Cluster readers T8..T12, each reading its writer's pending value.
+    for k in 1..=5u32 {
+        b = b
+            .inv_read(t(7 + k), ObjId::new(k))
+            .resp_value(t(7 + k), v(u64::from(k)));
+    }
+    // The poison pill: a mixed snapshot no serial order can produce.
+    b = b
+        .inv_read(t(13), y)
+        .resp_value(t(13), v(100))
+        .inv_read(t(13), z)
+        .resp_value(t(13), v(200));
+    for k in 8..=13u32 {
+        b = b.commit(t(k));
+    }
+    b.build()
+}
+
+#[test]
+fn injected_worker_panic_yields_unknown_and_no_hang() {
+    let h = violated_bushy_history();
+
+    // Baseline: violated (so no witness can outrank the panic in the
+    // reduction) and genuinely split into several subtree tasks.
+    let (baseline, stats) = DuOpacity::with_config(par_cfg()).check_with_stats(&h);
+    assert!(baseline.is_violated(), "baseline: {baseline:?}");
+    assert!(stats.subtree_tasks >= 2, "no subtree split: {stats:?}");
+
+    // Arm the hook: the worker that claims subtree task 0 panics. The
+    // check must still return (no hang) with the panic contained.
+    PANIC_ON_TASK.store(0, Ordering::SeqCst);
+    let verdict = DuOpacity::with_config(par_cfg()).check(&h);
+    assert_eq!(
+        PANIC_ON_TASK.load(Ordering::SeqCst),
+        u64::MAX,
+        "hook must have fired and disarmed itself"
+    );
+    match verdict {
+        Verdict::Unknown { reason, .. } => assert_eq!(reason, UnknownReason::WorkerPanic),
+        other => panic!("expected Unknown(worker-panic), got {other:?}"),
+    }
+
+    // The same check re-run without the hook is unaffected (the engine
+    // fully recovered; no poisoned global state).
+    assert!(DuOpacity::with_config(par_cfg()).check(&h).is_violated());
+}
+
+#[test]
+fn par_map_resurfaces_item_panic_after_draining() {
+    let items: Vec<u32> = (0..64).collect();
+    let result = std::panic::catch_unwind(|| {
+        duop_core::par_map(&items, 4, |&i| {
+            if i == 13 {
+                panic!("boom on item 13");
+            }
+            i * 2
+        })
+    });
+    let payload = result.expect_err("panic must resurface on the caller thread");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("boom on item 13"), "payload: {msg}");
+}

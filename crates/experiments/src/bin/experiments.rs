@@ -2,7 +2,7 @@
 //! the measured verdict for every figure and theorem.
 //!
 //! Usage: `cargo run -p duop-experiments --bin experiments [--quick] [--threads N]
-//! [--no-decompose] [--no-prelint]`
+//! [--no-decompose] [--no-prelint] [--deadline MS]`
 //!
 //! `--threads N` fans the corpus experiments (E7–E9, E11, E13, E14) out
 //! over N worker threads (0 = all hardware threads). The reported numbers
@@ -10,6 +10,9 @@
 //! planner's conflict-graph decomposition in every check (ablation; the
 //! verdicts must not change). `--no-prelint` likewise disables the
 //! polynomial lint prefilter in every check (ablation; same contract).
+//! `--deadline MS` bounds every serialization search by a wall-clock
+//! deadline; searches that run out report `unknown (deadline ...)` and
+//! the affected experiment fails rather than hangs.
 
 use duop_experiments::runner::run_all_with;
 use duop_history::render::render_lanes;
@@ -36,6 +39,13 @@ fn main() {
             } else {
                 n
             };
+        }
+        if a == "--deadline" {
+            let ms: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--deadline needs milliseconds");
+                std::process::exit(2);
+            });
+            duop_core::set_default_deadline(Some(std::time::Duration::from_millis(ms)));
         }
     }
 

@@ -1,0 +1,147 @@
+//! Differential test of du-opacity's prefix-closure (Theorem 5) on
+//! fault-injected STM histories.
+//!
+//! Crashes leave pending operations and commit-pending transactions
+//! dangling — exactly the shapes prefixes exercise — so every
+//! fault-injected history that checks du-opaque must have every prefix
+//! check du-opaque too. Where the completion space (Definition 2) is small
+//! enough to enumerate, the direct verdict on a prefix must also agree
+//! with quantifying over its completions: du-opaque iff some completion
+//! serializes.
+
+use duop_core::{Criterion, DuOpacity};
+use duop_history::History;
+use duop_stm::engines::{DirtyRead, Dstm, Eager2Pl, NoRec, Pessimistic, Tl2};
+use duop_stm::{run_workload_faulted, Engine, FaultPlan, WorkloadConfig};
+
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::parse("abort=0.1,crash=0.1,thread-crash=0.3")
+        .expect("spec is valid")
+        .with_seed(seed)
+}
+
+fn cfg(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        threads: 1, // deterministic: the history is a pure function of the seed
+        txns_per_thread: 6,
+        ops_per_txn: (1, 3),
+        read_ratio: 0.6,
+        unique_values: true,
+        max_attempts: 2,
+        yield_between_ops: false,
+        seed,
+    }
+}
+
+/// Enumerating 2^p completions is only sane for small p.
+const MAX_ENUMERABLE_PENDING: usize = 5;
+
+/// Checks one prefix directly and, when enumerable, differentially against
+/// its completion space.
+fn assert_prefix_du_opaque(h: &History, i: usize, label: &str) {
+    let prefix = h.prefix(i);
+    let checker = DuOpacity::new();
+    let direct = checker.check(&prefix);
+    assert!(
+        direct.is_satisfied(),
+        "{label}: prefix of length {i} lost du-opacity:\n{prefix}"
+    );
+    let pending = prefix.commit_pending_txns();
+    if pending.len() <= MAX_ENUMERABLE_PENDING {
+        let mut some_completion_serializes = false;
+        for completion in prefix.completions() {
+            assert!(
+                completion.is_completion_of(&prefix),
+                "{label}: enumerated history is not a completion of its prefix (len {i})"
+            );
+            if checker.check(&completion).is_satisfied() {
+                some_completion_serializes = true;
+            }
+        }
+        assert!(
+            some_completion_serializes,
+            "{label}: prefix of length {i} checks du-opaque but no completion \
+             serializes:\n{prefix}"
+        );
+    }
+}
+
+#[test]
+fn fault_injected_histories_are_prefix_closed_across_engines() {
+    type EngineFactory = Box<dyn Fn() -> Box<dyn Engine>>;
+    let engines: Vec<(&str, EngineFactory)> = vec![
+        ("tl2", Box::new(|| Box::new(Tl2::new(4)))),
+        ("norec", Box::new(|| Box::new(NoRec::new(4)))),
+        ("dstm", Box::new(|| Box::new(Dstm::new(4)))),
+        ("2pl", Box::new(|| Box::new(Eager2Pl::new(4)))),
+        ("pessimistic", Box::new(|| Box::new(Pessimistic::new(4)))),
+    ];
+    let mut crashed_total = 0usize;
+    let mut prefixes_checked = 0usize;
+    for (name, make) in &engines {
+        for seed in 0..6u64 {
+            let engine = make();
+            let (h, stats) = run_workload_faulted(engine.as_ref(), &cfg(seed), &plan(seed));
+            crashed_total += stats.crashed;
+            let label = format!("{name} seed {seed}");
+            assert!(
+                DuOpacity::new().check(&h).is_satisfied(),
+                "{label}: fault-injected history is not du-opaque:\n{h}"
+            );
+            for i in 0..=h.len() {
+                assert_prefix_du_opaque(&h, i, &label);
+                prefixes_checked += 1;
+            }
+        }
+    }
+    // The corpus must actually contain crashes — otherwise this tests
+    // nothing fault-related.
+    assert!(crashed_total > 0, "no crashes injected across the corpus");
+    assert!(
+        prefixes_checked > 100,
+        "corpus too small: {prefixes_checked}"
+    );
+}
+
+#[test]
+fn dirty_violations_have_no_serializing_completion() {
+    // The contrapositive side: when the dirty engine's leaked writes make
+    // a history non-du-opaque, the verdict must agree with the completion
+    // space — no enumerable completion serializes.
+    let checker = DuOpacity::new();
+    let mut violated = 0usize;
+    for seed in 0..30u64 {
+        let engine = DirtyRead::new(4);
+        let (h, _) = run_workload_faulted(&engine, &cfg(seed), &plan(seed));
+        if !checker.check(&h).is_violated() {
+            continue;
+        }
+        violated += 1;
+        if h.commit_pending_txns().len() <= MAX_ENUMERABLE_PENDING {
+            for completion in h.completions() {
+                assert!(
+                    checker.check(&completion).is_violated(),
+                    "seed {seed}: a completion of a violated history serializes:\n{completion}"
+                );
+            }
+        }
+        // Prefix-closure, contrapositive: once a prefix is violated, every
+        // longer prefix stays violated.
+        let mut seen_violation = false;
+        for i in 0..=h.len() {
+            let v = checker.check(&h.prefix(i)).is_violated();
+            if seen_violation {
+                assert!(
+                    v,
+                    "seed {seed}: violation vanished when extending to prefix {i}:\n{h}"
+                );
+            }
+            seen_violation |= v;
+        }
+        assert!(seen_violation);
+        if violated >= 5 {
+            break;
+        }
+    }
+    assert!(violated > 0, "the dirty engine never produced a violation");
+}

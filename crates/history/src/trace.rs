@@ -21,6 +21,15 @@ use crate::{Event, EventKind, History, MalformedHistoryError, ObjId, Op, Ret, Tx
 use std::error::Error;
 use std::fmt;
 
+/// The longest line [`parse_trace`] accepts, in bytes. Real traces keep
+/// lines under a few dozen bytes; anything longer is hostile input.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// The largest transaction or t-object index [`parse_trace`] accepts.
+/// Checkers index dense arrays by these ids, so an attacker-supplied giant
+/// id would translate directly into a giant allocation.
+pub const MAX_ID: u32 = 1_000_000;
+
 /// Why a trace failed to parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceParseError {
@@ -28,20 +37,65 @@ pub enum TraceParseError {
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column of the offending token.
+        column: usize,
         /// Explanation of the problem.
         message: String,
     },
     /// The parsed events are not a well-formed history.
     Malformed(MalformedHistoryError),
+    /// The JSON input failed to deserialize into a well-formed history.
+    Json {
+        /// The underlying deserializer message.
+        message: String,
+    },
+}
+
+impl TraceParseError {
+    /// Renders the error as structured serde content, so tools can emit it
+    /// as one JSON object: `{"error": "syntax", "line": N, "column": N,
+    /// "message": "..."}`.
+    pub fn to_content(&self) -> serde::Content {
+        let mut fields = Vec::new();
+        match self {
+            TraceParseError::Syntax {
+                line,
+                column,
+                message,
+            } => {
+                fields.push(("error".into(), serde::Content::Str("syntax".into())));
+                fields.push(("line".into(), serde::Content::U64(*line as u64)));
+                fields.push(("column".into(), serde::Content::U64(*column as u64)));
+                fields.push(("message".into(), serde::Content::Str(message.clone())));
+            }
+            TraceParseError::Malformed(err) => {
+                fields.push(("error".into(), serde::Content::Str("malformed".into())));
+                fields.push(("message".into(), serde::Content::Str(err.to_string())));
+            }
+            TraceParseError::Json { message } => {
+                fields.push(("error".into(), serde::Content::Str("json".into())));
+                fields.push(("message".into(), serde::Content::Str(message.clone())));
+            }
+        }
+        serde::Content::Map(fields)
+    }
 }
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceParseError::Syntax { line, message } => {
-                write!(f, "trace syntax error on line {line}: {message}")
+            TraceParseError::Syntax {
+                line,
+                column,
+                message,
+            } => {
+                write!(
+                    f,
+                    "trace syntax error on line {line}, column {column}: {message}"
+                )
             }
             TraceParseError::Malformed(err) => write!(f, "trace is malformed: {err}"),
+            TraceParseError::Json { message } => write!(f, "trace JSON error: {message}"),
         }
     }
 }
@@ -50,7 +104,7 @@ impl Error for TraceParseError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceParseError::Malformed(err) => Some(err),
-            TraceParseError::Syntax { .. } => None,
+            TraceParseError::Syntax { .. } | TraceParseError::Json { .. } => None,
         }
     }
 }
@@ -61,36 +115,67 @@ impl From<MalformedHistoryError> for TraceParseError {
     }
 }
 
-fn syntax(line: usize, message: impl Into<String>) -> TraceParseError {
+fn syntax(line: usize, column: usize, message: impl Into<String>) -> TraceParseError {
     TraceParseError::Syntax {
         line,
+        column,
         message: message.into(),
     }
 }
 
-fn parse_txn(token: &str, line: usize) -> Result<TxnId, TraceParseError> {
+/// Splits a raw line into whitespace-separated tokens, each paired with
+/// its 1-based byte column.
+fn tokens(raw: &str) -> impl Iterator<Item = (usize, &str)> + '_ {
+    let mut rest = raw;
+    let mut base = 0usize;
+    std::iter::from_fn(move || {
+        let skip = rest.find(|c: char| !c.is_whitespace())?;
+        let start = base + skip;
+        let after = &rest[skip..];
+        let len = after.find(char::is_whitespace).unwrap_or(after.len());
+        rest = &after[len..];
+        base = start + len;
+        Some((start + 1, &after[..len]))
+    })
+}
+
+fn parse_txn(token: &str, line: usize, col: usize) -> Result<TxnId, TraceParseError> {
     let digits = token.strip_prefix('T').unwrap_or(token);
     let index: u32 = digits
         .parse()
-        .map_err(|_| syntax(line, format!("invalid transaction `{token}`")))?;
+        .map_err(|_| syntax(line, col, format!("invalid transaction `{token}`")))?;
     if index == 0 {
-        return Err(syntax(line, "transaction T0 is reserved"));
+        return Err(syntax(line, col, "transaction T0 is reserved"));
+    }
+    if index > MAX_ID {
+        return Err(syntax(
+            line,
+            col,
+            format!("transaction id {index} exceeds the maximum {MAX_ID}"),
+        ));
     }
     Ok(TxnId::new(index))
 }
 
-fn parse_obj(token: &str, line: usize) -> Result<ObjId, TraceParseError> {
+fn parse_obj(token: &str, line: usize, col: usize) -> Result<ObjId, TraceParseError> {
     let digits = token.strip_prefix('X').unwrap_or(token);
     let index: u32 = digits
         .parse()
-        .map_err(|_| syntax(line, format!("invalid t-object `{token}`")))?;
+        .map_err(|_| syntax(line, col, format!("invalid t-object `{token}`")))?;
+    if index > MAX_ID {
+        return Err(syntax(
+            line,
+            col,
+            format!("t-object id {index} exceeds the maximum {MAX_ID}"),
+        ));
+    }
     Ok(ObjId::new(index))
 }
 
-fn parse_value(token: &str, line: usize) -> Result<Value, TraceParseError> {
+fn parse_value(token: &str, line: usize, col: usize) -> Result<Value, TraceParseError> {
     let v: u64 = token
         .parse()
-        .map_err(|_| syntax(line, format!("invalid value `{token}`")))?;
+        .map_err(|_| syntax(line, col, format!("invalid value `{token}`")))?;
     Ok(Value::new(v))
 }
 
@@ -115,59 +200,70 @@ pub fn parse_trace(input: &str) -> Result<History, TraceParseError> {
     let mut events = Vec::new();
     for (i, raw) in input.lines().enumerate() {
         let line_no = i + 1;
+        if raw.len() > MAX_LINE_BYTES {
+            return Err(syntax(
+                line_no,
+                MAX_LINE_BYTES + 1,
+                format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+        if let Some(pos) = raw.find(|c: char| c.is_control() && c != '\t') {
+            return Err(syntax(
+                line_no,
+                pos + 1,
+                "line contains a control character",
+            ));
+        }
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut tokens = line.split_whitespace();
-        let txn = parse_txn(tokens.next().expect("non-empty line has a token"), line_no)?;
-        let action = tokens
+        let end_col = raw.trim_end().len() + 1;
+        let mut toks = tokens(raw);
+        let (txn_col, txn_tok) = toks
             .next()
-            .ok_or_else(|| syntax(line_no, "missing action"))?;
+            .ok_or_else(|| syntax(line_no, 1, "missing transaction"))?;
+        let txn = parse_txn(txn_tok, line_no, txn_col)?;
+        let (action_col, action) = toks
+            .next()
+            .ok_or_else(|| syntax(line_no, end_col, "missing action"))?;
+        let mut operand = |what: &str| {
+            toks.next()
+                .ok_or_else(|| syntax(line_no, end_col, format!("{action} needs {what}")))
+        };
         let event = match action {
             "read" => {
-                let obj = parse_obj(
-                    tokens
-                        .next()
-                        .ok_or_else(|| syntax(line_no, "read needs an object"))?,
-                    line_no,
-                )?;
-                Event::inv(txn, Op::Read(obj))
+                let (col, tok) = operand("an object")?;
+                Event::inv(txn, Op::Read(parse_obj(tok, line_no, col)?))
             }
             "write" => {
-                let obj = parse_obj(
-                    tokens
-                        .next()
-                        .ok_or_else(|| syntax(line_no, "write needs an object"))?,
-                    line_no,
-                )?;
-                let value = parse_value(
-                    tokens
-                        .next()
-                        .ok_or_else(|| syntax(line_no, "write needs a value"))?,
-                    line_no,
-                )?;
+                let (ocol, otok) = operand("an object")?;
+                let obj = parse_obj(otok, line_no, ocol)?;
+                let (vcol, vtok) = operand("a value")?;
+                let value = parse_value(vtok, line_no, vcol)?;
                 Event::inv(txn, Op::Write(obj, value))
             }
             "tryc" => Event::inv(txn, Op::TryCommit),
             "trya" => Event::inv(txn, Op::TryAbort),
             "val" => {
-                let value = parse_value(
-                    tokens
-                        .next()
-                        .ok_or_else(|| syntax(line_no, "val needs a value"))?,
-                    line_no,
-                )?;
-                Event::resp(txn, Ret::Value(value))
+                let (col, tok) = operand("a value")?;
+                Event::resp(txn, Ret::Value(parse_value(tok, line_no, col)?))
             }
             "ok" => Event::resp(txn, Ret::Ok),
             "commit" => Event::resp(txn, Ret::Committed),
             "abort" => Event::resp(txn, Ret::Aborted),
-            other => return Err(syntax(line_no, format!("unknown action `{other}`"))),
+            other => {
+                return Err(syntax(
+                    line_no,
+                    action_col,
+                    format!("unknown action `{other}`"),
+                ))
+            }
         };
-        if let Some(extra) = tokens.next() {
+        if let Some((col, extra)) = toks.next() {
             return Err(syntax(
                 line_no,
+                col,
                 format!("unexpected trailing token `{extra}`"),
             ));
         }
@@ -206,9 +302,12 @@ pub fn to_json(history: &History) -> String {
 ///
 /// # Errors
 ///
-/// Returns a `serde_json::Error` for syntax errors or malformed histories.
-pub fn from_json(json: &str) -> Result<History, serde_json::Error> {
-    serde_json::from_str(json)
+/// Returns [`TraceParseError::Json`] for JSON syntax errors and inputs
+/// that deserialize but do not form a well-formed history.
+pub fn from_json(json: &str) -> Result<History, TraceParseError> {
+    serde_json::from_str(json).map_err(|err| TraceParseError::Json {
+        message: err.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -259,21 +358,95 @@ mod tests {
     #[test]
     fn syntax_errors_are_located() {
         let err = parse_trace("T1 frobnicate").unwrap_err();
-        assert!(matches!(err, TraceParseError::Syntax { line: 1, .. }));
+        assert!(matches!(
+            err,
+            TraceParseError::Syntax {
+                line: 1,
+                column: 4,
+                ..
+            }
+        ));
 
         let err = parse_trace("T1 read").unwrap_err();
         assert!(matches!(err, TraceParseError::Syntax { line: 1, .. }));
 
         let err = parse_trace("T0 tryc").unwrap_err();
-        assert!(matches!(err, TraceParseError::Syntax { line: 1, .. }));
+        assert!(matches!(
+            err,
+            TraceParseError::Syntax {
+                line: 1,
+                column: 1,
+                ..
+            }
+        ));
 
         let err = parse_trace("T1 tryc extra").unwrap_err();
+        assert!(matches!(
+            err,
+            TraceParseError::Syntax {
+                line: 1,
+                column: 9,
+                ..
+            }
+        ));
+
+        // Errors past the first line carry their own line number.
+        let err = parse_trace("T1 tryc\n  T2 bogus X0\n").unwrap_err();
+        assert!(matches!(
+            err,
+            TraceParseError::Syntax {
+                line: 2,
+                column: 6,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn hostile_inputs_are_structured_errors() {
+        // NUL bytes and other control characters.
+        let err = parse_trace("T1 \0tryc").unwrap_err();
+        assert!(matches!(
+            err,
+            TraceParseError::Syntax {
+                line: 1,
+                column: 4,
+                ..
+            }
+        ));
+        // Overlong lines.
+        let long = format!("T1 write X0 {}", "9".repeat(MAX_LINE_BYTES));
+        let err = parse_trace(&long).unwrap_err();
         assert!(matches!(err, TraceParseError::Syntax { line: 1, .. }));
+        // Giant ids would become giant allocations downstream.
+        let err = parse_trace("T999999999 tryc").unwrap_err();
+        assert!(matches!(err, TraceParseError::Syntax { .. }));
+        let err = parse_trace("T1 read X999999999").unwrap_err();
+        assert!(matches!(err, TraceParseError::Syntax { .. }));
+        // ... but ids at the cap parse.
+        assert!(parse_trace(&format!("T{MAX_ID} read X{MAX_ID}\n")).is_ok());
     }
 
     #[test]
     fn malformed_traces_rejected() {
         let err = parse_trace("T1 ok\n").unwrap_err();
         assert!(matches!(err, TraceParseError::Malformed(_)));
+        // Duplicate responses to one tryC.
+        let err = parse_trace("T1 tryc\nT1 commit\nT1 commit\n").unwrap_err();
+        assert!(matches!(err, TraceParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn errors_format_as_json() {
+        for input in ["T1 frobnicate", "T1 ok\n", "T0 tryc"] {
+            let err = parse_trace(input).unwrap_err();
+            let json = serde_json::to_string(&err.to_content()).expect("error serializes");
+            assert!(json.contains("\"error\":"), "json: {json}");
+            assert!(json.contains("\"message\":"), "json: {json}");
+        }
+        let err = from_json("[{\"bogus\":").unwrap_err();
+        assert!(matches!(err, TraceParseError::Json { .. }));
+        let json = serde_json::to_string(&err.to_content()).unwrap();
+        assert!(json.contains("\"error\":\"json\""), "json: {json}");
     }
 }

@@ -8,7 +8,10 @@
 //! recorded histories routinely violate du-opacity (and usually opacity),
 //! making this the negative control for the checker experiments.
 
-use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use crate::{
+    Aborted, Engine, FaultPlan, FaultPoint, FaultSession, InjectedFault, Recorder, Transaction,
+    TxnOutcome,
+};
 use duop_history::{ObjId, Op, Ret, TxnId, Value};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -53,6 +56,25 @@ struct DirtyTxn<'a> {
     id: TxnId,
     read_cache: HashMap<ObjId, Value>,
     written: HashMap<ObjId, Value>,
+    aborted: bool,
+    faults: FaultSession,
+}
+
+impl DirtyTxn<'_> {
+    /// Applies an injected fault. Like everything else about this engine,
+    /// neither outcome rolls anything back: earlier in-place writes stay
+    /// visible, which is exactly the leak the fuzzer is meant to find.
+    fn injected(&mut self, point: FaultPoint) -> Option<Aborted> {
+        match self.faults.fault(point) {
+            Some(InjectedFault::Abort) => {
+                self.recorder.respond(self.id, Ret::Aborted);
+                self.aborted = true;
+                Some(Aborted)
+            }
+            Some(InjectedFault::Crash) => Some(Aborted),
+            None => None,
+        }
+    }
 }
 
 impl Transaction for DirtyTxn<'_> {
@@ -64,6 +86,9 @@ impl Transaction for DirtyTxn<'_> {
             return Ok(v);
         }
         self.recorder.invoke(self.id, Op::Read(obj));
+        if let Some(fault) = self.injected(FaultPoint::Read) {
+            return Err(fault);
+        }
         let v = *self.engine.cell(obj).read();
         self.read_cache.insert(obj, v);
         self.recorder.respond(self.id, Ret::Value(v));
@@ -72,6 +97,9 @@ impl Transaction for DirtyTxn<'_> {
 
     fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
         self.recorder.invoke(self.id, Op::Write(obj, value));
+        if let Some(fault) = self.injected(FaultPoint::Write) {
+            return Err(fault);
+        }
         // In-place, instantly visible to everyone: the deferred-update
         // violation under study.
         *self.engine.cell(obj).write() = value;
@@ -90,9 +118,10 @@ impl Engine for DirtyRead {
         self.cells.len() as u32
     }
 
-    fn run_txn(
+    fn run_txn_faulted(
         &self,
         recorder: &Recorder,
+        faults: &FaultPlan,
         body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
     ) -> TxnOutcome {
         let id = recorder.begin_txn();
@@ -102,14 +131,33 @@ impl Engine for DirtyRead {
             id,
             read_cache: HashMap::new(),
             written: HashMap::new(),
+            aborted: false,
+            faults: FaultSession::new(faults, id),
         };
-        if body(&mut txn).is_err() {
+        let body_result = body(&mut txn);
+        if txn.faults.crashed() {
+            // No recovery either: in-place writes stay visible with the
+            // transaction never reaching tryC.
+            return TxnOutcome::Crashed;
+        }
+        if txn.aborted {
+            return TxnOutcome::Aborted;
+        }
+        if body_result.is_err() {
             // No rollback — the writes stay. Unsafe, as advertised.
             recorder.invoke(id, Op::TryAbort);
             recorder.respond(id, Ret::Aborted);
             return TxnOutcome::Aborted;
         }
         recorder.invoke(id, Op::TryCommit);
+        match txn.faults.fault(FaultPoint::WriteBack) {
+            Some(InjectedFault::Abort) => {
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => return TxnOutcome::Crashed,
+            None => {}
+        }
         recorder.respond(id, Ret::Committed);
         TxnOutcome::Committed
     }

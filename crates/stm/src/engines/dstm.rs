@@ -13,7 +13,10 @@
 //! lock, a simplification over DSTM's lock-free protocol that preserves
 //! its histories' shape.
 
-use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use crate::{
+    Aborted, Engine, FaultPlan, FaultPoint, FaultSession, InjectedFault, Recorder, Transaction,
+    TxnOutcome,
+};
 use duop_history::{ObjId, Op, Ret, TxnId, Value};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -106,6 +109,7 @@ struct DstmTxn<'a> {
     owned: Vec<ObjId>,
     write_cache: HashMap<ObjId, Value>,
     aborted: bool,
+    faults: FaultSession,
 }
 
 impl DstmTxn<'_> {
@@ -114,6 +118,21 @@ impl DstmTxn<'_> {
         self.recorder.respond(self.id, Ret::Aborted);
         self.aborted = true;
         Aborted
+    }
+
+    /// Applies an injected fault. A crash flips the shared status cell to
+    /// `ABORTED` silently, so every owned locator resolves back to its old
+    /// value — the runtime's recovery — while the history keeps the
+    /// pending operation.
+    fn injected(&mut self, point: FaultPoint) -> Option<Aborted> {
+        match self.faults.fault(point) {
+            Some(InjectedFault::Abort) => Some(self.abort_op()),
+            Some(InjectedFault::Crash) => {
+                self.status.store(ABORTED, Ordering::SeqCst);
+                Some(Aborted)
+            }
+            None => None,
+        }
     }
 
     /// Re-validates the invisible read set by stamp.
@@ -137,6 +156,9 @@ impl Transaction for DstmTxn<'_> {
             return Ok(v);
         }
         self.recorder.invoke(self.id, Op::Read(obj));
+        if let Some(fault) = self.injected(FaultPoint::Read) {
+            return Err(fault);
+        }
         let (value, stamp) = self.engine.cell(obj).lock().resolve();
         self.read_set.push((obj, value, stamp));
         if !self.validate() {
@@ -149,6 +171,9 @@ impl Transaction for DstmTxn<'_> {
 
     fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
         self.recorder.invoke(self.id, Op::Write(obj, value));
+        if let Some(fault) = self.injected(FaultPoint::Write) {
+            return Err(fault);
+        }
         if !self.owned.contains(&obj) {
             let mut cell = self.engine.cell(obj).lock();
             let owner_status = cell.status.load(Ordering::SeqCst);
@@ -199,9 +224,10 @@ impl Engine for Dstm {
         self.cells.len() as u32
     }
 
-    fn run_txn(
+    fn run_txn_faulted(
         &self,
         recorder: &Recorder,
+        faults: &FaultPlan,
         body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
     ) -> TxnOutcome {
         let id = recorder.begin_txn();
@@ -215,8 +241,13 @@ impl Engine for Dstm {
             owned: Vec::new(),
             write_cache: HashMap::new(),
             aborted: false,
+            faults: FaultSession::new(faults, id),
         };
         let body_result = body(&mut txn);
+        if txn.faults.crashed() {
+            // The injection hook already parked the status at ABORTED.
+            return TxnOutcome::Crashed;
+        }
         if txn.aborted {
             return TxnOutcome::Aborted;
         }
@@ -227,8 +258,34 @@ impl Engine for Dstm {
             return TxnOutcome::Aborted;
         }
         recorder.invoke(id, Op::TryCommit);
+        match txn.faults.fault(FaultPoint::LockAcquire) {
+            Some(InjectedFault::Abort) => {
+                txn.status.store(ABORTED, Ordering::SeqCst);
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => {
+                txn.status.store(ABORTED, Ordering::SeqCst);
+                return TxnOutcome::Crashed;
+            }
+            None => {}
+        }
         // Validate and transition atomically w.r.t. other committers.
         let guard = self.commit_lock.lock();
+        match txn.faults.fault(FaultPoint::Validate) {
+            Some(InjectedFault::Abort) => {
+                drop(guard);
+                txn.status.store(ABORTED, Ordering::SeqCst);
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => {
+                drop(guard);
+                txn.status.store(ABORTED, Ordering::SeqCst);
+                return TxnOutcome::Crashed;
+            }
+            None => {}
+        }
         let ok = txn.validate()
             && txn
                 .status

@@ -8,7 +8,10 @@
 //! so with small value domains its histories are occasionally **not
 //! du-opaque**. The experiment harness measures exactly this gap.
 
-use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use crate::{
+    Aborted, Engine, FaultPlan, FaultPoint, FaultSession, InjectedFault, Recorder, Transaction,
+    TxnOutcome,
+};
 use duop_history::{ObjId, Op, Ret, TxnId, Value};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -72,9 +75,20 @@ struct NoRecTxn<'a> {
     read_cache: HashMap<ObjId, Value>,
     write_buf: HashMap<ObjId, Value>,
     aborted: bool,
+    faults: FaultSession,
 }
 
 impl NoRecTxn<'_> {
+    /// Applies an injected fault; both deferred-update outcomes simply
+    /// drop the private buffers.
+    fn injected(&mut self, point: FaultPoint) -> Option<Aborted> {
+        match self.faults.fault(point) {
+            Some(InjectedFault::Abort) => Some(self.abort_op()),
+            Some(InjectedFault::Crash) => Some(Aborted),
+            None => None,
+        }
+    }
+
     /// Value-based revalidation; returns the (even) time of validity.
     fn validate(&self) -> Option<u64> {
         loop {
@@ -105,6 +119,9 @@ impl Transaction for NoRecTxn<'_> {
             return Ok(v);
         }
         self.recorder.invoke(self.id, Op::Read(obj));
+        if let Some(fault) = self.injected(FaultPoint::Read) {
+            return Err(fault);
+        }
         loop {
             let before = self.engine.wait_even();
             if before != self.snapshot {
@@ -126,6 +143,9 @@ impl Transaction for NoRecTxn<'_> {
 
     fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
         self.recorder.invoke(self.id, Op::Write(obj, value));
+        if let Some(fault) = self.injected(FaultPoint::Write) {
+            return Err(fault);
+        }
         self.write_buf.insert(obj, value);
         self.recorder.respond(self.id, Ret::Ok);
         Ok(())
@@ -141,9 +161,10 @@ impl Engine for NoRec {
         self.cells.len() as u32
     }
 
-    fn run_txn(
+    fn run_txn_faulted(
         &self,
         recorder: &Recorder,
+        faults: &FaultPlan,
         body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
     ) -> TxnOutcome {
         let id = recorder.begin_txn();
@@ -156,8 +177,13 @@ impl Engine for NoRec {
             read_cache: HashMap::new(),
             write_buf: HashMap::new(),
             aborted: false,
+            faults: FaultSession::new(faults, id),
         };
         let body_result = body(&mut txn);
+        if txn.faults.crashed() {
+            // Buffered updates die with the transaction.
+            return TxnOutcome::Crashed;
+        }
         if txn.aborted {
             return TxnOutcome::Aborted;
         }
@@ -168,6 +194,14 @@ impl Engine for NoRec {
         }
 
         recorder.invoke(id, Op::TryCommit);
+        match txn.faults.fault(FaultPoint::LockAcquire) {
+            Some(InjectedFault::Abort) => {
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => return TxnOutcome::Crashed,
+            None => {}
+        }
 
         if txn.write_buf.is_empty() {
             recorder.respond(id, Ret::Committed);
@@ -195,6 +229,19 @@ impl Engine for NoRec {
                     return TxnOutcome::Aborted;
                 }
             }
+        }
+        match txn.faults.fault(FaultPoint::WriteBack) {
+            Some(InjectedFault::Abort) => {
+                // Release the sequence lock without publishing.
+                self.seqlock.store(txn.snapshot, Ordering::SeqCst);
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => {
+                self.seqlock.store(txn.snapshot, Ordering::SeqCst);
+                return TxnOutcome::Crashed;
+            }
+            None => {}
         }
         for (obj, value) in &txn.write_buf {
             *self.cell(*obj).write() = *value;

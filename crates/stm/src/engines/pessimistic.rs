@@ -12,7 +12,10 @@
 //! be inconsistent, breaking opacity. This engine exists to reproduce that
 //! Section 5 claim; it is not a safe TM.
 
-use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use crate::{
+    Aborted, Engine, FaultPlan, FaultPoint, FaultSession, InjectedFault, Recorder, Transaction,
+    TxnOutcome,
+};
 use duop_history::{ObjId, Op, Ret, TxnId, Value};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
@@ -64,6 +67,38 @@ struct PessimisticTxn<'a> {
     undo: Vec<(ObjId, Value)>,
     read_cache: HashMap<ObjId, Value>,
     written: HashMap<ObjId, Value>,
+    aborted: bool,
+    faults: FaultSession,
+}
+
+impl PessimisticTxn<'_> {
+    /// Restores the store and releases the writer lock.
+    fn recover(&mut self) {
+        for (obj, original) in self.undo.drain(..).rev() {
+            *self.engine.cell(obj).write() = original;
+        }
+        drop(self.writer_guard.take());
+    }
+
+    /// Applies an injected fault. The engine itself never aborts, but a
+    /// forced abort still has a well-defined meaning — the voluntary
+    /// give-up path: roll back under the writer lock and record `A_k`. A
+    /// crash rolls back and unlocks without recording anything.
+    fn injected(&mut self, point: FaultPoint) -> Option<Aborted> {
+        match self.faults.fault(point) {
+            Some(InjectedFault::Abort) => {
+                self.recover();
+                self.recorder.respond(self.id, Ret::Aborted);
+                self.aborted = true;
+                Some(Aborted)
+            }
+            Some(InjectedFault::Crash) => {
+                self.recover();
+                Some(Aborted)
+            }
+            None => None,
+        }
+    }
 }
 
 impl Transaction for PessimisticTxn<'_> {
@@ -75,6 +110,9 @@ impl Transaction for PessimisticTxn<'_> {
             return Ok(v);
         }
         self.recorder.invoke(self.id, Op::Read(obj));
+        if let Some(fault) = self.injected(FaultPoint::Read) {
+            return Err(fault);
+        }
         // Unvalidated read: may observe another writer's in-place,
         // not-yet-committing state.
         let v = *self.engine.cell(obj).read();
@@ -85,6 +123,9 @@ impl Transaction for PessimisticTxn<'_> {
 
     fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
         self.recorder.invoke(self.id, Op::Write(obj, value));
+        if let Some(fault) = self.injected(FaultPoint::Write) {
+            return Err(fault);
+        }
         if self.writer_guard.is_none() {
             // Block until we are the writer; pessimism means no abort.
             self.writer_guard = Some(self.engine.writer_lock.lock());
@@ -111,9 +152,10 @@ impl Engine for Pessimistic {
         self.cells.len() as u32
     }
 
-    fn run_txn(
+    fn run_txn_faulted(
         &self,
         recorder: &Recorder,
+        faults: &FaultPlan,
         body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
     ) -> TxnOutcome {
         let id = recorder.begin_txn();
@@ -125,8 +167,17 @@ impl Engine for Pessimistic {
             undo: Vec::new(),
             read_cache: HashMap::new(),
             written: HashMap::new(),
+            aborted: false,
+            faults: FaultSession::new(faults, id),
         };
         let body_result = body(&mut txn);
+        if txn.faults.crashed() {
+            // The injection hook already rolled back and unlocked.
+            return TxnOutcome::Crashed;
+        }
+        if txn.aborted {
+            return TxnOutcome::Aborted;
+        }
         if body_result.is_err() {
             // The engine never aborts; a voluntary give-up still rolls
             // back under the held writer lock.
@@ -139,6 +190,20 @@ impl Engine for Pessimistic {
             return TxnOutcome::Aborted;
         }
         recorder.invoke(id, Op::TryCommit);
+        match txn.faults.fault(FaultPoint::WriteBack) {
+            Some(InjectedFault::Abort) => {
+                // Forced abort at commit: give up as a voluntary abort
+                // would — roll back under the lock, record `A_k`.
+                txn.recover();
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => {
+                txn.recover();
+                return TxnOutcome::Crashed;
+            }
+            None => {}
+        }
         drop(txn.writer_guard.take());
         recorder.respond(id, Ret::Committed);
         TxnOutcome::Committed

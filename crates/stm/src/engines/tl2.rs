@@ -6,7 +6,10 @@
 //! global clock and publish versioned values. TL2 guarantees opacity — and,
 //! because versions rule out ABA, the recorded histories are du-opaque.
 
-use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use crate::{
+    Aborted, Engine, FaultPlan, FaultPoint, FaultSession, InjectedFault, Recorder, Transaction,
+    TxnOutcome,
+};
 use duop_history::{ObjId, Op, Ret, TxnId, Value};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -68,6 +71,7 @@ struct Tl2Txn<'a> {
     read_cache: HashMap<ObjId, Value>,
     write_buf: HashMap<ObjId, Value>,
     aborted: bool,
+    faults: FaultSession,
 }
 
 impl Tl2Txn<'_> {
@@ -75,6 +79,16 @@ impl Tl2Txn<'_> {
         self.recorder.respond(self.id, Ret::Aborted);
         self.aborted = true;
         Aborted
+    }
+
+    /// Applies an injected fault at an operation-level point. A crash is
+    /// already latched in the session; both faults unwind the body.
+    fn injected(&mut self, point: FaultPoint) -> Option<Aborted> {
+        match self.faults.fault(point) {
+            Some(InjectedFault::Abort) => Some(self.abort_op()),
+            Some(InjectedFault::Crash) => Some(Aborted),
+            None => None,
+        }
     }
 }
 
@@ -87,6 +101,9 @@ impl Transaction for Tl2Txn<'_> {
             return Ok(v);
         }
         self.recorder.invoke(self.id, Op::Read(obj));
+        if let Some(fault) = self.injected(FaultPoint::Read) {
+            return Err(fault);
+        }
         let (version, value) = *self.engine.cell(obj).state.read();
         if version > self.rv {
             return Err(self.abort_op());
@@ -98,6 +115,9 @@ impl Transaction for Tl2Txn<'_> {
 
     fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
         self.recorder.invoke(self.id, Op::Write(obj, value));
+        if let Some(fault) = self.injected(FaultPoint::Write) {
+            return Err(fault);
+        }
         self.write_buf.insert(obj, value);
         self.recorder.respond(self.id, Ret::Ok);
         Ok(())
@@ -113,9 +133,10 @@ impl Engine for Tl2 {
         self.cells.len() as u32
     }
 
-    fn run_txn(
+    fn run_txn_faulted(
         &self,
         recorder: &Recorder,
+        faults: &FaultPlan,
         body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
     ) -> TxnOutcome {
         let id = recorder.begin_txn();
@@ -127,8 +148,13 @@ impl Engine for Tl2 {
             read_cache: HashMap::new(),
             write_buf: HashMap::new(),
             aborted: false,
+            faults: FaultSession::new(faults, id),
         };
         let body_result = body(&mut txn);
+        if txn.faults.crashed() {
+            // Buffered updates die with the transaction; nothing to clean.
+            return TxnOutcome::Crashed;
+        }
         if txn.aborted {
             return TxnOutcome::Aborted;
         }
@@ -140,6 +166,14 @@ impl Engine for Tl2 {
         }
 
         recorder.invoke(id, Op::TryCommit);
+        match txn.faults.fault(FaultPoint::LockAcquire) {
+            Some(InjectedFault::Abort) => {
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => return TxnOutcome::Crashed,
+            None => {}
+        }
 
         // Read-only transactions validated every read against rv: commit.
         if txn.write_buf.is_empty() {
@@ -160,6 +194,15 @@ impl Engine for Tl2 {
                     return TxnOutcome::Aborted;
                 }
             }
+        }
+        match txn.faults.fault(FaultPoint::Validate) {
+            Some(InjectedFault::Abort) => {
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            // Guards drop silently: the commit never published anything.
+            Some(InjectedFault::Crash) => return TxnOutcome::Crashed,
+            None => {}
         }
 
         let wv = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
@@ -186,6 +229,14 @@ impl Engine for Tl2 {
             }
         }
 
+        match txn.faults.fault(FaultPoint::WriteBack) {
+            Some(InjectedFault::Abort) => {
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => return TxnOutcome::Crashed,
+            None => {}
+        }
         for (guard, (_, value)) in guards.iter_mut().zip(&write_set) {
             **guard = (wv, *value);
         }

@@ -8,7 +8,10 @@
 //! observe uncommitted state because the lock shields it, so the recorded
 //! histories remain du-opaque even though the store is updated in place.
 
-use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use crate::{
+    Aborted, Engine, FaultPlan, FaultPoint, FaultSession, InjectedFault, Recorder, Transaction,
+    TxnOutcome,
+};
 use duop_history::{ObjId, Op, Ret, TxnId, Value};
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
@@ -57,9 +60,24 @@ struct TwoPlTxn<'a> {
     undo: Vec<(ObjId, Value)>,
     read_cache: HashMap<ObjId, Value>,
     aborted: bool,
+    faults: FaultSession,
 }
 
 impl<'a> TwoPlTxn<'a> {
+    /// Applies an injected fault. A crash rolls the in-place writes back
+    /// and releases every lock — silently: the TM runtime recovers the
+    /// store, but the crashed client never records another event.
+    fn injected(&mut self, point: FaultPoint) -> Option<Aborted> {
+        match self.faults.fault(point) {
+            Some(InjectedFault::Abort) => Some(self.abort_op()),
+            Some(InjectedFault::Crash) => {
+                self.rollback();
+                Some(Aborted)
+            }
+            None => None,
+        }
+    }
+
     /// Acquires the object's lock (no-wait). `None` means conflict.
     fn acquire(&mut self, obj: ObjId) -> Option<()> {
         if self.guards.contains_key(&obj) {
@@ -100,6 +118,9 @@ impl Transaction for TwoPlTxn<'_> {
             return Ok(v);
         }
         self.recorder.invoke(self.id, Op::Read(obj));
+        if let Some(fault) = self.injected(FaultPoint::Read) {
+            return Err(fault);
+        }
         if self.acquire(obj).is_none() {
             return Err(self.abort_op());
         }
@@ -111,6 +132,9 @@ impl Transaction for TwoPlTxn<'_> {
 
     fn write(&mut self, obj: ObjId, value: Value) -> Result<(), Aborted> {
         self.recorder.invoke(self.id, Op::Write(obj, value));
+        if let Some(fault) = self.injected(FaultPoint::Write) {
+            return Err(fault);
+        }
         if self.acquire(obj).is_none() {
             return Err(self.abort_op());
         }
@@ -133,9 +157,10 @@ impl Engine for Eager2Pl {
         self.cells.len() as u32
     }
 
-    fn run_txn(
+    fn run_txn_faulted(
         &self,
         recorder: &Recorder,
+        faults: &FaultPlan,
         body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
     ) -> TxnOutcome {
         let id = recorder.begin_txn();
@@ -147,8 +172,13 @@ impl Engine for Eager2Pl {
             undo: Vec::new(),
             read_cache: HashMap::new(),
             aborted: false,
+            faults: FaultSession::new(faults, id),
         };
         let body_result = body(&mut txn);
+        if txn.faults.crashed() {
+            // The injection hook already rolled back and unlocked.
+            return TxnOutcome::Crashed;
+        }
         if txn.aborted {
             return TxnOutcome::Aborted;
         }
@@ -159,6 +189,20 @@ impl Engine for Eager2Pl {
             return TxnOutcome::Aborted;
         }
         recorder.invoke(id, Op::TryCommit);
+        match txn.faults.fault(FaultPoint::LockAcquire) {
+            Some(InjectedFault::Abort) => {
+                txn.rollback();
+                recorder.respond(id, Ret::Aborted);
+                return TxnOutcome::Aborted;
+            }
+            Some(InjectedFault::Crash) => {
+                // Crash inside commit: roll back and unlock silently,
+                // leaving the tryC commit-pending.
+                txn.rollback();
+                return TxnOutcome::Crashed;
+            }
+            None => {}
+        }
         // Strict 2PL: release every lock at commit; updates are already in
         // place.
         txn.guards.clear();

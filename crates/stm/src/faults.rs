@@ -1,0 +1,356 @@
+//! Deterministic fault injection for the STM engines.
+//!
+//! A [`FaultPlan`] describes, as per-decision probabilities, three kinds of
+//! faults an engine can suffer at its injection points:
+//!
+//! * **forced aborts** — the engine kills the transaction at the chosen
+//!   step, recording the abort response exactly as a genuine conflict
+//!   would;
+//! * **crashes** — the transaction (and, with `thread-crash`, the whole
+//!   worker thread) stops mid-flight. No further events are recorded, so
+//!   the history keeps a pending operation or a commit-pending `tryC`; the
+//!   engine still performs its internal cleanup (releasing locks, rolling
+//!   back in-place writes) *silently*, modelling a crashed client whose TM
+//!   runtime recovers the shared store;
+//! * **delays** — the OS thread yields at the injection point, perturbing
+//!   the scheduler to widen race windows.
+//!
+//! Every decision is a pure function of `(seed, transaction id, injection
+//! point, per-transaction step counter)` — no RNG state is threaded through
+//! the engines — so a run with a fixed workload seed and a fixed fault seed
+//! replays the same fault schedule, which is what lets `duop fuzz` shrink
+//! and re-report findings deterministically.
+//!
+//! [`FaultPlan::none`] is the identity plan: every hook exits on a single
+//! branch, keeping the injection layer's overhead on the fault-free hot
+//! path negligible (measured by `benches/fault_overhead.rs`).
+
+use std::error::Error;
+use std::fmt;
+
+use duop_history::TxnId;
+
+/// One decision per million: probabilities are stored in parts-per-million
+/// so fault decisions need no floating point on the hot path.
+const PPM: u64 = 1_000_000;
+
+/// Injection points inside a transaction attempt.
+///
+/// `Read` and `Write` fire after the operation's invocation has been
+/// recorded but before the engine touches shared state; the commit-phase
+/// points fire after the `tryC` invocation, between the engine's commit
+/// sub-phases (which subset of them exists depends on the engine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Before a read operation accesses the store.
+    Read,
+    /// Before a write operation takes effect.
+    Write,
+    /// During commit, before locks or ownership are acquired.
+    LockAcquire,
+    /// During commit, before read-set validation.
+    Validate,
+    /// During commit, before write-back / publication.
+    WriteBack,
+}
+
+impl FaultPoint {
+    fn salt(self) -> u64 {
+        match self {
+            FaultPoint::Read => 1,
+            FaultPoint::Write => 2,
+            FaultPoint::LockAcquire => 3,
+            FaultPoint::Validate => 4,
+            FaultPoint::WriteBack => 5,
+        }
+    }
+}
+
+/// A fault an injection point must act on (delays are applied internally
+/// by [`FaultSession::fault`] and never surface here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Kill the transaction through the engine's ordinary abort path.
+    Abort,
+    /// Stop the transaction mid-flight: clean up shared state silently and
+    /// record no further events.
+    Crash,
+}
+
+/// A malformed `--faults` specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError(String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl Error for FaultSpecError {}
+
+/// A seeded, deterministic fault schedule.
+///
+/// # Examples
+///
+/// ```
+/// use duop_stm::FaultPlan;
+///
+/// let plan = FaultPlan::parse("abort=0.1,crash=0.05,delay=0.2").unwrap().with_seed(42);
+/// assert!(!plan.is_none());
+/// assert!(FaultPlan::none().is_none());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    abort_ppm: u32,
+    crash_ppm: u32,
+    delay_ppm: u32,
+    /// Probability that a crash takes the whole worker thread down with it.
+    thread_crash_ppm: u32,
+}
+
+/// The identity plan, usable as a `&'static` default.
+pub(crate) static NO_FAULTS: FaultPlan = FaultPlan::none();
+
+impl FaultPlan {
+    /// The plan that injects nothing.
+    pub const fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            abort_ppm: 0,
+            crash_ppm: 0,
+            delay_ppm: 0,
+            thread_crash_ppm: 0,
+        }
+    }
+
+    /// Returns `true` if this plan can never inject a fault.
+    pub fn is_none(&self) -> bool {
+        self.abort_ppm == 0 && self.crash_ppm == 0 && self.delay_ppm == 0
+    }
+
+    /// Parses a specification of the form
+    /// `abort=0.05,crash=0.02,delay=0.1,thread-crash=0.5`.
+    ///
+    /// Every key is optional; each value is a probability in `[0, 1]`
+    /// applied independently at every injection point (`thread-crash` is
+    /// conditional on a crash having fired). The seed defaults to 0; set it
+    /// with [`with_seed`](FaultPlan::with_seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] on unknown keys, missing `=`, values
+    /// outside `[0, 1]` or unparsable numbers.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError(format!("`{part}` is not of the form key=prob")))?;
+            let p: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| FaultSpecError(format!("`{value}` is not a number")))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FaultSpecError(format!(
+                    "probability `{value}` is outside [0, 1]"
+                )));
+            }
+            let ppm = (p * PPM as f64).round() as u32;
+            match key.trim() {
+                "abort" => plan.abort_ppm = ppm,
+                "crash" => plan.crash_ppm = ppm,
+                "delay" => plan.delay_ppm = ppm,
+                "thread-crash" => plan.thread_crash_ppm = ppm,
+                other => return Err(FaultSpecError(format!(
+                    "unknown fault kind `{other}` (expected abort, crash, delay or thread-crash)"
+                ))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Returns this plan with the given fault seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The fault seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decides whether the crash that just hit transaction `txn` also kills
+    /// its worker thread. Deterministic in `(seed, txn)`.
+    pub fn crash_kills_thread(&self, txn: TxnId) -> bool {
+        draw(mix(self.seed, txn.index() as u64, 6, 0)) < self.thread_crash_ppm
+    }
+}
+
+/// Per-attempt injection state: a step counter over the transaction's
+/// injection points plus the crash latch the engine's cleanup consults.
+#[derive(Debug)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    txn: u64,
+    step: u64,
+    crashed: bool,
+}
+
+impl FaultSession {
+    /// Opens a session for one attempt of transaction `txn`.
+    pub fn new(plan: &FaultPlan, txn: TxnId) -> Self {
+        FaultSession {
+            plan: *plan,
+            txn: txn.index() as u64,
+            step: 0,
+            crashed: false,
+        }
+    }
+
+    /// Decides the fault at `point`, advancing the step counter.
+    ///
+    /// Delays are applied in place (the thread yields) and return `None`;
+    /// `Some(InjectedFault::Crash)` additionally latches
+    /// [`crashed`](FaultSession::crashed) so the engine's epilogue can tell
+    /// a crash from an ordinary abort.
+    pub fn fault(&mut self, point: FaultPoint) -> Option<InjectedFault> {
+        if self.plan.is_none() || self.crashed {
+            return None;
+        }
+        let step = self.step;
+        self.step += 1;
+        let roll = draw(mix(self.plan.seed, self.txn, point.salt(), step));
+        if roll < self.plan.crash_ppm {
+            self.crashed = true;
+            return Some(InjectedFault::Crash);
+        }
+        let roll = roll - self.plan.crash_ppm;
+        if roll < self.plan.abort_ppm {
+            return Some(InjectedFault::Abort);
+        }
+        let roll = roll - self.plan.abort_ppm;
+        if roll < self.plan.delay_ppm {
+            std::thread::yield_now();
+        }
+        None
+    }
+
+    /// Returns `true` once a crash has been injected into this attempt.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+}
+
+/// Maps a 64-bit hash to a uniform draw in `[0, PPM)`.
+fn draw(h: u64) -> u32 {
+    (h % PPM) as u32
+}
+
+/// SplitMix64-style finalizer over the decision coordinates.
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_fires() {
+        let mut session = FaultSession::new(&FaultPlan::none(), TxnId::new(1));
+        for _ in 0..1000 {
+            assert_eq!(session.fault(FaultPoint::Read), None);
+        }
+        assert!(!session.crashed());
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse("abort=0.05, crash=0.02,delay=0.1,thread-crash=1").unwrap();
+        assert_eq!(plan.abort_ppm, 50_000);
+        assert_eq!(plan.crash_ppm, 20_000);
+        assert_eq!(plan.delay_ppm, 100_000);
+        assert_eq!(plan.thread_crash_ppm, 1_000_000);
+        assert!(!plan.is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("abort").is_err());
+        assert!(FaultPlan::parse("abort=nan-ish").is_err());
+        assert!(FaultPlan::parse("abort=1.5").is_err());
+        assert!(FaultPlan::parse("abort=-0.1").is_err());
+        assert!(FaultPlan::parse("explode=0.5").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_identity() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::parse("abort=0.3,crash=0.2")
+            .unwrap()
+            .with_seed(7);
+        let run = |_: ()| -> Vec<Option<InjectedFault>> {
+            let mut s = FaultSession::new(&plan, TxnId::new(5));
+            (0..64).map(|_| s.fault(FaultPoint::Write)).collect()
+        };
+        assert_eq!(run(()), run(()));
+    }
+
+    #[test]
+    fn certain_crash_fires_once_and_latches() {
+        let plan = FaultPlan::parse("crash=1").unwrap();
+        let mut s = FaultSession::new(&plan, TxnId::new(2));
+        assert_eq!(s.fault(FaultPoint::Read), Some(InjectedFault::Crash));
+        assert!(s.crashed());
+        // After the crash the session is inert.
+        assert_eq!(s.fault(FaultPoint::Read), None);
+    }
+
+    #[test]
+    fn abort_and_crash_rates_roughly_match_spec() {
+        let plan = FaultPlan::parse("abort=0.25,crash=0.25")
+            .unwrap()
+            .with_seed(3);
+        let mut aborts = 0u32;
+        let mut crashes = 0u32;
+        for txn in 1..=4000u32 {
+            let mut s = FaultSession::new(&plan, TxnId::new(txn));
+            match s.fault(FaultPoint::Read) {
+                Some(InjectedFault::Abort) => aborts += 1,
+                Some(InjectedFault::Crash) => crashes += 1,
+                None => {}
+            }
+        }
+        for count in [aborts, crashes] {
+            assert!((800..=1200).contains(&count), "rate off: {count}/4000");
+        }
+    }
+
+    #[test]
+    fn thread_crash_decision_is_deterministic_per_txn() {
+        let plan = FaultPlan::parse("crash=1,thread-crash=0.5")
+            .unwrap()
+            .with_seed(9);
+        let first = (1..=100u32)
+            .map(|k| plan.crash_kills_thread(TxnId::new(k)))
+            .collect::<Vec<_>>();
+        let again = (1..=100u32)
+            .map(|k| plan.crash_kills_thread(TxnId::new(k)))
+            .collect::<Vec<_>>();
+        assert_eq!(first, again);
+        assert!(first.iter().any(|&b| b) && first.iter().any(|&b| !b));
+    }
+}

@@ -19,7 +19,10 @@
 //!
 //! [`run_workload`] drives any engine from multiple OS threads and returns
 //! the globally ordered [`History`](duop_history::History) for the
-//! `duop-core` checkers.
+//! `duop-core` checkers. [`run_workload_faulted`] does the same under a
+//! deterministic [`FaultPlan`] — forced aborts, mid-flight crashes and
+//! scheduler delays at each engine's injection points — producing the
+//! hostile histories the robustness experiments feed to the checkers.
 //!
 //! # Example
 //!
@@ -36,11 +39,13 @@
 #![forbid(unsafe_code)]
 
 pub mod engines;
+pub mod faults;
 
 mod recorder;
 mod txn;
 mod workload;
 
+pub use faults::{FaultPlan, FaultPoint, FaultSession, FaultSpecError, InjectedFault};
 pub use recorder::Recorder;
 pub use txn::{Aborted, Engine, Transaction, TxnOutcome};
-pub use workload::{run_workload, WorkloadConfig, WorkloadStats};
+pub use workload::{run_workload, run_workload_faulted, WorkloadConfig, WorkloadStats};

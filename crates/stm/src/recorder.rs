@@ -32,6 +32,14 @@ impl Recorder {
         TxnId::new(self.next_txn.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// The identifier the next [`begin_txn`](Recorder::begin_txn) call will
+    /// allocate. Exact on a single thread; under concurrency another thread
+    /// may claim it first (callers using it for deterministic decisions run
+    /// single-threaded).
+    pub fn peek_next_txn(&self) -> TxnId {
+        TxnId::new(self.next_txn.load(Ordering::Relaxed))
+    }
+
     /// Records an invocation event.
     pub fn invoke(&self, txn: TxnId, op: Op) {
         self.events.lock().push(Event::inv(txn, op));

@@ -53,12 +53,22 @@ pub enum TxnOutcome {
     /// The attempt aborted (`A_k` recorded) — either the engine killed it
     /// or commit-time validation failed.
     Aborted,
+    /// An injected crash stopped the attempt mid-flight: no terminating
+    /// event was recorded, so the history keeps a pending operation or a
+    /// commit-pending `tryC`. The engine has already recovered its shared
+    /// state silently (see [`crate::FaultPlan`]).
+    Crashed,
 }
 
 impl TxnOutcome {
     /// Returns `true` for [`TxnOutcome::Committed`].
     pub fn is_committed(self) -> bool {
         matches!(self, TxnOutcome::Committed)
+    }
+
+    /// Returns `true` for [`TxnOutcome::Crashed`].
+    pub fn is_crashed(self) -> bool {
+        matches!(self, TxnOutcome::Crashed)
     }
 }
 
@@ -75,17 +85,30 @@ pub trait Engine: Send + Sync {
     /// Number of t-objects in the store.
     fn objects(&self) -> u32;
 
-    /// Runs one transaction attempt: allocates an id, executes `body`
-    /// against a fresh transaction, and — if the body completes without
-    /// aborting — attempts to commit.
+    /// Runs one transaction attempt under a fault schedule: allocates an
+    /// id, executes `body` against a fresh transaction — injecting forced
+    /// aborts, crashes and delays at this engine's injection points per
+    /// `faults` — and, if the body completes without aborting or crashing,
+    /// attempts to commit.
     ///
     /// If `body` returns `Err(Aborted)` the attempt counts as aborted (the
-    /// abort response is already recorded).
+    /// abort response is already recorded). An injected crash yields
+    /// [`TxnOutcome::Crashed`] with no terminating event recorded.
+    fn run_txn_faulted(
+        &self,
+        recorder: &crate::Recorder,
+        faults: &crate::FaultPlan,
+        body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
+    ) -> TxnOutcome;
+
+    /// Runs one transaction attempt with no fault injection.
     fn run_txn(
         &self,
         recorder: &crate::Recorder,
         body: &mut dyn FnMut(&mut dyn Transaction) -> Result<(), Aborted>,
-    ) -> TxnOutcome;
+    ) -> TxnOutcome {
+        self.run_txn_faulted(recorder, &crate::faults::NO_FAULTS, body)
+    }
 }
 
 #[cfg(test)]

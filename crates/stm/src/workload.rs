@@ -1,6 +1,6 @@
 //! Multi-threaded workload driving and history capture.
 
-use crate::{Aborted, Engine, Recorder, Transaction, TxnOutcome};
+use crate::{Aborted, Engine, FaultPlan, Recorder, Transaction, TxnOutcome};
 use duop_history::{History, ObjId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,12 +52,14 @@ pub struct WorkloadStats {
     pub committed: usize,
     /// Transaction attempts that aborted.
     pub aborted: usize,
+    /// Transaction attempts stopped by an injected crash (never retried).
+    pub crashed: usize,
 }
 
 impl WorkloadStats {
     /// Total attempts.
     pub fn attempts(&self) -> usize {
-        self.committed + self.aborted
+        self.committed + self.aborted + self.crashed
     }
 }
 
@@ -69,10 +71,24 @@ impl WorkloadStats {
 /// to `max_attempts`, every attempt appearing in the history under a fresh
 /// transaction identifier, exactly as the paper's model prescribes.
 pub fn run_workload(engine: &dyn Engine, config: &WorkloadConfig) -> (History, WorkloadStats) {
+    run_workload_faulted(engine, config, &FaultPlan::none())
+}
+
+/// As [`run_workload`], but every transaction attempt runs under the given
+/// [`FaultPlan`]: forced aborts are retried like genuine ones, an injected
+/// crash ends its logical transaction (crashed attempts are never retried),
+/// and — per the plan's `thread-crash` probability — may stop the worker
+/// thread entirely, abandoning its remaining transactions mid-run.
+pub fn run_workload_faulted(
+    engine: &dyn Engine,
+    config: &WorkloadConfig,
+    faults: &FaultPlan,
+) -> (History, WorkloadStats) {
     let recorder = Recorder::new();
     let unique_counter = AtomicU64::new(1);
     let committed = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
+    let crashed = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for tid in 0..config.threads {
@@ -80,11 +96,12 @@ pub fn run_workload(engine: &dyn Engine, config: &WorkloadConfig) -> (History, W
             let unique_counter = &unique_counter;
             let committed = &committed;
             let aborted = &aborted;
+            let crashed = &crashed;
             let config = config.clone();
             scope.spawn(move || {
                 let mut rng =
                     StdRng::seed_from_u64(config.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9));
-                for _ in 0..config.txns_per_thread {
+                'thread: for _ in 0..config.txns_per_thread {
                     // Plan the body once per logical transaction.
                     let ops = plan_ops(&mut rng, engine.objects(), &config, unique_counter);
                     for attempt in 0..config.max_attempts.max(1) {
@@ -102,7 +119,8 @@ pub fn run_workload(engine: &dyn Engine, config: &WorkloadConfig) -> (History, W
                             }
                             Ok(())
                         };
-                        match engine.run_txn(recorder, &mut body) {
+                        let last = recorder.peek_next_txn();
+                        match engine.run_txn_faulted(recorder, faults, &mut body) {
                             TxnOutcome::Committed => {
                                 committed.fetch_add(1, Ordering::Relaxed);
                                 break;
@@ -110,6 +128,17 @@ pub fn run_workload(engine: &dyn Engine, config: &WorkloadConfig) -> (History, W
                             TxnOutcome::Aborted => {
                                 aborted.fetch_add(1, Ordering::Relaxed);
                                 let _ = attempt;
+                            }
+                            TxnOutcome::Crashed => {
+                                crashed.fetch_add(1, Ordering::Relaxed);
+                                if faults.crash_kills_thread(last) {
+                                    // The whole worker dies with its
+                                    // transaction.
+                                    break 'thread;
+                                }
+                                // A crashed transaction is gone for good;
+                                // its logical work is not retried.
+                                break;
                             }
                         }
                     }
@@ -121,6 +150,7 @@ pub fn run_workload(engine: &dyn Engine, config: &WorkloadConfig) -> (History, W
     let stats = WorkloadStats {
         committed: committed.load(Ordering::Relaxed) as usize,
         aborted: aborted.load(Ordering::Relaxed) as usize,
+        crashed: crashed.load(Ordering::Relaxed) as usize,
     };
     (recorder.into_history(), stats)
 }
@@ -205,6 +235,53 @@ mod tests {
         let (h, stats) = run_workload(&engine, &small());
         assert_eq!(stats.aborted, 0, "dirty engine never aborts");
         assert_eq!(h.txn_count(), stats.attempts());
+    }
+
+    #[test]
+    fn faulted_run_records_crashes_as_pending_transactions() {
+        let engine = Tl2::new(4);
+        let plan = FaultPlan::parse("abort=0.1,crash=0.25")
+            .unwrap()
+            .with_seed(1);
+        let cfg = WorkloadConfig {
+            threads: 1,
+            ..small()
+        };
+        let (h, stats) = run_workload_faulted(&engine, &cfg, &plan);
+        assert!(stats.crashed > 0, "crash plan injected nothing: {stats:?}");
+        assert_eq!(h.txn_count(), stats.attempts());
+        // Crashed transactions leave the history t-incomplete.
+        assert!(!h.is_t_complete());
+    }
+
+    #[test]
+    fn faulted_single_thread_runs_are_deterministic() {
+        let plan = FaultPlan::parse("abort=0.1,crash=0.2,delay=0.3")
+            .unwrap()
+            .with_seed(11);
+        let cfg = WorkloadConfig {
+            threads: 1,
+            ..small()
+        };
+        let (a, sa) = run_workload_faulted(&Tl2::new(4), &cfg, &plan);
+        let (b, sb) = run_workload_faulted(&Tl2::new(4), &cfg, &plan);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn thread_crash_abandons_remaining_transactions() {
+        let engine = Tl2::new(4);
+        let plan = FaultPlan::parse("crash=1,thread-crash=1").unwrap();
+        let cfg = WorkloadConfig {
+            threads: 2,
+            ..small()
+        };
+        let (h, stats) = run_workload_faulted(&engine, &cfg, &plan);
+        // Every thread dies on its first transaction.
+        assert_eq!(stats.crashed, 2);
+        assert_eq!(stats.committed + stats.aborted, 0);
+        assert_eq!(h.txn_count(), 2);
     }
 
     #[test]
