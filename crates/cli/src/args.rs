@@ -9,14 +9,18 @@ duop — check transactional-memory histories against du-opacity and friends
 
 USAGE:
   duop check <trace-file|-> [--criterion NAME]... [--threads N]
-             [--no-decompose] [--no-prelint] [--deadline MS]
+             [--no-decompose] [--no-prelint] [--no-ladder]
+             [--deadline MS] [--max-states N] [--retry N] [--escalate F]
+             [--checkpoint FILE] [--checkpoint-every N]
              [--format text|json]
   duop lint <trace-file|-> [--format text|json] [--rule ID]...
   duop fuzz --engine tl2|norec|dstm|2pl|pessimistic|dirty
             [--faults SPEC] [--seed N] [--iters N] [--threads N]
-            [--objs N]
+            [--objs N] [--format text|json]
   duop render <trace-file|->
-  duop monitor <trace-file|->
+  duop monitor <trace-file|-> [--checkpoint FILE] [--checkpoint-every N]
+               [--status-every N]
+  duop resume <checkpoint-file>
   duop generate [--mode simulated|value|adversarial] [--txns N] [--objs N]
                 [--seed N] [--unique] [--concurrency N]
   duop convert <trace-file|-> --to text|json
@@ -35,9 +39,27 @@ sequential engine's. `--no-decompose` disables the search planner's
 conflict-graph decomposition (ablation; slower on multi-component
 histories, same verdicts). `--no-prelint` disables the polynomial lint
 prefilter (ablation, same verdicts). `--deadline MS` bounds each
-serialization search by a wall-clock deadline; a search that runs out
-reports `unknown (deadline ...)` instead of hanging. `--format json`
-prints each verdict as JSON on one line.
+serialization search by a wall-clock deadline and `--max-states N` by an
+explored-state budget; a search that runs out reports `unknown (...)`
+with a `partial` progress payload instead of hanging. On budget
+exhaustion a sound degradation ladder (lint refutation, then the
+Theorem 11 unique-writes fast path where applicable) tries to decide the
+history anyway; `--no-ladder` disables it (ablation, never flips decided
+verdicts). `--retry N --escalate F` re-runs a budget-starved check up to
+N more times with the deadline/state budget multiplied by F each round,
+resuming from cached component fragments rather than from scratch.
+`--format json` prints each verdict as JSON on one line.
+
+`--checkpoint FILE` makes check and monitor write a versioned,
+integrity-hashed snapshot of their progress atomically (temp file +
+rename) as they go — roughly every `--checkpoint-every` explored states
+(check, default 4096) or events (monitor, default 32) — and on
+SIGINT/SIGTERM, which trigger a final flush instead of mid-line death.
+`duop resume FILE` continues an interrupted run from its snapshot to the
+same verdict the uninterrupted run would have reached; corrupt or
+truncated checkpoints are rejected with a structured error (exit 2).
+`duop monitor --status-every N` prints a JSON status line (retained and
+peak-resident event counts, search statistics) every N events.
 
 `fuzz` runs the named STM engine under deterministic fault injection
 (`--faults abort=P,crash=P,delay=P,thread-crash=P`, default
@@ -153,9 +175,24 @@ pub enum Command {
         /// Run the lint prefilter before searching (`--no-prelint`
         /// clears it, for ablations).
         prelint: bool,
+        /// Run the verdict-degradation ladder on budget exhaustion
+        /// (`--no-ladder` clears it, for ablations).
+        ladder: bool,
         /// Wall-clock deadline per serialization search, in milliseconds
         /// (`None` = unbounded).
         deadline_ms: Option<u64>,
+        /// Explored-state budget per serialization search (`None` =
+        /// unbounded).
+        max_states: Option<u64>,
+        /// Extra attempts for budget-starved criteria (`--retry`).
+        retry: u64,
+        /// Budget escalation factor per retry, in thousandths
+        /// (`--escalate 2.0` → `2000`).
+        escalate_milli: u64,
+        /// Checkpoint file to write progress snapshots to.
+        checkpoint: Option<String>,
+        /// Flush a checkpoint roughly every this many explored states.
+        checkpoint_every: u64,
         /// Output format: `text` or `json`.
         format: String,
     },
@@ -173,6 +210,8 @@ pub enum Command {
         threads: usize,
         /// Number of t-objects in the engine's store.
         objs: u32,
+        /// Output format: `text` or `json`.
+        format: String,
     },
     /// `duop lint`.
     Lint {
@@ -192,6 +231,17 @@ pub enum Command {
     Monitor {
         /// Trace path (`-` = stdin).
         input: String,
+        /// Checkpoint file to write progress snapshots to.
+        checkpoint: Option<String>,
+        /// Flush a checkpoint every this many events.
+        checkpoint_every: u64,
+        /// Print a JSON status line every this many events (`0` = never).
+        status_every: u64,
+    },
+    /// `duop resume`.
+    Resume {
+        /// Checkpoint file written by `--checkpoint`.
+        file: String,
     },
     /// `duop generate`.
     Generate {
@@ -252,6 +302,29 @@ fn parse_format(s: &str) -> Result<String, ParseError> {
     }
 }
 
+fn parse_escalate(s: &str) -> Result<u64, ParseError> {
+    let factor: f64 = s
+        .parse()
+        .map_err(|_| ParseError("--escalate needs a factor (e.g. 2.0)".into()))?;
+    if !factor.is_finite() || factor < 1.0 {
+        return Err(ParseError("--escalate factor must be >= 1.0".into()));
+    }
+    Ok((factor * 1000.0).round() as u64)
+}
+
+fn parse_every<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<u64, ParseError> {
+    let n: u64 = value_of(flag, it)?
+        .parse()
+        .map_err(|_| ParseError(format!("{flag} needs a number")))?;
+    if n == 0 {
+        return Err(ParseError(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
+}
+
 fn value_of<'a>(
     flag: &str,
     it: &mut impl Iterator<Item = &'a String>,
@@ -272,7 +345,13 @@ impl Command {
                 let mut threads = 1usize;
                 let mut decompose = true;
                 let mut prelint = true;
+                let mut ladder = true;
                 let mut deadline_ms = None;
+                let mut max_states = None;
+                let mut retry = 0u64;
+                let mut escalate_milli = 2000u64;
+                let mut checkpoint = None;
+                let mut checkpoint_every = 4096u64;
                 let mut format = String::from("text");
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
@@ -286,11 +365,32 @@ impl Command {
                         }
                         "--no-decompose" => decompose = false,
                         "--no-prelint" => prelint = false,
+                        "--no-ladder" => ladder = false,
                         "--deadline" => {
                             deadline_ms =
                                 Some(value_of("--deadline", &mut it)?.parse().map_err(|_| {
                                     ParseError("--deadline needs milliseconds".into())
                                 })?);
+                        }
+                        "--max-states" => {
+                            max_states =
+                                Some(value_of("--max-states", &mut it)?.parse().map_err(|_| {
+                                    ParseError("--max-states needs a number".into())
+                                })?);
+                        }
+                        "--retry" => {
+                            retry = value_of("--retry", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--retry needs a number".into()))?;
+                        }
+                        "--escalate" => {
+                            escalate_milli = parse_escalate(value_of("--escalate", &mut it)?)?;
+                        }
+                        "--checkpoint" => {
+                            checkpoint = Some(value_of("--checkpoint", &mut it)?.clone());
+                        }
+                        "--checkpoint-every" => {
+                            checkpoint_every = parse_every("--checkpoint-every", &mut it)?;
                         }
                         "--format" => format = parse_format(value_of("--format", &mut it)?)?,
                         other if input.is_none() => input = Some(other.to_owned()),
@@ -303,7 +403,13 @@ impl Command {
                     threads,
                     decompose,
                     prelint,
+                    ladder,
                     deadline_ms,
+                    max_states,
+                    retry,
+                    escalate_milli,
+                    checkpoint,
+                    checkpoint_every,
                     format,
                 })
             }
@@ -314,6 +420,7 @@ impl Command {
                 let mut iters = 500usize;
                 let mut threads = 1usize;
                 let mut objs = 4u32;
+                let mut format = String::from("text");
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--engine" | "-e" => {
@@ -340,6 +447,7 @@ impl Command {
                                 .parse()
                                 .map_err(|_| ParseError("--objs needs a number".into()))?;
                         }
+                        "--format" => format = parse_format(value_of("--format", &mut it)?)?,
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
                     }
                 }
@@ -351,6 +459,7 @@ impl Command {
                     iters,
                     threads,
                     objs,
+                    format,
                 })
             }
             "lint" => {
@@ -371,7 +480,46 @@ impl Command {
                     rules,
                 })
             }
-            "render" | "monitor" | "graph" | "localize" => {
+            "monitor" => {
+                let mut input = None;
+                let mut checkpoint = None;
+                let mut checkpoint_every = 32u64;
+                let mut status_every = 0u64;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--checkpoint" => {
+                            checkpoint = Some(value_of("--checkpoint", &mut it)?.clone());
+                        }
+                        "--checkpoint-every" => {
+                            checkpoint_every = parse_every("--checkpoint-every", &mut it)?;
+                        }
+                        "--status-every" => {
+                            status_every = value_of("--status-every", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--status-every needs a number".into()))?;
+                        }
+                        other if input.is_none() => input = Some(other.to_owned()),
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::Monitor {
+                    input: input.ok_or_else(|| ParseError("monitor needs a trace file".into()))?,
+                    checkpoint,
+                    checkpoint_every,
+                    status_every,
+                })
+            }
+            "resume" => {
+                let file = it
+                    .next()
+                    .ok_or_else(|| ParseError("resume needs a checkpoint file".into()))?
+                    .clone();
+                if let Some(extra) = it.next() {
+                    return Err(ParseError(format!("unexpected argument `{extra}`")));
+                }
+                Ok(Command::Resume { file })
+            }
+            "render" | "graph" | "localize" => {
                 let input = it
                     .next()
                     .ok_or_else(|| ParseError(format!("{sub} needs a trace file")))?
@@ -381,7 +529,6 @@ impl Command {
                 }
                 Ok(match sub {
                     "render" => Command::Render { input },
-                    "monitor" => Command::Monitor { input },
                     "graph" => Command::Graph { input },
                     _ => Command::Localize { input },
                 })
@@ -483,7 +630,13 @@ mod tests {
                 threads: 1,
                 decompose: true,
                 prelint: true,
+                ladder: true,
                 deadline_ms: None,
+                max_states: None,
+                retry: 0,
+                escalate_milli: 2000,
+                checkpoint: None,
+                checkpoint_every: 4096,
                 format: "text".into(),
             }
         );
@@ -505,7 +658,13 @@ mod tests {
                 threads: 8,
                 decompose: true,
                 prelint: true,
+                ladder: true,
                 deadline_ms: None,
+                max_states: None,
+                retry: 0,
+                escalate_milli: 2000,
+                checkpoint: None,
+                checkpoint_every: 4096,
                 format: "text".into(),
             }
         );
@@ -524,7 +683,13 @@ mod tests {
                 threads: 1,
                 decompose: false,
                 prelint: true,
+                ladder: true,
                 deadline_ms: None,
+                max_states: None,
+                retry: 0,
+                escalate_milli: 2000,
+                checkpoint: None,
+                checkpoint_every: 4096,
                 format: "text".into(),
             }
         );
@@ -541,7 +706,13 @@ mod tests {
                 threads: 1,
                 decompose: true,
                 prelint: false,
+                ladder: true,
                 deadline_ms: None,
+                max_states: None,
+                retry: 0,
+                escalate_milli: 2000,
+                checkpoint: None,
+                checkpoint_every: 4096,
                 format: "json".into(),
             }
         );
@@ -559,7 +730,13 @@ mod tests {
                 threads: 1,
                 decompose: true,
                 prelint: true,
+                ladder: true,
                 deadline_ms: Some(250),
+                max_states: None,
+                retry: 0,
+                escalate_milli: 2000,
+                checkpoint: None,
+                checkpoint_every: 4096,
                 format: "text".into(),
             }
         );
@@ -594,6 +771,7 @@ mod tests {
                 iters: 50,
                 threads: 2,
                 objs: 3,
+                format: "text".into(),
             }
         );
     }
@@ -610,6 +788,7 @@ mod tests {
                 iters: 500,
                 threads: 1,
                 objs: 4,
+                format: "text".into(),
             }
         );
         assert!(parse(&["fuzz"]).is_err());

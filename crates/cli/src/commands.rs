@@ -2,10 +2,14 @@
 
 use crate::args::{Command, CriterionName, EngineName, GenModeName, USAGE};
 use duop_core::online::OnlineChecker;
+use duop_core::snapshot::{
+    self, CheckSnapshot, CheckableCriterion, CompletedCriterion, InFlight, MonitorSnapshot,
+    ResumableCheck, Snapshot, WitnessSnap,
+};
 use duop_core::tms2_automaton::{check_tms2_automaton, Tms2Verdict};
 use duop_core::{
     available_threads, Criterion, DuOpacity, FinalStateOpacity, Opacity, ReadCommitOrderOpacity,
-    SearchConfig, StrictSerializability, Tms2,
+    SearchConfig, StrictSerializability, Tms2, UnknownReason, Verdict,
 };
 use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
 use duop_history::render::render_lanes;
@@ -53,7 +57,13 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             threads,
             decompose,
             prelint,
+            ladder,
             deadline_ms,
+            max_states,
+            retry,
+            escalate_milli,
+            checkpoint,
+            checkpoint_every,
             format,
         } => {
             // `--threads 0` = every hardware thread; `1` = the sequential
@@ -63,14 +73,20 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             } else {
                 *threads
             };
-            let cfg = SearchConfig {
-                threads: Some(threads),
+            let opts = CheckOpts {
+                threads,
                 decompose: *decompose,
                 prelint: *prelint,
-                deadline: deadline_ms.map(std::time::Duration::from_millis),
-                ..SearchConfig::default()
+                ladder: *ladder,
+                deadline_ms: *deadline_ms,
+                max_states: *max_states,
+                retry: *retry,
+                escalate_milli: *escalate_milli,
+                checkpoint: checkpoint.clone(),
+                checkpoint_every: *checkpoint_every,
+                format: format.clone(),
             };
-            check(&load(input)?, criteria, cfg, format, out)
+            check(&load(input)?, criteria, &opts, None, out)
         }
         Command::Fuzz {
             engine,
@@ -79,7 +95,8 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             iters,
             threads,
             objs,
-        } => fuzz(*engine, faults, *seed, *iters, *threads, *objs, out),
+            format,
+        } => fuzz(*engine, faults, *seed, *iters, *threads, *objs, format, out),
         Command::Lint {
             input,
             format,
@@ -116,7 +133,22 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 }
             }
         }
-        Command::Monitor { input } => monitor(&load(input)?, out),
+        Command::Monitor {
+            input,
+            checkpoint,
+            checkpoint_every,
+            status_every,
+        } => monitor(
+            &load(input)?,
+            &MonitorOpts {
+                checkpoint: checkpoint.clone(),
+                checkpoint_every: *checkpoint_every,
+                status_every: *status_every,
+            },
+            None,
+            out,
+        ),
+        Command::Resume { file } => resume(file, out),
         Command::Generate {
             mode,
             txns,
@@ -173,14 +205,122 @@ fn all_criteria() -> Vec<CriterionName> {
     ]
 }
 
+/// Resolved `duop check` options (CLI flags or a resumed checkpoint).
+struct CheckOpts {
+    threads: usize,
+    decompose: bool,
+    prelint: bool,
+    ladder: bool,
+    deadline_ms: Option<u64>,
+    max_states: Option<u64>,
+    retry: u64,
+    escalate_milli: u64,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    format: String,
+}
+
+/// Progress carried over from a loaded check snapshot.
+struct CheckResumeState {
+    completed: Vec<CompletedCriterion>,
+    current: Option<InFlight>,
+    attempt: u64,
+}
+
+/// The CLI spelling of a criterion, used as the stable key inside
+/// checkpoints (`CriterionName::parse` accepts every token).
+fn criterion_token(name: CriterionName) -> &'static str {
+    match name {
+        CriterionName::DuOpacity => "du",
+        CriterionName::FinalState => "final-state",
+        CriterionName::Opacity => "opacity",
+        CriterionName::Rco => "rco",
+        CriterionName::Tms2 => "tms2",
+        CriterionName::Tms2Automaton => "tms2-automaton",
+        CriterionName::Strict => "strict",
+    }
+}
+
+/// The criteria whose exact check runs through the resumable anytime
+/// driver (single serialization query, sequential engine).
+fn resumable_criterion(name: CriterionName) -> Option<CheckableCriterion> {
+    match name {
+        CriterionName::DuOpacity => Some(CheckableCriterion::DuOpacity),
+        CriterionName::FinalState => Some(CheckableCriterion::FinalStateOpacity),
+        CriterionName::Rco => Some(CheckableCriterion::ReadCommitOrder),
+        CriterionName::Tms2 => Some(CheckableCriterion::Tms2),
+        CriterionName::Strict => Some(CheckableCriterion::StrictSerializability),
+        CriterionName::Opacity | CriterionName::Tms2Automaton => None,
+    }
+}
+
+/// Applies `attempt` rounds of geometric escalation to a budget. Each
+/// round grows the budget by at least one unit so a degenerate factor
+/// (or a zero budget) still escalates; attempt 0 returns it unchanged.
+fn escalated(budget: Option<u64>, escalate_milli: u64, attempt: u64) -> Option<u64> {
+    budget.map(|mut b| {
+        for _ in 0..attempt {
+            b = (b.saturating_mul(escalate_milli) / 1000).max(b.saturating_add(1));
+        }
+        b
+    })
+}
+
+/// Whether a verdict is an Unknown worth retrying with a bigger budget.
+fn retryable(verdict: &Verdict) -> bool {
+    matches!(
+        verdict,
+        Verdict::Unknown {
+            reason: UnknownReason::StateBudget | UnknownReason::Deadline,
+            ..
+        }
+    )
+}
+
+fn base_snapshot(h: &History, list: &[CriterionName], opts: &CheckOpts) -> CheckSnapshot {
+    CheckSnapshot {
+        events: h.events().to_vec(),
+        criteria: list
+            .iter()
+            .map(|c| criterion_token(*c).to_owned())
+            .collect(),
+        format: opts.format.clone(),
+        threads: opts.threads as u64,
+        decompose: opts.decompose,
+        prelint: opts.prelint,
+        ladder: opts.ladder,
+        deadline_ms: opts.deadline_ms.unwrap_or(0),
+        max_states: opts.max_states.unwrap_or(0),
+        retry: opts.retry,
+        escalate_milli: opts.escalate_milli,
+        attempt: 0,
+        completed: Vec::new(),
+        current: None,
+    }
+}
+
+fn search_config(opts: &CheckOpts, attempt: u64) -> SearchConfig {
+    SearchConfig {
+        threads: Some(opts.threads),
+        decompose: opts.decompose,
+        prelint: opts.prelint,
+        ladder: opts.ladder,
+        deadline: escalated(opts.deadline_ms, opts.escalate_milli, attempt)
+            .map(std::time::Duration::from_millis),
+        max_states: escalated(opts.max_states, opts.escalate_milli, attempt),
+        interruptible: true,
+        ..SearchConfig::default()
+    }
+}
+
 fn check(
     h: &History,
     criteria: &[CriterionName],
-    cfg: SearchConfig,
-    format: &str,
+    opts: &CheckOpts,
+    resume: Option<CheckResumeState>,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let json = format == "json";
+    let json = opts.format == "json";
     if !json {
         writeln!(out, "{}", h.stats())?;
     }
@@ -189,8 +329,27 @@ fn check(
     } else {
         criteria.to_vec()
     };
+    let snap_base = base_snapshot(h, &list, opts);
+    let (mut completed, in_flight, resumed_attempt) = match resume {
+        Some(r) => (r.completed, r.current, r.attempt),
+        None => (Vec::new(), None, 0),
+    };
+    // Recorded lines from the interrupted run are re-emitted verbatim:
+    // the resumed transcript is the uninterrupted transcript.
     let mut all_ok = true;
+    for c in &completed {
+        writeln!(out, "{}", c.line)?;
+        all_ok &= c.ok;
+    }
     for name in list {
+        let token = criterion_token(name);
+        if completed.iter().any(|c| c.name == token) {
+            continue;
+        }
+        let mut attempt = match &in_flight {
+            Some(f) if f.name == token => resumed_attempt,
+            _ => 0,
+        };
         let (label, ok, detail): (&str, bool, String) = match name {
             CriterionName::Tms2Automaton => {
                 let verdict = check_tms2_automaton(h, Some(10_000_000));
@@ -223,22 +382,141 @@ fn check(
                 ("TMS2 (full automaton)", ok, detail)
             }
             other => {
-                let checker: Box<dyn Criterion> = match other {
-                    CriterionName::DuOpacity => Box::new(DuOpacity::with_config(cfg.clone())),
-                    CriterionName::FinalState => {
-                        Box::new(FinalStateOpacity::with_config(cfg.clone()))
+                let verdict = match (resumable_criterion(other), opts.threads) {
+                    (Some(cc), 1) => {
+                        // Anytime path: persistent component cache,
+                        // checkpoint sink, escalation with fragment reuse.
+                        let mut rc = ResumableCheck::new();
+                        if let Some(f) = in_flight.as_ref().filter(|f| f.name == token) {
+                            rc.preload(f.fragments.clone());
+                        }
+                        if let Some(path) = &opts.checkpoint {
+                            let sink_snap = CheckSnapshot {
+                                completed: completed.clone(),
+                                attempt,
+                                ..snap_base.clone()
+                            };
+                            let sink_path = path.clone();
+                            snapshot::install_checkpoint_sink(
+                                opts.checkpoint_every,
+                                Box::new(move |fragments, explored| {
+                                    let mut snap = sink_snap.clone();
+                                    snap.current = Some(InFlight {
+                                        name: token.to_owned(),
+                                        explored,
+                                        fragments: fragments.to_vec(),
+                                    });
+                                    // Mid-flight flushes are best-effort;
+                                    // the final flush reports errors.
+                                    let _ = snapshot::save(&sink_path, &Snapshot::Check(snap));
+                                }),
+                            );
+                        }
+                        let verdict = loop {
+                            let cfg = search_config(opts, attempt);
+                            let (verdict, _stats) = rc.check(h, cc, &cfg);
+                            if retryable(&verdict) && attempt < opts.retry {
+                                attempt += 1;
+                                if !json {
+                                    writeln!(
+                                        out,
+                                        "{:<28} {verdict}; retrying (attempt {attempt}, budget ×{})",
+                                        checker_label(other),
+                                        (opts.escalate_milli as f64 / 1000.0),
+                                    )?;
+                                }
+                                continue;
+                            }
+                            break verdict;
+                        };
+                        snapshot::remove_checkpoint_sink();
+                        if let (
+                            Some(path),
+                            Verdict::Unknown {
+                                reason, explored, ..
+                            },
+                        ) = (&opts.checkpoint, &verdict)
+                        {
+                            // Leave the criterion in-flight with its decided
+                            // fragments so `duop resume` picks it back up.
+                            let mut snap = snap_base.clone();
+                            snap.completed = completed.clone();
+                            snap.attempt = attempt;
+                            snap.current = Some(InFlight {
+                                name: token.to_owned(),
+                                explored: *explored,
+                                fragments: rc.fragments(),
+                            });
+                            snapshot::save(path, &Snapshot::Check(snap))?;
+                            if *reason == UnknownReason::Interrupted {
+                                if !json {
+                                    writeln!(
+                                        out,
+                                        "interrupted; progress checkpointed to {path} \
+                                         (continue with: duop resume {path})"
+                                    )?;
+                                }
+                                return Ok(false);
+                            }
+                        }
+                        verdict
                     }
-                    CriterionName::Opacity => Box::new(Opacity::with_config(cfg.clone())),
-                    CriterionName::Rco => {
-                        Box::new(ReadCommitOrderOpacity::with_config(cfg.clone()))
+                    _ => {
+                        // Parallel engine / prefix-loop criteria: escalation
+                        // re-runs from scratch (no fragment reuse).
+                        let verdict = loop {
+                            let cfg = search_config(opts, attempt);
+                            let checker: Box<dyn Criterion> = match other {
+                                CriterionName::DuOpacity => Box::new(DuOpacity::with_config(cfg)),
+                                CriterionName::FinalState => {
+                                    Box::new(FinalStateOpacity::with_config(cfg))
+                                }
+                                CriterionName::Opacity => Box::new(Opacity::with_config(cfg)),
+                                CriterionName::Rco => {
+                                    Box::new(ReadCommitOrderOpacity::with_config(cfg))
+                                }
+                                CriterionName::Tms2 => Box::new(Tms2::with_config(cfg)),
+                                CriterionName::Strict => {
+                                    Box::new(StrictSerializability::with_config(cfg))
+                                }
+                                CriterionName::Tms2Automaton => unreachable!("handled above"),
+                            };
+                            let verdict = checker.check(h);
+                            if retryable(&verdict) && attempt < opts.retry {
+                                attempt += 1;
+                                continue;
+                            }
+                            break verdict;
+                        };
+                        if let Verdict::Unknown {
+                            reason: UnknownReason::Interrupted,
+                            explored,
+                            ..
+                        } = &verdict
+                        {
+                            if let Some(path) = &opts.checkpoint {
+                                let mut snap = snap_base.clone();
+                                snap.completed = completed.clone();
+                                snap.attempt = attempt;
+                                snap.current = Some(InFlight {
+                                    name: token.to_owned(),
+                                    explored: *explored,
+                                    fragments: Vec::new(),
+                                });
+                                snapshot::save(path, &Snapshot::Check(snap))?;
+                                if !json {
+                                    writeln!(
+                                        out,
+                                        "interrupted; progress checkpointed to {path} \
+                                         (continue with: duop resume {path})"
+                                    )?;
+                                }
+                            }
+                            return Ok(false);
+                        }
+                        verdict
                     }
-                    CriterionName::Tms2 => Box::new(Tms2::with_config(cfg.clone())),
-                    CriterionName::Strict => {
-                        Box::new(StrictSerializability::with_config(cfg.clone()))
-                    }
-                    CriterionName::Tms2Automaton => unreachable!("handled above"),
                 };
-                let verdict = checker.check(h);
                 let ok = verdict.is_satisfied();
                 let detail = if json {
                     serde_json::to_string(&verdict)?
@@ -248,20 +526,69 @@ fn check(
                 (checker_label(other), ok, detail)
             }
         };
-        if json {
-            writeln!(out, "{{\"criterion\":\"{label}\",\"verdict\":{detail}}}")?;
+        let line = if json {
+            format!("{{\"criterion\":\"{label}\",\"verdict\":{detail}}}")
         } else {
-            writeln!(out, "{label:<28} {detail}")?;
-        }
+            format!("{label:<28} {detail}")
+        };
+        writeln!(out, "{line}")?;
         all_ok &= ok;
+        completed.push(CompletedCriterion {
+            name: token.to_owned(),
+            ok,
+            line,
+        });
+        if let Some(path) = &opts.checkpoint {
+            let mut snap = snap_base.clone();
+            snap.completed = completed.clone();
+            snapshot::save(path, &Snapshot::Check(snap))?;
+        }
     }
     Ok(all_ok)
+}
+
+/// Executes `duop resume`: loads and verifies the snapshot, then
+/// continues the recorded run to its verdict.
+fn resume(file: &str, out: &mut dyn Write) -> CmdResult {
+    match snapshot::load(file)? {
+        Snapshot::Check(cs) => resume_check(cs, file, out),
+        Snapshot::Monitor(ms) => resume_monitor(ms, file, out),
+    }
+}
+
+fn resume_check(cs: CheckSnapshot, file: &str, out: &mut dyn Write) -> CmdResult {
+    let h = History::new(cs.events.clone())?;
+    let criteria: Vec<CriterionName> = cs
+        .criteria
+        .iter()
+        .map(|tok| CriterionName::parse(tok))
+        .collect::<Result<_, _>>()?;
+    let opts = CheckOpts {
+        threads: (cs.threads as usize).max(1),
+        decompose: cs.decompose,
+        prelint: cs.prelint,
+        ladder: cs.ladder,
+        deadline_ms: (cs.deadline_ms > 0).then_some(cs.deadline_ms),
+        max_states: (cs.max_states > 0).then_some(cs.max_states),
+        retry: cs.retry,
+        escalate_milli: cs.escalate_milli,
+        checkpoint: Some(file.to_owned()),
+        checkpoint_every: 4096,
+        format: cs.format.clone(),
+    };
+    let resume_state = CheckResumeState {
+        completed: cs.completed,
+        current: cs.current,
+        attempt: cs.attempt,
+    };
+    check(&h, &criteria, &opts, Some(resume_state), out)
 }
 
 /// Runs `iters` fault-injected workloads against the named engine and
 /// checks every recorded history for du-opacity. The first violating
 /// history is shrunk to a minimal core and rendered with its seed so the
 /// run replays exactly; `Ok(false)` on a finding.
+#[allow(clippy::too_many_arguments)]
 fn fuzz(
     engine: EngineName,
     faults: &str,
@@ -269,8 +596,10 @@ fn fuzz(
     iters: usize,
     threads: usize,
     objs: u32,
+    format: &str,
     out: &mut dyn Write,
 ) -> CmdResult {
+    let json = format == "json";
     use duop_stm::{engines, run_workload_faulted, Engine, FaultPlan, WorkloadConfig};
     let plan = FaultPlan::parse(faults)?;
     // A fresh engine per iteration: leaked state from a crashed run must
@@ -301,48 +630,89 @@ fn fuzz(
         aborted += stats.aborted;
         let verdict = checker.check(&h);
         if verdict.is_violated() {
-            writeln!(
-                out,
-                "iteration {iter} (seed {iter_seed}): {} produced a non-du-opaque history \
-                 ({} events, {} transactions, {} crashed)",
-                engine_instance.name(),
-                h.len(),
-                h.txn_count(),
-                stats.crashed
-            )?;
             let core = duop_core::minimize::localize(&h, &checker).unwrap_or_else(|| h.clone());
-            writeln!(
-                out,
-                "minimized to {} events / {} transactions:",
-                core.len(),
-                core.txn_count()
-            )?;
-            write!(out, "{}", render_lanes(&core))?;
-            if let Some(v) = checker.check(&core).violation() {
-                writeln!(out, "cause: {v}")?;
-            }
-            writeln!(
-                out,
-                "replay: duop fuzz --engine {} --faults {faults} --seed {iter_seed} \
+            let replay = format!(
+                "duop fuzz --engine {} --faults {faults} --seed {iter_seed} \
                  --iters 1 --threads {threads} --objs {objs}",
                 engine_label(engine)
-            )?;
+            );
+            if json {
+                use serde::{Content, Serialize as _};
+                let finding = Content::Map(vec![
+                    ("status".into(), Content::Str("finding".into())),
+                    ("iteration".into(), Content::U64(iter as u64)),
+                    ("seed".into(), Content::U64(iter_seed)),
+                    (
+                        "engine".into(),
+                        Content::Str(engine_label(engine).to_owned()),
+                    ),
+                    ("events".into(), Content::U64(h.len() as u64)),
+                    ("txns".into(), Content::U64(h.txn_count() as u64)),
+                    ("crashed".into(), Content::U64(stats.crashed as u64)),
+                    ("minimized_events".into(), Content::U64(core.len() as u64)),
+                    (
+                        "minimized_txns".into(),
+                        Content::U64(core.txn_count() as u64),
+                    ),
+                    ("trace".into(), core.events().to_vec().to_content()),
+                    ("verdict".into(), checker.check(&core).to_content()),
+                    ("replay".into(), Content::Str(replay)),
+                ]);
+                writeln!(out, "{}", serde_json::to_string(&finding)?)?;
+            } else {
+                writeln!(
+                    out,
+                    "iteration {iter} (seed {iter_seed}): {} produced a non-du-opaque history \
+                     ({} events, {} transactions, {} crashed)",
+                    engine_instance.name(),
+                    h.len(),
+                    h.txn_count(),
+                    stats.crashed
+                )?;
+                writeln!(
+                    out,
+                    "minimized to {} events / {} transactions:",
+                    core.len(),
+                    core.txn_count()
+                )?;
+                write!(out, "{}", render_lanes(&core))?;
+                if let Some(v) = checker.check(&core).violation() {
+                    writeln!(out, "cause: {v}")?;
+                }
+                writeln!(out, "replay: {replay}")?;
+            }
             return Ok(false);
         }
         if matches!(verdict, duop_core::Verdict::Unknown { .. }) {
             undecided += 1;
-            writeln!(
-                out,
-                "iteration {iter} (seed {iter_seed}): verdict undecided: {verdict}"
-            )?;
+            if json {
+                writeln!(
+                    out,
+                    "{{\"status\":\"undecided\",\"iteration\":{iter},\"seed\":{iter_seed}}}"
+                )?;
+            } else {
+                writeln!(
+                    out,
+                    "iteration {iter} (seed {iter_seed}): verdict undecided: {verdict}"
+                )?;
+            }
         }
     }
-    writeln!(
-        out,
-        "{iters} iterations on {}: all histories du-opaque \
-         ({aborted} aborted, {crashed} crashed attempts, {undecided} undecided)",
-        engine_label(engine)
-    )?;
+    if json {
+        writeln!(
+            out,
+            "{{\"status\":\"clean\",\"engine\":\"{}\",\"iters\":{iters},\"aborted\":{aborted},\
+             \"crashed\":{crashed},\"undecided\":{undecided}}}",
+            engine_label(engine)
+        )?;
+    } else {
+        writeln!(
+            out,
+            "{iters} iterations on {}: all histories du-opaque \
+             ({aborted} aborted, {crashed} crashed attempts, {undecided} undecided)",
+            engine_label(engine)
+        )?;
+    }
     Ok(true)
 }
 
@@ -423,33 +793,154 @@ fn checker_label(name: CriterionName) -> &'static str {
     }
 }
 
-fn monitor(h: &History, out: &mut dyn Write) -> CmdResult {
-    let mut mon = OnlineChecker::new();
-    let mut ok = true;
-    for (i, ev) in h.events().iter().enumerate() {
+/// `duop monitor` options.
+struct MonitorOpts {
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    status_every: u64,
+}
+
+fn monitor_snapshot(
+    h: &History,
+    done: u64,
+    violated_at: Option<u64>,
+    mon: &OnlineChecker,
+    opts: &MonitorOpts,
+) -> MonitorSnapshot {
+    MonitorSnapshot {
+        events: h.events().to_vec(),
+        done,
+        violated_at,
+        witness: mon.witness().map(WitnessSnap::from_witness),
+        stats: mon.stats(),
+        fragments: mon
+            .export_fragments()
+            .into_iter()
+            .map(|(members, placements)| duop_core::snapshot::Fragment {
+                members,
+                placements,
+            })
+            .collect(),
+        status_every: opts.status_every,
+        checkpoint_every: opts.checkpoint_every,
+    }
+}
+
+fn monitor(
+    h: &History,
+    opts: &MonitorOpts,
+    resume_from: Option<(OnlineChecker, u64, Option<u64>)>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let (mut mon, start, mut violated_at) = match resume_from {
+        Some((mon, done, violated_at)) => (mon, done as usize, violated_at),
+        None => (OnlineChecker::new(), 0, None),
+    };
+    let mut ok = violated_at.is_none();
+    for (i, ev) in h.events().iter().enumerate().skip(start) {
+        if duop_core::snapshot::interrupt_requested() {
+            if let Some(path) = &opts.checkpoint {
+                let snap = monitor_snapshot(h, i as u64, violated_at, &mon, opts);
+                snapshot::save(path, &Snapshot::Monitor(snap))?;
+                writeln!(
+                    out,
+                    "interrupted after {i} events; progress checkpointed to {path} \
+                     (continue with: duop resume {path})"
+                )?;
+            } else {
+                writeln!(out, "interrupted after {i} events")?;
+            }
+            return Ok(false);
+        }
         let verdict = mon.push(*ev)?;
         if verdict.is_satisfied() {
             writeln!(out, "event {i:>3}: {ev:<14} ok")?;
         } else {
+            if ok {
+                violated_at = Some(i as u64);
+            }
             ok = false;
             writeln!(out, "event {i:>3}: {ev:<14} VIOLATION")?;
             if let Some(v) = verdict.violation() {
                 writeln!(out, "            {v}")?;
             }
         }
+        let done = (i + 1) as u64;
+        if opts.status_every > 0 && done.is_multiple_of(opts.status_every) {
+            use serde::Serialize as _;
+            writeln!(
+                out,
+                "{{\"event\":{i},\"stats\":{}}}",
+                serde_json::to_string(&mon.stats().to_content())?
+            )?;
+        }
+        if let Some(path) = &opts.checkpoint {
+            if done.is_multiple_of(opts.checkpoint_every) {
+                let snap = monitor_snapshot(h, done, violated_at, &mon, opts);
+                snapshot::save(path, &Snapshot::Monitor(snap))?;
+            }
+        }
+    }
+    if let Some(path) = &opts.checkpoint {
+        let snap = monitor_snapshot(h, h.len() as u64, violated_at, &mon, opts);
+        snapshot::save(path, &Snapshot::Monitor(snap))?;
     }
     let stats = mon.stats();
     writeln!(
         out,
         "{} events; {} witness reuses; {} full searches; {} component reuses; \
-         {} lint refutations",
+         {} lint refutations; {} retained events (peak {})",
         stats.events,
         stats.incremental_hits,
         stats.full_searches,
         stats.component_reuses,
-        stats.lint_refutations
+        stats.lint_refutations,
+        stats.retained_events,
+        stats.peak_resident_events
     )?;
     Ok(ok)
+}
+
+fn resume_monitor(ms: MonitorSnapshot, file: &str, out: &mut dyn Write) -> CmdResult {
+    let h = History::new(ms.events.clone())?;
+    let done = (ms.done as usize).min(h.len());
+    let prefix = h.prefix(done);
+    // The snapshot records only *where* a violation was seen, never the
+    // verdict itself: re-deriving it from the prefix means a tampered or
+    // stale checkpoint can cost a recheck but cannot forge a verdict.
+    // Violations are prefix-final (Corollary 2), so checking the whole
+    // done-prefix rediscovers any recorded one.
+    let violated = ms
+        .violated_at
+        .is_some()
+        .then(|| DuOpacity::new().check(&prefix))
+        .filter(|v| v.is_violated());
+    let violated_at = violated.is_some().then(|| ms.violated_at.unwrap_or(0));
+    let witness = ms.witness.clone().map(WitnessSnap::into_witness);
+    let mut mon = OnlineChecker::resume(
+        prefix,
+        witness,
+        violated.clone(),
+        ms.stats,
+        SearchConfig::default(),
+    );
+    mon.preload_fragments(
+        ms.fragments
+            .iter()
+            .map(|f| (f.members.clone(), f.placements.clone()))
+            .collect(),
+    );
+    writeln!(
+        out,
+        "resuming monitor at event {done} of {} from {file}",
+        h.len()
+    )?;
+    let opts = MonitorOpts {
+        checkpoint: Some(file.to_owned()),
+        checkpoint_every: ms.checkpoint_every.max(1),
+        status_every: ms.status_every,
+    };
+    monitor(&h, &opts, Some((mon, done as u64, violated_at)), out)
 }
 
 fn litmus(out: &mut dyn Write) -> CmdResult {
@@ -532,7 +1023,13 @@ mod tests {
             threads: 1,
             decompose: true,
             prelint: true,
+            ladder: true,
             deadline_ms: None,
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
             format: "text".into(),
         });
         assert!(ok, "output:\n{output}");
@@ -558,7 +1055,13 @@ mod tests {
             threads: 1,
             decompose: true,
             prelint: true,
+            ladder: true,
             deadline_ms: None,
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
             format: "text".into(),
         });
         assert!(!ok);
@@ -595,7 +1098,13 @@ mod tests {
                 threads: 1,
                 decompose: true,
                 prelint: true,
+                ladder: true,
                 deadline_ms: None,
+                max_states: None,
+                retry: 0,
+                escalate_milli: 2000,
+                checkpoint: None,
+                checkpoint_every: 4096,
                 format: "text".into(),
             });
             let (par_ok, par) = run_to_string(&Command::Check {
@@ -604,7 +1113,13 @@ mod tests {
                 threads: 4,
                 decompose: true,
                 prelint: true,
+                ladder: true,
                 deadline_ms: None,
+                max_states: None,
+                retry: 0,
+                escalate_milli: 2000,
+                checkpoint: None,
+                checkpoint_every: 4096,
                 format: "text".into(),
             });
             assert_eq!(seq_ok, par_ok);
@@ -615,7 +1130,13 @@ mod tests {
                 threads: 1,
                 decompose: false,
                 prelint: true,
+                ladder: true,
                 deadline_ms: None,
+                max_states: None,
+                retry: 0,
+                escalate_milli: 2000,
+                checkpoint: None,
+                checkpoint_every: 4096,
                 format: "text".into(),
             });
             assert_eq!(seq_ok, abl_ok);
@@ -632,7 +1153,13 @@ mod tests {
             threads: 1,
             decompose: true,
             prelint: true,
+            ladder: true,
             deadline_ms: None,
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
             format: "json".into(),
         });
         assert!(!ok);
@@ -658,7 +1185,16 @@ mod tests {
             threads: 1,
             decompose: true,
             prelint: true,
+            // The degradation ladder would decide this unique-writes
+            // history despite the expired deadline; this test is about
+            // the deadline provenance tag.
+            ladder: false,
             deadline_ms: Some(0),
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
             format: "json".into(),
         });
         assert!(!ok, "undecided must not count as satisfied:\n{output}");
@@ -681,7 +1217,13 @@ mod tests {
             threads: 1,
             decompose: true,
             prelint: true,
+            ladder: true,
             deadline_ms: Some(60_000),
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
             format: "json".into(),
         });
         assert!(!ok);
@@ -700,6 +1242,7 @@ mod tests {
             iters: 200,
             threads: 1,
             objs: 4,
+            format: "text".into(),
         };
         let (ok, output) = run_to_string(&cmd);
         assert!(!ok, "the dirty engine must produce a finding:\n{output}");
@@ -729,6 +1272,7 @@ mod tests {
                 iters: 60,
                 threads: 1,
                 objs: 3,
+                format: "text".into(),
             });
             assert!(ok, "{engine:?} produced a finding:\n{output}");
             assert!(output.contains("all histories du-opaque"), "{output}");
@@ -747,6 +1291,7 @@ mod tests {
                 iters: 1,
                 threads: 1,
                 objs: 2,
+                format: "text".into(),
             },
             &mut buf
         )
@@ -828,7 +1373,12 @@ mod tests {
     #[test]
     fn monitor_counts_lint_refutations() {
         let path = temp_trace(BAD);
-        let (ok, output) = run_to_string(&Command::Monitor { input: path });
+        let (ok, output) = run_to_string(&Command::Monitor {
+            input: path,
+            checkpoint: None,
+            checkpoint_every: 32,
+            status_every: 0,
+        });
         assert!(!ok);
         assert!(output.contains("lint refutations"), "output:\n{output}");
     }
@@ -859,7 +1409,12 @@ mod tests {
     #[test]
     fn monitor_pinpoints_the_event() {
         let path = temp_trace(BAD);
-        let (ok, output) = run_to_string(&Command::Monitor { input: path });
+        let (ok, output) = run_to_string(&Command::Monitor {
+            input: path,
+            checkpoint: None,
+            checkpoint_every: 32,
+            status_every: 0,
+        });
         assert!(!ok);
         assert!(output.contains("VIOLATION"), "output:\n{output}");
     }

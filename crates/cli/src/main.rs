@@ -1,6 +1,35 @@
 //! The `duop` binary: see [`duop_cli`] and `duop help`.
 
+/// Installs SIGINT/SIGTERM handlers that request a cooperative stop via
+/// [`duop_core::snapshot::request_interrupt`] instead of killing the
+/// process mid-line: interruptible searches notice the flag, flush a
+/// final checkpoint when `--checkpoint` is set, and exit cleanly.
+///
+/// The handler body is a single atomic store, which is async-signal-safe.
+/// `libc`'s `signal` is declared directly to keep the workspace
+/// dependency-free; this is the only unsafe code in the tool.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        duop_core::snapshot::request_interrupt();
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
 fn main() {
+    install_signal_handlers();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout().lock();
     let code = duop_cli::run(&argv, &mut stdout);

@@ -191,8 +191,16 @@ impl Criterion for Opacity {
                         cause: Box::new(v),
                     });
                 }
-                Verdict::Unknown { explored, reason } => {
-                    return Verdict::Unknown { explored, reason }
+                Verdict::Unknown {
+                    explored,
+                    reason,
+                    partial,
+                } => {
+                    return Verdict::Unknown {
+                        explored,
+                        reason,
+                        partial,
+                    }
                 }
             }
         }

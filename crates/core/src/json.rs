@@ -2,11 +2,30 @@
 //! `duop check --format json` and `duop lint --format json` so both
 //! subcommands go through one serialization path.
 
-use crate::{Verdict, Violation, Witness};
+use crate::{PartialProgress, Verdict, Violation, Witness};
 use serde::Content;
 
 fn s(text: impl Into<String>) -> Content {
     Content::Str(text.into())
+}
+
+impl serde::Serialize for PartialProgress {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            (
+                "components_decided".into(),
+                Content::U64(self.components_decided),
+            ),
+            (
+                "components_total".into(),
+                Content::U64(self.components_total),
+            ),
+            (
+                "tiers".into(),
+                Content::Seq(self.tiers.iter().map(|&t| s(t)).collect()),
+            ),
+        ])
+    }
 }
 
 impl serde::Serialize for Witness {
@@ -100,11 +119,21 @@ impl serde::Serialize for Verdict {
                 ("status".into(), s("violated")),
                 ("violation".into(), v.to_content()),
             ]),
-            Verdict::Unknown { explored, reason } => Content::Map(vec![
-                ("status".into(), s("unknown")),
-                ("explored".into(), Content::U64(*explored)),
-                ("reason".into(), s(reason.as_str())),
-            ]),
+            Verdict::Unknown {
+                explored,
+                reason,
+                partial,
+            } => {
+                let mut map = vec![
+                    ("status".into(), s("unknown")),
+                    ("explored".into(), Content::U64(*explored)),
+                    ("reason".into(), s(reason.as_str())),
+                ];
+                if let Some(p) = partial {
+                    map.push(("partial".into(), p.to_content()));
+                }
+                Content::Map(map)
+            }
         }
     }
 }
@@ -158,10 +187,12 @@ mod tests {
             (crate::UnknownReason::StateBudget, "state-budget"),
             (crate::UnknownReason::Deadline, "deadline"),
             (crate::UnknownReason::WorkerPanic, "worker-panic"),
+            (crate::UnknownReason::Interrupted, "interrupted"),
         ] {
             let json = serde_json::to_string(&Verdict::Unknown {
                 explored: 12,
                 reason,
+                partial: None,
             })
             .unwrap();
             assert_eq!(
@@ -169,5 +200,72 @@ mod tests {
                 format!("{{\"status\":\"unknown\",\"explored\":12,\"reason\":\"{tag}\"}}")
             );
         }
+    }
+
+    /// Identity deserializer: parse back into the raw content tree.
+    struct Raw(serde::Content);
+
+    impl serde::Deserialize for Raw {
+        fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+            Ok(Raw(content.clone()))
+        }
+    }
+
+    /// Every `UnknownReason`, with and without a `partial` payload, must
+    /// survive a parse → re-serialize round trip byte-identically: the
+    /// JSON layer is what checkpoints and scripts consume, so a lossy
+    /// rendering here would corrupt resumed state downstream.
+    #[test]
+    fn unknown_reason_and_partial_round_trip_through_json() {
+        for reason in [
+            crate::UnknownReason::StateBudget,
+            crate::UnknownReason::Deadline,
+            crate::UnknownReason::WorkerPanic,
+            crate::UnknownReason::Interrupted,
+        ] {
+            for partial in [
+                None,
+                Some(crate::PartialProgress::components(2, 5)),
+                Some({
+                    let mut p = crate::PartialProgress::components(0, 3);
+                    p.tiers = vec!["exact-search", "lint"];
+                    p
+                }),
+            ] {
+                let verdict = Verdict::Unknown {
+                    explored: 44,
+                    reason,
+                    partial,
+                };
+                let json = serde_json::to_string(&verdict).unwrap();
+                let Raw(parsed) = serde_json::from_str::<Raw>(&json)
+                    .unwrap_or_else(|e| panic!("verdict JSON must parse back: {e}\n{json}"));
+                assert_eq!(
+                    serde_json::to_string(&parsed).unwrap(),
+                    json,
+                    "round trip must be byte-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_verdict_serializes_partial_payload() {
+        let mut partial = crate::PartialProgress::components(3, 7);
+        partial.tiers = vec!["exact-search", "lint", "unique-writes"];
+        let json = serde_json::to_string(&Verdict::Unknown {
+            explored: 99,
+            reason: crate::UnknownReason::Deadline,
+            partial: Some(partial),
+        })
+        .unwrap();
+        assert_eq!(
+            json,
+            concat!(
+                "{\"status\":\"unknown\",\"explored\":99,\"reason\":\"deadline\",",
+                "\"partial\":{\"components_decided\":3,\"components_total\":7,",
+                "\"tiers\":[\"exact-search\",\"lint\",\"unique-writes\"]}}"
+            )
+        );
     }
 }

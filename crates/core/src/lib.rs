@@ -80,6 +80,7 @@ pub mod online;
 pub mod paper;
 pub mod parallel;
 pub mod reference;
+pub mod snapshot;
 pub mod tms2_automaton;
 pub mod unique;
 
@@ -89,8 +90,8 @@ pub use criteria::{
 };
 pub use parallel::{available_threads, par_check_batch, par_map};
 pub use search::{
-    set_default_deadline, set_default_decompose, set_default_prelint, Budget, SearchConfig,
-    SearchStats,
+    set_default_deadline, set_default_decompose, set_default_ladder, set_default_prelint, Budget,
+    SearchConfig, SearchStats,
 };
-pub use verdict::{UnknownReason, Verdict, Violation, Witness};
+pub use verdict::{PartialProgress, UnknownReason, Verdict, Violation, Witness};
 pub use witness_check::{check_witness, WitnessError};

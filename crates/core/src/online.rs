@@ -43,6 +43,12 @@ pub struct OnlineStats {
     /// Prefixes refuted by the polynomial lint prefilter, skipping the
     /// fallback search entirely.
     pub lint_refutations: u64,
+    /// Events currently retained in the monitor's history (its resident
+    /// working set — what a checkpoint must persist).
+    pub retained_events: usize,
+    /// High-water mark of `retained_events` over the monitor's lifetime
+    /// (survives checkpoint/resume).
+    pub peak_resident_events: usize,
 }
 
 /// A per-event du-opacity monitor.
@@ -89,6 +95,38 @@ impl OnlineChecker {
         }
     }
 
+    /// Reconstructs a monitor from checkpointed state (see
+    /// [`crate::snapshot`]).
+    ///
+    /// Nothing from the checkpoint is trusted: the witness is revalidated
+    /// against the history before reuse (a stale or corrupt witness costs
+    /// one fallback search, never a wrong verdict), and `violated` is
+    /// expected to be a verdict the *caller* recomputed from the history
+    /// itself — `duop resume` re-checks the prefix where the checkpoint
+    /// says the violation occurred rather than deserializing a violation
+    /// object.
+    pub fn resume(
+        history: History,
+        witness: Option<Witness>,
+        violated: Option<Verdict>,
+        stats: OnlineStats,
+        cfg: SearchConfig,
+    ) -> Self {
+        let witness =
+            witness.filter(|w| check_witness(&history, w, CriterionKind::DuOpacity).is_ok());
+        let mut stats = stats;
+        stats.retained_events = history.len();
+        stats.peak_resident_events = stats.peak_resident_events.max(history.len());
+        OnlineChecker {
+            history,
+            witness,
+            violated,
+            cfg,
+            stats,
+            cache: ComponentCache::default(),
+        }
+    }
+
     /// The history consumed so far.
     pub fn history(&self) -> &History {
         &self.history
@@ -97,6 +135,31 @@ impl OnlineChecker {
     /// Work counters.
     pub fn stats(&self) -> OnlineStats {
         self.stats
+    }
+
+    /// The current witness serialization, if the prefix is certified
+    /// du-opaque (checkpointed so a resumed monitor can start from it).
+    pub fn witness(&self) -> Option<&Witness> {
+        self.witness.as_ref()
+    }
+
+    /// The final violation verdict, once a prefix has been refuted
+    /// (Corollary 2 makes it final).
+    pub fn violation(&self) -> Option<&Verdict> {
+        self.violated.as_ref()
+    }
+
+    /// Exports the component cache's serialization fragments for
+    /// checkpointing (sorted, deterministic).
+    pub fn export_fragments(&self) -> Vec<crate::snapshot::RawFragment> {
+        self.cache.export_fragments()
+    }
+
+    /// Preloads checkpointed component fragments into the cache. They are
+    /// replay-validated before any reuse, exactly like fragments the
+    /// monitor cached itself.
+    pub fn preload_fragments(&mut self, fragments: Vec<crate::snapshot::RawFragment>) {
+        self.cache.preload(fragments);
     }
 
     /// Appends `event` and reports whether the extended prefix is
@@ -114,6 +177,8 @@ impl OnlineChecker {
         let extended = self.history.extended([event])?;
         self.history = extended;
         self.stats.events += 1;
+        self.stats.retained_events = self.history.len();
+        self.stats.peak_resident_events = self.stats.peak_resident_events.max(self.history.len());
 
         if let Some(v) = &self.violated {
             return Ok(v.clone());

@@ -252,10 +252,14 @@ pub(crate) fn par_search_components(
     let mut stats = SearchStats::default();
     let mut path: Vec<(usize, bool)> = Vec::new();
     let mut failure: Option<CompOutcome> = None;
+    let mut decided: u64 = 0;
     for (outcome, comp_stats) in results {
         stats.absorb(&comp_stats);
         match outcome {
-            CompOutcome::Found(frag) => path.extend(frag),
+            CompOutcome::Found(frag) => {
+                decided += 1;
+                path.extend(frag);
+            }
             other => {
                 if failure.is_none() {
                     failure = Some(other);
@@ -273,6 +277,10 @@ pub(crate) fn par_search_components(
         Some(CompOutcome::Budget(reason)) => Verdict::Unknown {
             explored: stats.explored,
             reason,
+            partial: Some(crate::PartialProgress::components(
+                decided,
+                plan.components.len() as u64,
+            )),
         },
         Some(CompOutcome::Violated(v)) => Verdict::Violated(v),
         Some(CompOutcome::Found(_)) => unreachable!("Found is never recorded as a failure"),
@@ -460,11 +468,13 @@ pub(crate) fn par_search_spec(
         Verdict::Unknown {
             explored: stats.explored,
             reason: UnknownReason::WorkerPanic,
+            partial: Some(crate::PartialProgress::components(0, 1)),
         }
     } else if let Some(reason) = budget_reason.into_inner().unwrap() {
         Verdict::Unknown {
             explored: stats.explored,
             reason,
+            partial: Some(crate::PartialProgress::components(0, 1)),
         }
     } else {
         Verdict::Violated(Violation::NoSerialization {

@@ -318,6 +318,33 @@ impl ComponentCache {
     fn store(&mut self, members: Vec<TxnId>, fragment: Vec<(TxnId, bool)>) {
         self.cur.insert(members, fragment);
     }
+
+    /// Exports the current generation's fragments, sorted by member ids
+    /// for deterministic checkpoints.
+    pub(crate) fn export_fragments(&self) -> Vec<crate::snapshot::RawFragment> {
+        let mut out: Vec<_> = self
+            .cur
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Preloads fragments (e.g. from a checkpoint) into the *current*
+    /// generation, so the [`Self::begin_generation`] call that precedes
+    /// every cached search promotes them into the lookup set. Preloaded
+    /// entries go through the same replay validation as any other cached
+    /// fragment, so a corrupt or stale fragment costs a failed replay —
+    /// never a wrong answer.
+    pub(crate) fn preload(
+        &mut self,
+        fragments: impl IntoIterator<Item = (Vec<TxnId>, Vec<(TxnId, bool)>)>,
+    ) {
+        for (members, frag) in fragments {
+            self.cur.insert(members, frag);
+        }
+    }
 }
 
 /// Attempts to replay a cached fragment through the searcher's own
@@ -387,16 +414,30 @@ fn seq_planned(
     // searcher would (their objects and constraints are disjoint), and the
     // accumulated path *is* the composed serialization. The state budget
     // and the explored counter are naturally global this way.
+    let total = plan.components.len() as u64;
+    let mut decided: u64 = 0;
     for comp in &plan.components {
         // The in-search deadline sampling only runs while expanding; a
         // between-components check keeps many-small-component specs
-        // responsive too.
+        // responsive too. The interrupt flag shares the slot.
         if s.deadline_expired() {
             let stats = s.stats();
             return (
                 Verdict::Unknown {
                     explored: stats.explored,
                     reason: crate::UnknownReason::Deadline,
+                    partial: Some(crate::PartialProgress::components(decided, total)),
+                },
+                stats,
+            );
+        }
+        if cfg.interruptible && crate::snapshot::interrupt_requested() {
+            let stats = s.stats();
+            return (
+                Verdict::Unknown {
+                    explored: stats.explored,
+                    reason: crate::UnknownReason::Interrupted,
+                    partial: Some(crate::PartialProgress::components(decided, total)),
                 },
                 stats,
             );
@@ -416,11 +457,16 @@ fn seq_planned(
             }
         }
         if replayed {
+            decided += 1;
+            if let Some(c) = cache.as_deref_mut() {
+                crate::snapshot::notify_component_progress(c, s.stats().explored);
+            }
             continue;
         }
         let outcome = s.dfs();
         match outcome {
             Outcome::Found => {
+                decided += 1;
                 if let Some(c) = cache.as_deref_mut() {
                     let members: Vec<TxnId> = comp.iter().map(|&i| spec.txns[i].id).collect();
                     let frag: Vec<(TxnId, bool)> = s
@@ -429,6 +475,7 @@ fn seq_planned(
                         .map(|&(i, f)| (spec.txns[i].id, f))
                         .collect();
                     c.store(members, frag);
+                    crate::snapshot::notify_component_progress(c, s.stats().explored);
                 }
             }
             Outcome::Exhausted => {
@@ -446,6 +493,7 @@ fn seq_planned(
                     Verdict::Unknown {
                         explored: stats.explored,
                         reason,
+                        partial: Some(crate::PartialProgress::components(decided, total)),
                     },
                     stats,
                 );

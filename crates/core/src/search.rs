@@ -81,6 +81,17 @@ pub fn set_default_prelint(enabled: bool) {
     DEFAULT_PRELINT.store(enabled, Ordering::Relaxed);
 }
 
+/// Process-wide default for [`SearchConfig::ladder`], so the experiments
+/// binary can ablate the degradation ladder (`--no-ladder`) without
+/// threading a flag through every criterion constructor.
+static DEFAULT_LADDER: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for [`SearchConfig::ladder`] (the
+/// `--no-ladder` ablation). Affects configs created *after* the call.
+pub fn set_default_ladder(enabled: bool) {
+    DEFAULT_LADDER.store(enabled, Ordering::Relaxed);
+}
+
 /// Process-wide default for [`SearchConfig::deadline`], in milliseconds
 /// (`0` = none), so the CLI and the experiments binary can impose a
 /// wall-clock cap (`--deadline <ms>`) without threading it through every
@@ -144,6 +155,20 @@ pub struct SearchConfig {
     /// the cap is global but approximate (racing workers may overshoot by
     /// a few entries). `None` means uncapped.
     pub max_memo_entries: Option<usize>,
+    /// On budget exhaustion, fall back through the sound degradation
+    /// ladder (lint refutation, the Theorem 11 unique-writes fast path
+    /// where applicable) before settling for [`Verdict::Unknown`], and
+    /// attach a [`crate::PartialProgress`] payload to any remaining
+    /// `Unknown` (default `true`). `false` is the `--no-ladder` ablation;
+    /// the ladder only ever turns `Unknown` into a sound decision, never
+    /// the other way, so ablating it cannot flip a decided verdict.
+    pub ladder: bool,
+    /// Poll the process-wide interrupt flag
+    /// ([`crate::snapshot::request_interrupt`]) in the deadline sampling
+    /// slot and stop cooperatively with [`UnknownReason::Interrupted`]
+    /// (default `false`; the CLI opts in so SIGINT/SIGTERM flush a final
+    /// checkpoint instead of killing the process mid-line).
+    pub interruptible: bool,
 }
 
 impl Default for SearchConfig {
@@ -156,6 +181,8 @@ impl Default for SearchConfig {
             prelint: DEFAULT_PRELINT.load(Ordering::Relaxed),
             deadline: default_deadline(),
             max_memo_entries: None,
+            ladder: DEFAULT_LADDER.load(Ordering::Relaxed),
+            interruptible: false,
         }
     }
 }
@@ -662,10 +689,17 @@ impl<'a> Searcher<'a> {
         // would dominate the hot loop, so it is sampled on the first
         // expansion (so an already-expired deadline fires even on tiny
         // searches) and every 1024 thereafter — an overrun is bounded by
-        // that many node visits.
-        if self.explored & 1023 == 1 && self.budget.deadline_expired() {
-            self.unknown = Some(UnknownReason::Deadline);
-            return Outcome::Budget;
+        // that many node visits. The interrupt flag shares the slot: a
+        // SIGINT/SIGTERM surfaces within the same bound.
+        if self.explored & 1023 == 1 {
+            if self.budget.deadline_expired() {
+                self.unknown = Some(UnknownReason::Deadline);
+                return Outcome::Budget;
+            }
+            if self.cfg.interruptible && crate::snapshot::interrupt_requested() {
+                self.unknown = Some(UnknownReason::Interrupted);
+                return Outcome::Budget;
+            }
         }
         let key = if self.cfg.memo {
             let key = self.memo_key();
@@ -823,6 +857,7 @@ pub(crate) fn seq_search_spec(
         Outcome::Budget => Verdict::Unknown {
             explored: searcher.explored,
             reason: searcher.unknown_reason(),
+            partial: Some(crate::PartialProgress::components(0, 1)),
         },
         Outcome::Cancelled => unreachable!("sequential search cannot be cancelled"),
     };
@@ -871,7 +906,76 @@ pub(crate) fn search_serialization_with_stats(
         Ok(s) => s,
         Err(v) => return (Verdict::Violated(v), SearchStats::default()),
     };
-    decide_spec(&spec, query, cfg, None)
+    let (verdict, stats) = decide_spec(&spec, query, cfg, None);
+    if cfg.ladder {
+        if let Verdict::Unknown {
+            explored,
+            reason,
+            partial,
+        } = verdict
+        {
+            return (
+                ladder_fallback(h, query, cfg, explored, reason, partial),
+                stats,
+            );
+        }
+    }
+    (verdict, stats)
+}
+
+/// The verdict-degradation ladder: on budget exhaustion, fall back through
+/// strictly *sound* procedures before settling for `Unknown`.
+///
+/// Every tier either decides the query exactly or abstains — it can turn
+/// `Unknown` into `Satisfied`/`Violated` but never contradict what an
+/// unbudgeted exact search would have said:
+///
+/// 1. **lint** — the polynomial rules of [`crate::lint`] refute only via
+///    proven necessary conditions (skipped when `prelint` already ran
+///    them before the search).
+/// 2. **unique-writes** — Theorem 11's constraint-propagation pass, run
+///    only for the plain du-opacity query on histories satisfying
+///    [`crate::unique::has_unique_writes`], and only its polynomial
+///    portion (it abstains instead of recursing into a fresh search).
+///
+/// If every tier abstains the `Unknown` is returned with its
+/// [`crate::PartialProgress`] payload annotated with the tiers that ran.
+pub(crate) fn ladder_fallback(
+    h: &History,
+    query: &Query,
+    cfg: &SearchConfig,
+    explored: u64,
+    reason: UnknownReason,
+    partial: Option<crate::PartialProgress>,
+) -> Verdict {
+    let mut tiers: Vec<&'static str> = vec!["exact-search"];
+    if cfg.prelint {
+        // The prefilter already ran the lint tier and found nothing.
+        tiers.push("lint");
+    } else if let Some(v) = crate::lint::prelint(h, query.lint_scope, query.name) {
+        return Verdict::Violated(v);
+    } else {
+        tiers.push("lint");
+    }
+    // Theorem 11 applies to the du-opacity query itself (deferred update,
+    // no criterion-specific edges) under the unique-writes hypothesis.
+    if query.deferred_update
+        && query.extra_edges.is_empty()
+        && query.commit_edges.is_empty()
+        && crate::unique::has_unique_writes(h)
+    {
+        tiers.push("unique-writes");
+        if let Some(verdict) = crate::unique::propagate_unique_writes(h) {
+            return verdict;
+        }
+    }
+    let mut partial = partial.unwrap_or_else(|| crate::PartialProgress::components(0, 1));
+    partial.tiers = tiers;
+    Verdict::Unknown {
+        explored,
+        reason,
+        partial: Some(partial),
+    }
 }
 
 #[cfg(test)]
@@ -930,6 +1034,9 @@ mod tests {
             let cfg = SearchConfig {
                 deadline: Some(Duration::ZERO),
                 prelint: false,
+                // The degradation ladder would decide this unique-writes
+                // history outright; this test is about the raw search.
+                ladder: false,
                 ..cfg
             };
             let verdict = search_serialization(&h, &du_query(), &cfg);

@@ -1,0 +1,1086 @@
+//! Durable checkpoint/resume for anytime checking.
+//!
+//! A long-running check or monitor should never lose its work to a crash,
+//! a SIGTERM, or an exhausted budget. This module provides the pieces:
+//!
+//! * a **versioned, integrity-hashed snapshot format** ([`Snapshot`],
+//!   [`save`], [`load`]) — hand-written JSON like everything else in the
+//!   workspace, written atomically (temp file + rename) so a kill during
+//!   a flush can never leave a half-written checkpoint behind;
+//! * a **process-wide interrupt flag** ([`request_interrupt`]) that a
+//!   signal handler can set from SIGINT/SIGTERM; interruptible searches
+//!   poll it in their deadline-sampling slot and stop cooperatively with
+//!   [`UnknownReason::Interrupted`](crate::UnknownReason) so the caller
+//!   can flush a final checkpoint;
+//! * a **per-thread checkpoint sink** ([`install_checkpoint_sink`]) the
+//!   planned search notifies as components are decided, so checkpoints
+//!   land *during* a check, not only after it;
+//! * an anytime check driver ([`ResumableCheck`]) that runs the same
+//!   query as the criterion structs but through a persistent component
+//!   cache, so decided fragments survive budget exhaustion (for
+//!   checkpointing) and seed the next attempt (for `duop resume` and
+//!   `--retry`/`--escalate`).
+//!
+//! Soundness is inherited, never assumed: resumed fragments are *replayed*
+//! through the searcher's own placement rules before reuse, and a resumed
+//! monitor revalidates its checkpointed witness. A corrupt-but-well-hashed
+//! snapshot therefore costs wasted replay time, never a wrong verdict —
+//! and an actually corrupted file is rejected by the integrity hash first.
+
+use crate::online::OnlineStats;
+use crate::plan::ComponentCache;
+use crate::search::{decide_spec, Query, SearchConfig, SearchStats};
+use crate::spec::Spec;
+use crate::{Verdict, Witness};
+use duop_history::{Event, History, TxnId};
+use serde::{Content, DeError, Deserialize as _};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Format version of the snapshot file; [`load`] rejects anything else.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Interrupt flag
+// ---------------------------------------------------------------------------
+
+/// Process-wide cooperative interrupt flag, set by the CLI's
+/// SIGINT/SIGTERM handler. Only searches that opt in via
+/// [`SearchConfig::interruptible`](crate::SearchConfig) poll it.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Requests a cooperative stop. Async-signal-safe (a single atomic
+/// store), so a signal handler may call it directly.
+pub fn request_interrupt() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Whether an interrupt has been requested.
+pub fn interrupt_requested() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Clears the interrupt flag (tests; a CLI process simply exits).
+pub fn clear_interrupt() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint sink
+// ---------------------------------------------------------------------------
+
+/// One decided conflict-graph component: its member transactions (sorted
+/// spec order) and the serialization fragment (placement order + chosen
+/// commit fates) that certified it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Fragment {
+    /// The component's member transactions.
+    pub members: Vec<TxnId>,
+    /// The fragment: `(txn, committed)` in placement order.
+    pub placements: Vec<(TxnId, bool)>,
+}
+
+/// A raw `(members, placements)` fragment pair, as the component cache
+/// stores it and the on-disk snapshot records it.
+pub type RawFragment = (Vec<TxnId>, Vec<(TxnId, bool)>);
+
+/// A checkpoint-sink callback: receives the decided fragments and the
+/// explored-state count at each flush.
+pub type CheckpointSink = Box<dyn FnMut(&[Fragment], u64)>;
+
+struct SinkState {
+    every: u64,
+    last_flush: u64,
+    sink: CheckpointSink,
+}
+
+thread_local! {
+    /// The checkpoint sink is per-thread: the sequential planned search
+    /// runs on the installing thread, and thread-locality means one
+    /// check's sink can never observe another check's fragments (tests
+    /// run checks concurrently in one process).
+    static SINK: RefCell<Option<SinkState>> = const { RefCell::new(None) };
+}
+
+/// Installs a checkpoint sink on the current thread. The planned search
+/// calls it (with the component cache's fragments and the explored-state
+/// count) whenever a component is decided and at least `every` states
+/// have been explored since the last flush. Replaces any previous sink.
+pub fn install_checkpoint_sink(every: u64, sink: CheckpointSink) {
+    SINK.with(|cell| {
+        *cell.borrow_mut() = Some(SinkState {
+            every: every.max(1),
+            last_flush: 0,
+            sink,
+        });
+    });
+}
+
+/// Removes the current thread's checkpoint sink, if any.
+pub fn remove_checkpoint_sink() {
+    SINK.with(|cell| {
+        *cell.borrow_mut() = None;
+    });
+}
+
+/// Called by the sequential planned search after each decided component.
+pub(crate) fn notify_component_progress(cache: &ComponentCache, explored: u64) {
+    SINK.with(|cell| {
+        // try_borrow_mut: if the sink itself somehow triggers a cached
+        // search on this thread, skip the nested notification rather
+        // than panicking the checker.
+        let Ok(mut slot) = cell.try_borrow_mut() else {
+            return;
+        };
+        let Some(state) = slot.as_mut() else {
+            return;
+        };
+        if explored.saturating_sub(state.last_flush) < state.every {
+            return;
+        }
+        state.last_flush = explored;
+        let fragments = export_cache(cache);
+        (state.sink)(&fragments, explored);
+    });
+}
+
+fn export_cache(cache: &ComponentCache) -> Vec<Fragment> {
+    cache
+        .export_fragments()
+        .into_iter()
+        .map(|(members, placements)| Fragment {
+            members,
+            placements,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot data model
+// ---------------------------------------------------------------------------
+
+/// A serializable witness: the order plus the commit choices, in a shape
+/// the hand-written JSON layer round-trips exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WitnessSnap {
+    /// The serialization order.
+    pub order: Vec<TxnId>,
+    /// Commit decisions for commit-pending transactions.
+    pub choices: Vec<(TxnId, bool)>,
+}
+
+impl WitnessSnap {
+    /// Snapshots a witness.
+    pub fn from_witness(w: &Witness) -> Self {
+        WitnessSnap {
+            order: w.order().to_vec(),
+            choices: w.commit_choices().iter().map(|(&t, &c)| (t, c)).collect(),
+        }
+    }
+
+    /// Reconstructs the witness (revalidate before trusting it).
+    pub fn into_witness(self) -> Witness {
+        let choices: BTreeMap<TxnId, bool> = self.choices.into_iter().collect();
+        Witness::new(self.order, choices)
+    }
+}
+
+/// A criterion the enclosing `duop check` already finished: its CLI name,
+/// whether it passed, and the exact output line to re-emit on resume.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompletedCriterion {
+    /// CLI criterion name (e.g. `du`).
+    pub name: String,
+    /// Whether the criterion was satisfied.
+    pub ok: bool,
+    /// The rendered output line (text or JSON, matching the run's format).
+    pub line: String,
+}
+
+/// The criterion a checkpointed `duop check` was working on when the
+/// snapshot was taken, with the component fragments decided so far.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InFlight {
+    /// CLI criterion name.
+    pub name: String,
+    /// Explored-state count at flush time (informational).
+    pub explored: u64,
+    /// Decided component fragments, replay-validated on resume.
+    pub fragments: Vec<Fragment>,
+}
+
+/// Checkpoint of a `duop check` run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckSnapshot {
+    /// The full input trace (resume does not need the original file).
+    pub events: Vec<Event>,
+    /// Requested criteria, CLI spellings, in order.
+    pub criteria: Vec<String>,
+    /// Output format (`text` or `json`).
+    pub format: String,
+    /// Worker threads (`0` = sequential default).
+    pub threads: u64,
+    /// Planner enabled.
+    pub decompose: bool,
+    /// Lint prefilter enabled.
+    pub prelint: bool,
+    /// Degradation ladder enabled.
+    pub ladder: bool,
+    /// Per-criterion deadline in milliseconds (`0` = none).
+    pub deadline_ms: u64,
+    /// State budget (`0` = unlimited).
+    pub max_states: u64,
+    /// Remaining escalation retries.
+    pub retry: u64,
+    /// Escalation factor, in thousandths (e.g. `2000` = 2.0×).
+    pub escalate_milli: u64,
+    /// Escalation attempts already consumed.
+    pub attempt: u64,
+    /// Criteria already decided, with their recorded output lines.
+    pub completed: Vec<CompletedCriterion>,
+    /// The criterion in flight when the snapshot was flushed.
+    pub current: Option<InFlight>,
+}
+
+/// Checkpoint of a `duop monitor` run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MonitorSnapshot {
+    /// The full input trace.
+    pub events: Vec<Event>,
+    /// Events already pushed through the monitor.
+    pub done: u64,
+    /// Event index (0-based) whose push first returned a violation, if
+    /// any. Resume *re-derives* the violation by checking that prefix —
+    /// the snapshot records where, never what, so a forged location can
+    /// only cause a recheck, not a wrong verdict.
+    pub violated_at: Option<u64>,
+    /// The last certified witness, revalidated on resume.
+    pub witness: Option<WitnessSnap>,
+    /// Monitor work counters at flush time.
+    pub stats: OnlineStats,
+    /// Component fragments from the monitor's cache.
+    pub fragments: Vec<Fragment>,
+    /// `--status-every` setting (`0` = none), restored on resume.
+    pub status_every: u64,
+    /// `--checkpoint-every` setting, restored on resume.
+    pub checkpoint_every: u64,
+}
+
+/// A checkpoint: what kind of run it belongs to plus that run's progress.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Snapshot {
+    /// A `duop check` checkpoint.
+    Check(CheckSnapshot),
+    /// A `duop monitor` checkpoint.
+    Monitor(MonitorSnapshot),
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (hand-written, core/json.rs style)
+// ---------------------------------------------------------------------------
+
+fn s(text: impl Into<String>) -> Content {
+    Content::Str(text.into())
+}
+
+fn pair_seq(pairs: &[(TxnId, bool)]) -> Content {
+    Content::Seq(
+        pairs
+            .iter()
+            .map(|&(t, c)| Content::Seq(vec![serde::Serialize::to_content(&t), Content::Bool(c)]))
+            .collect(),
+    )
+}
+
+fn pairs_from(content: &Content) -> Result<Vec<(TxnId, bool)>, DeError> {
+    let Content::Seq(items) = content else {
+        return Err(DeError::custom("expected array of [txn, bool] pairs"));
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Content::Seq(kv) if kv.len() == 2 => {
+                let t = <TxnId as serde::Deserialize>::from_content(&kv[0])?;
+                let c = bool::from_content(&kv[1])?;
+                Ok((t, c))
+            }
+            _ => Err(DeError::custom("expected [txn, bool] pair")),
+        })
+        .collect()
+}
+
+fn fields(content: &Content, what: &str) -> Result<Vec<(String, Content)>, DeError> {
+    match content {
+        Content::Map(entries) => Ok(entries.clone()),
+        _ => Err(DeError::custom(format!("{what}: expected object"))),
+    }
+}
+
+fn field<'a>(entries: &'a [(String, Content)], name: &str) -> Result<&'a Content, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+impl serde::Serialize for Fragment {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("members".into(), self.members.to_content()),
+            ("placements".into(), pair_seq(&self.placements)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Fragment {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "fragment")?;
+        Ok(Fragment {
+            members: Vec::<TxnId>::from_content(field(&m, "members")?)?,
+            placements: pairs_from(field(&m, "placements")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for WitnessSnap {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("order".into(), self.order.to_content()),
+            ("choices".into(), pair_seq(&self.choices)),
+        ])
+    }
+}
+
+impl serde::Deserialize for WitnessSnap {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "witness")?;
+        Ok(WitnessSnap {
+            order: Vec::<TxnId>::from_content(field(&m, "order")?)?,
+            choices: pairs_from(field(&m, "choices")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for CompletedCriterion {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("name".into(), s(self.name.clone())),
+            ("ok".into(), Content::Bool(self.ok)),
+            ("line".into(), s(self.line.clone())),
+        ])
+    }
+}
+
+impl serde::Deserialize for CompletedCriterion {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "completed criterion")?;
+        Ok(CompletedCriterion {
+            name: String::from_content(field(&m, "name")?)?,
+            ok: bool::from_content(field(&m, "ok")?)?,
+            line: String::from_content(field(&m, "line")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for InFlight {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("name".into(), s(self.name.clone())),
+            ("explored".into(), Content::U64(self.explored)),
+            ("fragments".into(), self.fragments.to_content()),
+        ])
+    }
+}
+
+impl serde::Deserialize for InFlight {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "in-flight criterion")?;
+        Ok(InFlight {
+            name: String::from_content(field(&m, "name")?)?,
+            explored: u64::from_content(field(&m, "explored")?)?,
+            fragments: Vec::<Fragment>::from_content(field(&m, "fragments")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for OnlineStats {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("events".into(), Content::U64(self.events as u64)),
+            (
+                "incremental_hits".into(),
+                Content::U64(self.incremental_hits as u64),
+            ),
+            (
+                "full_searches".into(),
+                Content::U64(self.full_searches as u64),
+            ),
+            (
+                "component_reuses".into(),
+                Content::U64(self.component_reuses),
+            ),
+            (
+                "lint_refutations".into(),
+                Content::U64(self.lint_refutations),
+            ),
+            (
+                "retained_events".into(),
+                Content::U64(self.retained_events as u64),
+            ),
+            (
+                "peak_resident_events".into(),
+                Content::U64(self.peak_resident_events as u64),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for OnlineStats {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "monitor stats")?;
+        Ok(OnlineStats {
+            events: usize::from_content(field(&m, "events")?)?,
+            incremental_hits: usize::from_content(field(&m, "incremental_hits")?)?,
+            full_searches: usize::from_content(field(&m, "full_searches")?)?,
+            component_reuses: u64::from_content(field(&m, "component_reuses")?)?,
+            lint_refutations: u64::from_content(field(&m, "lint_refutations")?)?,
+            retained_events: usize::from_content(field(&m, "retained_events")?)?,
+            peak_resident_events: usize::from_content(field(&m, "peak_resident_events")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for CheckSnapshot {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("kind".into(), s("check")),
+            ("events".into(), self.events.to_content()),
+            ("criteria".into(), self.criteria.to_content()),
+            ("format".into(), s(self.format.clone())),
+            ("threads".into(), Content::U64(self.threads)),
+            ("decompose".into(), Content::Bool(self.decompose)),
+            ("prelint".into(), Content::Bool(self.prelint)),
+            ("ladder".into(), Content::Bool(self.ladder)),
+            ("deadline_ms".into(), Content::U64(self.deadline_ms)),
+            ("max_states".into(), Content::U64(self.max_states)),
+            ("retry".into(), Content::U64(self.retry)),
+            ("escalate_milli".into(), Content::U64(self.escalate_milli)),
+            ("attempt".into(), Content::U64(self.attempt)),
+            ("completed".into(), self.completed.to_content()),
+            ("current".into(), self.current.to_content()),
+        ])
+    }
+}
+
+impl serde::Deserialize for CheckSnapshot {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "check snapshot")?;
+        Ok(CheckSnapshot {
+            events: Vec::<Event>::from_content(field(&m, "events")?)?,
+            criteria: Vec::<String>::from_content(field(&m, "criteria")?)?,
+            format: String::from_content(field(&m, "format")?)?,
+            threads: u64::from_content(field(&m, "threads")?)?,
+            decompose: bool::from_content(field(&m, "decompose")?)?,
+            prelint: bool::from_content(field(&m, "prelint")?)?,
+            ladder: bool::from_content(field(&m, "ladder")?)?,
+            deadline_ms: u64::from_content(field(&m, "deadline_ms")?)?,
+            max_states: u64::from_content(field(&m, "max_states")?)?,
+            retry: u64::from_content(field(&m, "retry")?)?,
+            escalate_milli: u64::from_content(field(&m, "escalate_milli")?)?,
+            attempt: u64::from_content(field(&m, "attempt")?)?,
+            completed: Vec::<CompletedCriterion>::from_content(field(&m, "completed")?)?,
+            current: Option::<InFlight>::from_content(field(&m, "current")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for MonitorSnapshot {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("kind".into(), s("monitor")),
+            ("events".into(), self.events.to_content()),
+            ("done".into(), Content::U64(self.done)),
+            ("violated_at".into(), self.violated_at.to_content()),
+            ("witness".into(), self.witness.to_content()),
+            ("stats".into(), self.stats.to_content()),
+            ("fragments".into(), self.fragments.to_content()),
+            ("status_every".into(), Content::U64(self.status_every)),
+            (
+                "checkpoint_every".into(),
+                Content::U64(self.checkpoint_every),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for MonitorSnapshot {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "monitor snapshot")?;
+        Ok(MonitorSnapshot {
+            events: Vec::<Event>::from_content(field(&m, "events")?)?,
+            done: u64::from_content(field(&m, "done")?)?,
+            violated_at: Option::<u64>::from_content(field(&m, "violated_at")?)?,
+            witness: Option::<WitnessSnap>::from_content(field(&m, "witness")?)?,
+            stats: OnlineStats::from_content(field(&m, "stats")?)?,
+            fragments: Vec::<Fragment>::from_content(field(&m, "fragments")?)?,
+            status_every: u64::from_content(field(&m, "status_every")?)?,
+            checkpoint_every: u64::from_content(field(&m, "checkpoint_every")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for Snapshot {
+    fn to_content(&self) -> Content {
+        match self {
+            Snapshot::Check(c) => c.to_content(),
+            Snapshot::Monitor(m) => m.to_content(),
+        }
+    }
+}
+
+impl serde::Deserialize for Snapshot {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "snapshot payload")?;
+        match String::from_content(field(&m, "kind")?)?.as_str() {
+            "check" => CheckSnapshot::from_content(content).map(Snapshot::Check),
+            "monitor" => MonitorSnapshot::from_content(content).map(Snapshot::Monitor),
+            other => Err(DeError::custom(format!("unknown snapshot kind `{other}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable save / load
+// ---------------------------------------------------------------------------
+
+/// Why a snapshot file could not be written or read back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(String),
+    /// The file is not syntactically valid JSON (truncation, bit flips in
+    /// structure).
+    Syntax(String),
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    WrongVersion {
+        /// The version the file declares.
+        found: u64,
+    },
+    /// The payload does not match its recorded integrity hash.
+    HashMismatch,
+    /// The payload parses as JSON but not as a snapshot.
+    Shape(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            SnapshotError::Syntax(e) => write!(f, "checkpoint is not valid JSON: {e}"),
+            SnapshotError::WrongVersion { found } => write!(
+                f,
+                "checkpoint version {found} is not supported (expected {SNAPSHOT_VERSION})"
+            ),
+            SnapshotError::HashMismatch => {
+                write!(f, "checkpoint integrity hash does not match its payload")
+            }
+            SnapshotError::Shape(e) => write!(f, "checkpoint payload is malformed: {e}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// FxHash-128 of the payload bytes, as 32 hex digits. Not cryptographic —
+/// it detects corruption (truncation, bit flips), not tampering.
+fn hash_hex(bytes: &[u8]) -> String {
+    let mut h = crate::fxhash::Hash128::new();
+    h.write(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        h.write(u64::from_le_bytes(buf));
+    }
+    format!("{:032x}", h.finish())
+}
+
+/// Renders a snapshot to its on-disk form (exposed for tests that build
+/// corrupt variants).
+pub fn to_file_string(snapshot: &Snapshot) -> String {
+    let payload = serde::Serialize::to_content(snapshot);
+    let body = serde_json::to_string(&payload).expect("content serialization is infallible");
+    let hash = hash_hex(body.as_bytes());
+    format!("{{\"version\":{SNAPSHOT_VERSION},\"hash\":\"{hash}\",\"payload\":{body}}}\n")
+}
+
+/// Writes `snapshot` to `path` atomically: the bytes go to a temp file in
+/// the same directory, then a single `rename` publishes them. A reader
+/// (or a crash) sees either the old complete checkpoint or the new one.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] if the temp write or the rename fails.
+pub fn save(path: &str, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+    let text = to_file_string(snapshot);
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, &text).map_err(|e| SnapshotError::Io(format!("{tmp}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(format!("{tmp} -> {path}: {e}")))
+}
+
+/// Identity deserializer so the raw content tree can be inspected before
+/// committing to a snapshot shape.
+struct Raw(Content);
+
+impl serde::Deserialize for Raw {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(Raw(content.clone()))
+    }
+}
+
+/// Loads and verifies a snapshot: JSON syntax, format version, integrity
+/// hash (recomputed over the canonical re-serialization of the payload),
+/// then shape — in that order, so the error names the first problem.
+///
+/// # Errors
+///
+/// Every [`SnapshotError`] variant is reachable; none of them panic, so a
+/// truncated, bit-flipped, or hand-edited file degrades to a structured
+/// error (`duop resume` exits 2).
+pub fn load(path: &str) -> Result<Snapshot, SnapshotError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| SnapshotError::Io(format!("{path}: {e}")))?;
+    let Raw(outer) =
+        serde_json::from_str::<Raw>(&text).map_err(|e| SnapshotError::Syntax(e.to_string()))?;
+    let entries = fields(&outer, "snapshot file").map_err(|e| SnapshotError::Shape(e.0))?;
+    let version = field(&entries, "version")
+        .map_err(|e| SnapshotError::Shape(e.0))?
+        .as_u64()
+        .ok_or_else(|| SnapshotError::Shape("`version` must be an integer".into()))?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::WrongVersion { found: version });
+    }
+    let recorded = field(&entries, "hash")
+        .map_err(|e| SnapshotError::Shape(e.0))?
+        .as_str()
+        .ok_or_else(|| SnapshotError::Shape("`hash` must be a string".into()))?
+        .to_owned();
+    let payload = field(&entries, "payload").map_err(|e| SnapshotError::Shape(e.0))?;
+    // The payload was written by our own serializer, whose output the
+    // parser round-trips exactly, so re-serializing the parsed tree
+    // reproduces the hashed bytes.
+    let body = serde_json::to_string(payload).expect("content serialization is infallible");
+    if hash_hex(body.as_bytes()) != recorded {
+        return Err(SnapshotError::HashMismatch);
+    }
+    <Snapshot as serde::Deserialize>::from_content(payload).map_err(|e| SnapshotError::Shape(e.0))
+}
+
+// ---------------------------------------------------------------------------
+// Anytime check driver
+// ---------------------------------------------------------------------------
+
+/// The criteria whose checks are single serialization queries — exactly
+/// the ones whose per-component progress is checkpointable and resumable.
+/// (`opacity` runs a prefix loop and the TMS2 automaton is polynomial;
+/// both re-run from scratch on resume.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckableCriterion {
+    /// Final-state opacity (Definition 2).
+    FinalStateOpacity,
+    /// DU-opacity (Definition 3).
+    DuOpacity,
+    /// Read-commit-order opacity.
+    ReadCommitOrder,
+    /// The paper's TMS2 rendering.
+    Tms2,
+    /// Strict serializability of the committed projection.
+    StrictSerializability,
+}
+
+impl CheckableCriterion {
+    fn query(self, h: &History) -> Query {
+        match self {
+            CheckableCriterion::FinalStateOpacity => Query {
+                name: "final-state opacity",
+                deferred_update: false,
+                extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Plain,
+            },
+            CheckableCriterion::DuOpacity => Query {
+                name: "du-opacity",
+                deferred_update: true,
+                extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Du,
+            },
+            CheckableCriterion::ReadCommitOrder => Query {
+                name: "read-commit-order opacity",
+                deferred_update: false,
+                extra_edges: Vec::new(),
+                commit_edges: crate::criteria::rco_edges(h),
+                lint_scope: crate::lint::LintScope::Rco,
+            },
+            CheckableCriterion::Tms2 => Query {
+                name: "TMS2",
+                deferred_update: false,
+                extra_edges: crate::criteria::tms2_edges(h),
+                commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Tms2,
+            },
+            CheckableCriterion::StrictSerializability => Query {
+                name: "strict serializability",
+                deferred_update: false,
+                extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Plain,
+            },
+        }
+    }
+}
+
+/// An anytime, resumable exact check: the same prelint → plan → search
+/// pipeline as the criterion structs, run through a persistent
+/// [`ComponentCache`] so that
+///
+/// * on budget exhaustion, the fragments of every component decided so
+///   far are exportable ([`ResumableCheck::fragments`]) for a checkpoint;
+/// * a later attempt (a `duop resume`, or the in-process
+///   `--retry`/`--escalate` loop) preloads those fragments and *replays*
+///   them through the searcher's own placement rules instead of
+///   re-searching — validated reuse, identical verdicts, strictly fewer
+///   explored states.
+///
+/// Fragment reuse flows through the sequential planned engine; with
+/// `threads > 1` or `decompose = false` the check still works but decides
+/// every component afresh.
+#[derive(Debug, Default)]
+pub struct ResumableCheck {
+    cache: ComponentCache,
+}
+
+impl ResumableCheck {
+    /// A driver with an empty cache (a from-scratch check).
+    pub fn new() -> Self {
+        ResumableCheck::default()
+    }
+
+    /// Preloads checkpointed fragments. They are replay-validated before
+    /// any reuse, so corrupt or stale fragments are harmless.
+    pub fn preload(&mut self, fragments: Vec<Fragment>) {
+        self.cache
+            .preload(fragments.into_iter().map(|f| (f.members, f.placements)));
+    }
+
+    /// The fragments of every component decided by the most recent
+    /// [`ResumableCheck::check`] call (sorted, deterministic).
+    pub fn fragments(&self) -> Vec<Fragment> {
+        export_cache(&self.cache)
+    }
+
+    /// Checks `h` against `criterion` under `cfg`, going through the
+    /// persistent cache. Verdict-equivalent to the corresponding
+    /// [`Criterion::check`](crate::Criterion) call.
+    pub fn check(
+        &mut self,
+        h: &History,
+        criterion: CheckableCriterion,
+        cfg: &SearchConfig,
+    ) -> (Verdict, SearchStats) {
+        let projection;
+        let h_eff: &History = match criterion {
+            CheckableCriterion::StrictSerializability => {
+                let committed: Vec<TxnId> = h
+                    .txns()
+                    .filter(|t| {
+                        t.commit_capability() != duop_history::CommitCapability::NeverCommitted
+                    })
+                    .map(|t| t.id())
+                    .collect();
+                projection = h.filter_txns(|id| committed.contains(&id));
+                &projection
+            }
+            _ => h,
+        };
+        let query = criterion.query(h_eff);
+        if cfg.prelint {
+            if let Some(v) = crate::lint::prelint(h_eff, query.lint_scope, query.name) {
+                return (Verdict::Violated(v), SearchStats::default());
+            }
+        }
+        let spec = match Spec::build(h_eff) {
+            Ok(s) => s,
+            Err(v) => return (Verdict::Violated(v), SearchStats::default()),
+        };
+        self.cache.begin_generation();
+        let (verdict, stats) = decide_spec(&spec, &query, cfg, Some(&mut self.cache));
+        if cfg.ladder {
+            if let Verdict::Unknown {
+                explored,
+                reason,
+                partial,
+            } = verdict
+            {
+                return (
+                    crate::search::ladder_fallback(h_eff, &query, cfg, explored, reason, partial),
+                    stats,
+                );
+            }
+        }
+        (verdict, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duop_history::{HistoryBuilder, ObjId, Value};
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+
+    fn sample_check_snapshot() -> CheckSnapshot {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), ObjId::new(0), Value::new(1))
+            .committed_reader(t(2), ObjId::new(0), Value::new(1))
+            .build();
+        CheckSnapshot {
+            events: h.events().to_vec(),
+            criteria: vec!["du".into(), "rco".into()],
+            format: "text".into(),
+            threads: 0,
+            decompose: true,
+            prelint: true,
+            ladder: true,
+            deadline_ms: 250,
+            max_states: 1000,
+            retry: 3,
+            escalate_milli: 2000,
+            attempt: 1,
+            completed: vec![CompletedCriterion {
+                name: "du".into(),
+                ok: true,
+                line: "du-opacity                   satisfied; witness: \"T1\" < T2".into(),
+            }],
+            current: Some(InFlight {
+                name: "rco".into(),
+                explored: 42,
+                fragments: vec![Fragment {
+                    members: vec![t(1), t(2)],
+                    placements: vec![(t(1), true), (t(2), true)],
+                }],
+            }),
+        }
+    }
+
+    #[test]
+    fn check_snapshot_round_trips_through_file() {
+        let snap = Snapshot::Check(sample_check_snapshot());
+        let path = std::env::temp_dir().join(format!(
+            "duop-snap-rt-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = path.to_str().unwrap().to_owned();
+        save(&path, &snap).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn monitor_snapshot_round_trips() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), ObjId::new(0), Value::new(1))
+            .build();
+        let stats = OnlineStats {
+            events: 4,
+            incremental_hits: 3,
+            full_searches: 1,
+            component_reuses: 0,
+            lint_refutations: 0,
+            retained_events: 4,
+            peak_resident_events: 4,
+        };
+        let snap = Snapshot::Monitor(MonitorSnapshot {
+            events: h.events().to_vec(),
+            done: 4,
+            violated_at: None,
+            witness: Some(WitnessSnap {
+                order: vec![t(1)],
+                choices: vec![(t(1), true)],
+            }),
+            stats,
+            fragments: Vec::new(),
+            status_every: 2,
+            checkpoint_every: 1,
+        });
+        let text = to_file_string(&snap);
+        let path = std::env::temp_dir().join(format!(
+            "duop-snap-mon-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, &text).unwrap();
+        let loaded = load(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_files_yield_structured_errors() {
+        let snap = Snapshot::Check(sample_check_snapshot());
+        let good = to_file_string(&snap);
+
+        // Truncated: syntax error.
+        let half = &good[..good.len() / 2];
+        let dir = std::env::temp_dir();
+        let write = |label: &str, text: &str| {
+            let p = dir.join(format!(
+                "duop-snap-corrupt-{label}-{}-{:?}.json",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::write(&p, text).unwrap();
+            p.to_str().unwrap().to_owned()
+        };
+
+        let p = write("trunc", half);
+        assert!(matches!(load(&p), Err(SnapshotError::Syntax(_))));
+
+        // Wrong version.
+        let versioned = good.replacen("\"version\":1", "\"version\":99", 1);
+        let p = write("ver", &versioned);
+        assert!(matches!(
+            load(&p),
+            Err(SnapshotError::WrongVersion { found: 99 })
+        ));
+
+        // Payload flip: hash mismatch.
+        let flipped = good.replacen("\"threads\":0", "\"threads\":7", 1);
+        let p = write("flip", &flipped);
+        assert!(matches!(load(&p), Err(SnapshotError::HashMismatch)));
+
+        // Bad hash field.
+        let bad_hash = {
+            let start = good.find("\"hash\":\"").unwrap() + "\"hash\":\"".len();
+            let mut s = good.clone();
+            s.replace_range(start..start + 4, "dead");
+            s
+        };
+        let p = write("hash", &bad_hash);
+        match load(&p) {
+            // 1-in-16^4 chance the original hash started with "dead".
+            Err(SnapshotError::HashMismatch) | Ok(_) => {}
+            other => panic!("expected hash mismatch, got {other:?}"),
+        }
+
+        // Missing file: io error.
+        assert!(matches!(
+            load("/nonexistent/duop-snap.json"),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn resumable_check_reuses_fragments_across_attempts() {
+        // Two independent clusters (concurrent, so real-time order does
+        // not merge them); a tiny budget decides the first component then
+        // trips. The resumed attempt must replay it and explore strictly
+        // fewer states than a fresh unbudgeted run.
+        let (x, y) = (ObjId::new(0), ObjId::new(1));
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x, Value::new(1))
+            .inv_write(t(3), y, Value::new(7))
+            .resp_ok(t(1))
+            .resp_ok(t(3))
+            .inv_try_commit(t(1))
+            .inv_try_commit(t(3))
+            .read(t(2), x, Value::new(1))
+            .read(t(4), y, Value::new(7))
+            .commit(t(2))
+            .commit(t(4))
+            .build();
+
+        let cfg_unlimited = SearchConfig {
+            prelint: false,
+            ..SearchConfig::default()
+        };
+        let (fresh_verdict, fresh_stats) =
+            ResumableCheck::new().check(&h, CheckableCriterion::DuOpacity, &cfg_unlimited);
+        assert!(fresh_verdict.is_satisfied());
+
+        let mut budgeted = ResumableCheck::new();
+        let cfg_tiny = SearchConfig {
+            max_states: Some(3),
+            prelint: false,
+            // Keep the ladder out so the budget trip is observable.
+            ladder: false,
+            ..SearchConfig::default()
+        };
+        let (first, _) = budgeted.check(&h, CheckableCriterion::DuOpacity, &cfg_tiny);
+        assert!(
+            matches!(first, Verdict::Unknown { .. }),
+            "expected budget trip, got {first:?}"
+        );
+        let fragments = budgeted.fragments();
+        assert!(
+            !fragments.is_empty(),
+            "at least one component should be decided before the budget"
+        );
+
+        let mut resumed = ResumableCheck::new();
+        resumed.preload(fragments);
+        let (second, resumed_stats) =
+            resumed.check(&h, CheckableCriterion::DuOpacity, &cfg_unlimited);
+        assert!(second.is_satisfied());
+        assert!(
+            resumed_stats.explored < fresh_stats.explored,
+            "resume should skip replayed components: {} vs {}",
+            resumed_stats.explored,
+            fresh_stats.explored
+        );
+    }
+
+    #[test]
+    fn checkpoint_sink_fires_on_component_progress() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let flushes = Rc::new(Cell::new(0usize));
+        let seen = flushes.clone();
+        install_checkpoint_sink(
+            1,
+            Box::new(move |fragments, _explored| {
+                assert!(!fragments.is_empty());
+                seen.set(seen.get() + 1);
+            }),
+        );
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), ObjId::new(0), Value::new(1))
+            .committed_reader(t(2), ObjId::new(0), Value::new(1))
+            .committed_writer(t(3), ObjId::new(1), Value::new(7))
+            .committed_reader(t(4), ObjId::new(1), Value::new(7))
+            .build();
+        let mut check = ResumableCheck::new();
+        let (verdict, _) = check.check(&h, CheckableCriterion::DuOpacity, &SearchConfig::default());
+        remove_checkpoint_sink();
+        assert!(verdict.is_satisfied());
+        assert!(flushes.get() > 0, "sink never fired");
+    }
+
+    #[test]
+    fn interrupt_flag_round_trip() {
+        clear_interrupt();
+        assert!(!interrupt_requested());
+        request_interrupt();
+        assert!(interrupt_requested());
+        clear_interrupt();
+        assert!(!interrupt_requested());
+    }
+}

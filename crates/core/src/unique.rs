@@ -101,6 +101,61 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
         has_unique_writes(h),
         "fast path requires the unique-writes assumption"
     );
+    let (decided, edges, mut stats) = propagate(h);
+    if let Some(verdict) = decided {
+        return (verdict, stats);
+    }
+    // Finish with the general search, seeded with the inferred edges
+    // (each is implied, so this is sound and complete).
+    stats.fell_back = true;
+    let verdict = crate::search::search_serialization(
+        h,
+        &crate::search::Query {
+            name: "du-opacity (unique-writes fallback)",
+            deferred_update: true,
+            extra_edges: edges,
+            commit_edges: Vec::new(),
+            lint_scope: crate::lint::LintScope::Du,
+        },
+        &SearchConfig::default(),
+    );
+    (verdict, stats)
+}
+
+/// The polynomial portion of the Theorem 11 fast path: decides du-opacity
+/// by constraint propagation alone, *abstaining* (`None`) when an
+/// anti-dependency disjunction remains unresolved instead of falling back
+/// to the exponential search.
+///
+/// Also abstains when `h` does not satisfy [`has_unique_writes`] (the
+/// hypothesis of Theorem 11). Any `Some` verdict matches what
+/// [`DuOpacity`] would return; this is the degradation ladder's
+/// budget-free tier.
+///
+/// # Examples
+///
+/// ```
+/// use duop_core::unique::propagate_unique_writes;
+/// use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+///
+/// let h = HistoryBuilder::new()
+///     .committed_writer(TxnId::new(1), ObjId::new(0), Value::new(1))
+///     .committed_reader(TxnId::new(2), ObjId::new(0), Value::new(1))
+///     .build();
+/// assert!(propagate_unique_writes(&h).is_some_and(|v| v.is_satisfied()));
+/// ```
+pub fn propagate_unique_writes(h: &History) -> Option<Verdict> {
+    if !has_unique_writes(h) {
+        return None;
+    }
+    propagate(h).0
+}
+
+/// Shared propagation pass: returns the decided verdict (if propagation
+/// resolved everything) or `None` plus the inferred precedence edges for
+/// the search fallback, along with the pass's statistics.
+#[allow(clippy::type_complexity)]
+fn propagate(h: &History) -> (Option<Verdict>, Vec<(TxnId, TxnId)>, FastPathStats) {
     let mut stats = FastPathStats::default();
 
     let ids: Vec<TxnId> = h.txn_ids().collect();
@@ -161,11 +216,12 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
         }
         let Some(&w) = writer_of.get(&(r.obj, r.value)) else {
             return (
-                Verdict::Violated(Violation::MissingWriter {
+                Some(Verdict::Violated(Violation::MissingWriter {
                     txn: ids[r.reader],
                     obj: r.obj,
                     value: r.value,
-                }),
+                })),
+                Vec::new(),
                 stats,
             );
         };
@@ -173,11 +229,12 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
             // Unique writes: only the reader itself writes this value, but
             // an external read precedes every own write to the object.
             return (
-                Verdict::Violated(Violation::MissingWriter {
+                Some(Verdict::Violated(Violation::MissingWriter {
                     txn: ids[r.reader],
                     obj: r.obj,
                     value: r.value,
-                }),
+                })),
+                Vec::new(),
                 stats,
             );
         }
@@ -193,11 +250,12 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
         };
         if !eligible || !commit_capable {
             return (
-                Verdict::Violated(Violation::MissingWriter {
+                Some(Verdict::Violated(Violation::MissingWriter {
                     txn: ids[r.reader],
                     obj: r.obj,
                     value: r.value,
-                }),
+                })),
+                Vec::new(),
                 stats,
             );
         }
@@ -266,7 +324,8 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
         if (0..n).any(|i| reach[i][i]) {
             let cyc: Vec<TxnId> = (0..n).filter(|&i| reach[i][i]).map(|i| ids[i]).collect();
             return (
-                Verdict::Violated(Violation::ConstraintCycle { txns: cyc }),
+                Some(Verdict::Violated(Violation::ConstraintCycle { txns: cyc })),
+                Vec::new(),
                 stats,
             );
         }
@@ -289,9 +348,10 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
                         // j < w < reader < j: cycle; will be caught above
                         // next round after we add nothing — report now.
                         return (
-                            Verdict::Violated(Violation::ConstraintCycle {
+                            Some(Verdict::Violated(Violation::ConstraintCycle {
                                 txns: vec![ids[j], ids[w], ids[r.reader]],
-                            }),
+                            })),
+                            Vec::new(),
                             stats,
                         );
                     }
@@ -316,9 +376,8 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
     }
 
     if unresolved {
-        // Finish with the general search, seeded with the inferred edges
-        // (each is implied, so this is sound and complete).
-        stats.fell_back = true;
+        // Hand the inferred edges to the caller; only
+        // `check_unique_writes_fast` escalates to the general search.
         let mut edges = Vec::new();
         for i in 0..n {
             for j in 0..n {
@@ -327,18 +386,7 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
                 }
             }
         }
-        let verdict = crate::search::search_serialization(
-            h,
-            &crate::search::Query {
-                name: "du-opacity (unique-writes fallback)",
-                deferred_update: true,
-                extra_edges: edges,
-                commit_edges: Vec::new(),
-                lint_scope: crate::lint::LintScope::Du,
-            },
-            &SearchConfig::default(),
-        );
-        return (verdict, stats);
+        return (None, edges, stats);
     }
 
     // All constraints resolved: any topological order is a witness.
@@ -350,7 +398,11 @@ pub fn check_unique_writes_fast(h: &History) -> (Verdict, FastPathStats) {
             choices.insert(id, forced_commit[i]);
         }
     }
-    (Verdict::Satisfied(Witness::new(order, choices)), stats)
+    (
+        Some(Verdict::Satisfied(Witness::new(order, choices))),
+        Vec::new(),
+        stats,
+    )
 }
 
 /// Convenience: decides du-opacity, taking the fast path when the history

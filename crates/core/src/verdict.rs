@@ -237,6 +237,10 @@ pub enum UnknownReason {
     /// A parallel search worker panicked; its siblings were cancelled and
     /// the panic was contained, but the subtree it owned is unexplored.
     WorkerPanic,
+    /// The process received SIGINT/SIGTERM (see
+    /// [`crate::snapshot::request_interrupt`]); the search flushed its
+    /// progress and stopped cooperatively instead of dying mid-line.
+    Interrupted,
 }
 
 impl UnknownReason {
@@ -246,6 +250,7 @@ impl UnknownReason {
             UnknownReason::StateBudget => "state-budget",
             UnknownReason::Deadline => "deadline",
             UnknownReason::WorkerPanic => "worker-panic",
+            UnknownReason::Interrupted => "interrupted",
         }
     }
 }
@@ -253,6 +258,52 @@ impl UnknownReason {
 impl fmt::Display for UnknownReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+/// Partial progress surviving an undecided check: what the anytime
+/// machinery salvaged before the budget ran out.
+///
+/// Attached to [`Verdict::Unknown`] so callers (and the JSON output) can
+/// distinguish "0% done" from "9 of 10 components decided". Everything in
+/// it is *sound*: component verdicts are exact results for their
+/// sub-problems (Lemma 1 restriction), and each listed tier is a sound
+/// procedure that actually ran.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartialProgress {
+    /// Conflict-graph components fully decided before the budget ran out
+    /// (their serialization fragments are reusable on resume).
+    pub components_decided: u64,
+    /// Total components the planner split the query into (`1` for a
+    /// monolithic search).
+    pub components_total: u64,
+    /// Sound criterion tiers that ran before giving up, in order (e.g.
+    /// `["exact-search", "lint", "unique-writes"]`).
+    pub tiers: Vec<&'static str>,
+}
+
+impl PartialProgress {
+    /// Progress with component counts and no tier record yet.
+    pub fn components(decided: u64, total: u64) -> Self {
+        PartialProgress {
+            components_decided: decided,
+            components_total: total,
+            tiers: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for PartialProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} components",
+            self.components_decided, self.components_total
+        )?;
+        if !self.tiers.is_empty() {
+            write!(f, "; tiers: {}", self.tiers.join(","))?;
+        }
+        Ok(())
     }
 }
 
@@ -271,6 +322,9 @@ pub enum Verdict {
         explored: u64,
         /// Which limit (or failure) ended the search.
         reason: UnknownReason,
+        /// Sound partial progress, if any was salvaged (see
+        /// [`PartialProgress`]).
+        partial: Option<PartialProgress>,
     },
 }
 
@@ -311,7 +365,9 @@ impl Verdict {
         match self {
             Verdict::Satisfied(w) => Ok(w),
             Verdict::Violated(v) => Err(v),
-            Verdict::Unknown { explored, reason } => Err(Violation::NoSerialization {
+            Verdict::Unknown {
+                explored, reason, ..
+            } => Err(Violation::NoSerialization {
                 criterion: format!("undecided ({reason})"),
                 explored,
             }),
@@ -333,8 +389,16 @@ impl fmt::Display for Verdict {
                 Ok(())
             }
             Verdict::Violated(v) => write!(f, "violated: {v}"),
-            Verdict::Unknown { explored, reason } => {
-                write!(f, "unknown ({reason} after {explored} states)")
+            Verdict::Unknown {
+                explored,
+                reason,
+                partial,
+            } => {
+                write!(f, "unknown ({reason} after {explored} states")?;
+                if let Some(p) = partial {
+                    write!(f, "; {p}")?;
+                }
+                write!(f, ")")
             }
         }
     }
@@ -431,6 +495,7 @@ mod tests {
         let unk = Verdict::Unknown {
             explored: 10,
             reason: UnknownReason::StateBudget,
+            partial: None,
         };
         assert!(!unk.is_satisfied());
         assert!(!unk.is_violated());
@@ -442,11 +507,27 @@ mod tests {
         assert_eq!(UnknownReason::StateBudget.as_str(), "state-budget");
         assert_eq!(UnknownReason::Deadline.as_str(), "deadline");
         assert_eq!(UnknownReason::WorkerPanic.as_str(), "worker-panic");
+        assert_eq!(UnknownReason::Interrupted.as_str(), "interrupted");
         let d = Verdict::Unknown {
             explored: 3,
             reason: UnknownReason::Deadline,
+            partial: None,
         };
         assert!(d.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn unknown_display_includes_partial_progress() {
+        let mut partial = PartialProgress::components(2, 5);
+        partial.tiers = vec!["exact-search", "lint"];
+        let v = Verdict::Unknown {
+            explored: 7,
+            reason: UnknownReason::StateBudget,
+            partial: Some(partial),
+        };
+        let text = v.to_string();
+        assert!(text.contains("2/5 components"), "{text}");
+        assert!(text.contains("exact-search,lint"), "{text}");
     }
 
     #[test]

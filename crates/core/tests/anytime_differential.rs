@@ -1,0 +1,133 @@
+//! Differential testing for the anytime machinery: the degradation
+//! ladder and the partial-progress payload.
+//!
+//! The ladder's contract (DESIGN.md §9): every tier is *sound* — it may
+//! turn an `Unknown` into a decided verdict, but it must never
+//! contradict the exact search on a history the search can decide, and
+//! toggling it must never flip a decided verdict. The payload's
+//! contract: a budget-starved `Unknown` always says how far it got.
+
+use duop_core::{
+    Criterion, DuOpacity, FinalStateOpacity, ReadCommitOrderOpacity, SearchConfig, Tms2, Verdict,
+};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+
+fn criteria(cfg: SearchConfig) -> [(&'static str, Box<dyn Criterion>); 4] {
+    [
+        (
+            "final-state",
+            Box::new(FinalStateOpacity::with_config(cfg.clone())),
+        ),
+        ("du-opacity", Box::new(DuOpacity::with_config(cfg.clone()))),
+        (
+            "rco",
+            Box::new(ReadCommitOrderOpacity::with_config(cfg.clone())),
+        ),
+        ("tms2", Box::new(Tms2::with_config(cfg))),
+    ]
+}
+
+fn corpus() -> Vec<(u64, duop_history::History)> {
+    let mut out = Vec::new();
+    for seed in 0..80 {
+        out.push((
+            seed,
+            HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate(),
+        ));
+    }
+    for seed in 0..40 {
+        out.push((
+            1_000 + seed,
+            HistoryGen::new(HistoryGenConfig::small_simulated(), seed).generate(),
+        ));
+    }
+    out
+}
+
+/// On unbudgeted runs the search decides everything, so the ladder never
+/// fires — and toggling it must change no verdict at all.
+#[test]
+fn ladder_toggle_never_changes_decided_verdicts() {
+    for (tag, h) in corpus() {
+        let on = SearchConfig {
+            ladder: true,
+            ..SearchConfig::default()
+        };
+        let off = SearchConfig {
+            ladder: false,
+            ..SearchConfig::default()
+        };
+        for ((name, with), (_, without)) in criteria(on).iter().zip(criteria(off).iter()) {
+            let v_on = with.check(&h);
+            let v_off = without.check(&h);
+            assert!(
+                !matches!(v_off, Verdict::Unknown { .. }),
+                "{name}: unbudgeted run must decide, corpus tag {tag}"
+            );
+            assert_eq!(
+                v_on.is_satisfied(),
+                v_off.is_satisfied(),
+                "{name}: ladder toggle flipped a verdict at corpus tag {tag}:\n{h}"
+            );
+        }
+    }
+}
+
+/// Under a starvation budget the ladder may rescue a verdict — but a
+/// rescued verdict must agree with the unbudgeted exact search, and an
+/// unrescued `Unknown` must carry a non-empty partial payload naming the
+/// tiers that ran.
+#[test]
+fn ladder_rescues_agree_with_exact_search_and_unknowns_carry_partial() {
+    let mut rescued = 0usize;
+    let mut unknowns = 0usize;
+    for (tag, h) in corpus() {
+        let starved = SearchConfig {
+            max_states: Some(2),
+            prelint: false,
+            ladder: true,
+            ..SearchConfig::default()
+        };
+        let exact_cfg = SearchConfig {
+            prelint: false,
+            ladder: false,
+            ..SearchConfig::default()
+        };
+        for ((name, budgeted), (_, exact)) in
+            criteria(starved).iter().zip(criteria(exact_cfg).iter())
+        {
+            let v = budgeted.check(&h);
+            match v {
+                Verdict::Unknown { partial, .. } => {
+                    unknowns += 1;
+                    let p = partial.unwrap_or_else(|| {
+                        panic!("{name}: budget-starved Unknown without partial, corpus tag {tag}")
+                    });
+                    assert!(
+                        !p.tiers.is_empty(),
+                        "{name}: partial payload must name the tiers that ran, corpus tag {tag}"
+                    );
+                    assert!(
+                        p.components_decided <= p.components_total,
+                        "{name}: malformed component counts, corpus tag {tag}"
+                    );
+                }
+                decided => {
+                    let truth = exact.check(&h);
+                    // A decided budgeted verdict — whether the search
+                    // finished under budget or the ladder rescued it —
+                    // must match the exact search.
+                    assert_eq!(
+                        decided.is_satisfied(),
+                        truth.is_satisfied(),
+                        "{name}: budgeted/ladder verdict contradicts exact search at corpus tag {tag}:\n{h}"
+                    );
+                    rescued += 1;
+                }
+            }
+        }
+    }
+    // The corpus must actually exercise both paths.
+    assert!(rescued > 10, "only {rescued} decided under starvation");
+    assert!(unknowns > 10, "only {unknowns} unknowns under starvation");
+}

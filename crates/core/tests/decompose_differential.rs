@@ -47,6 +47,7 @@ fn normalize(v: &Verdict) -> Verdict {
         Verdict::Unknown { .. } => Verdict::Unknown {
             explored: 0,
             reason: duop_core::UnknownReason::StateBudget,
+            partial: None,
         },
         Verdict::Satisfied(_) => Verdict::Satisfied(duop_core::Witness::new(
             Vec::new(),

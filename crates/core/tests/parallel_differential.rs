@@ -39,6 +39,7 @@ fn normalize(v: &Verdict) -> Verdict {
         Verdict::Unknown { .. } => Verdict::Unknown {
             explored: 0,
             reason: duop_core::UnknownReason::StateBudget,
+            partial: None,
         },
         satisfied => satisfied.clone(),
     }
@@ -124,11 +125,13 @@ fn global_budget_is_consistent_across_thread_counts() {
     // return Unknown — but it must never contradict another run: one
     // thread count saying Satisfied while another says Violated would mean
     // the budget changed an answer rather than withholding one.
-    // Prelint off: the prefilter refutes most of this corpus without
-    // searching, and this test needs the budget to actually trip.
+    // Prelint and the degradation ladder off: both decide most of this
+    // corpus without searching, and this test needs the budget to
+    // actually trip.
     let budget = SearchConfig {
         max_states: Some(4),
         prelint: false,
+        ladder: false,
         ..SearchConfig::default()
     };
     let mut unknowns = 0usize;

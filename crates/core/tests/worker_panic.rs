@@ -19,6 +19,10 @@ fn par_cfg() -> SearchConfig {
         threads: Some(4),
         decompose: false,
         prelint: false,
+        // The degradation ladder would soundly decide the poisoned
+        // history after the injected panic; this test is about panic
+        // containment surfacing as Unknown(worker-panic).
+        ladder: false,
         ..SearchConfig::default()
     }
 }

@@ -2,7 +2,7 @@
 //! the measured verdict for every figure and theorem.
 //!
 //! Usage: `cargo run -p duop-experiments --bin experiments [--quick] [--threads N]
-//! [--no-decompose] [--no-prelint] [--deadline MS]`
+//! [--no-decompose] [--no-prelint] [--no-ladder] [--deadline MS]`
 //!
 //! `--threads N` fans the corpus experiments (E7–E9, E11, E13, E14) out
 //! over N worker threads (0 = all hardware threads). The reported numbers
@@ -12,7 +12,9 @@
 //! polynomial lint prefilter in every check (ablation; same contract).
 //! `--deadline MS` bounds every serialization search by a wall-clock
 //! deadline; searches that run out report `unknown (deadline ...)` and
-//! the affected experiment fails rather than hangs.
+//! the affected experiment fails rather than hangs. `--no-ladder`
+//! disables the budget-exhaustion degradation ladder in every check
+//! (ablation; the ladder is sound, so no decided verdict may change).
 
 use duop_experiments::runner::run_all_with;
 use duop_history::render::render_lanes;
@@ -25,6 +27,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--no-prelint") {
         duop_core::set_default_prelint(false);
+    }
+    if args.iter().any(|a| a == "--no-ladder") {
+        duop_core::set_default_ladder(false);
     }
     let mut threads = 1usize;
     let mut it = args.iter();

@@ -57,6 +57,7 @@ pub fn run_all_with(quick: bool, threads: usize) -> Vec<ExperimentResult> {
         e14_discrimination(if quick { 60 } else { 250 }, threads),
         e15_lint_agreement(if quick { 40 } else { 150 }, threads),
         e16_crash_consistency(if quick { 6 } else { 25 }),
+        e17_kill_resume(if quick { 60 } else { 150 }, threads),
     ]
 }
 
@@ -793,6 +794,159 @@ fn e16_crash_consistency(runs: u64) -> ExperimentResult {
     }
 }
 
+/// E17: kill/resume equivalence for the anytime checker. Every (seed,
+/// kill-point) pair simulates a mid-flight death — a budgeted
+/// [`ResumableCheck`] that trips, exports its decided component
+/// fragments (a sample of them round-tripped through the real snapshot
+/// file format), and resumes in a fresh driver with the budget lifted.
+/// The resumed verdict must equal the uninterrupted run's on every pair,
+/// and on at least one multi-component pair the resumed search must
+/// explore strictly fewer states than from scratch (cached fragments
+/// replay instead of re-searching). A real SIGKILL + `duop resume` of
+/// the same pipeline runs in CI; this experiment covers the state-space
+/// contract at corpus scale.
+fn e17_kill_resume(samples: u64, threads: usize) -> ExperimentResult {
+    use duop_core::snapshot::{
+        load, save, CheckSnapshot, CheckableCriterion, InFlight, ResumableCheck, Snapshot,
+    };
+    use duop_core::{SearchConfig, Verdict};
+    use duop_history::{HistoryBuilder, ObjId, TxnId, Value};
+
+    // Sequential planned engine (fragments flow through it), prelint off
+    // (every pair actually searches) and ladder off (the budget genuinely
+    // trips instead of being soundly rescued).
+    let cfg = |max_states: Option<u64>| SearchConfig {
+        prelint: false,
+        ladder: false,
+        max_states,
+        ..SearchConfig::default()
+    };
+
+    // Fully concurrent independent write/read clusters on distinct
+    // objects: guaranteed multi-component, so a tripped budget has
+    // decided fragments to carry across the kill.
+    let multi_cluster = |clusters: u64, seed: u64| {
+        let mut b = HistoryBuilder::new();
+        for c in 0..clusters {
+            let writer = TxnId::new((2 * c + 1) as u32);
+            let val = Value::new(seed * 10 + c + 1);
+            b = b
+                .inv_write(writer, ObjId::new(c as u32), val)
+                .resp_ok(writer);
+        }
+        for c in 0..clusters {
+            b = b.inv_try_commit(TxnId::new((2 * c + 1) as u32));
+        }
+        for c in 0..clusters {
+            let reader = TxnId::new((2 * c + 2) as u32);
+            let val = Value::new(seed * 10 + c + 1);
+            b = b.read(reader, ObjId::new(c as u32), val);
+        }
+        for c in 0..clusters {
+            b = b.commit(TxnId::new((2 * c + 2) as u32));
+        }
+        b.build()
+    };
+
+    // Per seed: rows of (verdict_equal, resumed_explored, fresh_explored,
+    // fragments_carried, roundtripped).
+    let rows = par_seeds(samples, threads, |seed| {
+        let h = match seed % 4 {
+            0 => multi_cluster(2 + seed % 3, seed),
+            1 => HistoryGen::new(HistoryGenConfig::small_simulated(), seed).generate(),
+            _ => HistoryGen::new(HistoryGenConfig::small_adversarial(), seed).generate(),
+        };
+        let (truth, fresh_stats) =
+            ResumableCheck::new().check(&h, CheckableCriterion::DuOpacity, &cfg(None));
+        if matches!(truth, Verdict::Unknown { .. }) {
+            return Vec::new();
+        }
+        // Kill points: budgets strictly below the uninterrupted explored
+        // count, so the budgeted attempt is guaranteed to die mid-search.
+        let mut kills = vec![
+            1u64,
+            fresh_stats.explored / 2,
+            fresh_stats.explored.saturating_sub(1),
+        ];
+        kills.sort_unstable();
+        kills.dedup();
+        let mut out = Vec::new();
+        for &budget in kills.iter().filter(|&&b| b > 0 && b < fresh_stats.explored) {
+            let mut killed = ResumableCheck::new();
+            let (v1, _) = killed.check(&h, CheckableCriterion::DuOpacity, &cfg(Some(budget)));
+            if !matches!(v1, Verdict::Unknown { .. }) {
+                // Memoization can decide under a budget the unbudgeted
+                // run exceeded; that is not a kill, skip the pair.
+                continue;
+            }
+            let mut fragments = killed.fragments();
+            let carried = !fragments.is_empty();
+
+            // A sample of pairs round-trips the fragments through the
+            // real checkpoint file format (save → load → resume).
+            let mut roundtripped = false;
+            if seed % 3 == 0 && budget == 1 {
+                let path =
+                    std::env::temp_dir().join(format!("duop-e17-{}-{seed}.ck", std::process::id()));
+                let path = path.to_string_lossy().into_owned();
+                let snap = Snapshot::Check(CheckSnapshot {
+                    events: h.events().to_vec(),
+                    criteria: vec!["du".to_string()],
+                    format: "text".to_string(),
+                    max_states: budget,
+                    escalate_milli: 2000,
+                    current: Some(InFlight {
+                        name: "du".to_string(),
+                        explored: budget,
+                        fragments: fragments.clone(),
+                    }),
+                    ..CheckSnapshot::default()
+                });
+                if save(&path, &snap).is_ok() {
+                    if let Ok(Snapshot::Check(cs)) = load(&path) {
+                        if let Some(current) = cs.current {
+                            fragments = current.fragments;
+                            roundtripped = true;
+                        }
+                    }
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+
+            let mut resumed = ResumableCheck::new();
+            resumed.preload(fragments);
+            let (v2, resumed_stats) = resumed.check(&h, CheckableCriterion::DuOpacity, &cfg(None));
+            let equal = v2.is_satisfied() == truth.is_satisfied()
+                && v2.is_violated() == truth.is_violated();
+            out.push((
+                equal,
+                resumed_stats.explored,
+                fresh_stats.explored,
+                carried,
+                roundtripped,
+            ));
+        }
+        out
+    });
+
+    let pairs: Vec<_> = rows.into_iter().flatten().collect();
+    let total = pairs.len() as u64;
+    let equal = pairs.iter().filter(|p| p.0).count() as u64;
+    let strictly_below = pairs.iter().filter(|p| p.1 < p.2).count() as u64;
+    let carried = pairs.iter().filter(|p| p.3).count() as u64;
+    let roundtripped = pairs.iter().filter(|p| p.4).count() as u64;
+    let pass = total >= 50 && equal == total && strictly_below >= 1 && roundtripped >= 1;
+    ExperimentResult {
+        id: "E17",
+        title: "Kill/resume equivalence (anytime checking)",
+        claim: "resuming a killed check from its checkpoint reaches the uninterrupted verdict, reusing decided components",
+        measured: format!(
+            "{equal}/{total} (seed, kill-point) pairs resume to the uninterrupted verdict; {carried} carried decided fragments across the kill ({roundtripped} via the on-disk snapshot format); resumed search explored strictly fewer states on {strictly_below} pairs"
+        ),
+        pass,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -806,6 +960,7 @@ mod tests {
             (e7_theorem11(12, 1), e7_theorem11(12, 4)),
             (e9_lemma4(6, 1), e9_lemma4(6, 4)),
             (e14_discrimination(10, 1), e14_discrimination(10, 4)),
+            (e17_kill_resume(12, 1), e17_kill_resume(12, 4)),
         ] {
             assert_eq!(serial.measured, parallel.measured);
             assert_eq!(serial.pass, parallel.pass);

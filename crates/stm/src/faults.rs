@@ -163,9 +163,11 @@ impl FaultPlan {
                 "crash" => plan.crash_ppm = ppm,
                 "delay" => plan.delay_ppm = ppm,
                 "thread-crash" => plan.thread_crash_ppm = ppm,
-                other => return Err(FaultSpecError(format!(
+                other => {
+                    return Err(FaultSpecError(format!(
                     "unknown fault kind `{other}` (expected abort, crash, delay or thread-crash)"
-                ))),
+                )))
+                }
             }
         }
         Ok(plan)
