@@ -1,0 +1,181 @@
+//! Trace ingestion throughput: compact binary `.duob` vs text.
+//!
+//! The binary format exists to make large traces cheap to ship and cheap
+//! to parse. Two claims are pinned down here, on a ≥10^5-event trace from
+//! the `large_streaming` generator preset:
+//!
+//! * `ingestion/*_events_per_sec` — end-to-end `reader::read_history`
+//!   throughput (format sniff + parse + `History` validation) for the
+//!   text and binary encodings of the *same* history, plus the bulk
+//!   scratch-decoder path that reuses its buffers across calls. The
+//!   binary decode must be ≥3x the text parse.
+//! * `monitor/*_peak_resident_events` — the streaming monitor's memory
+//!   high-water mark (peak resident events inside the online checker)
+//!   with prefix compaction, against eager full materialisation where
+//!   the peak is by definition the whole trace.
+//!
+//! Custom harness (no criterion): medians land in `BENCH_6.json` at the
+//! repository root as `{bench name: integer}` so the perf trajectory is
+//! trackable across PRs. `--test` runs a quick smoke pass without
+//! touching the JSON.
+
+use duop_core::online::OnlineChecker;
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::trace::format_trace;
+use duop_history::{binary, reader};
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn events_per_sec(events: usize, ns: u64) -> u64 {
+    (events as f64 / (ns as f64 / 1e9)) as u64
+}
+
+/// Streams `bytes` into an online checker, returning peak resident events.
+/// `compact_every` of `None` is the eager baseline: nothing is ever
+/// dropped, so the peak equals the trace length.
+fn monitor_peak(bytes: &[u8], compact_every: Option<usize>) -> (usize, bool) {
+    let mut rd = reader::TraceReader::new(bytes).expect("reader");
+    let mut mon = OnlineChecker::new();
+    mon.set_compact_every(compact_every);
+    let mut ok = true;
+    while let Some(ev) = rd.next_event().expect("event") {
+        let verdict = mon.push(ev).expect("well-formed");
+        ok &= !matches!(verdict, duop_core::Verdict::Violated { .. });
+    }
+    (mon.stats().peak_resident_events, ok)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let samples = if smoke { 3 } else { 15 };
+    let txns = if smoke { 512 } else { 12_288 };
+    let monitor_txns = if smoke { 128 } else { 1024 };
+
+    let cfg = HistoryGenConfig::large_streaming().with_txns(txns);
+    let h = HistoryGen::new(cfg, 42).generate();
+    let n = h.events().len();
+    assert!(smoke || n >= 100_000, "trace too small: {n} events");
+
+    let text = format_trace(&h).into_bytes();
+    let bin = binary::encode(&h);
+    println!(
+        "trace_ingestion: {n} events; text {} bytes ({:.1} B/event), \
+         binary {} bytes ({:.1} B/event)",
+        text.len(),
+        text.len() as f64 / n as f64,
+        bin.len(),
+        bin.len() as f64 / n as f64
+    );
+
+    let text_ns = median_ns(samples, || {
+        let parsed = reader::read_history(&text).expect("text parse");
+        assert_eq!(parsed.events().len(), n);
+    });
+    let bin_ns = median_ns(samples, || {
+        let parsed = reader::read_history(&bin).expect("binary parse");
+        assert_eq!(parsed.events().len(), n);
+    });
+    // Bulk path: decode event chunks into reusable scratch buffers,
+    // skipping `History` construction — the floor for wire-parse cost.
+    let mut scratch = binary::ScratchDecoder::new();
+    let scratch_ns = median_ns(samples, || {
+        let events = scratch.decode_events(&bin).expect("scratch decode");
+        assert_eq!(events.len(), n);
+    });
+
+    let text_eps = events_per_sec(n, text_ns);
+    let bin_eps = events_per_sec(n, bin_ns);
+    let scratch_eps = events_per_sec(n, scratch_ns);
+    let speedup = bin_eps as f64 / text_eps as f64;
+    println!(
+        "trace_ingestion/read_history: text {text_eps} events/s, \
+         binary {bin_eps} events/s ({speedup:.2}x), scratch {scratch_eps} events/s"
+    );
+
+    // Verdict agreement between eager and compacting monitors is checked
+    // at a small size: the eager checker re-certifies a witness against
+    // the whole retained history on every push, so it is super-quadratic
+    // in trace length and only the compacting monitor scales.
+    let agree_cfg = HistoryGenConfig::large_streaming().with_txns(128);
+    let agree_h = HistoryGen::new(agree_cfg, 7).generate();
+    let agree_bin = binary::encode(&agree_h);
+    let (eager_peak, eager_ok) = monitor_peak(&agree_bin, None);
+    let (_, compacted_ok) = monitor_peak(&agree_bin, Some(256));
+    assert_eq!(eager_ok, compacted_ok, "compaction changed the verdict");
+    assert_eq!(
+        eager_peak,
+        agree_h.events().len(),
+        "eager peak must be the whole trace"
+    );
+
+    let mon_cfg = HistoryGenConfig::large_streaming().with_txns(monitor_txns);
+    let mon_h = HistoryGen::new(mon_cfg, 7).generate();
+    let mon_bin = binary::encode(&mon_h);
+    let mon_n = mon_h.events().len();
+    // An eager monitor retains every event by definition, so the full
+    // materialisation peak is the trace length — no need to pay the
+    // super-quadratic eager run at this size.
+    let full_peak = mon_n;
+    let (stream_peak, stream_ok) = monitor_peak(&mon_bin, Some(256));
+    assert!(stream_ok, "simulated-mode trace must stay du-opaque");
+    println!(
+        "trace_ingestion/monitor ({mon_n} events): eager peak {full_peak} \
+         resident events, streaming+compaction peak {stream_peak} \
+         ({:.1}% of full)",
+        100.0 * stream_peak as f64 / full_peak as f64
+    );
+
+    if smoke {
+        println!("smoke run (--test): BENCH_6.json left untouched");
+        return;
+    }
+    assert!(
+        speedup >= 3.0,
+        "binary ingestion is only {speedup:.2}x text (need >= 3x)"
+    );
+    assert!(stream_peak < full_peak, "compaction did not bound memory");
+
+    let results: Vec<(&str, u64)> = vec![
+        ("trace_ingestion/events", n as u64),
+        ("trace_ingestion/text_bytes", text.len() as u64),
+        ("trace_ingestion/binary_bytes", bin.len() as u64),
+        ("trace_ingestion/text_events_per_sec", text_eps),
+        ("trace_ingestion/binary_events_per_sec", bin_eps),
+        ("trace_ingestion/scratch_events_per_sec", scratch_eps),
+        (
+            "trace_ingestion/binary_vs_text_speedup_milli",
+            (speedup * 1000.0) as u64,
+        ),
+        ("trace_ingestion/monitor_events", mon_n as u64),
+        (
+            "trace_ingestion/monitor_full_peak_resident_events",
+            full_peak as u64,
+        ),
+        (
+            "trace_ingestion/monitor_streaming_peak_resident_events",
+            stream_peak as u64,
+        ),
+    ];
+    let mut json = String::from("{\n");
+    for (i, (name, v)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {v}{comma}\n"));
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    std::fs::write(path, json).expect("write BENCH_6.json");
+    println!("wrote {path}");
+}

@@ -17,13 +17,14 @@ USAGE:
   duop fuzz --engine tl2|norec|dstm|2pl|pessimistic|dirty
             [--faults SPEC] [--seed N] [--iters N] [--threads N]
             [--objs N] [--format text|json]
+            [--trace-out FILE] [--trace-format text|binary]
   duop render <trace-file|->
   duop monitor <trace-file|-> [--checkpoint FILE] [--checkpoint-every N]
-               [--status-every N]
+               [--status-every N] [--compact-every N]
   duop resume <checkpoint-file>
   duop generate [--mode simulated|value|adversarial] [--txns N] [--objs N]
                 [--seed N] [--unique] [--concurrency N]
-  duop convert <trace-file|-> --to text|json
+  duop convert <trace-file|-> [<out-file|->] --format text|json|binary|dbcop
   duop graph <trace-file|->
   duop localize <trace-file|->
   duop figures
@@ -31,7 +32,12 @@ USAGE:
   duop help
 
 Traces use the line format (`T1 write X0 1` / `T1 ok` / `T1 tryc` /
-`T1 commit` ...) or JSON (an array of events); `-` reads stdin. Criteria:
+`T1 commit` ...), JSON (an array of events), the `.duob` framed binary
+encoding, or a dbcop-style session-history object; `-` reads stdin. Every
+trace-consuming command sniffs the encoding from the leading bytes, so
+text, JSON, binary, and dbcop inputs are interchangeable everywhere.
+`duop convert IN [OUT]` transcodes between them (`--format binary` writes
+`.duob`; `--to` is accepted as a synonym; OUT defaults to stdout). Criteria:
 du-opacity (default), final-state, opacity, rco, tms2, tms2-automaton,
 strict. `--threads N` runs the serialization search on N worker threads
 (0 = all hardware threads); the verdict and witness are identical to the
@@ -59,7 +65,13 @@ SIGINT/SIGTERM, which trigger a final flush instead of mid-line death.
 same verdict the uninterrupted run would have reached; corrupt or
 truncated checkpoints are rejected with a structured error (exit 2).
 `duop monitor --status-every N` prints a JSON status line (retained and
-peak-resident event counts, search statistics) every N events.
+peak-resident event counts, search statistics) every N events. Monitor
+ingestion streams: text and binary traces are decoded one event at a
+time, so the resident set is the checker's retained history, not the
+input. `--compact-every N` additionally compacts the retained history
+whenever it reaches N events and the prefix is certified, t-complete,
+and has forced final values — replacing it with a synthetic committed
+baseline transaction (sound: verdicts are unchanged; see DESIGN.md).
 
 `fuzz` runs the named STM engine under deterministic fault injection
 (`--faults abort=P,crash=P,delay=P,thread-crash=P`, default
@@ -67,7 +79,9 @@ peak-resident event counts, search statistics) every N events.
 (default 500), checking every recorded history for du-opacity. The
 workload is single-threaded by default so a finding replays exactly from
 its seed; the first violation is shrunk to a minimal core and printed.
-Exit 1 on a finding, 0 on a clean run.
+`--trace-out FILE` additionally writes the shrunk counterexample as a
+standalone trace (`--trace-format binary` for `.duob`) that replays with
+`duop check FILE`. Exit 1 on a finding, 0 on a clean run.
 
 `lint` runs only the polynomial static analyses and prints structured
 diagnostics (rule id, severity, event spans); `--rule ID` restricts the
@@ -212,6 +226,10 @@ pub enum Command {
         objs: u32,
         /// Output format: `text` or `json`.
         format: String,
+        /// Write the shrunk counterexample trace to this file.
+        trace_out: Option<String>,
+        /// Encoding for `--trace-out`: `text` or `binary`.
+        trace_format: String,
     },
     /// `duop lint`.
     Lint {
@@ -237,6 +255,9 @@ pub enum Command {
         checkpoint_every: u64,
         /// Print a JSON status line every this many events (`0` = never).
         status_every: u64,
+        /// Compact the retained history whenever it reaches this many
+        /// events (`None` = never).
+        compact_every: Option<u64>,
     },
     /// `duop resume`.
     Resume {
@@ -262,7 +283,9 @@ pub enum Command {
     Convert {
         /// Trace path (`-` = stdin).
         input: String,
-        /// Target format: `text` or `json`.
+        /// Output path (`-` or `None` = stdout).
+        output: Option<String>,
+        /// Target format: `text`, `json`, `binary`, or `dbcop`.
         to: String,
     },
     /// `duop graph`.
@@ -421,6 +444,8 @@ impl Command {
                 let mut threads = 1usize;
                 let mut objs = 4u32;
                 let mut format = String::from("text");
+                let mut trace_out = None;
+                let mut trace_format = String::from("text");
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--engine" | "-e" => {
@@ -448,6 +473,19 @@ impl Command {
                                 .map_err(|_| ParseError("--objs needs a number".into()))?;
                         }
                         "--format" => format = parse_format(value_of("--format", &mut it)?)?,
+                        "--trace-out" => {
+                            trace_out = Some(value_of("--trace-out", &mut it)?.clone());
+                        }
+                        "--trace-format" => {
+                            trace_format = match value_of("--trace-format", &mut it)?.as_str() {
+                                f @ ("text" | "binary") => f.to_owned(),
+                                other => {
+                                    return Err(ParseError(format!(
+                                        "unknown trace format `{other}` (text|binary)"
+                                    )))
+                                }
+                            };
+                        }
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
                     }
                 }
@@ -460,6 +498,8 @@ impl Command {
                     threads,
                     objs,
                     format,
+                    trace_out,
+                    trace_format,
                 })
             }
             "lint" => {
@@ -485,6 +525,7 @@ impl Command {
                 let mut checkpoint = None;
                 let mut checkpoint_every = 32u64;
                 let mut status_every = 0u64;
+                let mut compact_every = None;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--checkpoint" => {
@@ -498,15 +539,26 @@ impl Command {
                                 .parse()
                                 .map_err(|_| ParseError("--status-every needs a number".into()))?;
                         }
+                        "--compact-every" => {
+                            compact_every = Some(parse_every("--compact-every", &mut it)?);
+                        }
                         other if input.is_none() => input = Some(other.to_owned()),
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
                     }
+                }
+                if compact_every.is_some() && checkpoint.is_some() {
+                    return Err(ParseError(
+                        "--compact-every cannot be combined with --checkpoint: snapshots \
+                         embed the uncompacted history"
+                            .into(),
+                    ));
                 }
                 Ok(Command::Monitor {
                     input: input.ok_or_else(|| ParseError("monitor needs a trace file".into()))?,
                     checkpoint,
                     checkpoint_every,
                     status_every,
+                    compact_every,
                 })
             }
             "resume" => {
@@ -585,20 +637,25 @@ impl Command {
             }
             "convert" => {
                 let mut input = None;
+                let mut output = None;
                 let mut to = None;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
-                        "--to" => to = Some(value_of("--to", &mut it)?.clone()),
+                        "--to" | "--format" => to = Some(value_of(arg, &mut it)?.clone()),
                         other if input.is_none() => input = Some(other.to_owned()),
+                        other if output.is_none() => output = Some(other.to_owned()),
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
                     }
                 }
-                let to = to.ok_or_else(|| ParseError("convert needs --to text|json".into()))?;
-                if to != "text" && to != "json" {
+                let to = to.ok_or_else(|| {
+                    ParseError("convert needs --format text|json|binary|dbcop".into())
+                })?;
+                if !matches!(to.as_str(), "text" | "json" | "binary" | "dbcop") {
                     return Err(ParseError(format!("unknown format `{to}`")));
                 }
                 Ok(Command::Convert {
                     input: input.ok_or_else(|| ParseError("convert needs a trace file".into()))?,
+                    output,
                     to,
                 })
             }
@@ -772,6 +829,8 @@ mod tests {
                 threads: 2,
                 objs: 3,
                 format: "text".into(),
+                trace_out: None,
+                trace_format: "text".into(),
             }
         );
     }
@@ -789,10 +848,38 @@ mod tests {
                 threads: 1,
                 objs: 4,
                 format: "text".into(),
+                trace_out: None,
+                trace_format: "text".into(),
             }
         );
         assert!(parse(&["fuzz"]).is_err());
         assert!(parse(&["fuzz", "--engine", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn fuzz_parses_trace_out() {
+        let cmd = parse(&[
+            "fuzz",
+            "--engine",
+            "dirty",
+            "--trace-out",
+            "core.duob",
+            "--trace-format",
+            "binary",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Fuzz {
+                trace_out,
+                trace_format,
+                ..
+            } => {
+                assert_eq!(trace_out.as_deref(), Some("core.duob"));
+                assert_eq!(trace_format, "binary");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&["fuzz", "--engine", "dirty", "--trace-format", "json"]).is_err());
     }
 
     #[test]
@@ -862,6 +949,51 @@ mod tests {
     fn convert_requires_known_format() {
         assert!(parse(&["convert", "t.txt", "--to", "yaml"]).is_err());
         assert!(parse(&["convert", "t.txt", "--to", "json"]).is_ok());
+        assert!(parse(&["convert", "t.txt", "--format", "binary"]).is_ok());
+        assert!(parse(&["convert", "t.txt", "--format", "dbcop"]).is_ok());
+        assert!(parse(&["convert", "t.txt"]).is_err());
+    }
+
+    #[test]
+    fn convert_takes_optional_output() {
+        let cmd = parse(&["convert", "in.txt", "out.duob", "--format", "binary"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Convert {
+                input: "in.txt".into(),
+                output: Some("out.duob".into()),
+                to: "binary".into(),
+            }
+        );
+        assert!(parse(&["convert", "a", "b", "c", "--format", "text"]).is_err());
+    }
+
+    #[test]
+    fn monitor_parses_compact_every() {
+        let cmd = parse(&["monitor", "t.txt", "--compact-every", "64"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Monitor {
+                input: "t.txt".into(),
+                checkpoint: None,
+                checkpoint_every: 32,
+                status_every: 0,
+                compact_every: Some(64),
+            }
+        );
+        assert!(parse(&["monitor", "t.txt", "--compact-every", "0"]).is_err());
+        assert!(
+            parse(&[
+                "monitor",
+                "t.txt",
+                "--compact-every",
+                "4",
+                "--checkpoint",
+                "c"
+            ])
+            .is_err(),
+            "compaction and checkpointing are mutually exclusive"
+        );
     }
 
     #[test]

@@ -12,9 +12,10 @@ use duop_core::{
     SearchConfig, StrictSerializability, Tms2, UnknownReason, Verdict,
 };
 use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
+use duop_history::reader::{self, TraceReader};
 use duop_history::render::render_lanes;
-use duop_history::trace::{format_trace, from_json, parse_trace, to_json};
-use duop_history::History;
+use duop_history::trace::{format_trace, to_json};
+use duop_history::{binary, dbcop, Event, History};
 use std::error::Error;
 use std::io::Write;
 
@@ -42,12 +43,28 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             write!(out, "{}", render_lanes(&h))?;
             Ok(true)
         }
-        Command::Convert { input, to } => {
-            let h = load(input)?;
-            if to == "json" {
-                writeln!(out, "{}", to_json(&h))?;
-            } else {
-                write!(out, "{}", format_trace(&h))?;
+        Command::Convert { input, output, to } => {
+            let bytes = load_bytes(input)?;
+            // Names survive transcoding: a dbcop import's variable and
+            // session labels ride along into the binary intern table.
+            let (h, names) = reader::read_history_with_names(&bytes)?;
+            let encoded: Vec<u8> = match to.as_str() {
+                "json" => {
+                    let mut s = to_json(&h);
+                    s.push('\n');
+                    s.into_bytes()
+                }
+                "binary" => binary::encode_with_names(&h, &names),
+                "dbcop" => {
+                    let mut s = dbcop::export(&h);
+                    s.push('\n');
+                    s.into_bytes()
+                }
+                _ => format_trace(&h).into_bytes(),
+            };
+            match output.as_deref() {
+                Some(path) if path != "-" => std::fs::write(path, &encoded)?,
+                _ => out.write_all(&encoded)?,
             }
             Ok(true)
         }
@@ -96,7 +113,22 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             threads,
             objs,
             format,
-        } => fuzz(*engine, faults, *seed, *iters, *threads, *objs, format, out),
+            trace_out,
+            trace_format,
+        } => {
+            let opts = FuzzOpts {
+                engine: *engine,
+                faults,
+                seed: *seed,
+                iters: *iters,
+                threads: *threads,
+                objs: *objs,
+                format,
+                trace_out: trace_out.as_deref(),
+                trace_format,
+            };
+            fuzz(&opts, out)
+        }
         Command::Lint {
             input,
             format,
@@ -138,16 +170,23 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             checkpoint,
             checkpoint_every,
             status_every,
-        } => monitor(
-            &load(input)?,
-            &MonitorOpts {
+            compact_every,
+        } => {
+            let opts = MonitorOpts {
                 checkpoint: checkpoint.clone(),
                 checkpoint_every: *checkpoint_every,
                 status_every: *status_every,
-            },
-            None,
-            out,
-        ),
+                compact_every: *compact_every,
+            };
+            if opts.checkpoint.is_some() {
+                // Snapshots must embed the complete event list to be
+                // resumable, so the checkpointed path materialises the
+                // input up front.
+                monitor(&load(input)?, &opts, None, out)
+            } else {
+                monitor_stream(&load_bytes(input)?, &opts, out)
+            }
+        }
         Command::Resume { file } => resume(file, out),
         Command::Generate {
             mode,
@@ -176,21 +215,22 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
     }
 }
 
-/// Loads a trace from a path (`-` = stdin), auto-detecting JSON.
-fn load(input: &str) -> Result<History, Box<dyn Error>> {
-    let text = if input == "-" {
-        let mut buf = String::new();
-        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)?;
-        buf
+/// Reads a trace path (`-` = stdin) into raw bytes.
+fn load_bytes(input: &str) -> Result<Vec<u8>, Box<dyn Error>> {
+    if input == "-" {
+        let mut buf = Vec::new();
+        std::io::Read::read_to_end(&mut std::io::stdin(), &mut buf)?;
+        Ok(buf)
     } else {
-        std::fs::read_to_string(input)?
-    };
-    let trimmed = text.trim_start();
-    if trimmed.starts_with('[') {
-        Ok(from_json(&text)?)
-    } else {
-        Ok(parse_trace(&text)?)
+        Ok(std::fs::read(input)?)
     }
+}
+
+/// Loads a trace from a path (`-` = stdin), auto-detecting the encoding
+/// — line text, JSON event array, `.duob` binary, or a dbcop session
+/// history — from the leading bytes.
+fn load(input: &str) -> Result<History, Box<dyn Error>> {
+    Ok(reader::read_history(&load_bytes(input)?)?)
 }
 
 fn all_criteria() -> Vec<CriterionName> {
@@ -584,21 +624,37 @@ fn resume_check(cs: CheckSnapshot, file: &str, out: &mut dyn Write) -> CmdResult
     check(&h, &criteria, &opts, Some(resume_state), out)
 }
 
-/// Runs `iters` fault-injected workloads against the named engine and
-/// checks every recorded history for du-opacity. The first violating
-/// history is shrunk to a minimal core and rendered with its seed so the
-/// run replays exactly; `Ok(false)` on a finding.
-#[allow(clippy::too_many_arguments)]
-fn fuzz(
+/// `duop fuzz` options.
+struct FuzzOpts<'a> {
     engine: EngineName,
-    faults: &str,
+    faults: &'a str,
     seed: u64,
     iters: usize,
     threads: usize,
     objs: u32,
-    format: &str,
-    out: &mut dyn Write,
-) -> CmdResult {
+    format: &'a str,
+    /// Write the shrunk counterexample trace here on a finding.
+    trace_out: Option<&'a str>,
+    /// Encoding for `trace_out`: `text` or `binary`.
+    trace_format: &'a str,
+}
+
+/// Runs `iters` fault-injected workloads against the named engine and
+/// checks every recorded history for du-opacity. The first violating
+/// history is shrunk to a minimal core and rendered with its seed so the
+/// run replays exactly; `Ok(false)` on a finding.
+fn fuzz(opts: &FuzzOpts<'_>, out: &mut dyn Write) -> CmdResult {
+    let &FuzzOpts {
+        engine,
+        faults,
+        seed,
+        iters,
+        threads,
+        objs,
+        format,
+        trace_out,
+        trace_format,
+    } = opts;
     let json = format == "json";
     use duop_stm::{engines, run_workload_faulted, Engine, FaultPlan, WorkloadConfig};
     let plan = FaultPlan::parse(faults)?;
@@ -636,6 +692,14 @@ fn fuzz(
                  --iters 1 --threads {threads} --objs {objs}",
                 engine_label(engine)
             );
+            if let Some(path) = trace_out {
+                let encoded = if trace_format == "binary" {
+                    binary::encode(&core)
+                } else {
+                    format_trace(&core).into_bytes()
+                };
+                std::fs::write(path, &encoded)?;
+            }
             if json {
                 use serde::{Content, Serialize as _};
                 let finding = Content::Map(vec![
@@ -658,6 +722,17 @@ fn fuzz(
                     ("verdict".into(), checker.check(&core).to_content()),
                     ("replay".into(), Content::Str(replay)),
                 ]);
+                let finding = match trace_out {
+                    Some(path) => match finding {
+                        Content::Map(mut m) => {
+                            m.push(("trace_file".into(), Content::Str(path.to_owned())));
+                            m.push(("trace_format".into(), Content::Str(trace_format.to_owned())));
+                            Content::Map(m)
+                        }
+                        other => other,
+                    },
+                    None => finding,
+                };
                 writeln!(out, "{}", serde_json::to_string(&finding)?)?;
             } else {
                 writeln!(
@@ -680,6 +755,13 @@ fn fuzz(
                     writeln!(out, "cause: {v}")?;
                 }
                 writeln!(out, "replay: {replay}")?;
+                if let Some(path) = trace_out {
+                    writeln!(
+                        out,
+                        "trace written to {path} ({trace_format}); \
+                         replay with: duop check {path}"
+                    )?;
+                }
             }
             return Ok(false);
         }
@@ -798,6 +880,96 @@ struct MonitorOpts {
     checkpoint: Option<String>,
     checkpoint_every: u64,
     status_every: u64,
+    compact_every: Option<u64>,
+}
+
+/// Prints the per-event monitor line, tracking the first violation.
+fn report_event(
+    i: usize,
+    ev: &Event,
+    verdict: &Verdict,
+    ok: &mut bool,
+    violated_at: &mut Option<u64>,
+    out: &mut dyn Write,
+) -> Result<(), Box<dyn Error>> {
+    if verdict.is_satisfied() {
+        writeln!(out, "event {i:>3}: {ev:<14} ok")?;
+    } else {
+        if *ok {
+            *violated_at = Some(i as u64);
+        }
+        *ok = false;
+        writeln!(out, "event {i:>3}: {ev:<14} VIOLATION")?;
+        if let Some(v) = verdict.violation() {
+            writeln!(out, "            {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Prints the `--status-every` JSON line.
+fn status_line(i: usize, mon: &OnlineChecker, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    use serde::Serialize as _;
+    writeln!(
+        out,
+        "{{\"event\":{i},\"stats\":{}}}",
+        serde_json::to_string(&mon.stats().to_content())?
+    )?;
+    Ok(())
+}
+
+/// Prints the end-of-run statistics summary.
+fn monitor_summary(mon: &OnlineChecker, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let stats = mon.stats();
+    writeln!(
+        out,
+        "{} events; {} witness reuses; {} full searches; {} component reuses; \
+         {} lint refutations; {} retained events (peak {})",
+        stats.events,
+        stats.incremental_hits,
+        stats.full_searches,
+        stats.component_reuses,
+        stats.lint_refutations,
+        stats.retained_events,
+        stats.peak_resident_events
+    )?;
+    if stats.compactions > 0 {
+        writeln!(
+            out,
+            "{} compactions dropped {} events",
+            stats.compactions, stats.compacted_events
+        )?;
+    }
+    Ok(())
+}
+
+/// The streaming monitor: decodes events off the raw trace bytes one at a
+/// time (text and binary formats never materialise the event vector) and
+/// feeds them straight into the online checker, so the resident set is
+/// the checker's retained history — which `--compact-every` bounds — not
+/// the input. Checkpointing needs the full event list and takes the
+/// eager [`monitor`] path instead.
+fn monitor_stream(bytes: &[u8], opts: &MonitorOpts, out: &mut dyn Write) -> CmdResult {
+    let mut reader = TraceReader::new(bytes)?;
+    let mut mon = OnlineChecker::new();
+    mon.set_compact_every(opts.compact_every.map(|n| n as usize));
+    let mut ok = true;
+    let mut violated_at = None;
+    let mut i = 0usize;
+    while let Some(ev) = reader.next_event()? {
+        if duop_core::snapshot::interrupt_requested() {
+            writeln!(out, "interrupted after {i} events")?;
+            return Ok(false);
+        }
+        let verdict = mon.push(ev)?;
+        report_event(i, &ev, &verdict, &mut ok, &mut violated_at, out)?;
+        i += 1;
+        if opts.status_every > 0 && (i as u64).is_multiple_of(opts.status_every) {
+            status_line(i - 1, &mon, out)?;
+        }
+    }
+    monitor_summary(&mon, out)?;
+    Ok(ok)
 }
 
 fn monitor_snapshot(
@@ -853,26 +1025,10 @@ fn monitor(
             return Ok(false);
         }
         let verdict = mon.push(*ev)?;
-        if verdict.is_satisfied() {
-            writeln!(out, "event {i:>3}: {ev:<14} ok")?;
-        } else {
-            if ok {
-                violated_at = Some(i as u64);
-            }
-            ok = false;
-            writeln!(out, "event {i:>3}: {ev:<14} VIOLATION")?;
-            if let Some(v) = verdict.violation() {
-                writeln!(out, "            {v}")?;
-            }
-        }
+        report_event(i, ev, &verdict, &mut ok, &mut violated_at, out)?;
         let done = (i + 1) as u64;
         if opts.status_every > 0 && done.is_multiple_of(opts.status_every) {
-            use serde::Serialize as _;
-            writeln!(
-                out,
-                "{{\"event\":{i},\"stats\":{}}}",
-                serde_json::to_string(&mon.stats().to_content())?
-            )?;
+            status_line(i, &mon, out)?;
         }
         if let Some(path) = &opts.checkpoint {
             if done.is_multiple_of(opts.checkpoint_every) {
@@ -885,19 +1041,7 @@ fn monitor(
         let snap = monitor_snapshot(h, h.len() as u64, violated_at, &mon, opts);
         snapshot::save(path, &Snapshot::Monitor(snap))?;
     }
-    let stats = mon.stats();
-    writeln!(
-        out,
-        "{} events; {} witness reuses; {} full searches; {} component reuses; \
-         {} lint refutations; {} retained events (peak {})",
-        stats.events,
-        stats.incremental_hits,
-        stats.full_searches,
-        stats.component_reuses,
-        stats.lint_refutations,
-        stats.retained_events,
-        stats.peak_resident_events
-    )?;
+    monitor_summary(&mon, out)?;
     Ok(ok)
 }
 
@@ -939,6 +1083,7 @@ fn resume_monitor(ms: MonitorSnapshot, file: &str, out: &mut dyn Write) -> CmdRe
         checkpoint: Some(file.to_owned()),
         checkpoint_every: ms.checkpoint_every.max(1),
         status_every: ms.status_every,
+        compact_every: None,
     };
     monitor(&h, &opts, Some((mon, done as u64, violated_at)), out)
 }
@@ -1243,6 +1388,8 @@ mod tests {
             threads: 1,
             objs: 4,
             format: "text".into(),
+            trace_out: None,
+            trace_format: "text".into(),
         };
         let (ok, output) = run_to_string(&cmd);
         assert!(!ok, "the dirty engine must produce a finding:\n{output}");
@@ -1273,6 +1420,8 @@ mod tests {
                 threads: 1,
                 objs: 3,
                 format: "text".into(),
+                trace_out: None,
+                trace_format: "text".into(),
             });
             assert!(ok, "{engine:?} produced a finding:\n{output}");
             assert!(output.contains("all histories du-opaque"), "{output}");
@@ -1292,6 +1441,8 @@ mod tests {
                 threads: 1,
                 objs: 2,
                 format: "text".into(),
+                trace_out: None,
+                trace_format: "text".into(),
             },
             &mut buf
         )
@@ -1378,6 +1529,7 @@ mod tests {
             checkpoint: None,
             checkpoint_every: 32,
             status_every: 0,
+            compact_every: None,
         });
         assert!(!ok);
         assert!(output.contains("lint refutations"), "output:\n{output}");
@@ -1396,14 +1548,166 @@ mod tests {
         let path = temp_trace(GOOD);
         let (_, json) = run_to_string(&Command::Convert {
             input: path,
+            output: None,
             to: "json".into(),
         });
         let jpath = temp_trace(&json);
         let (_, text) = run_to_string(&Command::Convert {
             input: jpath,
+            output: None,
             to: "text".into(),
         });
         assert_eq!(text, GOOD);
+    }
+
+    #[test]
+    fn convert_roundtrips_via_binary_file() {
+        let path = temp_trace(GOOD);
+        let bpath = format!("{path}.duob");
+        let (ok, _) = run_to_string(&Command::Convert {
+            input: path,
+            output: Some(bpath.clone()),
+            to: "binary".into(),
+        });
+        assert!(ok);
+        assert!(std::fs::read(&bpath).unwrap().starts_with(b"DUOB"));
+        let (_, text) = run_to_string(&Command::Convert {
+            input: bpath.clone(),
+            output: None,
+            to: "text".into(),
+        });
+        assert_eq!(text, GOOD);
+        // The binary file is accepted transparently by check.
+        let (ok, output) = run_to_string(&Command::Check {
+            input: bpath,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+            threads: 1,
+            decompose: true,
+            prelint: true,
+            ladder: true,
+            deadline_ms: None,
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
+            format: "text".into(),
+        });
+        assert!(ok, "output:\n{output}");
+    }
+
+    #[test]
+    fn convert_roundtrips_via_dbcop() {
+        // dbcop export is lossy (one session per transaction) but the
+        // per-transaction reads/writes and commit status survive, so a
+        // sequential history round-trips to the same verdict.
+        let path = temp_trace(GOOD);
+        let (_, dbc) = run_to_string(&Command::Convert {
+            input: path,
+            output: None,
+            to: "dbcop".into(),
+        });
+        assert!(dbc.trim_start().starts_with('{'), "output:\n{dbc}");
+        let dpath = temp_trace(&dbc);
+        let (ok, _) = run_to_string(&Command::Check {
+            input: dpath,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+            threads: 1,
+            decompose: true,
+            prelint: true,
+            ladder: true,
+            deadline_ms: None,
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
+            format: "text".into(),
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn monitor_streams_binary_and_compacts() {
+        let path = temp_trace(GOOD);
+        let bpath = format!("{path}.duob");
+        run_to_string(&Command::Convert {
+            input: path.clone(),
+            output: Some(bpath.clone()),
+            to: "binary".into(),
+        });
+        // Binary input, streamed, with aggressive compaction: the same
+        // per-event verdicts as the text monitor, plus a compaction line.
+        let (ok, output) = run_to_string(&Command::Monitor {
+            input: bpath,
+            checkpoint: None,
+            checkpoint_every: 32,
+            status_every: 0,
+            compact_every: Some(1),
+        });
+        assert!(ok, "output:\n{output}");
+        assert!(output.contains("compactions dropped"), "output:\n{output}");
+        let (plain_ok, plain) = run_to_string(&Command::Monitor {
+            input: path,
+            checkpoint: None,
+            checkpoint_every: 32,
+            status_every: 0,
+            compact_every: None,
+        });
+        assert_eq!(ok, plain_ok);
+        // Per-event verdict lines agree between the two runs.
+        let verdicts = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("event"))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(&output), verdicts(&plain));
+    }
+
+    #[test]
+    fn fuzz_trace_out_replays_from_binary() {
+        let out_path = std::env::temp_dir()
+            .join(format!("duop-fuzz-core-{}.duob", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let (ok, output) = run_to_string(&Command::Fuzz {
+            engine: EngineName::Dirty,
+            faults: "abort=0.05,crash=0.05,thread-crash=0.25".into(),
+            seed: 0,
+            iters: 200,
+            threads: 1,
+            objs: 4,
+            format: "text".into(),
+            trace_out: Some(out_path.clone()),
+            trace_format: "binary".into(),
+        });
+        assert!(!ok, "the dirty engine must produce a finding:\n{output}");
+        assert!(
+            output.contains(&format!("duop check {out_path}")),
+            "output:\n{output}"
+        );
+        let bytes = std::fs::read(&out_path).unwrap();
+        assert!(bytes.starts_with(b"DUOB"));
+        // The written counterexample replays to a violation through the
+        // ordinary check pipeline.
+        let (replayed_ok, replay_out) = run_to_string(&Command::Check {
+            input: out_path,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+            threads: 1,
+            decompose: true,
+            prelint: true,
+            ladder: true,
+            deadline_ms: None,
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
+            format: "text".into(),
+        });
+        assert!(!replayed_ok, "output:\n{replay_out}");
+        assert!(replay_out.contains("violated"), "output:\n{replay_out}");
     }
 
     #[test]
@@ -1414,6 +1718,7 @@ mod tests {
             checkpoint: None,
             checkpoint_every: 32,
             status_every: 0,
+            compact_every: None,
         });
         assert!(!ok);
         assert!(output.contains("VIOLATION"), "output:\n{output}");

@@ -8,7 +8,8 @@
 //! duop render <trace>                        draw per-transaction lanes
 //! duop monitor <trace>                       per-event du-opacity monitoring
 //! duop generate [options]                    emit a random trace
-//! duop convert <trace> --to text|json        convert between formats
+//! duop convert <trace> [<out>] --format text|json|binary|dbcop
+//!                                            transcode between formats
 //! duop figures                               print the paper's figures
 //! ```
 

@@ -1,0 +1,143 @@
+//! Round-trip and verdict-invariance properties of the trace encodings:
+//! re-encoding a trace through the `.duob` binary format (or JSON) is the
+//! identity on histories, and `duop check` verdicts do not depend on which
+//! encoding carried the events.
+
+use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
+use duop_history::trace::{format_trace, parse_trace, to_json};
+use duop_history::{binary, reader, History};
+
+/// The checked-in example traces.
+fn example_traces() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/traces");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("examples/traces exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "txt") {
+            out.push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&path).unwrap(),
+            ));
+        }
+    }
+    assert!(!out.is_empty(), "no example traces found");
+    out
+}
+
+/// A spread of generated workloads across modes and seeds.
+fn generated() -> Vec<(String, History)> {
+    let mut out = Vec::new();
+    for (name, mode) in [
+        ("simulated", GenMode::Simulated),
+        ("value", GenMode::ValueValidated),
+        ("adversarial", GenMode::Adversarial),
+    ] {
+        for seed in [0u64, 7, 1234] {
+            let cfg = HistoryGenConfig {
+                txns: 24,
+                objs: 4,
+                mode,
+                ..HistoryGenConfig::medium_simulated()
+            }
+            .with_concurrency(4);
+            out.push((
+                format!("{name}-{seed}"),
+                HistoryGen::new(cfg, seed).generate(),
+            ));
+        }
+    }
+    out
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let code = duop_cli::run(&argv, &mut out);
+    (code, String::from_utf8_lossy(&out).into_owned())
+}
+
+fn temp_file(label: &str, content: &[u8]) -> String {
+    let path = std::env::temp_dir().join(format!("duop-fmt-eq-{}-{label}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn text_binary_text_is_identity_on_the_example_corpus() {
+    for (name, text) in example_traces() {
+        let h = parse_trace(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let bin = binary::encode(&h);
+        let back = binary::decode(&bin).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back, h, "{name}: binary round trip changed the history");
+        assert_eq!(
+            format_trace(&back),
+            format_trace(&h),
+            "{name}: re-rendered text differs"
+        );
+    }
+}
+
+#[test]
+fn history_binary_history_is_identity_on_generated_workloads() {
+    for (name, h) in generated() {
+        let bin = binary::encode(&h);
+        let back = binary::decode(&bin).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back, h, "{name}: binary round trip changed the history");
+        // JSON and text take the same round trip.
+        let jback = reader::read_history(to_json(&h).as_bytes()).unwrap();
+        assert_eq!(jback, h, "{name}: JSON round trip changed the history");
+        let tback = reader::read_history(format_trace(&h).as_bytes()).unwrap();
+        assert_eq!(tback, h, "{name}: text round trip changed the history");
+    }
+}
+
+#[test]
+fn check_verdicts_are_byte_format_invariant() {
+    // Quick criteria over every example trace plus a couple of generated
+    // ones, in all three lossless encodings: the transcript must be
+    // byte-identical, exit code included.
+    let mut cases: Vec<(String, History)> = example_traces()
+        .into_iter()
+        .map(|(name, text)| (name.clone(), parse_trace(&text).unwrap()))
+        .collect();
+    cases.extend(generated().into_iter().take(2));
+    for (name, h) in cases {
+        let text_path = temp_file(&format!("{name}.txt"), format_trace(&h).as_bytes());
+        let json_path = temp_file(&format!("{name}.json"), to_json(&h).as_bytes());
+        let bin_path = temp_file(&format!("{name}.duob"), &binary::encode(&h));
+        let check = |path: &str| run(&["check", path, "-c", "du", "-c", "fso", "-c", "strict"]);
+        let (text_code, text_out) = check(&text_path);
+        let (json_code, json_out) = check(&json_path);
+        let (bin_code, bin_out) = check(&bin_path);
+        assert_eq!(text_code, json_code, "{name}: text vs json exit");
+        assert_eq!(text_code, bin_code, "{name}: text vs binary exit");
+        assert_eq!(text_out, json_out, "{name}: text vs json transcript");
+        assert_eq!(text_out, bin_out, "{name}: text vs binary transcript");
+    }
+}
+
+#[test]
+fn monitor_verdicts_are_byte_format_invariant() {
+    for (name, h) in generated().into_iter().take(3) {
+        let text_path = temp_file(&format!("mon-{name}.txt"), format_trace(&h).as_bytes());
+        let bin_path = temp_file(&format!("mon-{name}.duob"), &binary::encode(&h));
+        let (text_code, text_out) = run(&["monitor", &text_path]);
+        let (bin_code, bin_out) = run(&["monitor", &bin_path]);
+        assert_eq!(text_code, bin_code, "{name}: monitor exit codes differ");
+        assert_eq!(text_out, bin_out, "{name}: monitor transcripts differ");
+    }
+}
+
+#[test]
+fn convert_cli_round_trips_every_example() {
+    for (name, text) in example_traces() {
+        let path = temp_file(&format!("cli-{name}.txt"), text.as_bytes());
+        let bin_path = format!("{path}.duob");
+        let (code, _) = run(&["convert", &path, &bin_path, "--format", "binary"]);
+        assert_eq!(code, 0, "{name}: convert to binary failed");
+        let (code, round) = run(&["convert", &bin_path, "--format", "text"]);
+        assert_eq!(code, 0, "{name}: convert back to text failed");
+        let canonical = format_trace(&parse_trace(&text).unwrap());
+        assert_eq!(round, canonical, "{name}: CLI round trip changed the trace");
+    }
+}

@@ -25,7 +25,7 @@ use crate::plan::ComponentCache;
 use crate::search::{decide_spec, Query};
 use crate::spec::Spec;
 use crate::{check_witness, CriterionKind, SearchConfig, Verdict, Witness};
-use duop_history::{Event, History, MalformedHistoryError};
+use duop_history::{Event, History, MalformedHistoryError, ObjId, Op, Ret, TxnId, Value};
 use std::collections::BTreeMap;
 
 /// Counters describing how much work the monitor has done.
@@ -49,6 +49,12 @@ pub struct OnlineStats {
     /// High-water mark of `retained_events` over the monitor's lifetime
     /// (survives checkpoint/resume).
     pub peak_resident_events: usize,
+    /// Times a certified t-complete prefix was replaced by its synthetic
+    /// baseline transaction (see [`OnlineChecker::try_compact`]).
+    pub compactions: u64,
+    /// Total events discarded by compactions (each compaction drops the
+    /// whole retained history and re-seeds it with the baseline events).
+    pub compacted_events: u64,
 }
 
 /// A per-event du-opacity monitor.
@@ -78,6 +84,9 @@ pub struct OnlineChecker {
     /// Per-component serialization fragments from the previous fallback
     /// search, reused (after replay validation) by the next one.
     cache: ComponentCache,
+    /// When set, the monitor attempts a [`Self::try_compact`] whenever a
+    /// certified prefix has grown past this many retained events.
+    compact_every: Option<usize>,
 }
 
 impl OnlineChecker {
@@ -124,7 +133,16 @@ impl OnlineChecker {
             cfg,
             stats,
             cache: ComponentCache::default(),
+            compact_every: None,
         }
+    }
+
+    /// Enables (or disables, with `None`) automatic history compaction
+    /// once the retained history outgrows `threshold` events. See
+    /// [`Self::try_compact`] for what compaction does and when it is
+    /// sound.
+    pub fn set_compact_every(&mut self, threshold: Option<usize>) {
+        self.compact_every = threshold;
     }
 
     /// The history consumed so far.
@@ -174,8 +192,7 @@ impl OnlineChecker {
     /// history to a well-formed one; the event is discarded and the monitor
     /// state is unchanged.
     pub fn push(&mut self, event: Event) -> Result<Verdict, MalformedHistoryError> {
-        let extended = self.history.extended([event])?;
-        self.history = extended;
+        self.history.push_checked(event)?;
         self.stats.events += 1;
         self.stats.retained_events = self.history.len();
         self.stats.peak_resident_events = self.stats.peak_resident_events.max(self.history.len());
@@ -189,6 +206,7 @@ impl OnlineChecker {
             if check_witness(&self.history, &candidate, CriterionKind::DuOpacity).is_ok() {
                 self.stats.incremental_hits += 1;
                 self.witness = Some(candidate.clone());
+                self.maybe_auto_compact();
                 return Ok(Verdict::Satisfied(candidate));
             }
         }
@@ -224,11 +242,130 @@ impl OnlineChecker {
         };
         self.stats.component_reuses = self.cache.reuses;
         match &verdict {
-            Verdict::Satisfied(w) => self.witness = Some(w.clone()),
+            Verdict::Satisfied(w) => {
+                self.witness = Some(w.clone());
+                self.maybe_auto_compact();
+            }
             Verdict::Violated(_) => self.violated = Some(verdict.clone()),
             Verdict::Unknown { .. } => {}
         }
         Ok(verdict)
+    }
+
+    fn maybe_auto_compact(&mut self) {
+        if let Some(n) = self.compact_every {
+            if self.history.len() >= n.max(1) {
+                self.try_compact();
+            }
+        }
+    }
+
+    /// Attempts to compact the retained history, returning whether it
+    /// happened. On success the whole retained prefix is replaced by a
+    /// synthetic committed *baseline* transaction [`TxnId::BASELINE`] that
+    /// writes each t-object's final committed value — the paper's `T_0`
+    /// convention (Section 2) re-applied at a later cut point — so the
+    /// monitor's resident memory drops to a few events per object while
+    /// verdicts for all future events are unchanged.
+    ///
+    /// Compaction is performed only when it is provably verdict-preserving:
+    ///
+    /// 1. **The prefix is certified**: the current witness re-validates
+    ///    against the retained history (so the prefix is du-opaque, and by
+    ///    Corollary 2 nothing before the cut can retroactively fail).
+    /// 2. **The prefix is t-complete**: every transaction has terminated,
+    ///    so every retained transaction `≺RT`-precedes every future one and
+    ///    any serialization of any extension orders the whole prefix block
+    ///    before the suffix (Lemma 1's embedding applies blockwise).
+    /// 3. **Final values are forced**: for every t-object, the committed
+    ///    writers contain one that `≺RT`-follows all the others. Every
+    ///    serialization that respects `≺RT` then agrees on the object's
+    ///    final committed value, so the baseline's writes do not depend on
+    ///    *which* witness certified the prefix. Without this condition two
+    ///    concurrent committed writers could leave either value, and
+    ///    pinning one would wrongly refute suffixes consistent only with
+    ///    the other.
+    ///
+    /// Under 1–3, a suffix extends the compacted history to a du-opaque
+    /// one exactly when the original prefix plus suffix is du-opaque:
+    /// serializations correspond block for block, with the baseline
+    /// transaction standing in for the prefix block's (forced) net effect.
+    ///
+    /// If every retained transaction aborted, the baseline itself is empty
+    /// and the history compacts to nothing — the `T_0` convention already
+    /// covers all initial values.
+    pub fn try_compact(&mut self) -> bool {
+        if self.violated.is_some() || self.history.is_empty() {
+            return false;
+        }
+        if !self.history.is_t_complete() {
+            return false;
+        }
+        match &self.witness {
+            Some(w) if check_witness(&self.history, w, CriterionKind::DuOpacity).is_ok() => {}
+            _ => return false,
+        }
+        let Some(finals) = self.forced_final_values() else {
+            return false;
+        };
+
+        let mut events: Vec<Event> = Vec::with_capacity(finals.len() * 2 + 2);
+        for &(obj, value) in &finals {
+            events.push(Event::inv(TxnId::BASELINE, Op::Write(obj, value)));
+            events.push(Event::resp(TxnId::BASELINE, Ret::Ok));
+        }
+        if !finals.is_empty() {
+            events.push(Event::inv(TxnId::BASELINE, Op::TryCommit));
+            events.push(Event::resp(TxnId::BASELINE, Ret::Committed));
+        }
+        let dropped = self.history.len();
+        let baseline = History::new(events).expect("baseline history is well-formed");
+        self.witness = if finals.is_empty() {
+            None
+        } else {
+            Some(Witness::new(vec![TxnId::BASELINE], BTreeMap::new()))
+        };
+        self.stats.compactions += 1;
+        self.stats.compacted_events += dropped as u64;
+        self.stats.retained_events = baseline.len();
+        self.history = baseline;
+        // Cached fragments serialize transactions that no longer exist.
+        self.cache = ComponentCache::default();
+        true
+    }
+
+    /// The forced final committed value of every committed-written
+    /// t-object, or `None` if some object's final value depends on the
+    /// serialization (two committed writers not ordered by `≺RT`).
+    fn forced_final_values(&self) -> Option<Vec<(ObjId, Value)>> {
+        // Committed writers per object as (first, last, final value).
+        let mut writers: BTreeMap<ObjId, Vec<(usize, usize, Value)>> = BTreeMap::new();
+        for t in self.history.txns() {
+            if !t.is_committed() {
+                continue;
+            }
+            for obj in t.write_set() {
+                let value = t.last_write_to(obj).expect("write set implies a write");
+                writers.entry(obj).or_default().push((
+                    t.first_event_index(),
+                    t.last_event_index(),
+                    value,
+                ));
+            }
+        }
+        let mut finals = Vec::with_capacity(writers.len());
+        for (obj, ws) in writers {
+            let &(max_first, _, value) = ws.iter().max_by_key(|(first, _, _)| *first)?;
+            for &(first, last, _) in &ws {
+                if first != max_first && last >= max_first {
+                    // A rival committed writer does not RT-precede the
+                    // latest-starting one: the final value is not forced.
+                    return None;
+                }
+            }
+            finals.push((obj, value));
+        }
+        Some(finals)
     }
 
     /// Cheap adaptations of the previous witness to the extended history.
@@ -428,6 +565,190 @@ mod tests {
             stats.component_reuses > 0,
             "expected cached component fragments to be replayed: {stats:?}"
         );
+    }
+
+    #[test]
+    fn compaction_replaces_certified_prefix_with_baseline() {
+        let mut mon = OnlineChecker::new();
+        mon.set_compact_every(Some(1));
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .committed_writer(t(2), x(), v(2))
+            .build();
+        for ev in h.events() {
+            assert!(mon.push(*ev).unwrap().is_satisfied());
+        }
+        let stats = mon.stats();
+        assert!(stats.compactions > 0, "stats: {stats:?}");
+        // The retained history is just the baseline transaction.
+        assert!(mon.history().participates(TxnId::BASELINE));
+        assert_eq!(mon.history().txn_count(), 1);
+        let tb = mon.history().txn(TxnId::BASELINE).unwrap();
+        assert_eq!(tb.last_write_to(x()), Some(v(2)));
+        assert!(stats.retained_events < h.len());
+    }
+
+    #[test]
+    fn compaction_preserves_future_verdicts() {
+        // A post-compaction stale read of the pre-compaction value must
+        // still be flagged: T1 commits 1, compaction replaces it with the
+        // baseline, then T2 reads 0.
+        let mut mon = OnlineChecker::new();
+        let prefix = HistoryBuilder::new()
+            .committed_writer(t(1), x(), v(1))
+            .build();
+        for ev in prefix.events() {
+            mon.push(*ev).unwrap();
+        }
+        assert!(mon.try_compact());
+        let verdicts: Vec<bool> = [
+            Event::inv(t(2), Op::Read(x())),
+            Event::resp(t(2), Ret::Value(v(0))),
+        ]
+        .into_iter()
+        .map(|ev| mon.push(ev).unwrap().is_violated())
+        .collect();
+        assert!(verdicts[1], "stale read must violate after compaction");
+
+        // And the fresh value stays accepted.
+        let mut mon = OnlineChecker::new();
+        for ev in prefix.events() {
+            mon.push(*ev).unwrap();
+        }
+        assert!(mon.try_compact());
+        let h2 = [
+            Event::inv(t(2), Op::Read(x())),
+            Event::resp(t(2), Ret::Value(v(1))),
+            Event::inv(t(2), Op::TryCommit),
+            Event::resp(t(2), Ret::Committed),
+        ];
+        let mut last = None;
+        for ev in h2 {
+            last = Some(mon.push(ev).unwrap());
+        }
+        assert!(last.unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn compaction_refused_when_final_value_not_forced() {
+        // Two committed writers of x overlap: either serialization order is
+        // legal, so the final value is not forced and compaction must
+        // refuse (pinning one value would wrongly refute a suffix reading
+        // the other).
+        let h = HistoryBuilder::new()
+            .inv_write(t(1), x(), v(1))
+            .inv_write(t(2), x(), v(2))
+            .resp_ok(t(1))
+            .resp_ok(t(2))
+            .inv_try_commit(t(1))
+            .inv_try_commit(t(2))
+            .resp_committed(t(1))
+            .resp_committed(t(2))
+            .build();
+        let mut mon = OnlineChecker::new();
+        for ev in h.events() {
+            assert!(mon.push(*ev).unwrap().is_satisfied());
+        }
+        assert!(h.is_t_complete());
+        assert!(!mon.try_compact());
+        assert_eq!(mon.stats().compactions, 0);
+        // Both continuations must remain accepted.
+        for stale in [v(1), v(2)] {
+            let mut m2 = OnlineChecker::new();
+            for ev in h.events() {
+                m2.push(*ev).unwrap();
+            }
+            let cont = [
+                Event::inv(t(3), Op::Read(x())),
+                Event::resp(t(3), Ret::Value(stale)),
+            ];
+            let mut last = None;
+            for ev in cont {
+                last = Some(m2.push(ev).unwrap());
+            }
+            assert!(
+                last.unwrap().is_satisfied(),
+                "reading {stale:?} should be accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_refused_mid_transaction() {
+        let mut mon = OnlineChecker::new();
+        mon.push(Event::inv(t(1), Op::Write(x(), v(1)))).unwrap();
+        mon.push(Event::resp(t(1), Ret::Ok)).unwrap();
+        assert!(!mon.try_compact(), "prefix is not t-complete");
+    }
+
+    #[test]
+    fn all_aborted_prefix_compacts_to_empty() {
+        let mut mon = OnlineChecker::new();
+        for ev in [
+            Event::inv(t(1), Op::Write(x(), v(9))),
+            Event::resp(t(1), Ret::Ok),
+            Event::inv(t(1), Op::TryAbort),
+            Event::resp(t(1), Ret::Aborted),
+        ] {
+            mon.push(ev).unwrap();
+        }
+        assert!(mon.try_compact());
+        assert!(mon.history().is_empty());
+        // The aborted write left no trace: a read of 9 now violates, a
+        // read of the initial value is fine.
+        let mut m = OnlineChecker::new();
+        for ev in [
+            Event::inv(t(2), Op::Read(x())),
+            Event::resp(t(2), Ret::Value(v(0))),
+        ] {
+            assert!(m.push(ev).unwrap().is_satisfied());
+        }
+    }
+
+    #[test]
+    fn compaction_on_and_off_agree_along_generated_interleavings() {
+        // Differential check: with aggressive auto-compaction the verdict
+        // sequence must match the uncompacted monitor event for event.
+        let y = ObjId::new(1);
+        let histories = [
+            HistoryBuilder::new()
+                .committed_writer(t(1), x(), v(1))
+                .committed_reader(t(2), x(), v(1))
+                .committed_writer(t(3), y, v(5))
+                .committed_reader(t(4), y, v(5))
+                .committed_writer(t(5), x(), v(7))
+                .committed_reader(t(6), x(), v(7))
+                .build(),
+            // Violating tail after a compactable prefix.
+            HistoryBuilder::new()
+                .committed_writer(t(1), x(), v(1))
+                .committed_writer(t(2), x(), v(2))
+                .read(t(3), x(), v(1))
+                .commit(t(3))
+                .build(),
+            // Aborts interleaved with commits.
+            HistoryBuilder::new()
+                .committed_writer(t(1), x(), v(1))
+                .write(t(2), x(), v(3))
+                .try_abort(t(2))
+                .committed_reader(t(3), x(), v(1))
+                .build(),
+        ];
+        for h in &histories {
+            let mut plain = OnlineChecker::new();
+            let mut compacting = OnlineChecker::new();
+            compacting.set_compact_every(Some(1));
+            for ev in h.events() {
+                let a = plain.push(*ev).unwrap();
+                let b = compacting.push(*ev).unwrap();
+                assert_eq!(
+                    a.is_satisfied(),
+                    b.is_satisfied(),
+                    "divergence on {ev} of {h:?}"
+                );
+                assert_eq!(a.is_violated(), b.is_violated(), "divergence on {ev}");
+            }
+        }
     }
 
     #[test]

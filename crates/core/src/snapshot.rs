@@ -435,6 +435,11 @@ impl serde::Serialize for OnlineStats {
                 "peak_resident_events".into(),
                 Content::U64(self.peak_resident_events as u64),
             ),
+            ("compactions".into(), Content::U64(self.compactions)),
+            (
+                "compacted_events".into(),
+                Content::U64(self.compacted_events),
+            ),
         ])
     }
 }
@@ -450,6 +455,15 @@ impl serde::Deserialize for OnlineStats {
             lint_refutations: u64::from_content(field(&m, "lint_refutations")?)?,
             retained_events: usize::from_content(field(&m, "retained_events")?)?,
             peak_resident_events: usize::from_content(field(&m, "peak_resident_events")?)?,
+            // Absent in checkpoints written before compaction existed.
+            compactions: match field(&m, "compactions") {
+                Ok(v) => u64::from_content(v)?,
+                Err(_) => 0,
+            },
+            compacted_events: match field(&m, "compacted_events") {
+                Ok(v) => u64::from_content(v)?,
+                Err(_) => 0,
+            },
         })
     }
 }
@@ -906,6 +920,8 @@ mod tests {
             lint_refutations: 0,
             retained_events: 4,
             peak_resident_events: 4,
+            compactions: 1,
+            compacted_events: 6,
         };
         let snap = Snapshot::Monitor(MonitorSnapshot {
             events: h.events().to_vec(),

@@ -200,6 +200,7 @@ fn value_validated_tm_is_opaque_but_not_always_du_opaque() {
         stall_prob: 0.0,
         drop_prob: 0.0,
         unique_writes: false,
+        barrier_every: 0,
         mode: GenMode::ValueValidated,
     };
     let mut du_violations = 0usize;

@@ -52,6 +52,11 @@ pub struct HistoryGenConfig {
     /// Give every write a globally unique value (Theorem 11's hypothesis);
     /// otherwise draw values from a small colliding domain.
     pub unique_writes: bool,
+    /// Drain the concurrency window after every `barrier_every` spawned
+    /// transactions (0 disables). Each drain makes the prefix emitted so
+    /// far t-complete, which is what the streaming monitor's compaction
+    /// needs to find cut points.
+    pub barrier_every: usize,
     /// Read/commit semantics.
     pub mode: GenMode,
 }
@@ -70,6 +75,7 @@ impl HistoryGenConfig {
             stall_prob: 0.05,
             drop_prob: 0.05,
             unique_writes: false,
+            barrier_every: 0,
             mode: GenMode::Simulated,
         }
     }
@@ -94,8 +100,40 @@ impl HistoryGenConfig {
             stall_prob: 0.02,
             drop_prob: 0.02,
             unique_writes: false,
+            barrier_every: 0,
             mode: GenMode::Simulated,
         }
+    }
+
+    /// A large simulated-mode configuration for ingestion and streaming
+    /// benchmarks. The narrow concurrency window means the live set drains
+    /// often, so long prefixes become t-complete early — exactly the shape
+    /// the streaming monitor's `--compact-every` compaction thrives on.
+    /// Stalls and drops are disabled so every transaction completes and no
+    /// operation pends forever (a pending operation pins the prefix).
+    pub fn large_streaming() -> Self {
+        HistoryGenConfig {
+            txns: 4096,
+            objs: 32,
+            ops_per_txn: (2, 5),
+            // Read-heavy: compaction needs the latest committed writer of
+            // every object to be free of overlapping rival writers, so
+            // frequent writes would starve it of usable cut points.
+            read_ratio: 0.75,
+            concurrency: 3,
+            commit_prob: 0.95,
+            stall_prob: 0.0,
+            drop_prob: 0.0,
+            unique_writes: false,
+            barrier_every: 4,
+            mode: GenMode::Simulated,
+        }
+    }
+
+    /// Sets the barrier interval (0 disables draining).
+    pub fn with_barrier_every(mut self, barrier_every: usize) -> Self {
+        self.barrier_every = barrier_every;
+        self
     }
 
     /// Enables or disables the unique-writes regime.
@@ -188,13 +226,19 @@ impl HistoryGen {
         let mut live: Vec<LiveTxn> = Vec::new();
 
         loop {
-            // Spawn while below the concurrency cap.
+            // Spawn while below the concurrency cap. A pending barrier
+            // (the previous transaction filled a window of `barrier_every`)
+            // additionally waits for the window to drain completely, making
+            // the prefix emitted so far t-complete.
             while live
                 .iter()
                 .filter(|t| t.state != LiveState::Finished)
                 .count()
                 < cfg.concurrency
                 && (next_txn as usize) <= cfg.txns
+                && (cfg.barrier_every == 0
+                    || !(next_txn as usize - 1).is_multiple_of(cfg.barrier_every)
+                    || live.iter().all(|t| t.state == LiveState::Finished))
             {
                 let ops = self
                     .rng

@@ -1,0 +1,594 @@
+//! Import and export of dbcop-style database histories.
+//!
+//! dbcop (<https://github.com/rnbguy/dbcop>) records a database execution
+//! as sessions of transactions, each transaction a list of read/write
+//! events over `(variable, version)` pairs. Its compact serialization
+//! writes an event as the tuple `["r", variable, version]` or
+//! `["w", variable, version]`; older builds write the tagged-enum form
+//! `{"Read": {"variable": v, "version": n}}`. [`import`] accepts both,
+//! mirroring dbcop's own backward-compatible decoder.
+//!
+//! # Model mapping
+//!
+//! A dbcop *version* becomes a [`Value`]; version `0` / `null` is the
+//! uninitialized version, which matches this crate's `T_0` convention of
+//! [`Value::INITIAL`]. Each dbcop transaction becomes one [`TxnId`] that
+//! reads and writes, then invokes `tryC` (committed) or `tryA` (aborted)
+//! according to its `success` flag. Sessions impose program order:
+//! transaction `i+1` of a session begins after transaction `i` ends.
+//!
+//! Cross-session timing is not recorded by dbcop, so the import must pick
+//! a concrete event schedule. Transactions at the same session position
+//! form a *round*: each opens (its first invocation) in session order, so
+//! every pair in a round overlaps and no real-time edges are fabricated —
+//! the serialization search keeps its full freedom. The transactions then
+//! complete one at a time in a dependency-aware order: a committed writer
+//! completes before the readers of its versions, and a writer waits while
+//! another transaction still needs the version it would overwrite. Under
+//! deferred update a read response may only return an already-committed
+//! version, so this scheduling is what lets a serializable dbcop history
+//! reconstruct to a legal schedule at all; a greedy order that cannot be
+//! found this way falls back to session order, and the checker then
+//! reports the (genuine or schedule-induced) anomaly. Verdicts are thus
+//! relative to the reconstructed schedule, which is the strongest
+//! statement an event-level checker can make about an event-free input.
+//!
+//! Repeated reads of one variable inside a transaction keep only the first
+//! — the paper assumes at most one read per t-object per transaction
+//! (WLOG; later reads are served from the first result). String variable
+//! names are interned to dense numeric ids and preserved in the binary
+//! format's intern table, as are `s<session>_t<index>` provenance names for
+//! transactions.
+
+use crate::binary::{InternEntry, InternKind, InternTable};
+use crate::trace::{TraceParseError, MAX_ID};
+use crate::{Event, History, Op, Ret, TxnId, Value};
+use serde::Content;
+use std::collections::BTreeMap;
+
+fn err(message: impl Into<String>) -> TraceParseError {
+    TraceParseError::Json {
+        message: message.into(),
+    }
+}
+
+/// Interns dbcop variables: numeric variables map to themselves, string
+/// variables to densely assigned ids recorded in the intern table.
+struct VarIntern {
+    by_name: BTreeMap<String, u32>,
+    next: u32,
+    entries: Vec<InternEntry>,
+}
+
+impl VarIntern {
+    fn new() -> Self {
+        VarIntern {
+            by_name: BTreeMap::new(),
+            next: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    fn resolve(&mut self, content: &Content) -> Result<u32, TraceParseError> {
+        if let Some(v) = content.as_u64() {
+            if v > u64::from(MAX_ID) {
+                return Err(err(format!("variable id {v} exceeds the maximum {MAX_ID}")));
+            }
+            // Keep dense ids clear of numerically named variables.
+            self.next = self.next.max(v as u32 + 1);
+            return Ok(v as u32);
+        }
+        let Some(name) = content.as_str() else {
+            return Err(err("variable must be an integer or a string"));
+        };
+        if let Some(&id) = self.by_name.get(name) {
+            return Ok(id);
+        }
+        let id = self.next;
+        if id > MAX_ID {
+            return Err(err(format!("more than {MAX_ID} distinct variables")));
+        }
+        self.next += 1;
+        self.by_name.insert(name.to_owned(), id);
+        self.entries.push(InternEntry {
+            kind: InternKind::Obj,
+            id,
+            name: name.to_owned(),
+        });
+        Ok(id)
+    }
+}
+
+/// One parsed dbcop event.
+enum DbcopEvent {
+    Read { var: u32, version: Value },
+    Write { var: u32, version: Value },
+}
+
+fn parse_version(content: &Content) -> Result<Value, TraceParseError> {
+    match content {
+        // dbcop encodes the uninitialized version as null.
+        Content::Null => Ok(Value::INITIAL),
+        other => other
+            .as_u64()
+            .map(Value::new)
+            .ok_or_else(|| err("version must be an integer or null")),
+    }
+}
+
+fn parse_event(content: &Content, vars: &mut VarIntern) -> Result<DbcopEvent, TraceParseError> {
+    match content {
+        // Compact form: ["r"|"w", variable, version].
+        Content::Seq(items) if items.len() == 3 => {
+            let tag = items[0]
+                .as_str()
+                .ok_or_else(|| err("event tuple must start with \"r\" or \"w\""))?;
+            let var = vars.resolve(&items[1])?;
+            let version = parse_version(&items[2])?;
+            match tag {
+                "r" => Ok(DbcopEvent::Read { var, version }),
+                "w" => Ok(DbcopEvent::Write { var, version }),
+                other => Err(err(format!("unknown event tag `{other}`"))),
+            }
+        }
+        // Tagged-enum form: {"Read": {"variable": v, "version": n}}.
+        Content::Map(entries) if entries.len() == 1 => {
+            let (tag, body) = &entries[0];
+            let Content::Map(fields) = body else {
+                return Err(err(format!("`{tag}` event body must be an object")));
+            };
+            let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let var =
+                vars.resolve(field("variable").ok_or_else(|| err("event is missing `variable`"))?)?;
+            let version = match field("version") {
+                Some(v) => parse_version(v)?,
+                None => Value::INITIAL,
+            };
+            match tag.as_str() {
+                "Read" => Ok(DbcopEvent::Read { var, version }),
+                "Write" => Ok(DbcopEvent::Write { var, version }),
+                other => Err(err(format!("unknown event variant `{other}`"))),
+            }
+        }
+        _ => Err(err("event must be a 3-tuple or a tagged object")),
+    }
+}
+
+/// One parsed dbcop transaction: its events and whether it committed.
+struct DbcopTxn {
+    events: Vec<DbcopEvent>,
+    success: bool,
+}
+
+impl DbcopTxn {
+    /// The reads that must be served by other transactions' commits: the
+    /// first read per variable, unless an own write to that variable came
+    /// first (those reads return the transaction's own value).
+    fn external_reads(&self) -> Vec<(u32, Value)> {
+        let mut written: Vec<u32> = Vec::new();
+        let mut seen: Vec<u32> = Vec::new();
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match *ev {
+                DbcopEvent::Read { var, version } => {
+                    if !seen.contains(&var) {
+                        seen.push(var);
+                        if !written.contains(&var) {
+                            out.push((var, version));
+                        }
+                    }
+                }
+                DbcopEvent::Write { var, .. } => written.push(var),
+            }
+        }
+        out
+    }
+
+    /// The last write per variable (what a commit installs).
+    fn final_writes(&self) -> Vec<(u32, Value)> {
+        let mut out: Vec<(u32, Value)> = Vec::new();
+        for ev in &self.events {
+            if let DbcopEvent::Write { var, version } = *ev {
+                match out.iter_mut().find(|(x, _)| *x == var) {
+                    Some(slot) => slot.1 = version,
+                    None => out.push((var, version)),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_txn(content: &Content, vars: &mut VarIntern) -> Result<DbcopTxn, TraceParseError> {
+    match content {
+        // Object form: {"events": [...], "success": bool} (dbcop names the
+        // flag `success` or `committed` depending on vintage).
+        Content::Map(entries) => {
+            let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let raw_events = field("events").ok_or_else(|| err("transaction missing `events`"))?;
+            let Content::Seq(items) = raw_events else {
+                return Err(err("transaction `events` must be an array"));
+            };
+            let events = items
+                .iter()
+                .map(|e| parse_event(e, vars))
+                .collect::<Result<_, _>>()?;
+            let success = match field("success").or_else(|| field("committed")) {
+                Some(Content::Bool(b)) => *b,
+                Some(_) => return Err(err("transaction `success` must be a boolean")),
+                None => true,
+            };
+            Ok(DbcopTxn { events, success })
+        }
+        // Bare array form: just the events, implicitly committed.
+        Content::Seq(items) => {
+            let events = items
+                .iter()
+                .map(|e| parse_event(e, vars))
+                .collect::<Result<_, _>>()?;
+            Ok(DbcopTxn {
+                events,
+                success: true,
+            })
+        }
+        _ => Err(err("transaction must be an object or an array of events")),
+    }
+}
+
+/// Lowers one dbcop transaction to this crate's event alphabet.
+fn lower_txn(txn: &DbcopTxn, id: TxnId) -> Vec<Event> {
+    let mut out = Vec::with_capacity(txn.events.len() * 2 + 2);
+    let mut read_vars: Vec<u32> = Vec::new();
+    for ev in &txn.events {
+        match *ev {
+            DbcopEvent::Read { var, version } => {
+                // Keep only the first read per variable (paper WLOG).
+                if read_vars.contains(&var) {
+                    continue;
+                }
+                read_vars.push(var);
+                out.push(Event::inv(id, Op::Read(var.into())));
+                out.push(Event::resp(id, Ret::Value(version)));
+            }
+            DbcopEvent::Write { var, version } => {
+                out.push(Event::inv(id, Op::Write(var.into(), version)));
+                out.push(Event::resp(id, Ret::Ok));
+            }
+        }
+    }
+    if txn.success {
+        out.push(Event::inv(id, Op::TryCommit));
+        out.push(Event::resp(id, Ret::Committed));
+    } else {
+        out.push(Event::inv(id, Op::TryAbort));
+        out.push(Event::resp(id, Ret::Aborted));
+    }
+    out
+}
+
+/// Imports a dbcop history (JSON object with a `sessions` array) into a
+/// validated [`History`] plus the intern table naming its ids.
+///
+/// # Errors
+///
+/// Returns [`TraceParseError::Json`] for malformed dbcop input and
+/// [`TraceParseError::Malformed`] if the lowered events do not form a
+/// well-formed history.
+pub fn import(json: &str) -> Result<(History, InternTable), TraceParseError> {
+    let root: Content = serde_json::from_str(json).map_err(|e| err(e.to_string()))?;
+    let Content::Map(entries) = &root else {
+        return Err(err("dbcop history must be a JSON object"));
+    };
+    let sessions = entries
+        .iter()
+        .find(|(k, _)| k == "sessions")
+        .map(|(_, v)| v)
+        .ok_or_else(|| err("dbcop history is missing `sessions`"))?;
+    let Content::Seq(sessions) = sessions else {
+        return Err(err("`sessions` must be an array"));
+    };
+    let mut vars = VarIntern::new();
+    let parsed: Vec<Vec<DbcopTxn>> = sessions
+        .iter()
+        .map(|s| match s {
+            Content::Seq(txns) => txns.iter().map(|t| parse_txn(t, &mut vars)).collect(),
+            _ => Err(err("each session must be an array of transactions")),
+        })
+        .collect::<Result<_, _>>()?;
+
+    let total_txns: usize = parsed.iter().map(Vec::len).sum();
+    if total_txns > MAX_ID as usize {
+        return Err(err(format!("more than {MAX_ID} transactions")));
+    }
+
+    let mut table = InternTable {
+        entries: std::mem::take(&mut vars.entries),
+    };
+    let mut events = Vec::new();
+    let rounds = parsed.iter().map(Vec::len).max().unwrap_or(0);
+    let mut next_id = 1u32;
+    // The committed store the reconstruction has installed so far.
+    let mut store: BTreeMap<u32, Value> = BTreeMap::new();
+    // Round r overlaps the r-th transaction of every session: each opens
+    // in session order, then they complete one at a time in a
+    // dependency-aware order. Rounds are sequential, which preserves
+    // session program order. See the module docs for why.
+    for round in 0..rounds {
+        struct Open {
+            /// Events after the opening invocation.
+            rest: Vec<Event>,
+            reads: Vec<(u32, Value)>,
+            writes: Vec<(u32, Value)>,
+            committed: bool,
+        }
+        let mut open: Vec<Open> = Vec::new();
+        for (si, session) in parsed.iter().enumerate() {
+            let Some(txn) = session.get(round) else {
+                continue;
+            };
+            let id = TxnId::new(next_id);
+            table.entries.push(InternEntry {
+                kind: InternKind::Txn,
+                id: next_id,
+                name: format!("s{si}_t{round}"),
+            });
+            next_id += 1;
+            let mut lowered = lower_txn(txn, id);
+            // Opening invocation now; the rest completes later, so every
+            // transaction in the round overlaps every other.
+            events.push(lowered.remove(0));
+            open.push(Open {
+                rest: lowered,
+                reads: txn.external_reads(),
+                writes: txn.final_writes(),
+                committed: txn.success,
+            });
+        }
+        while !open.is_empty() {
+            let current = |x: u32| store.get(&x).copied().unwrap_or(Value::INITIAL);
+            // Ready: every external read is served by the current store.
+            let ready = |o: &Open| o.reads.iter().all(|&(x, v)| v == current(x));
+            // Clobbers: committing would overwrite a version some other
+            // open transaction still needs to read.
+            let clobbers = |i: usize| {
+                open[i].committed
+                    && open[i].writes.iter().any(|&(x, _)| {
+                        open.iter().enumerate().any(|(j, o)| {
+                            j != i && o.reads.iter().any(|&(rx, rv)| rx == x && rv == current(x))
+                        })
+                    })
+            };
+            let pick = (0..open.len())
+                .find(|&i| ready(&open[i]) && !clobbers(i))
+                .or_else(|| (0..open.len()).find(|&i| ready(&open[i])))
+                // No transaction can read consistently: fall back to
+                // session order and let the checker report the anomaly.
+                .unwrap_or(0);
+            let done = open.remove(pick);
+            events.extend(done.rest);
+            if done.committed {
+                for (x, v) in done.writes {
+                    store.insert(x, v);
+                }
+            }
+        }
+    }
+    let history = History::new(events)?;
+    Ok((history, table))
+}
+
+/// Exports a history as a dbcop-style JSON object.
+///
+/// Real-time order is not representable on the dbcop side beyond session
+/// program order, so each transaction becomes its own single-transaction
+/// session — concurrency information is lost (a lossy export, unlike the
+/// text/JSON/binary round trips). Reads export as `["r", var, value]`,
+/// writes as `["w", var, value]`; `success` reflects whether the
+/// transaction committed.
+pub fn export(history: &History) -> String {
+    let sessions: Vec<Content> = history
+        .txns()
+        .map(|t| {
+            let events: Vec<Content> = t
+                .ops()
+                .iter()
+                .filter_map(|rec| {
+                    let tag = |s: &str, var: u32, v: u64| {
+                        Content::Seq(vec![
+                            Content::Str(s.into()),
+                            Content::U64(u64::from(var)),
+                            Content::U64(v),
+                        ])
+                    };
+                    match (rec.op, rec.resp) {
+                        (Op::Read(x), Some(Ret::Value(v))) => Some(tag("r", x.index(), v.get())),
+                        (Op::Write(x, v), _) => Some(tag("w", x.index(), v.get())),
+                        _ => None,
+                    }
+                })
+                .collect();
+            let txn = Content::Map(vec![
+                ("events".into(), Content::Seq(events)),
+                ("success".into(), Content::Bool(t.is_committed())),
+            ]);
+            Content::Seq(vec![txn])
+        })
+        .collect();
+    let root = Content::Map(vec![
+        ("id".into(), Content::U64(0)),
+        ("sessions".into(), Content::Seq(sessions)),
+    ]);
+    serde_json::to_string(&root).expect("content serializes infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjId;
+
+    #[test]
+    fn compact_tuples_import() {
+        let json = r#"{"id": 7, "sessions": [
+            [{"events": [["w", 0, 1]], "success": true}],
+            [{"events": [["r", 0, 1]], "success": true}]
+        ]}"#;
+        let (h, table) = import(json).unwrap();
+        assert_eq!(h.txn_count(), 2);
+        assert!(h.txns().all(|t| t.is_committed()));
+        // Both transactions sit at session position 0, so they overlap.
+        assert!(h.overlaps(TxnId::new(1), TxnId::new(2)));
+        // Numeric variables intern no names; txn provenance is recorded.
+        assert_eq!(table.name(InternKind::Txn, 1), Some("s0_t0"));
+        assert_eq!(table.name(InternKind::Txn, 2), Some("s1_t0"));
+        assert_eq!(table.name(InternKind::Obj, 0), None);
+    }
+
+    #[test]
+    fn string_variables_are_interned() {
+        let json = r#"{"sessions": [[
+            {"events": [["w", "x", 1], ["w", "y", 2], ["r", "x", 1]], "success": true}
+        ]]}"#;
+        let (h, table) = import(json).unwrap();
+        assert_eq!(table.name(InternKind::Obj, 0), Some("x"));
+        assert_eq!(table.name(InternKind::Obj, 1), Some("y"));
+        let t = h.txn(TxnId::new(1)).unwrap();
+        assert!(t.write_set().contains(&ObjId::new(1)));
+    }
+
+    #[test]
+    fn tagged_enum_form_imports() {
+        let json = r#"{"sessions": [[
+            {"events": [
+                {"Write": {"variable": 0, "version": 5}},
+                {"Read": {"variable": 0, "version": 5}}
+            ], "success": true}
+        ]]}"#;
+        let (h, _) = import(json).unwrap();
+        assert_eq!(h.txn_count(), 1);
+    }
+
+    #[test]
+    fn null_version_reads_initial() {
+        let json = r#"{"sessions": [[{"events": [["r", 0, null]], "success": true}]]}"#;
+        let (h, _) = import(json).unwrap();
+        let t = h.txn(TxnId::new(1)).unwrap();
+        let read = t.ops().first().unwrap();
+        assert_eq!(read.read_value(), Some(Value::INITIAL));
+    }
+
+    #[test]
+    fn aborted_transactions_try_abort() {
+        let json = r#"{"sessions": [[{"events": [["w", 0, 1]], "success": false}]]}"#;
+        let (h, _) = import(json).unwrap();
+        let t = h.txn(TxnId::new(1)).unwrap();
+        assert!(!t.is_committed());
+        assert!(t.is_t_complete());
+    }
+
+    #[test]
+    fn repeated_reads_keep_first() {
+        let json = r#"{"sessions": [[
+            {"events": [["r", 0, 1], ["r", 0, 2]], "success": true}
+        ]]}"#;
+        let (h, _) = import(json).unwrap();
+        let t = h.txn(TxnId::new(1)).unwrap();
+        let reads: Vec<_> = t.ops().iter().filter(|r| r.op.is_read()).collect();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].read_value(), Some(Value::new(1)));
+    }
+
+    #[test]
+    fn session_order_is_program_order() {
+        let json = r#"{"sessions": [[
+            {"events": [["w", 0, 1]], "success": true},
+            {"events": [["r", 0, 1]], "success": true}
+        ]]}"#;
+        let (h, _) = import(json).unwrap();
+        assert!(h.precedes_rt(TxnId::new(1), TxnId::new(2)));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(import("[]").is_err());
+        assert!(import(r#"{"nope": 1}"#).is_err());
+        assert!(import(r#"{"sessions": 3}"#).is_err());
+        assert!(import(r#"{"sessions": [[{"events": [["x", 0, 1]]}]]}"#).is_err());
+        assert!(import(r#"{"sessions": [[{"events": [["r", 0]]}]]}"#).is_err());
+        assert!(import(r#"{"sessions": [[{"events": [["r", true, 1]]}]]}"#).is_err());
+        assert!(import(r#"{"sessions": [[{"events": 5}]]}"#).is_err());
+        assert!(import(r#"{"sessions": [[{"events": [], "success": 3}]]}"#).is_err());
+        assert!(import("{bad json").is_err());
+    }
+
+    #[test]
+    fn reconstruction_orders_writers_before_readers() {
+        // The reader sits in an earlier session than the writer, but the
+        // schedule still completes the writer first so the read response
+        // returns an already-committed version (deferred update).
+        let json = r#"{"sessions": [
+            [{"events": [["r", 0, 1]], "success": true}],
+            [{"events": [["w", 0, 1]], "success": true}]
+        ]}"#;
+        let (h, _) = import(json).unwrap();
+        assert!(h.overlaps(TxnId::new(1), TxnId::new(2)));
+        let committed = h
+            .events()
+            .iter()
+            .position(|e| {
+                e.txn == TxnId::new(2) && e.kind == crate::EventKind::Resp(Ret::Committed)
+            })
+            .unwrap();
+        let read_resp = h
+            .events()
+            .iter()
+            .position(|e| {
+                e.txn == TxnId::new(1) && matches!(e.kind, crate::EventKind::Resp(Ret::Value(_)))
+            })
+            .unwrap();
+        assert!(committed < read_resp, "events: {:?}", h.events());
+    }
+
+    #[test]
+    fn reconstruction_delays_clobbering_writers() {
+        // T3 reads the version T1 installs; T2 overwrites it. The greedy
+        // schedule must run T2 after T3, or T3's read would be stale.
+        let json = r#"{"sessions": [
+            [{"events": [["w", 0, 1]], "success": true}],
+            [{"events": [["w", 0, 2]], "success": true}],
+            [{"events": [["r", 0, 1]], "success": true}]
+        ]}"#;
+        let (h, _) = import(json).unwrap();
+        let pos = |id: u32, committed: bool| {
+            h.events()
+                .iter()
+                .position(|e| {
+                    e.txn == TxnId::new(id)
+                        && if committed {
+                            e.kind == crate::EventKind::Resp(Ret::Committed)
+                        } else {
+                            matches!(e.kind, crate::EventKind::Resp(Ret::Value(_)))
+                        }
+                })
+                .unwrap()
+        };
+        let t1_commit = pos(1, true);
+        let t2_commit = pos(2, true);
+        let t3_read = pos(3, false);
+        assert!(t1_commit < t3_read, "events: {:?}", h.events());
+        assert!(t3_read < t2_commit, "events: {:?}", h.events());
+    }
+
+    #[test]
+    fn export_import_preserves_reads_and_outcomes() {
+        let json = r#"{"sessions": [
+            [{"events": [["w", 0, 1]], "success": true}],
+            [{"events": [["r", 0, 1]], "success": false}]
+        ]}"#;
+        let (h, _) = import(json).unwrap();
+        let exported = export(&h);
+        let (back, _) = import(&exported).unwrap();
+        assert_eq!(back.txn_count(), h.txn_count());
+        let outcomes = |h: &History| -> Vec<bool> { h.txns().map(|t| t.is_committed()).collect() };
+        assert_eq!(outcomes(&back), outcomes(&h));
+    }
+}

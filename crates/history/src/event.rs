@@ -204,6 +204,96 @@ impl fmt::Display for Event {
     }
 }
 
+/// A fixed-width, u32/u64-packed form of an [`Event`].
+///
+/// This is the interned in-memory layout the binary trace decoder fills
+/// and the layout hashed into planner/search memo keys: one tag byte plus
+/// three integer operands, with unused operands zeroed so equal events
+/// always pack to bit-identical records.
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::{Event, ObjId, Op, PackedEvent, TxnId, Value};
+///
+/// let e = Event::inv(TxnId::new(1), Op::Write(ObjId::new(2), Value::new(3)));
+/// let p = PackedEvent::pack(e);
+/// assert_eq!(p.tag, PackedEvent::TAG_INV_WRITE);
+/// assert_eq!(p.unpack(), Some(e));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PackedEvent {
+    /// Event kind tag, one of the `TAG_*` constants.
+    pub tag: u8,
+    /// Transaction index.
+    pub txn: u32,
+    /// T-object index, or 0 when the kind carries no object.
+    pub obj: u32,
+    /// Value operand, or 0 when the kind carries no value.
+    pub value: u64,
+}
+
+impl PackedEvent {
+    /// `read_k(X)` invocation: operands `txn`, `obj`.
+    pub const TAG_INV_READ: u8 = 0;
+    /// `write_k(X, v)` invocation: operands `txn`, `obj`, `value`.
+    pub const TAG_INV_WRITE: u8 = 1;
+    /// `tryC_k` invocation: operand `txn`.
+    pub const TAG_INV_TRY_COMMIT: u8 = 2;
+    /// `tryA_k` invocation: operand `txn`.
+    pub const TAG_INV_TRY_ABORT: u8 = 3;
+    /// Read-value response: operands `txn`, `value`.
+    pub const TAG_RESP_VALUE: u8 = 4;
+    /// `ok_k` response: operand `txn`.
+    pub const TAG_RESP_OK: u8 = 5;
+    /// `C_k` response: operand `txn`.
+    pub const TAG_RESP_COMMITTED: u8 = 6;
+    /// `A_k` response: operand `txn`.
+    pub const TAG_RESP_ABORTED: u8 = 7;
+    /// The largest valid tag.
+    pub const TAG_MAX: u8 = 7;
+
+    /// Packs an event into the fixed-width layout.
+    pub fn pack(ev: Event) -> Self {
+        let txn = ev.txn.index();
+        let (tag, obj, value) = match ev.kind {
+            EventKind::Inv(Op::Read(x)) => (Self::TAG_INV_READ, x.index(), 0),
+            EventKind::Inv(Op::Write(x, v)) => (Self::TAG_INV_WRITE, x.index(), v.get()),
+            EventKind::Inv(Op::TryCommit) => (Self::TAG_INV_TRY_COMMIT, 0, 0),
+            EventKind::Inv(Op::TryAbort) => (Self::TAG_INV_TRY_ABORT, 0, 0),
+            EventKind::Resp(Ret::Value(v)) => (Self::TAG_RESP_VALUE, 0, v.get()),
+            EventKind::Resp(Ret::Ok) => (Self::TAG_RESP_OK, 0, 0),
+            EventKind::Resp(Ret::Committed) => (Self::TAG_RESP_COMMITTED, 0, 0),
+            EventKind::Resp(Ret::Aborted) => (Self::TAG_RESP_ABORTED, 0, 0),
+        };
+        PackedEvent {
+            tag,
+            txn,
+            obj,
+            value,
+        }
+    }
+
+    /// Unpacks into an [`Event`], or `None` if the tag is invalid.
+    pub fn unpack(self) -> Option<Event> {
+        let txn = TxnId::new(self.txn);
+        let kind = match self.tag {
+            Self::TAG_INV_READ => EventKind::Inv(Op::Read(ObjId::new(self.obj))),
+            Self::TAG_INV_WRITE => {
+                EventKind::Inv(Op::Write(ObjId::new(self.obj), Value::new(self.value)))
+            }
+            Self::TAG_INV_TRY_COMMIT => EventKind::Inv(Op::TryCommit),
+            Self::TAG_INV_TRY_ABORT => EventKind::Inv(Op::TryAbort),
+            Self::TAG_RESP_VALUE => EventKind::Resp(Ret::Value(Value::new(self.value))),
+            Self::TAG_RESP_OK => EventKind::Resp(Ret::Ok),
+            Self::TAG_RESP_COMMITTED => EventKind::Resp(Ret::Committed),
+            Self::TAG_RESP_ABORTED => EventKind::Resp(Ret::Aborted),
+            _ => return None,
+        };
+        Some(Event { txn, kind })
+    }
+}
+
 /// A complete t-operation: an invocation with its response (when present).
 ///
 /// Produced by [`TxnView::ops`](crate::TxnView::ops); `resp` is `None` for

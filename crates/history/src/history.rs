@@ -1,7 +1,7 @@
 //! Histories: validated sequences of invocation and response events.
 
 use crate::{Event, EventKind, ObjId, Op, OpRecord, Ret, TxnId, Value};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -128,7 +128,7 @@ pub(crate) struct TxnRecord {
     pub(crate) id: TxnId,
     pub(crate) first: usize,
     pub(crate) last: usize,
-    pub(crate) ops: Vec<OpRecord>,
+    pub(crate) ops: Ops,
     /// Terminal response (`Committed` or `Aborted`) if t-complete.
     pub(crate) terminal: Option<Ret>,
 }
@@ -136,6 +136,95 @@ pub(crate) struct TxnRecord {
 impl TxnRecord {
     fn is_complete(&self) -> bool {
         self.ops.last().is_none_or(OpRecord::is_complete)
+    }
+}
+
+/// T-operations a transaction's record can hold inline before spilling.
+/// Covers a handful of data operations plus the terminating `tryC`/`tryA`
+/// — the shape of almost every real transaction.
+const OPS_INLINE: usize = 6;
+
+/// A transaction's t-operations, stored inline until they outgrow
+/// [`OPS_INLINE`].
+///
+/// Bulk ingestion creates one record per transaction; giving each one a
+/// heap-allocated `Vec` made the per-transaction malloc/free pair the
+/// single largest cost in `History` construction. `OpRecord` is `Copy`,
+/// so the inline variant is a plain initialized array — no unsafe code —
+/// and long transactions transparently spill to a `Vec`.
+// The size gap between the variants is the point: keeping the array
+// inline (not boxed) is what removes the per-transaction allocation.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, Eq)]
+pub(crate) enum Ops {
+    Inline {
+        buf: [OpRecord; OPS_INLINE],
+        len: u8,
+    },
+    Heap(Vec<OpRecord>),
+}
+
+impl Ops {
+    /// Placeholder filling unused inline slots; never observable through
+    /// `as_slice`.
+    const EMPTY: OpRecord = OpRecord {
+        op: Op::TryCommit,
+        resp: None,
+        inv_index: 0,
+        resp_index: None,
+    };
+
+    /// A record holding a single operation.
+    fn first(op: OpRecord) -> Self {
+        let mut buf = [Self::EMPTY; OPS_INLINE];
+        buf[0] = op;
+        Ops::Inline { buf, len: 1 }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[OpRecord] {
+        match self {
+            Ops::Inline { buf, len } => &buf[..*len as usize],
+            Ops::Heap(v) => v,
+        }
+    }
+
+    fn push(&mut self, op: OpRecord) {
+        match self {
+            Ops::Inline { buf, len } => {
+                let l = *len as usize;
+                if l < OPS_INLINE {
+                    buf[l] = op;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(2 * OPS_INLINE);
+                    v.extend_from_slice(buf);
+                    v.push(op);
+                    *self = Ops::Heap(v);
+                }
+            }
+            Ops::Heap(v) => v.push(op),
+        }
+    }
+
+    fn last(&self) -> Option<&OpRecord> {
+        self.as_slice().last()
+    }
+
+    fn last_mut(&mut self) -> Option<&mut OpRecord> {
+        match self {
+            Ops::Inline { buf, len } => (*len as usize).checked_sub(1).map(|l| &mut buf[l]),
+            Ops::Heap(v) => v.last_mut(),
+        }
+    }
+
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, OpRecord> {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for Ops {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -165,10 +254,96 @@ impl TxnRecord {
 #[derive(Clone, Debug)]
 pub struct History {
     events: Vec<Event>,
-    /// Transaction records keyed by id.
-    txns: BTreeMap<TxnId, TxnRecord>,
-    /// Transaction ids in order of first appearance.
-    order: Vec<TxnId>,
+    /// Transaction records in order of first appearance.
+    recs: Vec<TxnRecord>,
+    /// Transaction id → position in `recs`.
+    index: TxnIndex,
+}
+
+/// Transaction id → record position, direct-mapped for the dense ids real
+/// traces use.
+///
+/// `dense[id]` holds `position + 1` (0 marks absent), so the per-event
+/// lookup in [`History::admit`] — the ingestion hot path — is one bounds
+/// check and one array read instead of a hash probe. Ids too far beyond
+/// the transaction count to justify table space (and the synthetic
+/// [`TxnId::BASELINE`], `u32::MAX`) spill into a hash map, keeping the
+/// table O(transaction count) even for adversarial id choices.
+#[derive(Clone, Debug, Default)]
+struct TxnIndex {
+    dense: Vec<u32>,
+    sparse: HashMap<TxnId, u32, BuildIdHash>,
+}
+
+impl TxnIndex {
+    fn with_capacity(guess: usize) -> Self {
+        TxnIndex {
+            dense: Vec::with_capacity(guess.saturating_mul(2)),
+            sparse: HashMap::with_hasher(BuildIdHash),
+        }
+    }
+
+    fn get(&self, id: TxnId) -> Option<u32> {
+        let i = id.index() as usize;
+        if i < self.dense.len() {
+            let v = self.dense[i];
+            if v != 0 {
+                return Some(v - 1);
+            }
+            // Fall through: the id may have spilled before the table grew
+            // past it.
+        }
+        self.sparse.get(&id).copied()
+    }
+
+    /// Records `id -> pos`. `count` (the number of transactions seen so
+    /// far) gates table growth so one huge id cannot force a huge table.
+    fn insert(&mut self, id: TxnId, pos: u32, count: usize) {
+        let i = id.index() as usize;
+        if i < self.dense.len() {
+            self.dense[i] = pos + 1;
+        } else if i < 2 * (count + 16) {
+            self.dense.resize(i + 1, 0);
+            self.dense[i] = pos + 1;
+        } else {
+            self.sparse.insert(id, pos);
+        }
+    }
+}
+
+/// Multiplicative hasher for the transaction index. Ids are small dense
+/// integers, so one `wrapping_mul` by a 64-bit odd constant spreads them
+/// across the table far cheaper than the default SipHash — `History::new`
+/// does one lookup per event and this is its hot path.
+#[derive(Clone, Copy, Debug, Default)]
+struct IdHash(u64);
+
+impl std::hash::Hasher for IdHash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-style fallback; the id types hash via `write_u32`.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BuildIdHash;
+
+impl std::hash::BuildHasher for BuildIdHash {
+    type Hasher = IdHash;
+
+    fn build_hasher(&self) -> IdHash {
+        IdHash::default()
+    }
 }
 
 impl PartialEq for History {
@@ -190,8 +365,23 @@ impl History {
     pub fn empty() -> Self {
         History {
             events: Vec::new(),
-            txns: BTreeMap::new(),
-            order: Vec::new(),
+            recs: Vec::new(),
+            index: TxnIndex::default(),
+        }
+    }
+
+    /// Creates an empty history with internal tables pre-sized for
+    /// `events` incoming [`push_checked`](History::push_checked) calls —
+    /// the bulk-ingestion entry point for streaming decoders.
+    pub fn with_event_capacity(events: usize) -> Self {
+        // A transaction contributes at least four events (an operation and
+        // `tryC`/`tryA`, each with a response); sizing for that avoids
+        // rehashing during the single validation pass.
+        let guess = events / 4 + 1;
+        History {
+            events: Vec::with_capacity(events),
+            recs: Vec::with_capacity(guess),
+            index: TxnIndex::with_capacity(guess),
         }
     }
 
@@ -202,78 +392,120 @@ impl History {
     /// Returns a [`MalformedHistoryError`] describing the first violation of
     /// well-formedness (see the error type for the rules enforced).
     pub fn new(events: Vec<Event>) -> Result<Self, MalformedHistoryError> {
-        let mut txns: BTreeMap<TxnId, TxnRecord> = BTreeMap::new();
-        let mut order = Vec::new();
+        let mut h = History::with_event_capacity(events.len());
+        h.events = Vec::new();
         for (index, ev) in events.iter().enumerate() {
-            if ev.txn.is_initial() {
-                return Err(MalformedHistoryError::ReservedInitialTxn { index });
-            }
-            let rec = txns.entry(ev.txn).or_insert_with(|| {
-                order.push(ev.txn);
-                TxnRecord {
+            h.admit(index, ev)?;
+        }
+        h.events = events;
+        Ok(h)
+    }
+
+    /// Appends one event in place, revalidating incrementally.
+    ///
+    /// Equivalent to [`History::extended`] with a single event, but O(1)
+    /// amortized instead of re-validating the whole history — the
+    /// difference between linear and quadratic ingestion for a streaming
+    /// monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MalformedHistoryError`] if the event does not extend the
+    /// history to a well-formed one; the history is unchanged.
+    #[inline(always)]
+    pub fn push_checked(&mut self, event: Event) -> Result<(), MalformedHistoryError> {
+        self.admit(self.events.len(), &event)?;
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Folds the event at position `index` into the transaction records,
+    /// with every well-formedness check performed *before* any mutation so
+    /// a rejected event leaves the records untouched.
+    #[inline(always)]
+    fn admit(&mut self, index: usize, ev: &Event) -> Result<(), MalformedHistoryError> {
+        if ev.txn.is_initial() {
+            return Err(MalformedHistoryError::ReservedInitialTxn { index });
+        }
+        let slot = match self.index.get(ev.txn) {
+            Some(slot) => slot as usize,
+            None => {
+                // First event of the transaction.
+                let EventKind::Inv(op) = ev.kind else {
+                    return Err(MalformedHistoryError::ResponseWithoutInvocation {
+                        index,
+                        txn: ev.txn,
+                    });
+                };
+                let slot = self.recs.len() as u32;
+                self.index.insert(ev.txn, slot, self.recs.len());
+                self.recs.push(TxnRecord {
                     id: ev.txn,
                     first: index,
                     last: index,
-                    ops: Vec::new(),
-                    terminal: None,
-                }
-            });
-            rec.last = index;
-            if rec.terminal.is_some() {
-                return Err(MalformedHistoryError::EventAfterTermination { index, txn: ev.txn });
-            }
-            match ev.kind {
-                EventKind::Inv(op) => {
-                    if rec.ops.last().is_some_and(|o| !o.is_complete()) {
-                        return Err(MalformedHistoryError::OverlappingInvocation {
-                            index,
-                            txn: ev.txn,
-                        });
-                    }
-                    if let Op::Read(x) = op {
-                        if rec.ops.iter().any(|o| o.op == Op::Read(x)) {
-                            return Err(MalformedHistoryError::RepeatedRead {
-                                index,
-                                txn: ev.txn,
-                                obj: x,
-                            });
-                        }
-                    }
-                    rec.ops.push(OpRecord {
+                    ops: Ops::first(OpRecord {
                         op,
                         resp: None,
                         inv_index: index,
                         resp_index: None,
+                    }),
+                    terminal: None,
+                });
+                return Ok(());
+            }
+        };
+        let rec = &mut self.recs[slot];
+        if rec.terminal.is_some() {
+            return Err(MalformedHistoryError::EventAfterTermination { index, txn: ev.txn });
+        }
+        match ev.kind {
+            EventKind::Inv(op) => {
+                if rec.ops.last().is_some_and(|o| !o.is_complete()) {
+                    return Err(MalformedHistoryError::OverlappingInvocation {
+                        index,
+                        txn: ev.txn,
                     });
                 }
-                EventKind::Resp(ret) => {
-                    let Some(pending) = rec.ops.last_mut().filter(|o| !o.is_complete()) else {
-                        return Err(MalformedHistoryError::ResponseWithoutInvocation {
+                if let Op::Read(x) = op {
+                    if rec.ops.iter().any(|o| o.op == Op::Read(x)) {
+                        return Err(MalformedHistoryError::RepeatedRead {
                             index,
                             txn: ev.txn,
-                        });
-                    };
-                    if !ret.matches(pending.op) {
-                        return Err(MalformedHistoryError::MismatchedResponse {
-                            index,
-                            txn: ev.txn,
-                            op: pending.op,
-                            ret,
+                            obj: x,
                         });
                     }
-                    pending.resp = Some(ret);
-                    pending.resp_index = Some(index);
-                    if matches!(ret, Ret::Committed | Ret::Aborted) {
-                        rec.terminal = Some(ret);
-                    }
+                }
+                rec.ops.push(OpRecord {
+                    op,
+                    resp: None,
+                    inv_index: index,
+                    resp_index: None,
+                });
+            }
+            EventKind::Resp(ret) => {
+                let Some(pending) = rec.ops.last_mut().filter(|o| !o.is_complete()) else {
+                    return Err(MalformedHistoryError::ResponseWithoutInvocation {
+                        index,
+                        txn: ev.txn,
+                    });
+                };
+                if !ret.matches(pending.op) {
+                    return Err(MalformedHistoryError::MismatchedResponse {
+                        index,
+                        txn: ev.txn,
+                        op: pending.op,
+                        ret,
+                    });
+                }
+                pending.resp = Some(ret);
+                pending.resp_index = Some(index);
+                if matches!(ret, Ret::Committed | Ret::Aborted) {
+                    rec.terminal = Some(ret);
                 }
             }
         }
-        Ok(History {
-            events,
-            txns,
-            order,
-        })
+        rec.last = index;
+        Ok(())
     }
 
     /// The events of the history, in order.
@@ -319,33 +551,35 @@ impl History {
 
     /// Transaction identifiers in `txns(H)`, ordered by first appearance.
     pub fn txn_ids(&self) -> impl ExactSizeIterator<Item = TxnId> + '_ {
-        self.order.iter().copied()
+        self.recs.iter().map(|r| r.id)
     }
 
     /// Number of participating transactions.
     pub fn txn_count(&self) -> usize {
-        self.order.len()
+        self.recs.len()
+    }
+
+    /// The record of `txn`, if it participates.
+    fn rec(&self, txn: TxnId) -> Option<&TxnRecord> {
+        self.index.get(txn).map(|slot| &self.recs[slot as usize])
     }
 
     /// Returns `true` if `T_k` participates in `H` (i.e. `H|k` is
     /// non-empty).
     pub fn participates(&self, txn: TxnId) -> bool {
-        self.txns.contains_key(&txn)
+        self.index.get(txn).is_some()
     }
 
     /// A view of transaction `txn`, or `None` if it does not participate.
     pub fn txn(&self, txn: TxnId) -> Option<TxnView<'_>> {
-        self.txns
-            .get(&txn)
-            .map(|rec| TxnView { history: self, rec })
+        self.rec(txn).map(|rec| TxnView { history: self, rec })
     }
 
     /// Views of all participating transactions, ordered by first appearance.
     pub fn txns(&self) -> impl Iterator<Item = TxnView<'_>> {
-        self.order.iter().map(move |id| TxnView {
-            history: self,
-            rec: &self.txns[id],
-        })
+        self.recs
+            .iter()
+            .map(move |rec| TxnView { history: self, rec })
     }
 
     /// Returns `true` if every transaction in `txns(H)` is complete
@@ -383,8 +617,7 @@ impl History {
         // Transactions sorted by first event; each must end (t-complete)
         // before the next begins.
         let mut prev_last: Option<(usize, bool)> = None;
-        for id in &self.order {
-            let rec = &self.txns[id];
+        for rec in &self.recs {
             if let Some((last, t_complete)) = prev_last {
                 if !(t_complete && last < rec.first) {
                     return false;
@@ -398,12 +631,12 @@ impl History {
     /// Returns `true` if `H` and `other` are *equivalent*:
     /// `txns(H) = txns(H')` and `H|k = H'|k` for every transaction.
     pub fn equivalent(&self, other: &History) -> bool {
-        if self.txns.len() != other.txns.len() {
+        if self.recs.len() != other.recs.len() {
             return false;
         }
-        self.txns
-            .keys()
-            .all(|id| other.txns.contains_key(id) && self.events_of(*id).eq(other.events_of(*id)))
+        self.recs
+            .iter()
+            .all(|r| other.participates(r.id) && self.events_of(r.id).eq(other.events_of(r.id)))
     }
 
     /// The subsequence `H|k` of events of transaction `txn`.
@@ -433,7 +666,7 @@ impl History {
     ///
     /// Returns `false` if either transaction does not participate.
     pub fn precedes_rt(&self, k: TxnId, m: TxnId) -> bool {
-        let (Some(a), Some(b)) = (self.txns.get(&k), self.txns.get(&m)) else {
+        let (Some(a), Some(b)) = (self.rec(k), self.rec(m)) else {
             return false;
         };
         a.terminal.is_some() && a.last < b.first
@@ -453,7 +686,7 @@ impl History {
     ///
     /// Used to form the prefix `H^{k,X}` of Definition 3.
     pub fn read_resp_index(&self, txn: TxnId, obj: ObjId) -> Option<usize> {
-        let rec = self.txns.get(&txn)?;
+        let rec = self.rec(txn)?;
         rec.ops
             .iter()
             .find(|o| o.op == Op::Read(obj))
@@ -462,7 +695,7 @@ impl History {
 
     /// Index of the invocation of `tryC_k()`, if the transaction invoked it.
     pub fn try_commit_inv_index(&self, txn: TxnId) -> Option<usize> {
-        let rec = self.txns.get(&txn)?;
+        let rec = self.rec(txn)?;
         rec.ops
             .iter()
             .find(|o| o.op == Op::TryCommit)
@@ -540,7 +773,7 @@ impl<'a> TxnView<'a> {
 
     /// The t-operations of the transaction in program order.
     pub fn ops(&self) -> &'a [OpRecord] {
-        &self.rec.ops
+        self.rec.ops.as_slice()
     }
 
     /// Index of the transaction's first event in the history.

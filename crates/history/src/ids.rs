@@ -32,6 +32,13 @@ impl TxnId {
     /// The imaginary initial transaction `T_0`.
     pub const INITIAL: TxnId = TxnId(0);
 
+    /// The reserved id of the synthetic baseline transaction a streaming
+    /// monitor substitutes for a certified, compacted prefix (the paper's
+    /// `T_0` convention generalised to a non-initial cut point). Trace
+    /// parsers cap real ids at [`trace::MAX_ID`](crate::trace::MAX_ID), so
+    /// this id can never collide with a transaction read from a trace.
+    pub const BASELINE: TxnId = TxnId(u32::MAX);
+
     /// Creates a transaction identifier.
     pub const fn new(index: u32) -> Self {
         TxnId(index)

@@ -64,11 +64,14 @@ mod seq;
 mod serde_impls;
 mod stats;
 
+pub mod binary;
+pub mod dbcop;
+pub mod reader;
 pub mod render;
 pub mod trace;
 
 pub use builder::HistoryBuilder;
-pub use event::{Event, EventKind, Op, OpRecord, Ret};
+pub use event::{Event, EventKind, Op, OpRecord, PackedEvent, Ret};
 pub use history::{CommitCapability, History, MalformedHistoryError, TxnView};
 pub use ids::{ObjId, TxnId, Value};
 pub use seq::LegalityError;

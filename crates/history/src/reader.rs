@@ -1,0 +1,330 @@
+//! Format-agnostic trace ingestion.
+//!
+//! [`TraceReader`] sniffs the input bytes, picks the right decoder, and
+//! presents one interface over all trace encodings: the line-oriented text
+//! format, the JSON event array, the `.duob` binary format, and dbcop
+//! session histories. Text and binary traces stream — events are decoded
+//! one at a time off the input, so an online checker can consume a trace
+//! without materialising the full event vector. JSON and dbcop inputs are
+//! whole-document formats and are decoded eagerly.
+//!
+//! Detection is by the leading bytes, never by file name: the `DUOB` magic
+//! marks binary; a leading `[` marks this crate's JSON event array; a
+//! leading `{` marks a dbcop history object; anything else is text.
+
+use crate::binary::{self, EventStream, InternTable};
+use crate::dbcop;
+use crate::trace::{self, TraceParseError};
+use crate::{Event, History};
+
+/// The trace encodings [`TraceReader`] understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Line-oriented text (`T1 write X0 1`).
+    Text,
+    /// JSON array of events.
+    Json,
+    /// `.duob` framed binary.
+    Binary,
+    /// dbcop session-history JSON object.
+    Dbcop,
+}
+
+impl TraceFormat {
+    /// The name used by CLI `--format` flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::Text => "text",
+            TraceFormat::Json => "json",
+            TraceFormat::Binary => "binary",
+            TraceFormat::Dbcop => "dbcop",
+        }
+    }
+}
+
+/// Sniffs the trace encoding from the leading bytes.
+pub fn detect_format(bytes: &[u8]) -> TraceFormat {
+    if bytes.starts_with(&binary::MAGIC) {
+        return TraceFormat::Binary;
+    }
+    match bytes.iter().find(|b| !b.is_ascii_whitespace()) {
+        Some(b'[') => TraceFormat::Json,
+        Some(b'{') => TraceFormat::Dbcop,
+        _ => TraceFormat::Text,
+    }
+}
+
+enum Inner<'a> {
+    Text {
+        lines: std::str::Lines<'a>,
+        line_no: usize,
+    },
+    Binary {
+        stream: EventStream<'a>,
+    },
+    /// Whole-document formats, decoded up front.
+    Eager {
+        history: History,
+        next: usize,
+    },
+}
+
+/// A streaming, format-detecting event reader over an in-memory trace.
+///
+/// # Examples
+///
+/// ```
+/// use duop_history::reader::{TraceFormat, TraceReader};
+///
+/// let mut r = TraceReader::new(b"T1 tryc\nT1 commit\n")?;
+/// assert_eq!(r.format(), TraceFormat::Text);
+/// let mut n = 0;
+/// while let Some(_event) = r.next_event()? {
+///     n += 1;
+/// }
+/// assert_eq!(n, 2);
+/// # Ok::<(), duop_history::trace::TraceParseError>(())
+/// ```
+pub struct TraceReader<'a> {
+    format: TraceFormat,
+    inner: Inner<'a>,
+    names: InternTable,
+}
+
+impl std::fmt::Debug for TraceReader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("format", &self.format)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Interprets `bytes` as UTF-8 text, reporting the failing line on error.
+fn as_text(bytes: &[u8]) -> Result<&str, TraceParseError> {
+    std::str::from_utf8(bytes).map_err(|e| {
+        let line = bytes[..e.valid_up_to()]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+            + 1;
+        TraceParseError::Syntax {
+            line,
+            column: 1,
+            message: "input is not valid UTF-8".into(),
+        }
+    })
+}
+
+impl<'a> TraceReader<'a> {
+    /// Opens a reader over `bytes`, detecting the encoding and decoding
+    /// eagerly for whole-document formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceParseError`] if the detected format's header or
+    /// (for eager formats) entire document is invalid.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, TraceParseError> {
+        let format = detect_format(bytes);
+        let (inner, names) = match format {
+            TraceFormat::Text => (
+                Inner::Text {
+                    lines: as_text(bytes)?.lines(),
+                    line_no: 0,
+                },
+                InternTable::default(),
+            ),
+            TraceFormat::Binary => (
+                Inner::Binary {
+                    stream: EventStream::new(bytes).map_err(TraceParseError::from)?,
+                },
+                InternTable::default(),
+            ),
+            TraceFormat::Json => (
+                Inner::Eager {
+                    history: trace::from_json(as_text(bytes)?)?,
+                    next: 0,
+                },
+                InternTable::default(),
+            ),
+            TraceFormat::Dbcop => {
+                let (history, names) = dbcop::import(as_text(bytes)?)?;
+                (Inner::Eager { history, next: 0 }, names)
+            }
+        };
+        Ok(TraceReader {
+            format,
+            inner,
+            names,
+        })
+    }
+
+    /// The detected encoding.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// The intern table naming this trace's ids. For binary traces it is
+    /// complete once the stream is exhausted; for dbcop imports it is
+    /// available immediately; empty otherwise.
+    pub fn intern_table(&self) -> &InternTable {
+        match &self.inner {
+            Inner::Binary { stream } => stream.intern_table(),
+            _ => &self.names,
+        }
+    }
+
+    /// Decodes the next event, or `Ok(None)` at a validated end of input.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific [`TraceParseError`]s. Streaming formats check the
+    /// wire encoding only; history well-formedness is the consumer's
+    /// concern (an [`OnlineChecker`] push or a [`History::new`] both
+    /// enforce it).
+    ///
+    /// [`OnlineChecker`]: https://example.org/du-opacity
+    pub fn next_event(&mut self) -> Result<Option<Event>, TraceParseError> {
+        match &mut self.inner {
+            Inner::Text { lines, line_no } => {
+                for raw in lines {
+                    *line_no += 1;
+                    if let Some(ev) = trace::parse_line(raw, *line_no)? {
+                        return Ok(Some(ev));
+                    }
+                }
+                Ok(None)
+            }
+            Inner::Binary { stream } => stream.next_event().map_err(TraceParseError::from),
+            Inner::Eager { history, next } => {
+                let ev = history.events().get(*next).copied();
+                *next += ev.is_some() as usize;
+                Ok(ev)
+            }
+        }
+    }
+}
+
+/// Bulk-loads a trace in any supported encoding into a validated
+/// [`History`].
+///
+/// This is the non-streaming path: binary traces take the pre-sized bulk
+/// decoder, text takes the batch parser, and the whole-document formats
+/// their usual decoders.
+///
+/// # Errors
+///
+/// Any [`TraceParseError`].
+pub fn read_history(bytes: &[u8]) -> Result<History, TraceParseError> {
+    read_history_with_names(bytes).map(|(h, _)| h)
+}
+
+/// Bulk-loads a trace, also returning its intern table (empty for formats
+/// without one).
+///
+/// # Errors
+///
+/// Any [`TraceParseError`].
+pub fn read_history_with_names(bytes: &[u8]) -> Result<(History, InternTable), TraceParseError> {
+    match detect_format(bytes) {
+        TraceFormat::Text => Ok((trace::parse_trace(as_text(bytes)?)?, InternTable::default())),
+        TraceFormat::Json => Ok((trace::from_json(as_text(bytes)?)?, InternTable::default())),
+        TraceFormat::Binary => binary::decode_with_names(bytes).map_err(TraceParseError::from),
+        TraceFormat::Dbcop => dbcop::import(as_text(bytes)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistoryBuilder, ObjId, TxnId, Value};
+
+    fn sample() -> History {
+        HistoryBuilder::new()
+            .committed_writer(TxnId::new(1), ObjId::new(0), Value::new(1))
+            .committed_reader(TxnId::new(2), ObjId::new(0), Value::new(1))
+            .build()
+    }
+
+    fn drain(bytes: &[u8]) -> (TraceFormat, Vec<Event>) {
+        let mut r = TraceReader::new(bytes).unwrap();
+        let fmt = r.format();
+        let mut events = Vec::new();
+        while let Some(ev) = r.next_event().unwrap() {
+            events.push(ev);
+        }
+        (fmt, events)
+    }
+
+    #[test]
+    fn all_formats_detected_and_equal() {
+        let h = sample();
+        let text = trace::format_trace(&h);
+        let json = trace::to_json(&h);
+        let bin = binary::encode(&h);
+
+        let (fmt, evs) = drain(text.as_bytes());
+        assert_eq!(fmt, TraceFormat::Text);
+        assert_eq!(evs.as_slice(), h.events());
+
+        let (fmt, evs) = drain(json.as_bytes());
+        assert_eq!(fmt, TraceFormat::Json);
+        assert_eq!(evs.as_slice(), h.events());
+
+        let (fmt, evs) = drain(&bin);
+        assert_eq!(fmt, TraceFormat::Binary);
+        assert_eq!(evs.as_slice(), h.events());
+    }
+
+    #[test]
+    fn read_history_matches_streaming() {
+        let h = sample();
+        for bytes in [
+            trace::format_trace(&h).into_bytes(),
+            trace::to_json(&h).into_bytes(),
+            binary::encode(&h),
+        ] {
+            assert_eq!(read_history(&bytes).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn dbcop_objects_detected() {
+        let json = r#"{"sessions": [[{"events": [["w", 0, 1]], "success": true}]]}"#;
+        assert_eq!(detect_format(json.as_bytes()), TraceFormat::Dbcop);
+        let (h, names) = read_history_with_names(json.as_bytes()).unwrap();
+        assert_eq!(h.txn_count(), 1);
+        assert!(!names.is_empty());
+        let (fmt, evs) = drain(json.as_bytes());
+        assert_eq!(fmt, TraceFormat::Dbcop);
+        assert_eq!(evs.as_slice(), h.events());
+    }
+
+    #[test]
+    fn whitespace_before_json_is_tolerated() {
+        assert_eq!(detect_format(b"  \n["), TraceFormat::Json);
+        assert_eq!(detect_format(b"\t{"), TraceFormat::Dbcop);
+        assert_eq!(detect_format(b""), TraceFormat::Text);
+        assert_eq!(detect_format(b"T1 tryc"), TraceFormat::Text);
+        assert_eq!(detect_format(b"DUOB\x01"), TraceFormat::Binary);
+    }
+
+    #[test]
+    fn invalid_utf8_text_is_a_syntax_error() {
+        let err = read_history(b"T1 tryc\n\xFF\xFE").unwrap_err();
+        assert!(matches!(err, TraceParseError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn binary_header_errors_surface_as_binary() {
+        let err = TraceReader::new(b"DUOB\x09").unwrap_err();
+        assert!(matches!(err, TraceParseError::Binary(_)));
+    }
+
+    #[test]
+    fn format_names() {
+        assert_eq!(TraceFormat::Text.name(), "text");
+        assert_eq!(TraceFormat::Json.name(), "json");
+        assert_eq!(TraceFormat::Binary.name(), "binary");
+        assert_eq!(TraceFormat::Dbcop.name(), "dbcop");
+    }
+}

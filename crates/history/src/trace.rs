@@ -17,6 +17,7 @@
 //! T2 commit
 //! ```
 
+use crate::binary::BinaryParseError;
 use crate::{Event, EventKind, History, MalformedHistoryError, ObjId, Op, Ret, TxnId, Value};
 use std::error::Error;
 use std::fmt;
@@ -49,6 +50,8 @@ pub enum TraceParseError {
         /// The underlying deserializer message.
         message: String,
     },
+    /// A `.duob` binary trace failed to decode.
+    Binary(BinaryParseError),
 }
 
 impl TraceParseError {
@@ -76,6 +79,10 @@ impl TraceParseError {
                 fields.push(("error".into(), serde::Content::Str("json".into())));
                 fields.push(("message".into(), serde::Content::Str(message.clone())));
             }
+            TraceParseError::Binary(err) => {
+                fields.push(("error".into(), serde::Content::Str("binary".into())));
+                fields.push(("message".into(), serde::Content::Str(err.to_string())));
+            }
         }
         serde::Content::Map(fields)
     }
@@ -96,6 +103,7 @@ impl fmt::Display for TraceParseError {
             }
             TraceParseError::Malformed(err) => write!(f, "trace is malformed: {err}"),
             TraceParseError::Json { message } => write!(f, "trace JSON error: {message}"),
+            TraceParseError::Binary(err) => write!(f, "binary trace error: {err}"),
         }
     }
 }
@@ -104,6 +112,7 @@ impl Error for TraceParseError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceParseError::Malformed(err) => Some(err),
+            TraceParseError::Binary(err) => Some(err),
             TraceParseError::Syntax { .. } | TraceParseError::Json { .. } => None,
         }
     }
@@ -112,6 +121,18 @@ impl Error for TraceParseError {
 impl From<MalformedHistoryError> for TraceParseError {
     fn from(err: MalformedHistoryError) -> Self {
         TraceParseError::Malformed(err)
+    }
+}
+
+impl From<BinaryParseError> for TraceParseError {
+    fn from(err: BinaryParseError) -> Self {
+        // Well-formedness violations are the same error whichever encoding
+        // carried the events; keep them under `Malformed` so callers match
+        // one variant for both formats.
+        match err {
+            BinaryParseError::Malformed(inner) => TraceParseError::Malformed(inner),
+            other => TraceParseError::Binary(other),
+        }
     }
 }
 
@@ -199,77 +220,92 @@ fn parse_value(token: &str, line: usize, col: usize) -> Result<Value, TraceParse
 pub fn parse_trace(input: &str) -> Result<History, TraceParseError> {
     let mut events = Vec::new();
     for (i, raw) in input.lines().enumerate() {
-        let line_no = i + 1;
-        if raw.len() > MAX_LINE_BYTES {
-            return Err(syntax(
-                line_no,
-                MAX_LINE_BYTES + 1,
-                format!("line exceeds {MAX_LINE_BYTES} bytes"),
-            ));
+        if let Some(event) = parse_line(raw, i + 1)? {
+            events.push(event);
         }
-        if let Some(pos) = raw.find(|c: char| c.is_control() && c != '\t') {
-            return Err(syntax(
-                line_no,
-                pos + 1,
-                "line contains a control character",
-            ));
-        }
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let end_col = raw.trim_end().len() + 1;
-        let mut toks = tokens(raw);
-        let (txn_col, txn_tok) = toks
-            .next()
-            .ok_or_else(|| syntax(line_no, 1, "missing transaction"))?;
-        let txn = parse_txn(txn_tok, line_no, txn_col)?;
-        let (action_col, action) = toks
-            .next()
-            .ok_or_else(|| syntax(line_no, end_col, "missing action"))?;
-        let mut operand = |what: &str| {
-            toks.next()
-                .ok_or_else(|| syntax(line_no, end_col, format!("{action} needs {what}")))
-        };
-        let event = match action {
-            "read" => {
-                let (col, tok) = operand("an object")?;
-                Event::inv(txn, Op::Read(parse_obj(tok, line_no, col)?))
-            }
-            "write" => {
-                let (ocol, otok) = operand("an object")?;
-                let obj = parse_obj(otok, line_no, ocol)?;
-                let (vcol, vtok) = operand("a value")?;
-                let value = parse_value(vtok, line_no, vcol)?;
-                Event::inv(txn, Op::Write(obj, value))
-            }
-            "tryc" => Event::inv(txn, Op::TryCommit),
-            "trya" => Event::inv(txn, Op::TryAbort),
-            "val" => {
-                let (col, tok) = operand("a value")?;
-                Event::resp(txn, Ret::Value(parse_value(tok, line_no, col)?))
-            }
-            "ok" => Event::resp(txn, Ret::Ok),
-            "commit" => Event::resp(txn, Ret::Committed),
-            "abort" => Event::resp(txn, Ret::Aborted),
-            other => {
-                return Err(syntax(
-                    line_no,
-                    action_col,
-                    format!("unknown action `{other}`"),
-                ))
-            }
-        };
-        if let Some((col, extra)) = toks.next() {
-            return Err(syntax(
-                line_no,
-                col,
-                format!("unexpected trailing token `{extra}`"),
-            ));
-        }
-        events.push(event);
     }
     Ok(History::new(events)?)
+}
+
+/// Parses one raw line of the trace format, returning `Ok(None)` for blank
+/// lines and comments. `line_no` is the 1-based line number used in error
+/// positions.
+///
+/// This is the streaming building block behind [`parse_trace`]: a line at
+/// a time feeds an online checker without materialising the event vector.
+///
+/// # Errors
+///
+/// Returns [`TraceParseError::Syntax`] for grammar violations.
+pub fn parse_line(raw: &str, line_no: usize) -> Result<Option<Event>, TraceParseError> {
+    if raw.len() > MAX_LINE_BYTES {
+        return Err(syntax(
+            line_no,
+            MAX_LINE_BYTES + 1,
+            format!("line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    if let Some(pos) = raw.find(|c: char| c.is_control() && c != '\t') {
+        return Err(syntax(
+            line_no,
+            pos + 1,
+            "line contains a control character",
+        ));
+    }
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let end_col = raw.trim_end().len() + 1;
+    let mut toks = tokens(raw);
+    let (txn_col, txn_tok) = toks
+        .next()
+        .ok_or_else(|| syntax(line_no, 1, "missing transaction"))?;
+    let txn = parse_txn(txn_tok, line_no, txn_col)?;
+    let (action_col, action) = toks
+        .next()
+        .ok_or_else(|| syntax(line_no, end_col, "missing action"))?;
+    let mut operand = |what: &str| {
+        toks.next()
+            .ok_or_else(|| syntax(line_no, end_col, format!("{action} needs {what}")))
+    };
+    let event = match action {
+        "read" => {
+            let (col, tok) = operand("an object")?;
+            Event::inv(txn, Op::Read(parse_obj(tok, line_no, col)?))
+        }
+        "write" => {
+            let (ocol, otok) = operand("an object")?;
+            let obj = parse_obj(otok, line_no, ocol)?;
+            let (vcol, vtok) = operand("a value")?;
+            let value = parse_value(vtok, line_no, vcol)?;
+            Event::inv(txn, Op::Write(obj, value))
+        }
+        "tryc" => Event::inv(txn, Op::TryCommit),
+        "trya" => Event::inv(txn, Op::TryAbort),
+        "val" => {
+            let (col, tok) = operand("a value")?;
+            Event::resp(txn, Ret::Value(parse_value(tok, line_no, col)?))
+        }
+        "ok" => Event::resp(txn, Ret::Ok),
+        "commit" => Event::resp(txn, Ret::Committed),
+        "abort" => Event::resp(txn, Ret::Aborted),
+        other => {
+            return Err(syntax(
+                line_no,
+                action_col,
+                format!("unknown action `{other}`"),
+            ))
+        }
+    };
+    if let Some((col, extra)) = toks.next() {
+        return Err(syntax(
+            line_no,
+            col,
+            format!("unexpected trailing token `{extra}`"),
+        ));
+    }
+    Ok(Some(event))
 }
 
 /// Formats a history in the trace format accepted by [`parse_trace`].

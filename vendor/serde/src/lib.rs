@@ -154,6 +154,12 @@ impl Serialize for Content {
     }
 }
 
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
