@@ -13,6 +13,10 @@ USAGE:
              [--deadline MS] [--max-states N] [--retry N] [--escalate F]
              [--checkpoint FILE] [--checkpoint-every N]
              [--format text|json]
+  duop shard <trace-file|->... [--workers N] [--criterion NAME]...
+             [--no-decompose] [--no-prelint] [--no-ladder]
+             [--deadline MS] [--max-states N] [--retry N] [--min-chunk N]
+             [--format text|json]
   duop lint <trace-file|-> [--format text|json] [--rule ID]...
   duop fuzz --engine tl2|norec|dstm|2pl|pessimistic|dirty
             [--faults SPEC] [--seed N] [--iters N] [--threads N]
@@ -55,6 +59,23 @@ verdicts). `--retry N --escalate F` re-runs a budget-starved check up to
 N more times with the deadline/state budget multiplied by F each round,
 resuming from cached component fragments rather than from scratch.
 `--format json` prints each verdict as JSON on one line.
+
+`shard` checks the same criteria across a pool of worker *processes*:
+a coordinator plans each history's conflict-graph components and ships
+them (whole histories for opacity and `--no-decompose`) to `--workers N`
+workers (0 = all hardware threads, the default) over a CRC-guarded
+binary protocol, largest component first with work stealing, then merges
+the per-component verdicts into exactly the in-process verdict — same
+output lines, same exit codes as `check`. Several trace files form one
+batch sharing the pool. A crashed or killed worker costs one re-queued
+component; after `--retry N` deaths (default 2) of the same task the
+affected verdict degrades to `unknown (worker-death)` with a partial
+payload instead of failing the run. `--min-chunk N` batches consecutive
+tiny components into tasks of at least N transactions (default 8).
+`--deadline`/`--max-states` bound each task's search; the
+tms2-automaton criterion runs in the coordinator. (The hidden
+`shard-worker` subcommand is the worker mode `shard` spawns; it is not
+for interactive use.)
 
 `--checkpoint FILE` makes check and monitor write a versioned,
 integrity-hashed snapshot of their progress atomically (temp file +
@@ -210,6 +231,38 @@ pub enum Command {
         /// Output format: `text` or `json`.
         format: String,
     },
+    /// `duop shard`.
+    Shard {
+        /// Trace paths (`-` = stdin); several files form one batch.
+        inputs: Vec<String>,
+        /// Worker processes (`0` = all hardware threads).
+        workers: usize,
+        /// Criteria to run (empty = all).
+        criteria: Vec<CriterionName>,
+        /// Decompose histories into per-component tasks
+        /// (`--no-decompose` ships each history whole).
+        decompose: bool,
+        /// Run the lint prefilter (`--no-prelint` clears it).
+        prelint: bool,
+        /// Run the verdict-degradation ladder on merged unknowns
+        /// (`--no-ladder` clears it).
+        ladder: bool,
+        /// Wall-clock deadline per task, in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Explored-state budget per task.
+        max_states: Option<u64>,
+        /// Worker deaths tolerated per task before its verdict degrades
+        /// to `unknown (worker-death)`.
+        retry: u64,
+        /// Minimum transactions per dispatched task (consecutive small
+        /// components are batched up to this floor).
+        min_chunk: usize,
+        /// Output format: `text` or `json`.
+        format: String,
+    },
+    /// The hidden worker mode `duop shard` spawns: speaks the shard
+    /// protocol on stdin/stdout.
+    ShardWorker,
     /// `duop fuzz`.
     Fuzz {
         /// Engine under test.
@@ -435,6 +488,80 @@ impl Command {
                     checkpoint_every,
                     format,
                 })
+            }
+            "shard" => {
+                let mut inputs = Vec::new();
+                let mut workers = 0usize;
+                let mut criteria = Vec::new();
+                let mut decompose = true;
+                let mut prelint = true;
+                let mut ladder = true;
+                let mut deadline_ms = None;
+                let mut max_states = None;
+                let mut retry = 2u64;
+                let mut min_chunk = 8usize;
+                let mut format = String::from("text");
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--workers" | "-w" => {
+                            workers = value_of("--workers", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--workers needs a number".into()))?;
+                        }
+                        "--criterion" | "-c" => {
+                            criteria.push(CriterionName::parse(value_of("--criterion", &mut it)?)?);
+                        }
+                        "--no-decompose" => decompose = false,
+                        "--no-prelint" => prelint = false,
+                        "--no-ladder" => ladder = false,
+                        "--deadline" => {
+                            deadline_ms =
+                                Some(value_of("--deadline", &mut it)?.parse().map_err(|_| {
+                                    ParseError("--deadline needs milliseconds".into())
+                                })?);
+                        }
+                        "--max-states" => {
+                            max_states =
+                                Some(value_of("--max-states", &mut it)?.parse().map_err(|_| {
+                                    ParseError("--max-states needs a number".into())
+                                })?);
+                        }
+                        "--retry" => {
+                            retry = value_of("--retry", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--retry needs a number".into()))?;
+                        }
+                        "--min-chunk" => {
+                            min_chunk = value_of("--min-chunk", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--min-chunk needs a number".into()))?;
+                        }
+                        "--format" => format = parse_format(value_of("--format", &mut it)?)?,
+                        other => inputs.push(other.to_owned()),
+                    }
+                }
+                if inputs.is_empty() {
+                    return Err(ParseError("shard needs at least one trace file".into()));
+                }
+                Ok(Command::Shard {
+                    inputs,
+                    workers,
+                    criteria,
+                    decompose,
+                    prelint,
+                    ladder,
+                    deadline_ms,
+                    max_states,
+                    retry,
+                    min_chunk,
+                    format,
+                })
+            }
+            "shard-worker" => {
+                if let Some(extra) = it.next() {
+                    return Err(ParseError(format!("unexpected argument `{extra}`")));
+                }
+                Ok(Command::ShardWorker)
             }
             "fuzz" => {
                 let mut engine = None;
@@ -1010,6 +1137,30 @@ mod tests {
             assert_eq!(CriterionName::parse(name).unwrap(), expected);
         }
         assert!(CriterionName::parse("nope").is_err());
+    }
+
+    #[test]
+    fn shard_defaults_and_flags() {
+        let cmd = parse(&["shard", "a.duob", "b.duob", "--workers", "4", "-c", "du"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Shard {
+                inputs: vec!["a.duob".into(), "b.duob".into()],
+                workers: 4,
+                criteria: vec![CriterionName::DuOpacity],
+                decompose: true,
+                prelint: true,
+                ladder: true,
+                deadline_ms: None,
+                max_states: None,
+                retry: 2,
+                min_chunk: 8,
+                format: "text".into(),
+            }
+        );
+        assert!(parse(&["shard"]).is_err(), "needs an input");
+        assert_eq!(parse(&["shard-worker"]).unwrap(), Command::ShardWorker);
+        assert!(parse(&["shard-worker", "extra"]).is_err());
     }
 
     #[test]

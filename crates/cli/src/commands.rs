@@ -105,6 +105,38 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             };
             check(&load(input)?, criteria, &opts, None, out)
         }
+        Command::Shard {
+            inputs,
+            workers,
+            criteria,
+            decompose,
+            prelint,
+            ladder,
+            deadline_ms,
+            max_states,
+            retry,
+            min_chunk,
+            format,
+        } => {
+            let opts = ShardOpts {
+                workers: *workers,
+                decompose: *decompose,
+                prelint: *prelint,
+                ladder: *ladder,
+                deadline_ms: *deadline_ms,
+                max_states: *max_states,
+                retry: *retry,
+                min_chunk: *min_chunk,
+                format: format.clone(),
+            };
+            shard(inputs, criteria, &opts, out)
+        }
+        Command::ShardWorker => {
+            // The worker owns the raw standard streams (they carry the
+            // binary shard protocol, not human output) and reports
+            // malformed input via exit code 2, like trace ingestion.
+            std::process::exit(duop_shard::worker_main());
+        }
         Command::Fuzz {
             engine,
             faults,
@@ -353,6 +385,39 @@ fn search_config(opts: &CheckOpts, attempt: u64) -> SearchConfig {
     }
 }
 
+/// Runs the full-automaton TMS2 check and renders the `ok` flag and
+/// detail field of its output line. Shared by `check` and `shard`
+/// ([`Tms2Verdict`] is not a [`Verdict`], so the shard pipeline runs
+/// this criterion in the coordinator).
+fn tms2_automaton_detail(h: &History, json: bool) -> (bool, String) {
+    match check_tms2_automaton(h, Some(10_000_000)) {
+        Tms2Verdict::Accepted(_) => (
+            true,
+            if json {
+                "{\"status\":\"satisfied\"}".to_owned()
+            } else {
+                "accepted".to_owned()
+            },
+        ),
+        Tms2Verdict::Rejected { explored } => (
+            false,
+            if json {
+                format!("{{\"status\":\"violated\",\"explored\":{explored}}}")
+            } else {
+                format!("rejected ({explored} states)")
+            },
+        ),
+        Tms2Verdict::Unknown { explored } => (
+            false,
+            if json {
+                format!("{{\"status\":\"unknown\",\"explored\":{explored}}}")
+            } else {
+                format!("unknown (budget after {explored} states)")
+            },
+        ),
+    }
+}
+
 fn check(
     h: &History,
     criteria: &[CriterionName],
@@ -392,33 +457,7 @@ fn check(
         };
         let (label, ok, detail): (&str, bool, String) = match name {
             CriterionName::Tms2Automaton => {
-                let verdict = check_tms2_automaton(h, Some(10_000_000));
-                let (ok, detail) = match &verdict {
-                    Tms2Verdict::Accepted(_) => (
-                        true,
-                        if json {
-                            "{\"status\":\"satisfied\"}".to_owned()
-                        } else {
-                            "accepted".to_owned()
-                        },
-                    ),
-                    Tms2Verdict::Rejected { explored } => (
-                        false,
-                        if json {
-                            format!("{{\"status\":\"violated\",\"explored\":{explored}}}")
-                        } else {
-                            format!("rejected ({explored} states)")
-                        },
-                    ),
-                    Tms2Verdict::Unknown { explored } => (
-                        false,
-                        if json {
-                            format!("{{\"status\":\"unknown\",\"explored\":{explored}}}")
-                        } else {
-                            format!("unknown (budget after {explored} states)")
-                        },
-                    ),
-                };
+                let (ok, detail) = tms2_automaton_detail(h, json);
                 ("TMS2 (full automaton)", ok, detail)
             }
             other => {
@@ -582,6 +621,115 @@ fn check(
             let mut snap = snap_base.clone();
             snap.completed = completed.clone();
             snapshot::save(path, &Snapshot::Check(snap))?;
+        }
+    }
+    Ok(all_ok)
+}
+
+/// Resolved `duop shard` options.
+struct ShardOpts {
+    workers: usize,
+    decompose: bool,
+    prelint: bool,
+    ladder: bool,
+    deadline_ms: Option<u64>,
+    max_states: Option<u64>,
+    retry: u64,
+    min_chunk: usize,
+    format: String,
+}
+
+/// Executes `duop shard`: plans every (input, criterion) pair into one
+/// batch of jobs, checks them across a pool of worker processes, and
+/// prints per input exactly the transcript `duop check` prints — stats
+/// line, one line per criterion, same exit semantics. The
+/// tms2-automaton criterion runs in the coordinator (its verdict type
+/// does not cross the wire).
+fn shard(
+    inputs: &[String],
+    criteria: &[CriterionName],
+    opts: &ShardOpts,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let json = opts.format == "json";
+    let list = if criteria.is_empty() {
+        all_criteria()
+    } else {
+        criteria.to_vec()
+    };
+    let histories = inputs
+        .iter()
+        .map(|p| load(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let exe = std::env::current_exe()?;
+    let cfg = duop_shard::ShardConfig {
+        workers: if opts.workers == 0 {
+            available_threads()
+        } else {
+            opts.workers
+        },
+        worker_cmd: vec![
+            exe.to_string_lossy().into_owned(),
+            "shard-worker".to_owned(),
+        ],
+        decompose: opts.decompose,
+        prelint: opts.prelint,
+        ladder: opts.ladder,
+        max_states: opts.max_states,
+        deadline_ms: opts.deadline_ms,
+        retry: opts.retry,
+        min_task_txns: opts.min_chunk,
+        ..duop_shard::ShardConfig::default()
+    };
+    // One flat job list over all (input, criterion) pairs: the whole
+    // batch shares the worker pool, so a small trace's components fill
+    // the idle slots while a big one is still being planned.
+    let mut jobs = Vec::new();
+    let mut job_index: Vec<Vec<Option<usize>>> = Vec::with_capacity(histories.len());
+    for h in &histories {
+        let mut per_criterion = Vec::with_capacity(list.len());
+        for name in &list {
+            match duop_shard::ShardCriterion::parse(criterion_token(*name)) {
+                Some(criterion) => {
+                    per_criterion.push(Some(jobs.len()));
+                    jobs.push(duop_shard::ShardJob {
+                        history: h.clone(),
+                        criterion,
+                    });
+                }
+                None => per_criterion.push(None),
+            }
+        }
+        job_index.push(per_criterion);
+    }
+    let verdicts = duop_shard::run_sharded(jobs, &cfg)?;
+    let mut all_ok = true;
+    for (h, per_criterion) in histories.iter().zip(&job_index) {
+        if !json {
+            writeln!(out, "{}", h.stats())?;
+        }
+        for (name, job) in list.iter().zip(per_criterion) {
+            let (label, ok, detail) = match job {
+                None => {
+                    let (ok, detail) = tms2_automaton_detail(h, json);
+                    ("TMS2 (full automaton)", ok, detail)
+                }
+                Some(j) => {
+                    let verdict = &verdicts[*j];
+                    let detail = if json {
+                        serde_json::to_string(verdict)?
+                    } else {
+                        verdict.to_string()
+                    };
+                    (checker_label(*name), verdict.is_satisfied(), detail)
+                }
+            };
+            if json {
+                writeln!(out, "{{\"criterion\":\"{label}\",\"verdict\":{detail}}}")?;
+            } else {
+                writeln!(out, "{label:<28} {detail}")?;
+            }
+            all_ok &= ok;
         }
     }
     Ok(all_ok)

@@ -1,0 +1,202 @@
+//! Distributed-vs-local verdict equivalence.
+//!
+//! The sharded pipeline's contract is exactness: for every history and
+//! criterion, `run_sharded` must return the same [`Verdict`] as the
+//! in-process checker — same witness order, same commit choices, same
+//! violation, not merely the same satisfied/violated bit. This suite
+//! sweeps criteria × worker counts × decomposition on generated
+//! histories (du-opaque by construction *and* adversarial), validates
+//! every satisfied witness independently with [`check_witness`], and
+//! exercises the worker-death re-queue path with the fault-injection
+//! hook.
+
+use duop_core::{
+    check_criterion_with_stats, check_witness, CriterionKind, PlanCriterion, SearchConfig, Verdict,
+};
+use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
+use duop_history::History;
+use duop_shard::{run_sharded, ShardConfig, ShardCriterion, ShardJob, KILL_TASK_ENV};
+
+fn worker_cmd() -> Vec<String> {
+    vec![
+        env!("CARGO_BIN_EXE_duop").to_owned(),
+        "shard-worker".to_owned(),
+    ]
+}
+
+fn shard_config(workers: usize, decompose: bool) -> ShardConfig {
+    ShardConfig {
+        workers,
+        worker_cmd: worker_cmd(),
+        decompose,
+        ..ShardConfig::default()
+    }
+}
+
+fn local_config(decompose: bool) -> SearchConfig {
+    SearchConfig {
+        decompose,
+        prelint: true,
+        ladder: true,
+        ..SearchConfig::default()
+    }
+}
+
+fn sample_histories() -> Vec<History> {
+    let mut histories = Vec::new();
+    for seed in [3, 17] {
+        let cfg = HistoryGenConfig::medium_simulated().with_txns(30);
+        histories.push(HistoryGen::new(cfg, seed).generate());
+    }
+    for seed in [5, 23] {
+        let cfg = HistoryGenConfig {
+            txns: 20,
+            objs: 4,
+            mode: GenMode::Adversarial,
+            ..HistoryGenConfig::medium_simulated()
+        };
+        histories.push(HistoryGen::new(cfg, seed).generate());
+    }
+    histories
+}
+
+fn witness_kind(criterion: PlanCriterion) -> Option<CriterionKind> {
+    match criterion {
+        PlanCriterion::Du => Some(CriterionKind::DuOpacity),
+        PlanCriterion::FinalState => Some(CriterionKind::FinalStateOpacity),
+        PlanCriterion::Rco => Some(CriterionKind::ReadCommitOrder),
+        _ => None,
+    }
+}
+
+#[test]
+fn distributed_matches_local_across_the_matrix() {
+    let histories = sample_histories();
+    let criteria = [
+        PlanCriterion::Du,
+        PlanCriterion::FinalState,
+        PlanCriterion::Rco,
+    ];
+
+    for criterion in criteria {
+        for workers in [1usize, 4] {
+            for decompose in [true, false] {
+                let jobs: Vec<ShardJob> = histories
+                    .iter()
+                    .map(|h| ShardJob {
+                        history: h.clone(),
+                        criterion: ShardCriterion::Plan(criterion),
+                    })
+                    .collect();
+                let verdicts = run_sharded(jobs, &shard_config(workers, decompose))
+                    .expect("sharded run completes");
+                assert_eq!(verdicts.len(), histories.len());
+
+                for (h, distributed) in histories.iter().zip(&verdicts) {
+                    let (local, _) =
+                        check_criterion_with_stats(h, criterion, &local_config(decompose));
+                    assert_eq!(
+                        *distributed,
+                        local,
+                        "criterion {} workers {workers} decompose {decompose}: \
+                         distributed and local verdicts diverge",
+                        criterion.token(),
+                    );
+                    if let (Verdict::Satisfied(witness), Some(kind)) =
+                        (distributed, witness_kind(criterion))
+                    {
+                        check_witness(h, witness, kind).unwrap_or_else(|e| {
+                            panic!(
+                                "criterion {} workers {workers}: merged witness invalid: {e}",
+                                criterion.token()
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn opacity_ships_whole_histories_and_matches() {
+    use duop_core::{Criterion, Opacity};
+    for h in sample_histories() {
+        let jobs = vec![ShardJob {
+            history: h.clone(),
+            criterion: ShardCriterion::Opacity,
+        }];
+        let verdicts = run_sharded(jobs, &shard_config(2, true)).expect("sharded run completes");
+        let local = Opacity::with_config(local_config(true)).check(&h);
+        assert_eq!(
+            verdicts[0], local,
+            "opacity diverged on a whole-history job"
+        );
+    }
+}
+
+/// Killing a worker mid-component must cost one re-queue, not the
+/// verdict: with the injected death on the first dispatch of task 0,
+/// the retry (attempt 1) answers normally and the merged verdict equals
+/// the uninterrupted run's.
+#[test]
+fn worker_death_requeues_and_preserves_the_verdict() {
+    let h = HistoryGen::new(HistoryGenConfig::medium_simulated().with_txns(30), 3).generate();
+    let jobs = |criterion| {
+        vec![ShardJob {
+            history: h.clone(),
+            criterion,
+        }]
+    };
+
+    let baseline = run_sharded(
+        jobs(ShardCriterion::Plan(PlanCriterion::Du)),
+        &shard_config(2, true),
+    )
+    .expect("uninterrupted run completes");
+
+    let mut killer = shard_config(2, true);
+    killer.worker_env = vec![(KILL_TASK_ENV.to_owned(), "0".to_owned())];
+    let survived = run_sharded(jobs(ShardCriterion::Plan(PlanCriterion::Du)), &killer)
+        .expect("run survives an injected worker death");
+
+    assert_eq!(
+        survived, baseline,
+        "verdict changed after a worker was killed mid-component"
+    );
+    assert!(
+        matches!(survived[0], Verdict::Satisfied(_) | Verdict::Violated(_)),
+        "the re-queued task must still be decided, not degraded to unknown"
+    );
+}
+
+/// With the retry budget forced to zero, the same injected death must
+/// degrade the affected verdict to `unknown (worker-death)` instead of
+/// failing the run — the documented fallback.
+#[test]
+fn exhausted_retry_budget_degrades_to_worker_death() {
+    use duop_core::UnknownReason;
+    let h = HistoryGen::new(HistoryGenConfig::medium_simulated().with_txns(30), 3).generate();
+
+    let mut cfg = shard_config(1, false);
+    cfg.retry = 0;
+    cfg.prelint = false; // force a real search task the hook can kill
+    cfg.ladder = false;
+    cfg.worker_env = vec![(KILL_TASK_ENV.to_owned(), "0".to_owned())];
+
+    let verdicts = run_sharded(
+        vec![ShardJob {
+            history: h,
+            criterion: ShardCriterion::Plan(PlanCriterion::Du),
+        }],
+        &cfg,
+    )
+    .expect("the run itself must survive");
+    match &verdicts[0] {
+        Verdict::Unknown {
+            reason: UnknownReason::WorkerDeath,
+            ..
+        } => {}
+        other => panic!("expected unknown (worker-death), got {other:?}"),
+    }
+}

@@ -58,6 +58,13 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Makes `self` a copy of `other`, reusing the existing word buffer
+    /// (no allocation when capacities match) — the pooling primitive for
+    /// scratch sets that are rebuilt every call.
+    pub(crate) fn copy_from(&mut self, other: &BitSet) {
+        self.words.clone_from(&other.words);
+    }
+
     /// Number of elements in the set.
     pub(crate) fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

@@ -188,6 +188,7 @@ mod tests {
             (crate::UnknownReason::Deadline, "deadline"),
             (crate::UnknownReason::WorkerPanic, "worker-panic"),
             (crate::UnknownReason::Interrupted, "interrupted"),
+            (crate::UnknownReason::WorkerDeath, "worker-death"),
         ] {
             let json = serde_json::to_string(&Verdict::Unknown {
                 explored: 12,
@@ -222,6 +223,7 @@ mod tests {
             crate::UnknownReason::Deadline,
             crate::UnknownReason::WorkerPanic,
             crate::UnknownReason::Interrupted,
+            crate::UnknownReason::WorkerDeath,
         ] {
             for partial in [
                 None,

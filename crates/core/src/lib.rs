@@ -89,6 +89,10 @@ pub use criteria::{
     ReadCommitOrderOpacity, StrictSerializability, Tms2,
 };
 pub use parallel::{available_threads, par_check_batch, par_map};
+pub use plan::{
+    check_criterion_with_stats, ladder_verdict, plan_components, prelint_verdict, PlanCriterion,
+    PlanOutcome, PlanScratch,
+};
 pub use search::{
     set_default_deadline, set_default_decompose, set_default_ladder, set_default_prelint, Budget,
     SearchConfig, SearchStats,

@@ -34,7 +34,7 @@ use crate::bitset::BitSet;
 use crate::search::{witness_from_path, Outcome, Query, SearchConfig, SearchStats, Searcher};
 use crate::spec::Spec;
 use crate::{Verdict, Violation};
-use duop_history::{CommitCapability, TxnId, Value};
+use duop_history::{CommitCapability, History, TxnId, Value};
 use std::collections::HashMap;
 
 /// Result of planning one query: the conflict-graph components (each a
@@ -164,15 +164,17 @@ pub(crate) fn supplier_sets(spec: &Spec, du: bool) -> (Vec<BitSet>, Vec<BitSet>)
 
 /// Union–find over transaction indices, used to build the conflict-graph
 /// components.
+#[derive(Debug, Default)]
 struct Dsu {
     parent: Vec<usize>,
 }
 
 impl Dsu {
-    fn new(n: usize) -> Self {
-        Dsu {
-            parent: (0..n).collect(),
-        }
+    /// Re-initialises the structure for `n` singletons, reusing the
+    /// parent buffer.
+    fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -193,10 +195,89 @@ impl Dsu {
     }
 }
 
+/// Pooled scratch for repeated planning, so a caller that extracts
+/// components in a loop — the sharding coordinator replans every incoming
+/// history — reuses the union-find, Kahn's-algorithm and bitset buffers
+/// instead of reallocating them per call (the same discipline `search.rs`
+/// applies to its undo logs).
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    dsu: Dsu,
+    /// Component slot per union-find root; `usize::MAX` = unassigned.
+    slot_of_root: Vec<usize>,
+    /// Kahn's-algorithm in-degrees and work queue.
+    indeg: Vec<usize>,
+    queue: Vec<usize>,
+    /// The constraint graph with forced edges added, copied word-for-word
+    /// from the base constraints into pooled bit sets.
+    preds_forced: Vec<BitSet>,
+    /// Spare component vectors, recycled between plans.
+    spare: Vec<Vec<usize>>,
+}
+
+impl PlanScratch {
+    /// Creates an empty scratch pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a plan's component vectors to the spare pool.
+    fn recycle(&mut self, components: Vec<Vec<usize>>) {
+        self.spare.extend(components.into_iter().map(|mut c| {
+            c.clear();
+            c
+        }));
+    }
+}
+
+/// Kahn's algorithm into pooled buffers: `None` when `preds` is acyclic,
+/// otherwise the indices left on a cycle (same members, in the same
+/// order, as [`topo_order`]).
+fn topo_cycle(
+    preds: &[BitSet],
+    indeg: &mut Vec<usize>,
+    queue: &mut Vec<usize>,
+) -> Option<Vec<usize>> {
+    let n = preds.len();
+    indeg.clear();
+    indeg.extend(preds.iter().map(BitSet::count_ones));
+    queue.clear();
+    queue.extend((0..n).filter(|&i| indeg[i] == 0));
+    let mut seen = 0;
+    while let Some(i) = queue.pop() {
+        seen += 1;
+        for (j, p) in preds.iter().enumerate() {
+            if p.contains(i) {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    if seen == n {
+        None
+    } else {
+        Some((0..n).filter(|&i| indeg[i] > 0).collect())
+    }
+}
+
 impl Plan {
-    /// Plans `query` over `spec`; fails fast with the violation when the
-    /// planning analysis alone already refutes the query.
+    /// Plans `query` over `spec` with a private scratch pool; see
+    /// [`Plan::build_with`].
     pub(crate) fn build(spec: &Spec, query: &Query) -> Result<Plan, Violation> {
+        Plan::build_with(spec, query, &mut PlanScratch::new())
+    }
+
+    /// Plans `query` over `spec`; fails fast with the violation when the
+    /// planning analysis alone already refutes the query. All internal
+    /// buffers come from (and the caller may return component vectors to)
+    /// `scratch`.
+    pub(crate) fn build_with(
+        spec: &Spec,
+        query: &Query,
+        scratch: &mut PlanScratch,
+    ) -> Result<Plan, Violation> {
         let n = spec.txns.len();
         let (_elig, suppliers) = supplier_sets(spec, query.deferred_update);
 
@@ -233,18 +314,32 @@ impl Plan {
         let (preds, commit_preds) = build_constraints(spec, query);
         // A cycle among the caller's own constraints is a crisp
         // ConstraintCycle, exactly like the monolithic engine reports.
-        if let Err(cyc) = topo_order(&preds) {
+        if let Some(cyc) = topo_cycle(&preds, &mut scratch.indeg, &mut scratch.queue) {
             return Err(Violation::ConstraintCycle {
                 txns: cyc.into_iter().map(|i| spec.txns[i].id).collect(),
             });
         }
         // A cycle only through forced edges refutes the query without a
         // search: forced edges hold in every satisfying serialization.
-        let mut preds_forced = preds.clone();
-        for &(a, b) in &forced {
-            preds_forced[b].insert(a);
+        // The augmented graph lives in pooled bit sets.
+        scratch.preds_forced.truncate(n);
+        let copied = scratch.preds_forced.len();
+        for (dst, src) in scratch.preds_forced.iter_mut().zip(&preds) {
+            dst.copy_from(src);
         }
-        if topo_order(&preds_forced).is_err() {
+        for src in &preds[copied..] {
+            scratch.preds_forced.push(src.clone());
+        }
+        for &(a, b) in &forced {
+            scratch.preds_forced[b].insert(a);
+        }
+        if topo_cycle(
+            &scratch.preds_forced,
+            &mut scratch.indeg,
+            &mut scratch.queue,
+        )
+        .is_some()
+        {
             return Err(Violation::NoSerialization {
                 criterion: query.name.to_owned(),
                 explored: 0,
@@ -254,36 +349,256 @@ impl Plan {
         // Conflict graph: shared objects ∪ all order edges (including
         // commit-conditional ones, which constrain the order whenever the
         // target commits).
-        let mut dsu = Dsu::new(n);
-        for j in 0..n {
-            for i in preds_forced[j].iter_ones() {
-                dsu.union(i, j);
+        scratch.dsu.reset(n);
+        for (j, commit_pred) in commit_preds.iter().enumerate().take(n) {
+            for i in scratch.preds_forced[j].iter_ones() {
+                scratch.dsu.union(i, j);
             }
-            for i in commit_preds[j].iter_ones() {
-                dsu.union(i, j);
+            for i in commit_pred.iter_ones() {
+                scratch.dsu.union(i, j);
             }
         }
         for accessors in spec.accessors_per_obj() {
             for w in accessors.windows(2) {
-                dsu.union(w[0], w[1]);
+                scratch.dsu.union(w[0], w[1]);
             }
         }
 
-        let mut slot_of_root: HashMap<usize, usize> = HashMap::new();
+        scratch.slot_of_root.clear();
+        scratch.slot_of_root.resize(n, usize::MAX);
         let mut components: Vec<Vec<usize>> = Vec::new();
         for i in 0..n {
-            let root = dsu.find(i);
-            match slot_of_root.get(&root) {
-                Some(&c) => components[c].push(i),
-                None => {
-                    slot_of_root.insert(root, components.len());
-                    components.push(vec![i]);
-                }
+            let root = scratch.dsu.find(i);
+            let slot = scratch.slot_of_root[root];
+            if slot == usize::MAX {
+                scratch.slot_of_root[root] = components.len();
+                let mut c = scratch.spare.pop().unwrap_or_default();
+                c.clear();
+                c.push(i);
+                components.push(c);
+            } else {
+                components[slot].push(i);
             }
         }
 
         Ok(Plan { components, forced })
     }
+}
+
+/// The criteria the sharded checker can plan, distribute
+/// component-by-component, and recombine into the exact in-process
+/// verdict: every criterion whose check is a single serialization query.
+/// (Opacity's prefix loop and the TMS2 automaton are not serialization
+/// queries; a sharded run ships those histories whole instead.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanCriterion {
+    /// Final-state opacity (Definition 4).
+    FinalState,
+    /// Du-opacity (Definition 3).
+    Du,
+    /// Read-commit-order opacity (Section 4.2).
+    Rco,
+    /// TMS2, the Section 4.2 rendering.
+    Tms2,
+    /// Strict serializability of the committed projection.
+    Strict,
+}
+
+impl PlanCriterion {
+    /// Parses the CLI spelling (`final-state`, `du`, `rco`, `tms2`,
+    /// `strict`).
+    pub fn parse(token: &str) -> Option<PlanCriterion> {
+        match token {
+            "final-state" => Some(PlanCriterion::FinalState),
+            "du" => Some(PlanCriterion::Du),
+            "rco" => Some(PlanCriterion::Rco),
+            "tms2" => Some(PlanCriterion::Tms2),
+            "strict" => Some(PlanCriterion::Strict),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling, inverse of [`PlanCriterion::parse`].
+    pub fn token(self) -> &'static str {
+        match self {
+            PlanCriterion::FinalState => "final-state",
+            PlanCriterion::Du => "du",
+            PlanCriterion::Rco => "rco",
+            PlanCriterion::Tms2 => "tms2",
+            PlanCriterion::Strict => "strict",
+        }
+    }
+
+    /// The human-readable criterion name used in verdicts.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            PlanCriterion::FinalState => "final-state opacity",
+            PlanCriterion::Du => "du-opacity",
+            PlanCriterion::Rco => "read-commit-order opacity",
+            PlanCriterion::Tms2 => "TMS2",
+            PlanCriterion::Strict => "strict serializability",
+        }
+    }
+
+    fn lint_scope(self) -> crate::lint::LintScope {
+        match self {
+            PlanCriterion::FinalState | PlanCriterion::Strict => crate::lint::LintScope::Plain,
+            PlanCriterion::Du => crate::lint::LintScope::Du,
+            PlanCriterion::Rco => crate::lint::LintScope::Rco,
+            PlanCriterion::Tms2 => crate::lint::LintScope::Tms2,
+        }
+    }
+
+    /// The history the criterion's serialization query actually runs over:
+    /// `Some` committed projection for strict serializability (mirroring
+    /// [`crate::StrictSerializability`]), `None` — the input itself — for
+    /// every other criterion. Idempotent, so re-preparing a shipped
+    /// sub-history on the worker side is harmless.
+    pub fn prepare(self, h: &History) -> Option<History> {
+        match self {
+            PlanCriterion::Strict => {
+                let committed: Vec<TxnId> = h
+                    .txns()
+                    .filter(|t| t.commit_capability() != CommitCapability::NeverCommitted)
+                    .map(|t| t.id())
+                    .collect();
+                Some(h.filter_txns(|id| committed.contains(&id)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds the serialization query over an already-[`prepare`]d
+    /// history.
+    ///
+    /// [`prepare`]: PlanCriterion::prepare
+    pub(crate) fn query(self, h: &History) -> Query {
+        match self {
+            PlanCriterion::FinalState => Query {
+                name: "final-state opacity",
+                deferred_update: false,
+                extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Plain,
+            },
+            PlanCriterion::Du => Query {
+                name: "du-opacity",
+                deferred_update: true,
+                extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Du,
+            },
+            PlanCriterion::Rco => Query {
+                name: "read-commit-order opacity",
+                deferred_update: false,
+                extra_edges: Vec::new(),
+                commit_edges: crate::criteria::rco_edges(h),
+                lint_scope: crate::lint::LintScope::Rco,
+            },
+            PlanCriterion::Tms2 => Query {
+                name: "TMS2",
+                deferred_update: false,
+                extra_edges: crate::criteria::tms2_edges(h),
+                commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Tms2,
+            },
+            PlanCriterion::Strict => Query {
+                name: "strict serializability",
+                deferred_update: false,
+                extra_edges: Vec::new(),
+                commit_edges: Vec::new(),
+                lint_scope: crate::lint::LintScope::Plain,
+            },
+        }
+    }
+}
+
+/// Outcome of standalone component extraction ([`plan_components`]).
+#[derive(Clone, Debug)]
+pub enum PlanOutcome {
+    /// Planning alone decided the query — spec prechecks or the planner's
+    /// fast paths refuted it without a search (internal-read
+    /// inconsistency, missing writer, constraint cycle, forced-edge
+    /// cycle). The verdict is exactly what the in-process search path
+    /// returns.
+    Decided(Verdict),
+    /// The conflict-graph components, each a list of transaction ids
+    /// sorted by spec index, in deterministic smallest-member order. A
+    /// serialization of the whole history exists iff each component has
+    /// one, and per-component witnesses compose by concatenation in this
+    /// order.
+    Components(Vec<Vec<TxnId>>),
+}
+
+/// Extracts the conflict-graph components of `criterion`'s query over `h`
+/// as a standalone unit the sharding coordinator can ship: each component
+/// (a set of transaction ids) can be checked in isolation — restricted via
+/// [`History::filter_txns`] — and the verdicts recombined exactly.
+///
+/// `h` must already be [`PlanCriterion::prepare`]d. Repeated calls reuse
+/// `scratch`, keeping extraction allocation-free apart from the returned
+/// id lists.
+pub fn plan_components(
+    h: &History,
+    criterion: PlanCriterion,
+    scratch: &mut PlanScratch,
+) -> PlanOutcome {
+    let spec = match Spec::build(h) {
+        Ok(s) => s,
+        Err(v) => return PlanOutcome::Decided(Verdict::Violated(v)),
+    };
+    let query = criterion.query(h);
+    let plan = match Plan::build_with(&spec, &query, scratch) {
+        Ok(p) => p,
+        Err(v) => return PlanOutcome::Decided(Verdict::Violated(v)),
+    };
+    let comps = plan
+        .components
+        .iter()
+        .map(|c| c.iter().map(|&i| spec.txns[i].id).collect())
+        .collect();
+    scratch.recycle(plan.components);
+    PlanOutcome::Components(comps)
+}
+
+/// Runs the lint prefilter for `criterion` over an already-prepared
+/// history, exactly as the in-process search path does when
+/// [`SearchConfig::prelint`] is on. `Some` is the refuting verdict.
+pub fn prelint_verdict(h: &History, criterion: PlanCriterion) -> Option<Verdict> {
+    crate::lint::prelint(h, criterion.lint_scope(), criterion.display_name()).map(Verdict::Violated)
+}
+
+/// Applies the verdict-degradation ladder to an undecided sharded check,
+/// exactly as the in-process path does when [`SearchConfig::ladder`] is
+/// on: sound polynomial fallbacks may still decide the query, otherwise
+/// the `Unknown` comes back annotated with the tiers that ran.
+pub fn ladder_verdict(
+    h: &History,
+    criterion: PlanCriterion,
+    cfg: &SearchConfig,
+    explored: u64,
+    reason: crate::UnknownReason,
+    partial: Option<crate::PartialProgress>,
+) -> Verdict {
+    let prepared = criterion.prepare(h);
+    let hh = prepared.as_ref().unwrap_or(h);
+    crate::search::ladder_fallback(hh, &criterion.query(hh), cfg, explored, reason, partial)
+}
+
+/// Checks `h` against `criterion` through the full in-process search path
+/// (prepare → prelint → plan → search per `cfg`), additionally returning
+/// the explored-state counter — what a shard worker reports so the
+/// coordinator can reconstruct the sequential engine's cumulative counts.
+pub fn check_criterion_with_stats(
+    h: &History,
+    criterion: PlanCriterion,
+    cfg: &SearchConfig,
+) -> (Verdict, u64) {
+    let prepared = criterion.prepare(h);
+    let hh = prepared.as_ref().unwrap_or(h);
+    let (verdict, stats) =
+        crate::search::search_serialization_with_stats(hh, &criterion.query(hh), cfg);
+    (verdict, stats.explored)
 }
 
 /// Serializations of previously decided components, for the online

@@ -241,6 +241,10 @@ pub enum UnknownReason {
     /// [`crate::snapshot::request_interrupt`]); the search flushed its
     /// progress and stopped cooperatively instead of dying mid-line.
     Interrupted,
+    /// A sharded-checking worker process died (crash, kill, or a broken
+    /// protocol stream) and the retry budget for its task was exhausted,
+    /// so the component it owned is undecided.
+    WorkerDeath,
 }
 
 impl UnknownReason {
@@ -251,6 +255,7 @@ impl UnknownReason {
             UnknownReason::Deadline => "deadline",
             UnknownReason::WorkerPanic => "worker-panic",
             UnknownReason::Interrupted => "interrupted",
+            UnknownReason::WorkerDeath => "worker-death",
         }
     }
 }
@@ -508,6 +513,7 @@ mod tests {
         assert_eq!(UnknownReason::Deadline.as_str(), "deadline");
         assert_eq!(UnknownReason::WorkerPanic.as_str(), "worker-panic");
         assert_eq!(UnknownReason::Interrupted.as_str(), "interrupted");
+        assert_eq!(UnknownReason::WorkerDeath.as_str(), "worker-death");
         let d = Verdict::Unknown {
             explored: 3,
             reason: UnknownReason::Deadline,

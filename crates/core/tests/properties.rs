@@ -202,6 +202,7 @@ fn value_validated_tm_is_opaque_but_not_always_du_opaque() {
         unique_writes: false,
         barrier_every: 0,
         mode: GenMode::ValueValidated,
+        key_dist: duop_gen::KeyDist::Uniform,
     };
     let mut du_violations = 0usize;
     for seed in 0..40 {

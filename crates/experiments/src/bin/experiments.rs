@@ -21,6 +21,18 @@ use duop_history::render::render_lanes;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // Hidden worker mode: E19's coordinator re-executes this binary as a
+    // shard worker. Must run before anything prints to stdout — the
+    // worker's stdout is the wire.
+    if args.get(1).map(String::as_str) == Some("shard-worker") {
+        std::process::exit(duop_shard::worker_main());
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        duop_experiments::runner::set_shard_worker_cmd(vec![
+            exe.to_string_lossy().into_owned(),
+            "shard-worker".to_owned(),
+        ]);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--no-decompose") {
         duop_core::set_default_decompose(false);

@@ -59,7 +59,44 @@ pub fn run_all_with(quick: bool, threads: usize) -> Vec<ExperimentResult> {
         e16_crash_consistency(if quick { 6 } else { 25 }),
         e17_kill_resume(if quick { 60 } else { 150 }, threads),
         e18_trace_ingestion(quick, threads),
+        e19_sharded_equivalence(if quick { 6 } else { 20 }),
     ]
+}
+
+/// The command E19 spawns shard workers with. The `experiments` binary
+/// registers itself (it carries the `shard-worker` hook at the top of
+/// its `main`); embedding test harnesses have no such hook, so when
+/// nothing is registered E19 falls back to the sibling `duop` binary in
+/// the same target directory.
+static SHARD_WORKER_CMD: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+
+/// Registers the worker command for [`run_all`]'s sharded-equivalence
+/// experiment (first registration wins). The command must speak the
+/// shard protocol on stdin/stdout.
+pub fn set_shard_worker_cmd(cmd: Vec<String>) {
+    let _ = SHARD_WORKER_CMD.set(cmd);
+}
+
+fn shard_worker_cmd() -> Option<Vec<String>> {
+    if let Some(cmd) = SHARD_WORKER_CMD.get() {
+        return Some(cmd.clone());
+    }
+    // Test harnesses run from target/<profile>/deps/<test-bin>; the CLI
+    // binary whose hidden `shard-worker` mode is the canonical worker
+    // lives one or two directories up.
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("duop{}", std::env::consts::EXE_SUFFIX);
+    exe.ancestors()
+        .skip(1)
+        .take(3)
+        .map(|dir| dir.join(&name))
+        .find(|cand| cand.is_file())
+        .map(|path| {
+            vec![
+                path.to_string_lossy().into_owned(),
+                "shard-worker".to_owned(),
+            ]
+        })
 }
 
 /// Maps `f` over the seed range `0..samples` on `threads` workers,
@@ -1033,6 +1070,114 @@ fn e18_trace_ingestion(quick: bool, threads: usize) -> ExperimentResult {
             bin_ns as f64 / 1e6,
             if text_id && bin_id { "lossless" } else { "MISMATCH" },
             mh.len(),
+        ),
+        pass,
+    }
+}
+
+fn e19_sharded_equivalence(samples: u64) -> ExperimentResult {
+    use duop_core::{check_criterion_with_stats, PlanCriterion, SearchConfig};
+    use duop_shard::{run_sharded, ShardConfig, ShardCriterion, ShardJob, KILL_TASK_ENV};
+
+    let Some(worker_cmd) = shard_worker_cmd() else {
+        // No process to re-exec as a worker (e.g. a bare library build):
+        // nothing to measure, nothing to claim.
+        return ExperimentResult {
+            id: "E19",
+            title: "Sharded checking: distributed == in-process verdicts",
+            claim: "the multi-process pipeline returns the exact in-process verdict, even across injected worker deaths",
+            measured: "skipped: no shard-worker binary reachable from this process".to_owned(),
+            pass: true,
+        };
+    };
+    let shard_cfg = |worker_env: Vec<(String, String)>| ShardConfig {
+        workers: 2,
+        worker_cmd: worker_cmd.clone(),
+        worker_env,
+        ..ShardConfig::default()
+    };
+    let local_cfg = SearchConfig {
+        prelint: true,
+        ladder: true,
+        decompose: true,
+        ..SearchConfig::default()
+    };
+    let criteria = [
+        PlanCriterion::Du,
+        PlanCriterion::FinalState,
+        PlanCriterion::Rco,
+    ];
+
+    // Per seed: one du-opaque-by-construction history and one adversarial
+    // history, each checked under three criteria by the worker pool and
+    // in-process; then the du check repeated with the first dispatched
+    // task's worker killed (fault-injection hook), which must re-queue
+    // and still produce the identical verdict.
+    let mut compared = 0u64;
+    let mut equal = 0u64;
+    let mut killed_equal = 0u64;
+    let mut satisfied = 0u64;
+    for seed in 0..samples {
+        let histories = [
+            HistoryGen::new(HistoryGenConfig::medium_simulated().with_txns(24), seed).generate(),
+            HistoryGen::new(
+                HistoryGenConfig {
+                    txns: 16,
+                    objs: 4,
+                    mode: GenMode::Adversarial,
+                    ..HistoryGenConfig::medium_simulated()
+                },
+                seed,
+            )
+            .generate(),
+        ];
+        for h in &histories {
+            let jobs: Vec<ShardJob> = criteria
+                .iter()
+                .map(|&c| ShardJob {
+                    history: h.clone(),
+                    criterion: ShardCriterion::Plan(c),
+                })
+                .collect();
+            let Ok(verdicts) = run_sharded(jobs, &shard_cfg(Vec::new())) else {
+                compared += criteria.len() as u64;
+                continue;
+            };
+            for (&c, distributed) in criteria.iter().zip(&verdicts) {
+                let (local, _) = check_criterion_with_stats(h, c, &local_cfg);
+                compared += 1;
+                if *distributed == local {
+                    equal += 1;
+                }
+                if local.is_satisfied() {
+                    satisfied += 1;
+                }
+            }
+        }
+
+        // Injected worker death on the very first task of a du check.
+        let h = &histories[0];
+        let (local, _) = check_criterion_with_stats(h, PlanCriterion::Du, &local_cfg);
+        let killer = shard_cfg(vec![(KILL_TASK_ENV.to_owned(), "0".to_owned())]);
+        let survived = run_sharded(
+            vec![ShardJob {
+                history: h.clone(),
+                criterion: ShardCriterion::Plan(PlanCriterion::Du),
+            }],
+            &killer,
+        );
+        if survived.map(|v| v[0] == local).unwrap_or(false) {
+            killed_equal += 1;
+        }
+    }
+
+    let pass = equal == compared && killed_equal == samples && satisfied > 0;
+    ExperimentResult {
+        id: "E19",
+        title: "Sharded checking: distributed == in-process verdicts",
+        claim: "the multi-process pipeline returns the exact in-process verdict, even across injected worker deaths",
+        measured: format!(
+            "{equal}/{compared} verdicts identical (3 criteria x {samples} seeds x {{du-opaque, adversarial}}, {satisfied} satisfied); {killed_equal}/{samples} identical after killing the worker holding the first task"
         ),
         pass,
     }

@@ -2,8 +2,41 @@
 
 use duop_history::{Event, History, ObjId, Op, Ret, TxnId, Value};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::HashMap;
+
+/// How data operations choose which t-object to touch.
+///
+/// The conflict-graph shape of a generated history is almost entirely a
+/// function of this knob: uniform access over many objects yields many
+/// small independent components (the planner's best case), while skewed
+/// access funnels transactions through a few hot objects and fuses the
+/// conflict graph into one large component (the sharded checker's
+/// stress case).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Every object equally likely — the historical behavior. The RNG
+    /// draw sequence is bit-identical to what it was before this knob
+    /// existed, so seeded traces reproduce.
+    Uniform,
+    /// Zipfian skew: object `i` is drawn with weight `(i + 1)^-theta`.
+    /// `theta ≈ 0.99` is YCSB's default skew; larger is hotter. `theta
+    /// = 0` degenerates to uniform (through the weighted path, so the
+    /// draw sequence differs from [`KeyDist::Uniform`]).
+    Zipfian {
+        /// Skew exponent; must be finite and non-negative.
+        theta: f64,
+    },
+    /// Two-tier hotspot: the first `ceil(hot_fraction * objs)` objects
+    /// jointly receive `hot_prob` of the accesses, the rest share the
+    /// remainder uniformly.
+    Hotspot {
+        /// Fraction of the object space that is hot, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Probability mass given to the hot set, in `[0, 1]`.
+        hot_prob: f64,
+    },
+}
 
 /// How read responses and commit outcomes are produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +92,8 @@ pub struct HistoryGenConfig {
     pub barrier_every: usize,
     /// Read/commit semantics.
     pub mode: GenMode,
+    /// How data operations choose their t-object.
+    pub key_dist: KeyDist,
 }
 
 impl HistoryGenConfig {
@@ -77,6 +112,7 @@ impl HistoryGenConfig {
             unique_writes: false,
             barrier_every: 0,
             mode: GenMode::Simulated,
+            key_dist: KeyDist::Uniform,
         }
     }
 
@@ -102,6 +138,7 @@ impl HistoryGenConfig {
             unique_writes: false,
             barrier_every: 0,
             mode: GenMode::Simulated,
+            key_dist: KeyDist::Uniform,
         }
     }
 
@@ -127,6 +164,7 @@ impl HistoryGenConfig {
             unique_writes: false,
             barrier_every: 4,
             mode: GenMode::Simulated,
+            key_dist: KeyDist::Uniform,
         }
     }
 
@@ -157,6 +195,40 @@ impl HistoryGenConfig {
     /// Sets the concurrency level.
     pub fn with_concurrency(mut self, concurrency: usize) -> Self {
         self.concurrency = concurrency.max(1);
+        self
+    }
+
+    /// Sets the key-access distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters: a non-finite or negative Zipf
+    /// `theta`, a `hot_fraction` outside `(0, 1]`, or a `hot_prob`
+    /// outside `[0, 1]`.
+    pub fn with_key_dist(mut self, key_dist: KeyDist) -> Self {
+        match key_dist {
+            KeyDist::Uniform => {}
+            KeyDist::Zipfian { theta } => {
+                assert!(
+                    theta.is_finite() && theta >= 0.0,
+                    "zipfian theta must be finite and non-negative, got {theta}"
+                );
+            }
+            KeyDist::Hotspot {
+                hot_fraction,
+                hot_prob,
+            } => {
+                assert!(
+                    hot_fraction > 0.0 && hot_fraction <= 1.0,
+                    "hot_fraction must be in (0, 1], got {hot_fraction}"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&hot_prob),
+                    "hot_prob must be in [0, 1], got {hot_prob}"
+                );
+            }
+        }
+        self.key_dist = key_dist;
         self
     }
 }
@@ -205,15 +277,81 @@ struct LiveTxn {
 pub struct HistoryGen {
     config: HistoryGenConfig,
     rng: StdRng,
+    /// Per-object sampling weights for skewed key distributions; `None`
+    /// for [`KeyDist::Uniform`], which keeps the historical draw
+    /// sequence untouched.
+    key_weights: Option<Vec<f64>>,
+}
+
+fn key_weights(cfg: &HistoryGenConfig) -> Option<Vec<f64>> {
+    let n = cfg.objs as usize;
+    match cfg.key_dist {
+        KeyDist::Uniform => None,
+        KeyDist::Zipfian { theta } => Some((0..n).map(|i| ((i + 1) as f64).powf(-theta)).collect()),
+        KeyDist::Hotspot {
+            hot_fraction,
+            hot_prob,
+        } => {
+            let hot = (((n as f64) * hot_fraction).ceil() as usize).clamp(1, n.max(1));
+            if hot >= n {
+                return Some(vec![1.0; n]);
+            }
+            let hot_w = hot_prob / hot as f64;
+            let cold_w = (1.0 - hot_prob) / (n - hot) as f64;
+            Some(
+                (0..n)
+                    .map(|i| if i < hot { hot_w } else { cold_w })
+                    .collect(),
+            )
+        }
+    }
 }
 
 impl HistoryGen {
     /// Creates a generator with the given configuration and RNG seed.
     pub fn new(config: HistoryGenConfig, seed: u64) -> Self {
+        let key_weights = key_weights(&config);
         HistoryGen {
             config,
             rng: StdRng::seed_from_u64(seed),
+            key_weights,
         }
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision (the
+    /// vendored rand shim has no float ranges).
+    fn unit_f64(&mut self) -> f64 {
+        ((self.rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Picks one object id from `candidates` according to the configured
+    /// key distribution (weights renormalized over the candidate set).
+    fn pick_key(&mut self, candidates: &[u32]) -> u32 {
+        let Some(weights) = &self.key_weights else {
+            return candidates[self.rng.gen_range(0..candidates.len())];
+        };
+        let total: f64 = candidates.iter().map(|&o| weights[o as usize]).sum();
+        if total <= 0.0 {
+            return candidates[self.rng.gen_range(0..candidates.len())];
+        }
+        let mut r = self.unit_f64() * total;
+        for &o in candidates {
+            let w = self.key_weights.as_ref().expect("checked above")[o as usize];
+            if r < w {
+                return o;
+            }
+            r -= w;
+        }
+        *candidates.last().expect("candidates is non-empty")
+    }
+
+    /// Picks a write target from the full object space.
+    fn pick_write_key(&mut self) -> u32 {
+        if self.key_weights.is_none() {
+            return self.rng.gen_range(0..self.config.objs);
+        }
+        let all: Vec<u32> = (0..self.config.objs).collect();
+        self.pick_key(&all)
     }
 
     /// Generates one history.
@@ -314,9 +452,10 @@ impl HistoryGen {
             .collect();
         let want_read = self.rng.gen_bool(cfg.read_ratio) && !unread.is_empty();
         if want_read {
-            Op::Read(ObjId::new(unread[self.rng.gen_range(0..unread.len())]))
+            let obj = self.pick_key(&unread);
+            Op::Read(ObjId::new(obj))
         } else {
-            let obj = ObjId::new(self.rng.gen_range(0..cfg.objs));
+            let obj = ObjId::new(self.pick_write_key());
             // Value chosen at response time for unique mode would change
             // the invocation; choose now.
             let value = self.pick_write_value();
@@ -467,6 +606,97 @@ mod tests {
     fn medium_config_scales() {
         let h = HistoryGen::new(HistoryGenConfig::medium_simulated(), 1).generate();
         assert!(h.txn_count() >= 10, "got {}", h.txn_count());
+    }
+
+    fn access_counts(h: &History, objs: u32) -> Vec<usize> {
+        let mut counts = vec![0usize; objs as usize];
+        for t in h.txns() {
+            for op in t.ops() {
+                match op.op {
+                    Op::Read(x) | Op::Write(x, _) => counts[x.index() as usize] += 1,
+                    _ => {}
+                }
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_is_the_default_distribution() {
+        assert_eq!(
+            HistoryGenConfig::small_simulated().key_dist,
+            KeyDist::Uniform
+        );
+        assert_eq!(
+            HistoryGenConfig::large_streaming().key_dist,
+            KeyDist::Uniform
+        );
+    }
+
+    #[test]
+    fn zipfian_skews_access_toward_low_ids() {
+        let mut first = 0;
+        let mut last = 0;
+        for seed in 0..20 {
+            let cfg = HistoryGenConfig::medium_simulated()
+                .with_objs(8)
+                .with_key_dist(KeyDist::Zipfian { theta: 1.2 });
+            let h = HistoryGen::new(cfg, seed).generate();
+            let counts = access_counts(&h, 8);
+            first += counts[0];
+            last += counts[7];
+        }
+        assert!(
+            first > 2 * last,
+            "zipfian theta=1.2 should hit object 0 far more than object 7 \
+             (got {first} vs {last})"
+        );
+    }
+
+    #[test]
+    fn hotspot_concentrates_access_on_the_hot_set() {
+        let mut hot = 0;
+        let mut total = 0;
+        for seed in 0..20 {
+            let cfg = HistoryGenConfig::medium_simulated()
+                .with_objs(8)
+                .with_key_dist(KeyDist::Hotspot {
+                    hot_fraction: 0.25,
+                    hot_prob: 0.9,
+                });
+            let h = HistoryGen::new(cfg, seed).generate();
+            let counts = access_counts(&h, 8);
+            hot += counts[0] + counts[1];
+            total += counts.iter().sum::<usize>();
+        }
+        // Reads renormalize over the unread set, which dilutes the skew a
+        // little below the nominal 90%; well above half is the invariant.
+        assert!(
+            hot * 2 > total,
+            "hot 2/8 objects should absorb most accesses (got {hot}/{total})"
+        );
+    }
+
+    #[test]
+    fn skewed_generation_is_deterministic_and_well_formed() {
+        for &dist in &[
+            KeyDist::Zipfian { theta: 0.99 },
+            KeyDist::Hotspot {
+                hot_fraction: 0.2,
+                hot_prob: 0.8,
+            },
+        ] {
+            let cfg = HistoryGenConfig::medium_simulated().with_key_dist(dist);
+            let a = HistoryGen::new(cfg.clone(), 9).generate();
+            let b = HistoryGen::new(cfg, 9).generate();
+            assert_eq!(a, b, "{dist:?} must be deterministic per seed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zipfian theta")]
+    fn negative_theta_is_rejected() {
+        let _ = HistoryGenConfig::small_simulated().with_key_dist(KeyDist::Zipfian { theta: -1.0 });
     }
 
     #[test]

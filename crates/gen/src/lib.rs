@@ -27,7 +27,7 @@ pub mod schedule;
 
 mod history_gen;
 
-pub use history_gen::{GenMode, HistoryGen, HistoryGenConfig};
+pub use history_gen::{GenMode, HistoryGen, HistoryGenConfig, KeyDist};
 pub use schedule::interleavings;
 
 use duop_history::History;

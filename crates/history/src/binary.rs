@@ -331,6 +331,17 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Reads a LEB128 varint from `bytes` starting at `*pos`, advancing
+/// `*pos` — the decoding inverse of [`write_varint`], exposed for
+/// protocols that reuse the `.duob` framing primitives (the shard
+/// coordinator/worker wire format).
+///
+/// `base` is the absolute file offset of `bytes[0]`, used only for error
+/// reporting.
+pub fn decode_varint(bytes: &[u8], pos: &mut usize, base: usize) -> Result<u64, BinaryParseError> {
+    read_varint(bytes, pos, base)
+}
+
 /// Reads a LEB128 varint from `bytes` starting at `*pos`, advancing `*pos`.
 ///
 /// `base` is the absolute file offset of `bytes[0]`, used only for error

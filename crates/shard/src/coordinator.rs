@@ -1,0 +1,947 @@
+//! The coordinator: plans histories into components, ships them to a
+//! pool of worker processes, and merges the per-component verdicts back
+//! into exactly the verdict the in-process path produces.
+//!
+//! # Scheduling
+//!
+//! Planning streams: a planner thread emits tasks as component
+//! extraction produces them, so the first component is on a worker's
+//! desk while later histories are still being planned. Tasks queue in a
+//! largest-first priority order (by transaction count — the best
+//! available proxy for search cost) and workers self-schedule: each
+//! worker holds at most one outstanding task and pulls the next when it
+//! answers, which is work stealing in its pull form — a fast worker
+//! drains the queue while a slow one grinds on a big component. When the
+//! queue runs dry and planning is done, idle workers speculatively
+//! re-execute the longest-running in-flight task (capped at two copies;
+//! first answer wins), so one straggler cannot serialize the tail.
+//!
+//! # Failure semantics
+//!
+//! A worker death (crash, kill, broken pipe, malformed reply) re-queues
+//! the component it held and respawns a replacement. Each task carries a
+//! death budget ([`ShardConfig::retry`]); when it is exhausted the
+//! component is recorded as undecided and the job's merged verdict
+//! degrades to [`Verdict::Unknown`] with
+//! [`UnknownReason::WorkerDeath`] and a partial-progress payload — after
+//! running the sound degradation ladder, which may still refute via lint.
+//! The coordinator never loses decided components to a crash.
+
+use crate::protocol::{
+    decode_hello, decode_verdict_msg, encode_hello, encode_task, write_frame, FrameReader, TaskMsg,
+    VerdictMsg, FRAME_HELLO, FRAME_SHUTDOWN, FRAME_TASK, FRAME_VERDICT,
+};
+use duop_core::{
+    available_threads, ladder_verdict, plan_components, prelint_verdict, PartialProgress,
+    PlanCriterion, PlanOutcome, PlanScratch, SearchConfig, UnknownReason, Verdict, Violation,
+    Witness,
+};
+use duop_history::{binary, History, TxnId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::io::Write;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{channel, Sender};
+use std::time::Instant;
+
+/// What a shard run checks: a component-decomposable criterion, or
+/// opacity, which ships whole histories (every prefix must be
+/// final-state opaque, so components are not independent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardCriterion {
+    /// A criterion the planner can decompose by conflict component.
+    Plan(PlanCriterion),
+    /// Full opacity (prefix-closed); checked whole per history.
+    Opacity,
+}
+
+impl ShardCriterion {
+    /// Parses a CLI token (`du`, `final-state`, `rco`, `tms2`, `strict`,
+    /// `opacity`).
+    pub fn parse(token: &str) -> Option<Self> {
+        if token == "opacity" {
+            Some(ShardCriterion::Opacity)
+        } else {
+            PlanCriterion::parse(token).map(ShardCriterion::Plan)
+        }
+    }
+
+    /// The wire/CLI token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ShardCriterion::Plan(c) => c.token(),
+            ShardCriterion::Opacity => "opacity",
+        }
+    }
+}
+
+/// Configuration of one sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Worker processes to keep in the pool.
+    pub workers: usize,
+    /// Command line to spawn a worker (`argv[0]` + args). The command
+    /// must speak the shard protocol on stdin/stdout — normally the
+    /// current executable with the hidden `shard-worker` argument.
+    pub worker_cmd: Vec<String>,
+    /// Extra environment for workers (fault-injection hooks in tests).
+    pub worker_env: Vec<(String, String)>,
+    /// Decompose histories into components (the point of sharding).
+    /// `false` mirrors `--no-decompose`: one whole-history task per job,
+    /// monolithic search in the worker.
+    pub decompose: bool,
+    /// Run the lint prefilter (coordinator-side for decomposed jobs,
+    /// worker-side for whole-history tasks).
+    pub prelint: bool,
+    /// Run the verdict-degradation ladder on merged `Unknown` verdicts.
+    pub ladder: bool,
+    /// Per-task state budget (`None` = unlimited).
+    pub max_states: Option<u64>,
+    /// Per-task wall-clock deadline in milliseconds (`None` = none).
+    /// Note this is per task, not per job: a sharded run restarts the
+    /// clock for every component chunk.
+    pub deadline_ms: Option<u64>,
+    /// Worker deaths tolerated per task before it is recorded as
+    /// undecided ([`UnknownReason::WorkerDeath`]).
+    pub retry: u64,
+    /// Minimum transactions per dispatched task: consecutive plan-order
+    /// components are batched until this floor, amortizing the
+    /// per-process protocol overhead over many tiny components.
+    pub min_task_txns: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            workers: available_threads(),
+            worker_cmd: Vec::new(),
+            worker_env: Vec::new(),
+            decompose: true,
+            prelint: true,
+            ladder: true,
+            max_states: None,
+            deadline_ms: None,
+            retry: 2,
+            min_task_txns: 8,
+        }
+    }
+}
+
+/// One history to check under one criterion.
+#[derive(Clone, Debug)]
+pub struct ShardJob {
+    /// The history.
+    pub history: History,
+    /// What to check it against.
+    pub criterion: ShardCriterion,
+}
+
+/// A coordinator-level failure (worker pool unusable). Per-task worker
+/// deaths are *not* errors — they degrade the affected job's verdict.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A worker process could not be spawned.
+    Spawn(String),
+    /// Every worker died and tasks remain; no progress is possible.
+    AllWorkersDead(String),
+    /// The planner thread or event channel failed.
+    Internal(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Spawn(d) => write!(f, "cannot spawn shard worker: {d}"),
+            ShardError::AllWorkersDead(d) => {
+                write!(f, "all shard workers died with tasks outstanding: {d}")
+            }
+            ShardError::Internal(d) => write!(f, "shard coordinator failure: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+// ---------------------------------------------------------------------------
+// Internal plumbing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct TaskSpec {
+    id: u64,
+    job: usize,
+    /// Index of this task's first component in the job's plan order;
+    /// merging sorts tasks by this key.
+    plan_pos: u64,
+    /// Components covered by this task (for partial-progress counts).
+    components: u64,
+    /// Transaction count — the largest-first scheduling weight.
+    txns: usize,
+    criterion: &'static str,
+    prelint: bool,
+    ladder: bool,
+    decompose: bool,
+    /// Whole-history task: its verdict passes through unmerged.
+    whole: bool,
+    /// `.duob`-encoded (sub-)history.
+    payload: Vec<u8>,
+}
+
+enum Event {
+    /// The planner decided a job without any worker.
+    Immediate { job: usize, verdict: Box<Verdict> },
+    /// A unit of work, streamed as planning produces it.
+    Task(Box<TaskSpec>),
+    /// All tasks of `job` have been sent.
+    JobPlanned {
+        job: usize,
+        tasks: u64,
+        components_total: u64,
+        /// History + criterion for the coordinator-side ladder on merged
+        /// `Unknown` verdicts (absent for opacity jobs).
+        ladder_ctx: Option<Box<(History, PlanCriterion)>>,
+    },
+    /// The planner has processed every job.
+    PlanDone,
+    /// A worker answered a task.
+    Verdict { worker: usize, msg: VerdictMsg },
+    /// A worker's stream ended or broke.
+    WorkerGone { worker: usize, detail: String },
+}
+
+enum TaskOutcome {
+    Answered {
+        explored: u64,
+        verdict: Verdict,
+    },
+    /// Retry budget exhausted: the component is undecided.
+    Dead,
+}
+
+struct TaskState {
+    spec: TaskSpec,
+    deaths: u64,
+    queued: bool,
+    assigned: Vec<usize>,
+    last_dispatch: Instant,
+    outcome: Option<TaskOutcome>,
+}
+
+#[derive(Default)]
+struct JobState {
+    immediate: Option<Verdict>,
+    task_ids: Vec<u64>,
+    expected: Option<u64>,
+    components_total: u64,
+    done: u64,
+    ladder_ctx: Option<Box<(History, PlanCriterion)>>,
+}
+
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    task: Option<u64>,
+    alive: bool,
+}
+
+fn spawn_worker(
+    cfg: &ShardConfig,
+    index: usize,
+    tx: &Sender<Event>,
+) -> Result<WorkerHandle, ShardError> {
+    let program = cfg
+        .worker_cmd
+        .first()
+        .ok_or_else(|| ShardError::Spawn("empty worker command".to_owned()))?;
+    let mut child = Command::new(program)
+        .args(&cfg.worker_cmd[1..])
+        .envs(cfg.worker_env.iter().map(|(k, v)| (k, v)))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| ShardError::Spawn(format!("{program}: {e}")))?;
+    let mut stdin = child.stdin.take().expect("stdin was piped");
+    let stdout = child.stdout.take().expect("stdout was piped");
+    write_frame(&mut stdin, FRAME_HELLO, &encode_hello())
+        .and_then(|()| stdin.flush().map_err(Into::into))
+        .map_err(|e| ShardError::Spawn(format!("handshake write: {e}")))?;
+    let tx = tx.clone();
+    std::thread::spawn(move || reader_loop(index, stdout, tx));
+    Ok(WorkerHandle {
+        child,
+        stdin: Some(stdin),
+        task: None,
+        alive: true,
+    })
+}
+
+fn reader_loop(worker: usize, stdout: std::process::ChildStdout, tx: Sender<Event>) {
+    let gone = |detail: String| Event::WorkerGone { worker, detail };
+    let mut reader = FrameReader::new(stdout);
+    match reader.read_frame() {
+        Ok(Some((FRAME_HELLO, payload))) => {
+            if let Err(e) = decode_hello(payload) {
+                let _ = tx.send(gone(e.to_string()));
+                return;
+            }
+        }
+        Ok(Some((ty, _))) => {
+            let _ = tx.send(gone(format!("expected hello, got frame type {ty:#04x}")));
+            return;
+        }
+        Ok(None) => {
+            let _ = tx.send(gone("exited before handshake".to_owned()));
+            return;
+        }
+        Err(e) => {
+            let _ = tx.send(gone(e.to_string()));
+            return;
+        }
+    }
+    loop {
+        match reader.read_frame() {
+            Ok(Some((FRAME_VERDICT, payload))) => match decode_verdict_msg(payload) {
+                Ok(msg) => {
+                    if tx.send(Event::Verdict { worker, msg }).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(gone(e.to_string()));
+                    return;
+                }
+            },
+            Ok(Some((ty, _))) => {
+                let _ = tx.send(gone(format!("unexpected frame type {ty:#04x}")));
+                return;
+            }
+            Ok(None) => {
+                let _ = tx.send(gone("stream ended".to_owned()));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(gone(e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+fn plan_jobs(jobs: Vec<ShardJob>, cfg: &ShardConfig, tx: &Sender<Event>) {
+    let mut scratch = PlanScratch::new();
+    let mut next_task = 0u64;
+    for (job_index, job) in jobs.into_iter().enumerate() {
+        plan_one(job_index, job, cfg, tx, &mut scratch, &mut next_task);
+    }
+    let _ = tx.send(Event::PlanDone);
+}
+
+fn plan_one(
+    job_index: usize,
+    job: ShardJob,
+    cfg: &ShardConfig,
+    tx: &Sender<Event>,
+    scratch: &mut PlanScratch,
+    next_task: &mut u64,
+) {
+    let immediate = |verdict: Verdict| Event::Immediate {
+        job: job_index,
+        verdict: Box::new(verdict),
+    };
+    let mut task_id = || {
+        let id = *next_task;
+        *next_task += 1;
+        id
+    };
+
+    let plan_criterion = match job.criterion {
+        ShardCriterion::Plan(c) if cfg.decompose => c,
+        _ => {
+            // Whole-history task: opacity, or decomposition ablated. The
+            // worker is the in-process path end to end (prelint, ladder,
+            // planner per config), so its verdict passes through.
+            let spec = TaskSpec {
+                id: task_id(),
+                job: job_index,
+                plan_pos: 0,
+                components: 0,
+                txns: job.history.txn_count(),
+                criterion: job.criterion.token(),
+                prelint: cfg.prelint,
+                ladder: cfg.ladder,
+                decompose: cfg.decompose,
+                whole: true,
+                payload: binary::encode(&job.history),
+            };
+            let _ = tx.send(Event::Task(Box::new(spec)));
+            let ladder_ctx = match job.criterion {
+                ShardCriterion::Plan(c) => Some(Box::new((job.history, c))),
+                ShardCriterion::Opacity => None,
+            };
+            let _ = tx.send(Event::JobPlanned {
+                job: job_index,
+                tasks: 1,
+                components_total: 0,
+                ladder_ctx,
+            });
+            return;
+        }
+    };
+
+    let prepared = plan_criterion.prepare(&job.history);
+    let checked: &History = prepared.as_ref().unwrap_or(&job.history);
+    if cfg.prelint {
+        if let Some(verdict) = prelint_verdict(checked, plan_criterion) {
+            let _ = tx.send(immediate(verdict));
+            return;
+        }
+    }
+    let components = match plan_components(checked, plan_criterion, scratch) {
+        PlanOutcome::Decided(verdict) => {
+            let _ = tx.send(immediate(verdict));
+            return;
+        }
+        PlanOutcome::Components(components) => components,
+    };
+    if components.is_empty() {
+        let _ = tx.send(immediate(Verdict::Satisfied(Witness::new(
+            Vec::new(),
+            BTreeMap::new(),
+        ))));
+        return;
+    }
+    let components_total = components.len() as u64;
+
+    // Batch consecutive plan-order components into chunks of at least
+    // `min_task_txns` transactions. Consecutiveness keeps the merge a
+    // plain plan-order concatenation.
+    let mut chunks: Vec<(u64, u64, Vec<TxnId>)> = Vec::new();
+    let mut first = 0u64;
+    let mut count = 0u64;
+    let mut members: Vec<TxnId> = Vec::new();
+    for (i, component) in components.into_iter().enumerate() {
+        if count == 0 {
+            first = i as u64;
+        }
+        count += 1;
+        members.extend(component);
+        if members.len() >= cfg.min_task_txns {
+            chunks.push((first, count, std::mem::take(&mut members)));
+            count = 0;
+        }
+    }
+    if count > 0 {
+        chunks.push((first, count, members));
+    }
+
+    let single = chunks.len() == 1;
+    let tasks = chunks.len() as u64;
+    for (plan_pos, chunk_components, chunk_members) in chunks {
+        let payload = if single {
+            // One chunk covers everything: skip the identity projection.
+            binary::encode(checked)
+        } else {
+            let keep: HashSet<TxnId> = chunk_members.iter().copied().collect();
+            binary::encode(&checked.filter_txns(|t| keep.contains(&t)))
+        };
+        let spec = TaskSpec {
+            id: task_id(),
+            job: job_index,
+            plan_pos,
+            components: chunk_components,
+            txns: chunk_members.len(),
+            criterion: plan_criterion.token(),
+            // The coordinator already linted the whole history and owns
+            // the ladder for the merged verdict.
+            prelint: false,
+            ladder: false,
+            decompose: true,
+            whole: false,
+            payload,
+        };
+        let _ = tx.send(Event::Task(Box::new(spec)));
+    }
+    let _ = tx.send(Event::JobPlanned {
+        job: job_index,
+        tasks,
+        components_total,
+        ladder_ctx: Some(Box::new((job.history, plan_criterion))),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+fn finish_unknown(
+    explored: u64,
+    reason: UnknownReason,
+    partial: Option<PartialProgress>,
+    job: &JobState,
+    cfg: &ShardConfig,
+) -> Verdict {
+    if cfg.ladder {
+        if let Some(ctx) = &job.ladder_ctx {
+            let (history, criterion) = ctx.as_ref();
+            let ladder_cfg = SearchConfig {
+                prelint: cfg.prelint,
+                ..SearchConfig::default()
+            };
+            return ladder_verdict(history, *criterion, &ladder_cfg, explored, reason, partial);
+        }
+    }
+    Verdict::Unknown {
+        explored,
+        reason,
+        partial,
+    }
+}
+
+/// Recombines a job's per-task outcomes into the verdict the in-process
+/// checker produces: plan-order witness concatenation when everything is
+/// satisfied, the earliest plan-order failure otherwise, with cumulative
+/// explored-state counts.
+fn merge_job(job: &JobState, tasks: &HashMap<u64, TaskState>, cfg: &ShardConfig) -> Verdict {
+    if let Some(v) = &job.immediate {
+        return v.clone();
+    }
+    let mut parts: Vec<&TaskState> = job.task_ids.iter().map(|id| &tasks[id]).collect();
+    parts.sort_by_key(|t| t.spec.plan_pos);
+
+    if parts.len() == 1 && parts[0].spec.whole {
+        return match parts[0].outcome.as_ref().expect("job is complete") {
+            TaskOutcome::Answered { verdict, .. } => verdict.clone(),
+            TaskOutcome::Dead => finish_unknown(0, UnknownReason::WorkerDeath, None, job, cfg),
+        };
+    }
+
+    let mut order: Vec<TxnId> = Vec::new();
+    let mut choices: BTreeMap<TxnId, bool> = BTreeMap::new();
+    let mut explored_before = 0u64;
+    let mut decided_before = 0u64;
+    for task in parts {
+        match task.outcome.as_ref().expect("job is complete") {
+            TaskOutcome::Answered { explored, verdict } => match verdict {
+                Verdict::Satisfied(w) => {
+                    order.extend(w.order().iter().copied());
+                    choices.extend(w.commit_choices().iter().map(|(t, c)| (*t, *c)));
+                    explored_before += explored;
+                    decided_before += task.spec.components;
+                }
+                Verdict::Violated(violation) => {
+                    let merged = match violation.clone() {
+                        Violation::NoSerialization {
+                            criterion,
+                            explored,
+                        } => Violation::NoSerialization {
+                            criterion,
+                            explored: explored_before + explored,
+                        },
+                        other => other,
+                    };
+                    return Verdict::Violated(merged);
+                }
+                Verdict::Unknown {
+                    explored,
+                    reason,
+                    partial,
+                } => {
+                    let decided =
+                        decided_before + partial.as_ref().map_or(0, |p| p.components_decided);
+                    return finish_unknown(
+                        explored_before + explored,
+                        *reason,
+                        Some(PartialProgress::components(decided, job.components_total)),
+                        job,
+                        cfg,
+                    );
+                }
+            },
+            TaskOutcome::Dead => {
+                return finish_unknown(
+                    explored_before,
+                    UnknownReason::WorkerDeath,
+                    Some(PartialProgress::components(
+                        decided_before,
+                        job.components_total,
+                    )),
+                    job,
+                    cfg,
+                );
+            }
+        }
+    }
+    Verdict::Satisfied(Witness::new(order, choices))
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+struct Coordinator<'a> {
+    cfg: &'a ShardConfig,
+    tx: Sender<Event>,
+    workers: Vec<WorkerHandle>,
+    idle: Vec<usize>,
+    tasks: HashMap<u64, TaskState>,
+    /// Max-heap of `(txns, Reverse(task id))`: biggest component chunk
+    /// first, ties broken oldest-first.
+    pending: BinaryHeap<(usize, Reverse<u64>)>,
+    jobs: Vec<JobState>,
+    results: Vec<Option<Verdict>>,
+    completed: usize,
+    plan_done: bool,
+}
+
+impl Coordinator<'_> {
+    fn alive_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    fn record_job_if_complete(&mut self, job_index: usize) {
+        let job = &self.jobs[job_index];
+        if self.results[job_index].is_some() {
+            return;
+        }
+        let complete = match (&job.immediate, job.expected) {
+            (Some(_), _) => true,
+            (None, Some(expected)) => job.done == expected,
+            (None, None) => false,
+        };
+        if complete {
+            let verdict = merge_job(job, &self.tasks, self.cfg);
+            self.results[job_index] = Some(verdict);
+            self.completed += 1;
+        }
+    }
+
+    fn finish_task(&mut self, task_id: u64, outcome: TaskOutcome) {
+        let task = self.tasks.get_mut(&task_id).expect("known task");
+        debug_assert!(task.outcome.is_none());
+        task.outcome = Some(outcome);
+        task.queued = false;
+        let job_index = task.spec.job;
+        self.jobs[job_index].done += 1;
+        self.record_job_if_complete(job_index);
+    }
+
+    fn handle_worker_gone(&mut self, worker: usize, detail: &str) {
+        if !self.workers[worker].alive {
+            return;
+        }
+        self.workers[worker].alive = false;
+        self.idle.retain(|&w| w != worker);
+        let Some(task_id) = self.workers[worker].task.take() else {
+            return;
+        };
+        let task = self.tasks.get_mut(&task_id).expect("known task");
+        task.assigned.retain(|&w| w != worker);
+        if task.outcome.is_some() || task.queued || !task.assigned.is_empty() {
+            return;
+        }
+        task.deaths += 1;
+        if task.deaths > self.cfg.retry {
+            log_line(&format!(
+                "task {task_id} lost to its {}th worker death ({detail}); retry budget exhausted",
+                task.deaths
+            ));
+            self.finish_task(task_id, TaskOutcome::Dead);
+            return;
+        }
+        log_line(&format!(
+            "worker {worker} died holding task {task_id} ({detail}); re-queueing (attempt {})",
+            task.deaths
+        ));
+        task.queued = true;
+        self.pending.push((task.spec.txns, Reverse(task_id)));
+        // Keep the pool at strength for the retry.
+        match spawn_worker(self.cfg, self.workers.len(), &self.tx) {
+            Ok(handle) => {
+                self.idle.push(self.workers.len());
+                self.workers.push(handle);
+            }
+            Err(e) => log_line(&format!("respawn failed: {e}")),
+        }
+    }
+
+    fn dispatch_to(&mut self, worker: usize, task_id: u64) -> Result<(), String> {
+        let task = self.tasks.get_mut(&task_id).expect("known task");
+        let msg = TaskMsg {
+            task_id,
+            attempt: task.deaths,
+            criterion: task.spec.criterion.to_owned(),
+            prelint: task.spec.prelint,
+            ladder: task.spec.ladder,
+            decompose: task.spec.decompose,
+            max_states: self.cfg.max_states.unwrap_or(0),
+            deadline_ms: self.cfg.deadline_ms.unwrap_or(0),
+            history: task.spec.payload.clone(),
+        };
+        let handle = &mut self.workers[worker];
+        let stdin = handle.stdin.as_mut().expect("live worker has stdin");
+        write_frame(stdin, FRAME_TASK, &encode_task(&msg))
+            .and_then(|()| stdin.flush().map_err(Into::into))
+            .map_err(|e| e.to_string())?;
+        handle.task = Some(task_id);
+        let task = self.tasks.get_mut(&task_id).expect("known task");
+        task.assigned.push(worker);
+        task.queued = false;
+        task.last_dispatch = Instant::now();
+        Ok(())
+    }
+
+    /// The task an idle worker should duplicate when the queue is dry:
+    /// the longest-running in-flight task not already duplicated.
+    fn steal_candidate(&self) -> Option<u64> {
+        self.tasks
+            .values()
+            .filter(|t| {
+                t.outcome.is_none() && !t.queued && !t.assigned.is_empty() && t.assigned.len() < 2
+            })
+            .min_by_key(|t| t.last_dispatch)
+            .map(|t| t.spec.id)
+    }
+
+    fn dispatch(&mut self) -> Result<(), ShardError> {
+        loop {
+            // Drop queue entries whose task got answered speculatively or
+            // re-queued under a newer entry.
+            let next = loop {
+                match self.pending.peek() {
+                    None => break None,
+                    Some(&(_, Reverse(id))) => {
+                        let task = &self.tasks[&id];
+                        if task.outcome.is_some() || !task.queued {
+                            self.pending.pop();
+                            continue;
+                        }
+                        break Some(id);
+                    }
+                }
+            };
+            let Some(task_id) = next else {
+                // Queue dry: speculate on stragglers once planning is done.
+                if !self.plan_done {
+                    return Ok(());
+                }
+                let Some(worker) = self.idle.last().copied() else {
+                    return Ok(());
+                };
+                let Some(candidate) = self.steal_candidate() else {
+                    return Ok(());
+                };
+                if self.tasks[&candidate].assigned.contains(&worker) {
+                    return Ok(());
+                }
+                self.idle.pop();
+                if let Err(detail) = self.dispatch_to(worker, candidate) {
+                    self.handle_worker_gone(worker, &detail);
+                }
+                continue;
+            };
+            let Some(worker) = self.idle.pop() else {
+                if self.alive_count() == 0 {
+                    return Err(ShardError::AllWorkersDead(format!(
+                        "task {task_id} is queued with no live worker"
+                    )));
+                }
+                return Ok(());
+            };
+            self.pending.pop();
+            if let Err(detail) = self.dispatch_to(worker, task_id) {
+                self.handle_worker_gone(worker, &detail);
+            }
+        }
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::Immediate { job, verdict } => {
+                self.jobs[job].immediate = Some(*verdict);
+                self.record_job_if_complete(job);
+            }
+            Event::Task(spec) => {
+                let id = spec.id;
+                self.jobs[spec.job].task_ids.push(id);
+                self.pending.push((spec.txns, Reverse(id)));
+                self.tasks.insert(
+                    id,
+                    TaskState {
+                        spec: *spec,
+                        deaths: 0,
+                        queued: true,
+                        assigned: Vec::new(),
+                        last_dispatch: Instant::now(),
+                        outcome: None,
+                    },
+                );
+            }
+            Event::JobPlanned {
+                job,
+                tasks,
+                components_total,
+                ladder_ctx,
+            } => {
+                let state = &mut self.jobs[job];
+                state.expected = Some(tasks);
+                state.components_total = components_total;
+                state.ladder_ctx = ladder_ctx;
+                self.record_job_if_complete(job);
+            }
+            Event::PlanDone => self.plan_done = true,
+            Event::Verdict { worker, msg } => {
+                if self.workers[worker].alive {
+                    self.workers[worker].task = None;
+                    self.idle.push(worker);
+                }
+                match self.tasks.get_mut(&msg.task_id) {
+                    Some(task) => {
+                        task.assigned.retain(|&w| w != worker);
+                        if task.outcome.is_none() {
+                            self.finish_task(
+                                msg.task_id,
+                                TaskOutcome::Answered {
+                                    explored: msg.explored,
+                                    verdict: msg.verdict,
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        // A verdict for a task that was never dispatched:
+                        // the worker is off-protocol.
+                        self.handle_worker_gone(worker, "verdict for unknown task");
+                    }
+                }
+            }
+            Event::WorkerGone { worker, detail } => self.handle_worker_gone(worker, &detail),
+        }
+    }
+
+    fn shutdown(mut self) {
+        for handle in &mut self.workers {
+            if handle.alive && handle.task.is_none() {
+                if let Some(stdin) = handle.stdin.as_mut() {
+                    let _ = write_frame(stdin, FRAME_SHUTDOWN, &[]);
+                    let _ = stdin.flush();
+                }
+            } else if handle.alive {
+                // Still grinding on a speculatively-duplicated task whose
+                // twin already answered: no reason to wait it out.
+                let _ = handle.child.kill();
+            }
+            handle.stdin = None;
+            let _ = handle.child.wait();
+        }
+    }
+}
+
+fn log_line(message: &str) {
+    eprintln!("duop shard: {message}");
+}
+
+/// Checks `jobs` across a pool of worker processes and returns one
+/// verdict per job, in job order — each identical to what the
+/// in-process checker produces for that history and criterion (modulo
+/// the documented per-task deadline semantics and the
+/// [`UnknownReason::WorkerDeath`] degradation, which has no in-process
+/// analog).
+pub fn run_sharded(jobs: Vec<ShardJob>, cfg: &ShardConfig) -> Result<Vec<Verdict>, ShardError> {
+    let total = jobs.len();
+    let (tx, rx) = channel::<Event>();
+
+    let mut coordinator = Coordinator {
+        cfg,
+        tx: tx.clone(),
+        workers: Vec::new(),
+        idle: Vec::new(),
+        tasks: HashMap::new(),
+        pending: BinaryHeap::new(),
+        jobs: Vec::new(),
+        results: Vec::new(),
+        completed: 0,
+        plan_done: false,
+    };
+    coordinator.jobs.resize_with(total, JobState::default);
+    coordinator.results.resize_with(total, || None);
+
+    let pool = cfg.workers.max(1);
+    for i in 0..pool {
+        let handle = spawn_worker(cfg, i, &tx)?;
+        coordinator.idle.push(i);
+        coordinator.workers.push(handle);
+    }
+
+    let planner_cfg = cfg.clone();
+    let planner_tx = tx.clone();
+    let planner = std::thread::spawn(move || plan_jobs(jobs, &planner_cfg, &planner_tx));
+    drop(tx);
+
+    let result = loop {
+        if coordinator.completed == total {
+            break Ok(());
+        }
+        let event = match rx.recv() {
+            Ok(event) => event,
+            Err(_) => {
+                break Err(ShardError::Internal(
+                    "event channel closed with jobs outstanding".to_owned(),
+                ))
+            }
+        };
+        coordinator.handle_event(event);
+        if let Err(e) = coordinator.dispatch() {
+            break Err(e);
+        }
+    };
+
+    let results = std::mem::take(&mut coordinator.results);
+    coordinator.shutdown();
+    let _ = planner.join();
+    result?;
+    Ok(results
+        .into_iter()
+        .map(|v| v.expect("all jobs completed"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_criterion_parses_all_tokens() {
+        for token in ["du", "final-state", "rco", "tms2", "strict", "opacity"] {
+            let c = ShardCriterion::parse(token).expect(token);
+            assert_eq!(c.token(), token);
+        }
+        assert!(ShardCriterion::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn empty_worker_command_is_a_spawn_error() {
+        let cfg = ShardConfig {
+            workers: 1,
+            ..ShardConfig::default()
+        };
+        let err = run_sharded(Vec::new(), &cfg).unwrap_err();
+        assert!(matches!(err, ShardError::Spawn(_)), "{err}");
+    }
+
+    #[test]
+    fn nonexistent_worker_command_is_a_spawn_error() {
+        let cfg = ShardConfig {
+            workers: 1,
+            worker_cmd: vec!["/nonexistent/duop-worker-binary".to_owned()],
+            ..ShardConfig::default()
+        };
+        let err = run_sharded(Vec::new(), &cfg).unwrap_err();
+        assert!(matches!(err, ShardError::Spawn(_)), "{err}");
+    }
+}

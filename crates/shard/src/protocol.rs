@@ -1,0 +1,926 @@
+//! The coordinator ↔ worker wire protocol.
+//!
+//! Messages travel as length-prefixed frames reusing the `.duob`
+//! primitives from `duop_history::binary` — LEB128 varints for every
+//! integer and a CRC-32 guard per frame:
+//!
+//! ```text
+//! frame := type:u8  len:varint  payload:[u8; len]  crc32:u32-le
+//! ```
+//!
+//! The CRC covers the type byte and the payload, so a flipped frame type
+//! is caught exactly like flipped payload bytes. Frame types:
+//!
+//! | type | direction | payload |
+//! |------|-----------|---------|
+//! | `H`  | both      | `DUOS` magic + version varint (handshake) |
+//! | `T`  | coord → worker | task id, attempt, criterion token, flags, budgets, `.duob` sub-history |
+//! | `V`  | worker → coord | task id, explored counter, encoded verdict |
+//! | `S`  | coord → worker | empty (orderly shutdown) |
+//!
+//! A decoder never panics on malformed input: every failure is a
+//! structured [`ProtocolError`] the worker turns into exit code 2,
+//! mirroring the `.duob` ingestion contract.
+
+use duop_core::lint::{self, Applicability, Diagnostic, Severity, Span};
+use duop_core::{PartialProgress, UnknownReason, Verdict, Violation, Witness};
+use duop_history::binary::{crc32, decode_varint, write_varint};
+use duop_history::{ObjId, TxnId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Handshake magic, distinguishing the shard protocol from a stray
+/// `.duob` file (`DUOB`).
+pub const MAGIC: &[u8; 4] = b"DUOS";
+/// Protocol version sent (and required) in the handshake.
+pub const VERSION: u64 = 1;
+
+/// Frame type: handshake.
+pub const FRAME_HELLO: u8 = b'H';
+/// Frame type: task dispatch.
+pub const FRAME_TASK: u8 = b'T';
+/// Frame type: verdict reply.
+pub const FRAME_VERDICT: u8 = b'V';
+/// Frame type: orderly shutdown.
+pub const FRAME_SHUTDOWN: u8 = b'S';
+
+/// Hard cap on a frame payload. A task frame wraps a whole `.duob`
+/// sub-history (itself internally framed), so this is far above
+/// `duop_history::binary::MAX_FRAME_BYTES` — it only exists so a
+/// corrupted length cannot drive allocation to the address-space limit.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 30;
+
+/// A structured protocol failure: I/O trouble or malformed bytes.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The bytes do not parse as the frame or message they claim to be.
+    Malformed {
+        /// What was being decoded.
+        context: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "protocol i/o error: {e}"),
+            ProtocolError::Malformed { context, detail } => {
+                write!(f, "malformed {context}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+fn malformed(context: &'static str, detail: impl Into<String>) -> ProtocolError {
+    ProtocolError::Malformed {
+        context,
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame transport
+// ---------------------------------------------------------------------------
+
+/// Writes one frame: type byte, varint length, payload, CRC-32 over the
+/// type byte and payload.
+pub fn write_frame(w: &mut impl Write, ty: u8, payload: &[u8]) -> Result<(), ProtocolError> {
+    let mut header = Vec::with_capacity(11);
+    header.push(ty);
+    write_varint(&mut header, payload.len() as u64);
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    let mut digest = crc32(&[ty]);
+    if !payload.is_empty() {
+        // CRC over the concatenation [ty] ++ payload, computed in one
+        // pass below instead: recompute to keep the hot path simple.
+        let mut guarded = Vec::with_capacity(payload.len() + 1);
+        guarded.push(ty);
+        guarded.extend_from_slice(payload);
+        digest = crc32(&guarded);
+    }
+    w.write_all(&digest.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_exact_ctx(
+    inner: &mut impl Read,
+    out: &mut [u8],
+    context: &'static str,
+) -> Result<(), ProtocolError> {
+    inner.read_exact(out).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            malformed(context, "stream ended mid-frame")
+        } else {
+            ProtocolError::Io(e)
+        }
+    })
+}
+
+/// Reads frames off a byte stream, reusing one payload buffer across
+/// frames.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    fn read_exact(&mut self, out: &mut [u8], context: &'static str) -> Result<(), ProtocolError> {
+        read_exact_ctx(&mut self.inner, out, context)
+    }
+
+    /// Reads a varint byte-by-byte off the stream (the slice decoder
+    /// needs the bytes in memory; a frame length is not).
+    fn read_varint_stream(&mut self, context: &'static str) -> Result<u64, ProtocolError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        for i in 0..10 {
+            let mut byte = [0u8; 1];
+            self.read_exact(&mut byte, context)?;
+            let b = byte[0];
+            if shift == 63 && b > 1 {
+                return Err(malformed(context, "varint overflows 64 bits"));
+            }
+            value |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if i == 9 {
+                break;
+            }
+        }
+        Err(malformed(context, "varint longer than 10 bytes"))
+    }
+
+    /// Reads the next frame, returning its type and payload, or `None` on
+    /// a clean end-of-stream at a frame boundary.
+    pub fn read_frame(&mut self) -> Result<Option<(u8, &[u8])>, ProtocolError> {
+        let mut ty = [0u8; 1];
+        match self.inner.read_exact(&mut ty) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+        let len = self.read_varint_stream("frame length")?;
+        if len as usize > MAX_PAYLOAD_BYTES {
+            return Err(malformed(
+                "frame length",
+                format!("{len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte cap"),
+            ));
+        }
+        self.buf.clear();
+        self.buf.resize(len as usize + 1, 0);
+        self.buf[0] = ty[0];
+        read_exact_ctx(&mut self.inner, &mut self.buf[1..], "frame payload")?;
+        let mut crc_bytes = [0u8; 4];
+        self.read_exact(&mut crc_bytes, "frame checksum")?;
+        let expected = u32::from_le_bytes(crc_bytes);
+        let actual = crc32(&self.buf);
+        if actual != expected {
+            return Err(malformed(
+                "frame checksum",
+                format!("crc mismatch: stored {expected:#010x}, computed {actual:#010x}"),
+            ));
+        }
+        Ok(Some((ty[0], &self.buf[1..])))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice decoding helpers
+// ---------------------------------------------------------------------------
+
+fn get_varint(bytes: &[u8], pos: &mut usize, context: &'static str) -> Result<u64, ProtocolError> {
+    decode_varint(bytes, pos, 0).map_err(|e| malformed(context, e.to_string()))
+}
+
+fn get_u8(bytes: &[u8], pos: &mut usize, context: &'static str) -> Result<u8, ProtocolError> {
+    let b = *bytes
+        .get(*pos)
+        .ok_or_else(|| malformed(context, "payload ends early"))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn get_bytes<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    context: &'static str,
+) -> Result<&'a [u8], ProtocolError> {
+    let len = get_varint(bytes, pos, context)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| malformed(context, "length prefix exceeds payload"))?;
+    let out = &bytes[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize, context: &'static str) -> Result<String, ProtocolError> {
+    let raw = get_bytes(bytes, pos, context)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| malformed(context, "invalid utf-8"))
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn expect_end(bytes: &[u8], pos: usize, context: &'static str) -> Result<(), ProtocolError> {
+    if pos == bytes.len() {
+        Ok(())
+    } else {
+        Err(malformed(context, "trailing bytes after message"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// Encodes the handshake payload.
+pub fn encode_hello() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    out.extend_from_slice(MAGIC);
+    write_varint(&mut out, VERSION);
+    out
+}
+
+/// Validates a handshake payload.
+pub fn decode_hello(payload: &[u8]) -> Result<(), ProtocolError> {
+    if payload.len() < 4 || &payload[..4] != MAGIC {
+        return Err(malformed("handshake", "bad magic"));
+    }
+    let mut pos = 4;
+    let version = get_varint(payload, &mut pos, "handshake")?;
+    if version != VERSION {
+        return Err(malformed(
+            "handshake",
+            format!("version {version}, expected {VERSION}"),
+        ));
+    }
+    expect_end(payload, pos, "handshake")
+}
+
+// ---------------------------------------------------------------------------
+// Task frames
+// ---------------------------------------------------------------------------
+
+/// One unit of work shipped to a worker: a criterion token plus a
+/// `.duob`-encoded (sub-)history and the search budgets to apply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskMsg {
+    /// Coordinator-assigned task id, echoed in the verdict frame.
+    pub task_id: u64,
+    /// How many workers have already died holding this task (the retry
+    /// counter; fault-injection hooks key off attempt 0).
+    pub attempt: u64,
+    /// Criterion token (`du`, `final-state`, `rco`, `tms2`, `strict`,
+    /// `opacity`).
+    pub criterion: String,
+    /// Run the lint prefilter in the worker (off for component tasks —
+    /// the coordinator already linted the whole history).
+    pub prelint: bool,
+    /// Run the verdict-degradation ladder in the worker (off for
+    /// component tasks — the coordinator applies it to the merged
+    /// verdict).
+    pub ladder: bool,
+    /// Run the search planner in the worker (always on for component
+    /// tasks; mirrors `--no-decompose` for whole-history tasks).
+    pub decompose: bool,
+    /// State budget, `0` = unlimited.
+    pub max_states: u64,
+    /// Wall-clock deadline in milliseconds, `0` = none.
+    pub deadline_ms: u64,
+    /// The `.duob`-encoded history to check.
+    pub history: Vec<u8>,
+}
+
+/// Encodes a task payload.
+pub fn encode_task(msg: &TaskMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(msg.history.len() + 64);
+    write_varint(&mut out, msg.task_id);
+    write_varint(&mut out, msg.attempt);
+    put_bytes(&mut out, msg.criterion.as_bytes());
+    out.push(u8::from(msg.prelint) | (u8::from(msg.ladder) << 1) | (u8::from(msg.decompose) << 2));
+    write_varint(&mut out, msg.max_states);
+    write_varint(&mut out, msg.deadline_ms);
+    put_bytes(&mut out, &msg.history);
+    out
+}
+
+/// Decodes a task payload.
+pub fn decode_task(payload: &[u8]) -> Result<TaskMsg, ProtocolError> {
+    let mut pos = 0;
+    let task_id = get_varint(payload, &mut pos, "task")?;
+    let attempt = get_varint(payload, &mut pos, "task")?;
+    let criterion = get_str(payload, &mut pos, "task criterion")?;
+    let flags = get_u8(payload, &mut pos, "task flags")?;
+    if flags & !0b111 != 0 {
+        return Err(malformed("task flags", format!("unknown bits {flags:#x}")));
+    }
+    let max_states = get_varint(payload, &mut pos, "task budget")?;
+    let deadline_ms = get_varint(payload, &mut pos, "task deadline")?;
+    let history = get_bytes(payload, &mut pos, "task history")?.to_vec();
+    expect_end(payload, pos, "task")?;
+    Ok(TaskMsg {
+        task_id,
+        attempt,
+        criterion,
+        prelint: flags & 0b001 != 0,
+        ladder: flags & 0b010 != 0,
+        decompose: flags & 0b100 != 0,
+        max_states,
+        deadline_ms,
+        history,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Verdict frames
+// ---------------------------------------------------------------------------
+
+/// A worker's answer for one task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerdictMsg {
+    /// The task this answers.
+    pub task_id: u64,
+    /// Explored-state counter of the worker's search (also embedded in
+    /// violated/unknown verdicts; carried separately so satisfied tasks
+    /// contribute to the coordinator's cumulative counts too).
+    pub explored: u64,
+    /// The verdict itself.
+    pub verdict: Verdict,
+}
+
+const VERDICT_SATISFIED: u8 = 0;
+const VERDICT_VIOLATED: u8 = 1;
+const VERDICT_UNKNOWN: u8 = 2;
+
+const VIOLATION_INTERNAL_READ: u8 = 0;
+const VIOLATION_MISSING_WRITER: u8 = 1;
+const VIOLATION_CONSTRAINT_CYCLE: u8 = 2;
+const VIOLATION_NO_SERIALIZATION: u8 = 3;
+const VIOLATION_PREFIX: u8 = 4;
+const VIOLATION_LINT_REFUTED: u8 = 5;
+
+const SEVERITY_TAGS: [(Severity, u8); 3] = [
+    (Severity::Error, 0),
+    (Severity::Warning, 1),
+    (Severity::Note, 2),
+];
+
+const APPLICABILITY_TAGS: [(Applicability, u8); 4] = [
+    (Applicability::AllCriteria, 0),
+    (Applicability::DuOpacityOnly, 1),
+    (Applicability::ReadCommitOrderOnly, 2),
+    (Applicability::Tms2Only, 3),
+];
+
+const REASON_TAGS: [(UnknownReason, u8); 5] = [
+    (UnknownReason::StateBudget, 0),
+    (UnknownReason::Deadline, 1),
+    (UnknownReason::WorkerPanic, 2),
+    (UnknownReason::Interrupted, 3),
+    (UnknownReason::WorkerDeath, 4),
+];
+
+/// The ladder tiers a partial-progress payload may name. Tiers are
+/// `&'static str` in core, so decoding maps bytes back to this closed
+/// set.
+const KNOWN_TIERS: [&str; 3] = ["exact-search", "lint", "unique-writes"];
+
+fn put_violation(out: &mut Vec<u8>, v: &Violation) -> Result<(), ProtocolError> {
+    match v {
+        Violation::InternalReadInconsistency {
+            txn,
+            obj,
+            got,
+            expected,
+        } => {
+            out.push(VIOLATION_INTERNAL_READ);
+            write_varint(out, u64::from(txn.index()));
+            write_varint(out, u64::from(obj.index()));
+            write_varint(out, got.get());
+            write_varint(out, expected.get());
+        }
+        Violation::MissingWriter { txn, obj, value } => {
+            out.push(VIOLATION_MISSING_WRITER);
+            write_varint(out, u64::from(txn.index()));
+            write_varint(out, u64::from(obj.index()));
+            write_varint(out, value.get());
+        }
+        Violation::ConstraintCycle { txns } => {
+            out.push(VIOLATION_CONSTRAINT_CYCLE);
+            write_varint(out, txns.len() as u64);
+            for t in txns {
+                write_varint(out, u64::from(t.index()));
+            }
+        }
+        Violation::NoSerialization {
+            criterion,
+            explored,
+        } => {
+            out.push(VIOLATION_NO_SERIALIZATION);
+            put_bytes(out, criterion.as_bytes());
+            write_varint(out, *explored);
+        }
+        Violation::PrefixNotFinalStateOpaque { prefix_len, cause } => {
+            out.push(VIOLATION_PREFIX);
+            write_varint(out, *prefix_len as u64);
+            put_violation(out, cause)?;
+        }
+        // Component tasks never produce this (their prelint runs in the
+        // coordinator), but whole-history tasks do — opacity in
+        // particular embeds lint refutations inside prefix causes.
+        Violation::LintRefuted {
+            criterion,
+            diagnostic,
+        } => {
+            out.push(VIOLATION_LINT_REFUTED);
+            put_bytes(out, criterion.as_bytes());
+            put_diagnostic(out, diagnostic);
+        }
+    }
+    Ok(())
+}
+
+fn put_span(out: &mut Vec<u8>, span: &Span) {
+    write_varint(out, span.event as u64);
+    put_bytes(out, span.label.as_bytes());
+}
+
+fn put_diagnostic(out: &mut Vec<u8>, d: &Diagnostic) {
+    put_bytes(out, d.rule.as_bytes());
+    let severity = SEVERITY_TAGS
+        .iter()
+        .find(|(s, _)| *s == d.severity)
+        .map(|&(_, t)| t)
+        .expect("every severity is in the table");
+    out.push(severity);
+    let applicability = APPLICABILITY_TAGS
+        .iter()
+        .find(|(a, _)| *a == d.applicability)
+        .map(|&(_, t)| t)
+        .expect("every applicability is in the table");
+    out.push(applicability);
+    put_bytes(out, d.message.as_bytes());
+    put_span(out, &d.primary);
+    write_varint(out, d.secondary.len() as u64);
+    for span in &d.secondary {
+        put_span(out, span);
+    }
+}
+
+fn get_span(bytes: &[u8], pos: &mut usize) -> Result<Span, ProtocolError> {
+    Ok(Span {
+        event: get_varint(bytes, pos, "span event")? as usize,
+        label: get_str(bytes, pos, "span label")?,
+    })
+}
+
+fn get_diagnostic(bytes: &[u8], pos: &mut usize) -> Result<Diagnostic, ProtocolError> {
+    let rule_raw = get_str(bytes, pos, "diagnostic rule")?;
+    // Rule ids are `&'static str` in core: map back through the registry.
+    let rule = lint::rules()
+        .iter()
+        .find(|r| r.id == rule_raw)
+        .map(|r| r.id)
+        .ok_or_else(|| malformed("diagnostic rule", format!("unknown rule {rule_raw:?}")))?;
+    let severity_tag = get_u8(bytes, pos, "diagnostic severity")?;
+    let severity = SEVERITY_TAGS
+        .iter()
+        .find(|&&(_, t)| t == severity_tag)
+        .map(|&(s, _)| s)
+        .ok_or_else(|| malformed("diagnostic severity", format!("unknown tag {severity_tag}")))?;
+    let applicability_tag = get_u8(bytes, pos, "diagnostic applicability")?;
+    let applicability = APPLICABILITY_TAGS
+        .iter()
+        .find(|&&(_, t)| t == applicability_tag)
+        .map(|&(a, _)| a)
+        .ok_or_else(|| {
+            malformed(
+                "diagnostic applicability",
+                format!("unknown tag {applicability_tag}"),
+            )
+        })?;
+    let message = get_str(bytes, pos, "diagnostic message")?;
+    let primary = get_span(bytes, pos)?;
+    let n = get_varint(bytes, pos, "diagnostic secondary")? as usize;
+    if n > bytes.len() {
+        return Err(malformed("diagnostic secondary", "count exceeds payload"));
+    }
+    let mut secondary = Vec::with_capacity(n);
+    for _ in 0..n {
+        secondary.push(get_span(bytes, pos)?);
+    }
+    Ok(Diagnostic {
+        rule,
+        severity,
+        applicability,
+        message,
+        primary,
+        secondary,
+    })
+}
+
+fn get_violation(bytes: &[u8], pos: &mut usize, depth: u8) -> Result<Violation, ProtocolError> {
+    if depth > 32 {
+        return Err(malformed("violation", "nesting too deep"));
+    }
+    let tag = get_u8(bytes, pos, "violation tag")?;
+    Ok(match tag {
+        VIOLATION_INTERNAL_READ => Violation::InternalReadInconsistency {
+            txn: txn_id(get_varint(bytes, pos, "violation txn")?)?,
+            obj: obj_id(get_varint(bytes, pos, "violation obj")?)?,
+            got: Value::new(get_varint(bytes, pos, "violation value")?),
+            expected: Value::new(get_varint(bytes, pos, "violation value")?),
+        },
+        VIOLATION_MISSING_WRITER => Violation::MissingWriter {
+            txn: txn_id(get_varint(bytes, pos, "violation txn")?)?,
+            obj: obj_id(get_varint(bytes, pos, "violation obj")?)?,
+            value: Value::new(get_varint(bytes, pos, "violation value")?),
+        },
+        VIOLATION_CONSTRAINT_CYCLE => {
+            let n = get_varint(bytes, pos, "violation cycle")? as usize;
+            if n > bytes.len() {
+                return Err(malformed("violation cycle", "count exceeds payload"));
+            }
+            let mut txns = Vec::with_capacity(n);
+            for _ in 0..n {
+                txns.push(txn_id(get_varint(bytes, pos, "violation txn")?)?);
+            }
+            Violation::ConstraintCycle { txns }
+        }
+        VIOLATION_NO_SERIALIZATION => Violation::NoSerialization {
+            criterion: get_str(bytes, pos, "violation criterion")?,
+            explored: get_varint(bytes, pos, "violation explored")?,
+        },
+        VIOLATION_PREFIX => Violation::PrefixNotFinalStateOpaque {
+            prefix_len: get_varint(bytes, pos, "violation prefix")? as usize,
+            cause: Box::new(get_violation(bytes, pos, depth + 1)?),
+        },
+        VIOLATION_LINT_REFUTED => Violation::LintRefuted {
+            criterion: get_str(bytes, pos, "violation criterion")?,
+            diagnostic: Box::new(get_diagnostic(bytes, pos)?),
+        },
+        other => return Err(malformed("violation tag", format!("unknown tag {other}"))),
+    })
+}
+
+fn txn_id(raw: u64) -> Result<TxnId, ProtocolError> {
+    u32::try_from(raw)
+        .map(TxnId::new)
+        .map_err(|_| malformed("transaction id", format!("{raw} exceeds u32")))
+}
+
+fn obj_id(raw: u64) -> Result<ObjId, ProtocolError> {
+    u32::try_from(raw)
+        .map(ObjId::new)
+        .map_err(|_| malformed("object id", format!("{raw} exceeds u32")))
+}
+
+/// Encodes a verdict payload.
+pub fn encode_verdict_msg(msg: &VerdictMsg) -> Result<Vec<u8>, ProtocolError> {
+    let mut out = Vec::with_capacity(64);
+    write_varint(&mut out, msg.task_id);
+    write_varint(&mut out, msg.explored);
+    match &msg.verdict {
+        Verdict::Satisfied(w) => {
+            out.push(VERDICT_SATISFIED);
+            write_varint(&mut out, w.order().len() as u64);
+            for t in w.order() {
+                write_varint(&mut out, u64::from(t.index()));
+            }
+            write_varint(&mut out, w.commit_choices().len() as u64);
+            for (t, &committed) in w.commit_choices() {
+                write_varint(&mut out, u64::from(t.index()));
+                out.push(u8::from(committed));
+            }
+        }
+        Verdict::Violated(v) => {
+            out.push(VERDICT_VIOLATED);
+            put_violation(&mut out, v)?;
+        }
+        Verdict::Unknown {
+            explored,
+            reason,
+            partial,
+        } => {
+            out.push(VERDICT_UNKNOWN);
+            write_varint(&mut out, *explored);
+            let tag = REASON_TAGS
+                .iter()
+                .find(|(r, _)| r == reason)
+                .map(|&(_, t)| t)
+                .expect("every reason is in the table");
+            out.push(tag);
+            match partial {
+                None => out.push(0),
+                Some(p) => {
+                    out.push(1);
+                    write_varint(&mut out, p.components_decided);
+                    write_varint(&mut out, p.components_total);
+                    write_varint(&mut out, p.tiers.len() as u64);
+                    for t in &p.tiers {
+                        put_bytes(&mut out, t.as_bytes());
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a verdict payload.
+pub fn decode_verdict_msg(payload: &[u8]) -> Result<VerdictMsg, ProtocolError> {
+    let mut pos = 0;
+    let task_id = get_varint(payload, &mut pos, "verdict")?;
+    let explored = get_varint(payload, &mut pos, "verdict")?;
+    let tag = get_u8(payload, &mut pos, "verdict tag")?;
+    let verdict = match tag {
+        VERDICT_SATISFIED => {
+            let n = get_varint(payload, &mut pos, "witness order")? as usize;
+            if n > payload.len() {
+                return Err(malformed("witness order", "count exceeds payload"));
+            }
+            let mut order = Vec::with_capacity(n);
+            for _ in 0..n {
+                order.push(txn_id(get_varint(payload, &mut pos, "witness txn")?)?);
+            }
+            let m = get_varint(payload, &mut pos, "witness choices")? as usize;
+            if m > payload.len() {
+                return Err(malformed("witness choices", "count exceeds payload"));
+            }
+            let mut choices = BTreeMap::new();
+            for _ in 0..m {
+                let t = txn_id(get_varint(payload, &mut pos, "witness txn")?)?;
+                let c = get_u8(payload, &mut pos, "witness choice")?;
+                if c > 1 {
+                    return Err(malformed("witness choice", format!("bool byte {c}")));
+                }
+                choices.insert(t, c == 1);
+            }
+            Verdict::Satisfied(Witness::new(order, choices))
+        }
+        VERDICT_VIOLATED => Verdict::Violated(get_violation(payload, &mut pos, 0)?),
+        VERDICT_UNKNOWN => {
+            let explored = get_varint(payload, &mut pos, "unknown explored")?;
+            let reason_tag = get_u8(payload, &mut pos, "unknown reason")?;
+            let reason = REASON_TAGS
+                .iter()
+                .find(|&&(_, t)| t == reason_tag)
+                .map(|&(r, _)| r)
+                .ok_or_else(|| malformed("unknown reason", format!("unknown tag {reason_tag}")))?;
+            let partial = match get_u8(payload, &mut pos, "unknown partial")? {
+                0 => None,
+                1 => {
+                    let decided = get_varint(payload, &mut pos, "partial decided")?;
+                    let total = get_varint(payload, &mut pos, "partial total")?;
+                    let k = get_varint(payload, &mut pos, "partial tiers")? as usize;
+                    if k > payload.len() {
+                        return Err(malformed("partial tiers", "count exceeds payload"));
+                    }
+                    let mut p = PartialProgress::components(decided, total);
+                    for _ in 0..k {
+                        let raw = get_bytes(payload, &mut pos, "partial tier")?;
+                        let tier = KNOWN_TIERS
+                            .iter()
+                            .find(|t| t.as_bytes() == raw)
+                            .copied()
+                            .ok_or_else(|| {
+                                malformed(
+                                    "partial tier",
+                                    format!("unknown tier {:?}", String::from_utf8_lossy(raw)),
+                                )
+                            })?;
+                        p.tiers.push(tier);
+                    }
+                    Some(p)
+                }
+                other => return Err(malformed("unknown partial", format!("flag byte {other}"))),
+            };
+            Verdict::Unknown {
+                explored,
+                reason,
+                partial,
+            }
+        }
+        other => return Err(malformed("verdict tag", format!("unknown tag {other}"))),
+    };
+    expect_end(payload, pos, "verdict")?;
+    Ok(VerdictMsg {
+        task_id,
+        explored,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(k: u32) -> TxnId {
+        TxnId::new(k)
+    }
+
+    fn round_trip_frame(ty: u8, payload: &[u8]) -> (u8, Vec<u8>) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, ty, payload).unwrap();
+        let mut rd = FrameReader::new(&wire[..]);
+        let (got_ty, got) = rd.read_frame().unwrap().expect("one frame");
+        let out = (got_ty, got.to_vec());
+        assert!(rd.read_frame().unwrap().is_none(), "clean eof after frame");
+        out
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let (ty, payload) = round_trip_frame(FRAME_TASK, b"hello frames");
+        assert_eq!(ty, FRAME_TASK);
+        assert_eq!(payload, b"hello frames");
+        let (ty, payload) = round_trip_frame(FRAME_SHUTDOWN, b"");
+        assert_eq!(ty, FRAME_SHUTDOWN);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn corrupt_byte_is_caught_by_crc() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FRAME_TASK, b"payload under guard").unwrap();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            let mut rd = FrameReader::new(&bad[..]);
+            // Every single-byte corruption must surface as a structured
+            // error or a clean EOF — never a wrong payload or a panic.
+            if let Ok(Some((ty, payload))) = rd.read_frame() {
+                assert!(
+                    ty == FRAME_TASK && payload == b"payload under guard",
+                    "corruption at {i} silently altered the frame"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_structured() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FRAME_VERDICT, b"0123456789abcdef").unwrap();
+        for cut in 0..wire.len() {
+            let mut rd = FrameReader::new(&wire[..cut]);
+            match rd.read_frame() {
+                Ok(None) => assert_eq!(cut, 0, "only an empty stream is a clean eof"),
+                Ok(Some(_)) => panic!("truncated frame at {cut} decoded"),
+                Err(ProtocolError::Malformed { .. }) => {}
+                Err(ProtocolError::Io(e)) => panic!("io error at {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_bad_version() {
+        decode_hello(&encode_hello()).unwrap();
+        let mut bad = encode_hello();
+        bad[4] = 99;
+        assert!(decode_hello(&bad).is_err());
+        assert!(decode_hello(b"DUOB\x01").is_err());
+    }
+
+    #[test]
+    fn task_round_trips() {
+        let msg = TaskMsg {
+            task_id: 42,
+            attempt: 1,
+            criterion: "du".to_owned(),
+            prelint: false,
+            ladder: true,
+            decompose: true,
+            max_states: 10_000,
+            deadline_ms: 0,
+            history: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(decode_task(&encode_task(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn verdict_round_trips_all_shapes() {
+        let mut choices = BTreeMap::new();
+        choices.insert(t(3), true);
+        choices.insert(t(9), false);
+        let shapes = vec![
+            Verdict::Satisfied(Witness::new(vec![t(1), t(3), t(2)], choices)),
+            Verdict::Violated(Violation::MissingWriter {
+                txn: t(4),
+                obj: ObjId::new(7),
+                value: Value::new(19),
+            }),
+            Verdict::Violated(Violation::InternalReadInconsistency {
+                txn: t(1),
+                obj: ObjId::new(0),
+                got: Value::new(2),
+                expected: Value::new(3),
+            }),
+            Verdict::Violated(Violation::ConstraintCycle {
+                txns: vec![t(1), t(2), t(3)],
+            }),
+            Verdict::Violated(Violation::NoSerialization {
+                criterion: "du-opacity".to_owned(),
+                explored: 12345,
+            }),
+            Verdict::Violated(Violation::PrefixNotFinalStateOpaque {
+                prefix_len: 9,
+                cause: Box::new(Violation::NoSerialization {
+                    criterion: "final-state opacity".to_owned(),
+                    explored: 7,
+                }),
+            }),
+            Verdict::Violated(Violation::PrefixNotFinalStateOpaque {
+                prefix_len: 3,
+                cause: Box::new(Violation::LintRefuted {
+                    criterion: "final-state opacity".to_owned(),
+                    diagnostic: Box::new(Diagnostic {
+                        rule: lint::rules()[0].id,
+                        severity: Severity::Error,
+                        applicability: Applicability::AllCriteria,
+                        message: "a read can never be legal".to_owned(),
+                        primary: Span {
+                            event: 29,
+                            label: "T4->2".to_owned(),
+                        },
+                        secondary: vec![Span {
+                            event: 3,
+                            label: "T1:W(X0,1)".to_owned(),
+                        }],
+                    }),
+                }),
+            }),
+            Verdict::Unknown {
+                explored: 99,
+                reason: UnknownReason::Deadline,
+                partial: None,
+            },
+            Verdict::Unknown {
+                explored: 1,
+                reason: UnknownReason::WorkerDeath,
+                partial: Some({
+                    let mut p = PartialProgress::components(2, 5);
+                    p.tiers = vec!["exact-search", "lint"];
+                    p
+                }),
+            },
+        ];
+        for verdict in shapes {
+            let msg = VerdictMsg {
+                task_id: 7,
+                explored: 1234,
+                verdict,
+            };
+            let wire = encode_verdict_msg(&msg).unwrap();
+            assert_eq!(decode_verdict_msg(&wire).unwrap(), msg, "shape: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn verdict_fuzz_decode_never_panics() {
+        // Deterministic xorshift byte soup: the decoder must always return
+        // a structured result on arbitrary input.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in 0..256usize {
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                bytes.push(state as u8);
+            }
+            let _ = decode_verdict_msg(&bytes);
+            let _ = decode_task(&bytes);
+            let _ = decode_hello(&bytes);
+        }
+    }
+}
