@@ -15,7 +15,9 @@ use duop_core::{
 };
 use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
 use duop_history::History;
-use duop_shard::{run_sharded, ShardConfig, ShardCriterion, ShardJob, KILL_TASK_ENV};
+use duop_shard::{
+    run_sharded, ShardConfig, ShardCriterion, ShardJob, KILL_AFTER_HELLO_ENV, KILL_TASK_ENV,
+};
 
 fn worker_cmd() -> Vec<String> {
     vec![
@@ -168,6 +170,46 @@ fn worker_death_requeues_and_preserves_the_verdict() {
         matches!(survived[0], Verdict::Satisfied(_) | Verdict::Violated(_)),
         "the re-queued task must still be decided, not degraded to unknown"
     );
+}
+
+/// Workers that die shortly after the handshake, never reading a frame,
+/// fail every dispatch: the task dies unread in the pipe (or the write
+/// itself breaks). The coordinator must keep the task through both
+/// routes — re-queue it, burn the retry budget on the equally doomed
+/// respawns, and degrade the verdict to `unknown (worker-death)` —
+/// never strand it off the queue and stall. (If a worker loses a timing
+/// race and dies before the task even reaches it, `AllWorkersDead` is
+/// the documented outcome instead; both prove the task was not
+/// silently lost.)
+#[test]
+fn failed_dispatch_never_strands_a_task() {
+    use duop_core::UnknownReason;
+    use duop_shard::ShardError;
+    let h = HistoryGen::new(HistoryGenConfig::medium_simulated().with_txns(30), 3).generate();
+
+    let mut cfg = shard_config(1, false);
+    cfg.retry = 1;
+    cfg.prelint = false; // force a real task: the lint prefilter must not decide it
+    cfg.ladder = false;
+    cfg.worker_env = vec![(KILL_AFTER_HELLO_ENV.to_owned(), "1".to_owned())];
+
+    match run_sharded(
+        vec![ShardJob {
+            history: h,
+            criterion: ShardCriterion::Plan(PlanCriterion::Du),
+        }],
+        &cfg,
+    ) {
+        Ok(verdicts) => match &verdicts[0] {
+            Verdict::Unknown {
+                reason: UnknownReason::WorkerDeath,
+                ..
+            } => {}
+            other => panic!("expected unknown (worker-death), got {other:?}"),
+        },
+        Err(ShardError::AllWorkersDead(_)) => {}
+        Err(other) => panic!("expected a completed run or all-workers-dead, got {other}"),
+    }
 }
 
 /// With the retry budget forced to zero, the same injected death must

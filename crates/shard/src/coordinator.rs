@@ -42,8 +42,8 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::fmt;
 use std::io::Write;
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::mpsc::{channel, Sender};
-use std::time::Instant;
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
 
 /// What a shard run checks: a component-decomposable criterion, or
 /// opacity, which ships whole histories (every prefix must be
@@ -604,6 +604,34 @@ impl Coordinator<'_> {
         self.workers.iter().filter(|w| w.alive).count()
     }
 
+    /// Detects a wedged run: jobs outstanding, yet nothing left that can
+    /// produce another event. Progress needs either the planner (more
+    /// tasks coming) or an in-flight task on a live worker (a verdict
+    /// coming); anything else is a lost-event stall this converts into a
+    /// [`ShardError`] instead of blocking on the event channel forever.
+    fn stall_detail(&self, planner_finished: bool) -> Option<String> {
+        if !self.plan_done {
+            return planner_finished
+                .then(|| "planner thread ended before completing the plan".to_owned());
+        }
+        let in_flight = self
+            .tasks
+            .values()
+            .any(|t| t.outcome.is_none() && t.assigned.iter().any(|&w| self.workers[w].alive));
+        if in_flight {
+            return None;
+        }
+        let queued = self
+            .tasks
+            .values()
+            .filter(|t| t.outcome.is_none() && t.queued)
+            .count();
+        Some(format!(
+            "stalled with jobs outstanding: {queued} queued task(s), none in flight, {} live worker(s)",
+            self.alive_count()
+        ))
+    }
+
     fn record_job_if_complete(&mut self, job_index: usize) {
         let job = &self.jobs[job_index];
         if self.results[job_index].is_some() {
@@ -683,26 +711,34 @@ impl Coordinator<'_> {
             deadline_ms: self.cfg.deadline_ms.unwrap_or(0),
             history: task.spec.payload.clone(),
         };
-        let handle = &mut self.workers[worker];
-        let stdin = handle.stdin.as_mut().expect("live worker has stdin");
-        write_frame(stdin, FRAME_TASK, &encode_task(&msg))
-            .and_then(|()| stdin.flush().map_err(Into::into))
-            .map_err(|e| e.to_string())?;
-        handle.task = Some(task_id);
-        let task = self.tasks.get_mut(&task_id).expect("known task");
+        // Register the assignment before touching the pipe: a failed
+        // write then flows through `handle_worker_gone` like any other
+        // worker death — the task is re-queued (or retired against its
+        // retry budget) and a replacement worker is spawned, instead of
+        // being silently lost off the queue.
         task.assigned.push(worker);
         task.queued = false;
         task.last_dispatch = Instant::now();
-        Ok(())
+        let handle = &mut self.workers[worker];
+        handle.task = Some(task_id);
+        let stdin = handle.stdin.as_mut().expect("live worker has stdin");
+        write_frame(stdin, FRAME_TASK, &encode_task(&msg))
+            .and_then(|()| stdin.flush().map_err(Into::into))
+            .map_err(|e| e.to_string())
     }
 
-    /// The task an idle worker should duplicate when the queue is dry:
-    /// the longest-running in-flight task not already duplicated.
-    fn steal_candidate(&self) -> Option<u64> {
+    /// The task `worker` should duplicate when the queue is dry: the
+    /// longest-running in-flight task not already duplicated and not
+    /// already on this worker's desk.
+    fn steal_candidate(&self, worker: usize) -> Option<u64> {
         self.tasks
             .values()
             .filter(|t| {
-                t.outcome.is_none() && !t.queued && !t.assigned.is_empty() && t.assigned.len() < 2
+                t.outcome.is_none()
+                    && !t.queued
+                    && !t.assigned.is_empty()
+                    && t.assigned.len() < 2
+                    && !t.assigned.contains(&worker)
             })
             .min_by_key(|t| t.last_dispatch)
             .map(|t| t.spec.id)
@@ -730,16 +766,21 @@ impl Coordinator<'_> {
                 if !self.plan_done {
                     return Ok(());
                 }
-                let Some(worker) = self.idle.last().copied() else {
+                // Pair any idle worker with a candidate it is not
+                // already running; one collision must not strand the
+                // rest of the idle pool until the next event.
+                let pair = self
+                    .idle
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find_map(|(pos, &worker)| {
+                        self.steal_candidate(worker).map(|c| (pos, c))
+                    });
+                let Some((pos, candidate)) = pair else {
                     return Ok(());
                 };
-                let Some(candidate) = self.steal_candidate() else {
-                    return Ok(());
-                };
-                if self.tasks[&candidate].assigned.contains(&worker) {
-                    return Ok(());
-                }
-                self.idle.pop();
+                let worker = self.idle.remove(pos);
                 if let Err(detail) = self.dispatch_to(worker, candidate) {
                     self.handle_worker_gone(worker, &detail);
                 }
@@ -883,13 +924,24 @@ pub fn run_sharded(jobs: Vec<ShardJob>, cfg: &ShardConfig) -> Result<Vec<Verdict
     let planner = std::thread::spawn(move || plan_jobs(jobs, &planner_cfg, &planner_tx));
     drop(tx);
 
+    // How long the event channel may sit silent between liveness checks.
+    // Generous against real work (an in-flight task suppresses the stall
+    // verdict no matter how long it grinds) and cheap to poll.
+    const LIVENESS_INTERVAL: Duration = Duration::from_millis(200);
+
     let result = loop {
         if coordinator.completed == total {
             break Ok(());
         }
-        let event = match rx.recv() {
+        let event = match rx.recv_timeout(LIVENESS_INTERVAL) {
             Ok(event) => event,
-            Err(_) => {
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(detail) = coordinator.stall_detail(planner.is_finished()) {
+                    break Err(ShardError::Internal(detail));
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
                 break Err(ShardError::Internal(
                     "event channel closed with jobs outstanding".to_owned(),
                 ))
@@ -932,6 +984,91 @@ mod tests {
         };
         let err = run_sharded(Vec::new(), &cfg).unwrap_err();
         assert!(matches!(err, ShardError::Spawn(_)), "{err}");
+    }
+
+    /// A task whose dispatch write fails (worker already dead, so the
+    /// task-frame write gets a broken pipe) must never be stranded:
+    /// after `dispatch` returns, it is either decided, assigned to a
+    /// replacement, or back on the queue with a death charged — never
+    /// the pre-fix state {queued flag set, off the heap, unassigned,
+    /// undecided}, which no later event could ever resurrect.
+    #[test]
+    fn failed_dispatch_write_keeps_the_task() {
+        let cfg = ShardConfig {
+            workers: 1,
+            worker_cmd: vec!["true".to_owned()],
+            ..ShardConfig::default()
+        };
+        let (tx, _rx) = channel::<Event>();
+        // A worker whose process has already exited: the write end of
+        // its stdin is still open, but the read end is closed, so the
+        // task-frame write deterministically fails with EPIPE.
+        let mut child = Command::new("true")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .spawn()
+            .expect("spawn `true`");
+        let stdin = child.stdin.take().expect("stdin was piped");
+        child.wait().expect("`true` exits");
+
+        let mut coordinator = Coordinator {
+            cfg: &cfg,
+            tx,
+            workers: vec![WorkerHandle {
+                child,
+                stdin: Some(stdin),
+                task: None,
+                alive: true,
+            }],
+            idle: vec![0],
+            tasks: HashMap::new(),
+            pending: BinaryHeap::new(),
+            jobs: vec![JobState::default()],
+            results: vec![None],
+            completed: 0,
+            plan_done: true,
+        };
+        coordinator.jobs[0].task_ids.push(0);
+        coordinator.jobs[0].expected = Some(1);
+        coordinator.tasks.insert(
+            0,
+            TaskState {
+                spec: TaskSpec {
+                    id: 0,
+                    job: 0,
+                    plan_pos: 0,
+                    components: 1,
+                    txns: 4,
+                    criterion: "du",
+                    prelint: false,
+                    ladder: false,
+                    decompose: true,
+                    whole: false,
+                    payload: vec![0u8; 8],
+                },
+                deaths: 0,
+                queued: true,
+                assigned: Vec::new(),
+                last_dispatch: Instant::now(),
+                outcome: None,
+            },
+        );
+        coordinator.pending.push((4, Reverse(0)));
+
+        // Both outcomes are legal — Ok (the task went to a respawned
+        // worker or re-queued) or AllWorkersDead (the respawn lost its
+        // own race against `true` exiting) — but the task must survive.
+        let _ = coordinator.dispatch();
+        let task = &coordinator.tasks[&0];
+        assert!(task.deaths >= 1, "the failed write must count as a death");
+        let in_heap = coordinator.pending.iter().any(|&(_, Reverse(id))| id == 0);
+        assert!(
+            task.outcome.is_some() || !task.assigned.is_empty() || (task.queued && in_heap),
+            "task stranded: queued={} assigned={:?} decided={} in_heap={in_heap}",
+            task.queued,
+            task.assigned,
+            task.outcome.is_some(),
+        );
     }
 
     #[test]

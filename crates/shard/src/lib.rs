@@ -26,4 +26,4 @@ pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{run_sharded, ShardConfig, ShardCriterion, ShardError, ShardJob};
-pub use worker::{run_worker_io, worker_main, KILL_TASK_ENV};
+pub use worker::{run_worker_io, worker_main, KILL_AFTER_HELLO_ENV, KILL_TASK_ENV};

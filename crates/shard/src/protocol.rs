@@ -24,7 +24,7 @@
 
 use duop_core::lint::{self, Applicability, Diagnostic, Severity, Span};
 use duop_core::{PartialProgress, UnknownReason, Verdict, Violation, Witness};
-use duop_history::binary::{crc32, decode_varint, write_varint};
+use duop_history::binary::{crc32, decode_varint, write_varint, Crc32};
 use duop_history::{ObjId, TxnId, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -103,16 +103,12 @@ pub fn write_frame(w: &mut impl Write, ty: u8, payload: &[u8]) -> Result<(), Pro
     write_varint(&mut header, payload.len() as u64);
     w.write_all(&header)?;
     w.write_all(payload)?;
-    let mut digest = crc32(&[ty]);
-    if !payload.is_empty() {
-        // CRC over the concatenation [ty] ++ payload, computed in one
-        // pass below instead: recompute to keep the hot path simple.
-        let mut guarded = Vec::with_capacity(payload.len() + 1);
-        guarded.push(ty);
-        guarded.extend_from_slice(payload);
-        digest = crc32(&guarded);
-    }
-    w.write_all(&digest.to_le_bytes())?;
+    // The CRC covers [ty] ++ payload; incremental updates avoid
+    // gathering a task's whole `.duob` sub-history into a second buffer.
+    let mut digest = Crc32::new();
+    digest.update(&[ty]);
+    digest.update(payload);
+    w.write_all(&digest.finish().to_le_bytes())?;
     Ok(())
 }
 

@@ -27,6 +27,14 @@ use std::time::Duration;
 /// coordinator's re-queue path is exercised end to end.
 pub const KILL_TASK_ENV: &str = "DUOP_SHARD_KILL_TASK";
 
+/// Environment variable for fault injection in tests: when set (to any
+/// value), the worker exits (code 83) shortly after sending its
+/// handshake, without ever reading a frame — the first task dispatched
+/// to it dies unread in the pipe. Unlike [`KILL_TASK_ENV`], the kill is
+/// unconditional, so respawned replacements die the same way and the
+/// retry budget is what decides the run.
+pub const KILL_AFTER_HELLO_ENV: &str = "DUOP_SHARD_KILL_AFTER_HELLO";
+
 /// Exit code of an injected worker death (distinct from real failures).
 pub const KILL_EXIT_CODE: i32 = 83;
 
@@ -76,6 +84,13 @@ pub fn run_worker_io(input: impl Read, mut output: impl Write) -> Result<(), Pro
     let mut reader = FrameReader::new(input);
     write_frame(&mut output, FRAME_HELLO, &encode_hello())?;
     output.flush()?;
+    if std::env::var_os(KILL_AFTER_HELLO_ENV).is_some() {
+        // Injected crash between handshake and first task (see
+        // KILL_AFTER_HELLO_ENV). Linger long enough for the handshake
+        // and the first dispatch to land, then die without answering.
+        std::thread::sleep(Duration::from_millis(100));
+        std::process::exit(KILL_EXIT_CODE);
+    }
     let kill_task: Option<u64> = std::env::var(KILL_TASK_ENV)
         .ok()
         .and_then(|v| v.parse().ok());
