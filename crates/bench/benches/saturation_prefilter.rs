@@ -1,0 +1,153 @@
+//! Saturation-prefilter economics: what fraction of the generated
+//! corpora the certifying must-precede saturation pass decides without
+//! any search, what the pass costs next to the lint-only prefilter, and
+//! what independently validating a refutation certificate costs.
+//!
+//! Three headline measurements, per the corpus the E-series experiments
+//! sweep (small adversarial + small simulated):
+//!
+//! 1. `decided_fraction_milli` — decisive saturation outcomes (certified
+//!    refutation or validated witness) per thousand (history, criterion)
+//!    queries over the five saturable criteria.
+//! 2. `saturate_ns` vs `lint_ns` — median per-history wall clock of the
+//!    saturation fixpoint vs the polynomial lint pipeline, the two
+//!    prefilter tiers a check runs before searching.
+//! 3. `check_certificate_ns` — median cost of independently re-deriving
+//!    one harvested refutation certificate.
+//!
+//! Custom harness (no criterion): results land in `BENCH_8.json` at the
+//! repository root — machine-readable `{bench name: count, ns, or
+//! per-mille}` — so the perf trajectory is trackable across PRs.
+//! `--test` runs a quick smoke pass without touching the JSON.
+
+use duop_core::certificate::Certificate;
+use duop_core::lint::lint;
+use duop_core::{check_certificate, saturate, PlanCriterion, SaturationOutcome};
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::History;
+use std::time::Instant;
+
+const CRITERIA: [PlanCriterion; 5] = [
+    PlanCriterion::FinalState,
+    PlanCriterion::Du,
+    PlanCriterion::Rco,
+    PlanCriterion::Tms2,
+    PlanCriterion::Strict,
+];
+
+/// Median of `samples` timed sweeps of `f` over `set`, in ns per item.
+fn median_ns<T, F: Fn(&T)>(set: &[T], samples: usize, f: F) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for item in set {
+                f(item);
+            }
+            start.elapsed().as_nanos() as u64 / set.len().max(1) as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let samples = if smoke { 3 } else { 20 };
+    let seeds = if smoke { 60 } else { 300 };
+
+    let mut results: Vec<(String, u64)> = Vec::new();
+
+    for (mode, config) in [
+        ("adversarial", HistoryGenConfig::small_adversarial()),
+        ("simulated", HistoryGenConfig::small_simulated()),
+    ] {
+        let pool: Vec<History> = (0..seeds)
+            .map(|seed| HistoryGen::new(config.clone(), seed).generate())
+            .collect();
+
+        // 1. Decisiveness: how much of the corpus never reaches a search.
+        let mut decided = 0u64;
+        let mut refuted = 0u64;
+        let mut queries = 0u64;
+        let mut certs: Vec<(History, Certificate)> = Vec::new();
+        for h in &pool {
+            for criterion in CRITERIA {
+                queries += 1;
+                match saturate(h, criterion) {
+                    SaturationOutcome::Refuted(cert) => {
+                        refuted += 1;
+                        let prepared = criterion.prepare(h);
+                        let hh = prepared.unwrap_or_else(|| h.clone());
+                        assert_eq!(
+                            check_certificate(&hh, &cert),
+                            Ok(()),
+                            "harvested certificate is invalid ({mode})"
+                        );
+                        certs.push((hh, cert));
+                    }
+                    SaturationOutcome::Decided(_) => decided += 1,
+                    SaturationOutcome::Inconclusive => {}
+                }
+            }
+        }
+        let decisive_milli = (decided + refuted) * 1000 / queries.max(1);
+        println!(
+            "saturation_prefilter/{mode}: {decided} decided + {refuted} certified refutations \
+             of {queries} queries ({}.{:01}% decisive)",
+            decisive_milli / 10,
+            decisive_milli % 10,
+        );
+
+        // 2. Prefilter-tier cost: the saturation fixpoint (du-opacity, the
+        // richest rule set) vs the whole lint pipeline, per history.
+        let saturate_ns = median_ns(&pool, samples, |h| {
+            std::hint::black_box(saturate(h, PlanCriterion::Du));
+        });
+        let lint_ns = median_ns(&pool, samples, |h| {
+            std::hint::black_box(lint(h));
+        });
+        println!(
+            "saturation_prefilter/{mode}: saturate {saturate_ns} ns/history, \
+             lint {lint_ns} ns/history ({:.1}x lint)",
+            saturate_ns as f64 / lint_ns.max(1) as f64
+        );
+
+        // 3. Validation overhead per refutation.
+        let check_ns = median_ns(&certs, samples, |(hh, cert)| {
+            assert_eq!(check_certificate(hh, cert), Ok(()));
+        });
+        println!(
+            "saturation_prefilter/{mode}: check_certificate {check_ns} ns/refutation \
+             over {} certificates",
+            certs.len()
+        );
+
+        for (suffix, value) in [
+            ("queries", queries),
+            ("decided", decided),
+            ("refuted", refuted),
+            ("decided_fraction_milli", decisive_milli),
+            ("saturate_ns", saturate_ns),
+            ("lint_ns", lint_ns),
+            ("check_certificate_ns", check_ns),
+        ] {
+            results.push((format!("saturation_prefilter/{mode}/{suffix}"), value));
+        }
+    }
+
+    if smoke {
+        println!("smoke run (--test): BENCH_8.json left untouched");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (name, value)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {value}{comma}\n"));
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    std::fs::write(path, json).expect("write BENCH_8.json");
+    println!("wrote {path}");
+}

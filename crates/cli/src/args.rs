@@ -9,15 +9,18 @@ duop — check transactional-memory histories against du-opacity and friends
 
 USAGE:
   duop check <trace-file|-> [--criterion NAME]... [--threads N]
-             [--no-decompose] [--no-prelint] [--no-ladder]
+             [--no-decompose] [--no-prelint] [--no-ladder] [--no-saturate]
+             [--certify]
              [--deadline MS] [--max-states N] [--retry N] [--escalate F]
              [--checkpoint FILE] [--checkpoint-every N]
              [--format text|json]
   duop shard <trace-file|->... [--workers N] [--criterion NAME]...
-             [--no-decompose] [--no-prelint] [--no-ladder]
+             [--no-decompose] [--no-prelint] [--no-ladder] [--no-saturate]
              [--deadline MS] [--max-states N] [--retry N] [--min-chunk N]
              [--format text|json]
+  duop certify <trace-file|-> [--criterion NAME]... [--format text|json]
   duop lint <trace-file|-> [--format text|json] [--rule ID]...
+            [--explain RULE-ID]
   duop fuzz --engine tl2|norec|dstm|2pl|pessimistic|dirty
             [--faults SPEC] [--seed N] [--iters N] [--threads N]
             [--objs N] [--format text|json]
@@ -48,7 +51,14 @@ strict. `--threads N` runs the serialization search on N worker threads
 sequential engine's. `--no-decompose` disables the search planner's
 conflict-graph decomposition (ablation; slower on multi-component
 histories, same verdicts). `--no-prelint` disables the polynomial lint
-prefilter (ablation, same verdicts). `--deadline MS` bounds each
+prefilter (ablation, same verdicts). `--no-saturate` disables the
+certifying must-precede saturation prefilter, which runs after lint and
+decides many histories polynomially: a derived precedence cycle becomes
+a machine-checkable refutation certificate, a fully-determined order a
+validated witness (ablation, same verdicts). `--certify` additionally
+re-validates every saturation certificate with the independent
+`check_certificate` validator before reporting it (a validation failure
+is a usage-style error, exit 2). `--deadline MS` bounds each
 serialization search by a wall-clock deadline and `--max-states N` by an
 explored-state budget; a search that runs out reports `unknown (...)`
 with a `partial` progress payload instead of hanging. On budget
@@ -104,11 +114,23 @@ its seed; the first violation is shrunk to a minimal core and printed.
 standalone trace (`--trace-format binary` for `.duob`) that replays with
 `duop check FILE`. Exit 1 on a finding, 0 on a clean run.
 
+`certify` runs only the certifying saturation pass (no search) for the
+saturable criteria (du-opacity, final-state, rco, tms2, strict). A
+refutation prints its certificate — every derived edge with its rule and
+premises, plus the closed cycle — after the independent validator
+re-derives it from the literal history; a fully-determined history
+prints its validated witness; anything else is reported `inconclusive`
+(fall back to `duop check`). `--format json` emits the certificate as a
+machine-readable object. Exit 1 on a certified refutation, 2 if a
+certificate fails validation (a checker bug, never silent).
+
 `lint` runs only the polynomial static analyses and prints structured
 diagnostics (rule id, severity, event spans); `--rule ID` restricts the
 output to the given rules (repeatable). Rule ids and summaries are listed
 in DESIGN.md; an `error`-severity diagnostic is a proven refutation of
-the criteria it names.
+the criteria it names. `--explain RULE-ID` instead prints the rule's
+paper grounding (definition and theorem references) and a minimal
+example trace that fires it.
 
 Exit codes: 0 all criteria satisfied (for lint: no error-severity
 diagnostic), 1 some violated (lint: at least one error), 2 usage/parse
@@ -213,6 +235,12 @@ pub enum Command {
         /// Run the verdict-degradation ladder on budget exhaustion
         /// (`--no-ladder` clears it, for ablations).
         ladder: bool,
+        /// Run the certifying saturation prefilter (`--no-saturate`
+        /// clears it, for ablations).
+        saturate: bool,
+        /// Re-validate every saturation certificate with the independent
+        /// validator before reporting it (`--certify` sets it).
+        certify: bool,
         /// Wall-clock deadline per serialization search, in milliseconds
         /// (`None` = unbounded).
         deadline_ms: Option<u64>,
@@ -247,6 +275,9 @@ pub enum Command {
         /// Run the verdict-degradation ladder on merged unknowns
         /// (`--no-ladder` clears it).
         ladder: bool,
+        /// Run the certifying saturation prefilter (`--no-saturate`
+        /// clears it).
+        saturate: bool,
         /// Wall-clock deadline per task, in milliseconds.
         deadline_ms: Option<u64>,
         /// Explored-state budget per task.
@@ -284,6 +315,15 @@ pub enum Command {
         /// Encoding for `--trace-out`: `text` or `binary`.
         trace_format: String,
     },
+    /// `duop certify`.
+    Certify {
+        /// Trace path (`-` = stdin).
+        input: String,
+        /// Criteria to certify (empty = all saturable criteria).
+        criteria: Vec<CriterionName>,
+        /// Output format: `text` or `json`.
+        format: String,
+    },
     /// `duop lint`.
     Lint {
         /// Trace path (`-` = stdin).
@@ -292,6 +332,9 @@ pub enum Command {
         format: String,
         /// Restrict output to these rule ids (empty = all).
         rules: Vec<String>,
+        /// Print one rule's paper grounding and example instead of
+        /// linting (`--explain RULE-ID`).
+        explain: Option<String>,
     },
     /// `duop render`.
     Render {
@@ -422,6 +465,8 @@ impl Command {
                 let mut decompose = true;
                 let mut prelint = true;
                 let mut ladder = true;
+                let mut saturate = true;
+                let mut certify = false;
                 let mut deadline_ms = None;
                 let mut max_states = None;
                 let mut retry = 0u64;
@@ -442,6 +487,8 @@ impl Command {
                         "--no-decompose" => decompose = false,
                         "--no-prelint" => prelint = false,
                         "--no-ladder" => ladder = false,
+                        "--no-saturate" => saturate = false,
+                        "--certify" => certify = true,
                         "--deadline" => {
                             deadline_ms =
                                 Some(value_of("--deadline", &mut it)?.parse().map_err(|_| {
@@ -480,6 +527,8 @@ impl Command {
                     decompose,
                     prelint,
                     ladder,
+                    saturate,
+                    certify,
                     deadline_ms,
                     max_states,
                     retry,
@@ -496,6 +545,7 @@ impl Command {
                 let mut decompose = true;
                 let mut prelint = true;
                 let mut ladder = true;
+                let mut saturate = true;
                 let mut deadline_ms = None;
                 let mut max_states = None;
                 let mut retry = 2u64;
@@ -514,6 +564,7 @@ impl Command {
                         "--no-decompose" => decompose = false,
                         "--no-prelint" => prelint = false,
                         "--no-ladder" => ladder = false,
+                        "--no-saturate" => saturate = false,
                         "--deadline" => {
                             deadline_ms =
                                 Some(value_of("--deadline", &mut it)?.parse().map_err(|_| {
@@ -550,6 +601,7 @@ impl Command {
                     decompose,
                     prelint,
                     ladder,
+                    saturate,
                     deadline_ms,
                     max_states,
                     retry,
@@ -629,22 +681,49 @@ impl Command {
                     trace_format,
                 })
             }
+            "certify" => {
+                let mut input = None;
+                let mut criteria = Vec::new();
+                let mut format = String::from("text");
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--criterion" | "-c" => {
+                            criteria.push(CriterionName::parse(value_of("--criterion", &mut it)?)?);
+                        }
+                        "--format" => format = parse_format(value_of("--format", &mut it)?)?,
+                        other if input.is_none() => input = Some(other.to_owned()),
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::Certify {
+                    input: input.ok_or_else(|| ParseError("certify needs a trace file".into()))?,
+                    criteria,
+                    format,
+                })
+            }
             "lint" => {
                 let mut input = None;
                 let mut format = String::from("text");
                 let mut rules = Vec::new();
+                let mut explain = None;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--format" => format = parse_format(value_of("--format", &mut it)?)?,
                         "--rule" => rules.push(value_of("--rule", &mut it)?.clone()),
+                        "--explain" => explain = Some(value_of("--explain", &mut it)?.clone()),
                         other if input.is_none() => input = Some(other.to_owned()),
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
                     }
+                }
+                // `--explain` is self-contained: no trace needed.
+                if input.is_none() && explain.is_some() {
+                    input = Some("-".to_owned());
                 }
                 Ok(Command::Lint {
                     input: input.ok_or_else(|| ParseError("lint needs a trace file".into()))?,
                     format,
                     rules,
+                    explain,
                 })
             }
             "monitor" => {
@@ -815,6 +894,8 @@ mod tests {
                 decompose: true,
                 prelint: true,
                 ladder: true,
+                saturate: true,
+                certify: false,
                 deadline_ms: None,
                 max_states: None,
                 retry: 0,
@@ -843,6 +924,8 @@ mod tests {
                 decompose: true,
                 prelint: true,
                 ladder: true,
+                saturate: true,
+                certify: false,
                 deadline_ms: None,
                 max_states: None,
                 retry: 0,
@@ -868,6 +951,8 @@ mod tests {
                 decompose: false,
                 prelint: true,
                 ladder: true,
+                saturate: true,
+                certify: false,
                 deadline_ms: None,
                 max_states: None,
                 retry: 0,
@@ -891,6 +976,8 @@ mod tests {
                 decompose: true,
                 prelint: false,
                 ladder: true,
+                saturate: true,
+                certify: false,
                 deadline_ms: None,
                 max_states: None,
                 retry: 0,
@@ -915,6 +1002,8 @@ mod tests {
                 decompose: true,
                 prelint: true,
                 ladder: true,
+                saturate: true,
+                certify: false,
                 deadline_ms: Some(250),
                 max_states: None,
                 retry: 0,
@@ -926,6 +1015,55 @@ mod tests {
         );
         assert!(parse(&["check", "t.txt", "--deadline", "soon"]).is_err());
         assert!(parse(&["check", "t.txt", "--deadline"]).is_err());
+    }
+
+    #[test]
+    fn check_parses_no_saturate_and_certify() {
+        match parse(&["check", "t.txt", "--no-saturate", "--certify"]).unwrap() {
+            Command::Check {
+                saturate, certify, ..
+            } => {
+                assert!(!saturate);
+                assert!(certify);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&["shard", "t.txt", "--no-saturate"]).unwrap() {
+            Command::Shard { saturate, .. } => assert!(!saturate),
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certify_parses_criteria_and_format() {
+        let cmd = parse(&["certify", "t.txt", "-c", "du", "--format", "json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Certify {
+                input: "t.txt".into(),
+                criteria: vec![CriterionName::DuOpacity],
+                format: "json".into(),
+            }
+        );
+        assert!(parse(&["certify"]).is_err(), "needs a trace file");
+        assert!(parse(&["certify", "t.txt", "--criterion", "nope"]).is_err());
+    }
+
+    #[test]
+    fn lint_parses_explain_without_trace() {
+        let cmd = parse(&["lint", "--explain", "DU002"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                input: "-".into(),
+                format: "text".into(),
+                rules: vec![],
+                explain: Some("DU002".into()),
+            }
+        );
+        // With a trace too: the explain still wins at execution time.
+        assert!(parse(&["lint", "t.txt", "--explain", "CY004"]).is_ok());
+        assert!(parse(&["lint", "t.txt", "--explain"]).is_err());
     }
 
     #[test]
@@ -1036,6 +1174,7 @@ mod tests {
                 input: "t.txt".into(),
                 format: "json".into(),
                 rules: vec!["DU002".into(), "CY004".into()],
+                explain: None,
             }
         );
         assert!(parse(&["lint"]).is_err());
@@ -1151,6 +1290,7 @@ mod tests {
                 decompose: true,
                 prelint: true,
                 ladder: true,
+                saturate: true,
                 deadline_ms: None,
                 max_states: None,
                 retry: 2,

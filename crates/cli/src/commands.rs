@@ -75,6 +75,8 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             decompose,
             prelint,
             ladder,
+            saturate,
+            certify,
             deadline_ms,
             max_states,
             retry,
@@ -95,6 +97,8 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 decompose: *decompose,
                 prelint: *prelint,
                 ladder: *ladder,
+                saturate: *saturate,
+                certify: *certify,
                 deadline_ms: *deadline_ms,
                 max_states: *max_states,
                 retry: *retry,
@@ -112,6 +116,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             decompose,
             prelint,
             ladder,
+            saturate,
             deadline_ms,
             max_states,
             retry,
@@ -123,6 +128,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 decompose: *decompose,
                 prelint: *prelint,
                 ladder: *ladder,
+                saturate: *saturate,
                 deadline_ms: *deadline_ms,
                 max_states: *max_states,
                 retry: *retry,
@@ -161,11 +167,21 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             };
             fuzz(&opts, out)
         }
+        Command::Certify {
+            input,
+            criteria,
+            format,
+        } => certify(&load(input)?, criteria, format, out),
         Command::Lint {
             input,
             format,
             rules,
-        } => lint(&load(input)?, format, rules, out),
+            explain,
+        } => match explain {
+            // `--explain` is a registry lookup: no trace is read.
+            Some(id) => explain_rule(id, out),
+            None => lint(&load(input)?, format, rules, out),
+        },
         Command::Graph { input } => {
             let h = load(input)?;
             let witness = DuOpacity::new().check(&h).witness().cloned();
@@ -283,6 +299,8 @@ struct CheckOpts {
     decompose: bool,
     prelint: bool,
     ladder: bool,
+    saturate: bool,
+    certify: bool,
     deadline_ms: Option<u64>,
     max_states: Option<u64>,
     retry: u64,
@@ -361,6 +379,7 @@ fn base_snapshot(h: &History, list: &[CriterionName], opts: &CheckOpts) -> Check
         decompose: opts.decompose,
         prelint: opts.prelint,
         ladder: opts.ladder,
+        saturate: opts.saturate,
         deadline_ms: opts.deadline_ms.unwrap_or(0),
         max_states: opts.max_states.unwrap_or(0),
         retry: opts.retry,
@@ -377,6 +396,7 @@ fn search_config(opts: &CheckOpts, attempt: u64) -> SearchConfig {
         decompose: opts.decompose,
         prelint: opts.prelint,
         ladder: opts.ladder,
+        saturate: opts.saturate,
         deadline: escalated(opts.deadline_ms, opts.escalate_milli, attempt)
             .map(std::time::Duration::from_millis),
         max_states: escalated(opts.max_states, opts.escalate_milli, attempt),
@@ -596,6 +616,9 @@ fn check(
                         verdict
                     }
                 };
+                if opts.certify {
+                    validate_certified(h, &verdict)?;
+                }
                 let ok = verdict.is_satisfied();
                 let detail = if json {
                     serde_json::to_string(&verdict)?
@@ -626,12 +649,166 @@ fn check(
     Ok(all_ok)
 }
 
+/// `--certify`: re-runs the independent certificate validator over a
+/// saturation refutation before the verdict is reported. A failure is a
+/// checker bug surfaced as a hard error (exit 2), never a silent pass.
+fn validate_certified(h: &History, verdict: &Verdict) -> Result<(), Box<dyn Error>> {
+    if let Verdict::Violated(duop_core::Violation::Certified { certificate, .. }) = verdict {
+        // The certificate speaks about the criterion-prepared history
+        // (e.g. the committed projection for strict serializability).
+        let prepared = certificate.criterion.prepare(h);
+        duop_core::check_certificate(prepared.as_ref().unwrap_or(h), certificate)
+            .map_err(|e| format!("certificate failed independent validation: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Maps the CLI criteria to the saturable [`duop_core::PlanCriterion`]s
+/// `duop certify` runs (empty = all five, in check order).
+fn certify_list(
+    criteria: &[CriterionName],
+) -> Result<Vec<duop_core::PlanCriterion>, Box<dyn Error>> {
+    use duop_core::PlanCriterion;
+    if criteria.is_empty() {
+        return Ok(vec![
+            PlanCriterion::FinalState,
+            PlanCriterion::Du,
+            PlanCriterion::Rco,
+            PlanCriterion::Tms2,
+            PlanCriterion::Strict,
+        ]);
+    }
+    criteria
+        .iter()
+        .map(|c| match c {
+            CriterionName::DuOpacity => Ok(PlanCriterion::Du),
+            CriterionName::FinalState => Ok(PlanCriterion::FinalState),
+            CriterionName::Rco => Ok(PlanCriterion::Rco),
+            CriterionName::Tms2 => Ok(PlanCriterion::Tms2),
+            CriterionName::Strict => Ok(PlanCriterion::Strict),
+            CriterionName::Opacity | CriterionName::Tms2Automaton => {
+                Err(Box::new(crate::args::ParseError(format!(
+                    "certify supports the saturable criteria only \
+                     (final-state, du, rco, tms2, strict), not `{}`",
+                    criterion_token(*c)
+                ))) as Box<dyn Error>)
+            }
+        })
+        .collect()
+}
+
+/// Executes `duop certify`: the saturation pass alone, per criterion.
+/// Every refutation's certificate is re-validated by the independent
+/// checker before being printed; a fully-determined history prints its
+/// witness; everything else is `inconclusive` (not a failure — the exit
+/// code only reflects certified refutations).
+fn certify(
+    h: &History,
+    criteria: &[CriterionName],
+    format: &str,
+    out: &mut dyn Write,
+) -> CmdResult {
+    use duop_core::SaturationOutcome;
+    use serde::Serialize as _;
+    let json = format == "json";
+    if !json {
+        writeln!(out, "{}", h.stats())?;
+    }
+    let mut all_ok = true;
+    for criterion in certify_list(criteria)? {
+        let label = criterion.display_name();
+        match duop_core::saturate(h, criterion) {
+            SaturationOutcome::Refuted(cert) => {
+                let prepared = criterion.prepare(h);
+                duop_core::check_certificate(prepared.as_ref().unwrap_or(h), &cert).map_err(
+                    |e| format!("{label}: certificate failed independent validation: {e}"),
+                )?;
+                all_ok = false;
+                if json {
+                    let obj = serde::Content::Map(vec![
+                        ("criterion".into(), serde::Content::Str(label.into())),
+                        ("status".into(), serde::Content::Str("violated".into())),
+                        ("certificate".into(), cert.to_content()),
+                        ("validated".into(), serde::Content::Bool(true)),
+                    ]);
+                    writeln!(out, "{}", serde_json::to_string(&obj)?)?;
+                } else {
+                    writeln!(out, "{label:<28} violated: {cert}")?;
+                    writeln!(
+                        out,
+                        "{:<28} certificate: {} steps, cycle of {}; independently validated",
+                        "",
+                        cert.steps.len(),
+                        cert.cycle.len()
+                    )?;
+                }
+            }
+            SaturationOutcome::Decided(w) => {
+                if json {
+                    let obj = serde::Content::Map(vec![
+                        ("criterion".into(), serde::Content::Str(label.into())),
+                        ("status".into(), serde::Content::Str("satisfied".into())),
+                        ("witness".into(), w.to_content()),
+                    ]);
+                    writeln!(out, "{}", serde_json::to_string(&obj)?)?;
+                } else {
+                    writeln!(out, "{label:<28} satisfied (saturation-determined witness)")?;
+                }
+            }
+            SaturationOutcome::Inconclusive => {
+                if json {
+                    writeln!(
+                        out,
+                        "{{\"criterion\":\"{label}\",\"status\":\"inconclusive\"}}"
+                    )?;
+                } else {
+                    writeln!(
+                        out,
+                        "{label:<28} inconclusive (saturation abstains; run `duop check`)"
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(all_ok)
+}
+
+/// Executes `duop lint --explain RULE-ID`: the registry entry's paper
+/// grounding and a minimal example trace that fires the rule.
+fn explain_rule(id: &str, out: &mut dyn Write) -> CmdResult {
+    let known = duop_core::lint::rules();
+    let Some(rule) = known.iter().find(|r| r.id == id) else {
+        return Err(Box::new(crate::args::ParseError(format!(
+            "unknown lint rule `{id}` (known: {})",
+            known.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+        ))));
+    };
+    writeln!(out, "{}: {}", rule.id, rule.title)?;
+    writeln!(out)?;
+    writeln!(out, "{}", rule.summary)?;
+    writeln!(out)?;
+    writeln!(out, "Paper grounding: {}", rule.paper)?;
+    writeln!(out)?;
+    writeln!(out, "Minimal example (fires the rule):")?;
+    for line in rule.example.lines() {
+        writeln!(out, "  {line}")?;
+    }
+    writeln!(out)?;
+    writeln!(
+        out,
+        "Replay: save the trace and run `duop lint <file> --rule {}`",
+        rule.id
+    )?;
+    Ok(true)
+}
+
 /// Resolved `duop shard` options.
 struct ShardOpts {
     workers: usize,
     decompose: bool,
     prelint: bool,
     ladder: bool,
+    saturate: bool,
     deadline_ms: Option<u64>,
     max_states: Option<u64>,
     retry: u64,
@@ -675,6 +852,7 @@ fn shard(
         decompose: opts.decompose,
         prelint: opts.prelint,
         ladder: opts.ladder,
+        saturate: opts.saturate,
         max_states: opts.max_states,
         deadline_ms: opts.deadline_ms,
         retry: opts.retry,
@@ -756,6 +934,10 @@ fn resume_check(cs: CheckSnapshot, file: &str, out: &mut dyn Write) -> CmdResult
         decompose: cs.decompose,
         prelint: cs.prelint,
         ladder: cs.ladder,
+        saturate: cs.saturate,
+        // `--certify` is a per-invocation display/validation choice, not
+        // part of the resumable run state.
+        certify: false,
         deadline_ms: (cs.deadline_ms > 0).then_some(cs.deadline_ms),
         max_states: (cs.max_states > 0).then_some(cs.max_states),
         retry: cs.retry,
@@ -1317,6 +1499,8 @@ mod tests {
             decompose: true,
             prelint: true,
             ladder: true,
+            saturate: true,
+            certify: false,
             deadline_ms: None,
             max_states: None,
             retry: 0,
@@ -1349,6 +1533,8 @@ mod tests {
             decompose: true,
             prelint: true,
             ladder: true,
+            saturate: true,
+            certify: false,
             deadline_ms: None,
             max_states: None,
             retry: 0,
@@ -1392,6 +1578,8 @@ mod tests {
                 decompose: true,
                 prelint: true,
                 ladder: true,
+                saturate: true,
+                certify: false,
                 deadline_ms: None,
                 max_states: None,
                 retry: 0,
@@ -1407,6 +1595,8 @@ mod tests {
                 decompose: true,
                 prelint: true,
                 ladder: true,
+                saturate: true,
+                certify: false,
                 deadline_ms: None,
                 max_states: None,
                 retry: 0,
@@ -1424,6 +1614,8 @@ mod tests {
                 decompose: false,
                 prelint: true,
                 ladder: true,
+                saturate: true,
+                certify: false,
                 deadline_ms: None,
                 max_states: None,
                 retry: 0,
@@ -1447,6 +1639,8 @@ mod tests {
             decompose: true,
             prelint: true,
             ladder: true,
+            saturate: true,
+            certify: false,
             deadline_ms: None,
             max_states: None,
             retry: 0,
@@ -1479,9 +1673,12 @@ mod tests {
             decompose: true,
             prelint: true,
             // The degradation ladder would decide this unique-writes
-            // history despite the expired deadline; this test is about
-            // the deadline provenance tag.
+            // history despite the expired deadline — and saturation
+            // would decide it before the search even starts; this test
+            // is about the deadline provenance tag.
             ladder: false,
+            saturate: false,
+            certify: false,
             deadline_ms: Some(0),
             max_states: None,
             retry: 0,
@@ -1511,6 +1708,8 @@ mod tests {
             decompose: true,
             prelint: true,
             ladder: true,
+            saturate: true,
+            certify: false,
             deadline_ms: Some(60_000),
             max_states: None,
             retry: 0,
@@ -1604,6 +1803,7 @@ mod tests {
             input: path,
             format: "text".into(),
             rules: vec![],
+            explain: None,
         });
         assert!(ok);
         assert!(output.contains("0 errors"), "output:\n{output}");
@@ -1619,6 +1819,7 @@ mod tests {
             input: path.clone(),
             format: "text".into(),
             rules: vec![],
+            explain: None,
         });
         // Figure 2 is du-opaque: the dirty read is Warning-severity, so
         // the exit status stays success.
@@ -1630,6 +1831,7 @@ mod tests {
             input: path,
             format: "json".into(),
             rules: vec![],
+            explain: None,
         });
         assert!(json.contains("\"rule\":\"DU002\""), "output:\n{json}");
         assert!(json.contains("\"primary\":{\"event\":"), "output:\n{json}");
@@ -1646,6 +1848,7 @@ mod tests {
             input: path.clone(),
             format: "text".into(),
             rules: vec![],
+            explain: None,
         });
         assert!(!ok);
         assert!(output.contains("error[RF003]"), "output:\n{output}");
@@ -1654,6 +1857,7 @@ mod tests {
             input: path.clone(),
             format: "text".into(),
             rules: vec!["UW007".into()],
+            explain: None,
         });
         assert!(ok, "output:\n{output}");
         // Unknown rule ids are a usage error.
@@ -1663,10 +1867,177 @@ mod tests {
                 input: path,
                 format: "text".into(),
                 rules: vec!["NOPE".into()],
+                explain: None,
             },
             &mut buf
         )
         .is_err());
+    }
+
+    /// Real-time vs anti-dependency two-cycle: T1 commits fully before
+    /// T2, which still reads the initial value — saturation refutes
+    /// every saturable criterion with a certificate.
+    const CYCLE: &str =
+        "T1 write X0 1\nT1 ok\nT1 tryc\nT1 commit\nT2 read X0\nT2 val 0\nT2 tryc\nT2 commit\n";
+
+    #[test]
+    fn certify_refutes_with_validated_certificate() {
+        let path = temp_trace(CYCLE);
+        let (ok, output) = run_to_string(&Command::Certify {
+            input: path.clone(),
+            criteria: vec![],
+            format: "text".into(),
+        });
+        assert!(!ok);
+        assert!(output.contains("violated"), "output:\n{output}");
+        assert!(
+            output.contains("independently validated"),
+            "output:\n{output}"
+        );
+        let (ok, json) = run_to_string(&Command::Certify {
+            input: path,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+            format: "json".into(),
+        });
+        assert!(!ok);
+        assert!(json.contains("\"certificate\""), "output:\n{json}");
+        assert!(json.contains("\"validated\":true"), "output:\n{json}");
+        assert!(json.contains("\"cycle\""), "output:\n{json}");
+    }
+
+    #[test]
+    fn certify_decides_satisfied_history() {
+        let path = temp_trace(GOOD);
+        let (ok, output) = run_to_string(&Command::Certify {
+            input: path,
+            criteria: vec![],
+            format: "text".into(),
+        });
+        assert!(ok, "output:\n{output}");
+        assert!(
+            output.contains("saturation-determined witness"),
+            "output:\n{output}"
+        );
+    }
+
+    #[test]
+    fn certify_rejects_unsupported_criterion() {
+        let path = temp_trace(GOOD);
+        let mut buf = Vec::new();
+        let err = execute(
+            &Command::Certify {
+                input: path,
+                criteria: vec![crate::args::CriterionName::Opacity],
+                format: "text".into(),
+            },
+            &mut buf,
+        )
+        .expect_err("opacity is not saturable");
+        assert!(err.to_string().contains("saturable"), "{err}");
+    }
+
+    #[test]
+    fn check_certify_validates_and_reports_certified_refutation() {
+        // Prelint off so the refutation comes from saturation (with its
+        // certificate) rather than the lint prefilter; `--certify`
+        // re-validates it in-line.
+        let path = temp_trace(CYCLE);
+        let (ok, output) = run_to_string(&Command::Check {
+            input: path,
+            criteria: vec![crate::args::CriterionName::DuOpacity],
+            threads: 1,
+            decompose: true,
+            prelint: false,
+            ladder: true,
+            saturate: true,
+            certify: true,
+            deadline_ms: None,
+            max_states: None,
+            retry: 0,
+            escalate_milli: 2000,
+            checkpoint: None,
+            checkpoint_every: 4096,
+            format: "text".into(),
+        });
+        assert!(!ok);
+        assert!(
+            output.contains("refuted by saturation"),
+            "output:\n{output}"
+        );
+    }
+
+    #[test]
+    fn check_no_saturate_reaches_the_same_verdict() {
+        for (trace, expect_ok) in [(GOOD, true), (CYCLE, false), (BAD, false)] {
+            for saturate in [true, false] {
+                let (ok, output) = run_to_string(&Command::Check {
+                    input: temp_trace(trace),
+                    criteria: vec![crate::args::CriterionName::DuOpacity],
+                    threads: 1,
+                    decompose: true,
+                    prelint: true,
+                    ladder: true,
+                    saturate,
+                    certify: false,
+                    deadline_ms: None,
+                    max_states: None,
+                    retry: 0,
+                    escalate_milli: 2000,
+                    checkpoint: None,
+                    checkpoint_every: 4096,
+                    format: "text".into(),
+                });
+                assert_eq!(ok, expect_ok, "saturate={saturate}, output:\n{output}");
+            }
+        }
+    }
+
+    #[test]
+    fn lint_explain_prints_grounding_and_example() {
+        let (ok, output) = run_to_string(&Command::Lint {
+            input: "-".into(),
+            format: "text".into(),
+            rules: vec![],
+            explain: Some("DU002".into()),
+        });
+        assert!(ok);
+        assert!(output.contains("DU002: deferred-update axiom"), "{output}");
+        assert!(output.contains("Paper grounding:"), "{output}");
+        assert!(output.contains("Minimal example"), "{output}");
+        assert!(output.contains("T2 read X0"), "{output}");
+        // Unknown rule ids are a usage error listing the registry.
+        let mut buf = Vec::new();
+        let err = execute(
+            &Command::Lint {
+                input: "-".into(),
+                format: "text".into(),
+                rules: vec![],
+                explain: Some("NOPE".into()),
+            },
+            &mut buf,
+        )
+        .expect_err("unknown rule");
+        assert!(err.to_string().contains("known:"), "{err}");
+    }
+
+    #[test]
+    fn lint_explain_examples_fire_their_rule_via_cli() {
+        // Every registry example round-trips through the real lint
+        // command and reports its own rule id.
+        for rule in duop_core::lint::rules() {
+            let path = temp_trace(rule.example);
+            let (_, output) = run_to_string(&Command::Lint {
+                input: path,
+                format: "json".into(),
+                rules: vec![rule.id.to_owned()],
+                explain: None,
+            });
+            assert!(
+                output.contains(&format!("\"rule\":\"{}\"", rule.id)),
+                "{}: output:\n{output}",
+                rule.id
+            );
+        }
     }
 
     #[test]
@@ -1733,6 +2104,8 @@ mod tests {
             decompose: true,
             prelint: true,
             ladder: true,
+            saturate: true,
+            certify: false,
             deadline_ms: None,
             max_states: None,
             retry: 0,
@@ -1764,6 +2137,8 @@ mod tests {
             decompose: true,
             prelint: true,
             ladder: true,
+            saturate: true,
+            certify: false,
             deadline_ms: None,
             max_states: None,
             retry: 0,
@@ -1846,6 +2221,8 @@ mod tests {
             decompose: true,
             prelint: true,
             ladder: true,
+            saturate: true,
+            certify: false,
             deadline_ms: None,
             max_states: None,
             retry: 0,

@@ -46,6 +46,7 @@ fn sample_task() -> TaskMsg {
         prelint: false,
         ladder: false,
         decompose: true,
+        saturate: false,
         max_states: 0,
         deadline_ms: 0,
         history: duop_history::binary::encode(&h),

@@ -2,11 +2,206 @@
 //! `duop check --format json` and `duop lint --format json` so both
 //! subcommands go through one serialization path.
 
+use crate::certificate::{Certificate, Rule, Step};
+use crate::plan::PlanCriterion;
 use crate::{PartialProgress, Verdict, Violation, Witness};
-use serde::Content;
+use duop_history::{ObjId, TxnId, Value};
+use serde::{Content, DeError};
 
 fn s(text: impl Into<String>) -> Content {
     Content::Str(text.into())
+}
+
+fn u(v: impl TryInto<u64>) -> Content {
+    Content::U64(v.try_into().unwrap_or(u64::MAX))
+}
+
+fn fields<'a>(content: &'a Content, what: &str) -> Result<&'a [(String, Content)], DeError> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        _ => Err(DeError::custom(format!("expected {what} object"))),
+    }
+}
+
+fn field<'a>(entries: &'a [(String, Content)], name: &str) -> Result<&'a Content, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+fn u64_field(entries: &[(String, Content)], name: &str) -> Result<u64, DeError> {
+    field(entries, name)?
+        .as_u64()
+        .ok_or_else(|| DeError::custom(format!("field `{name}` must be an integer")))
+}
+
+fn usize_field(entries: &[(String, Content)], name: &str) -> Result<usize, DeError> {
+    usize::try_from(u64_field(entries, name)?)
+        .map_err(|_| DeError::custom(format!("field `{name}` out of range")))
+}
+
+fn u32_field(entries: &[(String, Content)], name: &str) -> Result<u32, DeError> {
+    u32::try_from(u64_field(entries, name)?)
+        .map_err(|_| DeError::custom(format!("field `{name}` out of range")))
+}
+
+impl serde::Serialize for Rule {
+    fn to_content(&self) -> Content {
+        let mut map: Vec<(String, Content)> = vec![("rule".into(), s(self.tag()))];
+        match *self {
+            Rule::RealTime => {}
+            Rule::ReadFrom { obj, value, read } => {
+                map.push(("obj".into(), u(obj.index())));
+                map.push(("value".into(), u(value.get())));
+                map.push(("read".into(), u(read)));
+            }
+            Rule::AntiDependency { obj, read } => {
+                map.push(("obj".into(), u(obj.index())));
+                map.push(("read".into(), u(read)));
+            }
+            Rule::ReadCommitOrder { obj, read, tryc } => {
+                map.push(("obj".into(), u(obj.index())));
+                map.push(("read".into(), u(read)));
+                map.push(("tryc".into(), u(tryc)));
+            }
+            Rule::Tms2CommitOrder { obj, resp, tryc } => {
+                map.push(("obj".into(), u(obj.index())));
+                map.push(("resp".into(), u(resp)));
+                map.push(("tryc".into(), u(tryc)));
+            }
+            Rule::Transitive { first, second } => {
+                map.push(("first".into(), u(first)));
+                map.push(("second".into(), u(second)));
+            }
+            Rule::InterferenceAfter { read_from, before } => {
+                map.push(("read_from".into(), u(read_from)));
+                map.push(("before".into(), u(before)));
+            }
+            Rule::InterferenceBefore { read_from, after } => {
+                map.push(("read_from".into(), u(read_from)));
+                map.push(("after".into(), u(after)));
+            }
+        }
+        Content::Map(map)
+    }
+}
+
+impl serde::Deserialize for Rule {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = fields(content, "rule")?;
+        let tag = field(entries, "rule")?
+            .as_str()
+            .ok_or_else(|| DeError::custom("field `rule` must be a string"))?;
+        let obj = || Ok::<_, DeError>(ObjId::new(u32_field(entries, "obj")?));
+        match tag {
+            "real-time" => Ok(Rule::RealTime),
+            "read-from" => Ok(Rule::ReadFrom {
+                obj: obj()?,
+                value: Value::new(u64_field(entries, "value")?),
+                read: usize_field(entries, "read")?,
+            }),
+            "anti-dependency" => Ok(Rule::AntiDependency {
+                obj: obj()?,
+                read: usize_field(entries, "read")?,
+            }),
+            "read-commit-order" => Ok(Rule::ReadCommitOrder {
+                obj: obj()?,
+                read: usize_field(entries, "read")?,
+                tryc: usize_field(entries, "tryc")?,
+            }),
+            "tms2-commit-order" => Ok(Rule::Tms2CommitOrder {
+                obj: obj()?,
+                resp: usize_field(entries, "resp")?,
+                tryc: usize_field(entries, "tryc")?,
+            }),
+            "transitive" => Ok(Rule::Transitive {
+                first: usize_field(entries, "first")?,
+                second: usize_field(entries, "second")?,
+            }),
+            "interference-after" => Ok(Rule::InterferenceAfter {
+                read_from: usize_field(entries, "read_from")?,
+                before: usize_field(entries, "before")?,
+            }),
+            "interference-before" => Ok(Rule::InterferenceBefore {
+                read_from: usize_field(entries, "read_from")?,
+                after: usize_field(entries, "after")?,
+            }),
+            other => Err(DeError::custom(format!("unknown rule tag `{other}`"))),
+        }
+    }
+}
+
+impl serde::Serialize for Step {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("from".into(), u(self.from.index())),
+            ("to".into(), u(self.to.index())),
+            ("rule".into(), self.rule.to_content()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Step {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = fields(content, "step")?;
+        Ok(Step {
+            from: TxnId::new(u32_field(entries, "from")?),
+            to: TxnId::new(u32_field(entries, "to")?),
+            rule: Rule::from_content(field(entries, "rule")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for Certificate {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("criterion".into(), s(self.criterion.token())),
+            (
+                "steps".into(),
+                Content::Seq(self.steps.iter().map(|st| st.to_content()).collect()),
+            ),
+            (
+                "cycle".into(),
+                Content::Seq(self.cycle.iter().map(|&i| u(i)).collect()),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for Certificate {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = fields(content, "certificate")?;
+        let token = field(entries, "criterion")?
+            .as_str()
+            .ok_or_else(|| DeError::custom("field `criterion` must be a string"))?;
+        let criterion = PlanCriterion::parse(token)
+            .ok_or_else(|| DeError::custom(format!("unknown criterion `{token}`")))?;
+        let steps = match field(entries, "steps")? {
+            Content::Seq(items) => items
+                .iter()
+                .map(Step::from_content)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(DeError::custom("field `steps` must be an array")),
+        };
+        let cycle = match field(entries, "cycle")? {
+            Content::Seq(items) => items
+                .iter()
+                .map(|c| {
+                    c.as_u64()
+                        .and_then(|v| usize::try_from(v).ok())
+                        .ok_or_else(|| DeError::custom("cycle entries must be integers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(DeError::custom("field `cycle` must be an array")),
+        };
+        Ok(Certificate {
+            criterion,
+            steps,
+            cycle,
+        })
+    }
 }
 
 impl serde::Serialize for PartialProgress {
@@ -97,6 +292,14 @@ impl serde::Serialize for Violation {
                 fields.push(("criterion".into(), s(criterion.clone())));
                 fields.push(("diagnostic".into(), diagnostic.to_content()));
                 "lint-refuted"
+            }
+            Violation::Certified {
+                criterion,
+                certificate,
+            } => {
+                fields.push(("criterion".into(), s(criterion.clone())));
+                fields.push(("certificate".into(), certificate.to_content()));
+                "certified"
             }
         };
         let mut map = vec![

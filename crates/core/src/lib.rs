@@ -71,6 +71,9 @@ mod spec;
 mod verdict;
 mod witness_check;
 
+pub mod certificate;
+pub mod saturate;
+
 pub mod fxhash;
 pub mod graph;
 pub mod lemmas;
@@ -84,6 +87,7 @@ pub mod snapshot;
 pub mod tms2_automaton;
 pub mod unique;
 
+pub use certificate::{check_certificate, Certificate, CertificateError};
 pub use criteria::{
     evaluate_all, Criterion, CriterionKind, DuOpacity, FinalStateOpacity, Opacity,
     ReadCommitOrderOpacity, StrictSerializability, Tms2,
@@ -93,9 +97,10 @@ pub use plan::{
     check_criterion_with_stats, ladder_verdict, plan_components, prelint_verdict, PlanCriterion,
     PlanOutcome, PlanScratch,
 };
+pub use saturate::{saturate, saturate_verdict, SaturationOutcome};
 pub use search::{
-    set_default_deadline, set_default_decompose, set_default_ladder, set_default_prelint, Budget,
-    SearchConfig, SearchStats,
+    set_default_deadline, set_default_decompose, set_default_ladder, set_default_prelint,
+    set_default_saturate, Budget, SearchConfig, SearchStats,
 };
 pub use verdict::{PartialProgress, UnknownReason, Verdict, Violation, Witness};
 pub use witness_check::{check_witness, WitnessError};

@@ -270,6 +270,11 @@ pub struct RuleInfo {
     pub title: &'static str,
     /// One-line description of what firing means.
     pub summary: &'static str,
+    /// The paper grounding: which definition or theorem makes an
+    /// emission sound, and why (`duop lint --explain`).
+    pub paper: &'static str,
+    /// A minimal trace (line format) that fires the rule.
+    pub example: &'static str,
 }
 
 /// The rule registry, in pipeline order.

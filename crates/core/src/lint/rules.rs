@@ -16,6 +16,13 @@ pub(super) const RULES: &[RuleInfo] = &[
         title: "internal read inconsistency",
         summary: "a read after the transaction's own write returned a different value \
                   (well-formedness / sequential specification, Section 2)",
+        paper: "Section 2's sequential specification of a t-object requires every read \
+                to return the transaction's own latest preceding write to that object. \
+                A history violating this inside one transaction has no legal sequential \
+                image for that transaction at all, so every criterion built on \
+                equivalence to a legal sequential history (Definitions 3-5) is refuted \
+                outright — no serialization search is needed.",
+        example: "T1 write X0 1\nT1 ok\nT1 read X0\nT1 val 2\nT1 tryc\nT1 commit\n",
     },
     RuleInfo {
         id: "DU002",
@@ -23,35 +30,86 @@ pub(super) const RULES: &[RuleInfo] = &[
         summary: "a value was observed before any writer of it committed (dirty read, \
                   Figure 2 shape); Error under du-opacity when no writer had even \
                   invoked tryC before the read's response (Definition 3(3))",
+        paper: "Definition 3(3) (deferred update): in a du-opaque history a read may \
+                return a transaction's written value only if that writer's tryC was \
+                already invoked when the read responded — deferred-update TMs make \
+                writes visible no earlier than commit time. Observing the value before \
+                any writer even invoked tryC is therefore a refutation of du-opacity \
+                (Error); observing it between tryC and commit is the Figure 2 shape, \
+                legal but worth a Warning because it pins the writer's commit.",
+        example: "T1 write X0 1\nT1 ok\nT2 read X0\nT2 val 1\nT2 tryc\nT2 commit\n\
+                  T1 tryc\nT1 commit\n",
     },
     RuleInfo {
         id: "RF003",
         title: "read-from non-existence",
         summary: "a read returned a non-initial value no committable transaction writes",
+        paper: "In every serialization each read returns either the initial value or \
+                the latest committed write (Section 2). A non-initial value that no \
+                committable transaction ever writes has no possible supplier, so no \
+                serialization is legal under any of the criteria (Definitions 3-5) — \
+                the strongest and cheapest refutation in the pipeline.",
+        example: "T1 write X0 1\nT1 ok\nT1 tryc\nT1 commit\nT2 read X0\nT2 val 9\n\
+                  T2 tryc\nT2 commit\n",
     },
     RuleInfo {
         id: "CY004",
         title: "must-precede cycle",
         summary: "the real-time, forced read-from, anti-dependency and criterion edges \
                   form a cycle, so no serialization exists (sound, incomplete)",
+        paper: "Every serialization must embed the real-time order (Definition 1), \
+                place each read after its only possible supplier, and place a reader \
+                of an overwritten value before the overwriter. Each such edge is a \
+                necessary condition, so a cycle among them proves no serialization \
+                exists — sound for every criterion that demands one, incomplete \
+                because only forced edges are drawn. The certifying saturation pass \
+                (`duop certify`, DESIGN.md \u{00a7}12) extends this analysis and emits a \
+                machine-checkable certificate for the cycle.",
+        example: "T1 write X0 1\nT1 ok\nT1 tryc\nT1 commit\nT2 read X0\nT2 val 0\n\
+                  T2 tryc\nT2 commit\n",
     },
     RuleInfo {
         id: "AN005",
         title: "lost update / write skew",
         summary: "two transactions each read state the other's committed write destroys: \
                   an anti-dependency two-cycle no serialization can order",
+        paper: "If T1 read a value that T2's committed write overwrote, any legal \
+                serialization puts T1 before T2 (else T1 would have seen T2's write); \
+                symmetrically for T2 against T1. Both edges at once — the classic \
+                lost-update / write-skew shape — form an anti-dependency two-cycle, \
+                so no order satisfies Definitions 3-5. This is the two-transaction \
+                core of CY004, reported with both read/write event spans.",
+        example: "T1 read X0\nT1 val 0\nT2 read X1\nT2 val 0\nT1 write X1 1\nT1 ok\n\
+                  T2 write X0 1\nT2 ok\nT1 tryc\nT1 commit\nT2 tryc\nT2 commit\n",
     },
     RuleInfo {
         id: "RCO006",
         title: "read-commit-order inversion",
         summary: "a reader is forced after the sole writer of a value it read, yet one of \
                   its reads responded before that writer's tryC (Guerraoui\u{2013}Henzinger\u{2013}Singh)",
+        paper: "The read-commit-order criterion (Guerraoui\u{2013}Henzinger\u{2013}Singh; Section 4.1) \
+                strengthens du-opacity: a reader serialized after a writer must have \
+                *all* its reads respond after that writer's tryC. When the reader is \
+                forced after the sole possible supplier of some value it read, but \
+                another of its reads responded before that supplier's tryC, \
+                read-commit-order opacity is refuted (Error scoped to rco).",
+        example: "T2 read X1\nT2 val 0\nT1 write X0 1\nT1 ok\nT1 write X1 1\nT1 ok\n\
+                  T1 tryc\nT1 commit\nT2 read X0\nT2 val 1\nT2 tryc\nT2 commit\n",
     },
     RuleInfo {
         id: "UW007",
         title: "non-unique writes",
         summary: "several committable writers could supply one read, leaving the \
                   unique-writes regime of Theorem 11",
+        paper: "Theorem 11's polynomial decision procedure assumes unique writes: \
+                every value is written to each object by at most one committable \
+                transaction, so each read's supplier is forced. Two committable \
+                writers of the same value to the same object leave that regime — the \
+                checker falls back to the exponential search and the degradation \
+                ladder's Theorem 11 fast path no longer applies. A note, never a \
+                refutation.",
+        example: "T1 write X0 5\nT1 ok\nT1 tryc\nT1 commit\nT2 write X0 5\nT2 ok\n\
+                  T2 tryc\nT2 commit\nT3 read X0\nT3 val 5\nT3 tryc\nT3 commit\n",
     },
 ];
 
@@ -487,6 +545,25 @@ mod tests {
             ids,
             vec!["WF001", "DU002", "RF003", "CY004", "AN005", "RCO006", "UW007"]
         );
+    }
+
+    #[test]
+    fn registry_examples_parse_and_fire_their_rule() {
+        // The `--explain` examples are load-bearing documentation: each
+        // must be a well-formed trace whose lint report includes its own
+        // rule, with non-empty grounding text.
+        for rule in rules() {
+            assert!(!rule.paper.is_empty(), "{}: empty paper grounding", rule.id);
+            let h = duop_history::trace::parse_trace(rule.example)
+                .unwrap_or_else(|e| panic!("{}: example does not parse: {e}", rule.id));
+            let report = lint(&h);
+            assert!(
+                report.rule_ids().contains(&rule.id),
+                "{}: example does not fire the rule (fired: {:?})",
+                rule.id,
+                report.rule_ids()
+            );
+        }
     }
 
     #[test]

@@ -81,6 +81,18 @@ pub fn set_default_prelint(enabled: bool) {
     DEFAULT_PRELINT.store(enabled, Ordering::Relaxed);
 }
 
+/// Process-wide default for [`SearchConfig::saturate`], so the CLI and
+/// the experiments binary can ablate the saturation prefilter
+/// (`--no-saturate`) without threading a flag through every criterion
+/// constructor.
+static DEFAULT_SATURATE: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for [`SearchConfig::saturate`] (the
+/// `--no-saturate` ablation). Affects configs created *after* the call.
+pub fn set_default_saturate(enabled: bool) {
+    DEFAULT_SATURATE.store(enabled, Ordering::Relaxed);
+}
+
 /// Process-wide default for [`SearchConfig::ladder`], so the experiments
 /// binary can ablate the degradation ladder (`--no-ladder`) without
 /// threading a flag through every criterion constructor.
@@ -142,6 +154,15 @@ pub struct SearchConfig {
     /// Verdict-equivalent by the lint soundness contract; `false` is the
     /// `--no-prelint` ablation.
     pub prelint: bool,
+    /// Run the must-precede saturation pass ([`crate::saturate`]) after
+    /// lint and before the planner, returning an immediate certified
+    /// refutation ([`Violation::Certified`](crate::Violation)) or a
+    /// validated witness when the fixpoint decides the query outright
+    /// (default `true`). Sound by construction — refutations carry a
+    /// certificate the independent validator re-derives and positive
+    /// decisions are re-checked by [`crate::check_witness`]; `false` is
+    /// the `--no-saturate` ablation.
+    pub saturate: bool,
     /// Wall-clock deadline for one check. The clock starts when the search
     /// does; expiry returns [`Verdict::Unknown`] with
     /// [`UnknownReason::Deadline`]. Checked cooperatively (roughly every
@@ -179,6 +200,7 @@ impl Default for SearchConfig {
             threads: None,
             decompose: DEFAULT_DECOMPOSE.load(Ordering::Relaxed),
             prelint: DEFAULT_PRELINT.load(Ordering::Relaxed),
+            saturate: DEFAULT_SATURATE.load(Ordering::Relaxed),
             deadline: default_deadline(),
             max_memo_entries: None,
             ladder: DEFAULT_LADDER.load(Ordering::Relaxed),
@@ -902,6 +924,25 @@ pub(crate) fn search_serialization_with_stats(
             return (Verdict::Violated(v), SearchStats::default());
         }
     }
+    if cfg.saturate {
+        if let Some(criterion) = saturable_criterion(query) {
+            match crate::saturate::saturate_prepared(h, criterion) {
+                crate::saturate::SaturationOutcome::Refuted(cert) => {
+                    return (
+                        Verdict::Violated(Violation::Certified {
+                            criterion: query.name.into(),
+                            certificate: Box::new(cert),
+                        }),
+                        SearchStats::default(),
+                    );
+                }
+                crate::saturate::SaturationOutcome::Decided(w) => {
+                    return (Verdict::Satisfied(w), SearchStats::default());
+                }
+                crate::saturate::SaturationOutcome::Inconclusive => {}
+            }
+        }
+    }
     let spec = match Spec::build(h) {
         Ok(s) => s,
         Err(v) => return (Verdict::Violated(v), SearchStats::default()),
@@ -921,6 +962,39 @@ pub(crate) fn search_serialization_with_stats(
         }
     }
     (verdict, stats)
+}
+
+/// Maps a query to the saturable criterion it renders, or `None` when the
+/// query carries caller-supplied edges the saturation engine would not
+/// re-derive (e.g. the unique-writes fallback's seeded constraints) — the
+/// pass only runs on the canonical per-scope query shapes, where deriving
+/// its own seeds from the history is verdict-equivalent.
+fn saturable_criterion(query: &Query) -> Option<crate::plan::PlanCriterion> {
+    use crate::lint::LintScope;
+    use crate::plan::PlanCriterion;
+    match query.lint_scope {
+        LintScope::Plain
+            if !query.deferred_update
+                && query.extra_edges.is_empty()
+                && query.commit_edges.is_empty() =>
+        {
+            Some(PlanCriterion::FinalState)
+        }
+        LintScope::Du
+            if query.deferred_update
+                && query.extra_edges.is_empty()
+                && query.commit_edges.is_empty() =>
+        {
+            Some(PlanCriterion::Du)
+        }
+        LintScope::Rco if !query.deferred_update && query.extra_edges.is_empty() => {
+            Some(PlanCriterion::Rco)
+        }
+        LintScope::Tms2 if !query.deferred_update && query.commit_edges.is_empty() => {
+            Some(PlanCriterion::Tms2)
+        }
+        _ => None,
+    }
 }
 
 /// The verdict-degradation ladder: on budget exhaustion, fall back through
@@ -1034,9 +1108,11 @@ mod tests {
             let cfg = SearchConfig {
                 deadline: Some(Duration::ZERO),
                 prelint: false,
-                // The degradation ladder would decide this unique-writes
-                // history outright; this test is about the raw search.
+                // The degradation ladder (and the saturation prefilter)
+                // would decide this unique-writes history outright; this
+                // test is about the raw search.
                 ladder: false,
+                saturate: false,
                 ..cfg
             };
             let verdict = search_serialization(&h, &du_query(), &cfg);
@@ -1157,6 +1233,7 @@ mod tests {
         for cfg in both_modes() {
             let cfg = SearchConfig {
                 prelint: false,
+                saturate: false,
                 ..cfg
             };
             let verdict = search_serialization(&h, &plain_query(), &cfg);
@@ -1165,6 +1242,16 @@ mod tests {
                 Some(Violation::NoSerialization { .. })
             ));
         }
+        // With only saturation on, the same cycle comes back certified.
+        let cfg = SearchConfig {
+            prelint: false,
+            ..SearchConfig::default()
+        };
+        let verdict = search_serialization(&h, &plain_query(), &cfg);
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::Certified { .. })
+        ));
         // With the prefilter on, CY004 refutes without searching.
         let verdict = search_serialization(&h, &plain_query(), &SearchConfig::default());
         assert!(matches!(

@@ -227,6 +227,8 @@ pub struct CheckSnapshot {
     pub decompose: bool,
     /// Lint prefilter enabled.
     pub prelint: bool,
+    /// Certifying saturation prefilter enabled.
+    pub saturate: bool,
     /// Degradation ladder enabled.
     pub ladder: bool,
     /// Per-criterion deadline in milliseconds (`0` = none).
@@ -478,6 +480,7 @@ impl serde::Serialize for CheckSnapshot {
             ("threads".into(), Content::U64(self.threads)),
             ("decompose".into(), Content::Bool(self.decompose)),
             ("prelint".into(), Content::Bool(self.prelint)),
+            ("saturate".into(), Content::Bool(self.saturate)),
             ("ladder".into(), Content::Bool(self.ladder)),
             ("deadline_ms".into(), Content::U64(self.deadline_ms)),
             ("max_states".into(), Content::U64(self.max_states)),
@@ -500,6 +503,11 @@ impl serde::Deserialize for CheckSnapshot {
             threads: u64::from_content(field(&m, "threads")?)?,
             decompose: bool::from_content(field(&m, "decompose")?)?,
             prelint: bool::from_content(field(&m, "prelint")?)?,
+            // Absent in checkpoints written before the saturation pass.
+            saturate: match field(&m, "saturate") {
+                Ok(v) => bool::from_content(v)?,
+                Err(_) => true,
+            },
             ladder: bool::from_content(field(&m, "ladder")?)?,
             deadline_ms: u64::from_content(field(&m, "deadline_ms")?)?,
             max_states: u64::from_content(field(&m, "max_states")?)?,
@@ -716,6 +724,16 @@ pub enum CheckableCriterion {
 }
 
 impl CheckableCriterion {
+    fn plan_criterion(self) -> crate::plan::PlanCriterion {
+        match self {
+            CheckableCriterion::FinalStateOpacity => crate::plan::PlanCriterion::FinalState,
+            CheckableCriterion::DuOpacity => crate::plan::PlanCriterion::Du,
+            CheckableCriterion::ReadCommitOrder => crate::plan::PlanCriterion::Rco,
+            CheckableCriterion::Tms2 => crate::plan::PlanCriterion::Tms2,
+            CheckableCriterion::StrictSerializability => crate::plan::PlanCriterion::Strict,
+        }
+    }
+
     fn query(self, h: &History) -> Query {
         match self {
             CheckableCriterion::FinalStateOpacity => Query {
@@ -826,6 +844,26 @@ impl ResumableCheck {
                 return (Verdict::Violated(v), SearchStats::default());
             }
         }
+        // The same certifying saturation prefilter the criterion structs
+        // run (h_eff is already the prepared history, so `strict` works
+        // on its committed projection here too).
+        if cfg.saturate {
+            match crate::saturate::saturate_prepared(h_eff, criterion.plan_criterion()) {
+                crate::saturate::SaturationOutcome::Refuted(cert) => {
+                    return (
+                        Verdict::Violated(crate::Violation::Certified {
+                            criterion: query.name.into(),
+                            certificate: Box::new(cert),
+                        }),
+                        SearchStats::default(),
+                    );
+                }
+                crate::saturate::SaturationOutcome::Decided(w) => {
+                    return (Verdict::Satisfied(w), SearchStats::default());
+                }
+                crate::saturate::SaturationOutcome::Inconclusive => {}
+            }
+        }
         let spec = match Spec::build(h_eff) {
             Ok(s) => s,
             Err(v) => return (Verdict::Violated(v), SearchStats::default()),
@@ -870,6 +908,7 @@ mod tests {
             threads: 0,
             decompose: true,
             prelint: true,
+            saturate: true,
             ladder: true,
             deadline_ms: 250,
             max_states: 1000,
@@ -1084,7 +1123,13 @@ mod tests {
             .committed_reader(t(4), ObjId::new(1), Value::new(7))
             .build();
         let mut check = ResumableCheck::new();
-        let (verdict, _) = check.check(&h, CheckableCriterion::DuOpacity, &SearchConfig::default());
+        // Saturation off: this test exercises the planned search's sink
+        // notifications, and the prefilter decides this history outright.
+        let cfg = SearchConfig {
+            saturate: false,
+            ..SearchConfig::default()
+        };
+        let (verdict, _) = check.check(&h, CheckableCriterion::DuOpacity, &cfg);
         remove_checkpoint_sink();
         assert!(verdict.is_satisfied());
         assert!(flushes.get() > 0, "sink never fired");

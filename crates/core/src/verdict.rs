@@ -180,6 +180,16 @@ pub enum Violation {
         /// The refuting diagnostic.
         diagnostic: Box<crate::lint::Diagnostic>,
     },
+    /// The must-precede saturation pass ([`crate::saturate`]) derived a
+    /// precedence cycle; the attached machine-checkable certificate is
+    /// independently validated by
+    /// [`check_certificate`](crate::check_certificate).
+    Certified {
+        /// Human-readable criterion name.
+        criterion: String,
+        /// The closed refutation derivation.
+        certificate: Box<crate::certificate::Certificate>,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -215,6 +225,10 @@ impl fmt::Display for Violation {
                 f,
                 "{criterion} refuted by lint rule {}: {} (at {})",
                 diagnostic.rule, diagnostic.message, diagnostic.primary
+            ),
+            Violation::Certified { criterion, certificate } => write!(
+                f,
+                "{criterion} refuted by saturation: {certificate}"
             ),
         }
     }

@@ -230,10 +230,12 @@ fn witness_is_thread_count_independent_per_mode() {
 #[test]
 fn decomposition_explores_fewer_states_on_clustered_histories() {
     let h = clustered_stale(4);
-    // Disable the lint prefilter: this test compares the two *search*
-    // engines, and the prefilter refutes this corpus without searching.
+    // Disable the lint and saturation prefilters: this test compares the
+    // two *search* engines, and either prefilter refutes this corpus
+    // without searching.
     let no_prelint = |decompose| SearchConfig {
         prelint: false,
+        saturate: false,
         ..cfg(decompose, 1)
     };
     let (planned_verdict, planned) = DuOpacity::with_config(no_prelint(true)).check_with_stats(&h);

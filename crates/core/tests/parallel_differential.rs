@@ -125,12 +125,13 @@ fn global_budget_is_consistent_across_thread_counts() {
     // return Unknown — but it must never contradict another run: one
     // thread count saying Satisfied while another says Violated would mean
     // the budget changed an answer rather than withholding one.
-    // Prelint and the degradation ladder off: both decide most of this
-    // corpus without searching, and this test needs the budget to
-    // actually trip.
+    // Prelint, saturation and the degradation ladder off: all three
+    // decide most of this corpus without searching, and this test needs
+    // the budget to actually trip.
     let budget = SearchConfig {
         max_states: Some(4),
         prelint: false,
+        saturate: false,
         ladder: false,
         ..SearchConfig::default()
     };

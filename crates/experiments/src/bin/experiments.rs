@@ -2,14 +2,17 @@
 //! the measured verdict for every figure and theorem.
 //!
 //! Usage: `cargo run -p duop-experiments --bin experiments [--quick] [--threads N]
-//! [--no-decompose] [--no-prelint] [--no-ladder] [--deadline MS]`
+//! [--no-decompose] [--no-prelint] [--no-saturate] [--no-ladder] [--deadline MS]`
 //!
 //! `--threads N` fans the corpus experiments (E7–E9, E11, E13, E14) out
 //! over N worker threads (0 = all hardware threads). The reported numbers
 //! are identical to the serial run. `--no-decompose` disables the search
 //! planner's conflict-graph decomposition in every check (ablation; the
 //! verdicts must not change). `--no-prelint` likewise disables the
-//! polynomial lint prefilter in every check (ablation; same contract).
+//! polynomial lint prefilter in every check (ablation; same contract),
+//! and `--no-saturate` the certifying must-precede saturation pass
+//! (ablation; saturation is sound, so no verdict may change — though
+//! E20's agreement sweep runs it explicitly regardless).
 //! `--deadline MS` bounds every serialization search by a wall-clock
 //! deadline; searches that run out report `unknown (deadline ...)` and
 //! the affected experiment fails rather than hangs. `--no-ladder`
@@ -39,6 +42,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--no-prelint") {
         duop_core::set_default_prelint(false);
+    }
+    if args.iter().any(|a| a == "--no-saturate") {
+        duop_core::set_default_saturate(false);
     }
     if args.iter().any(|a| a == "--no-ladder") {
         duop_core::set_default_ladder(false);

@@ -10,6 +10,7 @@ use duop_core::{
     ReadCommitOrderOpacity, Tms2,
 };
 use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
+use duop_history::History;
 use duop_stm::engines::{DirtyRead, Eager2Pl, NoRec, Tl2};
 use duop_stm::{run_workload, Engine, WorkloadConfig};
 
@@ -60,6 +61,7 @@ pub fn run_all_with(quick: bool, threads: usize) -> Vec<ExperimentResult> {
         e17_kill_resume(if quick { 60 } else { 150 }, threads),
         e18_trace_ingestion(quick, threads),
         e19_sharded_equivalence(if quick { 6 } else { 20 }),
+        e20_three_way_certified(if quick { 60 } else { 200 }, threads),
     ]
 }
 
@@ -1183,6 +1185,144 @@ fn e19_sharded_equivalence(samples: u64) -> ExperimentResult {
     }
 }
 
+/// E20: three-way agreement between the certifying saturation pass, the
+/// backtracking search, and the full TMS2 automaton, over the anomaly
+/// catalogue plus generated corpora under uniform, Zipfian, and hotspot
+/// key distributions.
+///
+/// The contract being measured:
+///
+/// 1. Whenever saturation is decisive for a saturable criterion, the
+///    search (both prefilters off, so the comparison is independent)
+///    reaches the same verdict.
+/// 2. Every saturation refutation carries a certificate that
+///    [`duop_core::check_certificate`] independently validates against
+///    the criterion-prepared history.
+/// 3. Every certified du-opacity refutation is also rejected by the full
+///    TMS2 automaton — the contrapositive of the E11 inclusion (every
+///    automaton-accepted history is du-opaque). The Section 4.2
+///    *rendering* is incomparable with the automaton (its commit-order
+///    condition also binds aborted readers), so the rendering leg is
+///    cross-checked against the search, not the automaton.
+fn e20_three_way_certified(samples: u64, threads: usize) -> ExperimentResult {
+    use duop_core::tms2_automaton::check_tms2_automaton;
+    use duop_core::{
+        check_certificate, saturate, PlanCriterion, SaturationOutcome, SearchConfig,
+        StrictSerializability,
+    };
+    use duop_gen::{anomalies, KeyDist};
+
+    let no_prefilter = || SearchConfig {
+        prelint: false,
+        saturate: false,
+        ..SearchConfig::default()
+    };
+    let checkers = || -> Vec<(PlanCriterion, Box<dyn Criterion>)> {
+        vec![
+            (
+                PlanCriterion::FinalState,
+                Box::new(FinalStateOpacity::with_config(no_prefilter())),
+            ),
+            (
+                PlanCriterion::Du,
+                Box::new(DuOpacity::with_config(no_prefilter())),
+            ),
+            (
+                PlanCriterion::Rco,
+                Box::new(ReadCommitOrderOpacity::with_config(no_prefilter())),
+            ),
+            (
+                PlanCriterion::Tms2,
+                Box::new(Tms2::with_config(no_prefilter())),
+            ),
+            (
+                PlanCriterion::Strict,
+                Box::new(StrictSerializability::with_config(no_prefilter())),
+            ),
+        ]
+    };
+
+    // Per history: (decided, refuted, automaton cross-checks, disagreements).
+    let sweep = |h: &History| -> (u64, u64, u64, u64) {
+        let mut acc = (0u64, 0u64, 0u64, 0u64);
+        for (criterion, checker) in checkers() {
+            match saturate(h, criterion) {
+                SaturationOutcome::Refuted(cert) => {
+                    acc.1 += 1;
+                    let prepared = criterion.prepare(h);
+                    let hh = prepared.as_ref().unwrap_or(h);
+                    if check_certificate(hh, &cert).is_err() || !checker.check(h).is_violated() {
+                        acc.3 += 1;
+                    }
+                    if criterion == PlanCriterion::Du {
+                        match check_tms2_automaton(h, Some(2_000_000)) {
+                            v if v.is_accepted() => acc.3 += 1,
+                            duop_core::tms2_automaton::Tms2Verdict::Unknown { .. } => {}
+                            _ => acc.2 += 1,
+                        }
+                    }
+                }
+                SaturationOutcome::Decided(_) => {
+                    acc.0 += 1;
+                    if !checker.check(h).is_satisfied() {
+                        acc.3 += 1;
+                    }
+                }
+                SaturationOutcome::Inconclusive => {}
+            }
+        }
+        acc
+    };
+
+    let dists: [(&str, KeyDist); 3] = [
+        ("uniform", KeyDist::Uniform),
+        ("zipfian", KeyDist::Zipfian { theta: 1.2 }),
+        (
+            "hotspot",
+            KeyDist::Hotspot {
+                hot_fraction: 0.25,
+                hot_prob: 0.9,
+            },
+        ),
+    ];
+    let rows = par_seeds(samples, threads, |seed| {
+        let mut acc = (0u64, 0u64, 0u64, 0u64);
+        for (_, dist) in &dists {
+            let cfg = HistoryGenConfig::small_adversarial().with_key_dist(*dist);
+            let h = HistoryGen::new(cfg, seed).generate();
+            let (d, r, a, x) = sweep(&h);
+            acc = (acc.0 + d, acc.1 + r, acc.2 + a, acc.3 + x);
+        }
+        acc
+    });
+    let mut decided: u64 = rows.iter().map(|r| r.0).sum();
+    let mut refuted: u64 = rows.iter().map(|r| r.1).sum();
+    let mut automaton: u64 = rows.iter().map(|r| r.2).sum();
+    let mut disagree: u64 = rows.iter().map(|r| r.3).sum();
+
+    let mut catalogue_refuted = 0u64;
+    for (_, h) in anomalies::catalogue() {
+        let (d, r, a, x) = sweep(&h);
+        decided += d;
+        refuted += r;
+        automaton += a;
+        disagree += x;
+        catalogue_refuted += r;
+    }
+
+    let histories = samples * dists.len() as u64 + anomalies::catalogue().len() as u64;
+    let pass = disagree == 0 && decided > 0 && refuted > 0 && automaton > 0;
+    ExperimentResult {
+        id: "E20",
+        title: "Three-way certified agreement (saturate / search / TMS2 automaton)",
+        claim: "certified saturation verdicts agree with the search everywhere, and certified du refutations are never TMS2 histories",
+        measured: format!(
+            "{histories} histories (anomaly catalogue + {samples} seeds x {{uniform, zipfian, hotspot}}), {decided} saturation-decided, {refuted} certified refutations ({catalogue_refuted} on the catalogue), {automaton} automaton cross-checks; disagreements: {disagree}"
+        ),
+        pass,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1197,6 +1337,7 @@ mod tests {
             (e9_lemma4(6, 1), e9_lemma4(6, 4)),
             (e14_discrimination(10, 1), e14_discrimination(10, 4)),
             (e17_kill_resume(12, 1), e17_kill_resume(12, 4)),
+            (e20_three_way_certified(8, 1), e20_three_way_certified(8, 4)),
         ] {
             assert_eq!(serial.measured, parallel.measured);
             assert_eq!(serial.pass, parallel.pass);

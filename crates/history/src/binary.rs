@@ -943,7 +943,9 @@ mod tests {
 
     #[test]
     fn crc32_incremental_matches_one_shot_at_every_split() {
-        let data: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let data: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
         let whole = crc32(&data);
         for split in 0..=data.len() {
             let mut digest = Crc32::new();

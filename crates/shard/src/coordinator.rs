@@ -32,9 +32,9 @@ use crate::protocol::{
     VerdictMsg, FRAME_HELLO, FRAME_SHUTDOWN, FRAME_TASK, FRAME_VERDICT,
 };
 use duop_core::{
-    available_threads, ladder_verdict, plan_components, prelint_verdict, PartialProgress,
-    PlanCriterion, PlanOutcome, PlanScratch, SearchConfig, UnknownReason, Verdict, Violation,
-    Witness,
+    available_threads, ladder_verdict, plan_components, prelint_verdict, saturate_verdict,
+    PartialProgress, PlanCriterion, PlanOutcome, PlanScratch, SearchConfig, UnknownReason, Verdict,
+    Violation, Witness,
 };
 use duop_history::{binary, History, TxnId};
 use std::cmp::Reverse;
@@ -94,6 +94,10 @@ pub struct ShardConfig {
     /// Run the lint prefilter (coordinator-side for decomposed jobs,
     /// worker-side for whole-history tasks).
     pub prelint: bool,
+    /// Run the certifying saturation prefilter (coordinator-side for
+    /// decomposed jobs, worker-side for whole-history tasks). `false`
+    /// mirrors `--no-saturate`.
+    pub saturate: bool,
     /// Run the verdict-degradation ladder on merged `Unknown` verdicts.
     pub ladder: bool,
     /// Per-task state budget (`None` = unlimited).
@@ -119,6 +123,7 @@ impl Default for ShardConfig {
             worker_env: Vec::new(),
             decompose: true,
             prelint: true,
+            saturate: true,
             ladder: true,
             max_states: None,
             deadline_ms: None,
@@ -182,6 +187,7 @@ struct TaskSpec {
     prelint: bool,
     ladder: bool,
     decompose: bool,
+    saturate: bool,
     /// Whole-history task: its verdict passes through unmerged.
     whole: bool,
     /// `.duob`-encoded (sub-)history.
@@ -376,6 +382,7 @@ fn plan_one(
                 prelint: cfg.prelint,
                 ladder: cfg.ladder,
                 decompose: cfg.decompose,
+                saturate: cfg.saturate,
                 whole: true,
                 payload: binary::encode(&job.history),
             };
@@ -398,6 +405,16 @@ fn plan_one(
     let checked: &History = prepared.as_ref().unwrap_or(&job.history);
     if cfg.prelint {
         if let Some(verdict) = prelint_verdict(checked, plan_criterion) {
+            let _ = tx.send(immediate(verdict));
+            return;
+        }
+    }
+    // Mirror the in-process pipeline: saturation runs on the whole
+    // prepared history after lint and before planning, so a refutation's
+    // certificate (or a fully-determined witness) is identical to the
+    // local run's — component tasks then skip saturation entirely.
+    if cfg.saturate {
+        if let Some(verdict) = saturate_verdict(checked, plan_criterion) {
             let _ = tx.send(immediate(verdict));
             return;
         }
@@ -457,11 +474,12 @@ fn plan_one(
             components: chunk_components,
             txns: chunk_members.len(),
             criterion: plan_criterion.token(),
-            // The coordinator already linted the whole history and owns
-            // the ladder for the merged verdict.
+            // The coordinator already linted and saturated the whole
+            // history and owns the ladder for the merged verdict.
             prelint: false,
             ladder: false,
             decompose: true,
+            saturate: false,
             whole: false,
             payload,
         };
@@ -707,6 +725,7 @@ impl Coordinator<'_> {
             prelint: task.spec.prelint,
             ladder: task.spec.ladder,
             decompose: task.spec.decompose,
+            saturate: task.spec.saturate,
             max_states: self.cfg.max_states.unwrap_or(0),
             deadline_ms: self.cfg.deadline_ms.unwrap_or(0),
             history: task.spec.payload.clone(),
@@ -774,9 +793,7 @@ impl Coordinator<'_> {
                     .iter()
                     .enumerate()
                     .rev()
-                    .find_map(|(pos, &worker)| {
-                        self.steal_candidate(worker).map(|c| (pos, c))
-                    });
+                    .find_map(|(pos, &worker)| self.steal_candidate(worker).map(|c| (pos, c)));
                 let Some((pos, candidate)) = pair else {
                     return Ok(());
                 };
@@ -1043,6 +1060,7 @@ mod tests {
                     prelint: false,
                     ladder: false,
                     decompose: true,
+                    saturate: false,
                     whole: false,
                     payload: vec![0u8; 8],
                 },

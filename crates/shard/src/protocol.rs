@@ -22,8 +22,9 @@
 //! structured [`ProtocolError`] the worker turns into exit code 2,
 //! mirroring the `.duob` ingestion contract.
 
+use duop_core::certificate::{Certificate, Rule, Step};
 use duop_core::lint::{self, Applicability, Diagnostic, Severity, Span};
-use duop_core::{PartialProgress, UnknownReason, Verdict, Violation, Witness};
+use duop_core::{PartialProgress, PlanCriterion, UnknownReason, Verdict, Violation, Witness};
 use duop_history::binary::{crc32, decode_varint, write_varint, Crc32};
 use duop_history::{ObjId, TxnId, Value};
 use std::collections::BTreeMap;
@@ -308,6 +309,10 @@ pub struct TaskMsg {
     /// Run the search planner in the worker (always on for component
     /// tasks; mirrors `--no-decompose` for whole-history tasks).
     pub decompose: bool,
+    /// Run the certifying saturation prefilter in the worker (off for
+    /// component tasks — the coordinator already saturated the whole
+    /// history; mirrors `--no-saturate` for whole-history tasks).
+    pub saturate: bool,
     /// State budget, `0` = unlimited.
     pub max_states: u64,
     /// Wall-clock deadline in milliseconds, `0` = none.
@@ -322,7 +327,12 @@ pub fn encode_task(msg: &TaskMsg) -> Vec<u8> {
     write_varint(&mut out, msg.task_id);
     write_varint(&mut out, msg.attempt);
     put_bytes(&mut out, msg.criterion.as_bytes());
-    out.push(u8::from(msg.prelint) | (u8::from(msg.ladder) << 1) | (u8::from(msg.decompose) << 2));
+    out.push(
+        u8::from(msg.prelint)
+            | (u8::from(msg.ladder) << 1)
+            | (u8::from(msg.decompose) << 2)
+            | (u8::from(msg.saturate) << 3),
+    );
     write_varint(&mut out, msg.max_states);
     write_varint(&mut out, msg.deadline_ms);
     put_bytes(&mut out, &msg.history);
@@ -336,7 +346,7 @@ pub fn decode_task(payload: &[u8]) -> Result<TaskMsg, ProtocolError> {
     let attempt = get_varint(payload, &mut pos, "task")?;
     let criterion = get_str(payload, &mut pos, "task criterion")?;
     let flags = get_u8(payload, &mut pos, "task flags")?;
-    if flags & !0b111 != 0 {
+    if flags & !0b1111 != 0 {
         return Err(malformed("task flags", format!("unknown bits {flags:#x}")));
     }
     let max_states = get_varint(payload, &mut pos, "task budget")?;
@@ -347,9 +357,10 @@ pub fn decode_task(payload: &[u8]) -> Result<TaskMsg, ProtocolError> {
         task_id,
         attempt,
         criterion,
-        prelint: flags & 0b001 != 0,
-        ladder: flags & 0b010 != 0,
-        decompose: flags & 0b100 != 0,
+        prelint: flags & 0b0001 != 0,
+        ladder: flags & 0b0010 != 0,
+        decompose: flags & 0b0100 != 0,
+        saturate: flags & 0b1000 != 0,
         max_states,
         deadline_ms,
         history,
@@ -383,6 +394,16 @@ const VIOLATION_CONSTRAINT_CYCLE: u8 = 2;
 const VIOLATION_NO_SERIALIZATION: u8 = 3;
 const VIOLATION_PREFIX: u8 = 4;
 const VIOLATION_LINT_REFUTED: u8 = 5;
+const VIOLATION_CERTIFIED: u8 = 6;
+
+const RULE_REAL_TIME: u8 = 0;
+const RULE_READ_FROM: u8 = 1;
+const RULE_ANTI_DEPENDENCY: u8 = 2;
+const RULE_READ_COMMIT_ORDER: u8 = 3;
+const RULE_TMS2_COMMIT_ORDER: u8 = 4;
+const RULE_TRANSITIVE: u8 = 5;
+const RULE_INTERFERENCE_AFTER: u8 = 6;
+const RULE_INTERFERENCE_BEFORE: u8 = 7;
 
 const SEVERITY_TAGS: [(Severity, u8); 3] = [
     (Severity::Error, 0),
@@ -461,8 +482,77 @@ fn put_violation(out: &mut Vec<u8>, v: &Violation) -> Result<(), ProtocolError> 
             put_bytes(out, criterion.as_bytes());
             put_diagnostic(out, diagnostic);
         }
+        // Saturation refutations travel with their full certificate so the
+        // coordinator's verdict is byte-identical to a local run's and the
+        // user can re-validate it with `check_certificate`.
+        Violation::Certified {
+            criterion,
+            certificate,
+        } => {
+            out.push(VIOLATION_CERTIFIED);
+            put_bytes(out, criterion.as_bytes());
+            put_certificate(out, certificate);
+        }
     }
     Ok(())
+}
+
+fn put_rule(out: &mut Vec<u8>, rule: &Rule) {
+    match *rule {
+        Rule::RealTime => out.push(RULE_REAL_TIME),
+        Rule::ReadFrom { obj, value, read } => {
+            out.push(RULE_READ_FROM);
+            write_varint(out, u64::from(obj.index()));
+            write_varint(out, value.get());
+            write_varint(out, read as u64);
+        }
+        Rule::AntiDependency { obj, read } => {
+            out.push(RULE_ANTI_DEPENDENCY);
+            write_varint(out, u64::from(obj.index()));
+            write_varint(out, read as u64);
+        }
+        Rule::ReadCommitOrder { obj, read, tryc } => {
+            out.push(RULE_READ_COMMIT_ORDER);
+            write_varint(out, u64::from(obj.index()));
+            write_varint(out, read as u64);
+            write_varint(out, tryc as u64);
+        }
+        Rule::Tms2CommitOrder { obj, resp, tryc } => {
+            out.push(RULE_TMS2_COMMIT_ORDER);
+            write_varint(out, u64::from(obj.index()));
+            write_varint(out, resp as u64);
+            write_varint(out, tryc as u64);
+        }
+        Rule::Transitive { first, second } => {
+            out.push(RULE_TRANSITIVE);
+            write_varint(out, first as u64);
+            write_varint(out, second as u64);
+        }
+        Rule::InterferenceAfter { read_from, before } => {
+            out.push(RULE_INTERFERENCE_AFTER);
+            write_varint(out, read_from as u64);
+            write_varint(out, before as u64);
+        }
+        Rule::InterferenceBefore { read_from, after } => {
+            out.push(RULE_INTERFERENCE_BEFORE);
+            write_varint(out, read_from as u64);
+            write_varint(out, after as u64);
+        }
+    }
+}
+
+fn put_certificate(out: &mut Vec<u8>, cert: &Certificate) {
+    put_bytes(out, cert.criterion.token().as_bytes());
+    write_varint(out, cert.steps.len() as u64);
+    for step in &cert.steps {
+        write_varint(out, u64::from(step.from.index()));
+        write_varint(out, u64::from(step.to.index()));
+        put_rule(out, &step.rule);
+    }
+    write_varint(out, cert.cycle.len() as u64);
+    for &s in &cert.cycle {
+        write_varint(out, s as u64);
+    }
 }
 
 fn put_span(out: &mut Vec<u8>, span: &Span) {
@@ -584,7 +674,87 @@ fn get_violation(bytes: &[u8], pos: &mut usize, depth: u8) -> Result<Violation, 
             criterion: get_str(bytes, pos, "violation criterion")?,
             diagnostic: Box::new(get_diagnostic(bytes, pos)?),
         },
+        VIOLATION_CERTIFIED => Violation::Certified {
+            criterion: get_str(bytes, pos, "violation criterion")?,
+            certificate: Box::new(get_certificate(bytes, pos)?),
+        },
         other => return Err(malformed("violation tag", format!("unknown tag {other}"))),
+    })
+}
+
+fn event_index(raw: u64, context: &'static str) -> Result<usize, ProtocolError> {
+    usize::try_from(raw).map_err(|_| malformed(context, format!("{raw} exceeds usize")))
+}
+
+fn get_rule(bytes: &[u8], pos: &mut usize) -> Result<Rule, ProtocolError> {
+    let tag = get_u8(bytes, pos, "rule tag")?;
+    Ok(match tag {
+        RULE_REAL_TIME => Rule::RealTime,
+        RULE_READ_FROM => Rule::ReadFrom {
+            obj: obj_id(get_varint(bytes, pos, "rule obj")?)?,
+            value: Value::new(get_varint(bytes, pos, "rule value")?),
+            read: event_index(get_varint(bytes, pos, "rule read")?, "rule read")?,
+        },
+        RULE_ANTI_DEPENDENCY => Rule::AntiDependency {
+            obj: obj_id(get_varint(bytes, pos, "rule obj")?)?,
+            read: event_index(get_varint(bytes, pos, "rule read")?, "rule read")?,
+        },
+        RULE_READ_COMMIT_ORDER => Rule::ReadCommitOrder {
+            obj: obj_id(get_varint(bytes, pos, "rule obj")?)?,
+            read: event_index(get_varint(bytes, pos, "rule read")?, "rule read")?,
+            tryc: event_index(get_varint(bytes, pos, "rule tryc")?, "rule tryc")?,
+        },
+        RULE_TMS2_COMMIT_ORDER => Rule::Tms2CommitOrder {
+            obj: obj_id(get_varint(bytes, pos, "rule obj")?)?,
+            resp: event_index(get_varint(bytes, pos, "rule resp")?, "rule resp")?,
+            tryc: event_index(get_varint(bytes, pos, "rule tryc")?, "rule tryc")?,
+        },
+        RULE_TRANSITIVE => Rule::Transitive {
+            first: event_index(get_varint(bytes, pos, "rule premise")?, "rule premise")?,
+            second: event_index(get_varint(bytes, pos, "rule premise")?, "rule premise")?,
+        },
+        RULE_INTERFERENCE_AFTER => Rule::InterferenceAfter {
+            read_from: event_index(get_varint(bytes, pos, "rule premise")?, "rule premise")?,
+            before: event_index(get_varint(bytes, pos, "rule premise")?, "rule premise")?,
+        },
+        RULE_INTERFERENCE_BEFORE => Rule::InterferenceBefore {
+            read_from: event_index(get_varint(bytes, pos, "rule premise")?, "rule premise")?,
+            after: event_index(get_varint(bytes, pos, "rule premise")?, "rule premise")?,
+        },
+        other => return Err(malformed("rule tag", format!("unknown tag {other}"))),
+    })
+}
+
+fn get_certificate(bytes: &[u8], pos: &mut usize) -> Result<Certificate, ProtocolError> {
+    let token = get_str(bytes, pos, "certificate criterion")?;
+    let criterion = PlanCriterion::parse(&token)
+        .ok_or_else(|| malformed("certificate criterion", format!("unknown token {token:?}")))?;
+    let n = get_varint(bytes, pos, "certificate steps")? as usize;
+    if n > bytes.len() {
+        return Err(malformed("certificate steps", "count exceeds payload"));
+    }
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let from = txn_id(get_varint(bytes, pos, "step txn")?)?;
+        let to = txn_id(get_varint(bytes, pos, "step txn")?)?;
+        let rule = get_rule(bytes, pos)?;
+        steps.push(Step { from, to, rule });
+    }
+    let k = get_varint(bytes, pos, "certificate cycle")? as usize;
+    if k > bytes.len() {
+        return Err(malformed("certificate cycle", "count exceeds payload"));
+    }
+    let mut cycle = Vec::with_capacity(k);
+    for _ in 0..k {
+        cycle.push(event_index(
+            get_varint(bytes, pos, "cycle step")?,
+            "cycle step",
+        )?);
+    }
+    Ok(Certificate {
+        criterion,
+        steps,
+        cycle,
     })
 }
 
@@ -816,6 +986,7 @@ mod tests {
             prelint: false,
             ladder: true,
             decompose: true,
+            saturate: true,
             max_states: 10_000,
             deadline_ms: 0,
             history: vec![1, 2, 3, 4, 5],
@@ -873,6 +1044,88 @@ mod tests {
                             label: "T1:W(X0,1)".to_owned(),
                         }],
                     }),
+                }),
+            }),
+            Verdict::Violated(Violation::Certified {
+                criterion: "du-opacity".to_owned(),
+                certificate: Box::new(Certificate {
+                    criterion: PlanCriterion::Du,
+                    steps: vec![
+                        Step {
+                            from: t(1),
+                            to: t(2),
+                            rule: Rule::RealTime,
+                        },
+                        Step {
+                            from: t(1),
+                            to: t(2),
+                            rule: Rule::ReadFrom {
+                                obj: ObjId::new(3),
+                                value: Value::new(7),
+                                read: 11,
+                            },
+                        },
+                        Step {
+                            from: t(2),
+                            to: t(1),
+                            rule: Rule::AntiDependency {
+                                obj: ObjId::new(3),
+                                read: 5,
+                            },
+                        },
+                        Step {
+                            from: t(3),
+                            to: t(2),
+                            rule: Rule::InterferenceBefore {
+                                read_from: 1,
+                                after: 0,
+                            },
+                        },
+                        Step {
+                            from: t(1),
+                            to: t(1),
+                            rule: Rule::Transitive {
+                                first: 0,
+                                second: 2,
+                            },
+                        },
+                    ],
+                    cycle: vec![0, 2],
+                }),
+            }),
+            Verdict::Violated(Violation::Certified {
+                criterion: "TMS2".to_owned(),
+                certificate: Box::new(Certificate {
+                    criterion: PlanCriterion::Tms2,
+                    steps: vec![
+                        Step {
+                            from: t(4),
+                            to: t(5),
+                            rule: Rule::Tms2CommitOrder {
+                                obj: ObjId::new(0),
+                                resp: 9,
+                                tryc: 12,
+                            },
+                        },
+                        Step {
+                            from: t(5),
+                            to: t(4),
+                            rule: Rule::ReadCommitOrder {
+                                obj: ObjId::new(1),
+                                read: 2,
+                                tryc: 8,
+                            },
+                        },
+                        Step {
+                            from: t(6),
+                            to: t(5),
+                            rule: Rule::InterferenceAfter {
+                                read_from: 0,
+                                before: 1,
+                            },
+                        },
+                    ],
+                    cycle: vec![0, 1],
                 }),
             }),
             Verdict::Unknown {

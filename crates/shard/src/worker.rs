@@ -44,6 +44,7 @@ fn search_config(task: &TaskMsg) -> SearchConfig {
         decompose: task.decompose,
         prelint: task.prelint,
         ladder: task.ladder,
+        saturate: task.saturate,
         max_states: (task.max_states > 0).then_some(task.max_states),
         deadline: (task.deadline_ms > 0).then(|| Duration::from_millis(task.deadline_ms)),
         ..SearchConfig::default()
@@ -193,6 +194,7 @@ mod tests {
             prelint: false,
             ladder: false,
             decompose: true,
+            saturate: false,
             max_states: 0,
             deadline_ms: 0,
             history: binary::encode(&h),
@@ -229,6 +231,7 @@ mod tests {
             prelint: false,
             ladder: false,
             decompose: true,
+            saturate: false,
             max_states: 0,
             deadline_ms: 0,
             history: binary::encode(&duop_history::History::empty()),
@@ -252,6 +255,7 @@ mod tests {
             prelint: false,
             ladder: false,
             decompose: true,
+            saturate: false,
             max_states: 0,
             deadline_ms: 0,
             history: vec![0xFF; 32],
