@@ -1,0 +1,298 @@
+//! Serve-daemon throughput and verdict latency.
+//!
+//! Three ingestion paths over the same generated workload, reported as
+//! events/sec:
+//!
+//! * `serve_throughput/direct` — `TraceReader` straight into a
+//!   [`duop_serve::Session`], no sockets: the ceiling the HTTP layer is
+//!   measured against.
+//! * `serve_throughput/http_text` — loopback HTTP/1.1, trace-text bodies
+//!   streamed in chunks over one keep-alive connection.
+//! * `serve_throughput/http_binary` — loopback HTTP/1.1, one `.duob`
+//!   binary body per trace.
+//!
+//! Plus p99 verdict latency with {1, 16, 64} concurrent sessions, each
+//! client hammering `GET /v1/session/:id/verdict` over its own
+//! keep-alive connection.
+//!
+//! Custom harness (no criterion): results land in `BENCH_9.json` at the
+//! repository root with an honest `host_cores` field — on a small host
+//! the concurrent-session latencies simply report queueing. `--test`
+//! runs a quick smoke pass without touching the JSON.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use duop_core::available_threads;
+use duop_gen::{HistoryGen, HistoryGenConfig};
+use duop_history::reader::TraceReader;
+use duop_history::trace::format_trace;
+use duop_history::{binary, History};
+use duop_serve::{ServeConfig, Server, Session, ShutdownHandle};
+
+fn spawn_server() -> (String, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        server.run(&mut sink).expect("server run");
+    });
+    (addr, handle, join)
+}
+
+/// A keep-alive loopback connection speaking just enough HTTP/1.1 for
+/// the bench: send a request, read status + headers + content-length
+/// body, repeat.
+struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Conn {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<(&str, &[u8])>) -> (u16, Vec<u8>) {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: bench\r\n");
+        if let Some((ctype, b)) = body {
+            head.push_str(&format!(
+                "Content-Type: {ctype}\r\nContent-Length: {}\r\n",
+                b.len()
+            ));
+        }
+        head.push_str("\r\n");
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes()).expect("write head");
+        if let Some((_, b)) = body {
+            stream.write_all(b).expect("write body");
+        }
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("content-length") {
+                    len = v.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload).expect("body");
+        (status, payload)
+    }
+
+    fn create_session(&mut self) -> u64 {
+        let (status, body) = self.request("POST", "/v1/session", Some(("text/plain", b"")));
+        assert_eq!(status, 201, "session create");
+        let text = String::from_utf8(body).expect("utf8");
+        let rest = &text[text.find("\"session\":").expect("session field") + 10..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().expect("session id")
+    }
+}
+
+/// The workload: `traces` clean-leaning simulated histories.
+fn corpus(traces: usize, txns: usize) -> Vec<History> {
+    (0..traces)
+        .map(|seed| {
+            let cfg = HistoryGenConfig::medium_simulated().with_txns(txns);
+            HistoryGen::new(cfg, seed as u64).generate()
+        })
+        .collect()
+}
+
+fn events_per_sec(events: usize, ns: u64) -> u64 {
+    (events as f64 / (ns as f64 / 1e9)) as u64
+}
+
+/// Direct path: parse trace text through `TraceReader` and push into a
+/// `Session`, no sockets.
+fn bench_direct(texts: &[String]) -> u64 {
+    let mut total_events = 0usize;
+    let start = Instant::now();
+    for (i, text) in texts.iter().enumerate() {
+        let mut session = Session::new(i as u64, None);
+        let mut rd = TraceReader::new(text.as_bytes()).expect("reader");
+        let mut events = Vec::new();
+        while let Some(ev) = rd.next_event().expect("event") {
+            events.push(ev);
+        }
+        total_events += events.len();
+        session.ingest(&events).expect("ingest");
+    }
+    events_per_sec(total_events, start.elapsed().as_nanos() as u64)
+}
+
+/// HTTP text path: one keep-alive connection, trace text in
+/// `chunk_lines`-line bodies.
+fn bench_http_text(addr: &str, texts: &[String], total_events: usize, chunk_lines: usize) -> u64 {
+    let mut conn = Conn::open(addr);
+    let start = Instant::now();
+    for text in texts {
+        let sid = conn.create_session();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        for chunk in lines.chunks(chunk_lines) {
+            let body = format!("{}\n", chunk.join("\n"));
+            let (status, _) = conn.request(
+                "POST",
+                &format!("/v1/session/{sid}/events"),
+                Some(("text/plain", body.as_bytes())),
+            );
+            assert_eq!(status, 200, "text ingest");
+        }
+    }
+    events_per_sec(total_events, start.elapsed().as_nanos() as u64)
+}
+
+/// HTTP binary path: one `.duob` body per trace on a keep-alive
+/// connection.
+fn bench_http_binary(addr: &str, corpus: &[History], total_events: usize) -> u64 {
+    let encoded: Vec<Vec<u8>> = corpus.iter().map(binary::encode).collect();
+    let mut conn = Conn::open(addr);
+    let start = Instant::now();
+    for body in &encoded {
+        let sid = conn.create_session();
+        let (status, _) = conn.request(
+            "POST",
+            &format!("/v1/session/{sid}/events"),
+            Some(("application/octet-stream", body)),
+        );
+        assert_eq!(status, 200, "binary ingest");
+    }
+    events_per_sec(total_events, start.elapsed().as_nanos() as u64)
+}
+
+/// p99 verdict latency (nanoseconds) with `sessions` concurrent clients,
+/// each owning one pre-loaded session and issuing `reqs` verdict GETs on
+/// its own keep-alive connection.
+fn bench_verdict_p99(addr: &str, seed_history: &History, sessions: usize, reqs: usize) -> u64 {
+    let body = binary::encode(seed_history);
+    let handles: Vec<_> = (0..sessions)
+        .map(|_| {
+            let addr = addr.to_owned();
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut conn = Conn::open(&addr);
+                let sid = conn.create_session();
+                let (status, _) = conn.request(
+                    "POST",
+                    &format!("/v1/session/{sid}/events"),
+                    Some(("application/octet-stream", &body)),
+                );
+                assert_eq!(status, 200, "seed ingest");
+                let mut lat = Vec::with_capacity(reqs);
+                for _ in 0..reqs {
+                    let t = Instant::now();
+                    let (status, _) =
+                        conn.request("GET", &format!("/v1/session/{sid}/verdict"), None);
+                    lat.push(t.elapsed().as_nanos() as u64);
+                    assert_eq!(status, 200, "verdict");
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("latency client"))
+        .collect();
+    all.sort_unstable();
+    all[((all.len() * 99) / 100).min(all.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+
+    let (traces, txns) = if smoke { (4, 12) } else { (64, 96) };
+    let corpus = corpus(traces, txns);
+    let texts: Vec<String> = corpus.iter().map(format_trace).collect();
+    let total_events: usize = corpus.iter().map(|h| h.events().len()).sum();
+    println!("serve_throughput: {traces} traces, {total_events} events");
+
+    let direct = bench_direct(&texts);
+    println!("serve_throughput/direct: {direct} events/s");
+
+    let (addr, handle, join) = spawn_server();
+    let chunk_lines = if smoke { 8 } else { 64 };
+    let http_text = bench_http_text(&addr, &texts, total_events, chunk_lines);
+    println!("serve_throughput/http_text: {http_text} events/s");
+    let http_binary = bench_http_binary(&addr, &corpus, total_events);
+    println!("serve_throughput/http_binary: {http_binary} events/s");
+
+    // Latency seed: one moderate history per session, so each verdict
+    // GET pays a real (but bounded) batch check.
+    let seed = &corpus[0];
+    let session_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 16, 64] };
+    let reqs = if smoke { 5 } else { 50 };
+    let mut p99s = Vec::new();
+    for &s in session_counts {
+        let p99 = bench_verdict_p99(&addr, seed, s, reqs);
+        p99s.push((s, p99));
+        println!(
+            "serve_throughput/verdict_p99 sessions={s}: {:.3}ms",
+            p99 as f64 / 1e6
+        );
+    }
+
+    handle.shutdown();
+    join.join().expect("server thread");
+
+    let host_cores = available_threads();
+    println!("serve_throughput: host_cores={host_cores}");
+    assert!(
+        http_binary > 0 && http_text > 0 && direct > 0,
+        "all paths must move events"
+    );
+
+    if smoke {
+        println!("smoke run (--test): BENCH_9.json left untouched");
+        return;
+    }
+
+    let mut results: Vec<(String, u64)> = vec![
+        ("serve_throughput/traces".to_owned(), traces as u64),
+        ("serve_throughput/events".to_owned(), total_events as u64),
+        ("serve_throughput/host_cores".to_owned(), host_cores as u64),
+        ("serve_throughput/direct_events_per_sec".to_owned(), direct),
+        (
+            "serve_throughput/http_text_events_per_sec".to_owned(),
+            http_text,
+        ),
+        (
+            "serve_throughput/http_binary_events_per_sec".to_owned(),
+            http_binary,
+        ),
+    ];
+    for (s, p99) in &p99s {
+        results.push((format!("serve_throughput/verdict_p99_ns_s{s}"), *p99));
+    }
+    let mut json = String::from("{\n");
+    for (i, (name, v)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {v}{comma}\n"));
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::write(path, json).expect("write BENCH_9.json");
+    println!("wrote {path}");
+}

@@ -28,6 +28,12 @@ USAGE:
   duop render <trace-file|->
   duop monitor <trace-file|-> [--checkpoint FILE] [--checkpoint-every N]
                [--status-every N] [--compact-every N]
+  duop serve [--addr HOST:PORT] [--state-dir DIR] [--session-cap N]
+             [--idle-timeout SECS] [--max-retained N] [--session-budget N]
+             [--checkpoint-every N]
+  duop client <trace-file|-> --addr HOST:PORT [--session ID]
+              [--chunk-events N] [--body-format text|binary] [--budget N]
+              [--format text|json]
   duop resume <checkpoint-file>
   duop generate [--mode simulated|value|adversarial] [--txns N] [--objs N]
                 [--seed N] [--unique] [--concurrency N]
@@ -103,6 +109,35 @@ input. `--compact-every N` additionally compacts the retained history
 whenever it reaches N events and the prefix is certified, t-complete,
 and has forced final values — replacing it with a synthetic committed
 baseline transaction (sound: verdicts are unchanged; see DESIGN.md).
+`--compact-threshold N` is a synonym.
+
+`serve` runs the online monitor as a long-lived HTTP/1.1 daemon over
+std::net, one independent checking session per client stream. Routes:
+`POST /v1/session[?budget=N]` creates a session (201, `{\"session\":id}`);
+`POST /v1/session/ID/events` ingests a text, JSON, or `.duob` trace
+fragment (the body encoding is sniffed, exactly like trace files);
+`GET /v1/session/ID/verdict[?format=text]` prints the same du-opacity
+verdict line `duop check --criterion du` would; `GET /v1/session/ID` is
+the resume point (acknowledged-event count); `DELETE /v1/session/ID`
+ends it; `GET /metrics` is Prometheus-style text. `--addr HOST:PORT`
+binds (port 0 picks a free port, printed as `listening on ...`).
+`--state-dir DIR` checkpoints every session (integrity-hashed snapshot,
+flushed every `--checkpoint-every N` ingest requests, default 1, plus on
+reap and drain) and recovers all of them on restart; SIGINT/SIGTERM
+drain gracefully (in-flight requests finish, every session flushes).
+`--session-budget N` caps each session's retained events — the budget
+drives prefix compaction first and, when compaction cannot reclaim
+space, degrades the session's verdict soundly to `unknown` with a
+partial payload (a prior violation stays final) instead of growing
+without bound. `--max-retained N` is the global ceiling across sessions:
+past it the daemon sheds ingest with `429 Retry-After`. `--session-cap`
+bounds live sessions (default 256); sessions idle past `--idle-timeout`
+(default 300s) are checkpointed and reaped, and page back in on next
+access. `client` streams a local trace into a serve daemon: it creates
+(or, with `--session ID`, resumes) a session, re-streams from the
+daemon's acknowledged offset in `--chunk-events N` batches (default: one
+batch), prints the final verdict line, and exits with `check`'s codes.
+`--body-format binary` posts one `.duob` body instead of text chunks.
 
 `fuzz` runs the named STM engine under deterministic fault injection
 (`--faults abort=P,crash=P,delay=P,thread-crash=P`, default
@@ -354,6 +389,40 @@ pub enum Command {
         /// Compact the retained history whenever it reaches this many
         /// events (`None` = never).
         compact_every: Option<u64>,
+    },
+    /// `duop serve`.
+    Serve {
+        /// Bind address (`HOST:PORT`; port 0 picks a free port).
+        addr: String,
+        /// Checkpoint directory for crash-safe sessions.
+        state_dir: Option<String>,
+        /// Maximum live sessions before creation is shed with 429.
+        session_cap: usize,
+        /// Reap sessions idle longer than this many seconds.
+        idle_timeout_secs: u64,
+        /// Global retained-event ceiling across sessions (shed past it).
+        max_retained: Option<u64>,
+        /// Default per-session retained-event budget.
+        session_budget: Option<usize>,
+        /// Flush a session checkpoint every this many ingest requests.
+        checkpoint_every: u64,
+    },
+    /// `duop client`.
+    Client {
+        /// Trace path (`-` = stdin).
+        input: String,
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
+        /// Existing session id to resume (`None` = create one).
+        session: Option<u64>,
+        /// Events per `POST .../events` batch (`0` = one batch).
+        chunk_events: u64,
+        /// Body encoding: `text` or `binary`.
+        body_format: String,
+        /// Per-session retained-event budget to request on creation.
+        budget: Option<u64>,
+        /// Verdict format: `text` or `json`.
+        format: String,
     },
     /// `duop resume`.
     Resume {
@@ -745,8 +814,8 @@ impl Command {
                                 .parse()
                                 .map_err(|_| ParseError("--status-every needs a number".into()))?;
                         }
-                        "--compact-every" => {
-                            compact_every = Some(parse_every("--compact-every", &mut it)?);
+                        "--compact-every" | "--compact-threshold" => {
+                            compact_every = Some(parse_every(arg, &mut it)?);
                         }
                         other if input.is_none() => input = Some(other.to_owned()),
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
@@ -765,6 +834,98 @@ impl Command {
                     checkpoint_every,
                     status_every,
                     compact_every,
+                })
+            }
+            "serve" => {
+                let mut addr = String::from("127.0.0.1:0");
+                let mut state_dir = None;
+                let mut session_cap = 256usize;
+                let mut idle_timeout_secs = 300u64;
+                let mut max_retained = None;
+                let mut session_budget = None;
+                let mut checkpoint_every = 1u64;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--addr" => addr = value_of("--addr", &mut it)?.clone(),
+                        "--state-dir" => {
+                            state_dir = Some(value_of("--state-dir", &mut it)?.clone());
+                        }
+                        "--session-cap" => {
+                            session_cap = parse_every("--session-cap", &mut it)? as usize;
+                        }
+                        "--idle-timeout" => {
+                            idle_timeout_secs = parse_every("--idle-timeout", &mut it)?;
+                        }
+                        "--max-retained" => {
+                            max_retained = Some(parse_every("--max-retained", &mut it)?);
+                        }
+                        "--session-budget" => {
+                            session_budget =
+                                Some(parse_every("--session-budget", &mut it)? as usize);
+                        }
+                        "--checkpoint-every" => {
+                            checkpoint_every = parse_every("--checkpoint-every", &mut it)?;
+                        }
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::Serve {
+                    addr,
+                    state_dir,
+                    session_cap,
+                    idle_timeout_secs,
+                    max_retained,
+                    session_budget,
+                    checkpoint_every,
+                })
+            }
+            "client" => {
+                let mut input = None;
+                let mut addr = None;
+                let mut session = None;
+                let mut chunk_events = 0u64;
+                let mut body_format = String::from("text");
+                let mut budget = None;
+                let mut format = String::from("json");
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--addr" => addr = Some(value_of("--addr", &mut it)?.clone()),
+                        "--session" => {
+                            session =
+                                Some(value_of("--session", &mut it)?.parse().map_err(|_| {
+                                    ParseError("--session needs a session id".into())
+                                })?);
+                        }
+                        "--chunk-events" => {
+                            chunk_events = parse_every("--chunk-events", &mut it)?;
+                        }
+                        "--body-format" => {
+                            let v = value_of("--body-format", &mut it)?;
+                            match v.as_str() {
+                                "text" | "binary" => body_format = v.clone(),
+                                other => {
+                                    return Err(ParseError(format!(
+                                        "unknown body format `{other}`"
+                                    )))
+                                }
+                            }
+                        }
+                        "--budget" => {
+                            budget = Some(parse_every("--budget", &mut it)?);
+                        }
+                        "--format" => format = parse_format(value_of("--format", &mut it)?)?,
+                        other if input.is_none() => input = Some(other.to_owned()),
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::Client {
+                    input: input.ok_or_else(|| ParseError("client needs a trace file".into()))?,
+                    addr: addr.ok_or_else(|| ParseError("client needs --addr HOST:PORT".into()))?,
+                    session,
+                    chunk_events,
+                    body_format,
+                    budget,
+                    format,
                 })
             }
             "resume" => {
@@ -1260,6 +1421,107 @@ mod tests {
             .is_err(),
             "compaction and checkpointing are mutually exclusive"
         );
+    }
+
+    #[test]
+    fn monitor_accepts_compact_threshold_synonym() {
+        let cmd = parse(&["monitor", "t.txt", "--compact-threshold", "64"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Monitor {
+                input: "t.txt".into(),
+                checkpoint: None,
+                checkpoint_every: 32,
+                status_every: 0,
+                compact_every: Some(64),
+            }
+        );
+        assert!(parse(&["monitor", "t.txt", "--compact-threshold", "0"]).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let cmd = parse(&["serve"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                state_dir: None,
+                session_cap: 256,
+                idle_timeout_secs: 300,
+                max_retained: None,
+                session_budget: None,
+                checkpoint_every: 1,
+            }
+        );
+        let cmd = parse(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:8080",
+            "--state-dir",
+            "st",
+            "--session-cap",
+            "4",
+            "--idle-timeout",
+            "10",
+            "--max-retained",
+            "5000",
+            "--session-budget",
+            "128",
+            "--checkpoint-every",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                state_dir: Some("st".into()),
+                session_cap: 4,
+                idle_timeout_secs: 10,
+                max_retained: Some(5000),
+                session_budget: Some(128),
+                checkpoint_every: 3,
+            }
+        );
+        assert!(parse(&["serve", "trace.txt"]).is_err());
+        assert!(parse(&["serve", "--max-retained", "0"]).is_err());
+    }
+
+    #[test]
+    fn client_requires_addr() {
+        assert!(parse(&["client", "t.txt"]).is_err());
+        assert!(parse(&["client", "--addr", "127.0.0.1:1"]).is_err());
+        let cmd = parse(&[
+            "client",
+            "t.txt",
+            "--addr",
+            "127.0.0.1:9",
+            "--session",
+            "7",
+            "--chunk-events",
+            "16",
+            "--body-format",
+            "binary",
+            "--budget",
+            "64",
+            "--format",
+            "text",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                input: "t.txt".into(),
+                addr: "127.0.0.1:9".into(),
+                session: Some(7),
+                chunk_events: 16,
+                body_format: "binary".into(),
+                budget: Some(64),
+                format: "text".into(),
+            }
+        );
+        assert!(parse(&["client", "t.txt", "--addr", "a:1", "--body-format", "nope"]).is_err());
     }
 
     #[test]

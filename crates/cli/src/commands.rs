@@ -15,7 +15,7 @@ use duop_gen::{GenMode, HistoryGen, HistoryGenConfig};
 use duop_history::reader::{self, TraceReader};
 use duop_history::render::render_lanes;
 use duop_history::trace::{format_trace, to_json};
-use duop_history::{binary, dbcop, Event, History};
+use duop_history::{binary, dbcop, Event, EventKind, History, Op, Ret};
 use std::error::Error;
 use std::io::Write;
 
@@ -236,6 +236,47 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             }
         }
         Command::Resume { file } => resume(file, out),
+        Command::Serve {
+            addr,
+            state_dir,
+            session_cap,
+            idle_timeout_secs,
+            max_retained,
+            session_budget,
+            checkpoint_every,
+        } => {
+            let cfg = duop_serve::ServeConfig {
+                addr: addr.clone(),
+                state_dir: state_dir.clone(),
+                session_cap: *session_cap,
+                idle_timeout: std::time::Duration::from_secs(*idle_timeout_secs),
+                max_retained: *max_retained,
+                session_budget: *session_budget,
+                checkpoint_every: *checkpoint_every,
+            };
+            let server = duop_serve::Server::bind(cfg)?;
+            server.run(out)?;
+            Ok(true)
+        }
+        Command::Client {
+            input,
+            addr,
+            session,
+            chunk_events,
+            body_format,
+            budget,
+            format,
+        } => {
+            let opts = ClientOpts {
+                addr,
+                session: *session,
+                chunk_events: *chunk_events,
+                body_format,
+                budget: *budget,
+                format,
+            };
+            client(input, &opts, out)
+        }
         Command::Generate {
             mode,
             txns,
@@ -919,7 +960,32 @@ fn resume(file: &str, out: &mut dyn Write) -> CmdResult {
     match snapshot::load(file)? {
         Snapshot::Check(cs) => resume_check(cs, file, out),
         Snapshot::Monitor(ms) => resume_monitor(ms, file, out),
+        Snapshot::Session(ss) => resume_session(ss, file, out),
     }
+}
+
+/// Resumes a daemon session checkpoint offline: rebuilds the session
+/// (revalidating history and witness, re-deriving any violation) and
+/// reports its verdict — the same one the daemon would serve after
+/// recovering the checkpoint with `duop serve --state-dir`.
+fn resume_session(ss: snapshot::SessionSnapshot, file: &str, out: &mut dyn Write) -> CmdResult {
+    let sid = ss.session;
+    let ingested = ss.ingested;
+    let mut session = duop_serve::Session::resume(ss)?;
+    writeln!(
+        out,
+        "resumed session {sid} from {file}: {ingested} events acknowledged, \
+         {} retained{}",
+        session.retained(),
+        if session.degraded() {
+            " (degraded)"
+        } else {
+            ""
+        }
+    )?;
+    let line = session.verdict_line(false);
+    write!(out, "{line}")?;
+    Ok(line.contains("satisfied"))
 }
 
 fn resume_check(cs: CheckSnapshot, file: &str, out: &mut dyn Write) -> CmdResult {
@@ -1416,6 +1482,223 @@ fn resume_monitor(ms: MonitorSnapshot, file: &str, out: &mut dyn Write) -> CmdRe
         compact_every: None,
     };
     monitor(&h, &opts, Some((mon, done as u64, violated_at)), out)
+}
+
+struct ClientOpts<'a> {
+    addr: &'a str,
+    session: Option<u64>,
+    chunk_events: u64,
+    body_format: &'a str,
+    budget: Option<u64>,
+    format: &'a str,
+}
+
+/// One HTTP/1.1 exchange over a fresh connection (`Connection: close`),
+/// returning the status code and body. Small by design: the client only
+/// needs request/response, not keep-alive or chunked bodies.
+fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &[u8])>,
+) -> Result<(u16, Vec<u8>), Box<dyn Error>> {
+    use std::io::{BufRead, BufReader, Read};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some((ctype, b)) = body {
+        head.push_str(&format!(
+            "Content-Type: {ctype}\r\nContent-Length: {}\r\n",
+            b.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some((_, b)) = body {
+        stream.write_all(b)?;
+    }
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed HTTP status line `{}`", status_line.trim_end()))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut payload = Vec::new();
+    match content_length {
+        Some(n) => {
+            payload.resize(n, 0);
+            reader.read_exact(&mut payload)?;
+        }
+        None => {
+            reader.read_to_end(&mut payload)?;
+        }
+    }
+    Ok((status, payload))
+}
+
+/// Extracts the unsigned integer value of `"field":N` from a flat JSON
+/// body (the daemon's responses are all flat objects).
+fn json_u64_field(body: &str, field: &str) -> Option<u64> {
+    let key = format!("\"{field}\":");
+    let rest = &body[body.find(&key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders one event as a trace-format line (the inverse of
+/// `parse_line`, per event instead of per history so a chunk can start
+/// mid-transaction).
+fn event_line(ev: &Event) -> String {
+    let txn = ev.txn;
+    match ev.kind {
+        EventKind::Inv(Op::Read(x)) => format!("{txn} read {x}"),
+        EventKind::Inv(Op::Write(x, v)) => format!("{txn} write {x} {v}"),
+        EventKind::Inv(Op::TryCommit) => format!("{txn} tryc"),
+        EventKind::Inv(Op::TryAbort) => format!("{txn} trya"),
+        EventKind::Resp(Ret::Value(v)) => format!("{txn} val {v}"),
+        EventKind::Resp(Ret::Ok) => format!("{txn} ok"),
+        EventKind::Resp(Ret::Committed) => format!("{txn} commit"),
+        EventKind::Resp(Ret::Aborted) => format!("{txn} abort"),
+    }
+}
+
+/// Posts one events body, retrying briefly on `429 Retry-After` (the
+/// daemon sheds under its retained-event ceiling; compaction or reaping
+/// clears it).
+fn post_events(
+    addr: &str,
+    sid: u64,
+    ctype: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), Box<dyn Error>> {
+    let path = format!("/v1/session/{sid}/events");
+    for _ in 0..50 {
+        let (status, resp) = http_request(addr, "POST", &path, Some((ctype, body)))?;
+        if status != 429 {
+            return Ok((status, resp));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    Err("daemon kept shedding (429) after 50 retries".into())
+}
+
+fn client(input: &str, opts: &ClientOpts<'_>, out: &mut dyn Write) -> CmdResult {
+    let bytes = load_bytes(input)?;
+    let mut rd = TraceReader::new(&bytes)?;
+    let mut events = Vec::new();
+    while let Some(ev) = rd.next_event()? {
+        events.push(ev);
+    }
+    let sid = match opts.session {
+        Some(id) => id,
+        None => {
+            let path = match opts.budget {
+                Some(b) => format!("/v1/session?budget={b}"),
+                None => "/v1/session".to_owned(),
+            };
+            let (status, body) = http_request(opts.addr, "POST", &path, Some(("text/plain", b"")))?;
+            if status != 201 {
+                return Err(format!(
+                    "session create failed: HTTP {status}: {}",
+                    String::from_utf8_lossy(&body).trim_end()
+                )
+                .into());
+            }
+            json_u64_field(std::str::from_utf8(&body)?, "session")
+                .ok_or("malformed session-create response")?
+        }
+    };
+    // The daemon's acknowledged-event count is the resume point: after a
+    // crash/restart only the unacknowledged suffix is re-streamed.
+    let (status, body) = http_request(opts.addr, "GET", &format!("/v1/session/{sid}"), None)?;
+    if status != 200 {
+        return Err(format!(
+            "session {sid} status failed: HTTP {status}: {}",
+            String::from_utf8_lossy(&body).trim_end()
+        )
+        .into());
+    }
+    let acked = json_u64_field(std::str::from_utf8(&body)?, "ingested")
+        .ok_or("malformed session-status response")? as usize;
+    let todo = &events[acked.min(events.len())..];
+    if opts.body_format == "binary" {
+        // `.duob` bodies carry a whole well-formed trace, so binary mode
+        // streams the complete input in one request; resuming mid-trace
+        // needs per-event framing — use text bodies for that.
+        if acked > 0 {
+            return Err(
+                "--body-format binary cannot resume a partially-streamed session \
+                 (re-run with text bodies)"
+                    .into(),
+            );
+        }
+        let (h, names) = reader::read_history_with_names(&bytes)?;
+        let payload = binary::encode_with_names(&h, &names);
+        let (status, body) = post_events(opts.addr, sid, "application/octet-stream", &payload)?;
+        if status != 200 {
+            return Err(format!(
+                "ingest failed: HTTP {status}: {}",
+                String::from_utf8_lossy(&body).trim_end()
+            )
+            .into());
+        }
+    } else {
+        let chunk = match opts.chunk_events {
+            0 => todo.len().max(1),
+            n => n as usize,
+        };
+        for batch in todo.chunks(chunk) {
+            let mut payload = String::new();
+            for ev in batch {
+                payload.push_str(&event_line(ev));
+                payload.push('\n');
+            }
+            let (status, body) = post_events(opts.addr, sid, "text/plain", payload.as_bytes())?;
+            if status != 200 {
+                return Err(format!(
+                    "ingest failed: HTTP {status}: {}",
+                    String::from_utf8_lossy(&body).trim_end()
+                )
+                .into());
+            }
+        }
+    }
+    let path = if opts.format == "text" {
+        format!("/v1/session/{sid}/verdict?format=text")
+    } else {
+        format!("/v1/session/{sid}/verdict")
+    };
+    let (status, body) = http_request(opts.addr, "GET", &path, None)?;
+    if status != 200 {
+        return Err(format!(
+            "verdict failed: HTTP {status}: {}",
+            String::from_utf8_lossy(&body).trim_end()
+        )
+        .into());
+    }
+    out.write_all(&body)?;
+    Ok(std::str::from_utf8(&body)?.contains("satisfied"))
 }
 
 fn litmus(out: &mut dyn Write) -> CmdResult {

@@ -145,6 +145,14 @@ impl OnlineChecker {
         self.compact_every = threshold;
     }
 
+    /// The current automatic-compaction threshold (`None` = disabled).
+    /// The serve daemon reads this back when re-arming a session resumed
+    /// through [`Self::resume`], which deliberately starts with compaction
+    /// off.
+    pub fn compact_every(&self) -> Option<usize> {
+        self.compact_every
+    }
+
     /// The history consumed so far.
     pub fn history(&self) -> &History {
         &self.history

@@ -271,6 +271,36 @@ pub struct MonitorSnapshot {
     pub checkpoint_every: u64,
 }
 
+/// Checkpoint of one `duop serve` session: everything the daemon needs to
+/// resume the session's `OnlineChecker` after a crash and keep producing
+/// the same verdicts it would have produced uninterrupted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionSnapshot {
+    /// The daemon-assigned session id.
+    pub session: u64,
+    /// Total events acknowledged so far (clients re-stream from here).
+    pub ingested: u64,
+    /// The retained (possibly compacted) history at flush time. Like
+    /// [`MonitorSnapshot::violated_at`], any violation is *re-derived* by
+    /// checking these events on load — never deserialized.
+    pub events: Vec<Event>,
+    /// Whether the session has exhausted its retained-event budget and
+    /// stopped retaining new events (its verdict degrades to
+    /// `Unknown{partial}` unless a violation was already final).
+    pub degraded: bool,
+    /// Events counted but not retained after degradation set in.
+    pub discarded: u64,
+    /// The last certified witness, revalidated on resume.
+    pub witness: Option<WitnessSnap>,
+    /// Monitor work counters at flush time.
+    pub stats: OnlineStats,
+    /// Component fragments from the session checker's cache.
+    pub fragments: Vec<Fragment>,
+    /// Per-session retained-event budget (`0` = unbounded), restored on
+    /// resume so a recovered session keeps the same degradation policy.
+    pub budget: u64,
+}
+
 /// A checkpoint: what kind of run it belongs to plus that run's progress.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Snapshot {
@@ -278,6 +308,8 @@ pub enum Snapshot {
     Check(CheckSnapshot),
     /// A `duop monitor` checkpoint.
     Monitor(MonitorSnapshot),
+    /// A `duop serve` per-session checkpoint.
+    Session(SessionSnapshot),
 }
 
 // ---------------------------------------------------------------------------
@@ -555,11 +587,46 @@ impl serde::Deserialize for MonitorSnapshot {
     }
 }
 
+impl serde::Serialize for SessionSnapshot {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("kind".into(), s("session")),
+            ("session".into(), Content::U64(self.session)),
+            ("ingested".into(), Content::U64(self.ingested)),
+            ("events".into(), self.events.to_content()),
+            ("degraded".into(), Content::Bool(self.degraded)),
+            ("discarded".into(), Content::U64(self.discarded)),
+            ("witness".into(), self.witness.to_content()),
+            ("stats".into(), self.stats.to_content()),
+            ("fragments".into(), self.fragments.to_content()),
+            ("budget".into(), Content::U64(self.budget)),
+        ])
+    }
+}
+
+impl serde::Deserialize for SessionSnapshot {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = fields(content, "session snapshot")?;
+        Ok(SessionSnapshot {
+            session: u64::from_content(field(&m, "session")?)?,
+            ingested: u64::from_content(field(&m, "ingested")?)?,
+            events: Vec::<Event>::from_content(field(&m, "events")?)?,
+            degraded: bool::from_content(field(&m, "degraded")?)?,
+            discarded: u64::from_content(field(&m, "discarded")?)?,
+            witness: Option::<WitnessSnap>::from_content(field(&m, "witness")?)?,
+            stats: OnlineStats::from_content(field(&m, "stats")?)?,
+            fragments: Vec::<Fragment>::from_content(field(&m, "fragments")?)?,
+            budget: u64::from_content(field(&m, "budget")?)?,
+        })
+    }
+}
+
 impl serde::Serialize for Snapshot {
     fn to_content(&self) -> Content {
         match self {
             Snapshot::Check(c) => c.to_content(),
             Snapshot::Monitor(m) => m.to_content(),
+            Snapshot::Session(s) => s.to_content(),
         }
     }
 }
@@ -570,6 +637,7 @@ impl serde::Deserialize for Snapshot {
         match String::from_content(field(&m, "kind")?)?.as_str() {
             "check" => CheckSnapshot::from_content(content).map(Snapshot::Check),
             "monitor" => MonitorSnapshot::from_content(content).map(Snapshot::Monitor),
+            "session" => SessionSnapshot::from_content(content).map(Snapshot::Session),
             other => Err(DeError::custom(format!("unknown snapshot kind `{other}`"))),
         }
     }
@@ -983,6 +1051,52 @@ mod tests {
         ));
         std::fs::write(&path, &text).unwrap();
         let loaded = load(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn session_snapshot_round_trips() {
+        let h = HistoryBuilder::new()
+            .committed_writer(t(1), ObjId::new(0), Value::new(1))
+            .committed_reader(t(2), ObjId::new(0), Value::new(1))
+            .build();
+        let stats = OnlineStats {
+            events: 8,
+            incremental_hits: 5,
+            full_searches: 2,
+            component_reuses: 1,
+            lint_refutations: 0,
+            retained_events: 8,
+            peak_resident_events: 8,
+            compactions: 1,
+            compacted_events: 4,
+        };
+        let snap = Snapshot::Session(SessionSnapshot {
+            session: 7,
+            ingested: 12,
+            events: h.events().to_vec(),
+            degraded: true,
+            discarded: 4,
+            witness: Some(WitnessSnap {
+                order: vec![t(1), t(2)],
+                choices: vec![(t(1), true), (t(2), true)],
+            }),
+            stats,
+            fragments: vec![Fragment {
+                members: vec![t(1), t(2)],
+                placements: vec![(t(1), true), (t(2), true)],
+            }],
+            budget: 64,
+        });
+        let path = std::env::temp_dir().join(format!(
+            "duop-snap-sess-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = path.to_str().unwrap().to_owned();
+        save(&path, &snap).unwrap();
+        let loaded = load(&path).unwrap();
         assert_eq!(loaded, snap);
         std::fs::remove_file(&path).ok();
     }

@@ -62,6 +62,7 @@ pub fn run_all_with(quick: bool, threads: usize) -> Vec<ExperimentResult> {
         e18_trace_ingestion(quick, threads),
         e19_sharded_equivalence(if quick { 6 } else { 20 }),
         e20_three_way_certified(if quick { 60 } else { 200 }, threads),
+        e21_serve_equivalence(if quick { 10 } else { 40 }, threads),
     ]
 }
 
@@ -1323,6 +1324,165 @@ fn e20_three_way_certified(samples: u64, threads: usize) -> ExperimentResult {
     }
 }
 
+/// E21: the serve-daemon session layer is verdict-equivalent to batch
+/// checking, across chunked churn, checkpoint/recover cycles, and
+/// budget-forced degradation.
+///
+/// Three legs per seed, over one du-opaque-by-construction history and
+/// one adversarial history:
+///
+/// 1. **Churn**: each history is streamed through its own
+///    [`duop_serve::Session`] in small interleaved chunks (the two
+///    sessions alternate, as concurrent daemon clients do) and the
+///    session's JSON verdict line must equal the batch `DuOpacity`
+///    verdict of the whole trace, byte for byte.
+/// 2. **Kill/recover**: streaming is cut at every chunk boundary in
+///    turn; the session is checkpointed, dropped, rebuilt with
+///    [`duop_serve::Session::resume`] (which revalidates the history and
+///    witness and re-derives any violation), fed the remaining suffix,
+///    and must reach the same byte-identical verdict — recovery is
+///    invisible in the output.
+/// 3. **Degradation**: the same traces under a tiny retained-event
+///    budget must either report `Unknown` with the state-budget reason
+///    (never a false positive) or — when a violation landed before the
+///    budget bit — keep the violation final; retained events must never
+///    exceed the budget.
+fn e21_serve_equivalence(samples: u64, threads: usize) -> ExperimentResult {
+    use duop_core::{DuOpacity, SearchConfig, UnknownReason, Verdict};
+    use duop_serve::Session;
+
+    let batch_line = |h: &History| {
+        let v = DuOpacity::with_config(SearchConfig::default()).check(h);
+        serde_json::to_string(&v).expect("verdicts serialize")
+    };
+    let session_line = |s: &mut Session| {
+        // `verdict_line(true)` wraps the same serialization; strip the
+        // envelope (prefix and exactly one closing brace) so the
+        // comparison is against the verdict JSON itself.
+        let line = s.verdict_line(true);
+        let inner = line
+            .trim_end()
+            .strip_suffix('}')
+            .and_then(|l| l.strip_prefix("{\"criterion\":\"du-opacity\",\"verdict\":"))
+            .expect("verdict line shape");
+        inner.to_owned()
+    };
+
+    let rows = par_seeds(samples, threads, |seed| {
+        let histories = [
+            HistoryGen::new(HistoryGenConfig::medium_simulated().with_txns(16), seed).generate(),
+            HistoryGen::new(
+                HistoryGenConfig {
+                    txns: 12,
+                    objs: 3,
+                    mode: GenMode::Adversarial,
+                    ..HistoryGenConfig::medium_simulated()
+                },
+                seed,
+            )
+            .generate(),
+        ];
+        let chunks: Vec<Vec<&[duop_history::Event]>> = histories
+            .iter()
+            .map(|h| h.events().chunks(5).collect())
+            .collect();
+
+        // Leg 1: interleaved chunked streaming.
+        let mut churn_equal = 0u64;
+        let mut sessions = [Session::new(1, None), Session::new(2, None)];
+        let rounds = chunks.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..rounds {
+            for (i, per_history) in chunks.iter().enumerate() {
+                if let Some(chunk) = per_history.get(round) {
+                    sessions[i]
+                        .ingest(chunk)
+                        .expect("generator histories are well-formed");
+                }
+            }
+        }
+        for (s, h) in sessions.iter_mut().zip(&histories) {
+            if session_line(s) == batch_line(h) {
+                churn_equal += 1;
+            }
+        }
+
+        // Leg 2: kill at every chunk boundary, recover, finish.
+        let mut cuts = 0u64;
+        let mut recovered_equal = 0u64;
+        for (h, per_history) in histories.iter().zip(&chunks) {
+            let expect = batch_line(h);
+            for cut in 0..=per_history.len() {
+                let mut s = Session::new(9, None);
+                for chunk in &per_history[..cut] {
+                    s.ingest(chunk).expect("prefix ingest");
+                }
+                let snap = s.snapshot();
+                drop(s);
+                let mut resumed = Session::resume(snap).expect("checkpoint resumes");
+                for chunk in &per_history[cut..] {
+                    resumed.ingest(chunk).expect("suffix ingest");
+                }
+                cuts += 1;
+                if session_line(&mut resumed) == expect {
+                    recovered_equal += 1;
+                }
+            }
+        }
+
+        // Leg 3: a budget far below the trace length forces compaction
+        // or degradation; the verdict must stay sound either way.
+        let mut degraded_sound = 0u64;
+        for h in &histories {
+            let mut s = Session::new(17, Some(4));
+            s.ingest(h.events()).expect("budgeted ingest");
+            let within_budget = s.retained() <= 4 || s.violated();
+            let sound = match s.verdict() {
+                Verdict::Unknown {
+                    reason: UnknownReason::StateBudget,
+                    ..
+                } => true,
+                v @ Verdict::Violated { .. } => {
+                    // A violation reported under budget must be real.
+                    v.is_violated()
+                        && DuOpacity::with_config(SearchConfig::default())
+                            .check(h)
+                            .is_violated()
+                }
+                // With compaction the whole trace may still fit; then
+                // the verdict must match batch.
+                _ => session_line(&mut s) == batch_line(h),
+            };
+            if within_budget && sound {
+                degraded_sound += 1;
+            }
+        }
+
+        (churn_equal, cuts, recovered_equal, degraded_sound)
+    });
+
+    let mut churn_equal = 0u64;
+    let mut cuts = 0u64;
+    let mut recovered_equal = 0u64;
+    let mut degraded_sound = 0u64;
+    for (c, k, r, d) in rows {
+        churn_equal += c;
+        cuts += k;
+        recovered_equal += r;
+        degraded_sound += d;
+    }
+    let streams = samples * 2;
+    let pass = churn_equal == streams && recovered_equal == cuts && degraded_sound == streams;
+    ExperimentResult {
+        id: "E21",
+        title: "Serve sessions: daemon == batch verdicts across churn, recovery, degradation",
+        claim: "chunk-streamed sessions, checkpoint/recover at every cut, and budget-degraded sessions never change or unsoundly decide a verdict",
+        measured: format!(
+            "{churn_equal}/{streams} interleaved streams byte-identical to batch; {recovered_equal}/{cuts} kill/recover cuts byte-identical; {degraded_sound}/{streams} budgeted sessions sound (Unknown{{state-budget}}, real violation, or compacted-and-identical)"
+        ),
+        pass,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1338,6 +1498,7 @@ mod tests {
             (e14_discrimination(10, 1), e14_discrimination(10, 4)),
             (e17_kill_resume(12, 1), e17_kill_resume(12, 4)),
             (e20_three_way_certified(8, 1), e20_three_way_certified(8, 4)),
+            (e21_serve_equivalence(4, 1), e21_serve_equivalence(4, 4)),
         ] {
             assert_eq!(serial.measured, parallel.measured);
             assert_eq!(serial.pass, parallel.pass);

@@ -1,0 +1,493 @@
+//! A deliberately small HTTP/1.1 server-side implementation over
+//! `std::io`: request parsing with hard resource limits, chunked and
+//! `Content-Length` bodies, and plain-text response writing.
+//!
+//! The parser's contract mirrors the malformed-trace and shard-frame
+//! corpora: every syntactically broken, oversized, or truncated request
+//! degrades to a structured [`HttpError`] (mapped to a 4xx status by the
+//! server), never a panic and never unbounded memory. The limits are
+//! constants rather than configuration because they bound *parsing*, not
+//! policy — session- and daemon-level budgets live in
+//! [`crate::server::ServeConfig`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Maximum bytes for the request line plus all header lines.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Maximum number of header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum accepted request-body size (either declared via
+/// `Content-Length` or accumulated across chunks).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// One parsed request: method, path (with any `?query` split off), query
+/// string, lower-cased headers, and the fully read body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Path component of the request target, without the query string.
+    pub path: String,
+    /// Query string (after `?`), empty if absent.
+    pub query: String,
+    /// Headers with lower-cased names; duplicate names keep the last
+    /// value (none of the headers the daemon reads are list-valued).
+    pub headers: BTreeMap<String, String>,
+    /// The request body, after chunked decoding if applicable.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of header `name` (already lower-cased), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The value of query parameter `name` in a `a=1&b=2` query string.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be parsed. Each variant maps to one 4xx
+/// status; the `Closed` variant is the clean end of a keep-alive
+/// connection (no request bytes at all), which is not an error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed before sending any request bytes.
+    Closed,
+    /// The read timeout fired before any request bytes arrived — a quiet
+    /// keep-alive connection, not an error; the caller decides whether
+    /// to keep waiting.
+    Idle,
+    /// Socket-level failure mid-request.
+    Io(String),
+    /// Malformed request line, header, or chunked framing → 400.
+    Bad(String),
+    /// Request line + headers exceed [`MAX_HEAD_BYTES`] or
+    /// [`MAX_HEADERS`] → 431.
+    HeadersTooLarge,
+    /// Declared or accumulated body exceeds [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge,
+    /// A body-carrying method arrived without `Content-Length` or
+    /// `Transfer-Encoding: chunked` → 411.
+    LengthRequired,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Idle => write!(f, "idle connection"),
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Bad(e) => write!(f, "bad request: {e}"),
+            HttpError::HeadersTooLarge => write!(f, "request headers too large"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::LengthRequired => write!(f, "length required"),
+        }
+    }
+}
+
+impl HttpError {
+    /// The response status this parse failure maps to (`None` for
+    /// [`HttpError::Closed`] and I/O failures, where no response can or
+    /// should be written).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Closed | HttpError::Idle | HttpError::Io(_) => None,
+            HttpError::Bad(_) => Some((400, "Bad Request")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::BodyTooLarge => Some((413, "Payload Too Large")),
+            HttpError::LengthRequired => Some((411, "Length Required")),
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> HttpError {
+    HttpError::Io(e.to_string())
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, bounding the total
+/// head bytes consumed so a header flood cannot exhaust memory.
+fn read_line(r: &mut impl BufRead, consumed: &mut usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Bad("truncated line".into()));
+            }
+            Ok(_) => {
+                *consumed += 1;
+                if *consumed > MAX_HEAD_BYTES {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| HttpError::Bad("non-UTF-8 header bytes".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read timeout. Before any bytes of a request this is a
+                // quiet keep-alive connection; mid-request it is a
+                // truncation.
+                if line.is_empty() && *consumed == 0 {
+                    return Err(HttpError::Idle);
+                }
+                return Err(HttpError::Bad("timed out mid-request".into()));
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+}
+
+fn read_exact_limited(
+    r: &mut impl BufRead,
+    len: usize,
+    into: &mut Vec<u8>,
+) -> Result<(), HttpError> {
+    if into.len() + len > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let start = into.len();
+    into.resize(start + len, 0);
+    r.read_exact(&mut into[start..])
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::WouldBlock => {
+                HttpError::Bad("truncated body".into())
+            }
+            _ => io_err(e),
+        })
+}
+
+fn read_chunked(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        // Chunk-size lines live outside the head budget; bound them
+        // separately (a hex size never legitimately needs 1 KiB).
+        let mut consumed = MAX_HEAD_BYTES - 1024;
+        let line = match read_line(r, &mut consumed) {
+            Ok(l) => l,
+            Err(HttpError::Closed) => return Err(HttpError::Bad("truncated chunked body".into())),
+            Err(e) => return Err(e),
+        };
+        let size_tok = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_tok, 16)
+            .map_err(|_| HttpError::Bad(format!("bad chunk size `{size_tok}`")))?;
+        if size == 0 {
+            // Trailer section: consume lines until the blank terminator.
+            loop {
+                let mut c = MAX_HEAD_BYTES - 1024;
+                match read_line(r, &mut c) {
+                    Ok(l) if l.is_empty() => return Ok(body),
+                    Ok(_) => continue,
+                    Err(_) => return Err(HttpError::Bad("truncated chunk trailer".into())),
+                }
+            }
+        }
+        read_exact_limited(r, size, &mut body)?;
+        let mut crlf = [0u8; 2];
+        r.read_exact(&mut crlf)
+            .map_err(|_| HttpError::Bad("truncated chunk terminator".into()))?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::Bad("chunk data not CRLF-terminated".into()));
+        }
+    }
+}
+
+/// Parses one request from `r`. Blocks until a full request arrives, the
+/// peer closes, or the stream's read timeout fires.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] for a clean no-bytes close (keep-alive end);
+/// every other variant is a malformed or over-limit request.
+pub fn parse_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut consumed = 0usize;
+    let request_line = read_line(r, &mut consumed)?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| HttpError::Bad("missing method".into()))?
+        .to_owned();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or_else(|| HttpError::Bad("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Bad("garbage after HTTP version".into()));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Bad(format!("unsupported version `{version}`")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = match read_line(r, &mut consumed) {
+            Ok(l) => l,
+            Err(HttpError::Closed) => return Err(HttpError::Bad("truncated headers".into())),
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("header line without `:`: `{line}`")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Bad(format!("bad header name `{name}`")));
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_owned());
+    }
+
+    let chunked = headers
+        .get("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    let body = if chunked {
+        read_chunked(r)?
+    } else if let Some(len) = headers.get("content-length") {
+        let len: usize = len
+            .trim()
+            .parse()
+            .map_err(|_| HttpError::Bad(format!("bad Content-Length `{len}`")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::BodyTooLarge);
+        }
+        let mut body = Vec::new();
+        read_exact_limited(r, len, &mut body)?;
+        body
+    } else if method == "POST" || method == "PUT" {
+        return Err(HttpError::LengthRequired);
+    } else {
+        Vec::new()
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// One response, built by the route handlers and serialized by
+/// [`write_response`].
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) — e.g. `Retry-After` on a 429.
+    pub extra: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            extra: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// The standard error shape: `{"error":"..."}` plus the status.
+    pub fn error(status: u16, reason: &'static str, message: &str) -> Self {
+        let body = format!("{{\"error\":{}}}\n", json_string(message));
+        Response::json(status, reason, body)
+    }
+}
+
+/// Renders `text` as a JSON string literal (the subset of escaping the
+/// daemon's error messages need, handled fully).
+pub fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes `resp` to `w` as an HTTP/1.1 message. `close` adds
+/// `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
+    w: &mut impl Write,
+    resp: &Response,
+    close: bool,
+) -> Result<(), std::io::Error> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        resp.reason,
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        parse_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_simple_post() {
+        let req = parse(b"POST /v1/session HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/session");
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_query_params() {
+        let req =
+            parse(b"POST /v1/session?budget=64&x=1 HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("budget"), Some("64"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn parses_chunked_body() {
+        let req = parse(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"wikipedia");
+    }
+
+    #[test]
+    fn bad_chunk_size_is_structured() {
+        let err =
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Bad(_)), "{err:?}");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let err = parse(b"POST /x HTTP/1.1\r\nHost: a\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::LengthRequired);
+        assert_eq!(err.status(), Some((411, "Length Required")));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let err = parse(
+            format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        )
+        .unwrap_err();
+        assert_eq!(err, HttpError::BodyTooLarge);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+        req.extend_from_slice(format!("X-Pad: {}\r\n", "a".repeat(MAX_HEAD_BYTES)).as_bytes());
+        req.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&req).unwrap_err(), HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn empty_stream_is_clean_close() {
+        assert_eq!(parse(b"").unwrap_err(), HttpError::Closed);
+    }
+
+    #[test]
+    fn truncated_body_is_bad_request() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, HttpError::Bad(_)), "{err:?}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

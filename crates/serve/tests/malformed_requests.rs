@@ -1,0 +1,285 @@
+//! Malformed-HTTP corpus: every request in this file is wrong in some
+//! way — oversized headers, bad chunked encoding, bodies truncated at
+//! every offset, wrong content types, garbage appended to a valid
+//! binary frame — and the daemon must answer each with a structured 4xx
+//! (or a clean close for a dead connection), stay alive, and never
+//! panic. A well-formed request at the end of the run proves the server
+//! survived the whole corpus.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use duop_serve::{ServeConfig, Server, ShutdownHandle};
+
+/// Spawns an in-process daemon on an ephemeral port, returning its
+/// address, shutdown handle, and run-loop join handle.
+fn spawn_server() -> (String, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        server.run(&mut sink).expect("server run");
+    });
+    (addr, handle, join)
+}
+
+/// Sends raw bytes on a fresh connection and returns whatever the
+/// server wrote back before closing (possibly empty — a clean close).
+fn raw_exchange(addr: &str, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(bytes).expect("write");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+/// The HTTP status code of a raw response, if one was written.
+fn status_of(response: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(response).ok()?;
+    text.strip_prefix("HTTP/1.1 ")?[..3].parse().ok()
+}
+
+/// Asserts the response is a structured 4xx — never a 5xx, never a
+/// panic-shaped half-reply.
+fn assert_4xx(response: &[u8], what: &str) {
+    let status = status_of(response).unwrap_or_else(|| {
+        panic!(
+            "{what}: no HTTP status in {:?}",
+            String::from_utf8_lossy(response)
+        )
+    });
+    assert!(
+        (400..500).contains(&status),
+        "{what}: expected 4xx, got {status}"
+    );
+}
+
+/// Proves the daemon still works: create a session, stream a clean
+/// trace, read back a satisfied verdict.
+fn assert_alive(addr: &str) {
+    let create = raw_exchange(
+        addr,
+        b"POST /v1/session HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status_of(&create), Some(201), "session create after corpus");
+    let body_text = String::from_utf8_lossy(&create);
+    let sid: u64 = body_text
+        .rsplit("\"session\":")
+        .next()
+        .and_then(|s| s.trim_end().trim_end_matches('}').trim().parse().ok())
+        .expect("session id");
+    let trace = b"T1 write X0 1\nT1 ok\nT1 tryc\nT1 commit\n";
+    let req = format!(
+        "POST /v1/session/{sid}/events HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+         Content-Type: text/plain\r\nContent-Length: {}\r\n\r\n",
+        trace.len()
+    );
+    let mut bytes = req.into_bytes();
+    bytes.extend_from_slice(trace);
+    assert_eq!(
+        status_of(&raw_exchange(addr, &bytes)),
+        Some(200),
+        "ingest after corpus"
+    );
+    let verdict = raw_exchange(
+        addr,
+        format!("GET /v1/session/{sid}/verdict HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
+    );
+    assert_eq!(status_of(&verdict), Some(200), "verdict after corpus");
+    assert!(
+        String::from_utf8_lossy(&verdict).contains("satisfied"),
+        "clean trace should be satisfied"
+    );
+}
+
+#[test]
+fn malformed_corpus_never_kills_the_daemon() {
+    let (addr, handle, join) = spawn_server();
+
+    // --- request-line and header malformations ---
+    assert_4xx(
+        &raw_exchange(&addr, b"GARBAGE\r\n\r\n"),
+        "no-HTTP request line",
+    );
+    assert_4xx(
+        &raw_exchange(&addr, b"GET /metrics HTTP/0.9\r\n\r\n"),
+        "unsupported HTTP version",
+    );
+    assert_4xx(
+        &raw_exchange(&addr, b"GET metrics HTTP/1.1\r\n\r\n"),
+        "non-absolute target",
+    );
+    assert_4xx(
+        &raw_exchange(
+            &addr,
+            b"POST /v1/session/1/events HTTP/1.1\r\nHost: x\r\n\r\n",
+        ),
+        "POST without a length",
+    );
+
+    // Oversized header block: one header far past the 8 KiB head budget.
+    let mut huge = b"GET /metrics HTTP/1.1\r\nX-Pad: ".to_vec();
+    huge.extend(std::iter::repeat_n(b'a', 64 * 1024));
+    huge.extend_from_slice(b"\r\n\r\n");
+    assert_4xx(&raw_exchange(&addr, &huge), "oversized header block");
+
+    // Too many headers.
+    let mut many = b"GET /metrics HTTP/1.1\r\n".to_vec();
+    for i in 0..200 {
+        many.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+    }
+    many.extend_from_slice(b"\r\n");
+    assert_4xx(&raw_exchange(&addr, &many), "too many headers");
+
+    // Declared body bigger than the server will buffer.
+    assert_4xx(
+        &raw_exchange(
+            &addr,
+            b"POST /v1/session HTTP/1.1\r\nHost: x\r\nContent-Length: 999999999999\r\n\r\n",
+        ),
+        "absurd content-length",
+    );
+
+    // --- chunked-encoding malformations ---
+    assert_4xx(
+        &raw_exchange(
+            &addr,
+            b"POST /v1/session HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\nZZZ\r\nhi\r\n0\r\n\r\n",
+        ),
+        "non-hex chunk size",
+    );
+    assert_4xx(
+        &raw_exchange(
+            &addr,
+            b"POST /v1/session HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhelloXX0\r\n\r\n",
+        ),
+        "chunk without CRLF terminator",
+    );
+    // Truncated mid-chunk: connection dies before the declared bytes
+    // arrive. The server may reply 400 or just close; it must survive.
+    let resp = raw_exchange(
+        &addr,
+        b"POST /v1/session HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nshort",
+    );
+    if let Some(status) = status_of(&resp) {
+        assert!(
+            (400..500).contains(&status),
+            "truncated chunk: got {status}"
+        );
+    }
+
+    // --- bodies truncated at every offset ---
+    let full = b"POST /v1/session HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\n0123456789";
+    for cut in 0..full.len() {
+        let resp = raw_exchange(&addr, &full[..cut]);
+        if let Some(status) = status_of(&resp) {
+            assert!(
+                (200..500).contains(&status),
+                "truncation at {cut}: got {status}"
+            );
+        }
+        // No response at all is also fine: a dead connection gets a
+        // clean close, not a hang or a crash.
+    }
+
+    // --- payload malformations against a real session ---
+    let create = raw_exchange(
+        &addr,
+        b"POST /v1/session HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status_of(&create), Some(201));
+    let sid: u64 = String::from_utf8_lossy(&create)
+        .rsplit("\"session\":")
+        .next()
+        .and_then(|s| s.trim_end().trim_end_matches('}').trim().parse().ok())
+        .expect("session id");
+
+    // Wrong content-type: binary magic under text/plain parses as a
+    // trace and must fail structurally, not crash.
+    let mut wrong_type = format!(
+        "POST /v1/session/{sid}/events HTTP/1.1\r\nHost: x\r\nContent-Type: text/plain\r\nContent-Length: 8\r\n\r\n"
+    )
+    .into_bytes();
+    wrong_type.extend_from_slice(b"DUOB\x01\x00\x00\x00");
+    assert_4xx(&raw_exchange(&addr, &wrong_type), "binary bytes as text");
+
+    // Garbage after a valid .duob frame: encode a real history, then
+    // append junk — the reader must reject the trailing bytes.
+    let h = duop_history::trace::parse_trace("T1 write X0 1\nT1 ok\nT1 tryc\nT1 commit\n").unwrap();
+    let mut duob = duop_history::binary::encode(&h);
+    duob.extend_from_slice(b"\xde\xad\xbe\xef trailing garbage");
+    let mut frame_req = format!(
+        "POST /v1/session/{sid}/events HTTP/1.1\r\nHost: x\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\n\r\n",
+        duob.len()
+    )
+    .into_bytes();
+    frame_req.extend_from_slice(&duob);
+    assert_4xx(
+        &raw_exchange(&addr, &frame_req),
+        "garbage after .duob frame",
+    );
+
+    // Malformed trace semantics: a response for a transaction that never
+    // invoked anything.
+    let bad_trace = b"T7 commit\n";
+    let mut bad_req = format!(
+        "POST /v1/session/{sid}/events HTTP/1.1\r\nHost: x\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n",
+        bad_trace.len()
+    )
+    .into_bytes();
+    bad_req.extend_from_slice(bad_trace);
+    assert_4xx(
+        &raw_exchange(&addr, &bad_req),
+        "semantically malformed trace",
+    );
+
+    // Unknown routes and methods.
+    assert_eq!(
+        status_of(&raw_exchange(
+            &addr,
+            b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"
+        )),
+        Some(404),
+        "unknown route"
+    );
+    assert_eq!(
+        status_of(&raw_exchange(
+            &addr,
+            b"PATCH /v1/session HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+        )),
+        Some(404),
+        "unsupported method on known path"
+    );
+    assert_4xx(
+        &raw_exchange(
+            &addr,
+            b"GET /v1/session/notanumber/verdict HTTP/1.1\r\nHost: x\r\n\r\n",
+        ),
+        "non-numeric session id",
+    );
+    assert_eq!(
+        status_of(&raw_exchange(
+            &addr,
+            b"GET /v1/session/999999/verdict HTTP/1.1\r\nHost: x\r\n\r\n"
+        )),
+        Some(404),
+        "unknown session id"
+    );
+
+    // After the whole corpus, the daemon still serves correct verdicts.
+    assert_alive(&addr);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
