@@ -15,9 +15,11 @@ USAGE:
              [--checkpoint FILE] [--checkpoint-every N]
              [--format text|json]
   duop shard <trace-file|->... [--workers N] [--criterion NAME]...
+             [--connect HOST:PORT]... [--secret-file FILE]
              [--no-decompose] [--no-prelint] [--no-ladder] [--no-saturate]
              [--deadline MS] [--max-states N] [--retry N] [--min-chunk N]
              [--format text|json]
+  duop shard-serve --secret-file FILE [--listen HOST:PORT]
   duop certify <trace-file|-> [--criterion NAME]... [--format text|json]
   duop lint <trace-file|-> [--format text|json] [--rule ID]...
             [--explain RULE-ID]
@@ -30,7 +32,7 @@ USAGE:
                [--status-every N] [--compact-every N]
   duop serve [--addr HOST:PORT] [--state-dir DIR] [--session-cap N]
              [--idle-timeout SECS] [--max-retained N] [--session-budget N]
-             [--checkpoint-every N]
+             [--checkpoint-every N] [--peer-rps N]
   duop client <trace-file|-> --addr HOST:PORT [--session ID]
               [--chunk-events N] [--body-format text|binary] [--budget N]
               [--format text|json]
@@ -93,6 +95,22 @@ tms2-automaton criterion runs in the coordinator. (The hidden
 `shard-worker` subcommand is the worker mode `shard` spawns; it is not
 for interactive use.)
 
+`shard-serve` runs the same worker loop as a TCP daemon so `shard` can
+pool workers across hosts: each `--connect HOST:PORT` (repeatable,
+freely mixed with local `--workers N`; `--workers 0` with at least one
+`--connect` uses remote workers only) adds one remote worker to the
+pool. Connections are authenticated with a challenge–response hello
+keyed by the shared `--secret-file` (required on both ends; trailing
+whitespace in the file is ignored): the daemon sends a fresh nonce, the
+coordinator answers a keyed tag, and a wrong or replayed tag is
+rejected before any task frame is read. The coordinator heartbeats each
+remote, declares a silent host dead after a network timeout, reconnects
+with jittered exponential backoff, and re-queues the lost task — so a
+killed daemon or a partition costs retries, not verdicts, and the
+merged output stays byte-identical to `duop check` while any worker
+survives. Only past `--retry` deaths does the affected verdict degrade
+to `unknown (worker-death)` with a partial payload.
+
 `--checkpoint FILE` makes check and monitor write a versioned,
 integrity-hashed snapshot of their progress atomically (temp file +
 rename) as they go — roughly every `--checkpoint-every` explored states
@@ -133,11 +151,17 @@ without bound. `--max-retained N` is the global ceiling across sessions:
 past it the daemon sheds ingest with `429 Retry-After`. `--session-cap`
 bounds live sessions (default 256); sessions idle past `--idle-timeout`
 (default 300s) are checkpointed and reaped, and page back in on next
-access. `client` streams a local trace into a serve daemon: it creates
+access. `--peer-rps N` rate-limits each client address to N session
+requests per second (`/metrics` is exempt; 0, the default, disables
+the limit); throttled requests get `429 Retry-After` and count in the
+`duop_serve_throttled_requests` metric. `client` streams a local trace into a serve daemon: it creates
 (or, with `--session ID`, resumes) a session, re-streams from the
 daemon's acknowledged offset in `--chunk-events N` batches (default: one
 batch), prints the final verdict line, and exits with `check`'s codes.
 `--body-format binary` posts one `.duob` body instead of text chunks.
+When the daemon sheds an ingest with 429, the client retries with
+capped exponential backoff plus jitter, never below the daemon's
+`Retry-After` hint.
 
 `fuzz` runs the named STM engine under deterministic fault injection
 (`--faults abort=P,crash=P,delay=P,thread-crash=P`, default
@@ -323,12 +347,26 @@ pub enum Command {
         /// Minimum transactions per dispatched task (consecutive small
         /// components are batched up to this floor).
         min_chunk: usize,
+        /// Remote worker daemons to pool (`--connect HOST:PORT`,
+        /// repeatable).
+        connect: Vec<String>,
+        /// File holding the shared secret that authenticates remote
+        /// connections (required with `--connect`).
+        secret_file: Option<String>,
         /// Output format: `text` or `json`.
         format: String,
     },
     /// The hidden worker mode `duop shard` spawns: speaks the shard
     /// protocol on stdin/stdout.
     ShardWorker,
+    /// `duop shard-serve`: the TCP worker daemon remote coordinators
+    /// `--connect` to.
+    ShardServe {
+        /// Bind address (`HOST:PORT`; port 0 picks a free port).
+        listen: String,
+        /// File holding the shared secret coordinators must prove.
+        secret_file: String,
+    },
     /// `duop fuzz`.
     Fuzz {
         /// Engine under test.
@@ -406,6 +444,8 @@ pub enum Command {
         session_budget: Option<usize>,
         /// Flush a session checkpoint every this many ingest requests.
         checkpoint_every: u64,
+        /// Per-client-address session requests per second (0 = off).
+        peer_rps: u64,
     },
     /// `duop client`.
     Client {
@@ -619,9 +659,17 @@ impl Command {
                 let mut max_states = None;
                 let mut retry = 2u64;
                 let mut min_chunk = 8usize;
+                let mut connect = Vec::new();
+                let mut secret_file = None;
                 let mut format = String::from("text");
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
+                        "--connect" => {
+                            connect.push(value_of("--connect", &mut it)?.clone());
+                        }
+                        "--secret-file" => {
+                            secret_file = Some(value_of("--secret-file", &mut it)?.clone());
+                        }
                         "--workers" | "-w" => {
                             workers = value_of("--workers", &mut it)?
                                 .parse()
@@ -663,6 +711,13 @@ impl Command {
                 if inputs.is_empty() {
                     return Err(ParseError("shard needs at least one trace file".into()));
                 }
+                if !connect.is_empty() && secret_file.is_none() {
+                    return Err(ParseError(
+                        "--connect needs --secret-file FILE (the shared secret that \
+                         authenticates remote workers)"
+                            .into(),
+                    ));
+                }
                 Ok(Command::Shard {
                     inputs,
                     workers,
@@ -675,6 +730,8 @@ impl Command {
                     max_states,
                     retry,
                     min_chunk,
+                    connect,
+                    secret_file,
                     format,
                 })
             }
@@ -683,6 +740,24 @@ impl Command {
                     return Err(ParseError(format!("unexpected argument `{extra}`")));
                 }
                 Ok(Command::ShardWorker)
+            }
+            "shard-serve" => {
+                let mut listen = String::from("127.0.0.1:0");
+                let mut secret_file = None;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--listen" | "--addr" => listen = value_of("--listen", &mut it)?.clone(),
+                        "--secret-file" => {
+                            secret_file = Some(value_of("--secret-file", &mut it)?.clone());
+                        }
+                        other => return Err(ParseError(format!("unexpected argument `{other}`"))),
+                    }
+                }
+                Ok(Command::ShardServe {
+                    listen,
+                    secret_file: secret_file
+                        .ok_or_else(|| ParseError("shard-serve needs --secret-file FILE".into()))?,
+                })
             }
             "fuzz" => {
                 let mut engine = None;
@@ -844,6 +919,7 @@ impl Command {
                 let mut max_retained = None;
                 let mut session_budget = None;
                 let mut checkpoint_every = 1u64;
+                let mut peer_rps = 0u64;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--addr" => addr = value_of("--addr", &mut it)?.clone(),
@@ -866,6 +942,11 @@ impl Command {
                         "--checkpoint-every" => {
                             checkpoint_every = parse_every("--checkpoint-every", &mut it)?;
                         }
+                        "--peer-rps" => {
+                            peer_rps = value_of("--peer-rps", &mut it)?
+                                .parse()
+                                .map_err(|_| ParseError("--peer-rps needs a number".into()))?;
+                        }
                         other => return Err(ParseError(format!("unexpected argument `{other}`"))),
                     }
                 }
@@ -877,6 +958,7 @@ impl Command {
                     max_retained,
                     session_budget,
                     checkpoint_every,
+                    peer_rps,
                 })
             }
             "client" => {
@@ -1452,6 +1534,7 @@ mod tests {
                 max_retained: None,
                 session_budget: None,
                 checkpoint_every: 1,
+                peer_rps: 0,
             }
         );
         let cmd = parse(&[
@@ -1482,10 +1565,16 @@ mod tests {
                 max_retained: Some(5000),
                 session_budget: Some(128),
                 checkpoint_every: 3,
+                peer_rps: 0,
             }
         );
         assert!(parse(&["serve", "trace.txt"]).is_err());
         assert!(parse(&["serve", "--max-retained", "0"]).is_err());
+        match parse(&["serve", "--peer-rps", "5"]).unwrap() {
+            Command::Serve { peer_rps, .. } => assert_eq!(peer_rps, 5),
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&["serve", "--peer-rps", "lots"]).is_err());
     }
 
     #[test]
@@ -1557,12 +1646,71 @@ mod tests {
                 max_states: None,
                 retry: 2,
                 min_chunk: 8,
+                connect: vec![],
+                secret_file: None,
                 format: "text".into(),
             }
         );
         assert!(parse(&["shard"]).is_err(), "needs an input");
         assert_eq!(parse(&["shard-worker"]).unwrap(), Command::ShardWorker);
         assert!(parse(&["shard-worker", "extra"]).is_err());
+    }
+
+    #[test]
+    fn shard_remote_flags() {
+        let cmd = parse(&[
+            "shard",
+            "a.duob",
+            "--workers",
+            "0",
+            "--connect",
+            "10.0.0.1:9400",
+            "--connect",
+            "10.0.0.2:9400",
+            "--secret-file",
+            "/run/duop.secret",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Shard {
+                workers,
+                connect,
+                secret_file,
+                ..
+            } => {
+                assert_eq!(workers, 0);
+                assert_eq!(connect, vec!["10.0.0.1:9400", "10.0.0.2:9400"]);
+                assert_eq!(secret_file.as_deref(), Some("/run/duop.secret"));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        // Remote workers without a shared secret cannot authenticate.
+        assert!(parse(&["shard", "a.duob", "--connect", "h:1"]).is_err());
+    }
+
+    #[test]
+    fn shard_serve_flags() {
+        let cmd = parse(&[
+            "shard-serve",
+            "--secret-file",
+            "s",
+            "--listen",
+            "0.0.0.0:9400",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::ShardServe {
+                listen: "0.0.0.0:9400".into(),
+                secret_file: "s".into(),
+            }
+        );
+        match parse(&["shard-serve", "--secret-file", "s"]).unwrap() {
+            Command::ShardServe { listen, .. } => assert_eq!(listen, "127.0.0.1:0"),
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&["shard-serve"]).is_err(), "needs --secret-file");
+        assert!(parse(&["shard-serve", "--secret-file", "s", "extra"]).is_err());
     }
 
     #[test]

@@ -121,6 +121,8 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             max_states,
             retry,
             min_chunk,
+            connect,
+            secret_file,
             format,
         } => {
             let opts = ShardOpts {
@@ -133,6 +135,8 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 max_states: *max_states,
                 retry: *retry,
                 min_chunk: *min_chunk,
+                connect: connect.clone(),
+                secret_file: secret_file.clone(),
                 format: format.clone(),
             };
             shard(inputs, criteria, &opts, out)
@@ -142,6 +146,16 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             // binary shard protocol, not human output) and reports
             // malformed input via exit code 2, like trace ingestion.
             std::process::exit(duop_shard::worker_main());
+        }
+        Command::ShardServe {
+            listen,
+            secret_file,
+        } => {
+            let secret = duop_shard::load_secret(secret_file)?;
+            let cfg = duop_shard::ShardServeConfig::from_env(listen.clone(), secret);
+            let server = duop_shard::ShardServer::bind(cfg)?;
+            server.run(out)?;
+            Ok(true)
         }
         Command::Fuzz {
             engine,
@@ -244,6 +258,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             max_retained,
             session_budget,
             checkpoint_every,
+            peer_rps,
         } => {
             let cfg = duop_serve::ServeConfig {
                 addr: addr.clone(),
@@ -253,6 +268,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 max_retained: *max_retained,
                 session_budget: *session_budget,
                 checkpoint_every: *checkpoint_every,
+                peer_rps: *peer_rps,
             };
             let server = duop_serve::Server::bind(cfg)?;
             server.run(out)?;
@@ -854,6 +870,8 @@ struct ShardOpts {
     max_states: Option<u64>,
     retry: u64,
     min_chunk: usize,
+    connect: Vec<String>,
+    secret_file: Option<String>,
     format: String,
 }
 
@@ -880,8 +898,14 @@ fn shard(
         .map(|p| load(p))
         .collect::<Result<Vec<_>, _>>()?;
     let exe = std::env::current_exe()?;
+    let secret = match &opts.secret_file {
+        Some(path) => duop_shard::load_secret(path)?,
+        None => Vec::new(),
+    };
     let cfg = duop_shard::ShardConfig {
-        workers: if opts.workers == 0 {
+        // With remote workers in the pool, `--workers 0` means "no
+        // local workers", not "all hardware threads".
+        workers: if opts.workers == 0 && opts.connect.is_empty() {
             available_threads()
         } else {
             opts.workers
@@ -898,6 +922,8 @@ fn shard(
         deadline_ms: opts.deadline_ms,
         retry: opts.retry,
         min_task_txns: opts.min_chunk,
+        connect: opts.connect.clone(),
+        secret,
         ..duop_shard::ShardConfig::default()
     };
     // One flat job list over all (input, criterion) pairs: the whole
@@ -1502,6 +1528,21 @@ fn http_request(
     path: &str,
     body: Option<(&str, &[u8])>,
 ) -> Result<(u16, Vec<u8>), Box<dyn Error>> {
+    let (status, _, payload) = http_request_full(addr, method, path, body)?;
+    Ok((status, payload))
+}
+
+/// Status code, `Retry-After` seconds (when the daemon sent one), body.
+type HttpResponse = (u16, Option<u64>, Vec<u8>);
+
+/// Like [`http_request`], additionally surfacing the `Retry-After`
+/// header (seconds) so 429 handling can honor the daemon's hint.
+fn http_request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &[u8])>,
+) -> Result<HttpResponse, Box<dyn Error>> {
     use std::io::{BufRead, BufReader, Read};
     let mut stream =
         std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -1527,6 +1568,7 @@ fn http_request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed HTTP status line `{}`", status_line.trim_end()))?;
     let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -1539,6 +1581,8 @@ fn http_request(
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -1552,7 +1596,7 @@ fn http_request(
             reader.read_to_end(&mut payload)?;
         }
     }
-    Ok((status, payload))
+    Ok((status, retry_after, payload))
 }
 
 /// Extracts the unsigned integer value of `"field":N` from a flat JSON
@@ -1583,9 +1627,12 @@ fn event_line(ev: &Event) -> String {
     }
 }
 
-/// Posts one events body, retrying briefly on `429 Retry-After` (the
-/// daemon sheds under its retained-event ceiling; compaction or reaping
-/// clears it).
+/// Posts one events body, retrying on `429 Retry-After` (the daemon
+/// sheds under its retained-event ceiling or per-peer rate limit;
+/// compaction, reaping, or the next window clears it) with the same
+/// capped-exponential-jittered schedule the shard coordinator uses to
+/// reconnect remote workers — never sooner than the daemon's
+/// `Retry-After` hint.
 fn post_events(
     addr: &str,
     sid: u64,
@@ -1593,12 +1640,18 @@ fn post_events(
     body: &[u8],
 ) -> Result<(u16, Vec<u8>), Box<dyn Error>> {
     let path = format!("/v1/session/{sid}/events");
+    let mut backoff = duop_shard::Backoff::new(100, 5_000);
     for _ in 0..50 {
-        let (status, resp) = http_request(addr, "POST", &path, Some((ctype, body)))?;
+        let (status, retry_after, resp) =
+            http_request_full(addr, "POST", &path, Some((ctype, body)))?;
         if status != 429 {
             return Ok((status, resp));
         }
-        std::thread::sleep(std::time::Duration::from_millis(200));
+        let delay = match retry_after {
+            Some(secs) => backoff.next_delay_at_least(secs.saturating_mul(1_000)),
+            None => backoff.next_delay(),
+        };
+        std::thread::sleep(delay);
     }
     Err("daemon kept shedding (429) after 50 retries".into())
 }

@@ -63,6 +63,7 @@ pub fn run_all_with(quick: bool, threads: usize) -> Vec<ExperimentResult> {
         e19_sharded_equivalence(if quick { 6 } else { 20 }),
         e20_three_way_certified(if quick { 60 } else { 200 }, threads),
         e21_serve_equivalence(if quick { 10 } else { 40 }, threads),
+        e22_remote_shard(if quick { 4 } else { 12 }),
     ]
 }
 
@@ -1483,6 +1484,252 @@ fn e21_serve_equivalence(samples: u64, threads: usize) -> ExperimentResult {
     }
 }
 
+/// E22: multi-host sharding over TCP. A remote worker pool — in-process
+/// `shard-serve` daemons behind the authenticated transport — must
+/// return the exact in-process verdicts, through dropped connections
+/// and partitioned (stalled) hosts; a pool whose every remote is dead
+/// must degrade to `unknown (worker-death)` with a partial payload
+/// instead of guessing or hanging; and wrong-secret or replayed hellos
+/// must be rejected before a single task frame is read.
+fn e22_remote_shard(samples: u64) -> ExperimentResult {
+    use duop_core::{
+        check_criterion_with_stats, PlanCriterion, SearchConfig, UnknownReason, Verdict,
+    };
+    use duop_shard::protocol::{
+        auth_tag, decode_challenge, encode_auth, write_frame, FrameReader, FRAME_AUTH,
+        FRAME_CHALLENGE, FRAME_HEARTBEAT, FRAME_HELLO,
+    };
+    use duop_shard::{
+        run_sharded, ShardConfig, ShardCriterion, ShardJob, ShardServeConfig, ShardServeHandle,
+        ShardServer, NET_TIMEOUT_ENV,
+    };
+    use std::net::{SocketAddr, TcpStream};
+
+    // The stall drill waits out the liveness timeout; keep it short but
+    // comfortably above the 1s heartbeat interval so healthy daemons are
+    // never spuriously declared dead. Idempotent with the test suites.
+    std::env::set_var(NET_TIMEOUT_ENV, "2500");
+
+    const SECRET: &[u8] = b"e22-remote-shard";
+    fn start_daemon(
+        drop_conn: Option<u64>,
+        stall_conn: Option<u64>,
+    ) -> (SocketAddr, ShardServeHandle) {
+        let server = ShardServer::bind(ShardServeConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            secret: SECRET.to_vec(),
+            drop_conn,
+            stall_conn,
+        })
+        .expect("bind shard-serve");
+        let addr = server.local_addr().expect("local addr");
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            let _ = server.run(&mut sink);
+        });
+        (addr, handle)
+    }
+    // Remote-only pools never spawn a local worker, so no worker binary
+    // is needed (unlike E19, this experiment has no skip path).
+    let remote_cfg = |addrs: &[SocketAddr]| ShardConfig {
+        workers: 0,
+        connect: addrs.iter().map(|a| a.to_string()).collect(),
+        secret: SECRET.to_vec(),
+        ..ShardConfig::default()
+    };
+    // Mirror the shard pipeline's defaults explicitly: the equivalence
+    // claim is against this exact in-process configuration.
+    let local_cfg = SearchConfig {
+        prelint: true,
+        ladder: true,
+        decompose: true,
+        saturate: true,
+        ..SearchConfig::default()
+    };
+    let criteria = [
+        PlanCriterion::Du,
+        PlanCriterion::FinalState,
+        PlanCriterion::Rco,
+    ];
+    let batch = |h: &History| -> Vec<ShardJob> {
+        criteria
+            .iter()
+            .map(|&c| ShardJob {
+                history: h.clone(),
+                criterion: ShardCriterion::Plan(c),
+            })
+            .collect()
+    };
+    let compare = |h: &History, verdicts: &[Verdict], equal: &mut u64, satisfied: &mut u64| {
+        for (&c, remote) in criteria.iter().zip(verdicts) {
+            let (local, _) = check_criterion_with_stats(h, c, &local_cfg);
+            if *remote == local {
+                *equal += 1;
+            }
+            if local.is_satisfied() {
+                *satisfied += 1;
+            }
+        }
+    };
+
+    // Equivalence sweep: per seed one du-opaque-by-construction history
+    // and one adversarial history, each under three criteria on a
+    // two-daemon remote-only pool.
+    let (addr1, h1) = start_daemon(None, None);
+    let (addr2, h2) = start_daemon(None, None);
+    let mut compared = 0u64;
+    let mut equal = 0u64;
+    let mut satisfied = 0u64;
+    let mut sample_history = None;
+    for seed in 0..samples {
+        let histories = [
+            HistoryGen::new(HistoryGenConfig::medium_simulated().with_txns(24), seed).generate(),
+            HistoryGen::new(
+                HistoryGenConfig {
+                    txns: 16,
+                    objs: 4,
+                    mode: GenMode::Adversarial,
+                    ..HistoryGenConfig::medium_simulated()
+                },
+                seed,
+            )
+            .generate(),
+        ];
+        for h in &histories {
+            compared += criteria.len() as u64;
+            if let Ok(verdicts) = run_sharded(batch(h), &remote_cfg(&[addr1, addr2])) {
+                compare(h, &verdicts, &mut equal, &mut satisfied);
+            }
+        }
+        sample_history.get_or_insert_with(|| histories[0].clone());
+    }
+    h1.shutdown();
+    h2.shutdown();
+    let sample = sample_history.expect("at least one seed");
+
+    // Drop drill: the daemon hangs up on its first authenticated
+    // connection; the coordinator must redial and the verdicts must
+    // never notice.
+    let mut drop_equal = 0u64;
+    let (addr, handle) = start_daemon(Some(1), None);
+    if let Ok(verdicts) = run_sharded(batch(&sample), &remote_cfg(&[addr])) {
+        compare(&sample, &verdicts, &mut drop_equal, &mut 0);
+    }
+    handle.shutdown();
+
+    // Stall drill: a partitioned host — connected, authenticated,
+    // silent — is declared dead by the liveness timeout and its work
+    // re-queued on the healthy daemon.
+    let mut stall_equal = 0u64;
+    let (stalled, h1) = start_daemon(None, Some(1));
+    let (healthy, h2) = start_daemon(None, None);
+    if let Ok(verdicts) = run_sharded(batch(&sample), &remote_cfg(&[stalled, healthy])) {
+        compare(&sample, &verdicts, &mut stall_equal, &mut 0);
+    }
+    h1.shutdown();
+    h2.shutdown();
+
+    // All remotes dead for good (nothing ever listened): the run must
+    // end degraded — unknown (worker-death) with a partial payload —
+    // never a wrong verdict, never a hang. Prefilters off so the
+    // coordinator cannot decide the history without dispatching.
+    let dead_addr = std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("reserve a dead address")
+        .local_addr()
+        .expect("local addr");
+    let mut dead_cfg = remote_cfg(&[dead_addr]);
+    dead_cfg.prelint = false;
+    dead_cfg.ladder = false;
+    dead_cfg.saturate = false;
+    let dead_ok = run_sharded(
+        vec![ShardJob {
+            history: sample.clone(),
+            criterion: ShardCriterion::Plan(PlanCriterion::Du),
+        }],
+        &dead_cfg,
+    )
+    .map(|verdicts| {
+        matches!(
+            &verdicts[0],
+            Verdict::Unknown {
+                reason: UnknownReason::WorkerDeath,
+                partial: Some(_),
+                ..
+            }
+        )
+    })
+    .unwrap_or(false);
+
+    // Auth drill: a wrong-secret tag and a tag replayed from another
+    // connection's challenge must both be rejected before any task
+    // frame — the daemon never answers with its worker hello (and
+    // heartbeats only start post-auth).
+    let (addr, handle) = start_daemon(None, None);
+    let read_challenge = |stream: &TcpStream| {
+        let mut reader = FrameReader::new(stream.try_clone().expect("clone stream"));
+        let (ty, payload) = reader
+            .read_frame()
+            .expect("challenge frame decodes")
+            .expect("daemon sends a challenge");
+        assert_eq!(ty, FRAME_CHALLENGE);
+        decode_challenge(payload).expect("challenge payload decodes")
+    };
+    let rejected = |stream: TcpStream, tag: &[u8; duop_shard::protocol::TAG_LEN]| -> bool {
+        let mut w = stream.try_clone().expect("clone stream");
+        if write_frame(&mut w, FRAME_AUTH, &encode_auth(tag)).is_err() {
+            return true; // daemon already hung up: rejected
+        }
+        let mut reader = FrameReader::new(stream);
+        loop {
+            match reader.read_frame() {
+                Ok(Some((ty, _))) if ty == FRAME_HELLO || ty == FRAME_HEARTBEAT => return false,
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => return true,
+            }
+        }
+    };
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("set read timeout");
+        stream
+    };
+    let mut auth_rejected = 0u64;
+    let wrong = connect();
+    let nonce = read_challenge(&wrong);
+    if rejected(wrong, &auth_tag(b"not-the-secret", &nonce)) {
+        auth_rejected += 1;
+    }
+    // Replay: a tag valid for connection A's nonce, presented on B.
+    let conn_a = connect();
+    let nonce_a = read_challenge(&conn_a);
+    let conn_b = connect();
+    let _nonce_b = read_challenge(&conn_b);
+    if rejected(conn_b, &auth_tag(SECRET, &nonce_a)) {
+        auth_rejected += 1;
+    }
+    drop(conn_a);
+    handle.shutdown();
+
+    let pass = equal == compared
+        && drop_equal == 3
+        && stall_equal == 3
+        && dead_ok
+        && auth_rejected == 2
+        && satisfied > 0;
+    ExperimentResult {
+        id: "E22",
+        title: "Multi-host sharding: remote TCP pools == in-process verdicts",
+        claim: "authenticated remote pools return the exact in-process verdicts through drops and partitions, degrade to unknown (worker-death) only when every remote is gone, and reject hostile hellos before any task frame",
+        measured: format!(
+            "{equal}/{compared} remote verdicts identical (3 criteria x {samples} seeds x {{du-opaque, adversarial}}, {satisfied} satisfied); drop/stall drills {drop_equal}/3 and {stall_equal}/3 identical; all-remotes-dead degraded to unknown (worker-death): {dead_ok}; {auth_rejected}/2 hostile hellos rejected pre-task"
+        ),
+        pass,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1503,5 +1750,14 @@ mod tests {
             assert_eq!(serial.measured, parallel.measured);
             assert_eq!(serial.pass, parallel.pass);
         }
+    }
+
+    /// The remote-shard experiment end to end on a small sweep: TCP
+    /// equivalence, drop/stall drills, dead-pool degradation, and the
+    /// hostile-hello rejections must all hold.
+    #[test]
+    fn remote_shard_drills_pass() {
+        let r = e22_remote_shard(2);
+        assert!(r.pass, "E22 failed: {}", r.measured);
     }
 }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod listener;
 pub mod server;
 pub mod session;
 

@@ -1,0 +1,98 @@
+//! Shared accept-loop plumbing: a non-blocking listener polled against a
+//! shutdown flag.
+//!
+//! Both network daemons in the workspace — the HTTP checking daemon
+//! (`duop serve`) and the TCP shard-worker daemon (`duop shard-serve`) —
+//! need the same socket skeleton: bind, go non-blocking, poll `accept`
+//! every few milliseconds so SIGINT/SIGTERM (or an in-process shutdown
+//! handle) can interrupt the loop, and set `TCP_NODELAY` on every
+//! accepted connection because both protocols are small request/ack
+//! round-trips that Nagle + delayed ACK would stall ~40ms each. This
+//! module owns that skeleton so the two daemons cannot drift apart.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How long `poll_accept` sleeps when no connection is pending — the
+/// latency bound on noticing a shutdown request.
+pub const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// One turn of the accept loop.
+#[derive(Debug)]
+pub enum Accepted {
+    /// A connection arrived (already `TCP_NODELAY`); its peer address
+    /// rides along for per-client accounting.
+    Conn(TcpStream, SocketAddr),
+    /// Nothing pending; the poll sleep has already been taken.
+    Idle,
+    /// The shutdown flag (or the process-wide interrupt) was raised.
+    Shutdown,
+}
+
+/// Binds `addr` and switches the socket to non-blocking mode so the
+/// accept loop stays interruptible.
+///
+/// # Errors
+///
+/// Propagates the bind or `set_nonblocking` failure.
+pub fn bind_nonblocking(addr: &str) -> io::Result<TcpListener> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+/// Polls the listener once: returns a connection, an idle tick (after
+/// sleeping [`ACCEPT_POLL`]), or a shutdown notice when `stop` (or the
+/// process-wide interrupt flag) is set.
+///
+/// # Errors
+///
+/// A non-transient `accept` failure.
+pub fn poll_accept(listener: &TcpListener, stop: &AtomicBool) -> io::Result<Accepted> {
+    if stop.load(Ordering::SeqCst) || duop_core::snapshot::interrupt_requested() {
+        return Ok(Accepted::Shutdown);
+    }
+    match listener.accept() {
+        Ok((stream, peer)) => {
+            stream.set_nodelay(true).ok();
+            Ok(Accepted::Conn(stream, peer))
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            std::thread::sleep(ACCEPT_POLL);
+            Ok(Accepted::Idle)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn idle_then_conn_then_shutdown() {
+        let listener = bind_nonblocking("127.0.0.1:0").unwrap();
+        let stop = AtomicBool::new(false);
+        assert!(matches!(poll_accept(&listener, &stop), Ok(Accepted::Idle)));
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        // The connection may take a poll or two to surface.
+        let mut seen = false;
+        for _ in 0..50 {
+            if let Ok(Accepted::Conn(_, peer)) = poll_accept(&listener, &stop) {
+                assert!(peer.ip().is_loopback());
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "the pending connection never surfaced");
+        stop.store(true, Ordering::SeqCst);
+        assert!(matches!(
+            poll_accept(&listener, &stop),
+            Ok(Accepted::Shutdown)
+        ));
+    }
+}

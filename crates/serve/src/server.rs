@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -17,6 +17,7 @@ use duop_history::reader::TraceReader;
 use duop_history::Event;
 
 use crate::http::{self, HttpError, Request, Response};
+use crate::listener::{self, Accepted};
 use crate::session::Session;
 
 /// Exit code of a fault-hook-induced death (same value as the shard
@@ -56,6 +57,11 @@ pub struct ServeConfig {
     pub session_budget: Option<usize>,
     /// Flush a session's checkpoint every N ingest requests.
     pub checkpoint_every: u64,
+    /// Per-client (peer-address) ceiling on session-route requests per
+    /// second; `0` disables it. One hot client is throttled with
+    /// `429 Retry-After` before it can crowd out the global ceiling
+    /// every other client shares.
+    pub peer_rps: u64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +74,7 @@ impl Default for ServeConfig {
             max_retained: None,
             session_budget: None,
             checkpoint_every: 1,
+            peer_rps: 0,
         }
     }
 }
@@ -100,6 +107,7 @@ pub struct Metrics {
     retained_peak: AtomicU64,
     requests_total: AtomicU64,
     shed_requests: AtomicU64,
+    throttled_requests: AtomicU64,
     checkpoints_written: AtomicU64,
     connections_accepted: AtomicU64,
     connections_dropped: AtomicU64,
@@ -112,6 +120,12 @@ fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.trim().parse().ok()
 }
 
+/// One peer's fixed-window request tally.
+struct PeerWindow {
+    start: Instant,
+    count: u64,
+}
+
 struct State {
     cfg: ServeConfig,
     sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
@@ -119,6 +133,8 @@ struct State {
     metrics: Metrics,
     /// Sum of retained events across live sessions (the shedding gauge).
     retained: AtomicU64,
+    /// Per-peer request windows for `peer_rps` throttling.
+    peers: Mutex<HashMap<IpAddr, PeerWindow>>,
     conns: AtomicU64,
     checkpoints: AtomicU64,
     kill_ingest: Option<u64>,
@@ -179,16 +195,14 @@ impl Server {
     /// [`ServeError::Io`] if the socket cannot be bound or the state dir
     /// cannot be created.
     pub fn bind(cfg: ServeConfig) -> Result<Server, ServeError> {
-        let listener = TcpListener::bind(&cfg.addr)
+        let listener = listener::bind_nonblocking(&cfg.addr)
             .map_err(|e| ServeError::Io(format!("{}: {e}", cfg.addr)))?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| ServeError::Io(e.to_string()))?;
         let state = Arc::new(State {
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             metrics: Metrics::default(),
             retained: AtomicU64::new(0),
+            peers: Mutex::new(HashMap::new()),
             conns: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             kill_ingest: env_u64(KILL_INGEST_ENV),
@@ -250,11 +264,10 @@ impl Server {
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let mut last_reap = Instant::now();
         loop {
-            if snapshot::interrupt_requested() || self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
+            match listener::poll_accept(&self.listener, &self.shutdown) {
+                Ok(Accepted::Shutdown) => break,
+                Ok(Accepted::Idle) => {}
+                Ok(Accepted::Conn(stream, peer)) => {
                     let n = self.state.conns.fetch_add(1, Ordering::SeqCst) + 1;
                     self.state
                         .metrics
@@ -272,17 +285,11 @@ impl Server {
                     stream
                         .set_read_timeout(Some(Duration::from_millis(500)))
                         .ok();
-                    // Responses are small request/ack exchanges; Nagle +
-                    // delayed ACK would stall every round-trip ~40ms.
-                    stream.set_nodelay(true).ok();
                     let state = Arc::clone(&self.state);
                     let shutdown = Arc::clone(&self.shutdown);
                     workers.push(std::thread::spawn(move || {
-                        handle_connection(&state, &shutdown, stream);
+                        handle_connection(&state, &shutdown, stream, peer.ip());
                     }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
                 }
                 Err(e) => return Err(ServeError::Io(format!("accept: {e}"))),
             }
@@ -420,7 +427,12 @@ fn flush_all(state: &Arc<State>) -> u64 {
     flushed
 }
 
-fn handle_connection(state: &Arc<State>, shutdown: &Arc<AtomicBool>, stream: TcpStream) {
+fn handle_connection(
+    state: &Arc<State>,
+    shutdown: &Arc<AtomicBool>,
+    stream: TcpStream,
+    peer: IpAddr,
+) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -432,7 +444,7 @@ fn handle_connection(state: &Arc<State>, shutdown: &Arc<AtomicBool>, stream: Tcp
             Ok(req) => {
                 state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
                 let close = req.wants_close() || draining;
-                let resp = route(state, &req);
+                let resp = route(state, &req, peer);
                 if http::write_response(&mut write_half, &resp, close).is_err() || close {
                     return;
                 }
@@ -509,12 +521,66 @@ fn over_ceiling(state: &State) -> bool {
         .is_some_and(|cap| state.retained.load(Ordering::SeqCst) >= cap)
 }
 
-fn route(state: &Arc<State>, req: &Request) -> Response {
+/// Counts `peer` against its fixed one-second window and reports whether
+/// this request exceeds the per-client ceiling. The global retained
+/// ceiling ([`over_ceiling`]) protects the daemon; this protects the
+/// *other clients* from one hot peer monopolizing it.
+fn peer_throttled(state: &State, peer: IpAddr) -> bool {
+    let limit = state.cfg.peer_rps;
+    if limit == 0 {
+        return false;
+    }
+    let mut peers = state.peers.lock().unwrap();
+    // Bound the table: stale windows from long-gone peers are dropped
+    // before inserting new ones.
+    if peers.len() >= 1024 {
+        peers.retain(|_, w| w.start.elapsed() < Duration::from_secs(10));
+    }
+    let window = peers.entry(peer).or_insert_with(|| PeerWindow {
+        start: Instant::now(),
+        count: 0,
+    });
+    if window.start.elapsed() >= Duration::from_secs(1) {
+        window.start = Instant::now();
+        window.count = 0;
+    }
+    window.count += 1;
+    if window.count > limit {
+        state
+            .metrics
+            .throttled_requests
+            .fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+fn throttled(peer: IpAddr, limit: u64) -> Response {
+    let mut resp = Response::error(
+        429,
+        "Too Many Requests",
+        &format!("client {peer} exceeded {limit} session requests/s"),
+    );
+    resp.extra.push(("Retry-After", "1".to_owned()));
+    resp
+}
+
+fn route(state: &Arc<State>, req: &Request, peer: IpAddr) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/metrics") => metrics_response(state),
-        ("POST", "/v1/session") => create_session(state, req),
+        ("POST", "/v1/session") => {
+            if peer_throttled(state, peer) {
+                return throttled(peer, state.cfg.peer_rps);
+            }
+            create_session(state, req)
+        }
         (method, path) => match session_route(path) {
-            Some((id, tail)) => session_request(state, req, method, id, tail),
+            Some((id, tail)) => {
+                if peer_throttled(state, peer) {
+                    return throttled(peer, state.cfg.peer_rps);
+                }
+                session_request(state, req, method, id, tail)
+            }
             None => Response::error(404, "Not Found", &format!("no route for {path}")),
         },
     }
@@ -742,6 +808,11 @@ fn metrics_response(state: &Arc<State>) -> Response {
         "shed_requests",
         "counter",
         m.shed_requests.load(Ordering::Relaxed),
+    );
+    metric(
+        "throttled_requests",
+        "counter",
+        m.throttled_requests.load(Ordering::Relaxed),
     );
     metric(
         "checkpoints_written",

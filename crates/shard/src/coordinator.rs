@@ -29,8 +29,9 @@
 
 use crate::protocol::{
     decode_hello, decode_verdict_msg, encode_hello, encode_task, write_frame, FrameReader, TaskMsg,
-    VerdictMsg, FRAME_HELLO, FRAME_SHUTDOWN, FRAME_TASK, FRAME_VERDICT,
+    VerdictMsg, FRAME_HEARTBEAT, FRAME_HELLO, FRAME_SHUTDOWN, FRAME_TASK, FRAME_VERDICT,
 };
+use crate::transport::{connect_remote, net_timeout, Backoff};
 use duop_core::{
     available_threads, ladder_verdict, plan_components, prelint_verdict, saturate_verdict,
     PartialProgress, PlanCriterion, PlanOutcome, PlanScratch, SearchConfig, UnknownReason, Verdict,
@@ -40,7 +41,8 @@ use duop_history::{binary, History, TxnId};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::fmt;
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
@@ -113,6 +115,14 @@ pub struct ShardConfig {
     /// components are batched until this floor, amortizing the
     /// per-process protocol overhead over many tiny components.
     pub min_task_txns: usize,
+    /// Remote worker daemons (`HOST:PORT` of `duop shard-serve`
+    /// instances) to drive alongside the local pool. A remote that dies
+    /// or partitions is reconnected with capped exponential backoff and
+    /// its task re-queued, exactly like a local worker death.
+    pub connect: Vec<String>,
+    /// Shared secret for the remote authenticated hello (required when
+    /// `connect` is non-empty).
+    pub secret: Vec<u8>,
 }
 
 impl Default for ShardConfig {
@@ -129,6 +139,8 @@ impl Default for ShardConfig {
             deadline_ms: None,
             retry: 2,
             min_task_txns: 8,
+            connect: Vec::new(),
+            secret: Vec::new(),
         }
     }
 }
@@ -214,6 +226,13 @@ enum Event {
     Verdict { worker: usize, msg: VerdictMsg },
     /// A worker's stream ended or broke.
     WorkerGone { worker: usize, detail: String },
+    /// A connector thread completed the authenticated handshake to a
+    /// remote daemon (initial connect or reconnect).
+    RemoteUp { addr: String, stream: TcpStream },
+    /// A connector thread exhausted its attempts on `addr`.
+    RemoteGone { addr: String, detail: String },
+    /// A liveness frame (or completed hello) from a worker's stream.
+    Heartbeat { worker: usize },
 }
 
 enum TaskOutcome {
@@ -244,12 +263,38 @@ struct JobState {
     ladder_ctx: Option<Box<(History, PlanCriterion)>>,
 }
 
+/// How the coordinator reaches one worker: a child process on pipes, or
+/// an authenticated TCP stream to a `duop shard-serve` host.
+enum WorkerLink {
+    Local {
+        child: Child,
+        stdin: Option<ChildStdin>,
+    },
+    Remote {
+        addr: String,
+        stream: TcpStream,
+    },
+}
+
 struct WorkerHandle {
-    child: Child,
-    stdin: Option<ChildStdin>,
+    link: WorkerLink,
     task: Option<u64>,
     alive: bool,
+    /// When the worker's stream last produced a frame. Remote workers
+    /// heartbeat once a second, so prolonged silence means a dead host
+    /// or a partition; local pipes report death via EOF instead and
+    /// never time out.
+    last_heard: Instant,
 }
+
+/// Consecutive connection failures tolerated per remote address before
+/// the coordinator stops reconnecting to it.
+const MAX_REMOTE_FAILURES: u64 = 5;
+/// Reconnect backoff schedule (doubles from base to cap, jittered).
+const RECONNECT_BASE_MS: u64 = 100;
+const RECONNECT_CAP_MS: u64 = 2_000;
+/// TCP-level attempts within one connector thread.
+const CONNECT_ATTEMPTS: u32 = 3;
 
 fn spawn_worker(
     cfg: &ShardConfig,
@@ -276,36 +321,94 @@ fn spawn_worker(
     let tx = tx.clone();
     std::thread::spawn(move || reader_loop(index, stdout, tx));
     Ok(WorkerHandle {
-        child,
-        stdin: Some(stdin),
+        link: WorkerLink::Local {
+            child,
+            stdin: Some(stdin),
+        },
         task: None,
         alive: true,
+        last_heard: Instant::now(),
     })
 }
 
-fn reader_loop(worker: usize, stdout: std::process::ChildStdout, tx: Sender<Event>) {
+/// Dials `addr` (with in-thread retries and jittered backoff), completes
+/// the authenticated hello plus the protocol handshake, and reports the
+/// ready stream — or gives up — via the event channel.
+fn spawn_connector(addr: String, secret: Vec<u8>, tx: Sender<Event>, delay_first: bool) {
+    std::thread::spawn(move || {
+        let mut backoff = Backoff::new(RECONNECT_BASE_MS, RECONNECT_CAP_MS);
+        let mut last_err = String::new();
+        for attempt in 0..CONNECT_ATTEMPTS {
+            if attempt > 0 || delay_first {
+                std::thread::sleep(backoff.next_delay());
+            }
+            let stream = match connect_remote(&addr, &secret) {
+                Ok(stream) => stream,
+                Err(e) => {
+                    last_err = e.to_string();
+                    continue;
+                }
+            };
+            let hello = stream
+                .try_clone()
+                .map_err(|e| e.to_string())
+                .and_then(|mut w| {
+                    write_frame(&mut w, FRAME_HELLO, &encode_hello())
+                        .and_then(|()| w.flush().map_err(Into::into))
+                        .map_err(|e| e.to_string())
+                });
+            match hello {
+                Ok(()) => {
+                    let _ = tx.send(Event::RemoteUp { addr, stream });
+                    return;
+                }
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            }
+        }
+        let _ = tx.send(Event::RemoteGone {
+            addr,
+            detail: format!("{CONNECT_ATTEMPTS} attempts failed; last: {last_err}"),
+        });
+    });
+}
+
+fn reader_loop(worker: usize, input: impl Read, tx: Sender<Event>) {
     let gone = |detail: String| Event::WorkerGone { worker, detail };
-    let mut reader = FrameReader::new(stdout);
-    match reader.read_frame() {
-        Ok(Some((FRAME_HELLO, payload))) => {
-            if let Err(e) = decode_hello(payload) {
+    let mut reader = FrameReader::new(input);
+    // Hello phase. On the TCP transport the daemon's heartbeat thread
+    // races the worker loop's hello, so heartbeats are legal here too.
+    loop {
+        match reader.read_frame() {
+            Ok(Some((FRAME_HEARTBEAT, _))) => {
+                let _ = tx.send(Event::Heartbeat { worker });
+            }
+            Ok(Some((FRAME_HELLO, payload))) => {
+                if let Err(e) = decode_hello(payload) {
+                    let _ = tx.send(gone(e.to_string()));
+                    return;
+                }
+                break;
+            }
+            Ok(Some((ty, _))) => {
+                let _ = tx.send(gone(format!("expected hello, got frame type {ty:#04x}")));
+                return;
+            }
+            Ok(None) => {
+                let _ = tx.send(gone("exited before handshake".to_owned()));
+                return;
+            }
+            Err(e) => {
                 let _ = tx.send(gone(e.to_string()));
                 return;
             }
         }
-        Ok(Some((ty, _))) => {
-            let _ = tx.send(gone(format!("expected hello, got frame type {ty:#04x}")));
-            return;
-        }
-        Ok(None) => {
-            let _ = tx.send(gone("exited before handshake".to_owned()));
-            return;
-        }
-        Err(e) => {
-            let _ = tx.send(gone(e.to_string()));
-            return;
-        }
     }
+    // A completed handshake doubles as the first liveness proof (and
+    // resets the remote's consecutive-failure counter).
+    let _ = tx.send(Event::Heartbeat { worker });
     loop {
         match reader.read_frame() {
             Ok(Some((FRAME_VERDICT, payload))) => match decode_verdict_msg(payload) {
@@ -319,6 +422,11 @@ fn reader_loop(worker: usize, stdout: std::process::ChildStdout, tx: Sender<Even
                     return;
                 }
             },
+            Ok(Some((FRAME_HEARTBEAT, _))) => {
+                if tx.send(Event::Heartbeat { worker }).is_err() {
+                    return;
+                }
+            }
             Ok(Some((ty, _))) => {
                 let _ = tx.send(gone(format!("unexpected frame type {ty:#04x}")));
                 return;
@@ -615,6 +723,16 @@ struct Coordinator<'a> {
     results: Vec<Option<Verdict>>,
     completed: usize,
     plan_done: bool,
+    /// Connector threads currently trying to (re)establish a remote.
+    /// While positive, an empty pool is "waiting", not "dead".
+    reconnecting: usize,
+    /// Consecutive handshake-or-stream failures per remote address;
+    /// reset by the first frame of a successful handshake.
+    remote_failures: HashMap<String, u64>,
+    /// Silence budget before a remote worker is declared dead.
+    net_timeout: Duration,
+    /// Last heartbeat broadcast to remote workers.
+    last_ping: Instant,
 }
 
 impl Coordinator<'_> {
@@ -631,6 +749,10 @@ impl Coordinator<'_> {
         if !self.plan_done {
             return planner_finished
                 .then(|| "planner thread ended before completing the plan".to_owned());
+        }
+        if self.reconnecting > 0 {
+            // A connector thread will deliver RemoteUp or RemoteGone.
+            return None;
         }
         let in_flight = self
             .tasks
@@ -677,13 +799,46 @@ impl Coordinator<'_> {
         self.record_job_if_complete(job_index);
     }
 
+    /// Asks a connector thread to re-establish `addr`, unless the
+    /// address has burned through its consecutive-failure budget.
+    fn schedule_reconnect(&mut self, addr: String, why: &str) {
+        let failures = self.remote_failures.entry(addr.clone()).or_insert(0);
+        *failures += 1;
+        if *failures > MAX_REMOTE_FAILURES {
+            log_line(&format!(
+                "giving up on remote {addr} after {failures} consecutive failures ({why})"
+            ));
+            return;
+        }
+        log_line(&format!(
+            "remote {addr} lost ({why}); reconnecting with backoff (failure {failures})"
+        ));
+        self.reconnecting += 1;
+        spawn_connector(addr, self.cfg.secret.clone(), self.tx.clone(), true);
+    }
+
     fn handle_worker_gone(&mut self, worker: usize, detail: &str) {
         if !self.workers[worker].alive {
             return;
         }
         self.workers[worker].alive = false;
         self.idle.retain(|&w| w != worker);
-        let Some(task_id) = self.workers[worker].task.take() else {
+        // A remote's stream is force-closed so its reader thread (and the
+        // daemon's connection thread) unblock promptly; the address then
+        // goes back through the backoff reconnect path — whether or not a
+        // task was lost, since an idle connection is worth re-having.
+        let remote_addr = match &self.workers[worker].link {
+            WorkerLink::Remote { addr, stream } => {
+                let _ = stream.shutdown(Shutdown::Both);
+                Some(addr.clone())
+            }
+            WorkerLink::Local { .. } => None,
+        };
+        let lost_task = self.workers[worker].task.take();
+        if let Some(addr) = remote_addr.clone() {
+            self.schedule_reconnect(addr, detail);
+        }
+        let Some(task_id) = lost_task else {
             return;
         };
         let task = self.tasks.get_mut(&task_id).expect("known task");
@@ -706,7 +861,11 @@ impl Coordinator<'_> {
         ));
         task.queued = true;
         self.pending.push((task.spec.txns, Reverse(task_id)));
-        // Keep the pool at strength for the retry.
+        if remote_addr.is_some() {
+            // The reconnect above is the remote's replacement.
+            return;
+        }
+        // Keep the local pool at strength for the retry.
         match spawn_worker(self.cfg, self.workers.len(), &self.tx) {
             Ok(handle) => {
                 self.idle.push(self.workers.len());
@@ -740,10 +899,17 @@ impl Coordinator<'_> {
         task.last_dispatch = Instant::now();
         let handle = &mut self.workers[worker];
         handle.task = Some(task_id);
-        let stdin = handle.stdin.as_mut().expect("live worker has stdin");
-        write_frame(stdin, FRAME_TASK, &encode_task(&msg))
-            .and_then(|()| stdin.flush().map_err(Into::into))
-            .map_err(|e| e.to_string())
+        let encoded = encode_task(&msg);
+        match &mut handle.link {
+            WorkerLink::Local { stdin, .. } => {
+                let stdin = stdin.as_mut().expect("live worker has stdin");
+                write_frame(stdin, FRAME_TASK, &encoded)
+                    .and_then(|()| stdin.flush().map_err(Into::into))
+            }
+            WorkerLink::Remote { stream, .. } => write_frame(stream, FRAME_TASK, &encoded)
+                .and_then(|()| stream.flush().map_err(Into::into)),
+        }
+        .map_err(|e| e.to_string())
     }
 
     /// The task `worker` should duplicate when the queue is dry: the
@@ -805,6 +971,19 @@ impl Coordinator<'_> {
             };
             let Some(worker) = self.idle.pop() else {
                 if self.alive_count() == 0 {
+                    if self.reconnecting > 0 {
+                        // Capacity is on its way back; hold the queue.
+                        return Ok(());
+                    }
+                    if !self.cfg.connect.is_empty() {
+                        // Every host is gone past its reconnect budget.
+                        // Soundness over availability: undecided tasks
+                        // degrade to WorkerDeath so each job still merges
+                        // to a sound `Unknown{partial}` — never a wrong
+                        // Satisfied/Violation, and never a hang.
+                        self.degrade_undecided_tasks();
+                        continue;
+                    }
                     return Err(ShardError::AllWorkersDead(format!(
                         "task {task_id} is queued with no live worker"
                     )));
@@ -815,6 +994,72 @@ impl Coordinator<'_> {
             if let Err(detail) = self.dispatch_to(worker, task_id) {
                 self.handle_worker_gone(worker, &detail);
             }
+        }
+    }
+
+    /// Marks every undecided task dead: the terminal degradation when
+    /// the whole (remote-inclusive) pool is unrecoverable.
+    fn degrade_undecided_tasks(&mut self) {
+        let undecided: Vec<u64> = self
+            .tasks
+            .values()
+            .filter(|t| t.outcome.is_none())
+            .map(|t| t.spec.id)
+            .collect();
+        if undecided.is_empty() {
+            return;
+        }
+        log_line(&format!(
+            "no live or recoverable workers; degrading {} undecided task(s) to WorkerDeath",
+            undecided.len()
+        ));
+        for task_id in undecided {
+            self.finish_task(task_id, TaskOutcome::Dead);
+        }
+    }
+
+    /// Broadcasts a heartbeat to live remote workers (at most once a
+    /// second); a failed write is a death like any other.
+    fn ping_remotes(&mut self) {
+        if self.last_ping.elapsed() < Duration::from_secs(1) {
+            return;
+        }
+        self.last_ping = Instant::now();
+        let mut lost = Vec::new();
+        for (index, handle) in self.workers.iter_mut().enumerate() {
+            if !handle.alive {
+                continue;
+            }
+            if let WorkerLink::Remote { stream, .. } = &mut handle.link {
+                let sent = write_frame(stream, FRAME_HEARTBEAT, &[])
+                    .and_then(|()| stream.flush().map_err(Into::into));
+                if sent.is_err() {
+                    lost.push(index);
+                }
+            }
+        }
+        for worker in lost {
+            self.handle_worker_gone(worker, "heartbeat write failed");
+        }
+    }
+
+    /// Declares remotes silent past the net timeout dead. The daemon
+    /// heartbeats independently of task computation, so a grinding
+    /// worker stays loud while a partitioned one goes quiet.
+    fn check_remote_liveness(&mut self) {
+        let stale: Vec<(usize, u128)> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| {
+                h.alive
+                    && matches!(h.link, WorkerLink::Remote { .. })
+                    && h.last_heard.elapsed() > self.net_timeout
+            })
+            .map(|(i, h)| (i, h.last_heard.elapsed().as_millis()))
+            .collect();
+        for (worker, silent_ms) in stale {
+            self.handle_worker_gone(worker, &format!("silent for {silent_ms}ms (net timeout)"));
         }
     }
 
@@ -853,7 +1098,48 @@ impl Coordinator<'_> {
                 self.record_job_if_complete(job);
             }
             Event::PlanDone => self.plan_done = true,
+            Event::RemoteUp { addr, stream } => {
+                self.reconnecting -= 1;
+                let read_half = match stream.try_clone() {
+                    Ok(half) => half,
+                    Err(e) => {
+                        // The freshly-made stream is already unusable:
+                        // back through the reconnect path.
+                        self.schedule_reconnect(addr, &format!("stream clone: {e}"));
+                        return;
+                    }
+                };
+                let index = self.workers.len();
+                log_line(&format!("remote worker {index} up ({addr})"));
+                self.workers.push(WorkerHandle {
+                    link: WorkerLink::Remote { addr, stream },
+                    task: None,
+                    alive: true,
+                    last_heard: Instant::now(),
+                });
+                self.idle.push(index);
+                let tx = self.tx.clone();
+                std::thread::spawn(move || reader_loop(index, read_half, tx));
+            }
+            Event::RemoteGone { addr, detail } => {
+                self.reconnecting -= 1;
+                // Count the whole connector run as one failure and decide
+                // whether another round of backoff is worth it.
+                self.schedule_reconnect(addr, &detail);
+            }
+            Event::Heartbeat { worker } => {
+                if let Some(handle) = self.workers.get_mut(worker) {
+                    handle.last_heard = Instant::now();
+                    if let WorkerLink::Remote { addr, .. } = &handle.link {
+                        // A talking connection clears the address's
+                        // consecutive-failure budget.
+                        let addr = addr.clone();
+                        self.remote_failures.insert(addr, 0);
+                    }
+                }
+            }
             Event::Verdict { worker, msg } => {
+                self.workers[worker].last_heard = Instant::now();
                 if self.workers[worker].alive {
                     self.workers[worker].task = None;
                     self.idle.push(worker);
@@ -884,18 +1170,34 @@ impl Coordinator<'_> {
 
     fn shutdown(mut self) {
         for handle in &mut self.workers {
-            if handle.alive && handle.task.is_none() {
-                if let Some(stdin) = handle.stdin.as_mut() {
-                    let _ = write_frame(stdin, FRAME_SHUTDOWN, &[]);
-                    let _ = stdin.flush();
+            let orderly = handle.alive && handle.task.is_none();
+            let alive = handle.alive;
+            match &mut handle.link {
+                WorkerLink::Local { child, stdin } => {
+                    if orderly {
+                        if let Some(stdin) = stdin.as_mut() {
+                            let _ = write_frame(stdin, FRAME_SHUTDOWN, &[]);
+                            let _ = stdin.flush();
+                        }
+                    } else if alive {
+                        // Still grinding on a speculatively-duplicated
+                        // task whose twin already answered: no reason to
+                        // wait it out.
+                        let _ = child.kill();
+                    }
+                    *stdin = None;
+                    let _ = child.wait();
                 }
-            } else if handle.alive {
-                // Still grinding on a speculatively-duplicated task whose
-                // twin already answered: no reason to wait it out.
-                let _ = handle.child.kill();
+                WorkerLink::Remote { stream, .. } => {
+                    if orderly {
+                        // The daemon outlives this run; the shutdown
+                        // frame just ends our connection's worker loop.
+                        let _ = write_frame(stream, FRAME_SHUTDOWN, &[]);
+                        let _ = stream.flush();
+                    }
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
             }
-            handle.stdin = None;
-            let _ = handle.child.wait();
         }
     }
 }
@@ -925,15 +1227,29 @@ pub fn run_sharded(jobs: Vec<ShardJob>, cfg: &ShardConfig) -> Result<Vec<Verdict
         results: Vec::new(),
         completed: 0,
         plan_done: false,
+        reconnecting: 0,
+        remote_failures: HashMap::new(),
+        net_timeout: net_timeout(),
+        last_ping: Instant::now(),
     };
     coordinator.jobs.resize_with(total, JobState::default);
     coordinator.results.resize_with(total, || None);
 
-    let pool = cfg.workers.max(1);
+    // With remote daemons configured, zero local workers is a valid pool;
+    // purely local runs keep the at-least-one floor.
+    let pool = if cfg.connect.is_empty() {
+        cfg.workers.max(1)
+    } else {
+        cfg.workers
+    };
     for i in 0..pool {
         let handle = spawn_worker(cfg, i, &tx)?;
         coordinator.idle.push(i);
         coordinator.workers.push(handle);
+    }
+    for addr in &cfg.connect {
+        coordinator.reconnecting += 1;
+        spawn_connector(addr.clone(), cfg.secret.clone(), tx.clone(), false);
     }
 
     let planner_cfg = cfg.clone();
@@ -953,6 +1269,13 @@ pub fn run_sharded(jobs: Vec<ShardJob>, cfg: &ShardConfig) -> Result<Vec<Verdict
         let event = match rx.recv_timeout(LIVENESS_INTERVAL) {
             Ok(event) => event,
             Err(RecvTimeoutError::Timeout) => {
+                coordinator.ping_remotes();
+                coordinator.check_remote_liveness();
+                // Liveness may have re-queued (or terminally degraded)
+                // tasks; give the queue a turn before the stall verdict.
+                if let Err(e) = coordinator.dispatch() {
+                    break Err(e);
+                }
                 if let Some(detail) = coordinator.stall_detail(planner.is_finished()) {
                     break Err(ShardError::Internal(detail));
                 }
@@ -1032,10 +1355,13 @@ mod tests {
             cfg: &cfg,
             tx,
             workers: vec![WorkerHandle {
-                child,
-                stdin: Some(stdin),
+                link: WorkerLink::Local {
+                    child,
+                    stdin: Some(stdin),
+                },
                 task: None,
                 alive: true,
+                last_heard: Instant::now(),
             }],
             idle: vec![0],
             tasks: HashMap::new(),
@@ -1044,6 +1370,10 @@ mod tests {
             results: vec![None],
             completed: 0,
             plan_done: true,
+            reconnecting: 0,
+            remote_failures: HashMap::new(),
+            net_timeout: Duration::from_secs(10),
+            last_ping: Instant::now(),
         };
         coordinator.jobs[0].task_ids.push(0);
         coordinator.jobs[0].expected = Some(1);

@@ -17,6 +17,9 @@
 //! | `T`  | coord → worker | task id, attempt, criterion token, flags, budgets, `.duob` sub-history |
 //! | `V`  | worker → coord | task id, explored counter, encoded verdict |
 //! | `S`  | coord → worker | empty (orderly shutdown) |
+//! | `C`  | daemon → coord | magic + version + per-connection nonce (TCP auth challenge) |
+//! | `A`  | coord → daemon | keyed SipHash-2-4 tag over the nonce (TCP auth response) |
+//! | `P`  | both      | empty (liveness heartbeat on the TCP transport) |
 //!
 //! A decoder never panics on malformed input: every failure is a
 //! structured [`ProtocolError`] the worker turns into exit code 2,
@@ -45,6 +48,15 @@ pub const FRAME_TASK: u8 = b'T';
 pub const FRAME_VERDICT: u8 = b'V';
 /// Frame type: orderly shutdown.
 pub const FRAME_SHUTDOWN: u8 = b'S';
+/// Frame type: authentication challenge (daemon → coordinator over TCP;
+/// payload: magic, version varint, per-connection nonce).
+pub const FRAME_CHALLENGE: u8 = b'C';
+/// Frame type: authentication response (coordinator → daemon; payload:
+/// the keyed tag over the challenge nonce).
+pub const FRAME_AUTH: u8 = b'A';
+/// Frame type: liveness ping (either direction, empty payload). Workers
+/// ignore it; the coordinator timestamps it.
+pub const FRAME_HEARTBEAT: u8 = b'P';
 
 /// Hard cap on a frame payload. A task frame wraps a whole `.duob`
 /// sub-history (itself internally framed), so this is far above
@@ -281,6 +293,142 @@ pub fn decode_hello(payload: &[u8]) -> Result<(), ProtocolError> {
         ));
     }
     expect_end(payload, pos, "handshake")
+}
+
+// ---------------------------------------------------------------------------
+// Authenticated hello (TCP transport)
+// ---------------------------------------------------------------------------
+
+/// Bytes of the per-connection challenge nonce.
+pub const NONCE_LEN: usize = 16;
+/// Bytes of the keyed authentication tag.
+pub const TAG_LEN: usize = 8;
+
+/// SipHash-2-4 over `data` under the 128-bit key `(k0, k1)`. Hand-rolled
+/// because the repo carries no external crypto dependency; the reference
+/// construction (Aumasson–Bernstein) is small enough to own.
+fn sip24(k0: u64, k1: u64, data: &[u8]) -> u64 {
+    let mut v0 = 0x736f6d6570736575u64 ^ k0;
+    let mut v1 = 0x646f72616e646f6du64 ^ k1;
+    let mut v2 = 0x6c7967656e657261u64 ^ k0;
+    let mut v3 = 0x7465646279746573u64 ^ k1;
+    let round = |v0: &mut u64, v1: &mut u64, v2: &mut u64, v3: &mut u64| {
+        *v0 = v0.wrapping_add(*v1);
+        *v1 = v1.rotate_left(13) ^ *v0;
+        *v0 = v0.rotate_left(32);
+        *v2 = v2.wrapping_add(*v3);
+        *v3 = v3.rotate_left(16) ^ *v2;
+        *v0 = v0.wrapping_add(*v3);
+        *v3 = v3.rotate_left(21) ^ *v0;
+        *v2 = v2.wrapping_add(*v1);
+        *v1 = v1.rotate_left(17) ^ *v2;
+        *v2 = v2.rotate_left(32);
+    };
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        v3 ^= m;
+        round(&mut v0, &mut v1, &mut v2, &mut v3);
+        round(&mut v0, &mut v1, &mut v2, &mut v3);
+        v0 ^= m;
+    }
+    let rest = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rest.len()].copy_from_slice(rest);
+    last[7] = data.len() as u8;
+    let m = u64::from_le_bytes(last);
+    v3 ^= m;
+    round(&mut v0, &mut v1, &mut v2, &mut v3);
+    round(&mut v0, &mut v1, &mut v2, &mut v3);
+    v0 ^= m;
+    v2 ^= 0xff;
+    for _ in 0..4 {
+        round(&mut v0, &mut v1, &mut v2, &mut v3);
+    }
+    v0 ^ v1 ^ v2 ^ v3
+}
+
+/// Derives the 128-bit MAC key from an arbitrary-length shared secret:
+/// two SipHash passes under distinct fixed domain-separation keys.
+fn derive_key(secret: &[u8]) -> (u64, u64) {
+    let k0 = sip24(0x64756f702d736864, 0x6b65792d64657230, secret);
+    let k1 = sip24(0x64756f702d736864, 0x6b65792d64657231, secret);
+    (k0, k1)
+}
+
+/// The authentication tag a coordinator must present for `nonce`:
+/// `SipHash-2-4(derive(secret), nonce ‖ "DUOS-hello-v1")`. A tag is
+/// bound to its connection's nonce, so a captured handshake replays
+/// against a fresh nonce as garbage.
+pub fn auth_tag(secret: &[u8], nonce: &[u8; NONCE_LEN]) -> [u8; TAG_LEN] {
+    let (k0, k1) = derive_key(secret);
+    let mut msg = Vec::with_capacity(NONCE_LEN + 13);
+    msg.extend_from_slice(nonce);
+    msg.extend_from_slice(b"DUOS-hello-v1");
+    sip24(k0, k1, &msg).to_le_bytes()
+}
+
+/// Constant-time byte-slice equality: the comparison cost never depends
+/// on where the first mismatch sits, so a remote cannot binary-search
+/// the tag byte by byte off response timing.
+#[must_use]
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Encodes a challenge payload: magic, version, nonce.
+pub fn encode_challenge(nonce: &[u8; NONCE_LEN]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + NONCE_LEN);
+    out.extend_from_slice(MAGIC);
+    write_varint(&mut out, VERSION);
+    put_bytes(&mut out, nonce);
+    out
+}
+
+/// Decodes and validates a challenge payload, returning the nonce.
+pub fn decode_challenge(payload: &[u8]) -> Result<[u8; NONCE_LEN], ProtocolError> {
+    if payload.len() < 4 || &payload[..4] != MAGIC {
+        return Err(malformed("challenge", "bad magic"));
+    }
+    let mut pos = 4;
+    let version = get_varint(payload, &mut pos, "challenge")?;
+    if version != VERSION {
+        return Err(malformed(
+            "challenge",
+            format!("version {version}, expected {VERSION}"),
+        ));
+    }
+    let raw = get_bytes(payload, &mut pos, "challenge")?;
+    let nonce: [u8; NONCE_LEN] = raw.try_into().map_err(|_| {
+        malformed(
+            "challenge",
+            format!("nonce is {} bytes, expected {NONCE_LEN}", raw.len()),
+        )
+    })?;
+    expect_end(payload, pos, "challenge")?;
+    Ok(nonce)
+}
+
+/// Encodes an auth-response payload (the tag alone).
+pub fn encode_auth(tag: &[u8; TAG_LEN]) -> Vec<u8> {
+    tag.to_vec()
+}
+
+/// Decodes an auth-response payload.
+pub fn decode_auth(payload: &[u8]) -> Result<[u8; TAG_LEN], ProtocolError> {
+    payload.try_into().map_err(|_| {
+        malformed(
+            "auth response",
+            format!("tag is {} bytes, expected {TAG_LEN}", payload.len()),
+        )
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1170,6 +1318,59 @@ mod tests {
             let _ = decode_verdict_msg(&bytes);
             let _ = decode_task(&bytes);
             let _ = decode_hello(&bytes);
+            let _ = decode_challenge(&bytes);
+            let _ = decode_auth(&bytes);
         }
+    }
+
+    #[test]
+    fn challenge_round_trips() {
+        let nonce = [7u8; NONCE_LEN];
+        let wire = encode_challenge(&nonce);
+        assert_eq!(decode_challenge(&wire).unwrap(), nonce);
+        assert!(decode_challenge(b"DUOB").is_err(), "wrong magic");
+        assert!(
+            decode_challenge(&wire[..wire.len() - 1]).is_err(),
+            "truncated nonce"
+        );
+    }
+
+    #[test]
+    fn auth_tag_binds_secret_and_nonce() {
+        let nonce_a = [1u8; NONCE_LEN];
+        let nonce_b = [2u8; NONCE_LEN];
+        let tag = auth_tag(b"hunter2", &nonce_a);
+        assert_eq!(tag, auth_tag(b"hunter2", &nonce_a), "deterministic");
+        assert_ne!(
+            tag,
+            auth_tag(b"hunter2", &nonce_b),
+            "a replayed tag must not verify against a fresh nonce"
+        );
+        assert_ne!(
+            tag,
+            auth_tag(b"hunter3", &nonce_a),
+            "a wrong secret must not produce the right tag"
+        );
+        let wire = encode_auth(&tag);
+        assert_eq!(decode_auth(&wire).unwrap(), tag);
+        assert!(decode_auth(&wire[..TAG_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn constant_time_eq_agrees_with_plain_equality() {
+        assert!(constant_time_eq(b"abcd", b"abcd"));
+        assert!(!constant_time_eq(b"abcd", b"abce"));
+        assert!(!constant_time_eq(b"abcd", b"abc"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn siphash_reference_vector() {
+        // The reference SipHash-2-4 test vector (Aumasson–Bernstein,
+        // appendix A): key 000102…0f, message 000102…0e.
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let msg: Vec<u8> = (0u8..15).collect();
+        assert_eq!(sip24(k0, k1, &msg), 0xa129ca6149be45e5);
     }
 }

@@ -13,7 +13,8 @@
 
 use crate::protocol::{
     decode_hello, decode_task, encode_hello, encode_verdict_msg, write_frame, FrameReader,
-    ProtocolError, TaskMsg, VerdictMsg, FRAME_HELLO, FRAME_SHUTDOWN, FRAME_TASK, FRAME_VERDICT,
+    ProtocolError, TaskMsg, VerdictMsg, FRAME_HEARTBEAT, FRAME_HELLO, FRAME_SHUTDOWN, FRAME_TASK,
+    FRAME_VERDICT,
 };
 use duop_core::{check_criterion_with_stats, Criterion, Opacity, PlanCriterion, SearchConfig};
 use duop_history::binary;
@@ -102,6 +103,11 @@ pub fn run_worker_io(input: impl Read, mut output: impl Write) -> Result<(), Pro
             // Coordinator closed the pipe: treat like shutdown.
             return Ok(());
         };
+        if ty == FRAME_HEARTBEAT {
+            // Liveness ping from the coordinator (TCP transport): not an
+            // answerable frame, and legal at any point in the stream.
+            continue;
+        }
         if !shook_hands {
             if ty != FRAME_HELLO {
                 return Err(ProtocolError::Malformed {

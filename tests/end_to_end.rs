@@ -10,7 +10,7 @@ use du_opacity::stm::{run_workload, WorkloadConfig};
 #[test]
 fn experiment_suite_confirms_every_paper_claim() {
     let results = run_all(true);
-    assert_eq!(results.len(), 21);
+    assert_eq!(results.len(), 22);
     for r in &results {
         assert!(r.pass, "[{}] {} failed: {}", r.id, r.title, r.measured);
     }
